@@ -1,0 +1,179 @@
+// Section 7 — communication-volume verification benchmarks.
+//
+// (a) Measured max-per-rank volume of one global-formulation training step
+//     against the closed-form bound c * (n*k/sqrt(p) + k^2) words per layer,
+//     sweeping p; the measured/bound ratio must stay a small constant.
+// (b) Global vs local volume ratio as a function of density — the
+//     Erdős–Rényi crossover of Section 7.3.
+// (c) The Section 8.2 communication-overhead datapoint: GAT at 1% density,
+//     modeled communication time as p grows (paper: 0.41 s at 32 nodes to
+//     1.13 s at 512 — sublinear growth in p at fixed per-rank work).
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "dist/dist_1d_engine.hpp"
+
+namespace agnn::bench {
+namespace {
+
+void VolumeVsBound(benchmark::State& state) {
+  const auto kind = static_cast<ModelKind>(state.range(0));
+  const int ranks = static_cast<int>(state.range(1));
+  const index_t n = 1024, k = 16;
+  const int layers = 3;
+  static const graph::Graph<real_t>& g = *new graph::Graph<real_t>(
+      uniform_graph(n, 0.01, 21));
+
+  Workload w;
+  w.adj = &g.adj;
+  w.k = k;
+  w.layers = layers;
+  w.training = true;
+  for (auto _ : state) {
+    const auto r = run_global(w, kind, ranks);
+    report(state, r);
+    const double q = std::sqrt(static_cast<double>(ranks));
+    const double bound_words =
+        static_cast<double>(layers) *
+        (static_cast<double>(n * k) / q + static_cast<double>(k * k));
+    const double measured_words = r.comm_mbytes * 1e6 / sizeof(real_t);
+    state.counters["bound_kwords"] = bound_words / 1e3;
+    state.counters["measured_kwords"] = measured_words / 1e3;
+    state.counters["measured_over_bound"] =
+        ranks == 1 ? 0.0 : measured_words / bound_words;
+  }
+  state.SetLabel(std::string("train/") + to_string(kind));
+}
+
+void GlobalVsLocalByDensity(benchmark::State& state) {
+  // The crossover needs d in omega(sqrt(p)) to favor the global view
+  // (Section 7.3); with the scheme's ~4 block moves per layer that means a
+  // large grid: p = 100. The density sweep should straddle the crossover.
+  const double density = 1.0 / static_cast<double>(state.range(0));
+  const int ranks = 100;
+  const index_t n = 2048, k = 16;
+  const auto g = uniform_graph(n, density, 23);
+
+  Workload w;
+  w.adj = &g.adj;
+  w.k = k;
+  w.layers = 3;
+  w.training = false;
+  for (auto _ : state) {
+    const auto rg = run_global(w, ModelKind::kGAT, ranks);
+    const auto rl = run_local(w, ModelKind::kGAT, ranks);
+    state.SetIterationTime(rg.modeled_seconds);
+    state.counters["global_MB"] = rg.comm_mbytes;
+    state.counters["local_MB"] = rl.comm_mbytes;
+    // Section 7.3: this ratio should shrink toward 1 as density decreases.
+    state.counters["local_over_global"] =
+        rg.comm_mbytes > 0 ? rl.comm_mbytes / rg.comm_mbytes : 0.0;
+  }
+  state.counters["m"] = static_cast<double>(g.num_edges());
+}
+
+// Section 6.3 design-choice ablation: the A-stationary 1.5D scheme vs a
+// naive 1D distribution of the same global formulation. Identical math,
+// Theta(n k) vs O(n k / sqrt(p)) movement.
+void Scheme1dVs15d(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const index_t n = 1024, k = 16;
+  static const graph::Graph<real_t>& g = *new graph::Graph<real_t>(
+      uniform_graph(n, 0.01, 41));
+  Rng rng(11);
+  DenseMatrix<real_t> x(n, k);
+  x.fill_uniform(rng, -1.0, 1.0);
+
+  for (auto _ : state) {
+    const auto stats_15d =
+        comm::SpmdRuntime::run(ranks, [&](comm::Communicator& world) {
+          GnnModel<real_t> model(model_config(ModelKind::kGAT, k, 3));
+          dist::DistGnnEngine<real_t> engine(world, g.adj, model);
+          comm::reset_all_stats(world);
+          engine.forward(x, nullptr);
+        });
+    const auto stats_1d =
+        comm::SpmdRuntime::run(ranks, [&](comm::Communicator& world) {
+          GnnModel<real_t> model(model_config(ModelKind::kGAT, k, 3));
+          dist::Dist1dGlobalEngine<real_t> engine(world, g.adj, model);
+          comm::reset_all_stats(world);
+          engine.forward(x, nullptr);
+        });
+    const auto r = summarize(stats_15d);
+    state.SetIterationTime(r.modeled_seconds);
+    state.counters["vol_15d_MB"] =
+        static_cast<double>(comm::max_bytes_sent(stats_15d)) / 1e6;
+    state.counters["vol_1d_MB"] =
+        static_cast<double>(comm::max_bytes_sent(stats_1d)) / 1e6;
+    state.counters["ratio_1d_over_15d"] =
+        static_cast<double>(comm::max_bytes_sent(stats_1d)) /
+        static_cast<double>(std::max<std::uint64_t>(1, comm::max_bytes_sent(stats_15d)));
+  }
+  state.SetLabel("GAT inference");
+}
+
+void GatCommOverheadVsRanks(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const index_t k = 16;
+  static const graph::Graph<real_t>& g = *new graph::Graph<real_t>(
+      kronecker_graph(10, 0.01, 31));  // 1% density, the Section 8.2 datapoint
+
+  Workload w;
+  w.adj = &g.adj;
+  w.k = k;
+  w.layers = 3;
+  w.training = true;
+  for (auto _ : state) {
+    const auto r = run_global(w, ModelKind::kGAT, ranks);
+    report(state, r);
+  }
+  state.counters["p"] = ranks;
+  state.SetLabel("GAT/rho=1%");
+}
+
+void register_all() {
+  for (const auto kind : {ModelKind::kVA, ModelKind::kAGNN, ModelKind::kGAT}) {
+    for (const int p : {1, 4, 16, 64}) {
+      benchmark::RegisterBenchmark(
+          (std::string("Sec7_VolumeVsBound/") +
+           agnn::to_string(kind) + "/p" + std::to_string(p))
+              .c_str(),
+          VolumeVsBound)
+          ->Args({static_cast<long>(kind), p})
+          ->UseManualTime()
+          ->Iterations(1);
+    }
+  }
+  for (const int inv_density : {20, 100, 1000, 10000}) {
+    benchmark::RegisterBenchmark(
+        (std::string("Sec7_GlobalVsLocal/rho_inv") + std::to_string(inv_density))
+            .c_str(),
+        GlobalVsLocalByDensity)
+        ->Args({inv_density})
+        ->UseManualTime()
+        ->Iterations(1);
+  }
+  for (const int p : {4, 16, 64}) {
+    benchmark::RegisterBenchmark(
+        (std::string("Sec8_GatCommOverhead/p") + std::to_string(p)).c_str(),
+        GatCommOverheadVsRanks)
+        ->Args({p})
+        ->UseManualTime()
+        ->Iterations(1);
+  }
+  for (const int p : {4, 16, 64}) {
+    benchmark::RegisterBenchmark(
+        (std::string("Sec6_Scheme1dVs15d/p") + std::to_string(p)).c_str(),
+        Scheme1dVs15d)
+        ->Args({p})
+        ->UseManualTime()
+        ->Iterations(1);
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace agnn::bench
+
+BENCHMARK_MAIN();

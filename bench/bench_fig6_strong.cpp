@@ -1,0 +1,100 @@
+// Figure 6 — strong scaling of GNN *training* on Kronecker graphs.
+//
+// Paper setup: n in {131k..2M}, m in {110M..687M}, adjacency densities
+// rho = m/n^2 from 1% to 0.01%, hidden width k in {16, 128}, 3 GNN layers,
+// p in {1, 4, 16, 64, 256} nodes; series: our global VA/AGNN/GAT vs DistDGL
+// (local formulation; full-batch proxy and the 16k-vertex mini-batch mode).
+//
+// Reproduction: Kronecker scale 11 (n = 2048) and scale 12 (n = 4096) with
+// rho in {1%, 0.01%}, k in {16, 128}, p in {1, 4, 16, 64} simulated ranks.
+// Fixed dataset, growing rank count = strong scaling. The reported time is
+// the modeled cluster time (see bench_common.hpp).
+#include "bench_common.hpp"
+
+namespace agnn::bench {
+namespace {
+
+// Graphs are cached per (scale, density) so each benchmark row does not pay
+// regeneration.
+const graph::Graph<real_t>& cached_graph(int scale, double density) {
+  struct Key {
+    int scale;
+    double density;
+  };
+  static std::vector<std::pair<Key, graph::Graph<real_t>>> cache;
+  for (const auto& [key, g] : cache) {
+    if (key.scale == scale && key.density == density) return g;
+  }
+  cache.emplace_back(Key{scale, density}, kronecker_graph(scale, density));
+  return cache.back().second;
+}
+
+void Fig6Strong(benchmark::State& state) {
+  const auto kind = static_cast<ModelKind>(state.range(0));
+  const auto engine = static_cast<Engine>(state.range(1));
+  const int ranks = static_cast<int>(state.range(2));
+  const int scale = static_cast<int>(state.range(3));
+  const double density = 1.0 / static_cast<double>(state.range(4));
+  const auto k = static_cast<index_t>(state.range(5));
+
+  const auto& g = cached_graph(scale, density);
+  Workload w;
+  w.adj = &g.adj;
+  w.k = k;
+  w.layers = 3;
+  w.training = true;
+  w.minibatch_size = std::min<index_t>(1 << 14, g.num_vertices() / 4);
+
+  for (auto _ : state) {
+    report(state, run_engine(engine, w, kind, ranks));
+  }
+  state.counters["n"] = static_cast<double>(g.num_vertices());
+  state.counters["m"] = static_cast<double>(g.num_edges());
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["p"] = ranks;
+  state.SetLabel(std::string(to_string(kind)) + "/" + to_string(engine));
+}
+
+void register_all() {
+  // Subplots (a)-(d) analog: two graph scales x two densities, k = 16;
+  // subplots (e)-(h) analog: the same with k = 128 (scale 11 only, to keep
+  // the full suite's runtime reasonable on one machine).
+  const std::vector<std::pair<int, int>> graphs_k16 = {{11, 100}, {11, 10000},
+                                                       {12, 100}, {12, 10000}};
+  const std::vector<std::pair<int, int>> graphs_k128 = {{11, 100}, {11, 10000}};
+  const std::vector<ModelKind> models = {ModelKind::kVA, ModelKind::kAGNN,
+                                         ModelKind::kGAT};
+  const std::vector<Engine> engines = {Engine::kGlobal, Engine::kLocalFull,
+                                       Engine::kLocalMinibatch};
+  const std::vector<int> rank_counts = {1, 4, 16, 64};
+
+  auto add = [&](int scale, int inv_density, index_t k) {
+    for (const auto kind : models) {
+      for (const auto engine : engines) {
+        for (const int p : rank_counts) {
+          if (engine == Engine::kGlobal && p == 64 && scale >= 12) continue;
+          benchmark::RegisterBenchmark(
+              (std::string("Fig6/") + to_string(kind) + "/" + to_string(engine) +
+               "/scale" + std::to_string(scale) + "/rho_inv" +
+               std::to_string(inv_density) + "/k" + std::to_string(k) + "/p" +
+               std::to_string(p))
+                  .c_str(),
+              Fig6Strong)
+              ->Args({static_cast<long>(kind), static_cast<long>(engine), p, scale,
+                      inv_density, static_cast<long>(k)})
+              ->UseManualTime()
+              ->Iterations(1);
+        }
+      }
+    }
+  };
+  for (const auto& [scale, inv_density] : graphs_k16) add(scale, inv_density, 16);
+  for (const auto& [scale, inv_density] : graphs_k128) add(scale, inv_density, 128);
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace agnn::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Figure 7 (three rightmost plots) — weak scaling on Erdős–Rényi ("Rand")
+// graphs: the empirical verification of the Section 7 communication-cost
+// analysis (Section 8.4).
+//
+// Paper setup: inference pass, densities rho in {1%, 0.1%, 0.01%}; the
+// vertex count n grows with sqrt(node count) so that m = rho*n^2 grows
+// linearly with the node count (weak scaling). Series: global VA/AGNN/GAT
+// vs the local formulation (DistDGL), plus a C-GNN (simple graph
+// convolution) as the special case of Section 8.4's last paragraph.
+//
+// Reproduction: n0 = 512 at p = 1, n = n0 * sqrt(p), p in {1, 4, 16, 64}.
+// Expectation to verify: (a) global beats local and scales flat-ish;
+// (b) with DECREASING density the global-vs-local gap SHRINKS (the
+// Erdős–Rényi prediction of Section 7.3).
+#include <cmath>
+
+#include "bench_common.hpp"
+
+namespace agnn::bench {
+namespace {
+
+constexpr index_t kBaseVertices = 512;
+
+const graph::Graph<real_t>& cached_graph(index_t n, double density) {
+  struct Key {
+    index_t n;
+    double density;
+  };
+  static std::vector<std::pair<Key, graph::Graph<real_t>>> cache;
+  for (const auto& [key, g] : cache) {
+    if (key.n == n && key.density == density) return g;
+  }
+  cache.emplace_back(Key{n, density}, uniform_graph(n, density));
+  return cache.back().second;
+}
+
+void Fig7WeakRand(benchmark::State& state) {
+  const auto kind = static_cast<ModelKind>(state.range(0));
+  const auto engine = static_cast<Engine>(state.range(1));
+  const int ranks = static_cast<int>(state.range(2));
+  const double density = 1.0 / static_cast<double>(state.range(3));
+
+  const auto n = static_cast<index_t>(
+      static_cast<double>(kBaseVertices) * std::sqrt(static_cast<double>(ranks)));
+  const auto& g = cached_graph(n, density);
+  Workload w;
+  w.adj = &g.adj;
+  w.k = 16;
+  w.layers = 3;
+  w.training = false;  // Section 8.4 verifies the inference pass
+
+  for (auto _ : state) {
+    report(state, run_engine(engine, w, kind, ranks));
+  }
+  state.counters["n"] = static_cast<double>(g.num_vertices());
+  state.counters["m"] = static_cast<double>(g.num_edges());
+  state.counters["p"] = ranks;
+  state.SetLabel(std::string(to_string(kind)) + "/" + to_string(engine));
+}
+
+void register_all() {
+  // GCN is the C-GNN special case the paper adds to this experiment.
+  const std::vector<ModelKind> models = {ModelKind::kVA, ModelKind::kAGNN,
+                                         ModelKind::kGAT, ModelKind::kGCN};
+  const std::vector<Engine> engines = {Engine::kGlobal, Engine::kLocalFull};
+  const std::vector<int> rank_counts = {1, 4, 16, 64};
+  const std::vector<int> inv_densities = {100, 1000, 10000};  // 1%, 0.1%, 0.01%
+
+  for (const int inv_density : inv_densities) {
+    for (const auto kind : models) {
+      for (const auto engine : engines) {
+        for (const int p : rank_counts) {
+          benchmark::RegisterBenchmark(
+              (std::string("Fig7_WeakRand/") + to_string(kind) + "/" +
+               to_string(engine) + "/rho_inv" + std::to_string(inv_density) + "/p" +
+               std::to_string(p))
+                  .c_str(),
+              Fig7WeakRand)
+              ->Args({static_cast<long>(kind), static_cast<long>(engine), p,
+                      inv_density})
+              ->UseManualTime()
+              ->Iterations(1);
+        }
+      }
+    }
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace agnn::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Figure 8 — weak scaling of GNN *training* on Kronecker graphs.
+//
+// Paper setup: k = 16, 3 layers; n grows with sqrt(node count) at fixed
+// density rho in {0.1%, 0.01%} so that m grows linearly with the node
+// count; series: global VA/AGNN/GAT vs DistDGL (local formulation; the
+// mini-batch arm included as in Figure 6).
+//
+// Reproduction: n0 = 512 (scale 9) at p = 1, scale + 1 per 4x ranks,
+// p in {1, 4, 16, 64}. Parallel efficiency of the global formulation is
+// reported as a counter (modeled time at p=1 over modeled time at p),
+// mirroring the paper's "57% efficiency at 512 nodes" readout.
+#include "bench_common.hpp"
+
+namespace agnn::bench {
+namespace {
+
+constexpr int kBaseScale = 9;  // n = 512 at p = 1
+
+int scale_for_ranks(int ranks) {
+  // n ~ sqrt(p): each 4x in ranks doubles n (adds 1 to the scale).
+  int scale = kBaseScale;
+  int p = 1;
+  while (p < ranks) {
+    p *= 4;
+    ++scale;
+  }
+  return scale;
+}
+
+const graph::Graph<real_t>& cached_graph(int scale, double density) {
+  struct Key {
+    int scale;
+    double density;
+  };
+  static std::vector<std::pair<Key, graph::Graph<real_t>>> cache;
+  for (const auto& [key, g] : cache) {
+    if (key.scale == scale && key.density == density) return g;
+  }
+  cache.emplace_back(Key{scale, density}, kronecker_graph(scale, density, 5));
+  return cache.back().second;
+}
+
+void Fig8WeakKron(benchmark::State& state) {
+  const auto kind = static_cast<ModelKind>(state.range(0));
+  const auto engine = static_cast<Engine>(state.range(1));
+  const int ranks = static_cast<int>(state.range(2));
+  const double density = 1.0 / static_cast<double>(state.range(3));
+
+  const auto& g = cached_graph(scale_for_ranks(ranks), density);
+  Workload w;
+  w.adj = &g.adj;
+  w.k = 16;
+  w.layers = 3;
+  w.training = true;
+  w.minibatch_size = std::min<index_t>(1 << 14, g.num_vertices() / 4);
+
+  for (auto _ : state) {
+    report(state, run_engine(engine, w, kind, ranks));
+  }
+  state.counters["n"] = static_cast<double>(g.num_vertices());
+  state.counters["m"] = static_cast<double>(g.num_edges());
+  state.counters["p"] = ranks;
+  state.SetLabel(std::string(to_string(kind)) + "/" + to_string(engine));
+}
+
+void register_all() {
+  const std::vector<ModelKind> models = {ModelKind::kVA, ModelKind::kAGNN,
+                                         ModelKind::kGAT};
+  const std::vector<Engine> engines = {Engine::kGlobal, Engine::kLocalFull,
+                                       Engine::kLocalMinibatch};
+  const std::vector<int> rank_counts = {1, 4, 16, 64};
+  const std::vector<int> inv_densities = {1000, 10000};  // 0.1%, 0.01%
+
+  for (const int inv_density : inv_densities) {
+    for (const auto kind : models) {
+      for (const auto engine : engines) {
+        for (const int p : rank_counts) {
+          benchmark::RegisterBenchmark(
+              (std::string("Fig8_WeakKron/") + to_string(kind) + "/" +
+               to_string(engine) + "/rho_inv" + std::to_string(inv_density) + "/p" +
+               std::to_string(p))
+                  .c_str(),
+              Fig8WeakKron)
+              ->Args({static_cast<long>(kind), static_cast<long>(engine), p,
+                      inv_density})
+              ->UseManualTime()
+              ->Iterations(1);
+        }
+      }
+    }
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace agnn::bench
+
+BENCHMARK_MAIN();

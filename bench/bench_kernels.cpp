@@ -1,0 +1,280 @@
+// Kernel-level benchmarks and design-choice ablations:
+//
+//   * Section 6.1/6.2 fusion ablation — the fused Psi kernels (virtual
+//     intermediates) vs the unfused reference that materializes the dense
+//     n x n matrices, and the fully-fused SDDMM+SpMM aggregation vs the
+//     two-kernel pipeline;
+//   * Section 4.4 Phi ∘ ⊕ ordering — (Psi H) W vs Psi (H W) at different
+//     width ratios (the SpMMM association-order choice);
+//   * Section 4.3 semiring aggregations — sum/min/max/mean SpMM;
+//   * per-edge local-formulation (DGL-style UDF) execution vs the global
+//     fused kernels at equal math;
+//   * CSR SpMM loop scheduling (static vs dynamic) on a heavy-tail graph.
+#include <benchmark/benchmark.h>
+
+#include "baseline/local_engine.hpp"
+#include "bench_common.hpp"
+#include "tensor/fused.hpp"
+#include "tensor/reference_impls.hpp"
+#include "tensor/spgemm.hpp"
+#include "tensor/spmm.hpp"
+
+namespace agnn::bench {
+namespace {
+
+struct KernelFixture {
+  graph::Graph<real_t> g;
+  DenseMatrix<real_t> h;
+  DenseMatrix<real_t> w;
+  std::vector<real_t> s1, s2;
+
+  KernelFixture(index_t n, double density, index_t k)
+      : g(kronecker_graph(static_cast<int>(std::round(std::log2(n))), density, 17)),
+        h(g.num_vertices(), k),
+        w(k, k) {
+    Rng rng(3);
+    h.fill_uniform(rng, -1.0, 1.0);
+    w.fill_glorot(rng);
+    s1.resize(static_cast<std::size_t>(g.num_vertices()));
+    s2.resize(static_cast<std::size_t>(g.num_vertices()));
+    for (auto& v : s1) v = static_cast<real_t>(rng.next_uniform(-1, 1));
+    for (auto& v : s2) v = static_cast<real_t>(rng.next_uniform(-1, 1));
+  }
+};
+
+KernelFixture& fixture(index_t n, double density, index_t k) {
+  struct Key {
+    index_t n;
+    double d;
+    index_t k;
+  };
+  static std::vector<std::pair<Key, KernelFixture>> cache;
+  for (auto& [key, f] : cache) {
+    if (key.n == n && key.d == density && key.k == k) return f;
+  }
+  cache.emplace_back(Key{n, density, k}, KernelFixture(n, density, k));
+  return cache.back().second;
+}
+
+// ---- fusion ablation ------------------------------------------------------------
+
+void PsiVaFused(benchmark::State& state) {
+  auto& f = fixture(state.range(0), 0.01, state.range(1));
+  for (auto _ : state) benchmark::DoNotOptimize(psi_va(f.g.adj, f.h));
+  state.counters["nnz"] = static_cast<double>(f.g.num_edges());
+}
+void PsiVaUnfused(benchmark::State& state) {
+  auto& f = fixture(state.range(0), 0.01, state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reference::psi_va_unfused(f.g.adj, f.h));
+  }
+}
+void PsiGatFused(benchmark::State& state) {
+  auto& f = fixture(state.range(0), 0.01, state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psi_gat<real_t>(f.g.adj, f.s1, f.s2, 0.2f));
+  }
+}
+void PsiGatUnfused(benchmark::State& state) {
+  auto& f = fixture(state.range(0), 0.01, state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(row_softmax(
+        reference::gat_scores_unfused<real_t>(f.g.adj, f.s1, f.s2, 0.2f)));
+  }
+}
+void PsiAgnnFused(benchmark::State& state) {
+  auto& f = fixture(state.range(0), 0.01, state.range(1));
+  for (auto _ : state) benchmark::DoNotOptimize(psi_agnn(f.g.adj, f.h));
+}
+void PsiAgnnUnfused(benchmark::State& state) {
+  auto& f = fixture(state.range(0), 0.01, state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reference::psi_agnn_unfused(f.g.adj, f.h));
+  }
+}
+
+// Deep fusion: SDDMM folded into the following SpMM (no Psi materialized).
+void VaAggregateDeepFused(benchmark::State& state) {
+  auto& f = fixture(state.range(0), 0.01, state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fused_va_aggregate(f.g.adj, f.h, f.h));
+  }
+}
+void VaAggregateTwoKernel(benchmark::State& state) {
+  auto& f = fixture(state.range(0), 0.01, state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spmm(psi_va(f.g.adj, f.h), f.h));
+  }
+}
+void GatAggregateDeepFused(benchmark::State& state) {
+  auto& f = fixture(state.range(0), 0.01, state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fused_gat_aggregate<real_t>(f.g.adj, f.s1, f.s2, 0.2f, f.h));
+  }
+}
+void GatAggregateTwoKernel(benchmark::State& state) {
+  auto& f = fixture(state.range(0), 0.01, state.range(1));
+  for (auto _ : state) {
+    const auto gp = psi_gat<real_t>(f.g.adj, f.s1, f.s2, 0.2f);
+    benchmark::DoNotOptimize(spmm(gp.psi, f.h));
+  }
+}
+
+// ---- Phi ∘ ⊕ ordering (Section 4.4) ----------------------------------------------
+
+void PhiAfterAggregate(benchmark::State& state) {
+  // Z = (Psi H) W — cheap when k_out >= k_in.
+  auto& f = fixture(1024, 0.01, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(spmm(f.g.adj, f.h), f.w));
+  }
+}
+void PhiBeforeAggregate(benchmark::State& state) {
+  // Z = Psi (H W) — cheap when k_out <= k_in.
+  auto& f = fixture(1024, 0.01, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spmm(f.g.adj, matmul(f.h, f.w)));
+  }
+}
+void SpmmmAutoOrder(benchmark::State& state) {
+  auto& f = fixture(1024, 0.01, state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(spmmm(f.g.adj, f.h, f.w));
+}
+
+// ---- semiring aggregations (Section 4.3) ------------------------------------------
+
+void SemiringAggregate(benchmark::State& state) {
+  auto& f = fixture(2048, 0.01, 16);
+  const auto agg = static_cast<Aggregation>(state.range(0));
+  const CsrMatrix<real_t> a =
+      (agg == Aggregation::kMin || agg == Aggregation::kMax)
+          ? f.g.adj.with_values(0.0f)
+          : f.g.adj;
+  for (auto _ : state) benchmark::DoNotOptimize(aggregate(a, f.h, agg));
+  state.SetLabel(to_string(agg));
+}
+
+// ---- per-edge (local, DGL-UDF style) vs global execution ---------------------------
+
+void LayerGlobalKernels(benchmark::State& state) {
+  auto& f = fixture(2048, 0.01, 16);
+  const auto kind = static_cast<ModelKind>(state.range(0));
+  GnnModel<real_t> model(model_config(kind, 16, 1));
+  for (auto _ : state) benchmark::DoNotOptimize(model.infer(f.g.adj, f.h));
+  state.SetLabel(to_string(kind));
+}
+void LayerLocalPerEdge(benchmark::State& state) {
+  auto& f = fixture(2048, 0.01, 16);
+  const auto kind = static_cast<ModelKind>(state.range(0));
+  GnnModel<real_t> model(model_config(kind, 16, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baseline::local_infer(model, f.g.adj, f.h));
+  }
+  state.SetLabel(to_string(kind));
+}
+
+// ---- other core kernels ---------------------------------------------------------------
+
+void SpgemmAA(benchmark::State& state) {
+  auto& f = fixture(state.range(0), 0.005, 16);
+  const auto ones = f.g.adj.with_values(1.0f);
+  for (auto _ : state) benchmark::DoNotOptimize(spgemm(ones, ones));
+  state.counters["nnz"] = static_cast<double>(f.g.num_edges());
+}
+void SpgemmMaskedTriangles(benchmark::State& state) {
+  auto& f = fixture(state.range(0), 0.005, 16);
+  const auto ones = f.g.adj.with_values(1.0f);
+  for (auto _ : state) benchmark::DoNotOptimize(spgemm_masked(ones, ones, ones));
+}
+void SparseTranspose(benchmark::State& state) {
+  auto& f = fixture(state.range(0), 0.005, 16);
+  for (auto _ : state) benchmark::DoNotOptimize(f.g.adj.transposed());
+}
+void GraphSoftmax(benchmark::State& state) {
+  auto& f = fixture(state.range(0), 0.005, 16);
+  for (auto _ : state) benchmark::DoNotOptimize(row_softmax(f.g.adj));
+}
+void SddmmKernel(benchmark::State& state) {
+  auto& f = fixture(state.range(0), 0.005, state.range(1));
+  for (auto _ : state) benchmark::DoNotOptimize(sddmm(f.g.adj, f.h, f.h));
+}
+
+// ---- SpMM scheduling ablation -------------------------------------------------------
+
+template <bool kDynamic>
+DenseMatrix<real_t> spmm_scheduled(const CsrMatrix<real_t>& a,
+                                   const DenseMatrix<real_t>& h) {
+  const index_t n = a.rows(), k = h.cols();
+  DenseMatrix<real_t> out(n, k, 0.0f);
+  if constexpr (kDynamic) {
+#pragma omp parallel for schedule(dynamic, 64)
+    for (index_t i = 0; i < n; ++i) {
+      real_t* oi = out.data() + i * k;
+      for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) {
+        const real_t* hj = h.data() + a.col_at(e) * k;
+        const real_t av = a.val_at(e);
+        for (index_t g = 0; g < k; ++g) oi[g] += av * hj[g];
+      }
+    }
+  } else {
+#pragma omp parallel for schedule(static)
+    for (index_t i = 0; i < n; ++i) {
+      real_t* oi = out.data() + i * k;
+      for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) {
+        const real_t* hj = h.data() + a.col_at(e) * k;
+        const real_t av = a.val_at(e);
+        for (index_t g = 0; g < k; ++g) oi[g] += av * hj[g];
+      }
+    }
+  }
+  return out;
+}
+
+void SpmmStatic(benchmark::State& state) {
+  auto& f = fixture(4096, 0.005, 16);  // heavy-tail: load imbalance matters
+  for (auto _ : state) benchmark::DoNotOptimize(spmm_scheduled<false>(f.g.adj, f.h));
+}
+void SpmmDynamic(benchmark::State& state) {
+  auto& f = fixture(4096, 0.005, 16);
+  for (auto _ : state) benchmark::DoNotOptimize(spmm_scheduled<true>(f.g.adj, f.h));
+}
+
+BENCHMARK(PsiVaFused)->Args({512, 16})->Args({1024, 16})->Args({1024, 128});
+BENCHMARK(PsiVaUnfused)->Args({512, 16})->Args({1024, 16})->Args({1024, 128});
+BENCHMARK(PsiAgnnFused)->Args({512, 16})->Args({1024, 16});
+BENCHMARK(PsiAgnnUnfused)->Args({512, 16})->Args({1024, 16});
+BENCHMARK(PsiGatFused)->Args({512, 16})->Args({1024, 16});
+BENCHMARK(PsiGatUnfused)->Args({512, 16})->Args({1024, 16});
+BENCHMARK(VaAggregateDeepFused)->Args({1024, 16})->Args({1024, 128});
+BENCHMARK(VaAggregateTwoKernel)->Args({1024, 16})->Args({1024, 128});
+BENCHMARK(GatAggregateDeepFused)->Args({1024, 16});
+BENCHMARK(GatAggregateTwoKernel)->Args({1024, 16});
+BENCHMARK(PhiAfterAggregate)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(PhiBeforeAggregate)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(SpmmmAutoOrder)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(SemiringAggregate)
+    ->Arg(static_cast<long>(Aggregation::kSum))
+    ->Arg(static_cast<long>(Aggregation::kMin))
+    ->Arg(static_cast<long>(Aggregation::kMax))
+    ->Arg(static_cast<long>(Aggregation::kMean));
+BENCHMARK(LayerGlobalKernels)
+    ->Arg(static_cast<long>(ModelKind::kVA))
+    ->Arg(static_cast<long>(ModelKind::kAGNN))
+    ->Arg(static_cast<long>(ModelKind::kGAT));
+BENCHMARK(LayerLocalPerEdge)
+    ->Arg(static_cast<long>(ModelKind::kVA))
+    ->Arg(static_cast<long>(ModelKind::kAGNN))
+    ->Arg(static_cast<long>(ModelKind::kGAT));
+BENCHMARK(SpmmStatic);
+BENCHMARK(SpmmDynamic);
+BENCHMARK(SpgemmAA)->Arg(1024)->Arg(2048);
+BENCHMARK(SpgemmMaskedTriangles)->Arg(1024)->Arg(2048);
+BENCHMARK(SparseTranspose)->Arg(2048)->Arg(4096);
+BENCHMARK(GraphSoftmax)->Arg(2048)->Arg(4096);
+BENCHMARK(SddmmKernel)->Args({2048, 16})->Args({2048, 128});
+
+}  // namespace
+}  // namespace agnn::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Distributed full-batch GAT training on the simulated cluster: runs the
+// same workload under the global formulation (1.5D A-stationary scheme) and
+// the local formulation (1D ghost exchange, the message-passing baseline),
+// and prints per-rank-count communication volume, modeled communication
+// time, and modeled end-to-end step time — a miniature of the paper's
+// Figure 6 on one machine.
+//
+//   ./build/examples/distributed_training
+#include <cstdio>
+
+#include "baseline/dist_local_engine.hpp"
+#include "comm/communicator.hpp"
+#include "comm/cost_model.hpp"
+#include "core/model.hpp"
+#include "dist/dist_engine.hpp"
+#include "graph/graph.hpp"
+#include "graph/kronecker.hpp"
+
+namespace {
+
+using namespace agnn;
+
+struct Measured {
+  float loss = 0;
+  double comm_mb = 0;
+  double comm_s = 0;
+  double total_s = 0;
+};
+
+GnnConfig gat_config(index_t k) {
+  GnnConfig cfg;
+  cfg.kind = ModelKind::kGAT;
+  cfg.in_features = k;
+  cfg.layer_widths = {k, k, k};
+  cfg.seed = 17;
+  return cfg;
+}
+
+template <typename MakeEngine>
+Measured run(const CsrMatrix<float>& adj, const DenseMatrix<float>& x,
+             std::span<const index_t> labels, int ranks, index_t k,
+             MakeEngine&& make_engine) {
+  const comm::CostModel cost{.alpha = 1.5e-6, .beta = 1.0 / 10.0e9};
+  Measured out;
+  const auto stats = comm::SpmdRuntime::run(ranks, [&](comm::Communicator& world) {
+    GnnModel<float> model(gat_config(k));
+    auto engine = make_engine(world, adj, model);
+    SgdOptimizer<float> opt(0.01f);
+    engine.train_step(x, labels, opt);  // warm-up
+    comm::reset_all_stats(world);
+    const auto res = engine.train_step(x, labels, opt);
+    if (world.rank() == 0) out.loss = res.loss;
+  });
+  out.comm_mb = static_cast<double>(comm::max_bytes_sent(stats)) / 1e6;
+  out.comm_s = cost.max_comm_time(stats);
+  out.total_s = cost.total_time(stats);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const index_t k = 16;
+  graph::KroneckerParams params;
+  params.scale = 11;  // n = 2048
+  params.edges = 40000;
+  const auto g = graph::build_graph<float>(graph::generate_kronecker(params));
+  Rng rng(5);
+  DenseMatrix<float> x(g.num_vertices(), k);
+  x.fill_uniform(rng, -1.0, 1.0);
+  std::vector<index_t> labels(static_cast<std::size_t>(g.num_vertices()));
+  for (auto& l : labels) {
+    l = static_cast<index_t>(rng.next_bounded(static_cast<std::uint64_t>(k)));
+  }
+
+  std::printf("3-layer GAT training step, n=%lld m=%lld k=%lld (Kronecker)\n",
+              static_cast<long long>(g.num_vertices()),
+              static_cast<long long>(g.num_edges()), static_cast<long long>(k));
+  std::printf("%-22s %5s %12s %12s %12s %10s\n", "formulation", "p", "comm MB/rank",
+              "comm time", "step time", "loss");
+
+  for (const int p : {1, 4, 16, 64}) {
+    const auto global = run(g.adj, x, labels, p, k,
+                            [](comm::Communicator& w, const CsrMatrix<float>& a,
+                               GnnModel<float>& m) {
+                              return dist::DistGnnEngine<float>(w, a, m);
+                            });
+    std::printf("%-22s %5d %12.3f %10.2fus %10.2fms %10.4f\n", "global (1.5D)", p,
+                global.comm_mb, global.comm_s * 1e6, global.total_s * 1e3,
+                static_cast<double>(global.loss));
+  }
+  for (const int p : {1, 4, 16, 64}) {
+    const auto local = run(g.adj, x, labels, p, k,
+                           [](comm::Communicator& w, const CsrMatrix<float>& a,
+                              GnnModel<float>& m) {
+                             return baseline::DistLocalEngine<float>(w, a, m);
+                           });
+    std::printf("%-22s %5d %12.3f %10.2fus %10.2fms %10.4f\n",
+                "local (ghost exch.)", p, local.comm_mb, local.comm_s * 1e6,
+                local.total_s * 1e3, static_cast<double>(local.loss));
+  }
+  std::printf("\nBoth formulations compute identical losses; they differ in data"
+              " movement.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Programmability showcase (Sections 4.3–4.4): building new A-GNN variants
+// from the generic (Psi, ⊕, Phi) layer — a custom attention function, the
+// four semiring aggregations, and both Phi ∘ ⊕ composition orders — without
+// touching any engine code.
+//
+//   ./build/examples/programmable_models
+#include <cstdio>
+
+#include "core/generic_layer.hpp"
+#include "core/model.hpp"
+#include "graph/graph.hpp"
+#include "graph/erdos_renyi.hpp"
+
+namespace {
+
+using namespace agnn;
+
+void print_row_summary(const char* name, const DenseMatrix<float>& h) {
+  float mn = h.data()[0], mx = h.data()[0];
+  double sum = 0;
+  for (index_t i = 0; i < h.size(); ++i) {
+    mn = std::min(mn, h.data()[i]);
+    mx = std::max(mx, h.data()[i]);
+    sum += static_cast<double>(h.data()[i]);
+  }
+  std::printf("  %-34s out %lldx%lld   min %+8.4f  mean %+8.4f  max %+8.4f\n",
+              name, static_cast<long long>(h.rows()),
+              static_cast<long long>(h.cols()), static_cast<double>(mn),
+              sum / static_cast<double>(h.size()), static_cast<double>(mx));
+}
+
+}  // namespace
+
+int main() {
+  using namespace agnn;
+  graph::BuildOptions opt;
+  opt.add_self_loops = true;
+  const auto g = graph::build_graph<float>(
+      graph::generate_erdos_renyi({.n = 256, .q = 0.05, .seed = 3}), opt);
+  Rng rng(9);
+  DenseMatrix<float> x(g.num_vertices(), 8);
+  x.fill_uniform(rng, -1.0, 1.0);
+  DenseMatrix<float> w(8, 8);
+  w.fill_glorot(rng);
+
+  std::printf("generic A-GNN layer on G(256, 5%%), 8 features\n");
+
+  // 1. The stock attention functions as plug-in Psi functors.
+  {
+    GenericLayerSpec<float> spec;
+    spec.phi = make_phi_linear(w);
+    spec.activation = Activation::kRelu;
+    spec.psi = make_psi_identity<float>();
+    print_row_summary("Psi = A (C-GNN)", generic_layer_forward(spec, g.adj, x));
+    spec.psi = make_psi_va<float>();
+    print_row_summary("Psi = A .* HH^T (VA)", generic_layer_forward(spec, g.adj, x));
+    spec.psi = make_psi_agnn<float>();
+    print_row_summary("Psi = cosine (AGNN)", generic_layer_forward(spec, g.adj, x));
+  }
+
+  // 2. A *custom* attention: distance-gated attention, keeping only edges
+  //    whose endpoint features are similar (|<h_i,h_j>| above a threshold).
+  {
+    GenericLayerSpec<float> spec;
+    spec.phi = make_phi_linear(w);
+    spec.activation = Activation::kRelu;
+    spec.psi = [](const CsrMatrix<float>& a, const DenseMatrix<float>& h) {
+      auto p = psi_va(a, h);
+      return map_values(p, [](float v) { return std::abs(v) > 0.5f ? v : 0.0f; });
+    };
+    print_row_summary("Psi = gated dot-product (custom)",
+                      generic_layer_forward(spec, g.adj, x));
+  }
+
+  // 3. Semiring aggregations (Section 4.3): one layer each with sum / min /
+  //    max / mean over the same attention scores.
+  std::printf("\nsemiring aggregations ⊕ over the same Psi:\n");
+  for (const Aggregation agg : {Aggregation::kSum, Aggregation::kMean,
+                                Aggregation::kMin, Aggregation::kMax}) {
+    GenericLayerSpec<float> spec;
+    spec.aggregation = agg;
+    spec.activation = Activation::kIdentity;
+    // Tropical semirings interpret edge values additively; use the 0-valued
+    // adjacency for min/max so they select extreme neighbor features.
+    const bool tropical = agg == Aggregation::kMin || agg == Aggregation::kMax;
+    spec.psi = [tropical](const CsrMatrix<float>& a, const DenseMatrix<float>&) {
+      return tropical ? a.with_values(0.0f) : a;
+    };
+    print_row_summary(to_string(agg), generic_layer_forward(spec, g.adj, x));
+  }
+
+  // 4. Phi ∘ ⊕ order (Section 4.4): identical result for linear Phi + sum,
+  //    different cost profile — and NOT interchangeable for max.
+  {
+    GenericLayerSpec<float> spec;
+    spec.psi = make_psi_va<float>();
+    spec.phi = make_phi_linear(w);
+    spec.activation = Activation::kIdentity;
+    spec.phi_first = false;
+    const auto after = generic_layer_forward(spec, g.adj, x);
+    spec.phi_first = true;
+    const auto before = generic_layer_forward(spec, g.adj, x);
+    std::printf("\nPhi ∘ ⊕ order, linear Phi with sum: max |difference| = %.2e"
+                " (orders commute)\n",
+                static_cast<double>(max_abs_diff(after, before)));
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart: build a graph, run GAT inference and a few training steps with
+// the global tensor formulation, in ~60 lines of user code.
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/model.hpp"
+#include "graph/graph.hpp"
+#include "graph/kronecker.hpp"
+
+int main() {
+  using namespace agnn;
+
+  // 1. A graph: Kronecker (heavy-tail), n = 1024, ~20k edges, undirected,
+  //    isolated vertices patched, self loops for the attention models.
+  graph::KroneckerParams params;
+  params.scale = 10;
+  params.edges = 20000;
+  graph::BuildOptions opt;
+  opt.add_self_loops = true;
+  const auto g = graph::build_graph<float>(graph::generate_kronecker(params), opt);
+  std::printf("graph: n=%lld m=%lld max_degree=%lld\n",
+              static_cast<long long>(g.num_vertices()),
+              static_cast<long long>(g.num_edges()),
+              static_cast<long long>(g.max_degree()));
+
+  // 2. A 2-layer GAT in the global formulation: 16 input features,
+  //    16 hidden, 4 output classes.
+  GnnConfig cfg;
+  cfg.kind = ModelKind::kGAT;
+  cfg.in_features = 16;
+  cfg.layer_widths = {16, 4};
+  cfg.hidden_activation = Activation::kRelu;
+  GnnModel<float> model(cfg);
+
+  // 3. Random input features and labels (a real application would load its
+  //    dataset here).
+  Rng rng(1);
+  DenseMatrix<float> x(g.num_vertices(), 16);
+  x.fill_uniform(rng, -1.0, 1.0);
+  std::vector<index_t> labels(static_cast<std::size_t>(g.num_vertices()));
+  for (auto& l : labels) l = static_cast<index_t>(rng.next_bounded(4));
+
+  // 4. Inference: one call, no intermediates stored, deepest fused kernels.
+  const DenseMatrix<float> h = model.infer(g.adj, x);
+  std::printf("inference: output is %lld x %lld\n",
+              static_cast<long long>(h.rows()), static_cast<long long>(h.cols()));
+
+  // 5. Full-batch training: forward, softmax cross-entropy, the analytic
+  //    backward pass of Section 5, Adam updates.
+  Trainer<float> trainer(model, std::make_unique<AdamOptimizer<float>>(0.01f));
+  const auto losses = trainer.train(g.adj, x, labels, 20);
+  std::printf("training: loss %.4f -> %.4f over %zu epochs\n",
+              static_cast<double>(losses.front()),
+              static_cast<double>(losses.back()), losses.size());
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Mini-batch training, the execution mode of the DistDGL baseline (and the
+// extension the paper's conclusion points to: "one can straightforwardly
+// extend most of our routines to mini-batching").
+//
+// Each step samples a batch of seed vertices plus its 1-hop neighborhood,
+// runs the (global-formulation) model on the induced subgraph, and takes the
+// loss on the seeds only — neighbors participate as feature context. The
+// same GnnModel is updated in place, so mini-batch and full-batch training
+// are interchangeable on one model.
+#pragma once
+
+#include "baseline/minibatch.hpp"
+#include "core/loss.hpp"
+#include "core/model.hpp"
+#include "core/optimizer.hpp"
+
+namespace agnn::baseline {
+
+template <typename T>
+class MinibatchTrainer {
+ public:
+  MinibatchTrainer(GnnModel<T>& model, std::unique_ptr<Optimizer<T>> opt,
+                   index_t batch_size, std::uint64_t seed = 1)
+      : model_(model), opt_(std::move(opt)), batch_size_(batch_size), seed_(seed) {}
+
+  struct StepResult {
+    T loss = T(0);
+    index_t seeds = 0;
+    index_t batch_vertices = 0;
+  };
+
+  StepResult step(const CsrMatrix<T>& adj, const DenseMatrix<T>& x,
+                  std::span<const index_t> labels) {
+    const Minibatch<T> mb = sample_minibatch(adj, batch_size_, seed_ + step_count_);
+    ++step_count_;
+    const DenseMatrix<T> bx = gather_batch_features(x, mb);
+    std::vector<index_t> blabels(mb.vertices.size());
+    std::vector<std::uint8_t> bmask(mb.vertices.size(), 0);
+    for (std::size_t i = 0; i < mb.vertices.size(); ++i) {
+      blabels[i] = labels[static_cast<std::size_t>(mb.vertices[i])];
+      bmask[i] = static_cast<index_t>(i) < mb.num_seeds ? 1 : 0;
+    }
+
+    std::vector<LayerCache<T>> caches;
+    const DenseMatrix<T> h = model_.forward(mb.adj, bx, caches);
+    const LossResult<T> loss = softmax_cross_entropy<T>(h, blabels, bmask);
+    const auto grads =
+        model_.backward(mb.adj, mb.adj.transposed(), caches, loss.grad);
+    model_.apply_gradients(grads, *opt_);
+    return {loss.value, mb.num_seeds, static_cast<index_t>(mb.vertices.size())};
+  }
+
+  // Run `steps` mini-batch steps; returns the loss trajectory.
+  std::vector<T> train(const CsrMatrix<T>& adj, const DenseMatrix<T>& x,
+                       std::span<const index_t> labels, int steps) {
+    std::vector<T> losses;
+    losses.reserve(static_cast<std::size_t>(steps));
+    for (int s = 0; s < steps; ++s) losses.push_back(step(adj, x, labels).loss);
+    return losses;
+  }
+
+ private:
+  GnnModel<T>& model_;
+  std::unique_ptr<Optimizer<T>> opt_;
+  index_t batch_size_;
+  std::uint64_t seed_;
+  std::uint64_t step_count_ = 0;
+};
+
+}  // namespace agnn::baseline

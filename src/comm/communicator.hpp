@@ -1,0 +1,407 @@
+// The simulated-cluster SPMD runtime.
+//
+// `SpmdRuntime::run(p, body)` executes `body(Communicator&)` on p ranks,
+// each a thread, sharing nothing except through the Communicator — the same
+// discipline as an MPI program. The Communicator provides the collectives
+// the paper's distribution scheme needs (barrier, broadcast, reduce,
+// allreduce, allgatherv, one-sided windows) plus `split` for the row/column
+// sub-communicators of the 2D process grid.
+//
+// Volume accounting convention (per rank, in bytes; w = payload size,
+// g = group size), matching the BSP accounting of the paper's Section 7 —
+// bandwidth-optimal algorithms, tree-depth supersteps:
+//
+//   broadcast    sent w,          ceil(log2 g) supersteps
+//   reduce       sent w,          ceil(log2 g) supersteps
+//   allreduce    sent 2w,         2 ceil(log2 g) supersteps
+//   allgatherv   sent (total-own),ceil(log2 g) supersteps   (ring volume)
+//   window get   owner sent w,    1 superstep per exchange phase
+//
+// Data movement itself is implemented in whatever way is simplest (shared
+// staging pointers + barriers); only the *accounting* models the network.
+#pragma once
+
+#include <algorithm>
+#include <barrier>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "comm/volume_stats.hpp"
+#include "tensor/common.hpp"
+
+namespace agnn::comm {
+
+namespace detail {
+
+inline std::uint64_t ceil_log2(std::uint64_t x) {
+  std::uint64_t r = 0;
+  std::uint64_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++r;
+  }
+  return r;
+}
+
+// Shared state of one communicator group. Ranks are 0..size-1 within the
+// group; `global` maps to the runtime-wide rank ids used for stats.
+struct GroupContext {
+  explicit GroupContext(int size_, std::vector<int> global_,
+                        std::vector<VolumeStats>* stats_)
+      : size(size_),
+        global(std::move(global_)),
+        stats(stats_),
+        sync(size_),
+        slots(static_cast<std::size_t>(size_), nullptr),
+        sizes(static_cast<std::size_t>(size_), 0),
+        split_color(static_cast<std::size_t>(size_), 0),
+        split_key(static_cast<std::size_t>(size_), 0),
+        subgroup(static_cast<std::size_t>(size_)) {}
+
+  int size;
+  std::vector<int> global;            // group rank -> global rank
+  std::vector<VolumeStats>* stats;    // indexed by global rank
+  std::barrier<> sync;
+  std::vector<const void*> slots;     // per-rank staging pointer
+  std::vector<std::size_t> sizes;     // per-rank staging payload size
+  void* scratch = nullptr;            // collective-owned temporary (rank 0)
+  std::vector<int> split_color;
+  std::vector<int> split_key;
+  std::vector<std::shared_ptr<GroupContext>> subgroup;  // per-rank result of split
+  std::vector<int> subrank;           // per-rank rank within its subgroup
+};
+
+}  // namespace detail
+
+class Communicator {
+ public:
+  Communicator(std::shared_ptr<detail::GroupContext> ctx, int rank)
+      : ctx_(std::move(ctx)), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const { return ctx_->size; }
+  int global_rank() const { return ctx_->global[static_cast<std::size_t>(rank_)]; }
+
+  VolumeStats& stats() {
+    return (*ctx_->stats)[static_cast<std::size_t>(global_rank())];
+  }
+
+  void barrier() { ctx_->sync.arrive_and_wait(); }
+
+  // ---- broadcast -------------------------------------------------------
+  template <typename T>
+  void broadcast(std::span<T> buf, int root) {
+    AGNN_ASSERT(root >= 0 && root < size(), "broadcast: bad root");
+    if (size() == 1) return;
+    if (rank_ == root) ctx_->slots[static_cast<std::size_t>(root)] = buf.data();
+    barrier();
+    if (rank_ != root) {
+      const auto* src =
+          static_cast<const T*>(ctx_->slots[static_cast<std::size_t>(root)]);
+      std::memcpy(buf.data(), src, buf.size_bytes());
+    }
+    barrier();
+    stats().charge(buf.size_bytes(), 1, detail::ceil_log2(static_cast<std::uint64_t>(size())));
+  }
+
+  // ---- reduce (sum) to root ---------------------------------------------
+  template <typename T>
+  void reduce_sum(std::span<T> buf, int root) {
+    AGNN_ASSERT(root >= 0 && root < size(), "reduce: bad root");
+    if (size() == 1) return;
+    ctx_->slots[static_cast<std::size_t>(rank_)] = buf.data();
+    ctx_->sizes[static_cast<std::size_t>(rank_)] = buf.size();
+    barrier();
+    if (rank_ == root) {
+      for (int r = 0; r < size(); ++r) {
+        if (r == root) continue;
+        AGNN_ASSERT(ctx_->sizes[static_cast<std::size_t>(r)] == buf.size(),
+                    "reduce: buffer sizes must match");
+        const auto* src = static_cast<const T*>(ctx_->slots[static_cast<std::size_t>(r)]);
+        for (std::size_t i = 0; i < buf.size(); ++i) buf[i] += src[i];
+      }
+    }
+    barrier();
+    stats().charge(buf.size_bytes(), 1, detail::ceil_log2(static_cast<std::uint64_t>(size())));
+  }
+
+  // ---- allreduce (sum) ----------------------------------------------------
+  template <typename T>
+  void allreduce_sum(std::span<T> buf) {
+    if (size() == 1) return;
+    ctx_->slots[static_cast<std::size_t>(rank_)] = buf.data();
+    ctx_->sizes[static_cast<std::size_t>(rank_)] = buf.size();
+    barrier();
+    if (rank_ == 0) {
+      auto* acc = new std::vector<T>(buf.size(), T(0));
+      for (int r = 0; r < size(); ++r) {
+        AGNN_ASSERT(ctx_->sizes[static_cast<std::size_t>(r)] == buf.size(),
+                    "allreduce: buffer sizes must match");
+        const auto* src = static_cast<const T*>(ctx_->slots[static_cast<std::size_t>(r)]);
+        for (std::size_t i = 0; i < buf.size(); ++i) (*acc)[i] += src[i];
+      }
+      ctx_->scratch = acc;
+    }
+    barrier();
+    {
+      const auto* acc = static_cast<const std::vector<T>*>(ctx_->scratch);
+      std::memcpy(buf.data(), acc->data(), buf.size_bytes());
+    }
+    barrier();
+    if (rank_ == 0) {
+      delete static_cast<std::vector<T>*>(ctx_->scratch);
+      ctx_->scratch = nullptr;
+    }
+    stats().charge(2 * buf.size_bytes(), 2,
+                   2 * detail::ceil_log2(static_cast<std::uint64_t>(size())));
+  }
+
+  // ---- allreduce (max) ------------------------------------------------------
+  template <typename T>
+  void allreduce_max(std::span<T> buf) {
+    if (size() == 1) return;
+    ctx_->slots[static_cast<std::size_t>(rank_)] = buf.data();
+    ctx_->sizes[static_cast<std::size_t>(rank_)] = buf.size();
+    barrier();
+    if (rank_ == 0) {
+      auto* acc = new std::vector<T>(
+          static_cast<const T*>(ctx_->slots[0]),
+          static_cast<const T*>(ctx_->slots[0]) + buf.size());
+      for (int r = 1; r < size(); ++r) {
+        AGNN_ASSERT(ctx_->sizes[static_cast<std::size_t>(r)] == buf.size(),
+                    "allreduce_max: buffer sizes must match");
+        const auto* src = static_cast<const T*>(ctx_->slots[static_cast<std::size_t>(r)]);
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+          if (src[i] > (*acc)[i]) (*acc)[i] = src[i];
+        }
+      }
+      ctx_->scratch = acc;
+    }
+    barrier();
+    {
+      const auto* acc = static_cast<const std::vector<T>*>(ctx_->scratch);
+      std::memcpy(buf.data(), acc->data(), buf.size_bytes());
+    }
+    barrier();
+    if (rank_ == 0) {
+      delete static_cast<std::vector<T>*>(ctx_->scratch);
+      ctx_->scratch = nullptr;
+    }
+    stats().charge(2 * buf.size_bytes(), 2,
+                   2 * detail::ceil_log2(static_cast<std::uint64_t>(size())));
+  }
+
+  // ---- allgatherv ---------------------------------------------------------
+  // Gathers variable-size contributions; returns the concatenation in group
+  // rank order. `offsets_out`, if non-null, receives each rank's offset.
+  template <typename T>
+  std::vector<T> allgatherv(std::span<const T> in,
+                            std::vector<std::size_t>* offsets_out = nullptr) {
+    ctx_->slots[static_cast<std::size_t>(rank_)] = in.data();
+    ctx_->sizes[static_cast<std::size_t>(rank_)] = in.size();
+    barrier();
+    std::size_t total = 0;
+    std::vector<std::size_t> offsets(static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r) {
+      offsets[static_cast<std::size_t>(r)] = total;
+      total += ctx_->sizes[static_cast<std::size_t>(r)];
+    }
+    std::vector<T> out(total);
+    for (int r = 0; r < size(); ++r) {
+      const auto* src = static_cast<const T*>(ctx_->slots[static_cast<std::size_t>(r)]);
+      const std::size_t cnt = ctx_->sizes[static_cast<std::size_t>(r)];
+      if (cnt > 0) {
+        std::memcpy(out.data() + offsets[static_cast<std::size_t>(r)], src,
+                    cnt * sizeof(T));
+      }
+    }
+    barrier();
+    if (size() > 1) {
+      stats().charge((total - in.size()) * sizeof(T), static_cast<std::uint64_t>(size() - 1),
+                     detail::ceil_log2(static_cast<std::uint64_t>(size())));
+    }
+    if (offsets_out) *offsets_out = std::move(offsets);
+    return out;
+  }
+
+  // ---- one-sided window ---------------------------------------------------
+  // Collectively expose a local buffer; then any rank may `get` slices of a
+  // peer's buffer. The *owner* is charged the transferred bytes (it is the
+  // sender). Must be closed collectively.
+  template <typename T>
+  class Window {
+   public:
+    Window(Communicator& c, std::span<const T> local) : c_(c) {
+      c_.ctx_->slots[static_cast<std::size_t>(c_.rank_)] = local.data();
+      c_.ctx_->sizes[static_cast<std::size_t>(c_.rank_)] = local.size();
+      c_.barrier();
+    }
+    ~Window() { close(); }
+    Window(const Window&) = delete;
+    Window& operator=(const Window&) = delete;
+
+    // Copy `out.size()` elements from `src_rank`'s exposed buffer starting
+    // at `src_offset` (in elements).
+    void get(std::span<T> out, int src_rank, std::size_t src_offset) {
+      AGNN_ASSERT(src_rank >= 0 && src_rank < c_.size(), "window get: bad rank");
+      const std::size_t avail = c_.ctx_->sizes[static_cast<std::size_t>(src_rank)];
+      AGNN_ASSERT(src_offset + out.size() <= avail, "window get: out of range");
+      const auto* src =
+          static_cast<const T*>(c_.ctx_->slots[static_cast<std::size_t>(src_rank)]);
+      std::memcpy(out.data(), src + src_offset, out.size_bytes());
+      if (src_rank != c_.rank_) {
+        (*c_.ctx_->stats)[static_cast<std::size_t>(
+                              c_.ctx_->global[static_cast<std::size_t>(src_rank)])]
+            .charge(out.size_bytes(), 1, 0);
+      }
+    }
+
+    void close() {
+      if (closed_) return;
+      closed_ = true;
+      c_.barrier();
+      c_.stats().charge(0, 0, 1);  // the exchange phase is one superstep
+    }
+
+   private:
+    Communicator& c_;
+    bool closed_ = false;
+  };
+
+  template <typename T>
+  Window<T> expose(std::span<const T> local) {
+    return Window<T>(*this, local);
+  }
+
+  // ---- split ---------------------------------------------------------------
+  // Partition the group by color; within each color, ranks are ordered by
+  // (key, old rank). Collective over the whole group.
+  Communicator split(int color, int key);
+
+ private:
+  template <typename T>
+  friend class Window;
+
+  std::shared_ptr<detail::GroupContext> ctx_;
+  int rank_;
+};
+
+inline Communicator Communicator::split(int color, int key) {
+  ctx_->split_color[static_cast<std::size_t>(rank_)] = color;
+  ctx_->split_key[static_cast<std::size_t>(rank_)] = key;
+  barrier();
+  if (rank_ == 0) {
+    ctx_->subrank.assign(static_cast<std::size_t>(size()), 0);
+    std::map<int, std::vector<int>> groups;  // color -> group ranks
+    for (int r = 0; r < size(); ++r) {
+      groups[ctx_->split_color[static_cast<std::size_t>(r)]].push_back(r);
+    }
+    for (auto& [col, members] : groups) {
+      std::stable_sort(members.begin(), members.end(), [&](int a, int b) {
+        return ctx_->split_key[static_cast<std::size_t>(a)] <
+               ctx_->split_key[static_cast<std::size_t>(b)];
+      });
+      std::vector<int> global;
+      global.reserve(members.size());
+      for (const int m : members) {
+        global.push_back(ctx_->global[static_cast<std::size_t>(m)]);
+      }
+      auto sub = std::make_shared<detail::GroupContext>(
+          static_cast<int>(members.size()), std::move(global), ctx_->stats);
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        ctx_->subgroup[static_cast<std::size_t>(members[i])] = sub;
+        ctx_->subrank[static_cast<std::size_t>(members[i])] = static_cast<int>(i);
+      }
+    }
+  }
+  barrier();
+  Communicator sub(ctx_->subgroup[static_cast<std::size_t>(rank_)],
+                   ctx_->subrank[static_cast<std::size_t>(rank_)]);
+  barrier();  // everyone has picked up its handle before slots are reused
+  return sub;
+}
+
+// Executes an SPMD body on `nranks` simulated ranks and returns the final
+// per-rank volume/compute snapshots.
+class SpmdRuntime {
+ public:
+  using Body = std::function<void(Communicator&)>;
+
+  static std::vector<VolumeSnapshot> run(int nranks, const Body& body) {
+    AGNN_ASSERT(nranks >= 1, "need at least one rank");
+    auto stats = std::make_unique<std::vector<VolumeStats>>(
+        static_cast<std::size_t>(nranks));
+    std::vector<int> global(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) global[static_cast<std::size_t>(r)] = r;
+    auto ctx = std::make_shared<detail::GroupContext>(nranks, std::move(global),
+                                                      stats.get());
+
+    std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks - 1));
+    auto rank_main = [&](int r) {
+      try {
+        Communicator c(ctx, r);
+        body(c);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // A dead rank would deadlock the barriers of the survivors; there is
+        // no recovery story for a failed simulated rank, so abort loudly.
+        std::fprintf(stderr, "fatal: simulated rank %d threw an exception\n", r);
+        std::terminate();
+      }
+    };
+    for (int r = 1; r < nranks; ++r) threads.emplace_back(rank_main, r);
+    rank_main(0);
+    for (auto& t : threads) t.join();
+    for (auto& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    std::vector<VolumeSnapshot> out;
+    out.reserve(static_cast<std::size_t>(nranks));
+    for (auto& s : *stats) out.push_back(snapshot(s));
+    return out;
+  }
+};
+
+// Collectively zero the volume/compute counters of every rank. Used to
+// exclude one-time setup (data distribution, partitioning metadata) from
+// per-layer measurements — the paper's accounting likewise assumes the data
+// is already distributed.
+inline void reset_all_stats(Communicator& c) {
+  c.barrier();
+  c.stats().reset();
+  c.barrier();
+}
+
+// Aggregate helpers over per-rank snapshots.
+inline std::uint64_t max_bytes_sent(const std::vector<VolumeSnapshot>& s) {
+  std::uint64_t m = 0;
+  for (const auto& x : s) m = std::max(m, x.bytes_sent);
+  return m;
+}
+inline std::uint64_t total_bytes_sent(const std::vector<VolumeSnapshot>& s) {
+  std::uint64_t t = 0;
+  for (const auto& x : s) t += x.bytes_sent;
+  return t;
+}
+inline double max_compute_seconds(const std::vector<VolumeSnapshot>& s) {
+  double m = 0;
+  for (const auto& x : s) m = std::max(m, x.compute_seconds);
+  return m;
+}
+inline std::uint64_t max_supersteps(const std::vector<VolumeSnapshot>& s) {
+  std::uint64_t m = 0;
+  for (const auto& x : s) m = std::max(m, x.supersteps);
+  return m;
+}
+
+}  // namespace agnn::comm

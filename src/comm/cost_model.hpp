@@ -1,0 +1,46 @@
+// Alpha-beta BSP communication cost model.
+//
+// Converts the exact per-rank volume accounting of the simulated cluster
+// into a modeled communication time, so that the scaling benchmarks can
+// report an end-to-end "cluster time" even though they run on one machine:
+//
+//   T_comm(rank) = alpha * supersteps + beta * bytes_sent
+//   T_total      = max_r compute_seconds(r) + max_r T_comm(r)
+//
+// Default parameters approximate the paper's testbed interconnect (Cray
+// Aries, Dragonfly): ~1.5 us latency per message round and ~10 GB/s
+// effective per-node injection bandwidth.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "comm/volume_stats.hpp"
+
+namespace agnn::comm {
+
+struct CostModel {
+  double alpha = 1.5e-6;        // seconds per superstep (latency)
+  double beta = 1.0 / 10.0e9;   // seconds per byte (inverse bandwidth)
+
+  double comm_time(const VolumeSnapshot& s) const {
+    return alpha * static_cast<double>(s.supersteps) +
+           beta * static_cast<double>(s.bytes_sent);
+  }
+
+  double max_comm_time(const std::vector<VolumeSnapshot>& all) const {
+    double m = 0.0;
+    for (const auto& s : all) m = std::max(m, comm_time(s));
+    return m;
+  }
+
+  // Modeled end-to-end time of the BSP execution: the slowest rank's
+  // compute plus the slowest rank's communication.
+  double total_time(const std::vector<VolumeSnapshot>& all) const {
+    double comp = 0.0;
+    for (const auto& s : all) comp = std::max(comp, s.compute_seconds);
+    return comp + max_comm_time(all);
+  }
+};
+
+}  // namespace agnn::comm

@@ -1,0 +1,82 @@
+// Element-wise non-linearities sigma and their derivatives sigma'.
+//
+// The global formulation deliberately decouples sigma from Phi (Section 4):
+// H^{l+1} = sigma(Z^l). The backward pass needs sigma'(Z) for the
+// G^{l-1} = sigma'(Z^{l-1}) ⊙ Gamma^l recursion (Eq. 6).
+#pragma once
+
+#include <cmath>
+
+#include "tensor/dense_matrix.hpp"
+
+namespace agnn {
+
+enum class Activation { kIdentity, kRelu, kLeakyRelu, kTanh, kSigmoid };
+
+inline const char* to_string(Activation a) {
+  switch (a) {
+    case Activation::kIdentity: return "identity";
+    case Activation::kRelu: return "relu";
+    case Activation::kLeakyRelu: return "leaky_relu";
+    case Activation::kTanh: return "tanh";
+    case Activation::kSigmoid: return "sigmoid";
+  }
+  return "?";
+}
+
+template <typename T>
+T apply_activation(Activation a, T z, T leaky_slope = T(0.01)) {
+  switch (a) {
+    case Activation::kIdentity: return z;
+    case Activation::kRelu: return z > T(0) ? z : T(0);
+    case Activation::kLeakyRelu: return z > T(0) ? z : leaky_slope * z;
+    case Activation::kTanh: return std::tanh(z);
+    case Activation::kSigmoid: return T(1) / (T(1) + std::exp(-z));
+  }
+  return z;
+}
+
+template <typename T>
+T activation_derivative(Activation a, T z, T leaky_slope = T(0.01)) {
+  switch (a) {
+    case Activation::kIdentity: return T(1);
+    case Activation::kRelu: return z > T(0) ? T(1) : T(0);
+    case Activation::kLeakyRelu: return z > T(0) ? T(1) : leaky_slope;
+    case Activation::kTanh: {
+      const T t = std::tanh(z);
+      return T(1) - t * t;
+    }
+    case Activation::kSigmoid: {
+      const T s = T(1) / (T(1) + std::exp(-z));
+      return s * (T(1) - s);
+    }
+  }
+  return T(1);
+}
+
+// H = sigma(Z), element-wise.
+template <typename T>
+DenseMatrix<T> activate(Activation a, const DenseMatrix<T>& z, T leaky_slope = T(0.01)) {
+  DenseMatrix<T> h(z.rows(), z.cols());
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < z.size(); ++i) {
+    h.data()[i] = apply_activation(a, z.data()[i], leaky_slope);
+  }
+  return h;
+}
+
+// G = Gamma ⊙ sigma'(Z): the per-layer gradient recursion of Eq. (6).
+template <typename T>
+DenseMatrix<T> activation_backward(Activation a, const DenseMatrix<T>& z,
+                                   const DenseMatrix<T>& gamma,
+                                   T leaky_slope = T(0.01)) {
+  AGNN_ASSERT(z.same_shape(gamma), "activation_backward: shape mismatch");
+  DenseMatrix<T> g(z.rows(), z.cols());
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < z.size(); ++i) {
+    g.data()[i] = gamma.data()[i] * activation_derivative(a, z.data()[i], leaky_slope);
+  }
+  return g;
+}
+
+}  // namespace agnn

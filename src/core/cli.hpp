@@ -1,0 +1,76 @@
+// A minimal command-line option parser for the example/benchmark drivers,
+// mirroring the flag set of the paper artifact's unified_single_bench.py /
+// unified_distr_bench.py (-m model, -v vertices, -e edges, -d dataset,
+// --features, -l layers, --repeat, --warmup, --inference, ...).
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tensor/common.hpp"
+
+namespace agnn {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      AGNN_ASSERT(arg.size() >= 2 && arg[0] == '-',
+                  "expected an option, got: " + arg);
+      // Split --opt=value.
+      std::string value;
+      const auto eq = arg.find('=');
+      bool has_inline_value = false;
+      if (eq != std::string::npos) {
+        value = arg.substr(eq + 1);
+        arg = arg.substr(0, eq);
+        has_inline_value = true;
+      }
+      if (!has_inline_value && i + 1 < argc && argv[i + 1][0] != '-') {
+        value = argv[++i];
+        has_inline_value = true;
+      }
+      values_[arg] = has_inline_value ? value : std::string("1");  // flag = true
+    }
+  }
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string get_string(const std::string& name, const std::string& fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  // Two spellings (short and long) resolve to the same option.
+  std::string get_string(const std::string& short_name, const std::string& long_name,
+                         const std::string& fallback) const {
+    if (has(short_name)) return get_string(short_name, fallback);
+    return get_string(long_name, fallback);
+  }
+
+  long get_long(const std::string& name, long fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    char* end = nullptr;
+    const long v = std::strtol(it->second.c_str(), &end, 10);
+    AGNN_ASSERT(end != nullptr && *end == '\0',
+                "option " + name + " expects an integer, got: " + it->second);
+    return v;
+  }
+
+  long get_long(const std::string& short_name, const std::string& long_name,
+                long fallback) const {
+    if (has(short_name)) return get_long(short_name, fallback);
+    return get_long(long_name, fallback);
+  }
+
+  bool get_flag(const std::string& name) const { return has(name); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace agnn

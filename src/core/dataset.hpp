@@ -1,0 +1,251 @@
+// Node-classification datasets: container, synthetic citation-style
+// generator, binary save/load, split protocol, and an evaluation/early-
+// stopping training loop — the end-to-end workflow a downstream user runs
+// (the Planetoid-style protocol of the GNN benchmarks the paper's
+// evaluation section cites [28, 41]).
+#pragma once
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/loss.hpp"
+#include "core/model.hpp"
+#include "graph/graph.hpp"
+#include "graph/sbm.hpp"
+
+namespace agnn {
+
+template <typename T>
+struct NodeClassificationDataset {
+  CsrMatrix<T> adj;
+  DenseMatrix<T> features;
+  std::vector<index_t> labels;
+  std::vector<std::uint8_t> train_mask, val_mask, test_mask;
+  index_t num_classes = 0;
+
+  index_t num_vertices() const { return adj.rows(); }
+  index_t feature_dim() const { return features.cols(); }
+};
+
+// Disjoint train/val/test split by fractions (remainder goes to test).
+struct SplitFractions {
+  double train = 0.6;
+  double val = 0.2;
+};
+
+template <typename T>
+void assign_split(NodeClassificationDataset<T>& ds, const SplitFractions& frac,
+                  std::uint64_t seed) {
+  AGNN_ASSERT(frac.train >= 0 && frac.val >= 0 && frac.train + frac.val <= 1.0,
+              "invalid split fractions");
+  const index_t n = ds.num_vertices();
+  ds.train_mask.assign(static_cast<std::size_t>(n), 0);
+  ds.val_mask.assign(static_cast<std::size_t>(n), 0);
+  ds.test_mask.assign(static_cast<std::size_t>(n), 0);
+  Rng rng(seed);
+  for (index_t v = 0; v < n; ++v) {
+    const double r = rng.next_double();
+    if (r < frac.train) {
+      ds.train_mask[static_cast<std::size_t>(v)] = 1;
+    } else if (r < frac.train + frac.val) {
+      ds.val_mask[static_cast<std::size_t>(v)] = 1;
+    } else {
+      ds.test_mask[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+}
+
+// A synthetic citation-network-style dataset: SBM community structure plus
+// sparse "bag of words" features whose active dimensions correlate with the
+// community — qualitatively the structure of Cora/Citeseer-class datasets.
+template <typename T>
+NodeClassificationDataset<T> make_synthetic_citation(index_t n, index_t classes,
+                                                     index_t feature_dim,
+                                                     std::uint64_t seed) {
+  AGNN_ASSERT(feature_dim >= classes, "need at least one feature per class");
+  const auto sbm = graph::generate_sbm({.n = n,
+                                        .communities = classes,
+                                        .p_in = 8.0 / static_cast<double>(n),
+                                        .p_out = 0.8 / static_cast<double>(n),
+                                        .seed = seed});
+  graph::BuildOptions opt;
+  opt.add_self_loops = true;
+  NodeClassificationDataset<T> ds;
+  ds.adj = graph::build_graph<T>(sbm.edges, opt).adj;
+  ds.labels = sbm.labels;
+  ds.num_classes = classes;
+  ds.features = DenseMatrix<T>(n, feature_dim, T(0));
+  Rng rng(seed + 1);
+  // Each class owns a band of feature dimensions; a vertex activates ~20%
+  // of its class band plus ~5% background noise (sparse binary features).
+  const index_t band = feature_dim / classes;
+  for (index_t v = 0; v < n; ++v) {
+    const index_t c = ds.labels[static_cast<std::size_t>(v)];
+    for (index_t f = 0; f < feature_dim; ++f) {
+      const bool in_band = f / band == c;
+      const double p = in_band ? 0.20 : 0.05;
+      if (rng.next_double() < p) ds.features(v, f) = T(1);
+    }
+  }
+  assign_split(ds, SplitFractions{}, seed + 2);
+  return ds;
+}
+
+// ---- binary container I/O -------------------------------------------------------
+
+namespace detail {
+constexpr char kDatasetMagic[8] = {'A', 'G', 'N', 'N', 'D', 'S', 'T', '1'};
+}  // namespace detail
+
+template <typename T>
+void save_dataset(const std::string& path, const NodeClassificationDataset<T>& ds) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  AGNN_ASSERT(out.good(), "cannot open dataset file for writing: " + path);
+  out.write(detail::kDatasetMagic, sizeof(detail::kDatasetMagic));
+  const index_t n = ds.num_vertices(), k = ds.feature_dim(), nnz = ds.adj.nnz();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&k), sizeof(k));
+  out.write(reinterpret_cast<const char*>(&nnz), sizeof(nnz));
+  out.write(reinterpret_cast<const char*>(&ds.num_classes), sizeof(index_t));
+  const auto coo = ds.adj.to_coo();
+  out.write(reinterpret_cast<const char*>(coo.rows.data()),
+            static_cast<std::streamsize>(coo.rows.size() * sizeof(index_t)));
+  out.write(reinterpret_cast<const char*>(coo.cols.data()),
+            static_cast<std::streamsize>(coo.cols.size() * sizeof(index_t)));
+  for (index_t i = 0; i < ds.features.size(); ++i) {
+    const double v = static_cast<double>(ds.features.data()[i]);
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  out.write(reinterpret_cast<const char*>(ds.labels.data()),
+            static_cast<std::streamsize>(ds.labels.size() * sizeof(index_t)));
+  for (const auto* mask : {&ds.train_mask, &ds.val_mask, &ds.test_mask}) {
+    out.write(reinterpret_cast<const char*>(mask->data()),
+              static_cast<std::streamsize>(mask->size()));
+  }
+  AGNN_ASSERT(out.good(), "dataset write failed: " + path);
+}
+
+template <typename T>
+NodeClassificationDataset<T> load_dataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  AGNN_ASSERT(in.good(), "cannot open dataset file: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  AGNN_ASSERT(in.good() && std::memcmp(magic, detail::kDatasetMagic, 8) == 0,
+              "bad magic in dataset file: " + path);
+  index_t n = 0, k = 0, nnz = 0;
+  NodeClassificationDataset<T> ds;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&k), sizeof(k));
+  in.read(reinterpret_cast<char*>(&nnz), sizeof(nnz));
+  in.read(reinterpret_cast<char*>(&ds.num_classes), sizeof(index_t));
+  AGNN_ASSERT(in.good() && n > 0 && k > 0 && nnz >= 0, "corrupt dataset header");
+  CooMatrix<T> coo;
+  coo.n_rows = coo.n_cols = n;
+  coo.rows.resize(static_cast<std::size_t>(nnz));
+  coo.cols.resize(static_cast<std::size_t>(nnz));
+  coo.vals.assign(static_cast<std::size_t>(nnz), T(1));
+  in.read(reinterpret_cast<char*>(coo.rows.data()),
+          static_cast<std::streamsize>(coo.rows.size() * sizeof(index_t)));
+  in.read(reinterpret_cast<char*>(coo.cols.data()),
+          static_cast<std::streamsize>(coo.cols.size() * sizeof(index_t)));
+  ds.adj = CsrMatrix<T>::from_coo(coo);
+  ds.features = DenseMatrix<T>(n, k);
+  for (index_t i = 0; i < ds.features.size(); ++i) {
+    double v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    ds.features.data()[i] = static_cast<T>(v);
+  }
+  ds.labels.resize(static_cast<std::size_t>(n));
+  in.read(reinterpret_cast<char*>(ds.labels.data()),
+          static_cast<std::streamsize>(ds.labels.size() * sizeof(index_t)));
+  for (auto* mask : {&ds.train_mask, &ds.val_mask, &ds.test_mask}) {
+    mask->resize(static_cast<std::size_t>(n));
+    in.read(reinterpret_cast<char*>(mask->data()),
+            static_cast<std::streamsize>(mask->size()));
+  }
+  AGNN_ASSERT(in.good(), "truncated dataset file: " + path);
+  return ds;
+}
+
+// ---- evaluation protocol -----------------------------------------------------------
+
+struct EvalResult {
+  double train_accuracy = 0;
+  double val_accuracy = 0;
+  double test_accuracy = 0;
+};
+
+template <typename T>
+EvalResult evaluate(const GnnModel<T>& model, const NodeClassificationDataset<T>& ds) {
+  const CsrMatrix<T> adj = model.config().kind == ModelKind::kGCN
+                               ? graph::sym_normalize(ds.adj)
+                               : ds.adj;
+  const DenseMatrix<T> h = model.infer(adj, ds.features);
+  return {accuracy(h, std::span<const index_t>(ds.labels), ds.train_mask),
+          accuracy(h, std::span<const index_t>(ds.labels), ds.val_mask),
+          accuracy(h, std::span<const index_t>(ds.labels), ds.test_mask)};
+}
+
+struct FitOptions {
+  int max_epochs = 300;
+  int patience = 30;      // stop after this many epochs without val improvement
+  double dropout = 0.0;
+  int eval_every = 5;
+};
+
+struct FitHistory {
+  std::vector<double> train_loss;
+  std::vector<double> val_accuracy;
+  int best_epoch = 0;
+  double best_val_accuracy = 0;
+  bool early_stopped = false;
+};
+
+// Train with validation-based early stopping (best-effort: the model is
+// left at its final — not best — epoch; checkpoint externally via
+// serialization.hpp if the best weights are needed).
+template <typename T>
+FitHistory fit(GnnModel<T>& model, const NodeClassificationDataset<T>& ds,
+               Optimizer<T>& opt, const FitOptions& options = {}) {
+  const CsrMatrix<T> adj = model.config().kind == ModelKind::kGCN
+                               ? graph::sym_normalize(ds.adj)
+                               : ds.adj;
+  const CsrMatrix<T> adj_t = adj.transposed();
+  FitHistory history;
+  int since_best = 0;
+  for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    std::vector<LayerCache<T>> caches;
+    const DenseMatrix<T> h = model.forward(adj, ds.features, caches,
+                                           options.dropout,
+                                           static_cast<std::uint64_t>(epoch));
+    const LossResult<T> loss = softmax_cross_entropy<T>(
+        h, ds.labels, ds.train_mask);
+    history.train_loss.push_back(static_cast<double>(loss.value));
+    const auto grads = model.backward(adj, adj_t, caches, loss.grad);
+    model.apply_gradients(grads, opt);
+
+    if (epoch % options.eval_every == 0) {
+      const double val =
+          accuracy(model.infer(adj, ds.features),
+                   std::span<const index_t>(ds.labels), ds.val_mask);
+      history.val_accuracy.push_back(val);
+      if (val > history.best_val_accuracy) {
+        history.best_val_accuracy = val;
+        history.best_epoch = epoch;
+        since_best = 0;
+      } else {
+        since_best += options.eval_every;
+        if (since_best >= options.patience) {
+          history.early_stopped = true;
+          break;
+        }
+      }
+    }
+  }
+  return history;
+}
+
+}  // namespace agnn

@@ -1,0 +1,340 @@
+// Execution DAGs and the fusing optimization of Section 6.2.
+//
+// The paper constructs the forward and backward execution DAGs of each
+// model (Figure 5) and then fuses operation chains: walk the DAG until an
+// edge produces a VIRTUAL matrix (a dense n x n intermediate that must never
+// be materialized — Section 6.1), keep walking until an edge produces a
+// SPARSE intermediate (an operation that *samples* the virtual values at the
+// edges), and fuse everything on that path into one SDDMM-like kernel.
+//
+// This module reproduces that analysis as a small tensor IR: DAG builders
+// for the VA / AGNN / GAT / GCN forward and backward passes, the fusion
+// planner, and a memory estimator that quantifies what fusion saves (the
+// n^2-vs-nnz gap). The production kernels in tensor/fused.hpp are exactly
+// the kernels this planner derives; the test suite checks the two agree on
+// which intermediates stay virtual.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tensor/common.hpp"
+
+namespace agnn::ir {
+
+// What a tensor node materializes as (Table 1's shape/density taxonomy).
+enum class TensorClass {
+  kDenseTall,    // n x k   (features, gradients)
+  kDenseSmall,   // k x k   (parameters) or length-k/n vectors
+  kSparse,       // n x n with the adjacency pattern (A, Psi, N, D)
+  kVirtualDense, // n x n dense — must NEVER be materialized
+};
+
+inline const char* to_string(TensorClass c) {
+  switch (c) {
+    case TensorClass::kDenseTall: return "dense_tall";
+    case TensorClass::kDenseSmall: return "dense_small";
+    case TensorClass::kSparse: return "sparse";
+    case TensorClass::kVirtualDense: return "virtual";
+  }
+  return "?";
+}
+
+enum class OpClass {
+  kInput,      // leaf (no producer)
+  kMatMul,     // dense x dense
+  kSpMM,       // sparse x dense
+  kSDDMM,      // dense x dense sampled by a sparse pattern
+  kOuter,      // rank-1 (replication) products: x 1^T, 1 y^T, x y^T
+  kElementwise,// Hadamard, non-linearity, exp, ...
+  kRowReduce,  // row/column sums, softmax normalization terms
+};
+
+inline const char* to_string(OpClass o) {
+  switch (o) {
+    case OpClass::kInput: return "input";
+    case OpClass::kMatMul: return "matmul";
+    case OpClass::kSpMM: return "spmm";
+    case OpClass::kSDDMM: return "sddmm";
+    case OpClass::kOuter: return "outer";
+    case OpClass::kElementwise: return "elementwise";
+    case OpClass::kRowReduce: return "row_reduce";
+  }
+  return "?";
+}
+
+struct Node {
+  int id = -1;
+  std::string name;
+  TensorClass tensor_class = TensorClass::kDenseTall;
+  OpClass producer = OpClass::kInput;
+  std::vector<int> inputs;
+};
+
+class ExecutionDag {
+ public:
+  explicit ExecutionDag(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  int add_input(const std::string& name, TensorClass cls) {
+    return add_node(name, cls, OpClass::kInput, {});
+  }
+
+  int add_op(const std::string& name, TensorClass cls, OpClass op,
+             std::vector<int> inputs) {
+    for (const int in : inputs) {
+      AGNN_ASSERT(in >= 0 && in < static_cast<int>(nodes_.size()),
+                  "dag op references unknown input");
+    }
+    return add_node(name, cls, op, std::move(inputs));
+  }
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const Node& node(int id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  std::size_t size() const { return nodes_.size(); }
+
+  // All nodes that consume `id` as an input.
+  std::vector<int> consumers(int id) const {
+    std::vector<int> out;
+    for (const auto& n : nodes_) {
+      for (const int in : n.inputs) {
+        if (in == id) {
+          out.push_back(n.id);
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  int add_node(const std::string& name, TensorClass cls, OpClass op,
+               std::vector<int> inputs) {
+    Node n;
+    n.id = static_cast<int>(nodes_.size());
+    n.name = name;
+    n.tensor_class = cls;
+    n.producer = op;
+    n.inputs = std::move(inputs);
+    nodes_.push_back(std::move(n));
+    return nodes_.back().id;
+  }
+
+  std::string name_;
+  std::vector<Node> nodes_;
+};
+
+// One fused kernel: the chain of node ids from the first virtual
+// intermediate to (and including) the sparse sampling operation.
+struct FusedKernel {
+  std::vector<int> path;  // virtual nodes ..., terminated by a sparse node
+  int terminal() const { return path.back(); }
+};
+
+struct FusionPlan {
+  std::vector<FusedKernel> kernels;
+  // Virtual nodes that no fusion eliminates — a planning failure: executing
+  // the DAG would materialize an n x n dense matrix.
+  std::vector<int> unfused_virtual;
+
+  bool all_virtual_fused() const { return unfused_virtual.empty(); }
+};
+
+// The Section 6.2 pass: for every virtual intermediate, follow its consumer
+// chain until a sparse result samples it; the chain becomes one SDDMM-like
+// kernel. Virtual nodes feeding other virtual nodes extend the chain.
+inline FusionPlan plan_fusions(const ExecutionDag& dag) {
+  FusionPlan plan;
+  std::vector<bool> covered(dag.size(), false);
+
+  for (const auto& n : dag.nodes()) {
+    if (n.tensor_class != TensorClass::kVirtualDense) continue;
+    if (covered[static_cast<std::size_t>(n.id)]) continue;
+
+    // Walk forward through consumers, collecting the virtual chain.
+    FusedKernel kernel;
+    int cur = n.id;
+    bool terminated = false;
+    while (true) {
+      kernel.path.push_back(cur);
+      covered[static_cast<std::size_t>(cur)] = true;
+      const auto next = dag.consumers(cur);
+      // Section 6.2's DAGs are chains at virtual nodes: each virtual value
+      // is consumed by exactly one downstream op (otherwise it would have
+      // to be kept alive, i.e. materialized).
+      if (next.size() != 1) break;
+      const Node& consumer = dag.node(next.front());
+      if (consumer.tensor_class == TensorClass::kSparse) {
+        kernel.path.push_back(consumer.id);
+        terminated = true;
+        break;
+      }
+      if (consumer.tensor_class != TensorClass::kVirtualDense) break;
+      cur = consumer.id;
+    }
+    if (terminated) {
+      plan.kernels.push_back(std::move(kernel));
+    } else {
+      for (const int id : kernel.path) plan.unfused_virtual.push_back(id);
+    }
+  }
+  return plan;
+}
+
+// Peak intermediate memory (bytes) for executing the DAG with and without
+// the fusion plan: unfused, every virtual node is an n x n dense tensor;
+// fused, each kernel's intermediates collapse to one nnz-sized sparse
+// result (already counted by its terminal node).
+struct MemoryEstimate {
+  double unfused_bytes = 0;
+  double fused_bytes = 0;
+  double saving_factor() const {
+    return fused_bytes > 0 ? unfused_bytes / fused_bytes : 0;
+  }
+};
+
+inline MemoryEstimate estimate_memory(const ExecutionDag& dag, double n, double k,
+                                      double nnz, double elem_bytes = 4) {
+  MemoryEstimate est;
+  for (const auto& node : dag.nodes()) {
+    double bytes = 0;
+    switch (node.tensor_class) {
+      case TensorClass::kDenseTall: bytes = n * k * elem_bytes; break;
+      case TensorClass::kDenseSmall: bytes = k * k * elem_bytes; break;
+      case TensorClass::kSparse: bytes = nnz * elem_bytes; break;
+      case TensorClass::kVirtualDense: bytes = n * n * elem_bytes; break;
+    }
+    est.unfused_bytes += bytes;
+    if (node.tensor_class != TensorClass::kVirtualDense) est.fused_bytes += bytes;
+  }
+  return est;
+}
+
+// ---- model DAG builders (Figure 5) -------------------------------------------
+
+// VA forward: Psi = A ⊙ (H H^T); Z = Psi H W.
+inline ExecutionDag build_va_forward() {
+  ExecutionDag dag("VA forward");
+  const int a = dag.add_input("A", TensorClass::kSparse);
+  const int h = dag.add_input("H", TensorClass::kDenseTall);
+  const int w = dag.add_input("W", TensorClass::kDenseSmall);
+  const int hx = dag.add_op("H H^T", TensorClass::kVirtualDense, OpClass::kMatMul,
+                            {h, h});
+  const int psi = dag.add_op("Psi = A .* HH^T", TensorClass::kSparse,
+                             OpClass::kSDDMM, {a, hx});
+  const int ph = dag.add_op("Psi H", TensorClass::kDenseTall, OpClass::kSpMM,
+                            {psi, h});
+  dag.add_op("Z = (Psi H) W", TensorClass::kDenseTall, OpClass::kMatMul, {ph, w});
+  return dag;
+}
+
+// VA backward (Eq. 11-13): M = G W^T; N = A ⊙ (M H^T);
+// Gamma = N_+ H + Psi^T M; Y = (Psi H)^T G.
+inline ExecutionDag build_va_backward() {
+  ExecutionDag dag("VA backward");
+  const int a = dag.add_input("A", TensorClass::kSparse);
+  const int h = dag.add_input("H", TensorClass::kDenseTall);
+  const int g = dag.add_input("G", TensorClass::kDenseTall);
+  const int w = dag.add_input("W", TensorClass::kDenseSmall);
+  const int psi_t = dag.add_input("Psi^T", TensorClass::kSparse);  // from forward
+  const int m = dag.add_op("M = G W^T", TensorClass::kDenseTall, OpClass::kMatMul,
+                           {g, w});
+  const int mh = dag.add_op("M H^T", TensorClass::kVirtualDense, OpClass::kMatMul,
+                            {m, h});
+  const int nmat = dag.add_op("N = A .* MH^T", TensorClass::kSparse,
+                              OpClass::kSDDMM, {a, mh});
+  const int nh = dag.add_op("N_+ H", TensorClass::kDenseTall, OpClass::kSpMM,
+                            {nmat, h});
+  const int pm = dag.add_op("Psi^T M", TensorClass::kDenseTall, OpClass::kSpMM,
+                            {psi_t, m});
+  dag.add_op("Gamma", TensorClass::kDenseTall, OpClass::kElementwise, {nh, pm});
+  return dag;
+}
+
+// AGNN forward: Psi = A ⊙ (H H^T ⊘ n n^T); Z = Psi H W.
+inline ExecutionDag build_agnn_forward() {
+  ExecutionDag dag("AGNN forward");
+  const int a = dag.add_input("A", TensorClass::kSparse);
+  const int h = dag.add_input("H", TensorClass::kDenseTall);
+  const int w = dag.add_input("W", TensorClass::kDenseSmall);
+  const int norms = dag.add_op("n = row norms", TensorClass::kDenseSmall,
+                               OpClass::kRowReduce, {h});
+  const int hx = dag.add_op("H H^T", TensorClass::kVirtualDense, OpClass::kMatMul,
+                            {h, h});
+  const int nn = dag.add_op("n n^T", TensorClass::kVirtualDense, OpClass::kOuter,
+                            {norms, norms});
+  const int cos = dag.add_op("HH^T ./ nn^T", TensorClass::kVirtualDense,
+                             OpClass::kElementwise, {hx, nn});
+  const int psi = dag.add_op("Psi = A .* cos", TensorClass::kSparse,
+                             OpClass::kSDDMM, {a, cos});
+  const int ph = dag.add_op("Psi H", TensorClass::kDenseTall, OpClass::kSpMM,
+                            {psi, h});
+  dag.add_op("Z = (Psi H) W", TensorClass::kDenseTall, OpClass::kMatMul, {ph, w});
+  return dag;
+}
+
+// GAT forward (Figure 2): H' = H W; s = H'[a1; a2];
+// C = s1 1^T + 1 s2^T (virtual, rank-1); E = A ⊙ LeakyReLU(C);
+// Psi = sm(E); Z = Psi H'.
+inline ExecutionDag build_gat_forward() {
+  ExecutionDag dag("GAT forward");
+  const int a = dag.add_input("A", TensorClass::kSparse);
+  const int h = dag.add_input("H", TensorClass::kDenseTall);
+  const int w = dag.add_input("W", TensorClass::kDenseSmall);
+  const int avec = dag.add_input("a", TensorClass::kDenseSmall);
+  const int hp = dag.add_op("H' = H W", TensorClass::kDenseTall, OpClass::kMatMul,
+                            {h, w});
+  const int s = dag.add_op("s = H' [a1;a2]", TensorClass::kDenseSmall,
+                           OpClass::kMatMul, {hp, avec});
+  const int c = dag.add_op("C = s1 1^T + 1 s2^T", TensorClass::kVirtualDense,
+                           OpClass::kOuter, {s});
+  const int lrelu = dag.add_op("LeakyReLU(C)", TensorClass::kVirtualDense,
+                               OpClass::kElementwise, {c});
+  const int e = dag.add_op("E = A .* LeakyReLU(C)", TensorClass::kSparse,
+                           OpClass::kSDDMM, {a, lrelu});
+  const int psi = dag.add_op("Psi = sm(E)", TensorClass::kSparse,
+                             OpClass::kRowReduce, {e});
+  dag.add_op("Z = Psi H'", TensorClass::kDenseTall, OpClass::kSpMM, {psi, hp});
+  return dag;
+}
+
+// GAT backward: dPsi = (G H'^T) sampled; then softmax Jacobian, LeakyReLU',
+// row/col sums, outer-product parameter paths.
+inline ExecutionDag build_gat_backward() {
+  ExecutionDag dag("GAT backward");
+  const int g = dag.add_input("G", TensorClass::kDenseTall);
+  const int hp = dag.add_input("H'", TensorClass::kDenseTall);
+  const int psi = dag.add_input("Psi", TensorClass::kSparse);
+  const int psi_t = dag.add_input("Psi^T", TensorClass::kSparse);
+  const int ghp = dag.add_op("G H'^T", TensorClass::kVirtualDense, OpClass::kMatMul,
+                             {g, hp});
+  const int dpsi = dag.add_op("dPsi = pattern(A) .* GH'^T", TensorClass::kSparse,
+                              OpClass::kSDDMM, {psi, ghp});
+  const int de = dag.add_op("dE (softmax Jacobian)", TensorClass::kSparse,
+                            OpClass::kRowReduce, {psi, dpsi});
+  const int dc = dag.add_op("dC = dE .* lrelu'(C)", TensorClass::kSparse,
+                            OpClass::kElementwise, {de});
+  dag.add_op("ds1 = row sums(dC)", TensorClass::kDenseSmall, OpClass::kRowReduce,
+             {dc});
+  dag.add_op("ds2 = col sums(dC)", TensorClass::kDenseSmall, OpClass::kRowReduce,
+             {dc});
+  dag.add_op("dH' = Psi^T G + ...", TensorClass::kDenseTall, OpClass::kSpMM,
+             {psi_t, g});
+  return dag;
+}
+
+// GCN forward (no virtual intermediates — the C-GNN case).
+inline ExecutionDag build_gcn_forward() {
+  ExecutionDag dag("GCN forward");
+  const int a = dag.add_input("A_hat", TensorClass::kSparse);
+  const int h = dag.add_input("H", TensorClass::kDenseTall);
+  const int w = dag.add_input("W", TensorClass::kDenseSmall);
+  const int ah = dag.add_op("A_hat H", TensorClass::kDenseTall, OpClass::kSpMM,
+                            {a, h});
+  dag.add_op("Z = (A_hat H) W", TensorClass::kDenseTall, OpClass::kMatMul, {ah, w});
+  return dag;
+}
+
+}  // namespace agnn::ir

@@ -1,0 +1,74 @@
+// The programmable generic layer of Eq. (1):
+//
+//   H^{l+1} = sigma( (Phi ∘ ⊕)( Psi(A, H^l), H^l ) )
+//
+// The user supplies Psi (edge-score function producing the sparse attention
+// matrix), the aggregation ⊕ (any of the Section 4.3 semirings), and Phi
+// (the update, default a linear projection), plus the composition order of
+// Phi and ⊕ (Section 4.4). This is the programmability story of the paper:
+// new A-GNN variants are a Psi-functor away, and once Psi is computed the
+// same execution path serves C-GNNs and A-GNNs alike.
+//
+// Forward-only by design — it is the rapid-prototyping surface; the tuned
+// trainable models live in layer.hpp.
+#pragma once
+
+#include <functional>
+
+#include "core/activations.hpp"
+#include "tensor/fused.hpp"
+#include "tensor/spmm.hpp"
+
+namespace agnn {
+
+template <typename T>
+struct GenericLayerSpec {
+  // Psi(A, H) -> sparse attention matrix with A's pattern.
+  std::function<CsrMatrix<T>(const CsrMatrix<T>&, const DenseMatrix<T>&)> psi;
+  Aggregation aggregation = Aggregation::kSum;
+  // Phi: dense update applied to the aggregated features (default H * W).
+  std::function<DenseMatrix<T>(const DenseMatrix<T>&)> phi;
+  // Apply Phi before ⊕ (Z = (Psi ⊕ Phi(H))) or after (Z = Phi(Psi ⊕ H)).
+  // Legal only when Phi commutes with ⊕ (true for linear Phi with the sum
+  // aggregation; the caller is responsible, as Section 4 notes).
+  bool phi_first = false;
+  Activation activation = Activation::kRelu;
+};
+
+// Ready-made Psi functors for the spec.
+template <typename T>
+auto make_psi_identity() {
+  return [](const CsrMatrix<T>& a, const DenseMatrix<T>&) { return a; };
+}
+template <typename T>
+auto make_psi_va() {
+  return [](const CsrMatrix<T>& a, const DenseMatrix<T>& h) { return psi_va(a, h); };
+}
+template <typename T>
+auto make_psi_agnn() {
+  return [](const CsrMatrix<T>& a, const DenseMatrix<T>& h) { return psi_agnn(a, h); };
+}
+
+template <typename T>
+DenseMatrix<T> generic_layer_forward(const GenericLayerSpec<T>& spec,
+                                     const CsrMatrix<T>& adj,
+                                     const DenseMatrix<T>& h) {
+  AGNN_ASSERT(static_cast<bool>(spec.psi), "generic layer: Psi must be set");
+  const CsrMatrix<T> psi = spec.psi(adj, h);
+  DenseMatrix<T> z;
+  if (spec.phi_first && spec.phi) {
+    z = aggregate(psi, spec.phi(h), spec.aggregation);
+  } else {
+    z = aggregate(psi, h, spec.aggregation);
+    if (spec.phi) z = spec.phi(z);
+  }
+  return activate(spec.activation, z);
+}
+
+// Convenience Phi: multiplication by a fixed parameter matrix.
+template <typename T>
+auto make_phi_linear(DenseMatrix<T> w) {
+  return [w = std::move(w)](const DenseMatrix<T>& h) { return matmul(h, w); };
+}
+
+}  // namespace agnn

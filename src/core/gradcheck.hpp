@@ -1,0 +1,53 @@
+// Central finite-difference gradient checking.
+//
+// The analytic backward passes (Section 5, plus the AGNN/GAT derivations of
+// this repo) are validated by perturbing every parameter and input entry:
+//   dL/dp ~ (L(p + eps) - L(p - eps)) / (2 eps)
+// in double precision. This is the ground truth the test suite holds every
+// model's backward pass to.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "tensor/common.hpp"
+
+namespace agnn {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  std::size_t worst_index = 0;
+};
+
+// `loss` recomputes the scalar loss from the current parameter buffer (it
+// must observe mutations of `params` through the span).
+template <typename T>
+GradCheckResult gradcheck(std::span<T> params, std::span<const T> analytic_grad,
+                          const std::function<double()>& loss, double eps = 1e-5) {
+  AGNN_ASSERT(params.size() == analytic_grad.size(), "gradcheck: size mismatch");
+  GradCheckResult res;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const T saved = params[i];
+    params[i] = saved + static_cast<T>(eps);
+    const double lp = loss();
+    params[i] = saved - static_cast<T>(eps);
+    const double lm = loss();
+    params[i] = saved;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    const double analytic = static_cast<double>(analytic_grad[i]);
+    const double abs_err = std::abs(numeric - analytic);
+    const double denom = std::max({std::abs(numeric), std::abs(analytic), 1e-8});
+    const double rel_err = abs_err / denom;
+    if (abs_err > res.max_abs_error) res.max_abs_error = abs_err;
+    if (rel_err > res.max_rel_error) {
+      res.max_rel_error = rel_err;
+      res.worst_index = i;
+    }
+  }
+  return res;
+}
+
+}  // namespace agnn

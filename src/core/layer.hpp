@@ -1,0 +1,415 @@
+// A single GNN layer in the global tensor formulation, for all four models:
+//
+//   VA    Z = (A ⊙ H H^T) H W                                    (Section 4.1)
+//   AGNN  Z = (A ⊙ (H H^T ⊘ n n^T)) H W
+//   GAT   Z = sm(A ⊙ LeakyReLU(s1 1^T + 1 s2^T)) H W,  s = (HW)[a1; a2]
+//   GCN   Z = Â H W                                    (the C-GNN special case)
+//   GIN   Z = MLP((A + (1+eps) I) H),  MLP(X) = sigma_mlp(X W) W2
+//         (the MLP-as-Phi case of Section 4.4; the (1+eps) self-term is
+//          applied by the layer, so the caller passes the plain adjacency)
+//
+// followed by H_out = sigma(Z). The backward pass implements the paper's
+// Eq. (6)–(7): given G = dL/dZ of this layer it returns dW, da, and
+// Gamma = dL/dH_in; the model loop then forms the previous layer's
+// G^{l-1} = sigma'(Z^{l-1}) ⊙ Gamma. VA backward follows the paper's
+// Eq. (11)–(13) literally; AGNN and GAT backward are derived in this repo
+// (the paper defers them to its technical report) and are validated against
+// finite differences in tests/test_gradcheck.cpp.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/activations.hpp"
+#include "tensor/csr_matrix.hpp"
+#include "tensor/dense_matrix.hpp"
+#include "tensor/dense_ops.hpp"
+#include "tensor/fused.hpp"
+#include "tensor/sparse_ops.hpp"
+#include "tensor/spmm.hpp"
+
+namespace agnn {
+
+enum class ModelKind { kVA, kAGNN, kGAT, kGCN, kGIN };
+
+inline const char* to_string(ModelKind m) {
+  switch (m) {
+    case ModelKind::kVA: return "VA";
+    case ModelKind::kAGNN: return "AGNN";
+    case ModelKind::kGAT: return "GAT";
+    case ModelKind::kGCN: return "GCN";
+    case ModelKind::kGIN: return "GIN";
+  }
+  return "?";
+}
+
+// Intermediate tensors cached by the forward pass for reuse in backward
+// (training mode). Inference mode leaves this empty — the --inference
+// execution of the paper's artifact, which stores no intermediates.
+template <typename T>
+struct LayerCache {
+  DenseMatrix<T> h_in;       // H^l (post-dropout if dropout is active)
+  DenseMatrix<T> z;          // Z^l (pre-activation)
+  DenseMatrix<T> dropout_mask;  // inverted-dropout multiplier (empty if off)
+  CsrMatrix<T> psi;          // Psi(A, H) — attention matrix
+  DenseMatrix<T> psi_h;      // Psi * H (VA/AGNN) or Psi * H' (GAT): dW reuse
+  // GIN-only:
+  DenseMatrix<T> mlp_pre;    // X W1 (pre-activation of the MLP hidden layer)
+  DenseMatrix<T> mlp_hidden; // sigma_mlp(X W1)
+  // GAT-only:
+  DenseMatrix<T> h_proj;     // H' = H W
+  CsrMatrix<T> scores_pre;   // C_ij = s1_i + s2_j (pre-LeakyReLU)
+  std::vector<T> s1, s2;     // per-vertex attention halves
+};
+
+template <typename T>
+struct LayerGrads {
+  DenseMatrix<T> d_w;        // dL/dW   (Y^l of the paper)
+  DenseMatrix<T> d_w2;       // dL/dW2  (GIN's second MLP matrix; else empty)
+  std::vector<T> d_a;        // dL/da   (GAT only; empty otherwise)
+  DenseMatrix<T> d_h_in;     // Gamma = dL/dH^l
+};
+
+template <typename T>
+class Layer {
+ public:
+  Layer(ModelKind kind, index_t k_in, index_t k_out, Activation act, Rng& rng,
+        T attention_slope = T(0.2), Activation mlp_activation = Activation::kRelu,
+        T gin_epsilon = T(0))
+      : kind_(kind),
+        k_in_(k_in),
+        k_out_(k_out),
+        act_(act),
+        attention_slope_(attention_slope),
+        mlp_act_(mlp_activation),
+        gin_epsilon_(gin_epsilon),
+        w_(k_in, k_out) {
+    w_.fill_glorot(rng);
+    if (kind_ == ModelKind::kGAT) {
+      a_.resize(static_cast<std::size_t>(2 * k_out));
+      const double limit = std::sqrt(6.0 / static_cast<double>(2 * k_out + 1));
+      for (auto& v : a_) v = static_cast<T>(rng.next_uniform(-limit, limit));
+    }
+    if (kind_ == ModelKind::kGIN) {
+      // MLP(X) = sigma_mlp(X W) W2, hidden width = k_out.
+      w2_ = DenseMatrix<T>(k_out, k_out);
+      w2_.fill_glorot(rng);
+    }
+  }
+
+  ModelKind kind() const { return kind_; }
+  index_t in_features() const { return k_in_; }
+  index_t out_features() const { return k_out_; }
+  Activation activation() const { return act_; }
+  T attention_slope() const { return attention_slope_; }
+
+  DenseMatrix<T>& weights() { return w_; }
+  const DenseMatrix<T>& weights() const { return w_; }
+  DenseMatrix<T>& weights2() { return w2_; }
+  const DenseMatrix<T>& weights2() const { return w2_; }
+  std::vector<T>& attention_params() { return a_; }
+  const std::vector<T>& attention_params() const { return a_; }
+  Activation mlp_activation() const { return mlp_act_; }
+  T gin_epsilon() const { return gin_epsilon_; }
+
+  // The attention matrix Psi(A, H) this layer would use — exposed for
+  // interpretability (which neighbors does each vertex attend to?) and for
+  // external GraphBLAS-style consumers. For GCN this is the (normalized)
+  // adjacency itself; for GIN the plain adjacency (sum aggregation).
+  CsrMatrix<T> attention_scores(const CsrMatrix<T>& adj, const DenseMatrix<T>& h) const {
+    switch (kind_) {
+      case ModelKind::kGCN:
+      case ModelKind::kGIN:
+        return adj;
+      case ModelKind::kVA:
+        return psi_va(adj, h);
+      case ModelKind::kAGNN:
+        return psi_agnn(adj, h);
+      case ModelKind::kGAT: {
+        const DenseMatrix<T> hp = matmul(h, w_);
+        const std::span<const T> a_all(a_);
+        const std::vector<T> s1 =
+            matvec(hp, a_all.subspan(0, static_cast<std::size_t>(k_out_)));
+        const std::vector<T> s2 =
+            matvec(hp, a_all.subspan(static_cast<std::size_t>(k_out_)));
+        return psi_gat<T>(adj, s1, s2, attention_slope_).psi;
+      }
+    }
+    AGNN_ASSERT(false, "unknown model kind");
+    return {};
+  }
+
+  // Forward pass. If `cache` is null, runs in inference mode (no
+  // intermediates stored; the deepest fused kernels are used).
+  DenseMatrix<T> forward(const CsrMatrix<T>& adj, const DenseMatrix<T>& h,
+                         LayerCache<T>* cache) const {
+    AGNN_ASSERT(h.cols() == k_in_, "layer forward: feature width mismatch");
+    AGNN_ASSERT(adj.rows() == h.rows() && adj.cols() == h.rows(),
+                "layer forward: adjacency/feature shape mismatch");
+    DenseMatrix<T> z = compute_z(adj, h, cache);
+    DenseMatrix<T> out = activate(act_, z, T(0.01));
+    if (cache) {
+      cache->h_in = h;
+      cache->z = std::move(z);
+    }
+    return out;
+  }
+
+  // Backward pass. `g` is G^l = dL/dZ^l; `adj_t` is A^T (the reversed graph
+  // of Section 5.2 — equal to A for undirected inputs).
+  LayerGrads<T> backward(const CsrMatrix<T>& adj, const CsrMatrix<T>& adj_t,
+                         const LayerCache<T>& cache, const DenseMatrix<T>& g) const {
+    switch (kind_) {
+      case ModelKind::kGCN: return backward_gcn(adj_t, cache, g);
+      case ModelKind::kVA: return backward_va(adj, adj_t, cache, g);
+      case ModelKind::kAGNN: return backward_agnn(adj, cache, g);
+      case ModelKind::kGAT: return backward_gat(adj, cache, g);
+      case ModelKind::kGIN: return backward_gin(adj_t, cache, g);
+    }
+    AGNN_ASSERT(false, "unknown model kind");
+    return {};
+  }
+
+ private:
+  DenseMatrix<T> compute_z(const CsrMatrix<T>& adj, const DenseMatrix<T>& h,
+                           LayerCache<T>* cache) const {
+    switch (kind_) {
+      case ModelKind::kGCN: {
+        // Z = Â H W — SpMMM with association order chosen by cost.
+        if (!cache) return spmmm(adj, h, w_);
+        DenseMatrix<T> ah = spmm(adj, h);
+        DenseMatrix<T> z = matmul(ah, w_);
+        cache->psi_h = std::move(ah);
+        return z;
+      }
+      case ModelKind::kGIN: {
+        // X = (A + (1+eps) I) H, Z = sigma_mlp(X W) W2.
+        DenseMatrix<T> x = spmm(adj, h);
+        axpy(T(1) + gin_epsilon_, h, x);
+        DenseMatrix<T> pre = matmul(x, w_);
+        DenseMatrix<T> hidden = activate(mlp_act_, pre, T(0.01));
+        DenseMatrix<T> z = matmul(hidden, w2_);
+        if (cache) {
+          cache->psi_h = std::move(x);
+          cache->mlp_pre = std::move(pre);
+          cache->mlp_hidden = std::move(hidden);
+        }
+        return z;
+      }
+      case ModelKind::kVA: {
+        if (!cache) {
+          // Inference: deepest fusion — never materialize Psi.
+          return matmul(fused_va_aggregate(adj, h, h), w_);
+        }
+        CsrMatrix<T> psi = psi_va(adj, h);
+        DenseMatrix<T> ph = spmm(psi, h);
+        DenseMatrix<T> z = matmul(ph, w_);
+        cache->psi = std::move(psi);
+        cache->psi_h = std::move(ph);
+        return z;
+      }
+      case ModelKind::kAGNN: {
+        CsrMatrix<T> psi = psi_agnn(adj, h);
+        DenseMatrix<T> ph = spmm(psi, h);
+        DenseMatrix<T> z = matmul(ph, w_);
+        if (cache) {
+          cache->psi = std::move(psi);
+          cache->psi_h = std::move(ph);
+        }
+        return z;
+      }
+      case ModelKind::kGAT: {
+        DenseMatrix<T> hp = matmul(h, w_);
+        const std::span<const T> a_all(a_);
+        const auto a1 = a_all.subspan(0, static_cast<std::size_t>(k_out_));
+        const auto a2 = a_all.subspan(static_cast<std::size_t>(k_out_));
+        std::vector<T> s1 = matvec(hp, a1);
+        std::vector<T> s2 = matvec(hp, a2);
+        if (!cache) {
+          return fused_gat_aggregate(adj, std::span<const T>(s1),
+                                     std::span<const T>(s2), attention_slope_, hp);
+        }
+        GatPsi<T> gp = psi_gat(adj, std::span<const T>(s1), std::span<const T>(s2),
+                               attention_slope_);
+        DenseMatrix<T> z = spmm(gp.psi, hp);
+        cache->psi = std::move(gp.psi);
+        cache->scores_pre = std::move(gp.scores_pre);
+        cache->psi_h = z;  // Psi * H' — not needed for dW here but kept for symmetry
+        cache->h_proj = std::move(hp);
+        cache->s1 = std::move(s1);
+        cache->s2 = std::move(s2);
+        return z;
+      }
+    }
+    AGNN_ASSERT(false, "unknown model kind");
+    return {};
+  }
+
+  LayerGrads<T> backward_gcn(const CsrMatrix<T>& adj_t, const LayerCache<T>& cache,
+                             const DenseMatrix<T>& g) const {
+    LayerGrads<T> out;
+    out.d_w = matmul_tn(cache.psi_h, g);        // (Â H)^T G
+    out.d_h_in = spmm(adj_t, matmul_nt(g, w_)); // Â^T (G W^T)
+    return out;
+  }
+
+  // GIN backward: dW2 = hidden^T G, dHidden = G W2^T,
+  // dPre = dHidden ⊙ sigma_mlp'(pre), dW = X^T dPre, dX = dPre W^T,
+  // Gamma = A^T dX + (1+eps) dX.
+  LayerGrads<T> backward_gin(const CsrMatrix<T>& adj_t, const LayerCache<T>& cache,
+                             const DenseMatrix<T>& g) const {
+    LayerGrads<T> out;
+    out.d_w2 = matmul_tn(cache.mlp_hidden, g);
+    const DenseMatrix<T> d_hidden = matmul_nt(g, w2_);
+    const DenseMatrix<T> d_pre =
+        activation_backward(mlp_act_, cache.mlp_pre, d_hidden, T(0.01));
+    out.d_w = matmul_tn(cache.psi_h, d_pre);
+    const DenseMatrix<T> d_x = matmul_nt(d_pre, w_);
+    DenseMatrix<T> gamma = spmm(adj_t, d_x);
+    axpy(T(1) + gin_epsilon_, d_x, gamma);
+    out.d_h_in = std::move(gamma);
+    return out;
+  }
+
+  // Paper Eq. (11)–(13): M = G W^T, N = A ⊙ (M H^T),
+  // Gamma = N_+ H + (A^T ⊙ H_x) M,  Y = H^T (A^T ⊙ H_x) G = (Psi H)^T G.
+  LayerGrads<T> backward_va(const CsrMatrix<T>& adj, const CsrMatrix<T>& adj_t,
+                            const LayerCache<T>& cache, const DenseMatrix<T>& g) const {
+    LayerGrads<T> out;
+    const DenseMatrix<T>& h = cache.h_in;
+    out.d_w = matmul_tn(cache.psi_h, g);
+    const DenseMatrix<T> m = matmul_nt(g, w_);
+    // N = A ⊙ (M H^T): an SDDMM — the MSpMM pattern of the backward DAG.
+    const CsrMatrix<T> n = sddmm(adj, m, h);
+    // Gamma = (N + N^T) H + Psi^T M. Computed as two SpMMs instead of
+    // materializing N_+'s union pattern.
+    DenseMatrix<T> gamma = spmm(n, h);
+    spmm_accumulate(n.transposed(), h, gamma);
+    // Psi^T = A^T ⊙ H_x; reuse the transposed adjacency pattern.
+    const CsrMatrix<T> psi_t = sddmm(adj_t, h, h);
+    spmm_accumulate(psi_t, m, gamma);
+    out.d_h_in = std::move(gamma);
+    return out;
+  }
+
+  // AGNN backward (derivation in DESIGN.md / README):
+  //   D = A ⊙ (M H^T)   with M = G W^T          (dL/d cosine scores)
+  //   Gamma = Psi^T M
+  //         + diag(1/n) [ (D + D^T) Ĥ - diag(rowsum(D ⊙ Ĉ) + colsum(D ⊙ Ĉ)) Ĥ ]
+  // where Ĥ has unit-normalized rows and Ĉ holds the cosine values.
+  LayerGrads<T> backward_agnn(const CsrMatrix<T>& adj, const LayerCache<T>& cache,
+                              const DenseMatrix<T>& g) const {
+    LayerGrads<T> out;
+    const DenseMatrix<T>& h = cache.h_in;
+    out.d_w = matmul_tn(cache.psi_h, g);
+    const DenseMatrix<T> m = matmul_nt(g, w_);
+    const CsrMatrix<T> d = sddmm(adj, m, h);
+
+    const std::vector<T> norms = row_l2_norms(h);
+    // Ĥ: unit rows (zero rows stay zero).
+    DenseMatrix<T> h_hat = h;
+    for (index_t i = 0; i < h.rows(); ++i) {
+      const T ni = norms[static_cast<std::size_t>(i)];
+      if (ni <= T(0)) continue;
+      T* row = h_hat.data() + i * h.cols();
+      for (index_t j = 0; j < h.cols(); ++j) row[j] /= ni;
+    }
+    // Cosine matrix Ĉ on the adjacency pattern: Psi values divided by A
+    // values (identical when A is binary, which attention models use).
+    CsrMatrix<T> cos = cache.psi;
+    {
+      auto cv = cos.vals_mutable();
+      const auto av = adj.vals();
+      for (index_t e = 0; e < cos.nnz(); ++e) {
+        const T a = av[static_cast<std::size_t>(e)];
+        cv[static_cast<std::size_t>(e)] =
+            a != T(0) ? cv[static_cast<std::size_t>(e)] / a : T(0);
+      }
+    }
+    const CsrMatrix<T> dc = hadamard_same_pattern(d, cos);
+    const std::vector<T> rs = sparse_row_sums(dc);
+    const std::vector<T> cs = sparse_col_sums(dc);
+
+    DenseMatrix<T> gamma = spmm(d, h_hat);
+    spmm_accumulate(d.transposed(), h_hat, gamma);
+    for (index_t i = 0; i < gamma.rows(); ++i) {
+      const T ni = norms[static_cast<std::size_t>(i)];
+      T* gi = gamma.data() + i * gamma.cols();
+      if (ni <= T(0)) {
+        for (index_t j = 0; j < gamma.cols(); ++j) gi[j] = T(0);
+        continue;
+      }
+      const T coef = rs[static_cast<std::size_t>(i)] + cs[static_cast<std::size_t>(i)];
+      const T* hhi = h_hat.data() + i * gamma.cols();
+      const T inv = T(1) / ni;
+      for (index_t j = 0; j < gamma.cols(); ++j) {
+        gi[j] = (gi[j] - coef * hhi[j]) * inv;
+      }
+    }
+    spmm_accumulate(cache.psi.transposed(), m, gamma);
+    out.d_h_in = std::move(gamma);
+    return out;
+  }
+
+  // GAT backward:
+  //   dH' = Psi^T G + ds1 a1^T + ds2 a2^T,
+  //   dPsi = A-sampled G H'^T, dE = softmax-Jacobian(dPsi),
+  //   dC = dE ⊙ A ⊙ LeakyReLU'(C), ds1 = row-sums(dC), ds2 = col-sums(dC),
+  //   da = [H'^T ds1; H'^T ds2], dW = H^T dH', Gamma = dH' W^T.
+  LayerGrads<T> backward_gat(const CsrMatrix<T>& adj, const LayerCache<T>& cache,
+                             const DenseMatrix<T>& g) const {
+    LayerGrads<T> out;
+    const DenseMatrix<T>& h = cache.h_in;
+    const DenseMatrix<T>& hp = cache.h_proj;
+    const CsrMatrix<T>& s = cache.psi;
+
+    // dPsi sampled on the adjacency pattern (pattern of s, values unused).
+    const CsrMatrix<T> d_psi = sddmm(s.with_values(T(1)), g, hp);
+    const CsrMatrix<T> d_e = row_softmax_backward(s, d_psi);
+    // dC = dE ⊙ A ⊙ LeakyReLU'(C): the A values were folded into E during
+    // forward, so they reappear as a factor here (1 for binary adjacency).
+    CsrMatrix<T> d_c = d_e;
+    {
+      auto v = d_c.vals_mutable();
+      const auto c = cache.scores_pre.vals();
+      const auto av = adj.vals();
+      for (index_t e = 0; e < d_c.nnz(); ++e) {
+        const T ce = c[static_cast<std::size_t>(e)];
+        v[static_cast<std::size_t>(e)] *=
+            av[static_cast<std::size_t>(e)] * (ce > T(0) ? T(1) : attention_slope_);
+      }
+    }
+    const std::vector<T> ds1 = sparse_row_sums(d_c);
+    const std::vector<T> ds2 = sparse_col_sums(d_c);
+
+    DenseMatrix<T> d_hp = spmm(s.transposed(), g);
+    const std::span<const T> a_all(a_);
+    const auto a1 = a_all.subspan(0, static_cast<std::size_t>(k_out_));
+    const auto a2 = a_all.subspan(static_cast<std::size_t>(k_out_));
+    add_outer_inplace(d_hp, std::span<const T>(ds1), a1);
+    add_outer_inplace(d_hp, std::span<const T>(ds2), a2);
+
+    out.d_a.resize(static_cast<std::size_t>(2 * k_out_));
+    const std::vector<T> da1 = matvec_tn(hp, std::span<const T>(ds1));
+    const std::vector<T> da2 = matvec_tn(hp, std::span<const T>(ds2));
+    std::copy(da1.begin(), da1.end(), out.d_a.begin());
+    std::copy(da2.begin(), da2.end(), out.d_a.begin() + k_out_);
+
+    out.d_w = matmul_tn(h, d_hp);
+    out.d_h_in = matmul_nt(d_hp, w_);
+    return out;
+  }
+
+  ModelKind kind_;
+  index_t k_in_;
+  index_t k_out_;
+  Activation act_;
+  T attention_slope_;
+  Activation mlp_act_;
+  T gin_epsilon_;
+  DenseMatrix<T> w_;
+  DenseMatrix<T> w2_;  // GIN only
+  std::vector<T> a_;
+};
+
+}  // namespace agnn

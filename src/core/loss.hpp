@@ -1,0 +1,114 @@
+// Losses on the final-layer feature matrix H^L.
+//
+// Each loss returns both the scalar value and nabla_{H^L} L, the gradient
+// that bootstraps the backward recursion (Eq. 4):
+//   G^L = nabla_{H^L} L ⊙ sigma'(Z^L).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/dense_matrix.hpp"
+
+namespace agnn {
+
+template <typename T>
+struct LossResult {
+  T value = T(0);
+  DenseMatrix<T> grad;  // dL/dH, same shape as H
+};
+
+// Softmax cross-entropy over rows (node classification). `labels[i]` is the
+// class of vertex i; `mask` (optional) selects the training vertices —
+// unmasked rows contribute neither loss nor gradient.
+// `normalize_count`, when positive, overrides the divisor (the distributed
+// engine normalizes local blocks by the *global* active-vertex count).
+template <typename T>
+LossResult<T> softmax_cross_entropy(const DenseMatrix<T>& h,
+                                    std::span<const index_t> labels,
+                                    std::span<const std::uint8_t> mask = {},
+                                    index_t normalize_count = -1) {
+  AGNN_ASSERT(static_cast<index_t>(labels.size()) == h.rows(),
+              "cross entropy: one label per row required");
+  AGNN_ASSERT(mask.empty() || static_cast<index_t>(mask.size()) == h.rows(),
+              "cross entropy: mask size mismatch");
+  LossResult<T> out;
+  out.grad = DenseMatrix<T>(h.rows(), h.cols(), T(0));
+  const index_t n = h.rows(), c = h.cols();
+  index_t active = 0;
+  for (index_t i = 0; i < n; ++i) {
+    if (!mask.empty() && !mask[static_cast<std::size_t>(i)]) continue;
+    ++active;
+  }
+  if (normalize_count > 0) active = normalize_count;
+  if (active == 0) return out;
+  const T inv_n = T(1) / static_cast<T>(active);
+  double loss = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : loss)
+  for (index_t i = 0; i < n; ++i) {
+    if (!mask.empty() && !mask[static_cast<std::size_t>(i)]) continue;
+    const index_t y = labels[static_cast<std::size_t>(i)];
+    AGNN_ASSERT(y >= 0 && y < c, "cross entropy: label out of range");
+    const T* hi = h.data() + i * c;
+    T mx = hi[0];
+    for (index_t j = 1; j < c; ++j) mx = std::max(mx, hi[j]);
+    T sum = T(0);
+    for (index_t j = 0; j < c; ++j) sum += std::exp(hi[j] - mx);
+    const T log_z = std::log(sum) + mx;
+    loss += static_cast<double>(log_z - hi[y]);
+    T* gi = out.grad.data() + i * c;
+    for (index_t j = 0; j < c; ++j) {
+      const T p = std::exp(hi[j] - log_z);  // softmax probability
+      gi[j] = (p - (j == y ? T(1) : T(0))) * inv_n;
+    }
+  }
+  out.value = static_cast<T>(loss) * inv_n;
+  return out;
+}
+
+// Mean squared error against a target matrix: L = ||H - Y||_F^2 / (2 n).
+template <typename T>
+LossResult<T> mse_loss(const DenseMatrix<T>& h, const DenseMatrix<T>& target) {
+  AGNN_ASSERT(h.same_shape(target), "mse: shape mismatch");
+  LossResult<T> out;
+  out.grad = DenseMatrix<T>(h.rows(), h.cols());
+  const T inv_n = T(1) / static_cast<T>(h.rows());
+  double loss = 0.0;
+  for (index_t i = 0; i < h.size(); ++i) {
+    const T d = h.data()[i] - target.data()[i];
+    loss += 0.5 * static_cast<double>(d) * static_cast<double>(d);
+    out.grad.data()[i] = d * inv_n;
+  }
+  out.value = static_cast<T>(loss) * inv_n;
+  return out;
+}
+
+// Row-wise argmax — the predicted class per vertex.
+template <typename T>
+std::vector<index_t> argmax_rows(const DenseMatrix<T>& h) {
+  std::vector<index_t> pred(static_cast<std::size_t>(h.rows()));
+  for (index_t i = 0; i < h.rows(); ++i) {
+    const T* hi = h.data() + i * h.cols();
+    index_t best = 0;
+    for (index_t j = 1; j < h.cols(); ++j) {
+      if (hi[j] > hi[best]) best = j;
+    }
+    pred[static_cast<std::size_t>(i)] = best;
+  }
+  return pred;
+}
+
+template <typename T>
+double accuracy(const DenseMatrix<T>& h, std::span<const index_t> labels,
+                std::span<const std::uint8_t> mask = {}) {
+  const auto pred = argmax_rows(h);
+  index_t correct = 0, total = 0;
+  for (index_t i = 0; i < h.rows(); ++i) {
+    if (!mask.empty() && !mask[static_cast<std::size_t>(i)]) continue;
+    ++total;
+    if (pred[static_cast<std::size_t>(i)] == labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return total > 0 ? static_cast<double>(correct) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace agnn

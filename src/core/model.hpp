@@ -1,0 +1,188 @@
+// GnnModel<T>: an L-layer GNN in the global formulation, plus the full-batch
+// training loop (forward pass, loss, backward recursion of Eq. (6)–(7), and
+// parameter update).
+//
+// Mirrors the paper artifact's GnnModel/GnnLayer/Loss structure: forward and
+// backward are overloaded per model kind via Layer, and intermediate results
+// are cached between the passes (or skipped entirely in inference mode).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/layer.hpp"
+#include "core/loss.hpp"
+#include "core/optimizer.hpp"
+
+namespace agnn {
+
+struct GnnConfig {
+  ModelKind kind = ModelKind::kGAT;
+  index_t in_features = 16;
+  std::vector<index_t> layer_widths = {16, 16};  // output width per layer
+  Activation hidden_activation = Activation::kRelu;
+  Activation output_activation = Activation::kIdentity;
+  double attention_slope = 0.2;  // LeakyReLU slope inside GAT attention
+  Activation mlp_activation = Activation::kRelu;  // GIN's in-MLP non-linearity
+  double gin_epsilon = 0.0;      // GIN's (1 + eps) self-loop weight
+  std::uint64_t seed = 42;
+};
+
+template <typename T>
+class GnnModel {
+ public:
+  explicit GnnModel(const GnnConfig& config) : config_(config) {
+    AGNN_ASSERT(!config.layer_widths.empty(), "model needs at least one layer");
+    Rng rng(config.seed);
+    index_t k_in = config.in_features;
+    for (std::size_t l = 0; l < config.layer_widths.size(); ++l) {
+      const bool last = (l + 1 == config.layer_widths.size());
+      const Activation act = last ? config.output_activation : config.hidden_activation;
+      layers_.emplace_back(config.kind, k_in, config.layer_widths[l], act, rng,
+                           static_cast<T>(config.attention_slope),
+                           config.mlp_activation,
+                           static_cast<T>(config.gin_epsilon));
+      k_in = config.layer_widths[l];
+    }
+  }
+
+  const GnnConfig& config() const { return config_; }
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer<T>& layer(std::size_t l) { return layers_[l]; }
+  const Layer<T>& layer(std::size_t l) const { return layers_[l]; }
+
+  // Inference: forward pass without storing intermediates.
+  DenseMatrix<T> infer(const CsrMatrix<T>& adj, const DenseMatrix<T>& x) const {
+    DenseMatrix<T> h = x;
+    for (const auto& layer : layers_) h = layer.forward(adj, h, nullptr);
+    return h;
+  }
+
+  // Training-mode forward: returns H^L and fills one cache per layer.
+  // `dropout_rate` > 0 applies inverted feature dropout to every layer's
+  // input (deterministic for a given `dropout_seed`, so gradient checks and
+  // replays see identical masks).
+  DenseMatrix<T> forward(const CsrMatrix<T>& adj, const DenseMatrix<T>& x,
+                         std::vector<LayerCache<T>>& caches,
+                         double dropout_rate = 0.0,
+                         std::uint64_t dropout_seed = 0) const {
+    AGNN_ASSERT(dropout_rate >= 0.0 && dropout_rate < 1.0,
+                "dropout rate must be in [0, 1)");
+    caches.assign(layers_.size(), LayerCache<T>{});
+    Rng rng(0x5eedULL ^ dropout_seed);
+    DenseMatrix<T> h = x;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      if (dropout_rate > 0.0) {
+        const T keep_inv = static_cast<T>(1.0 / (1.0 - dropout_rate));
+        DenseMatrix<T> mask(h.rows(), h.cols());
+        for (index_t i = 0; i < mask.size(); ++i) {
+          mask.data()[i] = rng.next_double() < dropout_rate ? T(0) : keep_inv;
+        }
+        h = hadamard(h, mask);
+        caches[l].dropout_mask = std::move(mask);
+      }
+      h = layers_[l].forward(adj, h, &caches[l]);
+    }
+    return h;
+  }
+
+  // Backward recursion. `d_h_out` is nabla_{H^L} L from the loss. Returns
+  // per-layer gradients (same order as layers). dL/dX (the input-feature
+  // gradient) is available as grads[0].d_h_in.
+  std::vector<LayerGrads<T>> backward(const CsrMatrix<T>& adj,
+                                      const CsrMatrix<T>& adj_t,
+                                      const std::vector<LayerCache<T>>& caches,
+                                      const DenseMatrix<T>& d_h_out) const {
+    AGNN_ASSERT(caches.size() == layers_.size(), "backward: cache count mismatch");
+    std::vector<LayerGrads<T>> grads(layers_.size());
+    // Bootstrap: G^L = nabla_{H^L} L ⊙ sigma'(Z^L)      (Eq. 4)
+    DenseMatrix<T> g = activation_backward(layers_.back().activation(),
+                                           caches.back().z, d_h_out);
+    for (std::size_t l = layers_.size(); l-- > 0;) {
+      grads[l] = layers_[l].backward(adj, adj_t, caches[l], g);
+      // If dropout was applied to this layer's input, the gradient w.r.t.
+      // the pre-dropout features picks up the same mask.
+      if (!caches[l].dropout_mask.empty()) {
+        grads[l].d_h_in = hadamard(grads[l].d_h_in, caches[l].dropout_mask);
+      }
+      if (l > 0) {
+        // G^{l-1} = sigma'(Z^{l-1}) ⊙ Gamma^l            (Eq. 6)
+        g = activation_backward(layers_[l - 1].activation(), caches[l - 1].z,
+                                grads[l].d_h_in);
+      }
+    }
+    return grads;
+  }
+
+  // Apply parameter updates via the optimizer. Each layer's W and a get
+  // stable optimizer slots so per-parameter state (momentum, Adam moments)
+  // is tracked correctly across steps.
+  void apply_gradients(const std::vector<LayerGrads<T>>& grads, Optimizer<T>& opt) {
+    AGNN_ASSERT(grads.size() == layers_.size(), "apply_gradients: size mismatch");
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      opt.step(3 * l, layers_[l].weights().flat(), grads[l].d_w.flat());
+      if (!layers_[l].attention_params().empty()) {
+        opt.step(3 * l + 1, std::span<T>(layers_[l].attention_params()),
+                 std::span<const T>(grads[l].d_a));
+      }
+      if (!layers_[l].weights2().empty()) {
+        opt.step(3 * l + 2, layers_[l].weights2().flat(), grads[l].d_w2.flat());
+      }
+    }
+  }
+
+ private:
+  GnnConfig config_;
+  std::vector<Layer<T>> layers_;
+};
+
+// Full-batch trainer for node classification, the paper's training workload.
+// Supports feature dropout (off by default) and per-parameter weight decay
+// via the optimizer.
+template <typename T>
+class Trainer {
+ public:
+  Trainer(GnnModel<T>& model, std::unique_ptr<Optimizer<T>> opt,
+          double dropout_rate = 0.0)
+      : model_(model), opt_(std::move(opt)), dropout_rate_(dropout_rate) {}
+
+  struct StepResult {
+    T loss = T(0);
+    double train_accuracy = 0.0;
+  };
+
+  // One full-batch training step: forward, loss, backward, update.
+  StepResult step(const CsrMatrix<T>& adj, const CsrMatrix<T>& adj_t,
+                  const DenseMatrix<T>& x, std::span<const index_t> labels,
+                  std::span<const std::uint8_t> mask = {}) {
+    std::vector<LayerCache<T>> caches;
+    const DenseMatrix<T> h =
+        model_.forward(adj, x, caches, dropout_rate_, step_count_++);
+    const LossResult<T> loss = softmax_cross_entropy(h, labels, mask);
+    const auto grads = model_.backward(adj, adj_t, caches, loss.grad);
+    model_.apply_gradients(grads, *opt_);
+    return {loss.value, accuracy(h, labels, mask)};
+  }
+
+  // Train for `epochs` steps; returns the loss trajectory.
+  std::vector<T> train(const CsrMatrix<T>& adj, const DenseMatrix<T>& x,
+                       std::span<const index_t> labels, int epochs,
+                       std::span<const std::uint8_t> mask = {}) {
+    const CsrMatrix<T> adj_t = adj.transposed();
+    std::vector<T> losses;
+    losses.reserve(static_cast<std::size_t>(epochs));
+    for (int e = 0; e < epochs; ++e) {
+      losses.push_back(step(adj, adj_t, x, labels, mask).loss);
+    }
+    return losses;
+  }
+
+ private:
+  GnnModel<T>& model_;
+  std::unique_ptr<Optimizer<T>> opt_;
+  double dropout_rate_ = 0.0;
+  std::uint64_t step_count_ = 0;
+};
+
+}  // namespace agnn

@@ -1,0 +1,292 @@
+// Multi-head graph attention (the full GAT of Velickovic et al., which the
+// single-head Layer specializes): K independent attention heads per layer,
+// concatenated on hidden layers and averaged on the output layer.
+//
+// In the global formulation each head h is an independent
+//   Psi_h = sm(A ⊙ LeakyReLU(s1_h 1^T + 1 s2_h^T)),   Z_h = Psi_h (H W_h),
+// and the layer output is [Z_1 || ... || Z_K] (concat) or (1/K) sum_h Z_h
+// (average). All heads share the adjacency pattern, so the fused kernels
+// are reused verbatim per head. The backward pass follows the single-head
+// derivation per head with the incoming gradient sliced (concat) or scaled
+// (average).
+#pragma once
+
+#include <vector>
+
+#include "core/activations.hpp"
+#include "core/optimizer.hpp"
+#include "tensor/fused.hpp"
+#include "tensor/sparse_ops.hpp"
+#include "tensor/spmm.hpp"
+
+namespace agnn {
+
+enum class HeadCombine { kConcat, kAverage };
+
+template <typename T>
+struct GatHeadParams {
+  DenseMatrix<T> w;    // k_in x k_head
+  std::vector<T> a;    // 2 * k_head ([a1; a2])
+};
+
+template <typename T>
+struct GatHeadGrads {
+  DenseMatrix<T> d_w;
+  std::vector<T> d_a;
+};
+
+template <typename T>
+struct MultiHeadCache {
+  DenseMatrix<T> h_in;
+  DenseMatrix<T> z;  // combined pre-activation
+  struct Head {
+    CsrMatrix<T> psi;
+    CsrMatrix<T> scores_pre;
+    DenseMatrix<T> hp;
+    std::vector<T> s1, s2;
+  };
+  std::vector<Head> heads;
+};
+
+template <typename T>
+struct MultiHeadGrads {
+  std::vector<GatHeadGrads<T>> heads;
+  DenseMatrix<T> d_h_in;
+};
+
+template <typename T>
+class MultiHeadGatLayer {
+ public:
+  MultiHeadGatLayer(index_t k_in, index_t k_head, int heads, HeadCombine combine,
+                    Activation act, Rng& rng, T slope = T(0.2))
+      : k_in_(k_in),
+        k_head_(k_head),
+        combine_(combine),
+        act_(act),
+        slope_(slope) {
+    AGNN_ASSERT(heads >= 1, "need at least one attention head");
+    heads_.reserve(static_cast<std::size_t>(heads));
+    for (int h = 0; h < heads; ++h) {
+      GatHeadParams<T> p;
+      p.w = DenseMatrix<T>(k_in, k_head);
+      p.w.fill_glorot(rng);
+      p.a.resize(static_cast<std::size_t>(2 * k_head));
+      const double limit = std::sqrt(6.0 / static_cast<double>(2 * k_head + 1));
+      for (auto& v : p.a) v = static_cast<T>(rng.next_uniform(-limit, limit));
+      heads_.push_back(std::move(p));
+    }
+  }
+
+  int num_heads() const { return static_cast<int>(heads_.size()); }
+  index_t in_features() const { return k_in_; }
+  index_t head_features() const { return k_head_; }
+  index_t out_features() const {
+    return combine_ == HeadCombine::kConcat
+               ? k_head_ * static_cast<index_t>(heads_.size())
+               : k_head_;
+  }
+  HeadCombine combine() const { return combine_; }
+  Activation activation() const { return act_; }
+  T attention_slope() const { return slope_; }
+  GatHeadParams<T>& head(int h) { return heads_[static_cast<std::size_t>(h)]; }
+  const GatHeadParams<T>& head(int h) const {
+    return heads_[static_cast<std::size_t>(h)];
+  }
+
+  DenseMatrix<T> forward(const CsrMatrix<T>& adj, const DenseMatrix<T>& h,
+                         MultiHeadCache<T>* cache) const {
+    AGNN_ASSERT(h.cols() == k_in_, "multi-head forward: feature width mismatch");
+    const index_t n = h.rows();
+    DenseMatrix<T> z(n, out_features(), T(0));
+    if (cache) {
+      cache->h_in = h;
+      cache->heads.assign(heads_.size(), typename MultiHeadCache<T>::Head{});
+    }
+    const T head_scale = combine_ == HeadCombine::kAverage
+                             ? T(1) / static_cast<T>(heads_.size())
+                             : T(1);
+    for (std::size_t hd = 0; hd < heads_.size(); ++hd) {
+      const auto& p = heads_[hd];
+      DenseMatrix<T> hp = matmul(h, p.w);
+      const std::span<const T> a_all(p.a);
+      const auto a1 = a_all.subspan(0, static_cast<std::size_t>(k_head_));
+      const auto a2 = a_all.subspan(static_cast<std::size_t>(k_head_));
+      std::vector<T> s1 = matvec(hp, a1);
+      std::vector<T> s2 = matvec(hp, a2);
+      GatPsi<T> gp = psi_gat<T>(adj, s1, s2, slope_);
+      const DenseMatrix<T> z_head = spmm(gp.psi, hp);
+      // Place the head's output into its combined slot.
+      const index_t off = combine_ == HeadCombine::kConcat
+                              ? static_cast<index_t>(hd) * k_head_
+                              : 0;
+      for (index_t i = 0; i < n; ++i) {
+        T* zi = z.data() + i * z.cols() + off;
+        const T* src = z_head.data() + i * k_head_;
+        for (index_t j = 0; j < k_head_; ++j) zi[j] += head_scale * src[j];
+      }
+      if (cache) {
+        auto& hc = cache->heads[hd];
+        hc.psi = std::move(gp.psi);
+        hc.scores_pre = std::move(gp.scores_pre);
+        hc.hp = std::move(hp);
+        hc.s1 = std::move(s1);
+        hc.s2 = std::move(s2);
+      }
+    }
+    if (cache) cache->z = z;
+    return activate(act_, z, T(0.01));
+  }
+
+  // `g` is dL/dZ of the combined pre-activation.
+  MultiHeadGrads<T> backward(const CsrMatrix<T>& adj, const MultiHeadCache<T>& cache,
+                             const DenseMatrix<T>& g) const {
+    MultiHeadGrads<T> out;
+    out.heads.resize(heads_.size());
+    out.d_h_in = DenseMatrix<T>(cache.h_in.rows(), k_in_, T(0));
+    const T head_scale = combine_ == HeadCombine::kAverage
+                             ? T(1) / static_cast<T>(heads_.size())
+                             : T(1);
+    for (std::size_t hd = 0; hd < heads_.size(); ++hd) {
+      const auto& p = heads_[hd];
+      const auto& hc = cache.heads[hd];
+      // Slice (concat) or scale (average) the incoming gradient.
+      DenseMatrix<T> g_head(g.rows(), k_head_);
+      const index_t off = combine_ == HeadCombine::kConcat
+                              ? static_cast<index_t>(hd) * k_head_
+                              : 0;
+      for (index_t i = 0; i < g.rows(); ++i) {
+        const T* gi = g.data() + i * g.cols() + off;
+        T* dst = g_head.data() + i * k_head_;
+        for (index_t j = 0; j < k_head_; ++j) dst[j] = head_scale * gi[j];
+      }
+
+      // Single-head GAT backward (same derivation as Layer::backward_gat).
+      const CsrMatrix<T> d_psi = sddmm(hc.psi.with_values(T(1)), g_head, hc.hp);
+      const CsrMatrix<T> d_e = row_softmax_backward(hc.psi, d_psi);
+      CsrMatrix<T> d_c = d_e;
+      {
+        auto v = d_c.vals_mutable();
+        const auto pre = hc.scores_pre.vals();
+        const auto av = adj.vals();
+        for (index_t e = 0; e < d_c.nnz(); ++e) {
+          const T ce = pre[static_cast<std::size_t>(e)];
+          v[static_cast<std::size_t>(e)] *=
+              av[static_cast<std::size_t>(e)] * (ce > T(0) ? T(1) : slope_);
+        }
+      }
+      const std::vector<T> ds1 = sparse_row_sums(d_c);
+      const std::vector<T> ds2 = sparse_col_sums(d_c);
+      DenseMatrix<T> d_hp = spmm(hc.psi.transposed(), g_head);
+      const std::span<const T> a_all(p.a);
+      const auto a1 = a_all.subspan(0, static_cast<std::size_t>(k_head_));
+      const auto a2 = a_all.subspan(static_cast<std::size_t>(k_head_));
+      add_outer_inplace(d_hp, std::span<const T>(ds1), a1);
+      add_outer_inplace(d_hp, std::span<const T>(ds2), a2);
+
+      auto& hg = out.heads[hd];
+      hg.d_a.resize(static_cast<std::size_t>(2 * k_head_));
+      const std::vector<T> da1 = matvec_tn(hc.hp, std::span<const T>(ds1));
+      const std::vector<T> da2 = matvec_tn(hc.hp, std::span<const T>(ds2));
+      std::copy(da1.begin(), da1.end(), hg.d_a.begin());
+      std::copy(da2.begin(), da2.end(), hg.d_a.begin() + k_head_);
+      hg.d_w = matmul_tn(cache.h_in, d_hp);
+      axpy(T(1), matmul_nt(d_hp, p.w), out.d_h_in);
+    }
+    return out;
+  }
+
+ private:
+  index_t k_in_;
+  index_t k_head_;
+  HeadCombine combine_;
+  Activation act_;
+  T slope_;
+  std::vector<GatHeadParams<T>> heads_;
+};
+
+// A complete multi-head GAT model: hidden layers concatenate their heads,
+// the output layer averages them (the configuration of the original paper).
+template <typename T>
+class MultiHeadGat {
+ public:
+  struct Config {
+    index_t in_features = 16;
+    index_t head_features = 8;   // per-head width of hidden layers
+    int heads = 4;
+    index_t out_features = 4;    // classes (output layer head width)
+    int out_heads = 1;
+    int hidden_layers = 1;
+    Activation hidden_activation = Activation::kRelu;
+    double attention_slope = 0.2;
+    std::uint64_t seed = 42;
+  };
+
+  explicit MultiHeadGat(const Config& cfg) : cfg_(cfg) {
+    Rng rng(cfg.seed);
+    index_t k_in = cfg.in_features;
+    for (int l = 0; l < cfg.hidden_layers; ++l) {
+      layers_.emplace_back(k_in, cfg.head_features, cfg.heads, HeadCombine::kConcat,
+                           cfg.hidden_activation, rng,
+                           static_cast<T>(cfg.attention_slope));
+      k_in = layers_.back().out_features();
+    }
+    layers_.emplace_back(k_in, cfg.out_features, cfg.out_heads,
+                         HeadCombine::kAverage, Activation::kIdentity, rng,
+                         static_cast<T>(cfg.attention_slope));
+  }
+
+  std::size_t num_layers() const { return layers_.size(); }
+  MultiHeadGatLayer<T>& layer(std::size_t l) { return layers_[l]; }
+  const MultiHeadGatLayer<T>& layer(std::size_t l) const { return layers_[l]; }
+
+  DenseMatrix<T> infer(const CsrMatrix<T>& adj, const DenseMatrix<T>& x) const {
+    DenseMatrix<T> h = x;
+    for (const auto& layer : layers_) h = layer.forward(adj, h, nullptr);
+    return h;
+  }
+
+  DenseMatrix<T> forward(const CsrMatrix<T>& adj, const DenseMatrix<T>& x,
+                         std::vector<MultiHeadCache<T>>& caches) const {
+    caches.assign(layers_.size(), MultiHeadCache<T>{});
+    DenseMatrix<T> h = x;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      h = layers_[l].forward(adj, h, &caches[l]);
+    }
+    return h;
+  }
+
+  std::vector<MultiHeadGrads<T>> backward(const CsrMatrix<T>& adj,
+                                          const std::vector<MultiHeadCache<T>>& caches,
+                                          const DenseMatrix<T>& d_h_out) const {
+    std::vector<MultiHeadGrads<T>> grads(layers_.size());
+    DenseMatrix<T> g = activation_backward(layers_.back().activation(),
+                                           caches.back().z, d_h_out);
+    for (std::size_t l = layers_.size(); l-- > 0;) {
+      grads[l] = layers_[l].backward(adj, caches[l], g);
+      if (l > 0) {
+        g = activation_backward(layers_[l - 1].activation(), caches[l - 1].z,
+                                grads[l].d_h_in);
+      }
+    }
+    return grads;
+  }
+
+  void apply_gradients(const std::vector<MultiHeadGrads<T>>& grads,
+                       Optimizer<T>& opt) {
+    std::size_t slot = 0;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      for (int h = 0; h < layers_[l].num_heads(); ++h) {
+        auto& p = layers_[l].head(h);
+        const auto& hg = grads[l].heads[static_cast<std::size_t>(h)];
+        opt.step(slot++, p.w.flat(), hg.d_w.flat());
+        opt.step(slot++, std::span<T>(p.a), std::span<const T>(hg.d_a));
+      }
+    }
+  }
+
+ private:
+  Config cfg_;
+  std::vector<MultiHeadGatLayer<T>> layers_;
+};
+
+}  // namespace agnn

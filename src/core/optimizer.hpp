@@ -1,0 +1,105 @@
+// First-order optimizers updating flat parameter buffers.
+//
+// The paper trains with the generic rule W := W - alpha * Y (Section 5.1,
+// Step 6) — plain SGD. Momentum-SGD and Adam are provided as the standard
+// extensions a downstream user expects; all three operate on spans so that
+// the same optimizer instance updates W matrices and a vectors alike.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "tensor/common.hpp"
+
+namespace agnn {
+
+template <typename T>
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  // Update parameter buffer `slot` (a stable id per parameter tensor).
+  virtual void step(std::size_t slot, std::span<T> param, std::span<const T> grad) = 0;
+  virtual void reset() = 0;
+};
+
+template <typename T>
+class SgdOptimizer final : public Optimizer<T> {
+ public:
+  explicit SgdOptimizer(T lr, T momentum = T(0), T weight_decay = T(0))
+      : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+  void step(std::size_t slot, std::span<T> param, std::span<const T> grad) override {
+    AGNN_ASSERT(param.size() == grad.size(), "sgd: param/grad size mismatch");
+    if (momentum_ == T(0)) {
+      for (std::size_t i = 0; i < param.size(); ++i) {
+        param[i] -= lr_ * (grad[i] + weight_decay_ * param[i]);
+      }
+      return;
+    }
+    auto& v = velocity(slot, param.size());
+    for (std::size_t i = 0; i < param.size(); ++i) {
+      v[i] = momentum_ * v[i] + grad[i] + weight_decay_ * param[i];
+      param[i] -= lr_ * v[i];
+    }
+  }
+
+  void reset() override { velocities_.clear(); }
+
+ private:
+  std::vector<T>& velocity(std::size_t slot, std::size_t size) {
+    if (slot >= velocities_.size()) velocities_.resize(slot + 1);
+    if (velocities_[slot].size() != size) velocities_[slot].assign(size, T(0));
+    return velocities_[slot];
+  }
+
+  T lr_, momentum_, weight_decay_;
+  std::vector<std::vector<T>> velocities_;
+};
+
+template <typename T>
+class AdamOptimizer final : public Optimizer<T> {
+ public:
+  explicit AdamOptimizer(T lr, T beta1 = T(0.9), T beta2 = T(0.999),
+                         T eps = T(1e-8), T weight_decay = T(0))
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {}
+
+  void step(std::size_t slot, std::span<T> param, std::span<const T> grad) override {
+    AGNN_ASSERT(param.size() == grad.size(), "adam: param/grad size mismatch");
+    auto& st = state(slot, param.size());
+    st.t += 1;
+    const T bc1 = T(1) - static_cast<T>(std::pow(static_cast<double>(beta1_), st.t));
+    const T bc2 = T(1) - static_cast<T>(std::pow(static_cast<double>(beta2_), st.t));
+    for (std::size_t i = 0; i < param.size(); ++i) {
+      const T g = grad[i] + weight_decay_ * param[i];
+      st.m[i] = beta1_ * st.m[i] + (T(1) - beta1_) * g;
+      st.v[i] = beta2_ * st.v[i] + (T(1) - beta2_) * g * g;
+      const T m_hat = st.m[i] / bc1;
+      const T v_hat = st.v[i] / bc2;
+      param[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+
+  void reset() override { states_.clear(); }
+
+ private:
+  struct State {
+    std::vector<T> m, v;
+    int t = 0;
+  };
+  State& state(std::size_t slot, std::size_t size) {
+    if (slot >= states_.size()) states_.resize(slot + 1);
+    auto& st = states_[slot];
+    if (st.m.size() != size) {
+      st.m.assign(size, T(0));
+      st.v.assign(size, T(0));
+      st.t = 0;
+    }
+    return st;
+  }
+
+  T lr_, beta1_, beta2_, eps_, weight_decay_;
+  std::vector<State> states_;
+};
+
+}  // namespace agnn

@@ -1,0 +1,140 @@
+// Model checkpointing: binary save/load of a GnnModel's configuration and
+// parameters (W, a, W2 per layer). The format is versioned and validated on
+// load; loading reconstructs an identical model (bit-exact parameters).
+//
+// Format (little-endian):
+//   8 bytes  magic "AGNNMDL1"
+//   i64      model kind, in_features, #layers
+//   i64      hidden act, output act, mlp act
+//   f64      attention_slope, gin_epsilon
+//   per layer: i64 width; i64 w_size, w data; i64 a_size, a data;
+//              i64 w2_size, w2 data                         (all doubles)
+#pragma once
+
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/model.hpp"
+
+namespace agnn {
+
+namespace detail {
+
+constexpr char kModelMagic[8] = {'A', 'G', 'N', 'N', 'M', 'D', 'L', '1'};
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  AGNN_ASSERT(in.good(), "model file truncated");
+  return v;
+}
+
+template <typename T>
+void write_buffer(std::ofstream& out, std::span<const T> data) {
+  write_pod<std::int64_t>(out, static_cast<std::int64_t>(data.size()));
+  for (const T& v : data) write_pod<double>(out, static_cast<double>(v));
+}
+
+template <typename T>
+void read_buffer(std::ifstream& in, std::span<T> data) {
+  const auto size = read_pod<std::int64_t>(in);
+  AGNN_ASSERT(size == static_cast<std::int64_t>(data.size()),
+              "model file: parameter size mismatch");
+  for (T& v : data) v = static_cast<T>(read_pod<double>(in));
+}
+
+}  // namespace detail
+
+template <typename T>
+void save_model(const std::string& path, const GnnModel<T>& model) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  AGNN_ASSERT(out.good(), "cannot open model file for writing: " + path);
+  out.write(detail::kModelMagic, sizeof(detail::kModelMagic));
+  const GnnConfig& cfg = model.config();
+  detail::write_pod<std::int64_t>(out, static_cast<std::int64_t>(cfg.kind));
+  detail::write_pod<std::int64_t>(out, cfg.in_features);
+  detail::write_pod<std::int64_t>(out, static_cast<std::int64_t>(model.num_layers()));
+  detail::write_pod<std::int64_t>(out,
+                                  static_cast<std::int64_t>(cfg.hidden_activation));
+  detail::write_pod<std::int64_t>(out,
+                                  static_cast<std::int64_t>(cfg.output_activation));
+  detail::write_pod<std::int64_t>(out, static_cast<std::int64_t>(cfg.mlp_activation));
+  detail::write_pod<double>(out, cfg.attention_slope);
+  detail::write_pod<double>(out, cfg.gin_epsilon);
+  for (std::size_t l = 0; l < model.num_layers(); ++l) {
+    const Layer<T>& layer = model.layer(l);
+    detail::write_pod<std::int64_t>(out, layer.out_features());
+    detail::write_buffer<T>(out, layer.weights().flat());
+    detail::write_buffer<T>(out, layer.attention_params());
+    detail::write_buffer<T>(out, layer.weights2().flat());
+  }
+  AGNN_ASSERT(out.good(), "model write failed: " + path);
+}
+
+template <typename T>
+GnnModel<T> load_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  AGNN_ASSERT(in.good(), "cannot open model file: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  AGNN_ASSERT(in.good() && std::memcmp(magic, detail::kModelMagic, 8) == 0,
+              "bad magic in model file: " + path);
+  GnnConfig cfg;
+  cfg.kind = static_cast<ModelKind>(detail::read_pod<std::int64_t>(in));
+  cfg.in_features = detail::read_pod<std::int64_t>(in);
+  const auto layers = detail::read_pod<std::int64_t>(in);
+  AGNN_ASSERT(layers > 0 && layers < 1024, "model file: bad layer count");
+  cfg.hidden_activation =
+      static_cast<Activation>(detail::read_pod<std::int64_t>(in));
+  cfg.output_activation =
+      static_cast<Activation>(detail::read_pod<std::int64_t>(in));
+  cfg.mlp_activation = static_cast<Activation>(detail::read_pod<std::int64_t>(in));
+  cfg.attention_slope = detail::read_pod<double>(in);
+  cfg.gin_epsilon = detail::read_pod<double>(in);
+
+  // First pass cannot construct the model until widths are known; read the
+  // per-layer blocks into a staging structure.
+  struct LayerBlob {
+    index_t width;
+    std::vector<T> w, a, w2;
+  };
+  std::vector<LayerBlob> blobs;
+  cfg.layer_widths.clear();
+  index_t k_in = cfg.in_features;
+  for (std::int64_t l = 0; l < layers; ++l) {
+    LayerBlob blob;
+    blob.width = detail::read_pod<std::int64_t>(in);
+    AGNN_ASSERT(blob.width > 0, "model file: bad layer width");
+    blob.w.resize(static_cast<std::size_t>(k_in * blob.width));
+    detail::read_buffer<T>(in, blob.w);
+    const auto a_size = (cfg.kind == ModelKind::kGAT) ? 2 * blob.width : 0;
+    blob.a.resize(static_cast<std::size_t>(a_size));
+    detail::read_buffer<T>(in, blob.a);
+    const auto w2_size =
+        (cfg.kind == ModelKind::kGIN) ? blob.width * blob.width : 0;
+    blob.w2.resize(static_cast<std::size_t>(w2_size));
+    detail::read_buffer<T>(in, blob.w2);
+    cfg.layer_widths.push_back(blob.width);
+    k_in = blob.width;
+    blobs.push_back(std::move(blob));
+  }
+  GnnModel<T> model(cfg);
+  for (std::size_t l = 0; l < blobs.size(); ++l) {
+    Layer<T>& layer = model.layer(l);
+    std::copy(blobs[l].w.begin(), blobs[l].w.end(), layer.weights().data());
+    layer.attention_params() = blobs[l].a;
+    if (!blobs[l].w2.empty()) {
+      std::copy(blobs[l].w2.begin(), blobs[l].w2.end(), layer.weights2().data());
+    }
+  }
+  return model;
+}
+
+}  // namespace agnn

@@ -1,0 +1,363 @@
+// A naive 1D A-stationary distributed engine — the design-choice ablation
+// for Section 6.3's adoption of the 1.5D scheme.
+//
+// Rows of A (and of every per-edge sparse matrix) are 1D block-partitioned;
+// computing a rank's Psi / aggregation rows requires the FULL feature
+// matrix, so every layer allgathers H (n*k words per rank) and the backward
+// pass additionally allreduces the column-side gradient contributions
+// (2*n*k words). Per layer, per rank:
+//
+//        1D global:   Theta(n k)
+//        1.5D global:  O(n k / sqrt(p))     (dist_engine.hpp)
+//
+// which is exactly the gap the 1.5D scheme buys. The engines compute
+// identical results (tests assert equality), so bench_comm_volume can
+// compare them purely on data movement.
+#pragma once
+
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "core/layer.hpp"
+#include "core/loss.hpp"
+#include "core/model.hpp"
+#include "core/optimizer.hpp"
+#include "dist/process_grid.hpp"
+
+namespace agnn::dist {
+
+template <typename T>
+struct Dist1dLayerCache {
+  DenseMatrix<T> h_full;      // the allgathered H^l (every rank)
+  DenseMatrix<T> z_own;       // Z^l, owned rows
+  CsrMatrix<T> psi_loc;       // Psi rows
+  CsrMatrix<T> cos_loc;       // AGNN cosine rows
+  CsrMatrix<T> scores_pre_loc;
+  DenseMatrix<T> hp_full;     // GAT: H' = H W (full, computed redundantly)
+  DenseMatrix<T> ph_own;      // pre-W aggregate rows; GIN: X rows
+  DenseMatrix<T> mlp_pre_own;
+  DenseMatrix<T> mlp_hidden_own;
+};
+
+template <typename T>
+class Dist1dGlobalEngine {
+ public:
+  Dist1dGlobalEngine(comm::Communicator& world, const CsrMatrix<T>& a_global,
+                     GnnModel<T>& model)
+      : world_(world),
+        p_(world.size()),
+        n_(a_global.rows()),
+        vr_(block_range(n_, p_, world.rank())),
+        model_(model) {
+    a_loc_ = a_global.block(vr_.begin, vr_.end, 0, n_);
+  }
+
+  const BlockRange& owned_block() const { return vr_; }
+
+  DenseMatrix<T> forward(const DenseMatrix<T>& x_global,
+                         std::vector<Dist1dLayerCache<T>>* caches) {
+    DenseMatrix<T> h_own = x_global.slice_rows(vr_.begin, vr_.end);
+    if (caches) caches->assign(model_.num_layers(), Dist1dLayerCache<T>{});
+    for (std::size_t l = 0; l < model_.num_layers(); ++l) {
+      h_own = layer_forward(model_.layer(l), h_own, caches ? &(*caches)[l] : nullptr);
+    }
+    return h_own;
+  }
+
+  struct StepResult {
+    T loss = T(0);
+  };
+
+  StepResult train_step(const DenseMatrix<T>& x_global,
+                        std::span<const index_t> labels, Optimizer<T>& opt,
+                        std::span<const std::uint8_t> mask = {}) {
+    std::vector<Dist1dLayerCache<T>> caches;
+    const DenseMatrix<T> h_own = forward(x_global, &caches);
+
+    index_t active = 0;
+    for (index_t i = 0; i < static_cast<index_t>(labels.size()); ++i) {
+      if (mask.empty() || mask[static_cast<std::size_t>(i)]) ++active;
+    }
+    const auto local_labels = labels.subspan(static_cast<std::size_t>(vr_.begin),
+                                             static_cast<std::size_t>(vr_.size()));
+    const auto local_mask =
+        mask.empty() ? mask
+                     : mask.subspan(static_cast<std::size_t>(vr_.begin),
+                                    static_cast<std::size_t>(vr_.size()));
+    LossResult<T> loss = softmax_cross_entropy(h_own, local_labels, local_mask, active);
+    std::vector<T> loss_buf{loss.value};
+    world_.allreduce_sum(std::span<T>(loss_buf));
+
+    const auto& last = model_.layer(model_.num_layers() - 1);
+    DenseMatrix<T> g_own =
+        activation_backward(last.activation(), caches.back().z_own, loss.grad);
+    std::vector<LayerGrads<T>> grads(model_.num_layers());
+    for (std::size_t l = model_.num_layers(); l-- > 0;) {
+      DenseMatrix<T> gamma_own =
+          layer_backward(model_.layer(l), caches[l], g_own, grads[l]);
+      if (l > 0) {
+        g_own = activation_backward(model_.layer(l - 1).activation(),
+                                    caches[l - 1].z_own, gamma_own);
+      }
+    }
+    model_.apply_gradients(grads, opt);
+    return {loss_buf[0]};
+  }
+
+ private:
+  // Allgather owned row blocks into the full matrix (in rank order — the
+  // n*k-per-rank cost that defines this scheme).
+  DenseMatrix<T> allgather_rows(const DenseMatrix<T>& own) {
+    const std::vector<T> flat = world_.allgatherv(std::span<const T>(own.flat()));
+    AGNN_ASSERT(static_cast<index_t>(flat.size()) == n_ * own.cols(),
+                "1d allgather: unexpected size");
+    return DenseMatrix<T>(n_, own.cols(), flat);
+  }
+
+  DenseMatrix<T> layer_forward(const Layer<T>& layer, const DenseMatrix<T>& h_own,
+                               Dist1dLayerCache<T>* cache) {
+    DenseMatrix<T> w = layer.weights();
+    world_.broadcast(w.flat(), 0);
+    std::vector<T> a = layer.attention_params();
+    if (!a.empty()) world_.broadcast(std::span<T>(a), 0);
+    DenseMatrix<T> w2 = layer.weights2();
+    if (!w2.empty()) world_.broadcast(w2.flat(), 0);
+
+    const DenseMatrix<T> h_full = allgather_rows(h_own);
+
+    comm::ComputeRegion t(world_.stats());
+    CsrMatrix<T> psi_loc, cos_loc, scores_pre_loc;
+    DenseMatrix<T> hp_full, ph_own, z_own, mlp_pre_own, mlp_hidden_own;
+    switch (layer.kind()) {
+      case ModelKind::kGCN: {
+        ph_own = spmm(a_loc_, h_full);
+        z_own = matmul(ph_own, w);
+        psi_loc = a_loc_;
+        break;
+      }
+      case ModelKind::kGIN: {
+        ph_own = spmm(a_loc_, h_full);
+        axpy(T(1) + layer.gin_epsilon(), h_own, ph_own);
+        mlp_pre_own = matmul(ph_own, w);
+        mlp_hidden_own = activate(layer.mlp_activation(), mlp_pre_own, T(0.01));
+        z_own = matmul(mlp_hidden_own, w2);
+        psi_loc = a_loc_;
+        break;
+      }
+      case ModelKind::kVA: {
+        psi_loc = sddmm(a_loc_, h_own, h_full);
+        ph_own = spmm(psi_loc, h_full);
+        z_own = matmul(ph_own, w);
+        break;
+      }
+      case ModelKind::kAGNN: {
+        cos_loc = sddmm(a_loc_.with_values(T(1)), h_own, h_full);
+        std::vector<T> inv_r = row_l2_norms(h_own);
+        std::vector<T> inv_c = row_l2_norms(h_full);
+        for (auto& v : inv_r) v = v > T(0) ? T(1) / v : T(0);
+        for (auto& v : inv_c) v = v > T(0) ? T(1) / v : T(0);
+        cos_loc = scale_rows_cols<T>(cos_loc, inv_r, inv_c);
+        psi_loc = hadamard_same_pattern(cos_loc, a_loc_);
+        ph_own = spmm(psi_loc, h_full);
+        z_own = matmul(ph_own, w);
+        break;
+      }
+      case ModelKind::kGAT: {
+        hp_full = matmul(h_full, w);  // redundant full projection per rank
+        const index_t k_out = layer.out_features();
+        const std::span<const T> a_all(a);
+        const auto a1 = a_all.subspan(0, static_cast<std::size_t>(k_out));
+        const auto a2 = a_all.subspan(static_cast<std::size_t>(k_out));
+        const DenseMatrix<T> hp_own = hp_full.slice_rows(vr_.begin, vr_.end);
+        const std::vector<T> s1 = matvec(hp_own, a1);
+        const std::vector<T> s2 = matvec(hp_full, a2);
+        const GatPsi<T> gp = psi_gat<T>(a_loc_, s1, s2, layer.attention_slope());
+        psi_loc = gp.psi;
+        scores_pre_loc = gp.scores_pre;
+        z_own = spmm(psi_loc, hp_full);
+        break;
+      }
+    }
+    DenseMatrix<T> h_out = activate(layer.activation(), z_own, T(0.01));
+    if (cache) {
+      cache->h_full = h_full;
+      cache->z_own = std::move(z_own);
+      cache->psi_loc = std::move(psi_loc);
+      cache->cos_loc = std::move(cos_loc);
+      cache->scores_pre_loc = std::move(scores_pre_loc);
+      cache->hp_full = std::move(hp_full);
+      cache->ph_own = std::move(ph_own);
+      cache->mlp_pre_own = std::move(mlp_pre_own);
+      cache->mlp_hidden_own = std::move(mlp_hidden_own);
+    }
+    return h_out;
+  }
+
+  DenseMatrix<T> layer_backward(const Layer<T>& layer,
+                                const Dist1dLayerCache<T>& cache,
+                                const DenseMatrix<T>& g_own, LayerGrads<T>& grads) {
+    const DenseMatrix<T>& w = layer.weights();
+    const index_t own = vr_.size();
+    const index_t k_in = layer.in_features();
+    DenseMatrix<T> h_own = cache.h_full.slice_rows(vr_.begin, vr_.end);
+
+    // Column-side gradient contributions live on all n rows; 1D has no
+    // column partition, so they are allreduced as a full n x k matrix —
+    // the 2 n k term of this scheme's volume.
+    DenseMatrix<T> gamma_full(n_, k_in, T(0));
+    switch (layer.kind()) {
+      case ModelKind::kGCN: {
+        comm::ComputeRegion t(world_.stats());
+        grads.d_w = matmul_tn(cache.ph_own, g_own);
+        const DenseMatrix<T> m_own = matmul_nt(g_own, w);
+        gamma_full = DenseMatrix<T>(n_, k_in, T(0));
+        spmm_accumulate_rows(a_loc_.transposed(), m_own, gamma_full);
+        break;
+      }
+      case ModelKind::kGIN: {
+        comm::ComputeRegion t(world_.stats());
+        grads.d_w2 = matmul_tn(cache.mlp_hidden_own, g_own);
+        const DenseMatrix<T> d_hidden = matmul_nt(g_own, layer.weights2());
+        const DenseMatrix<T> d_pre = activation_backward(
+            layer.mlp_activation(), cache.mlp_pre_own, d_hidden, T(0.01));
+        grads.d_w = matmul_tn(cache.ph_own, d_pre);
+        const DenseMatrix<T> d_x = matmul_nt(d_pre, w);
+        spmm_accumulate_rows(a_loc_.transposed(), d_x, gamma_full);
+        const T c = T(1) + layer.gin_epsilon();
+        for (index_t i = 0; i < own; ++i) {
+          T* dst = gamma_full.data() + (vr_.begin + i) * k_in;
+          const T* src = d_x.data() + i * k_in;
+          for (index_t j = 0; j < k_in; ++j) dst[j] += c * src[j];
+        }
+        break;
+      }
+      case ModelKind::kVA: {
+        comm::ComputeRegion t(world_.stats());
+        grads.d_w = matmul_tn(cache.ph_own, g_own);
+        const DenseMatrix<T> m_own = matmul_nt(g_own, w);
+        const CsrMatrix<T> n_loc = sddmm(a_loc_, m_own, cache.h_full);
+        spmm_accumulate_rows(n_loc.transposed(), h_own, gamma_full);
+        spmm_accumulate_rows(cache.psi_loc.transposed(), m_own, gamma_full);
+        const DenseMatrix<T> nh_own = spmm(n_loc, cache.h_full);
+        for (index_t i = 0; i < own; ++i) {
+          T* dst = gamma_full.data() + (vr_.begin + i) * k_in;
+          const T* src = nh_own.data() + i * k_in;
+          for (index_t j = 0; j < k_in; ++j) dst[j] += src[j];
+        }
+        break;
+      }
+      case ModelKind::kAGNN: {
+        comm::ComputeRegion t(world_.stats());
+        grads.d_w = matmul_tn(cache.ph_own, g_own);
+        const DenseMatrix<T> m_own = matmul_nt(g_own, w);
+        const CsrMatrix<T> d_loc = sddmm(a_loc_, m_own, cache.h_full);
+        const CsrMatrix<T> dc = hadamard_same_pattern(d_loc, cache.cos_loc);
+        const std::vector<T> rs_own = sparse_row_sums(dc);
+        const std::vector<T> cs_full = sparse_col_sums(dc);
+        const std::vector<T> norms = row_l2_norms(cache.h_full);
+        DenseMatrix<T> hhat = cache.h_full;
+        for (index_t i = 0; i < n_; ++i) {
+          const T ni = norms[static_cast<std::size_t>(i)];
+          if (ni <= T(0)) continue;
+          T* row = hhat.data() + i * k_in;
+          for (index_t j = 0; j < k_in; ++j) row[j] /= ni;
+        }
+        const DenseMatrix<T> hhat_own = hhat.slice_rows(vr_.begin, vr_.end);
+        DenseMatrix<T> col_part(n_, k_in, T(0));
+        spmm_accumulate_rows(d_loc.transposed(), hhat_own, col_part);
+        for (index_t j = 0; j < n_; ++j) {
+          const T nj = norms[static_cast<std::size_t>(j)];
+          T* row = col_part.data() + j * k_in;
+          if (nj <= T(0)) {
+            for (index_t g = 0; g < k_in; ++g) row[g] = T(0);
+            continue;
+          }
+          const T coef = cs_full[static_cast<std::size_t>(j)];
+          const T* hh = hhat.data() + j * k_in;
+          const T inv = T(1) / nj;
+          for (index_t g = 0; g < k_in; ++g) row[g] = (row[g] - coef * hh[g]) * inv;
+        }
+        axpy(T(1), col_part, gamma_full);
+        spmm_accumulate_rows(cache.psi_loc.transposed(), m_own, gamma_full);
+        const DenseMatrix<T> dh_own = spmm(d_loc, hhat);
+        for (index_t i = 0; i < own; ++i) {
+          const T ni = norms[static_cast<std::size_t>(vr_.begin + i)];
+          if (ni <= T(0)) continue;
+          T* dst = gamma_full.data() + (vr_.begin + i) * k_in;
+          const T* src = dh_own.data() + i * k_in;
+          const T coef = rs_own[static_cast<std::size_t>(i)];
+          const T* hh = hhat.data() + (vr_.begin + i) * k_in;
+          const T inv = T(1) / ni;
+          for (index_t g = 0; g < k_in; ++g) dst[g] += (src[g] - coef * hh[g]) * inv;
+        }
+        break;
+      }
+      case ModelKind::kGAT: {
+        comm::ComputeRegion t(world_.stats());
+        const index_t k_out = layer.out_features();
+        const std::span<const T> a_all(layer.attention_params());
+        const auto a1 = a_all.subspan(0, static_cast<std::size_t>(k_out));
+        const auto a2 = a_all.subspan(static_cast<std::size_t>(k_out));
+        const CsrMatrix<T> d_psi =
+            sddmm(cache.psi_loc.with_values(T(1)), g_own, cache.hp_full);
+        const CsrMatrix<T> d_e = row_softmax_backward(cache.psi_loc, d_psi);
+        CsrMatrix<T> d_c = d_e;
+        {
+          auto v = d_c.vals_mutable();
+          const auto pre = cache.scores_pre_loc.vals();
+          const T slope = layer.attention_slope();
+          for (index_t e = 0; e < d_c.nnz(); ++e) {
+            const T ce = pre[static_cast<std::size_t>(e)];
+            v[static_cast<std::size_t>(e)] *=
+                a_loc_.val_at(e) * (ce > T(0) ? T(1) : slope);
+          }
+        }
+        const std::vector<T> ds1_own = sparse_row_sums(d_c);
+        const std::vector<T> ds2_full = sparse_col_sums(d_c);
+        // dH' contributions to all rows (column side) + own-row terms.
+        DenseMatrix<T> dhp_full(n_, k_out, T(0));
+        spmm_accumulate_rows(cache.psi_loc.transposed(), g_own, dhp_full);
+        for (index_t i = 0; i < own; ++i) {
+          T* row = dhp_full.data() + (vr_.begin + i) * k_out;
+          const T s = ds1_own[static_cast<std::size_t>(i)];
+          for (index_t g = 0; g < k_out; ++g) row[g] += s * a1[static_cast<std::size_t>(g)];
+        }
+        add_outer_inplace(dhp_full, std::span<const T>(ds2_full), a2);
+        grads.d_w = matmul_tn(cache.h_full, dhp_full);
+        grads.d_a.assign(static_cast<std::size_t>(2 * k_out), T(0));
+        const DenseMatrix<T> hp_own = cache.hp_full.slice_rows(vr_.begin, vr_.end);
+        const std::vector<T> da1 = matvec_tn(hp_own, std::span<const T>(ds1_own));
+        const std::vector<T> da2 =
+            matvec_tn(cache.hp_full, std::span<const T>(ds2_full));
+        std::copy(da1.begin(), da1.end(), grads.d_a.begin());
+        std::copy(da2.begin(), da2.end(), grads.d_a.begin() + k_out);
+        gamma_full = matmul_nt(dhp_full, w);
+        break;
+      }
+    }
+
+    world_.allreduce_sum(grads.d_w.flat());
+    if (!grads.d_w2.empty()) world_.allreduce_sum(grads.d_w2.flat());
+    if (!grads.d_a.empty()) world_.allreduce_sum(std::span<T>(grads.d_a));
+    // The defining 1D cost: the full n x k gradient matrix is allreduced.
+    world_.allreduce_sum(gamma_full.flat());
+    return gamma_full.slice_rows(vr_.begin, vr_.end);
+  }
+
+  // spmm into specific rows of a taller output (offset 0 — the transposed
+  // local block already spans all n rows).
+  static void spmm_accumulate_rows(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
+                                   DenseMatrix<T>& out) {
+    AGNN_ASSERT(a.rows() == out.rows(), "1d accumulate: row mismatch");
+    spmm_accumulate(a, h, out);
+  }
+
+  comm::Communicator& world_;
+  int p_;
+  index_t n_;
+  BlockRange vr_;
+  GnnModel<T>& model_;
+  CsrMatrix<T> a_loc_;  // owned rows x n
+};
+
+}  // namespace agnn::dist

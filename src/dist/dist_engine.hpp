@@ -1,0 +1,630 @@
+// Distributed execution of the global tensor formulations (Section 6.3).
+//
+// Implements the A-stationary 1.5D scheme on a square sqrt(p) x sqrt(p)
+// process grid:
+//   * every per-edge sparse matrix (A, Psi, and the backward-pass sampled
+//     matrices N and D) is distributed in static 2D blocks and never moves;
+//   * tall dense matrices move between "layout B" (input: rows C_j,
+//     replicated across the grid column) and "layout R" (output: rows R_i,
+//     identical within the grid row) — see process_grid.hpp;
+//   * each layer: fetch the transpose-partner's feature block (nk/sqrt(p)
+//     words), compute the Psi block with the fused local kernels, SpMM the
+//     block, allreduce partial sums along the grid row, and redistribute the
+//     output to layout B for the next layer.
+//
+// Per layer this moves O(nk/sqrt(p) + k^2) words per rank — the global-
+// formulation bound of Section 7.1 — for forward, backward, and inference.
+// Every byte is charged through the Communicator's volume accounting, which
+// the theory-verification benchmark (bench_comm_volume) checks against the
+// closed-form bound.
+#pragma once
+
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "core/layer.hpp"
+#include "core/loss.hpp"
+#include "core/model.hpp"
+#include "core/optimizer.hpp"
+#include "dist/process_grid.hpp"
+#include "graph/graph.hpp"
+
+namespace agnn::dist {
+
+// Per-layer intermediates cached by the distributed forward pass.
+template <typename T>
+struct DistLayerCache {
+  DenseMatrix<T> h_b;         // H^l rows C_j
+  DenseMatrix<T> h_r;         // H^l rows R_i (partner-fetched; VA/AGNN)
+  DenseMatrix<T> z_b;         // Z^l rows C_j
+  CsrMatrix<T> psi_loc;       // Psi block (i, j)
+  CsrMatrix<T> cos_loc;       // AGNN: cosine block (Psi before A-weighting)
+  DenseMatrix<T> ph_r;        // (Psi H)_Ri; for GIN the full X = (A+(1+e)I)H
+  // GIN:
+  DenseMatrix<T> mlp_pre_r;   // (X W)_Ri pre-activation
+  DenseMatrix<T> mlp_hidden_r;  // sigma_mlp(X W)_Ri
+  // GAT:
+  DenseMatrix<T> hp_b;        // H' = H W rows C_j
+  CsrMatrix<T> scores_pre_loc;  // C block (pre-LeakyReLU)
+  std::vector<T> s1_r, s2_b;
+};
+
+template <typename T>
+class DistGnnEngine {
+ public:
+  // Collective constructor: every rank passes the same global adjacency and
+  // a model replica (identical across ranks by construction — same config
+  // seed). Block extraction is local; initial data distribution is not
+  // charged, matching the paper's accounting.
+  DistGnnEngine(comm::Communicator& world, const CsrMatrix<T>& a_global,
+                GnnModel<T>& model)
+      : world_(world),
+        grid_(ProcessGrid::side_for(world.size())),
+        gi_(grid_.row_of(world.rank())),
+        gj_(grid_.col_of(world.rank())),
+        row_comm_(world.split(gi_, gj_)),
+        col_comm_(world.split(grid_.q + gj_, gi_)),
+        n_(a_global.rows()),
+        ri_(block_range(n_, grid_.q, gi_)),
+        cj_(block_range(n_, grid_.q, gj_)),
+        model_(model) {
+    AGNN_ASSERT(a_global.rows() == a_global.cols(), "adjacency must be square");
+    a_loc_ = a_global.block(ri_.begin, ri_.end, cj_.begin, cj_.end);
+    a_loc_t_ = a_loc_.transposed();
+  }
+
+  index_t num_vertices() const { return n_; }
+  const BlockRange& row_block() const { return ri_; }
+  const BlockRange& col_block() const { return cj_; }
+  const CsrMatrix<T>& local_adjacency() const { return a_loc_; }
+
+  // ---- forward -------------------------------------------------------------
+
+  // Full forward pass; x_global is the (replicated) input feature matrix.
+  // Returns the final features in layout B (rows C_j). If `caches` is null,
+  // runs in inference mode.
+  DenseMatrix<T> forward(const DenseMatrix<T>& x_global,
+                         std::vector<DistLayerCache<T>>* caches) {
+    DenseMatrix<T> h_b = x_global.slice_rows(cj_.begin, cj_.end);
+    if (caches) caches->assign(model_.num_layers(), DistLayerCache<T>{});
+    for (std::size_t l = 0; l < model_.num_layers(); ++l) {
+      h_b = layer_forward(model_.layer(l), h_b, caches ? &(*caches)[l] : nullptr);
+    }
+    return h_b;
+  }
+
+  // Inference with a final gather of the global output (for validation and
+  // examples; the gather itself is a debug output path).
+  DenseMatrix<T> infer(const DenseMatrix<T>& x_global) {
+    const DenseMatrix<T> h_b = forward(x_global, nullptr);
+    return gather_layout_b(h_b);
+  }
+
+  // ---- training --------------------------------------------------------------
+
+  struct StepResult {
+    T loss = T(0);
+  };
+
+  // One full-batch training step. Labels and mask are replicated (like the
+  // input features). Gradients are globally allreduced, so the per-rank
+  // model replicas stay bitwise in sync.
+  StepResult train_step(const DenseMatrix<T>& x_global,
+                        std::span<const index_t> labels,
+                        Optimizer<T>& opt,
+                        std::span<const std::uint8_t> mask = {}) {
+    std::vector<DistLayerCache<T>> caches;
+    const DenseMatrix<T> h_b = forward(x_global, &caches);
+
+    // Loss on the local row block, normalized by the global active count.
+    index_t active = 0;
+    for (index_t i = 0; i < static_cast<index_t>(labels.size()); ++i) {
+      if (mask.empty() || mask[static_cast<std::size_t>(i)]) ++active;
+    }
+    const auto local_labels = labels.subspan(static_cast<std::size_t>(cj_.begin),
+                                             static_cast<std::size_t>(cj_.size()));
+    const auto local_mask =
+        mask.empty() ? mask
+                     : mask.subspan(static_cast<std::size_t>(cj_.begin),
+                                    static_cast<std::size_t>(cj_.size()));
+    LossResult<T> loss = softmax_cross_entropy(h_b, local_labels, local_mask, active);
+
+    // Scalar loss: blocks are replicated across grid rows, so only row 0
+    // contributes to the global sum.
+    std::vector<T> loss_buf{gi_ == 0 ? loss.value : T(0)};
+    world_.allreduce_sum(std::span<T>(loss_buf));
+
+    // G^L = nabla_H L ⊙ sigma'(Z^L), locally on layout B.
+    const auto& last = model_.layer(model_.num_layers() - 1);
+    DenseMatrix<T> g_b =
+        activation_backward(last.activation(), caches.back().z_b, loss.grad);
+
+    std::vector<LayerGrads<T>> grads(model_.num_layers());
+    for (std::size_t l = model_.num_layers(); l-- > 0;) {
+      DenseMatrix<T> gamma_b = layer_backward(model_.layer(l), caches[l], g_b, grads[l]);
+      if (l > 0) {
+        g_b = activation_backward(model_.layer(l - 1).activation(),
+                                  caches[l - 1].z_b, gamma_b);
+      }
+    }
+    model_.apply_gradients(grads, opt);
+    return {loss_buf[0]};
+  }
+
+  // ---- gathers (validation / output only) -----------------------------------
+
+  // Reassemble a layout-B distributed matrix into the full global matrix.
+  DenseMatrix<T> gather_layout_b(const DenseMatrix<T>& local_b) {
+    AGNN_ASSERT(local_b.rows() == cj_.size(), "gather: not a layout-B block");
+    // Blocks C_0..C_{q-1} are held (among others) by ranks (0, 0)..(0, q-1),
+    // which are world ranks 0..q-1 — exactly rank order for allgatherv.
+    std::span<const T> contrib;
+    if (gi_ == 0) contrib = local_b.flat();
+    const std::vector<T> flat = world_.allgatherv(contrib);
+    AGNN_ASSERT(static_cast<index_t>(flat.size()) == n_ * local_b.cols(),
+                "gather: unexpected total size");
+    return DenseMatrix<T>(n_, local_b.cols(), flat);
+  }
+
+  // Gather per-layer gradients (validation only): dW is already global.
+  // (grads from train_step are identical on all ranks.)
+
+ private:
+  // ---- layout exchange helpers ----------------------------------------------
+
+  // Transpose-partner exchange: give my layout-B block, receive the
+  // partner's — which is exactly my layout-R block (rows R_i). Also used in
+  // the other direction (R -> B). One block of nk/sqrt(p) words per rank.
+  DenseMatrix<T> partner_exchange(const DenseMatrix<T>& mine, index_t out_rows) {
+    DenseMatrix<T> out(out_rows, mine.cols());
+    auto win = world_.expose(std::span<const T>(mine.flat()));
+    win.get(out.flat(), grid_.partner_of(world_.rank()), 0);
+    win.close();
+    return out;
+  }
+
+  std::vector<T> partner_exchange_vec(const std::vector<T>& mine, index_t out_len) {
+    std::vector<T> out(static_cast<std::size_t>(out_len));
+    auto win = world_.expose(std::span<const T>(mine));
+    win.get(std::span<T>(out), grid_.partner_of(world_.rank()), 0);
+    win.close();
+    return out;
+  }
+
+  // Distributed graph softmax over grid rows: per-row max and sum span the
+  // whole grid row of blocks (Section 4.2 executed blockwise).
+  CsrMatrix<T> dist_row_softmax(const CsrMatrix<T>& e_loc) {
+    const index_t rows = e_loc.rows();
+    std::vector<T> row_max(static_cast<std::size_t>(rows),
+                           -std::numeric_limits<T>::infinity());
+    for (index_t i = 0; i < rows; ++i) {
+      for (index_t e = e_loc.row_begin(i); e < e_loc.row_end(i); ++e) {
+        row_max[static_cast<std::size_t>(i)] =
+            std::max(row_max[static_cast<std::size_t>(i)], e_loc.val_at(e));
+      }
+    }
+    row_comm_.allreduce_max(std::span<T>(row_max));
+    CsrMatrix<T> s = e_loc;
+    auto v = s.vals_mutable();
+    std::vector<T> row_sum(static_cast<std::size_t>(rows), T(0));
+    for (index_t i = 0; i < rows; ++i) {
+      const T mx = row_max[static_cast<std::size_t>(i)];
+      for (index_t e = s.row_begin(i); e < s.row_end(i); ++e) {
+        const T ex = std::exp(e_loc.val_at(e) - mx);
+        v[static_cast<std::size_t>(e)] = ex;
+        row_sum[static_cast<std::size_t>(i)] += ex;
+      }
+    }
+    row_comm_.allreduce_sum(std::span<T>(row_sum));
+    for (index_t i = 0; i < rows; ++i) {
+      const T rs = row_sum[static_cast<std::size_t>(i)];
+      if (rs <= T(0)) continue;
+      const T inv = T(1) / rs;
+      for (index_t e = s.row_begin(i); e < s.row_end(i); ++e) {
+        v[static_cast<std::size_t>(e)] *= inv;
+      }
+    }
+    return s;
+  }
+
+  // ---- per-layer forward -----------------------------------------------------
+
+  DenseMatrix<T> layer_forward(const Layer<T>& layer, const DenseMatrix<T>& h_b,
+                               DistLayerCache<T>* cache) {
+    // Model parameters are replicated: broadcast from rank 0 (values are
+    // already identical; this charges the O(k^2) parameter-movement term).
+    DenseMatrix<T> w = layer.weights();
+    world_.broadcast(w.flat(), 0);
+    std::vector<T> a = layer.attention_params();
+    if (!a.empty()) world_.broadcast(std::span<T>(a), 0);
+    DenseMatrix<T> w2 = layer.weights2();
+    if (!w2.empty()) world_.broadcast(w2.flat(), 0);
+
+    CsrMatrix<T> psi_loc;
+    CsrMatrix<T> cos_loc;
+    CsrMatrix<T> scores_pre_loc;
+    DenseMatrix<T> h_r, hp_b;
+    std::vector<T> s1_r, s2_b;
+    const DenseMatrix<T>* x_b = &h_b;  // aggregation input
+
+    switch (layer.kind()) {
+      case ModelKind::kGCN: {
+        psi_loc = a_loc_;
+        break;
+      }
+      case ModelKind::kGIN: {
+        // Plain-sum aggregation over A; the (1+eps) self term needs the
+        // R_i rows of H, which arrive via the partner exchange.
+        h_r = partner_exchange(h_b, ri_.size());
+        psi_loc = a_loc_;
+        break;
+      }
+      case ModelKind::kVA: {
+        h_r = partner_exchange(h_b, ri_.size());
+        comm::ComputeRegion t(world_.stats());
+        psi_loc = sddmm(a_loc_, h_r, h_b);
+        break;
+      }
+      case ModelKind::kAGNN: {
+        h_r = partner_exchange(h_b, ri_.size());
+        comm::ComputeRegion t(world_.stats());
+        // Cosine block: sampled dot products divided by the row/col norms.
+        // Norms are local because full feature rows are local in each layout.
+        cos_loc = sddmm(a_loc_.with_values(T(1)), h_r, h_b);
+        const std::vector<T> nr = inv_norms(h_r);
+        const std::vector<T> nc = inv_norms(h_b);
+        cos_loc = scale_rows_cols<T>(cos_loc, nr, nc);
+        psi_loc = hadamard_same_pattern(cos_loc, a_loc_);
+        break;
+      }
+      case ModelKind::kGAT: {
+        {
+          comm::ComputeRegion t(world_.stats());
+          hp_b = matmul(h_b, w);
+          const std::span<const T> a_all(a);
+          const auto a1 = a_all.subspan(0, static_cast<std::size_t>(layer.out_features()));
+          const auto a2 = a_all.subspan(static_cast<std::size_t>(layer.out_features()));
+          s2_b = matvec(hp_b, a2);
+          s1_r.clear();
+        }
+        std::vector<T> s1_b = matvec(hp_b, std::span<const T>(a).subspan(
+                                               0, static_cast<std::size_t>(
+                                                      layer.out_features())));
+        s1_r = partner_exchange_vec(s1_b, ri_.size());
+        {
+          comm::ComputeRegion t(world_.stats());
+          // E block: A ⊙ LeakyReLU(s1 1^T + 1 s2^T) sampled on the edges.
+          scores_pre_loc = a_loc_;
+          CsrMatrix<T> e_loc = a_loc_;
+          auto pre = scores_pre_loc.vals_mutable();
+          auto ev = e_loc.vals_mutable();
+          const T slope = layer.attention_slope();
+          for (index_t i = 0; i < a_loc_.rows(); ++i) {
+            const T s1i = s1_r[static_cast<std::size_t>(i)];
+            for (index_t e = a_loc_.row_begin(i); e < a_loc_.row_end(i); ++e) {
+              const T c = s1i + s2_b[static_cast<std::size_t>(a_loc_.col_at(e))];
+              pre[static_cast<std::size_t>(e)] = c;
+              ev[static_cast<std::size_t>(e)] =
+                  a_loc_.val_at(e) * (c > T(0) ? c : slope * c);
+            }
+          }
+          psi_loc = std::move(e_loc);
+        }
+        psi_loc = dist_row_softmax(psi_loc);
+        x_b = &hp_b;
+        break;
+      }
+    }
+
+    // Aggregation: local block SpMM, then reduce partial sums along the row.
+    DenseMatrix<T> partial;
+    {
+      comm::ComputeRegion t(world_.stats());
+      partial = spmm(psi_loc, *x_b);
+    }
+    row_comm_.allreduce_sum(partial.flat());
+    DenseMatrix<T> z_r, mlp_pre_r, mlp_hidden_r;
+    {
+      comm::ComputeRegion t(world_.stats());
+      switch (layer.kind()) {
+        case ModelKind::kGAT:
+          z_r = partial;
+          break;
+        case ModelKind::kGIN:
+          // X = (A H) + (1+eps) H, then the per-row MLP.
+          axpy(T(1) + layer.gin_epsilon(), h_r, partial);
+          mlp_pre_r = matmul(partial, w);
+          mlp_hidden_r = activate(layer.mlp_activation(), mlp_pre_r, T(0.01));
+          z_r = matmul(mlp_hidden_r, w2);
+          break;
+        default:
+          z_r = matmul(partial, w);
+      }
+    }
+    // Redistribute Z from layout R to layout B to link into the next layer.
+    DenseMatrix<T> z_b = partner_exchange(z_r, cj_.size());
+    DenseMatrix<T> h_out;
+    {
+      comm::ComputeRegion t(world_.stats());
+      h_out = activate(layer.activation(), z_b, T(0.01));
+    }
+
+    if (cache) {
+      cache->h_b = h_b;
+      cache->h_r = std::move(h_r);
+      cache->z_b = std::move(z_b);
+      cache->psi_loc = std::move(psi_loc);
+      cache->cos_loc = std::move(cos_loc);
+      cache->ph_r = std::move(partial);
+      cache->mlp_pre_r = std::move(mlp_pre_r);
+      cache->mlp_hidden_r = std::move(mlp_hidden_r);
+      cache->hp_b = std::move(hp_b);
+      cache->scores_pre_loc = std::move(scores_pre_loc);
+      cache->s1_r = std::move(s1_r);
+      cache->s2_b = std::move(s2_b);
+    }
+    return h_out;
+  }
+
+  // ---- per-layer backward -----------------------------------------------------
+
+  DenseMatrix<T> layer_backward(const Layer<T>& layer, const DistLayerCache<T>& cache,
+                                const DenseMatrix<T>& g_b, LayerGrads<T>& grads) {
+    const DenseMatrix<T>& w = layer.weights();
+    switch (layer.kind()) {
+      case ModelKind::kGCN: return backward_gcn(layer, cache, g_b, grads, w);
+      case ModelKind::kVA: return backward_va(layer, cache, g_b, grads, w);
+      case ModelKind::kAGNN: return backward_agnn(layer, cache, g_b, grads, w);
+      case ModelKind::kGAT: return backward_gat(layer, cache, g_b, grads, w);
+      case ModelKind::kGIN: return backward_gin(layer, cache, g_b, grads, w);
+    }
+    AGNN_ASSERT(false, "unknown model kind");
+    return {};
+  }
+
+  DenseMatrix<T> backward_gcn(const Layer<T>&, const DistLayerCache<T>& cache,
+                              const DenseMatrix<T>& g_b, LayerGrads<T>& grads,
+                              const DenseMatrix<T>& w) {
+    const DenseMatrix<T> g_r = partner_exchange(g_b, ri_.size());
+    grads.d_w = weight_grad_r(cache.ph_r, g_r);
+    comm::ComputeRegion t(world_.stats());
+    DenseMatrix<T> m_r = matmul_nt(g_r, w);
+    DenseMatrix<T> gamma_b = spmm(a_loc_t_, m_r);
+    col_comm_.allreduce_sum(gamma_b.flat());
+    return gamma_b;
+  }
+
+  // GIN: dW2 = hidden^T G, dPre = (G W2^T) ⊙ sigma_mlp'(pre),
+  // dW = X^T dPre, dX = dPre W^T, Gamma = A^T dX + (1+eps) dX.
+  // All tall operands are cached in layout R; G is fetched into layout R.
+  DenseMatrix<T> backward_gin(const Layer<T>& layer, const DistLayerCache<T>& cache,
+                              const DenseMatrix<T>& g_b, LayerGrads<T>& grads,
+                              const DenseMatrix<T>& w) {
+    const DenseMatrix<T> g_r = partner_exchange(g_b, ri_.size());
+    grads.d_w2 = weight_grad_r(cache.mlp_hidden_r, g_r);
+    DenseMatrix<T> dx_r, gamma_b;
+    {
+      comm::ComputeRegion t(world_.stats());
+      const DenseMatrix<T> d_hidden = matmul_nt(g_r, layer.weights2());
+      const DenseMatrix<T> d_pre = activation_backward(
+          layer.mlp_activation(), cache.mlp_pre_r, d_hidden, T(0.01));
+      // dW contribution from column 0 of the grid (layout-R replication).
+      DenseMatrix<T> dw(w.rows(), w.cols(), T(0));
+      if (gj_ == 0) dw = matmul_tn(cache.ph_r, d_pre);
+      grads.d_w = std::move(dw);
+      dx_r = matmul_nt(d_pre, w);
+      gamma_b = spmm(a_loc_t_, dx_r);
+    }
+    world_.allreduce_sum(grads.d_w.flat());
+    col_comm_.allreduce_sum(gamma_b.flat());
+    DenseMatrix<T> dx_b = partner_exchange(dx_r, cj_.size());
+    comm::ComputeRegion t(world_.stats());
+    axpy(T(1) + layer.gin_epsilon(), dx_b, gamma_b);
+    return gamma_b;
+  }
+
+  DenseMatrix<T> backward_va(const Layer<T>&, const DistLayerCache<T>& cache,
+                             const DenseMatrix<T>& g_b, LayerGrads<T>& grads,
+                             const DenseMatrix<T>& w) {
+    DenseMatrix<T> m_b;
+    {
+      comm::ComputeRegion t(world_.stats());
+      m_b = matmul_nt(g_b, w);
+    }
+    const DenseMatrix<T> m_r = partner_exchange(m_b, ri_.size());
+    const DenseMatrix<T> g_r = partner_exchange(g_b, ri_.size());
+    grads.d_w = weight_grad_r(cache.ph_r, g_r);
+
+    DenseMatrix<T> nh_r, gamma2_b;
+    {
+      comm::ComputeRegion t(world_.stats());
+      // N block = A ⊙ (M H^T): the backward SDDMM on the stationary pattern.
+      const CsrMatrix<T> n_loc = sddmm(a_loc_, m_r, cache.h_b);
+      nh_r = spmm(n_loc, cache.h_b);
+      gamma2_b = spmm(n_loc.transposed(), cache.h_r);
+      spmm_accumulate(cache.psi_loc.transposed(), m_r, gamma2_b);
+    }
+    row_comm_.allreduce_sum(nh_r.flat());
+    col_comm_.allreduce_sum(gamma2_b.flat());
+    DenseMatrix<T> gamma_b = partner_exchange(nh_r, cj_.size());
+    comm::ComputeRegion t(world_.stats());
+    axpy(T(1), gamma2_b, gamma_b);
+    return gamma_b;
+  }
+
+  DenseMatrix<T> backward_agnn(const Layer<T>&, const DistLayerCache<T>& cache,
+                               const DenseMatrix<T>& g_b, LayerGrads<T>& grads,
+                               const DenseMatrix<T>& w) {
+    DenseMatrix<T> m_b;
+    {
+      comm::ComputeRegion t(world_.stats());
+      m_b = matmul_nt(g_b, w);
+    }
+    const DenseMatrix<T> m_r = partner_exchange(m_b, ri_.size());
+    const DenseMatrix<T> g_r = partner_exchange(g_b, ri_.size());
+    grads.d_w = weight_grad_r(cache.ph_r, g_r);
+
+    DenseMatrix<T> dh_r, dth_b, gamma_agg_b;
+    std::vector<T> rs_r, cs_b;
+    std::vector<T> norms_b;
+    DenseMatrix<T> hhat_b, hhat_r;
+    {
+      comm::ComputeRegion t(world_.stats());
+      const CsrMatrix<T> d_loc = sddmm(a_loc_, m_r, cache.h_b);
+      const CsrMatrix<T> dc = hadamard_same_pattern(d_loc, cache.cos_loc);
+      rs_r = sparse_row_sums(dc);
+      cs_b = sparse_col_sums(dc);
+      norms_b = row_l2_norms(cache.h_b);
+      hhat_b = unit_rows(cache.h_b);
+      hhat_r = unit_rows(cache.h_r);
+      dh_r = spmm(d_loc, hhat_b);
+      dth_b = spmm(d_loc.transposed(), hhat_r);
+      gamma_agg_b = spmm(cache.psi_loc.transposed(), m_r);
+    }
+    row_comm_.allreduce_sum(std::span<T>(rs_r));
+    col_comm_.allreduce_sum(std::span<T>(cs_b));
+    row_comm_.allreduce_sum(dh_r.flat());
+    col_comm_.allreduce_sum(dth_b.flat());
+    col_comm_.allreduce_sum(gamma_agg_b.flat());
+    const std::vector<T> rs_b = partner_exchange_vec(rs_r, cj_.size());
+    DenseMatrix<T> sum_b = partner_exchange(dh_r, cj_.size());
+
+    comm::ComputeRegion t(world_.stats());
+    axpy(T(1), dth_b, sum_b);
+    const index_t k = sum_b.cols();
+    for (index_t i = 0; i < sum_b.rows(); ++i) {
+      const T ni = norms_b[static_cast<std::size_t>(i)];
+      T* row = sum_b.data() + i * k;
+      if (ni <= T(0)) {
+        for (index_t j = 0; j < k; ++j) row[j] = T(0);
+        continue;
+      }
+      const T coef = rs_b[static_cast<std::size_t>(i)] + cs_b[static_cast<std::size_t>(i)];
+      const T* hh = hhat_b.data() + i * k;
+      const T inv = T(1) / ni;
+      for (index_t j = 0; j < k; ++j) row[j] = (row[j] - coef * hh[j]) * inv;
+    }
+    axpy(T(1), gamma_agg_b, sum_b);
+    return sum_b;
+  }
+
+  DenseMatrix<T> backward_gat(const Layer<T>& layer, const DistLayerCache<T>& cache,
+                              const DenseMatrix<T>& g_b, LayerGrads<T>& grads,
+                              const DenseMatrix<T>& w) {
+    const DenseMatrix<T> g_r = partner_exchange(g_b, ri_.size());
+    const index_t k_out = layer.out_features();
+    const std::span<const T> a_all(layer.attention_params());
+    const auto a1 = a_all.subspan(0, static_cast<std::size_t>(k_out));
+    const auto a2 = a_all.subspan(static_cast<std::size_t>(k_out));
+
+    CsrMatrix<T> d_psi;
+    std::vector<T> dots_r(static_cast<std::size_t>(ri_.size()), T(0));
+    {
+      comm::ComputeRegion t(world_.stats());
+      d_psi = sddmm(cache.psi_loc.with_values(T(1)), g_r, cache.hp_b);
+      for (index_t i = 0; i < cache.psi_loc.rows(); ++i) {
+        T acc = T(0);
+        for (index_t e = cache.psi_loc.row_begin(i); e < cache.psi_loc.row_end(i); ++e) {
+          acc += cache.psi_loc.val_at(e) * d_psi.val_at(e);
+        }
+        dots_r[static_cast<std::size_t>(i)] = acc;
+      }
+    }
+    // The softmax Jacobian's per-row dot spans the whole grid row.
+    row_comm_.allreduce_sum(std::span<T>(dots_r));
+
+    std::vector<T> ds1_r, ds2_b;
+    DenseMatrix<T> dhp_b;
+    {
+      comm::ComputeRegion t(world_.stats());
+      CsrMatrix<T> d_c = d_psi;
+      auto v = d_c.vals_mutable();
+      const auto pre = cache.scores_pre_loc.vals();
+      const T slope = layer.attention_slope();
+      for (index_t i = 0; i < d_c.rows(); ++i) {
+        const T dot = dots_r[static_cast<std::size_t>(i)];
+        for (index_t e = d_c.row_begin(i); e < d_c.row_end(i); ++e) {
+          const T de = cache.psi_loc.val_at(e) * (d_psi.val_at(e) - dot);
+          const T c = pre[static_cast<std::size_t>(e)];
+          v[static_cast<std::size_t>(e)] =
+              de * a_loc_.val_at(e) * (c > T(0) ? T(1) : slope);
+        }
+      }
+      ds1_r = sparse_row_sums(d_c);
+      ds2_b = sparse_col_sums(d_c);
+      dhp_b = spmm(cache.psi_loc.transposed(), g_r);
+    }
+    row_comm_.allreduce_sum(std::span<T>(ds1_r));
+    col_comm_.allreduce_sum(std::span<T>(ds2_b));
+    col_comm_.allreduce_sum(dhp_b.flat());
+    const std::vector<T> ds1_b = partner_exchange_vec(ds1_r, cj_.size());
+
+    {
+      comm::ComputeRegion t(world_.stats());
+      add_outer_inplace(dhp_b, std::span<const T>(ds1_b), a1);
+      add_outer_inplace(dhp_b, std::span<const T>(ds2_b), a2);
+    }
+
+    // Parameter gradients: layout-B contributions are replicated across grid
+    // rows, so only grid row 0 contributes before the global allreduce.
+    DenseMatrix<T> dw(w.rows(), w.cols(), T(0));
+    std::vector<T> da(static_cast<std::size_t>(2 * k_out), T(0));
+    if (gi_ == 0) {
+      comm::ComputeRegion t(world_.stats());
+      dw = matmul_tn(cache.h_b, dhp_b);
+      const std::vector<T> da1 = matvec_tn(cache.hp_b, std::span<const T>(ds1_b));
+      const std::vector<T> da2 = matvec_tn(cache.hp_b, std::span<const T>(ds2_b));
+      std::copy(da1.begin(), da1.end(), da.begin());
+      std::copy(da2.begin(), da2.end(), da.begin() + k_out);
+    }
+    world_.allreduce_sum(dw.flat());
+    world_.allreduce_sum(std::span<T>(da));
+    grads.d_w = std::move(dw);
+    grads.d_a = std::move(da);
+
+    comm::ComputeRegion t(world_.stats());
+    return matmul_nt(dhp_b, w);
+  }
+
+  // dW = sum_i (PH)_Ri^T G_Ri: layout-R contributions are replicated across
+  // grid columns, so only grid column 0 contributes, then allreduce.
+  DenseMatrix<T> weight_grad_r(const DenseMatrix<T>& ph_r, const DenseMatrix<T>& g_r) {
+    DenseMatrix<T> dw(ph_r.cols(), g_r.cols(), T(0));
+    if (gj_ == 0) {
+      comm::ComputeRegion t(world_.stats());
+      dw = matmul_tn(ph_r, g_r);
+    }
+    world_.allreduce_sum(dw.flat());
+    return dw;
+  }
+
+  static std::vector<T> inv_norms(const DenseMatrix<T>& h) {
+    std::vector<T> n = row_l2_norms(h);
+    for (auto& v : n) v = v > T(0) ? T(1) / v : T(0);
+    return n;
+  }
+
+  static DenseMatrix<T> unit_rows(const DenseMatrix<T>& h) {
+    DenseMatrix<T> out = h;
+    const std::vector<T> n = row_l2_norms(h);
+    for (index_t i = 0; i < h.rows(); ++i) {
+      const T ni = n[static_cast<std::size_t>(i)];
+      if (ni <= T(0)) continue;
+      T* row = out.data() + i * h.cols();
+      for (index_t j = 0; j < h.cols(); ++j) row[j] /= ni;
+    }
+    return out;
+  }
+
+  comm::Communicator& world_;
+  ProcessGrid grid_;
+  int gi_, gj_;
+  comm::Communicator row_comm_, col_comm_;
+  index_t n_;
+  BlockRange ri_, cj_;
+  GnnModel<T>& model_;
+  CsrMatrix<T> a_loc_;
+  CsrMatrix<T> a_loc_t_;
+};
+
+}  // namespace agnn::dist

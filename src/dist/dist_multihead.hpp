@@ -1,0 +1,347 @@
+// Distributed multi-head GAT on the 1.5D process grid: each attention head
+// runs the single-head GAT scheme of dist_engine.hpp (stationary 2D sparse
+// blocks, partner feature exchanges, row/column reductions, distributed
+// graph softmax), and the heads' outputs are combined per the layer's
+// concat/average rule. Per rank, per layer: heads x O(n k_head / sqrt(p))
+// words — multi-head attention multiplies the volume by the head count but
+// keeps the sqrt(p) scaling.
+#pragma once
+
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "core/loss.hpp"
+#include "core/multihead_gat.hpp"
+#include "dist/process_grid.hpp"
+#include "graph/graph.hpp"
+
+namespace agnn::dist {
+
+template <typename T>
+struct DistMultiHeadCache {
+  DenseMatrix<T> h_b;  // layer input, rows C_j
+  DenseMatrix<T> z_b;  // combined pre-activation, rows C_j
+  struct Head {
+    CsrMatrix<T> psi_loc;
+    CsrMatrix<T> scores_pre_loc;
+    DenseMatrix<T> hp_b;
+    std::vector<T> s1_r, s2_b;
+  };
+  std::vector<Head> heads;
+};
+
+template <typename T>
+class DistMultiHeadGatEngine {
+ public:
+  DistMultiHeadGatEngine(comm::Communicator& world, const CsrMatrix<T>& a_global,
+                         MultiHeadGat<T>& model)
+      : world_(world),
+        grid_(ProcessGrid::side_for(world.size())),
+        gi_(grid_.row_of(world.rank())),
+        gj_(grid_.col_of(world.rank())),
+        row_comm_(world.split(gi_, gj_)),
+        col_comm_(world.split(grid_.q + gj_, gi_)),
+        n_(a_global.rows()),
+        ri_(block_range(n_, grid_.q, gi_)),
+        cj_(block_range(n_, grid_.q, gj_)),
+        model_(model) {
+    AGNN_ASSERT(a_global.rows() == a_global.cols(), "adjacency must be square");
+    a_loc_ = a_global.block(ri_.begin, ri_.end, cj_.begin, cj_.end);
+  }
+
+  DenseMatrix<T> forward(const DenseMatrix<T>& x_global,
+                         std::vector<DistMultiHeadCache<T>>* caches) {
+    DenseMatrix<T> h_b = x_global.slice_rows(cj_.begin, cj_.end);
+    if (caches) caches->assign(model_.num_layers(), DistMultiHeadCache<T>{});
+    for (std::size_t l = 0; l < model_.num_layers(); ++l) {
+      h_b = layer_forward(model_.layer(l), h_b, caches ? &(*caches)[l] : nullptr);
+    }
+    return h_b;
+  }
+
+  DenseMatrix<T> infer(const DenseMatrix<T>& x_global) {
+    const DenseMatrix<T> h_b = forward(x_global, nullptr);
+    std::span<const T> contrib;
+    if (gi_ == 0) contrib = h_b.flat();
+    const std::vector<T> flat = world_.allgatherv(contrib);
+    return DenseMatrix<T>(n_, h_b.cols(), flat);
+  }
+
+  struct StepResult {
+    T loss = T(0);
+  };
+
+  StepResult train_step(const DenseMatrix<T>& x_global,
+                        std::span<const index_t> labels, Optimizer<T>& opt,
+                        std::span<const std::uint8_t> mask = {}) {
+    std::vector<DistMultiHeadCache<T>> caches;
+    const DenseMatrix<T> h_b = forward(x_global, &caches);
+
+    index_t active = 0;
+    for (index_t i = 0; i < static_cast<index_t>(labels.size()); ++i) {
+      if (mask.empty() || mask[static_cast<std::size_t>(i)]) ++active;
+    }
+    const auto local_labels = labels.subspan(static_cast<std::size_t>(cj_.begin),
+                                             static_cast<std::size_t>(cj_.size()));
+    const auto local_mask =
+        mask.empty() ? mask
+                     : mask.subspan(static_cast<std::size_t>(cj_.begin),
+                                    static_cast<std::size_t>(cj_.size()));
+    LossResult<T> loss = softmax_cross_entropy(h_b, local_labels, local_mask, active);
+    std::vector<T> loss_buf{gi_ == 0 ? loss.value : T(0)};
+    world_.allreduce_sum(std::span<T>(loss_buf));
+
+    const auto& last = model_.layer(model_.num_layers() - 1);
+    DenseMatrix<T> g_b =
+        activation_backward(last.activation(), caches.back().z_b, loss.grad);
+    std::vector<MultiHeadGrads<T>> grads(model_.num_layers());
+    for (std::size_t l = model_.num_layers(); l-- > 0;) {
+      DenseMatrix<T> gamma_b = layer_backward(model_.layer(l), caches[l], g_b, grads[l]);
+      if (l > 0) {
+        g_b = activation_backward(model_.layer(l - 1).activation(),
+                                  caches[l - 1].z_b, gamma_b);
+      }
+    }
+    model_.apply_gradients(grads, opt);
+    return {loss_buf[0]};
+  }
+
+ private:
+  DenseMatrix<T> partner_exchange(const DenseMatrix<T>& mine, index_t out_rows) {
+    DenseMatrix<T> out(out_rows, mine.cols());
+    auto win = world_.expose(std::span<const T>(mine.flat()));
+    win.get(out.flat(), grid_.partner_of(world_.rank()), 0);
+    win.close();
+    return out;
+  }
+
+  std::vector<T> partner_exchange_vec(const std::vector<T>& mine, index_t out_len) {
+    std::vector<T> out(static_cast<std::size_t>(out_len));
+    auto win = world_.expose(std::span<const T>(mine));
+    win.get(std::span<T>(out), grid_.partner_of(world_.rank()), 0);
+    win.close();
+    return out;
+  }
+
+  CsrMatrix<T> dist_row_softmax(const CsrMatrix<T>& e_loc) {
+    const index_t rows = e_loc.rows();
+    std::vector<T> row_max(static_cast<std::size_t>(rows),
+                           -std::numeric_limits<T>::infinity());
+    for (index_t i = 0; i < rows; ++i) {
+      for (index_t e = e_loc.row_begin(i); e < e_loc.row_end(i); ++e) {
+        row_max[static_cast<std::size_t>(i)] =
+            std::max(row_max[static_cast<std::size_t>(i)], e_loc.val_at(e));
+      }
+    }
+    row_comm_.allreduce_max(std::span<T>(row_max));
+    CsrMatrix<T> s = e_loc;
+    auto v = s.vals_mutable();
+    std::vector<T> row_sum(static_cast<std::size_t>(rows), T(0));
+    for (index_t i = 0; i < rows; ++i) {
+      const T mx = row_max[static_cast<std::size_t>(i)];
+      for (index_t e = s.row_begin(i); e < s.row_end(i); ++e) {
+        const T ex = std::exp(e_loc.val_at(e) - mx);
+        v[static_cast<std::size_t>(e)] = ex;
+        row_sum[static_cast<std::size_t>(i)] += ex;
+      }
+    }
+    row_comm_.allreduce_sum(std::span<T>(row_sum));
+    for (index_t i = 0; i < rows; ++i) {
+      const T rs = row_sum[static_cast<std::size_t>(i)];
+      if (rs <= T(0)) continue;
+      const T inv = T(1) / rs;
+      for (index_t e = s.row_begin(i); e < s.row_end(i); ++e) {
+        v[static_cast<std::size_t>(e)] *= inv;
+      }
+    }
+    return s;
+  }
+
+  DenseMatrix<T> layer_forward(const MultiHeadGatLayer<T>& layer,
+                               const DenseMatrix<T>& h_b,
+                               DistMultiHeadCache<T>* cache) {
+    const index_t k_head = layer.head_features();
+    const index_t out = layer.out_features();
+    const T head_scale = layer.combine() == HeadCombine::kAverage
+                             ? T(1) / static_cast<T>(layer.num_heads())
+                             : T(1);
+    DenseMatrix<T> z_r(ri_.size(), out, T(0));
+    if (cache) {
+      cache->h_b = h_b;
+      cache->heads.assign(static_cast<std::size_t>(layer.num_heads()),
+                          typename DistMultiHeadCache<T>::Head{});
+    }
+    for (int hd = 0; hd < layer.num_heads(); ++hd) {
+      DenseMatrix<T> w = layer.head(hd).w;
+      world_.broadcast(w.flat(), 0);
+      std::vector<T> a = layer.head(hd).a;
+      world_.broadcast(std::span<T>(a), 0);
+
+      DenseMatrix<T> hp_b;
+      std::vector<T> s1_b, s2_b;
+      {
+        comm::ComputeRegion t(world_.stats());
+        hp_b = matmul(h_b, w);
+        const std::span<const T> a_all(a);
+        s1_b = matvec(hp_b, a_all.subspan(0, static_cast<std::size_t>(k_head)));
+        s2_b = matvec(hp_b, a_all.subspan(static_cast<std::size_t>(k_head)));
+      }
+      const std::vector<T> s1_r = partner_exchange_vec(s1_b, ri_.size());
+
+      CsrMatrix<T> scores_pre = a_loc_;
+      CsrMatrix<T> e_loc = a_loc_;
+      {
+        comm::ComputeRegion t(world_.stats());
+        auto pre = scores_pre.vals_mutable();
+        auto ev = e_loc.vals_mutable();
+        const T slope = layer.attention_slope();
+        for (index_t i = 0; i < a_loc_.rows(); ++i) {
+          const T s1i = s1_r[static_cast<std::size_t>(i)];
+          for (index_t e = a_loc_.row_begin(i); e < a_loc_.row_end(i); ++e) {
+            const T c = s1i + s2_b[static_cast<std::size_t>(a_loc_.col_at(e))];
+            pre[static_cast<std::size_t>(e)] = c;
+            ev[static_cast<std::size_t>(e)] =
+                a_loc_.val_at(e) * (c > T(0) ? c : slope * c);
+          }
+        }
+      }
+      CsrMatrix<T> psi_loc = dist_row_softmax(e_loc);
+      DenseMatrix<T> partial;
+      {
+        comm::ComputeRegion t(world_.stats());
+        partial = spmm(psi_loc, hp_b);
+      }
+      row_comm_.allreduce_sum(partial.flat());
+      {
+        comm::ComputeRegion t(world_.stats());
+        const index_t off = layer.combine() == HeadCombine::kConcat
+                                ? static_cast<index_t>(hd) * k_head
+                                : 0;
+        for (index_t i = 0; i < z_r.rows(); ++i) {
+          T* dst = z_r.data() + i * out + off;
+          const T* src = partial.data() + i * k_head;
+          for (index_t j = 0; j < k_head; ++j) dst[j] += head_scale * src[j];
+        }
+      }
+      if (cache) {
+        auto& hc = cache->heads[static_cast<std::size_t>(hd)];
+        hc.psi_loc = std::move(psi_loc);
+        hc.scores_pre_loc = std::move(scores_pre);
+        hc.hp_b = std::move(hp_b);
+        hc.s1_r = s1_r;
+        hc.s2_b = std::move(s2_b);
+      }
+    }
+    DenseMatrix<T> z_b = partner_exchange(z_r, cj_.size());
+    DenseMatrix<T> h_out;
+    {
+      comm::ComputeRegion t(world_.stats());
+      h_out = activate(layer.activation(), z_b, T(0.01));
+    }
+    if (cache) cache->z_b = std::move(z_b);
+    return h_out;
+  }
+
+  DenseMatrix<T> layer_backward(const MultiHeadGatLayer<T>& layer,
+                                const DistMultiHeadCache<T>& cache,
+                                const DenseMatrix<T>& g_b, MultiHeadGrads<T>& grads) {
+    const index_t k_head = layer.head_features();
+    const index_t out = layer.out_features();
+    const T head_scale = layer.combine() == HeadCombine::kAverage
+                             ? T(1) / static_cast<T>(layer.num_heads())
+                             : T(1);
+    const DenseMatrix<T> g_r = partner_exchange(g_b, ri_.size());
+    grads.heads.resize(static_cast<std::size_t>(layer.num_heads()));
+    DenseMatrix<T> gamma_b(cj_.size(), layer.in_features(), T(0));
+
+    for (int hd = 0; hd < layer.num_heads(); ++hd) {
+      const auto& p = layer.head(hd);
+      const auto& hc = cache.heads[static_cast<std::size_t>(hd)];
+      const index_t off = layer.combine() == HeadCombine::kConcat
+                              ? static_cast<index_t>(hd) * k_head
+                              : 0;
+      // Slice/scale the head's gradient, in both layouts.
+      DenseMatrix<T> gh_r(g_r.rows(), k_head);
+      for (index_t i = 0; i < g_r.rows(); ++i) {
+        const T* src = g_r.data() + i * out + off;
+        T* dst = gh_r.data() + i * k_head;
+        for (index_t j = 0; j < k_head; ++j) dst[j] = head_scale * src[j];
+      }
+
+      CsrMatrix<T> d_psi;
+      std::vector<T> dots_r(static_cast<std::size_t>(ri_.size()), T(0));
+      {
+        comm::ComputeRegion t(world_.stats());
+        d_psi = sddmm(hc.psi_loc.with_values(T(1)), gh_r, hc.hp_b);
+        for (index_t i = 0; i < hc.psi_loc.rows(); ++i) {
+          T acc = T(0);
+          for (index_t e = hc.psi_loc.row_begin(i); e < hc.psi_loc.row_end(i); ++e) {
+            acc += hc.psi_loc.val_at(e) * d_psi.val_at(e);
+          }
+          dots_r[static_cast<std::size_t>(i)] = acc;
+        }
+      }
+      row_comm_.allreduce_sum(std::span<T>(dots_r));
+
+      std::vector<T> ds1_r, ds2_b;
+      DenseMatrix<T> dhp_b;
+      {
+        comm::ComputeRegion t(world_.stats());
+        CsrMatrix<T> d_c = d_psi;
+        auto v = d_c.vals_mutable();
+        const auto pre = hc.scores_pre_loc.vals();
+        const T slope = layer.attention_slope();
+        for (index_t i = 0; i < d_c.rows(); ++i) {
+          const T dot = dots_r[static_cast<std::size_t>(i)];
+          for (index_t e = d_c.row_begin(i); e < d_c.row_end(i); ++e) {
+            const T de = hc.psi_loc.val_at(e) * (d_psi.val_at(e) - dot);
+            const T c = pre[static_cast<std::size_t>(e)];
+            v[static_cast<std::size_t>(e)] =
+                de * a_loc_.val_at(e) * (c > T(0) ? T(1) : slope);
+          }
+        }
+        ds1_r = sparse_row_sums(d_c);
+        ds2_b = sparse_col_sums(d_c);
+        dhp_b = spmm(hc.psi_loc.transposed(), gh_r);
+      }
+      row_comm_.allreduce_sum(std::span<T>(ds1_r));
+      col_comm_.allreduce_sum(std::span<T>(ds2_b));
+      col_comm_.allreduce_sum(dhp_b.flat());
+      const std::vector<T> ds1_b = partner_exchange_vec(ds1_r, cj_.size());
+
+      auto& hg = grads.heads[static_cast<std::size_t>(hd)];
+      {
+        comm::ComputeRegion t(world_.stats());
+        const std::span<const T> a_all(p.a);
+        const auto a1 = a_all.subspan(0, static_cast<std::size_t>(k_head));
+        const auto a2 = a_all.subspan(static_cast<std::size_t>(k_head));
+        add_outer_inplace(dhp_b, std::span<const T>(ds1_b), a1);
+        add_outer_inplace(dhp_b, std::span<const T>(ds2_b), a2);
+        hg.d_w = DenseMatrix<T>(p.w.rows(), p.w.cols(), T(0));
+        hg.d_a.assign(static_cast<std::size_t>(2 * k_head), T(0));
+        if (gi_ == 0) {
+          hg.d_w = matmul_tn(cache.h_b, dhp_b);
+          const std::vector<T> da1 = matvec_tn(hc.hp_b, std::span<const T>(ds1_b));
+          const std::vector<T> da2 = matvec_tn(hc.hp_b, std::span<const T>(ds2_b));
+          std::copy(da1.begin(), da1.end(), hg.d_a.begin());
+          std::copy(da2.begin(), da2.end(), hg.d_a.begin() + k_head);
+        }
+        axpy(T(1), matmul_nt(dhp_b, p.w), gamma_b);
+      }
+      world_.allreduce_sum(hg.d_w.flat());
+      world_.allreduce_sum(std::span<T>(hg.d_a));
+    }
+    return gamma_b;
+  }
+
+  comm::Communicator& world_;
+  ProcessGrid grid_;
+  int gi_, gj_;
+  comm::Communicator row_comm_, col_comm_;
+  index_t n_;
+  BlockRange ri_, cj_;
+  MultiHeadGat<T>& model_;
+  CsrMatrix<T> a_loc_;
+};
+
+}  // namespace agnn::dist

@@ -1,0 +1,65 @@
+// The 2D process grid and block partitioning of the distribution scheme
+// (Section 6.3 / Section 7.1).
+//
+// The adjacency matrix (and every per-edge sparse matrix: Psi, N, D, ...)
+// is distributed in 2D blocks over a sqrt(p) x sqrt(p) grid: rank (i, j)
+// owns the block of rows R_i and columns C_j. Tall dense matrices live in
+// one of two layouts:
+//
+//   * layout B ("input"):  row block C_j, replicated across the grid column
+//     — the "distributed in P_y blocks, each replicated P_x times" layout of
+//     Section 6.3; every layer consumes and produces this layout.
+//   * layout R ("output"): row block R_i, identical on every rank of grid
+//     row i — the state after the partial sums of A_ij H_j are reduced
+//     along the row.
+//
+// On the square grid R_i and C_i are the same index range, so converting
+// between the layouts is a pairwise "transpose exchange" with the partner
+// rank (j, i) — one block of nk/sqrt(p) words, the redistribution step that
+// links consecutive layers.
+#pragma once
+
+#include "tensor/common.hpp"
+
+namespace agnn::dist {
+
+// Even block partition of [0, n) into `nblocks` contiguous ranges.
+struct BlockRange {
+  index_t begin = 0;
+  index_t end = 0;
+  index_t size() const { return end - begin; }
+};
+
+inline BlockRange block_range(index_t n, index_t nblocks, index_t b) {
+  AGNN_ASSERT(nblocks > 0 && b >= 0 && b < nblocks, "block_range: bad block id");
+  const index_t base = n / nblocks;
+  const index_t rem = n % nblocks;
+  const index_t begin = b * base + std::min(b, rem);
+  const index_t size = base + (b < rem ? 1 : 0);
+  return {begin, begin + size};
+}
+
+// Square q x q grid; rank r <-> (row = r / q, col = r % q).
+struct ProcessGrid {
+  int q = 1;  // grid side; p = q*q ranks
+
+  explicit ProcessGrid(int side) : q(side) {
+    AGNN_ASSERT(side >= 1, "grid side must be positive");
+  }
+
+  int size() const { return q * q; }
+  int row_of(int rank) const { return rank / q; }
+  int col_of(int rank) const { return rank % q; }
+  int rank_of(int row, int col) const { return row * q + col; }
+  // The transpose-exchange partner of rank (i, j) is (j, i).
+  int partner_of(int rank) const { return rank_of(col_of(rank), row_of(rank)); }
+
+  static int side_for(int nranks) {
+    int side = 1;
+    while (side * side < nranks) ++side;
+    AGNN_ASSERT(side * side == nranks, "rank count must be a perfect square");
+    return side;
+  }
+};
+
+}  // namespace agnn::dist

@@ -1,0 +1,109 @@
+// Closed-form per-layer communication-volume predictions (Section 7), exact
+// to the byte for the shipped engines.
+//
+// The global 1.5D engine moves, per rank and per layer (q = sqrt(p), block
+// height b = ceil(n/q), element count in words):
+//
+//   GCN   k^2        + 3 b k                  (bcast W; allreduce; redistribute)
+//   VA    k^2        + 4 b k                  (+ the partner feature exchange)
+//   AGNN  k^2        + 4 b k
+//   GIN   2 k^2      + 4 b k                  (second MLP matrix broadcast)
+//   GAT   k^2 + 2 k  + 3 b k + 5 b            (s-vector exchange + distributed
+//                                              softmax max/sum reductions)
+//
+// — all O(n k / sqrt(p) + k^2), the Section 7.1 bound. The local
+// (ghost-exchange) engine's volume depends on the partition: a rank sends
+// one feature row per ghost entry it owns across all other ranks' ghost
+// lists, which `predicted_local_forward_bytes` computes from the graph.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/layer.hpp"
+#include "dist/process_grid.hpp"
+
+namespace agnn::dist {
+
+// Max-per-rank words moved by ONE forward layer of the global engine.
+// Exact when n is divisible by q; an upper bound otherwise (uses the
+// largest block for every term).
+inline double predicted_global_forward_words(ModelKind kind, index_t n, index_t k,
+                                             int ranks) {
+  const auto q = static_cast<index_t>(ProcessGrid::side_for(ranks));
+  if (q == 1) return 0.0;  // single rank: every collective is free
+  const double b = std::ceil(static_cast<double>(n) / static_cast<double>(q));
+  const double kd = static_cast<double>(k);
+  switch (kind) {
+    case ModelKind::kGCN: return kd * kd + 3 * b * kd;
+    case ModelKind::kVA: return kd * kd + 4 * b * kd;
+    case ModelKind::kAGNN: return kd * kd + 4 * b * kd;
+    case ModelKind::kGIN: return 2 * kd * kd + 4 * b * kd;
+    case ModelKind::kGAT: return kd * kd + 2 * kd + 3 * b * kd + 5 * b;
+  }
+  return 0.0;
+}
+
+// The Section 7.1 asymptotic bound c*(n k / sqrt(p) + k^2) with c = 1,
+// for normalized measured/bound ratios.
+inline double section7_bound_words(index_t n, index_t k, int ranks) {
+  const double q = std::sqrt(static_cast<double>(ranks));
+  return static_cast<double>(n) * static_cast<double>(k) / q +
+         static_cast<double>(k) * static_cast<double>(k);
+}
+
+// Max-per-rank bytes for one forward layer of the LOCAL (ghost-exchange)
+// engine: for each rank, the feature rows it must serve to every other
+// rank's ghost list, plus the parameter broadcast. Computed exactly from
+// the 1D partition of `adj`.
+template <typename T>
+double predicted_local_forward_bytes(const CsrMatrix<T>& adj, int ranks, index_t k,
+                                     bool has_attention_vector = false,
+                                     bool has_second_matrix = false) {
+  const index_t n = adj.rows();
+  // ghosts[r] = sorted distinct remote neighbors of rank r's owned rows.
+  std::vector<std::vector<index_t>> ghosts(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    const auto range = block_range(n, ranks, r);
+    std::vector<index_t>& g = ghosts[static_cast<std::size_t>(r)];
+    for (index_t i = range.begin; i < range.end; ++i) {
+      for (index_t e = adj.row_begin(i); e < adj.row_end(i); ++e) {
+        const index_t c = adj.col_at(e);
+        if (c < range.begin || c >= range.end) g.push_back(c);
+      }
+    }
+    std::sort(g.begin(), g.end());
+    g.erase(std::unique(g.begin(), g.end()), g.end());
+  }
+  // served[o] = total ghost entries owned by rank o across all ranks.
+  std::vector<double> served(static_cast<std::size_t>(ranks), 0.0);
+  for (int r = 0; r < ranks; ++r) {
+    for (const index_t id : ghosts[static_cast<std::size_t>(r)]) {
+      // Owner lookup by block arithmetic.
+      int lo = 0, hi = ranks - 1;
+      while (lo < hi) {
+        const int mid = (lo + hi) / 2;
+        if (block_range(n, ranks, mid).end <= id) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      served[static_cast<std::size_t>(lo)] += 1.0;
+    }
+  }
+  double max_words = 0.0;
+  const double kd = static_cast<double>(k);
+  double param_words = kd * kd;  // W broadcast, charged to every rank
+  if (has_attention_vector) param_words += 2 * kd;
+  if (has_second_matrix) param_words += kd * kd;
+  for (int r = 0; r < ranks; ++r) {
+    max_words = std::max(
+        max_words, served[static_cast<std::size_t>(r)] * kd +
+                       (ranks > 1 ? param_words : 0.0));
+  }
+  return max_words * sizeof(T);
+}
+
+}  // namespace agnn::dist

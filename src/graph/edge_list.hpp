@@ -1,0 +1,31 @@
+// EdgeList: the raw output of the graph generators — (src, dst) pairs with a
+// vertex count — before deduplication and CSR conversion.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tensor/common.hpp"
+
+namespace agnn::graph {
+
+struct EdgeList {
+  index_t n = 0;  // number of vertices
+  std::vector<index_t> src;
+  std::vector<index_t> dst;
+
+  index_t size() const { return static_cast<index_t>(src.size()); }
+
+  void reserve(std::size_t m) {
+    src.reserve(m);
+    dst.reserve(m);
+  }
+
+  void push_back(index_t s, index_t d) {
+    src.push_back(s);
+    dst.push_back(d);
+  }
+};
+
+}  // namespace agnn::graph

@@ -1,0 +1,47 @@
+#include "graph/erdos_renyi.hpp"
+
+#include <cmath>
+
+#include "tensor/common.hpp"
+
+namespace agnn::graph {
+
+EdgeList generate_erdos_renyi(const ErdosRenyiParams& params) {
+  AGNN_ASSERT(params.n > 0, "erdos-renyi: n must be positive");
+  AGNN_ASSERT(params.q > 0.0 && params.q <= 1.0, "erdos-renyi: q in (0, 1]");
+  EdgeList el;
+  el.n = params.n;
+  const double total_pairs =
+      static_cast<double>(params.n) * static_cast<double>(params.n);
+  el.reserve(static_cast<std::size_t>(total_pairs * params.q * 1.1) + 16);
+
+  Rng rng(params.seed);
+  const double log1mq = std::log1p(-params.q);
+  // Walk the linearized index space [0, n^2) with geometric gaps.
+  double idx = -1.0;
+  const double n_d = static_cast<double>(params.n);
+  while (true) {
+    // Gap ~ 1 + floor(log(U) / log(1-q)), the standard skip formula.
+    const double u = rng.next_double();
+    const double gap =
+        1.0 + std::floor(std::log(u > 0.0 ? u : 1e-300) / log1mq);
+    idx += gap;
+    if (idx >= total_pairs) break;
+    const auto flat = static_cast<std::uint64_t>(idx);
+    const auto row = static_cast<index_t>(flat / static_cast<std::uint64_t>(params.n));
+    const auto col = static_cast<index_t>(flat % static_cast<std::uint64_t>(params.n));
+    if (!params.self_loops && row == col) continue;
+    AGNN_ASSERT(row < params.n && col < params.n, "erdos-renyi: index overflow");
+    el.push_back(row, col);
+    (void)n_d;
+  }
+  return el;
+}
+
+EdgeList generate_erdos_renyi_m(index_t n, index_t m, std::uint64_t seed) {
+  const double q = static_cast<double>(m) /
+                   (static_cast<double>(n) * static_cast<double>(n));
+  return generate_erdos_renyi({.n = n, .q = q, .seed = seed});
+}
+
+}  // namespace agnn::graph

@@ -1,0 +1,28 @@
+// Erdős–Rényi G(n, q) generator (dataset B2 of the artifact; the "Rand"
+// graphs of Section 8.4 with random uniform degree distribution).
+//
+// For the sparse regime the paper evaluates (q between 1e-4 and 1e-2),
+// enumeration of all n^2 pairs is wasteful, so edges are drawn by geometric
+// skipping over the linearized pair index: the gap between consecutive
+// present edges is Geometric(q), giving exactly G(n, q) in O(m) time.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace agnn::graph {
+
+struct ErdosRenyiParams {
+  index_t n = 1024;
+  double q = 0.01;  // independent edge probability (density rho)
+  std::uint64_t seed = 1;
+  bool self_loops = false;
+};
+
+EdgeList generate_erdos_renyi(const ErdosRenyiParams& params);
+
+// Convenience: G(n, q) with q chosen so that the expected edge count is m.
+EdgeList generate_erdos_renyi_m(index_t n, index_t m, std::uint64_t seed = 1);
+
+}  // namespace agnn::graph

@@ -1,0 +1,27 @@
+// Binary COO graph file I/O.
+//
+// This mirrors the paper artifact's file-loading path for the MAKG dataset
+// (there: scipy COO inside an .npz archive; here: a little-endian binary COO
+// container). The MAKG experiments in this reproduction write a heavy-tail
+// Kronecker "MAKG-like" graph to disk once and stream it back through this
+// loader, so the code path (file -> COO -> dedup -> CSR -> distribute) is
+// exercised exactly as it would be for the real dataset.
+//
+// Format (little-endian):
+//   8 bytes  magic "AGNNCOO1"
+//   int64    n (vertex count)
+//   int64    nnz
+//   nnz x int64  row indices
+//   nnz x int64  col indices
+#pragma once
+
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace agnn::graph {
+
+void write_edge_list(const std::string& path, const EdgeList& el);
+EdgeList read_edge_list(const std::string& path);
+
+}  // namespace agnn::graph

@@ -1,0 +1,40 @@
+#include "graph/kronecker.hpp"
+
+#include "tensor/common.hpp"
+
+namespace agnn::graph {
+
+EdgeList generate_kronecker(const KroneckerParams& params) {
+  AGNN_ASSERT(params.scale >= 1 && params.scale < 62, "kronecker scale out of range");
+  AGNN_ASSERT(params.a + params.b + params.c < 1.0,
+              "initiator probabilities must sum below 1");
+  EdgeList el;
+  el.n = index_t(1) << params.scale;
+  el.reserve(static_cast<std::size_t>(params.edges));
+
+  Rng rng(params.seed);
+  const double ab = params.a + params.b;
+  const double abc = params.a + params.b + params.c;
+
+  for (index_t e = 0; e < params.edges; ++e) {
+    index_t row = 0, col = 0;
+    for (int level = 0; level < params.scale; ++level) {
+      const double r = rng.next_double();
+      // Pick the quadrant of the initiator matrix; descend one level.
+      if (r < params.a) {
+        // top-left: no bits set
+      } else if (r < ab) {
+        col |= index_t(1) << level;  // top-right
+      } else if (r < abc) {
+        row |= index_t(1) << level;  // bottom-left
+      } else {
+        row |= index_t(1) << level;  // bottom-right
+        col |= index_t(1) << level;
+      }
+    }
+    el.push_back(row, col);
+  }
+  return el;
+}
+
+}  // namespace agnn::graph

@@ -1,0 +1,29 @@
+// Graph500-style Kronecker graph generator (dataset B0 of the artifact).
+//
+// Generates edges by recursive quadrant sampling with the standard R-MAT /
+// Graph500 initiator probabilities (A=0.57, B=0.19, C=0.19, D=0.05), which
+// yields the heavy-tail, highly load-imbalanced degree distributions the
+// paper evaluates on. n = 2^scale vertices; `edges` samples before
+// deduplication (matching the artifact, which also rounds the vertex count
+// down to a power of two and post-processes duplicates).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace agnn::graph {
+
+struct KroneckerParams {
+  int scale = 10;             // n = 2^scale
+  index_t edges = 1 << 14;    // edge samples before dedup
+  double a = 0.57;            // initiator matrix quadrant probabilities
+  double b = 0.19;
+  double c = 0.19;
+  std::uint64_t seed = 1;
+};
+
+// Generate a Kronecker edge list. Deterministic for a fixed seed.
+EdgeList generate_kronecker(const KroneckerParams& params);
+
+}  // namespace agnn::graph

@@ -1,0 +1,30 @@
+#include "graph/sbm.hpp"
+
+#include "tensor/common.hpp"
+
+namespace agnn::graph {
+
+SbmGraph generate_sbm(const SbmParams& params) {
+  AGNN_ASSERT(params.n > 0 && params.communities > 0, "sbm: bad sizes");
+  AGNN_ASSERT(params.p_in >= 0.0 && params.p_in <= 1.0 && params.p_out >= 0.0 &&
+                  params.p_out <= 1.0,
+              "sbm: probabilities must be in [0, 1]");
+  SbmGraph out;
+  out.edges.n = params.n;
+  out.labels.resize(static_cast<std::size_t>(params.n));
+  for (index_t v = 0; v < params.n; ++v) {
+    out.labels[static_cast<std::size_t>(v)] = v % params.communities;
+  }
+  Rng rng(params.seed);
+  for (index_t i = 0; i < params.n; ++i) {
+    for (index_t j = i + 1; j < params.n; ++j) {
+      const bool same = out.labels[static_cast<std::size_t>(i)] ==
+                        out.labels[static_cast<std::size_t>(j)];
+      const double p = same ? params.p_in : params.p_out;
+      if (rng.next_double() < p) out.edges.push_back(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace agnn::graph

@@ -1,0 +1,31 @@
+// Stochastic block model (planted partition) generator.
+//
+// The canonical node-classification benchmark graph: `communities` equal
+// groups with intra-community edge probability p_in and inter-community
+// probability p_out, plus ground-truth labels. Used by the examples and the
+// training tests as a task the GNN models can actually learn.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace agnn::graph {
+
+struct SbmParams {
+  index_t n = 100;
+  index_t communities = 2;
+  double p_in = 0.2;    // intra-community edge probability
+  double p_out = 0.02;  // inter-community edge probability
+  std::uint64_t seed = 1;
+};
+
+struct SbmGraph {
+  EdgeList edges;                // undirected (each pair emitted once)
+  std::vector<index_t> labels;   // community of each vertex (v mod communities)
+};
+
+SbmGraph generate_sbm(const SbmParams& params);
+
+}  // namespace agnn::graph

@@ -1,0 +1,79 @@
+#include "graph/small_world.hpp"
+
+#include <vector>
+
+#include "tensor/common.hpp"
+
+namespace agnn::graph {
+
+EdgeList generate_watts_strogatz(const WattsStrogatzParams& params) {
+  AGNN_ASSERT(params.n >= 3, "watts-strogatz: need at least 3 vertices");
+  AGNN_ASSERT(params.k >= 2 && params.k % 2 == 0 && params.k < params.n,
+              "watts-strogatz: k must be even and < n");
+  AGNN_ASSERT(params.beta >= 0.0 && params.beta <= 1.0,
+              "watts-strogatz: beta in [0, 1]");
+  Rng rng(params.seed);
+  EdgeList el;
+  el.n = params.n;
+  el.reserve(static_cast<std::size_t>(params.n * params.k / 2));
+
+  // Ring lattice: vertex v connects to v+1 .. v+k/2 (mod n). Each lattice
+  // edge is rewired to a uniform random endpoint with probability beta,
+  // avoiding self loops (duplicates are handled by the build pipeline).
+  for (index_t v = 0; v < params.n; ++v) {
+    for (index_t d = 1; d <= params.k / 2; ++d) {
+      index_t u = (v + d) % params.n;
+      if (rng.next_double() < params.beta) {
+        // Rewire the far endpoint.
+        do {
+          u = static_cast<index_t>(
+              rng.next_bounded(static_cast<std::uint64_t>(params.n)));
+        } while (u == v);
+      }
+      el.push_back(v, u);
+    }
+  }
+  return el;
+}
+
+EdgeList generate_barabasi_albert(const BarabasiAlbertParams& params) {
+  AGNN_ASSERT(params.m >= 1 && params.m < params.n,
+              "barabasi-albert: need 1 <= m < n");
+  Rng rng(params.seed);
+  EdgeList el;
+  el.n = params.n;
+  el.reserve(static_cast<std::size_t>(params.n * params.m));
+
+  // Attachment targets are sampled uniformly from the endpoint list, which
+  // realizes degree-proportional (preferential) sampling.
+  std::vector<index_t> endpoints;
+  endpoints.reserve(2 * static_cast<std::size_t>(params.n * params.m));
+
+  // Seed: a clique on the first m+1 vertices.
+  for (index_t i = 0; i <= params.m; ++i) {
+    for (index_t j = i + 1; j <= params.m; ++j) {
+      el.push_back(i, j);
+      endpoints.push_back(i);
+      endpoints.push_back(j);
+    }
+  }
+  for (index_t v = params.m + 1; v < params.n; ++v) {
+    // m distinct targets by rejection (m is small).
+    std::vector<index_t> targets;
+    while (static_cast<index_t>(targets.size()) < params.m) {
+      const index_t t = endpoints[static_cast<std::size_t>(
+          rng.next_bounded(endpoints.size()))];
+      bool dup = (t == v);
+      for (const index_t existing : targets) dup = dup || existing == t;
+      if (!dup) targets.push_back(t);
+    }
+    for (const index_t t : targets) {
+      el.push_back(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return el;
+}
+
+}  // namespace agnn::graph

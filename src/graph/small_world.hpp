@@ -1,0 +1,37 @@
+// Additional synthetic graph families beyond the paper's evaluation set:
+// Watts–Strogatz small-world and Barabási–Albert preferential attachment.
+//
+// Both are standard models downstream users expect from a graph library;
+// BA in particular produces power-law degree distributions by growth (a
+// different mechanism from Kronecker's recursive self-similarity), which is
+// useful for robustness-testing the load-balance behavior of the
+// distributed engines.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace agnn::graph {
+
+struct WattsStrogatzParams {
+  index_t n = 100;
+  index_t k = 4;       // each vertex connects to k nearest ring neighbors
+                       // (k/2 on each side; must be even and < n)
+  double beta = 0.1;   // rewiring probability
+  std::uint64_t seed = 1;
+};
+
+// Undirected ring lattice with random rewiring (each pair emitted once).
+EdgeList generate_watts_strogatz(const WattsStrogatzParams& params);
+
+struct BarabasiAlbertParams {
+  index_t n = 100;
+  index_t m = 3;  // edges added per new vertex (also the seed clique size)
+  std::uint64_t seed = 1;
+};
+
+// Preferential-attachment growth (each pair emitted once).
+EdgeList generate_barabasi_albert(const BarabasiAlbertParams& params);
+
+}  // namespace agnn::graph

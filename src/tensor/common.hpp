@@ -1,0 +1,95 @@
+// Common utilities shared by the tensor-algebra layer.
+//
+// The whole tensor layer is header-only and templated on the scalar type,
+// so both float (the paper's evaluation precision) and double (used by the
+// finite-difference gradient checks) instantiations come from the same code.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace agnn {
+
+using index_t = std::int64_t;
+
+// AGNN_ASSERT: checked in all build types. Tensor-shape mismatches are
+// programming errors that must never be silently optimized away; the cost of
+// the branch is negligible next to the kernels it guards.
+#define AGNN_ASSERT(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::agnn::detail::assert_fail(#cond, (msg), __FILE__, __LINE__);       \
+    }                                                                      \
+  } while (false)
+
+namespace detail {
+
+[[noreturn]] inline void assert_fail(const char* cond, const std::string& msg,
+                                     const char* file, int line) {
+  std::string what = std::string("AGNN assertion failed: ") + cond + " (" +
+                     msg + ") at " + file + ":" + std::to_string(line);
+  throw std::logic_error(what);
+}
+
+}  // namespace detail
+
+// A small, fast, reproducible PRNG (xoshiro256**). Used everywhere instead
+// of std::mt19937_64: it is an order of magnitude faster, which matters for
+// the in-memory graph generators, and its output is identical across
+// platforms so tests and benchmarks are deterministic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& s : s_) {
+      z += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [0, bound).
+  std::uint64_t next_bounded(std::uint64_t bound) {
+    // Lemire's nearly-divisionless method is overkill here; modulo bias is
+    // below 2^-40 for every bound used in this project.
+    return next_u64() % bound;
+  }
+
+  // Uniform in [lo, hi).
+  double next_uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace agnn

@@ -1,0 +1,120 @@
+// CooMatrix<T>: coordinate-format sparse matrix.
+//
+// COO is the interchange format: the graph generators emit COO edge lists,
+// the file I/O layer reads/writes COO (mirroring the paper artifact's .npz
+// COO path), and CsrMatrix is constructed from it. Kernels never run on COO.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "tensor/common.hpp"
+
+namespace agnn {
+
+template <typename T>
+struct CooMatrix {
+  index_t n_rows = 0;
+  index_t n_cols = 0;
+  std::vector<index_t> rows;
+  std::vector<index_t> cols;
+  std::vector<T> vals;
+
+  index_t nnz() const { return static_cast<index_t>(rows.size()); }
+
+  void reserve(std::size_t n) {
+    rows.reserve(n);
+    cols.reserve(n);
+    vals.reserve(n);
+  }
+
+  void push_back(index_t r, index_t c, T v) {
+    rows.push_back(r);
+    cols.push_back(c);
+    vals.push_back(v);
+  }
+
+  // Sort entries into row-major order. Stable with respect to duplicate
+  // coordinates so that dedup policies are well-defined.
+  void sort() {
+    std::vector<index_t> perm(rows.size());
+    std::iota(perm.begin(), perm.end(), index_t(0));
+    std::stable_sort(perm.begin(), perm.end(), [&](index_t a, index_t b) {
+      return std::tie(rows[static_cast<std::size_t>(a)], cols[static_cast<std::size_t>(a)]) <
+             std::tie(rows[static_cast<std::size_t>(b)], cols[static_cast<std::size_t>(b)]);
+    });
+    apply_permutation(perm);
+  }
+
+  // Remove duplicate coordinates, summing their values (the standard
+  // convention, also what scipy's coo->csr conversion does). Requires no
+  // pre-sorting; sorts internally.
+  void sum_duplicates() {
+    sort();
+    std::size_t out = 0;
+    for (std::size_t in = 0; in < rows.size(); ++in) {
+      if (out > 0 && rows[in] == rows[out - 1] && cols[in] == cols[out - 1]) {
+        vals[out - 1] += vals[in];
+      } else {
+        rows[out] = rows[in];
+        cols[out] = cols[in];
+        vals[out] = vals[in];
+        ++out;
+      }
+    }
+    rows.resize(out);
+    cols.resize(out);
+    vals.resize(out);
+  }
+
+  // Remove duplicates keeping a single entry with value `keep` (used for
+  // 0/1 adjacency matrices where duplicate edges must not accumulate).
+  void dedup_binary(T keep = T(1)) {
+    sum_duplicates();
+    for (auto& v : vals) v = keep;
+  }
+
+  void remove_self_loops() {
+    std::size_t out = 0;
+    for (std::size_t in = 0; in < rows.size(); ++in) {
+      if (rows[in] != cols[in]) {
+        rows[out] = rows[in];
+        cols[out] = cols[in];
+        vals[out] = vals[in];
+        ++out;
+      }
+    }
+    rows.resize(out);
+    cols.resize(out);
+    vals.resize(out);
+  }
+
+  CooMatrix transposed() const {
+    CooMatrix t;
+    t.n_rows = n_cols;
+    t.n_cols = n_rows;
+    t.rows = cols;
+    t.cols = rows;
+    t.vals = vals;
+    return t;
+  }
+
+ private:
+  void apply_permutation(const std::vector<index_t>& perm) {
+    std::vector<index_t> r2(rows.size()), c2(cols.size());
+    std::vector<T> v2(vals.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      const auto p = static_cast<std::size_t>(perm[i]);
+      r2[i] = rows[p];
+      c2[i] = cols[p];
+      v2[i] = vals[p];
+    }
+    rows = std::move(r2);
+    cols = std::move(c2);
+    vals = std::move(v2);
+  }
+};
+
+}  // namespace agnn

@@ -1,0 +1,188 @@
+// CsrMatrix<T>: compressed-sparse-row matrix.
+//
+// This is the n x n sparse matrix of Table 1 — it stores either the graph
+// adjacency structure or the per-edge attention scores Psi. Every sparse
+// kernel in the project (SpMM, SDDMM, fused Psi, graph softmax) runs on CSR.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "tensor/coo_matrix.hpp"
+#include "tensor/common.hpp"
+#include "tensor/dense_matrix.hpp"
+
+namespace agnn {
+
+template <typename T>
+class CsrMatrix {
+ public:
+  using value_type = T;
+
+  CsrMatrix() = default;
+
+  CsrMatrix(index_t n_rows, index_t n_cols, std::vector<index_t> row_ptr,
+            std::vector<index_t> col_idx, std::vector<T> vals)
+      : n_rows_(n_rows),
+        n_cols_(n_cols),
+        row_ptr_(std::move(row_ptr)),
+        col_idx_(std::move(col_idx)),
+        vals_(std::move(vals)) {
+    AGNN_ASSERT(static_cast<index_t>(row_ptr_.size()) == n_rows_ + 1,
+                "row_ptr must have n_rows+1 entries");
+    AGNN_ASSERT(col_idx_.size() == vals_.size(), "col_idx/vals size mismatch");
+    AGNN_ASSERT(row_ptr_.back() == static_cast<index_t>(col_idx_.size()),
+                "row_ptr must end at nnz");
+  }
+
+  static CsrMatrix from_coo(const CooMatrix<T>& coo_in) {
+    CooMatrix<T> coo = coo_in;
+    coo.sort();
+    CsrMatrix csr;
+    csr.n_rows_ = coo.n_rows;
+    csr.n_cols_ = coo.n_cols;
+    csr.row_ptr_.assign(static_cast<std::size_t>(coo.n_rows + 1), 0);
+    csr.col_idx_.resize(coo.rows.size());
+    csr.vals_.resize(coo.rows.size());
+    for (std::size_t e = 0; e < coo.rows.size(); ++e) {
+      AGNN_ASSERT(coo.rows[e] >= 0 && coo.rows[e] < coo.n_rows, "row index out of range");
+      AGNN_ASSERT(coo.cols[e] >= 0 && coo.cols[e] < coo.n_cols, "col index out of range");
+      csr.row_ptr_[static_cast<std::size_t>(coo.rows[e]) + 1]++;
+      csr.col_idx_[e] = coo.cols[e];
+      csr.vals_[e] = coo.vals[e];
+    }
+    for (std::size_t i = 1; i < csr.row_ptr_.size(); ++i) {
+      csr.row_ptr_[i] += csr.row_ptr_[i - 1];
+    }
+    return csr;
+  }
+
+  CooMatrix<T> to_coo() const {
+    CooMatrix<T> coo;
+    coo.n_rows = n_rows_;
+    coo.n_cols = n_cols_;
+    coo.reserve(static_cast<std::size_t>(nnz()));
+    for (index_t i = 0; i < n_rows_; ++i) {
+      for (index_t e = row_ptr_[static_cast<std::size_t>(i)];
+           e < row_ptr_[static_cast<std::size_t>(i) + 1]; ++e) {
+        coo.push_back(i, col_idx_[static_cast<std::size_t>(e)],
+                      vals_[static_cast<std::size_t>(e)]);
+      }
+    }
+    return coo;
+  }
+
+  index_t rows() const { return n_rows_; }
+  index_t cols() const { return n_cols_; }
+  index_t nnz() const { return static_cast<index_t>(col_idx_.size()); }
+
+  std::span<const index_t> row_ptr() const { return row_ptr_; }
+  std::span<const index_t> col_idx() const { return col_idx_; }
+  std::span<const T> vals() const { return vals_; }
+  std::span<T> vals_mutable() { return vals_; }
+
+  index_t row_begin(index_t i) const { return row_ptr_[static_cast<std::size_t>(i)]; }
+  index_t row_end(index_t i) const { return row_ptr_[static_cast<std::size_t>(i) + 1]; }
+  index_t row_nnz(index_t i) const { return row_end(i) - row_begin(i); }
+  index_t col_at(index_t e) const { return col_idx_[static_cast<std::size_t>(e)]; }
+  T val_at(index_t e) const { return vals_[static_cast<std::size_t>(e)]; }
+  T& val_at(index_t e) { return vals_[static_cast<std::size_t>(e)]; }
+
+  // A structural copy with the same sparsity pattern and all values set to v.
+  // The pattern buffers are shared copies (cheap vectors), values fresh.
+  CsrMatrix with_values(T v) const {
+    CsrMatrix out = *this;
+    std::fill(out.vals_.begin(), out.vals_.end(), v);
+    return out;
+  }
+
+  bool same_pattern(const CsrMatrix& other) const {
+    return n_rows_ == other.n_rows_ && n_cols_ == other.n_cols_ &&
+           row_ptr_ == other.row_ptr_ && col_idx_ == other.col_idx_;
+  }
+
+  // Transpose via a counting pass; O(nnz + n). The backward pass runs on the
+  // reversed graph (Section 5.2), so this is on the training hot path.
+  CsrMatrix transposed() const {
+    CsrMatrix t;
+    t.n_rows_ = n_cols_;
+    t.n_cols_ = n_rows_;
+    t.row_ptr_.assign(static_cast<std::size_t>(n_cols_ + 1), 0);
+    t.col_idx_.resize(col_idx_.size());
+    t.vals_.resize(vals_.size());
+    for (const index_t c : col_idx_) t.row_ptr_[static_cast<std::size_t>(c) + 1]++;
+    for (std::size_t i = 1; i < t.row_ptr_.size(); ++i) t.row_ptr_[i] += t.row_ptr_[i - 1];
+    std::vector<index_t> next(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+    for (index_t i = 0; i < n_rows_; ++i) {
+      for (index_t e = row_begin(i); e < row_end(i); ++e) {
+        const index_t c = col_at(e);
+        const index_t pos = next[static_cast<std::size_t>(c)]++;
+        t.col_idx_[static_cast<std::size_t>(pos)] = i;
+        t.vals_[static_cast<std::size_t>(pos)] = val_at(e);
+      }
+    }
+    return t;
+  }
+
+  // Densify — only for tests and the "unfused" ablation reference; O(n^2).
+  DenseMatrix<T> to_dense() const {
+    DenseMatrix<T> d(n_rows_, n_cols_, T(0));
+    for (index_t i = 0; i < n_rows_; ++i) {
+      for (index_t e = row_begin(i); e < row_end(i); ++e) d(i, col_at(e)) += val_at(e);
+    }
+    return d;
+  }
+
+  // Extract the submatrix of rows [r0, r1) and columns [c0, c1), reindexed
+  // to local coordinates. Used by the 2D block distribution of A.
+  CsrMatrix block(index_t r0, index_t r1, index_t c0, index_t c1) const {
+    AGNN_ASSERT(0 <= r0 && r0 <= r1 && r1 <= n_rows_, "bad row block");
+    AGNN_ASSERT(0 <= c0 && c0 <= c1 && c1 <= n_cols_, "bad col block");
+    CsrMatrix out;
+    out.n_rows_ = r1 - r0;
+    out.n_cols_ = c1 - c0;
+    out.row_ptr_.assign(static_cast<std::size_t>(out.n_rows_ + 1), 0);
+    for (index_t i = r0; i < r1; ++i) {
+      index_t cnt = 0;
+      for (index_t e = row_begin(i); e < row_end(i); ++e) {
+        const index_t c = col_at(e);
+        if (c >= c0 && c < c1) ++cnt;
+      }
+      out.row_ptr_[static_cast<std::size_t>(i - r0) + 1] = cnt;
+    }
+    for (std::size_t i = 1; i < out.row_ptr_.size(); ++i) {
+      out.row_ptr_[i] += out.row_ptr_[i - 1];
+    }
+    out.col_idx_.resize(static_cast<std::size_t>(out.row_ptr_.back()));
+    out.vals_.resize(out.col_idx_.size());
+    for (index_t i = r0; i < r1; ++i) {
+      index_t pos = out.row_ptr_[static_cast<std::size_t>(i - r0)];
+      for (index_t e = row_begin(i); e < row_end(i); ++e) {
+        const index_t c = col_at(e);
+        if (c >= c0 && c < c1) {
+          out.col_idx_[static_cast<std::size_t>(pos)] = c - c0;
+          out.vals_[static_cast<std::size_t>(pos)] = val_at(e);
+          ++pos;
+        }
+      }
+    }
+    return out;
+  }
+
+  template <typename U>
+  CsrMatrix<U> cast() const {
+    std::vector<U> v(vals_.size());
+    for (std::size_t i = 0; i < vals_.size(); ++i) v[i] = static_cast<U>(vals_[i]);
+    return CsrMatrix<U>(n_rows_, n_cols_, row_ptr_, col_idx_, std::move(v));
+  }
+
+ private:
+  index_t n_rows_ = 0;
+  index_t n_cols_ = 0;
+  std::vector<index_t> row_ptr_{0};
+  std::vector<index_t> col_idx_;
+  std::vector<T> vals_;
+};
+
+}  // namespace agnn

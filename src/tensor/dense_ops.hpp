@@ -1,0 +1,251 @@
+// Dense kernels: the MM building block of Table 2 plus the element-wise and
+// vector operations (projection, replication, summation, Hadamard ops,
+// row norms) that the global formulations are written in.
+//
+// All O(n*k) and larger loops are OpenMP-parallel over rows; feature
+// dimensions (k) are kept in the innermost loop so the compiler can
+// vectorize over the contiguous row storage.
+#pragma once
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "tensor/dense_matrix.hpp"
+
+namespace agnn {
+
+// C = A * B                                                     (MM, Table 2)
+template <typename T>
+DenseMatrix<T> matmul(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+  AGNN_ASSERT(a.cols() == b.rows(), "matmul: inner dimensions must agree");
+  DenseMatrix<T> c(a.rows(), b.cols(), T(0));
+  const index_t n = a.rows(), k = a.cols(), m = b.cols();
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < n; ++i) {
+    T* ci = c.data() + i * m;
+    const T* ai = a.data() + i * k;
+    for (index_t l = 0; l < k; ++l) {
+      const T ail = ai[l];
+      const T* bl = b.data() + l * m;
+      for (index_t j = 0; j < m; ++j) ci[j] += ail * bl[j];
+    }
+  }
+  return c;
+}
+
+// C = A^T * B  (used for weight gradients Y = H^T (...) G)
+template <typename T>
+DenseMatrix<T> matmul_tn(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+  AGNN_ASSERT(a.rows() == b.rows(), "matmul_tn: row counts must agree");
+  const index_t n = a.rows(), ka = a.cols(), kb = b.cols();
+  DenseMatrix<T> c(ka, kb, T(0));
+  // ka, kb are feature dimensions (small); parallelize the reduction over n
+  // with per-thread accumulators to avoid atomics.
+#pragma omp parallel
+  {
+    DenseMatrix<T> local(ka, kb, T(0));
+#pragma omp for schedule(static) nowait
+    for (index_t i = 0; i < n; ++i) {
+      const T* ai = a.data() + i * ka;
+      const T* bi = b.data() + i * kb;
+      for (index_t l = 0; l < ka; ++l) {
+        T* row = local.data() + l * kb;
+        const T ail = ai[l];
+        for (index_t j = 0; j < kb; ++j) row[j] += ail * bi[j];
+      }
+    }
+#pragma omp critical
+    {
+      for (index_t p = 0; p < c.size(); ++p) c.data()[p] += local.data()[p];
+    }
+  }
+  return c;
+}
+
+// C = A * B^T  (used when multiplying by W^T in backward passes)
+template <typename T>
+DenseMatrix<T> matmul_nt(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+  AGNN_ASSERT(a.cols() == b.cols(), "matmul_nt: column counts must agree");
+  const index_t n = a.rows(), k = a.cols(), m = b.rows();
+  DenseMatrix<T> c(n, m, T(0));
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < n; ++i) {
+    const T* ai = a.data() + i * k;
+    T* ci = c.data() + i * m;
+    for (index_t j = 0; j < m; ++j) {
+      const T* bj = b.data() + j * k;
+      T acc = T(0);
+      for (index_t l = 0; l < k; ++l) acc += ai[l] * bj[l];
+      ci[j] = acc;
+    }
+  }
+  return c;
+}
+
+template <typename T>
+DenseMatrix<T> transpose(const DenseMatrix<T>& a) {
+  DenseMatrix<T> c(a.cols(), a.rows());
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t j = 0; j < a.cols(); ++j) c(j, i) = a(i, j);
+  return c;
+}
+
+// y = A * x (matrix-vector; used for s = H' a in GAT)
+template <typename T>
+std::vector<T> matvec(const DenseMatrix<T>& a, std::span<const T> x) {
+  AGNN_ASSERT(a.cols() == static_cast<index_t>(x.size()), "matvec: dimension mismatch");
+  std::vector<T> y(static_cast<std::size_t>(a.rows()), T(0));
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const T* ai = a.data() + i * a.cols();
+    T acc = T(0);
+    for (index_t j = 0; j < a.cols(); ++j) acc += ai[j] * x[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+  return y;
+}
+
+// y = A^T * x (used for parameter-vector gradients da = H'^T ds)
+template <typename T>
+std::vector<T> matvec_tn(const DenseMatrix<T>& a, std::span<const T> x) {
+  AGNN_ASSERT(a.rows() == static_cast<index_t>(x.size()), "matvec_tn: dimension mismatch");
+  std::vector<T> y(static_cast<std::size_t>(a.cols()), T(0));
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const T xi = x[static_cast<std::size_t>(i)];
+    const T* ai = a.data() + i * a.cols();
+    for (index_t j = 0; j < a.cols(); ++j) y[static_cast<std::size_t>(j)] += ai[j] * xi;
+  }
+  return y;
+}
+
+// C += alpha * A
+template <typename T>
+void axpy(T alpha, const DenseMatrix<T>& a, DenseMatrix<T>& c) {
+  AGNN_ASSERT(a.same_shape(c), "axpy: shape mismatch");
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < a.size(); ++i) c.data()[i] += alpha * a.data()[i];
+}
+
+template <typename T>
+DenseMatrix<T> add(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+  AGNN_ASSERT(a.same_shape(b), "add: shape mismatch");
+  DenseMatrix<T> c(a.rows(), a.cols());
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] + b.data()[i];
+  return c;
+}
+
+template <typename T>
+DenseMatrix<T> sub(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+  AGNN_ASSERT(a.same_shape(b), "sub: shape mismatch");
+  DenseMatrix<T> c(a.rows(), a.cols());
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] - b.data()[i];
+  return c;
+}
+
+// C = A ⊙ B (element-wise Hadamard product)
+template <typename T>
+DenseMatrix<T> hadamard(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+  AGNN_ASSERT(a.same_shape(b), "hadamard: shape mismatch");
+  DenseMatrix<T> c(a.rows(), a.cols());
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] * b.data()[i];
+  return c;
+}
+
+template <typename T>
+void scale_inplace(DenseMatrix<T>& a, T alpha) {
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < a.size(); ++i) a.data()[i] *= alpha;
+}
+
+// rep_i(x) = x * 1^T (Table 2): replicate a column vector `cols` times.
+// Only used by reference paths and tests — the production kernels keep
+// replications virtual (Section 6.1).
+template <typename T>
+DenseMatrix<T> replicate_cols(std::span<const T> x, index_t cols) {
+  DenseMatrix<T> c(static_cast<index_t>(x.size()), cols);
+  for (index_t i = 0; i < c.rows(); ++i)
+    for (index_t j = 0; j < cols; ++j) c(i, j) = x[static_cast<std::size_t>(i)];
+  return c;
+}
+
+// sum(X) = X * 1 (Table 2): per-row summation.
+template <typename T>
+std::vector<T> row_sums(const DenseMatrix<T>& a) {
+  std::vector<T> s(static_cast<std::size_t>(a.rows()), T(0));
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const T* ai = a.data() + i * a.cols();
+    T acc = T(0);
+    for (index_t j = 0; j < a.cols(); ++j) acc += ai[j];
+    s[static_cast<std::size_t>(i)] = acc;
+  }
+  return s;
+}
+
+// The vector n of the AGNN formulation: n_i = ||h_i||_2.
+template <typename T>
+std::vector<T> row_l2_norms(const DenseMatrix<T>& a) {
+  std::vector<T> s(static_cast<std::size_t>(a.rows()), T(0));
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const T* ai = a.data() + i * a.cols();
+    T acc = T(0);
+    for (index_t j = 0; j < a.cols(); ++j) acc += ai[j] * ai[j];
+    s[static_cast<std::size_t>(i)] = std::sqrt(acc);
+  }
+  return s;
+}
+
+// C = x * y^T (outer product; used by GAT backward: dH' += ds1 a1^T + ...)
+template <typename T>
+DenseMatrix<T> outer(std::span<const T> x, std::span<const T> y) {
+  DenseMatrix<T> c(static_cast<index_t>(x.size()), static_cast<index_t>(y.size()));
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < c.rows(); ++i) {
+    T* ci = c.data() + i * c.cols();
+    const T xi = x[static_cast<std::size_t>(i)];
+    for (index_t j = 0; j < c.cols(); ++j) ci[j] = xi * y[static_cast<std::size_t>(j)];
+  }
+  return c;
+}
+
+// C += x * y^T
+template <typename T>
+void add_outer_inplace(DenseMatrix<T>& c, std::span<const T> x, std::span<const T> y) {
+  AGNN_ASSERT(c.rows() == static_cast<index_t>(x.size()) &&
+                  c.cols() == static_cast<index_t>(y.size()),
+              "add_outer_inplace: shape mismatch");
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < c.rows(); ++i) {
+    T* ci = c.data() + i * c.cols();
+    const T xi = x[static_cast<std::size_t>(i)];
+    for (index_t j = 0; j < c.cols(); ++j) ci[j] += xi * y[static_cast<std::size_t>(j)];
+  }
+}
+
+template <typename T>
+T frobenius_norm(const DenseMatrix<T>& a) {
+  double acc = 0;
+  for (index_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a.data()[i]) * static_cast<double>(a.data()[i]);
+  }
+  return static_cast<T>(std::sqrt(acc));
+}
+
+template <typename T>
+T max_abs_diff(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+  AGNN_ASSERT(a.same_shape(b), "max_abs_diff: shape mismatch");
+  T m = T(0);
+  for (index_t i = 0; i < a.size(); ++i) {
+    const T d = std::abs(a.data()[i] - b.data()[i]);
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+}  // namespace agnn

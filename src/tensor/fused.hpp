@@ -1,0 +1,165 @@
+// Fused Psi kernels (Sections 6.1–6.2).
+//
+// Each model's attention matrix Psi(A, H) is, written naively, a dense
+// n x n "virtual" matrix sampled by the adjacency structure. The fused
+// kernels below iterate over the non-zeros of A and compute the sampled
+// virtual values in place — the SDDMM-like kernels the paper's fusing pass
+// generates from the execution DAG. Nothing of size n x n is ever stored.
+//
+// The *_unfused reference implementations (which do materialize the dense
+// intermediate) live in reference_impls.hpp and exist only for tests and
+// for the fusion-ablation benchmark.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/csr_matrix.hpp"
+#include "tensor/dense_matrix.hpp"
+#include "tensor/dense_ops.hpp"
+#include "tensor/sparse_ops.hpp"
+
+namespace agnn {
+
+// VA (vanilla attention):  Psi = A ⊙ (H H^T).
+// One fused pass: Psi_ij = A_ij * <h_i, h_j>. This is exactly SDDMM with
+// X = Y = H, fusing the Hadamard filter into the sampling.
+template <typename T>
+CsrMatrix<T> psi_va(const CsrMatrix<T>& a, const DenseMatrix<T>& h) {
+  return sddmm(a, h, h);
+}
+
+// AGNN:  Psi = A ⊙ (H H^T ⊘ n n^T),  n_i = ||h_i||_2.
+// The outer product n n^T stays virtual: the fused kernel divides each
+// sampled dot product by n_i * n_j on the fly (cosine similarity per edge).
+template <typename T>
+CsrMatrix<T> psi_agnn(const CsrMatrix<T>& a, const DenseMatrix<T>& h) {
+  AGNN_ASSERT(a.rows() == h.rows() && a.cols() == h.rows(),
+              "psi_agnn: A must be n x n matching H's rows");
+  const std::vector<T> norms = row_l2_norms(h);
+  CsrMatrix<T> out = a;
+  auto v = out.vals_mutable();
+  const index_t k = h.cols();
+#pragma omp parallel for schedule(dynamic, 64)
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const T* hi = h.data() + i * k;
+    const T ni = norms[static_cast<std::size_t>(i)];
+    for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) {
+      const index_t j = a.col_at(e);
+      const T* hj = h.data() + j * k;
+      T dot = T(0);
+      for (index_t g = 0; g < k; ++g) dot += hi[g] * hj[g];
+      const T denom = ni * norms[static_cast<std::size_t>(j)];
+      v[static_cast<std::size_t>(e)] =
+          a.val_at(e) * (denom > T(0) ? dot / denom : T(0));
+    }
+  }
+  return out;
+}
+
+// GAT forward needs both the pre-activation scores C (for the LeakyReLU
+// derivative in backward) and the softmax-normalized attention Psi.
+template <typename T>
+struct GatPsi {
+  CsrMatrix<T> scores_pre;  // C_ij = s1_i + s2_j at the edges (pre-activation)
+  CsrMatrix<T> psi;         // sm(A ⊙ LeakyReLU(C))
+};
+
+// GAT:  Psi = sm( A ⊙ LeakyReLU( s1 1^T + 1 s2^T ) ),
+// where s1 = H' a1 and s2 = H' a2 (H' = H W, a = [a1; a2] — the split of
+// the concatenation trick, Figure 2). The rank-1 virtual matrix
+// s1 1^T + 1 s2^T is sampled at the edges; the softmax is the graph softmax
+// of Section 4.2, fused into the same sparse pattern.
+template <typename T>
+GatPsi<T> psi_gat(const CsrMatrix<T>& a, std::span<const T> s1,
+                  std::span<const T> s2, T leaky_slope) {
+  AGNN_ASSERT(static_cast<index_t>(s1.size()) == a.rows(), "psi_gat: s1 size");
+  AGNN_ASSERT(static_cast<index_t>(s2.size()) == a.cols(), "psi_gat: s2 size");
+  GatPsi<T> out{a, a};
+  auto pre = out.scores_pre.vals_mutable();
+  auto act = out.psi.vals_mutable();
+#pragma omp parallel for schedule(dynamic, 64)
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const T s1i = s1[static_cast<std::size_t>(i)];
+    for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) {
+      const T c = s1i + s2[static_cast<std::size_t>(a.col_at(e))];
+      pre[static_cast<std::size_t>(e)] = c;
+      const T lrelu = c > T(0) ? c : leaky_slope * c;
+      act[static_cast<std::size_t>(e)] = a.val_at(e) * lrelu;
+    }
+  }
+  out.psi = row_softmax(out.psi);
+  return out;
+}
+
+// Fully fused VA layer aggregation: out = (A ⊙ H H^T) * X computed in a
+// single pass over the non-zeros, never storing Psi. This is the deepest
+// fusion the execution DAG admits for VA (SDDMM fused into the following
+// SpMM) and is benchmarked against the two-kernel pipeline.
+template <typename T>
+DenseMatrix<T> fused_va_aggregate(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
+                                  const DenseMatrix<T>& x) {
+  AGNN_ASSERT(a.rows() == h.rows() && a.cols() == h.rows(), "fused_va: shape");
+  AGNN_ASSERT(a.cols() == x.rows(), "fused_va: aggregation input shape");
+  const index_t n = a.rows(), k = h.cols(), kx = x.cols();
+  DenseMatrix<T> out(n, kx, T(0));
+#pragma omp parallel for schedule(dynamic, 64)
+  for (index_t i = 0; i < n; ++i) {
+    const T* hi = h.data() + i * k;
+    T* oi = out.data() + i * kx;
+    for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) {
+      const index_t j = a.col_at(e);
+      const T* hj = h.data() + j * k;
+      T score = T(0);
+      for (index_t g = 0; g < k; ++g) score += hi[g] * hj[g];
+      score *= a.val_at(e);
+      const T* xj = x.data() + j * kx;
+      for (index_t g = 0; g < kx; ++g) oi[g] += score * xj[g];
+    }
+  }
+  return out;
+}
+
+// Fully fused GAT layer aggregation: out = sm(A ⊙ LeakyReLU(s1 1^T + 1 s2^T)) * X
+// with per-row score buffers only (O(max row nnz) scratch per thread).
+template <typename T>
+DenseMatrix<T> fused_gat_aggregate(const CsrMatrix<T>& a, std::span<const T> s1,
+                                   std::span<const T> s2, T leaky_slope,
+                                   const DenseMatrix<T>& x) {
+  AGNN_ASSERT(a.cols() == x.rows(), "fused_gat: aggregation input shape");
+  const index_t n = a.rows(), kx = x.cols();
+  DenseMatrix<T> out(n, kx, T(0));
+#pragma omp parallel
+  {
+    std::vector<T> scores;
+#pragma omp for schedule(dynamic, 64)
+    for (index_t i = 0; i < n; ++i) {
+      const index_t b = a.row_begin(i), e = a.row_end(i);
+      if (b == e) continue;
+      scores.resize(static_cast<std::size_t>(e - b));
+      const T s1i = s1[static_cast<std::size_t>(i)];
+      T mx = -std::numeric_limits<T>::infinity();
+      for (index_t t = b; t < e; ++t) {
+        const T c = s1i + s2[static_cast<std::size_t>(a.col_at(t))];
+        const T lrelu = (c > T(0) ? c : leaky_slope * c) * a.val_at(t);
+        scores[static_cast<std::size_t>(t - b)] = lrelu;
+        mx = std::max(mx, lrelu);
+      }
+      T sum = T(0);
+      for (auto& s : scores) {
+        s = std::exp(s - mx);
+        sum += s;
+      }
+      const T inv = T(1) / sum;
+      T* oi = out.data() + i * kx;
+      for (index_t t = b; t < e; ++t) {
+        const T w = scores[static_cast<std::size_t>(t - b)] * inv;
+        const T* xj = x.data() + a.col_at(t) * kx;
+        for (index_t g = 0; g < kx; ++g) oi[g] += w * xj[g];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace agnn

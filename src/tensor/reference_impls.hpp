@@ -1,0 +1,126 @@
+// Unfused reference implementations of the Psi formulations.
+//
+// These follow the global tensor formulas *literally*: they materialize the
+// dense n x n intermediates (H H^T, the replications rep(s) of Table 2, the
+// outer product n n^T) that the production kernels keep virtual. They are
+// O(n^2) in time and memory, so they are used only
+//   (a) as oracles in the test suite, and
+//   (b) as the "unfused" arm of the Section 6.2 fusion-ablation benchmark.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "tensor/csr_matrix.hpp"
+#include "tensor/dense_matrix.hpp"
+#include "tensor/dense_ops.hpp"
+
+namespace agnn::reference {
+
+// Dense element-wise filter by the sparse pattern: out = A ⊙ X.
+template <typename T>
+CsrMatrix<T> sample_dense(const CsrMatrix<T>& a, const DenseMatrix<T>& x) {
+  AGNN_ASSERT(a.rows() == x.rows() && a.cols() == x.cols(), "sample_dense shape");
+  CsrMatrix<T> out = a;
+  auto v = out.vals_mutable();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) {
+      v[static_cast<std::size_t>(e)] = a.val_at(e) * x(i, a.col_at(e));
+    }
+  }
+  return out;
+}
+
+// Psi_VA = A ⊙ (H H^T), with H H^T materialized densely.
+template <typename T>
+CsrMatrix<T> psi_va_unfused(const CsrMatrix<T>& a, const DenseMatrix<T>& h) {
+  const DenseMatrix<T> hx = matmul_nt(h, h);  // H H^T, n x n dense
+  return sample_dense(a, hx);
+}
+
+// Psi_AGNN = A ⊙ (H H^T ⊘ n n^T), both n x n intermediates materialized.
+template <typename T>
+CsrMatrix<T> psi_agnn_unfused(const CsrMatrix<T>& a, const DenseMatrix<T>& h) {
+  DenseMatrix<T> hx = matmul_nt(h, h);
+  const std::vector<T> norms = row_l2_norms(h);
+  const DenseMatrix<T> nn = outer<T>(norms, norms);
+  for (index_t i = 0; i < hx.size(); ++i) {
+    hx.data()[i] = nn.data()[i] > T(0) ? hx.data()[i] / nn.data()[i] : T(0);
+  }
+  return sample_dense(a, hx);
+}
+
+// Pre-softmax GAT scores A ⊙ LeakyReLU(s1 1^T + 1 s2^T), with the rank-1
+// replication matrix materialized densely (rep_n(s1) + rep_n^T(s2)).
+template <typename T>
+CsrMatrix<T> gat_scores_unfused(const CsrMatrix<T>& a, std::span<const T> s1,
+                                std::span<const T> s2, T leaky_slope) {
+  const index_t n = a.rows();
+  DenseMatrix<T> c = replicate_cols(s1, n);  // s1 1^T
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) c(i, j) += s2[static_cast<std::size_t>(j)];
+  }
+  for (index_t i = 0; i < c.size(); ++i) {
+    const T v = c.data()[i];
+    c.data()[i] = v > T(0) ? v : leaky_slope * v;
+  }
+  return sample_dense(a, c);
+}
+
+// Dense row-softmax over the *sparsity support* of `mask`, as an oracle for
+// the sparse graph softmax. Non-edges are treated as -inf.
+template <typename T>
+DenseMatrix<T> masked_row_softmax_dense(const CsrMatrix<T>& mask,
+                                        const DenseMatrix<T>& scores) {
+  DenseMatrix<T> out(scores.rows(), scores.cols(), T(0));
+  for (index_t i = 0; i < mask.rows(); ++i) {
+    T mx = -std::numeric_limits<T>::infinity();
+    for (index_t e = mask.row_begin(i); e < mask.row_end(i); ++e) {
+      mx = std::max(mx, scores(i, mask.col_at(e)));
+    }
+    T sum = T(0);
+    for (index_t e = mask.row_begin(i); e < mask.row_end(i); ++e) {
+      sum += std::exp(scores(i, mask.col_at(e)) - mx);
+    }
+    if (sum <= T(0)) continue;
+    for (index_t e = mask.row_begin(i); e < mask.row_end(i); ++e) {
+      const index_t j = mask.col_at(e);
+      out(i, j) = std::exp(scores(i, j) - mx) / sum;
+    }
+  }
+  return out;
+}
+
+// Naive triple-loop dense matmul oracle.
+template <typename T>
+DenseMatrix<T> matmul_naive(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+  AGNN_ASSERT(a.cols() == b.rows(), "matmul_naive: shape");
+  DenseMatrix<T> c(a.rows(), b.cols(), T(0));
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < b.cols(); ++j) {
+      T acc = T(0);
+      for (index_t l = 0; l < a.cols(); ++l) acc += a(i, l) * b(l, j);
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+// Naive per-element semiring SpMM oracle (works for scalar aggregations).
+template <typename T, typename Reduce>
+DenseMatrix<T> aggregate_naive(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
+                               T identity, Reduce&& reduce) {
+  DenseMatrix<T> out(a.rows(), h.cols(), identity);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) {
+      const index_t j = a.col_at(e);
+      for (index_t g = 0; g < h.cols(); ++g) {
+        out(i, g) = reduce(out(i, g), a.val_at(e), h(j, g));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace agnn::reference

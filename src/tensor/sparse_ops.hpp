@@ -1,0 +1,180 @@
+// Sparse building blocks: SDDMM, Hadamard ops on a shared sparsity pattern,
+// the global graph-softmax of Section 4.2, and row/column reductions.
+//
+// Everything here operates on the non-zeros of a CSR pattern only — the
+// dense n x n matrices of the formulations stay virtual (Section 6.1).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/csr_matrix.hpp"
+#include "tensor/dense_matrix.hpp"
+#include "tensor/dense_ops.hpp"
+
+namespace agnn {
+
+// SDDMM (Table 2): out has the sparsity pattern of `pattern` and values
+//   out(i,j) = pattern(i,j) * <x_i, y_j>
+// i.e. the dense product X Y^T sampled at the non-zeros, scaled by the
+// sampling matrix's own values (the Hadamard with A in the formulations).
+template <typename T>
+CsrMatrix<T> sddmm(const CsrMatrix<T>& pattern, const DenseMatrix<T>& x,
+                   const DenseMatrix<T>& y) {
+  AGNN_ASSERT(pattern.rows() == x.rows(), "sddmm: row dimension mismatch");
+  AGNN_ASSERT(pattern.cols() == y.rows(), "sddmm: col dimension mismatch");
+  AGNN_ASSERT(x.cols() == y.cols(), "sddmm: inner dimension mismatch");
+  CsrMatrix<T> out = pattern;
+  const index_t k = x.cols();
+  auto v = out.vals_mutable();
+#pragma omp parallel for schedule(dynamic, 64)
+  for (index_t i = 0; i < pattern.rows(); ++i) {
+    const T* xi = x.data() + i * k;
+    for (index_t e = pattern.row_begin(i); e < pattern.row_end(i); ++e) {
+      const index_t j = pattern.col_at(e);
+      const T* yj = y.data() + j * k;
+      T acc = T(0);
+      for (index_t g = 0; g < k; ++g) acc += xi[g] * yj[g];
+      v[static_cast<std::size_t>(e)] = pattern.val_at(e) * acc;
+    }
+  }
+  return out;
+}
+
+// Element-wise product of two sparse matrices with identical patterns.
+template <typename T>
+CsrMatrix<T> hadamard_same_pattern(const CsrMatrix<T>& a, const CsrMatrix<T>& b) {
+  AGNN_ASSERT(a.same_pattern(b), "hadamard: patterns must match");
+  CsrMatrix<T> out = a;
+  auto v = out.vals_mutable();
+  const auto bv = b.vals();
+#pragma omp parallel for schedule(static)
+  for (index_t e = 0; e < a.nnz(); ++e) {
+    v[static_cast<std::size_t>(e)] *= bv[static_cast<std::size_t>(e)];
+  }
+  return out;
+}
+
+// Apply a scalar function to every stored value (exp, LeakyReLU, ...).
+template <typename T, typename F>
+CsrMatrix<T> map_values(const CsrMatrix<T>& a, F&& f) {
+  CsrMatrix<T> out = a;
+  auto v = out.vals_mutable();
+#pragma omp parallel for schedule(static)
+  for (index_t e = 0; e < a.nnz(); ++e) {
+    v[static_cast<std::size_t>(e)] = f(v[static_cast<std::size_t>(e)]);
+  }
+  return out;
+}
+
+// sum(X) = X * 1 over the sparse pattern: per-row sum of stored values.
+template <typename T>
+std::vector<T> sparse_row_sums(const CsrMatrix<T>& a) {
+  std::vector<T> s(static_cast<std::size_t>(a.rows()), T(0));
+#pragma omp parallel for schedule(dynamic, 64)
+  for (index_t i = 0; i < a.rows(); ++i) {
+    T acc = T(0);
+    for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) acc += a.val_at(e);
+    s[static_cast<std::size_t>(i)] = acc;
+  }
+  return s;
+}
+
+// sum^T(X) = 1^T * X: per-column sum of stored values.
+template <typename T>
+std::vector<T> sparse_col_sums(const CsrMatrix<T>& a) {
+  std::vector<T> s(static_cast<std::size_t>(a.cols()), T(0));
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) {
+      s[static_cast<std::size_t>(a.col_at(e))] += a.val_at(e);
+    }
+  }
+  return s;
+}
+
+// Graph softmax (Section 4.2): sm(X) = exp(X) ⊘ rs_n(exp(X)), restricted to
+// the non-zeros of X. Each row is exponentiated with the max-subtraction
+// trick (a row-local shift cancels in the normalization but prevents
+// overflow for large attention scores) and divided by its row sum.
+// The replication rs_n stays virtual: only the n-vector of row sums exists.
+template <typename T>
+CsrMatrix<T> row_softmax(const CsrMatrix<T>& x) {
+  CsrMatrix<T> out = x;
+  auto v = out.vals_mutable();
+#pragma omp parallel for schedule(dynamic, 64)
+  for (index_t i = 0; i < x.rows(); ++i) {
+    const index_t b = x.row_begin(i), e = x.row_end(i);
+    if (b == e) continue;
+    T mx = x.val_at(b);
+    for (index_t t = b + 1; t < e; ++t) mx = std::max(mx, x.val_at(t));
+    T sum = T(0);
+    for (index_t t = b; t < e; ++t) {
+      const T ex = std::exp(x.val_at(t) - mx);
+      v[static_cast<std::size_t>(t)] = ex;
+      sum += ex;
+    }
+    const T inv = T(1) / sum;
+    for (index_t t = b; t < e; ++t) v[static_cast<std::size_t>(t)] *= inv;
+  }
+  return out;
+}
+
+// Backward of row_softmax. Given S = row_softmax(X) and dS = dL/dS (same
+// pattern), returns dX with
+//   dX(i,j) = S(i,j) * (dS(i,j) - sum_j' S(i,j') dS(i,j'))
+// — the per-row softmax Jacobian applied without materializing it.
+template <typename T>
+CsrMatrix<T> row_softmax_backward(const CsrMatrix<T>& s, const CsrMatrix<T>& ds) {
+  AGNN_ASSERT(s.same_pattern(ds), "softmax backward: patterns must match");
+  CsrMatrix<T> dx = s;
+  auto v = dx.vals_mutable();
+#pragma omp parallel for schedule(dynamic, 64)
+  for (index_t i = 0; i < s.rows(); ++i) {
+    T dot = T(0);
+    for (index_t e = s.row_begin(i); e < s.row_end(i); ++e) {
+      dot += s.val_at(e) * ds.val_at(e);
+    }
+    for (index_t e = s.row_begin(i); e < s.row_end(i); ++e) {
+      v[static_cast<std::size_t>(e)] = s.val_at(e) * (ds.val_at(e) - dot);
+    }
+  }
+  return dx;
+}
+
+// out(i,j) = a(i,j) * scale_row(i) * scale_col(j): the virtual Hadamard
+// division by an outer product (AGNN's ⊘ n n^T) with scale vectors already
+// inverted by the caller.
+template <typename T>
+CsrMatrix<T> scale_rows_cols(const CsrMatrix<T>& a, std::span<const T> scale_row,
+                             std::span<const T> scale_col) {
+  AGNN_ASSERT(static_cast<index_t>(scale_row.size()) == a.rows(), "row scale size");
+  AGNN_ASSERT(static_cast<index_t>(scale_col.size()) == a.cols(), "col scale size");
+  CsrMatrix<T> out = a;
+  auto v = out.vals_mutable();
+#pragma omp parallel for schedule(dynamic, 64)
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const T ri = scale_row[static_cast<std::size_t>(i)];
+    for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) {
+      v[static_cast<std::size_t>(e)] *=
+          ri * scale_col[static_cast<std::size_t>(a.col_at(e))];
+    }
+  }
+  return out;
+}
+
+// X + X^T for a sparse matrix (the X_+ building block of Table 2, used by
+// the VA backward pass N_+ = N + N^T). The result's pattern is the union.
+template <typename T>
+CsrMatrix<T> add_transpose(const CsrMatrix<T>& x) {
+  AGNN_ASSERT(x.rows() == x.cols(), "add_transpose: matrix must be square");
+  const CsrMatrix<T> xt = x.transposed();
+  CooMatrix<T> coo = x.to_coo();
+  const CooMatrix<T> coo_t = xt.to_coo();
+  coo.rows.insert(coo.rows.end(), coo_t.rows.begin(), coo_t.rows.end());
+  coo.cols.insert(coo.cols.end(), coo_t.cols.begin(), coo_t.cols.end());
+  coo.vals.insert(coo.vals.end(), coo_t.vals.begin(), coo_t.vals.end());
+  coo.sum_duplicates();
+  return CsrMatrix<T>::from_coo(coo);
+}
+
+}  // namespace agnn

@@ -1,0 +1,128 @@
+// SpMM — sparse matrix times tall dense matrix (Table 2) — and its
+// semiring generalization (Section 4.3).
+//
+// This is the ⊕ aggregation of the global formulation: out = A ⊕ H.
+// Row-parallel over the sparse matrix; each output row is owned by exactly
+// one thread so no atomics are needed.
+#pragma once
+
+#include <vector>
+
+#include "tensor/csr_matrix.hpp"
+#include "tensor/dense_matrix.hpp"
+#include "tensor/semiring.hpp"
+
+namespace agnn {
+
+// Generalized SpMM over an arbitrary semiring S.
+template <typename S, typename T>
+DenseMatrix<T> spmm_semiring(const CsrMatrix<T>& a, const DenseMatrix<T>& h) {
+  AGNN_ASSERT(a.cols() == h.rows(), "spmm: dimension mismatch");
+  const index_t n = a.rows(), k = h.cols();
+  DenseMatrix<T> out(n, k);
+#pragma omp parallel
+  {
+    std::vector<typename S::Accum> acc(static_cast<std::size_t>(k));
+#pragma omp for schedule(dynamic, 64)
+    for (index_t i = 0; i < n; ++i) {
+      std::fill(acc.begin(), acc.end(), S::identity());
+      for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) {
+        const index_t j = a.col_at(e);
+        const T av = a.val_at(e);
+        const T* hj = h.data() + j * k;
+        for (index_t g = 0; g < k; ++g) {
+          S::accumulate(acc[static_cast<std::size_t>(g)], av, hj[g]);
+        }
+      }
+      T* oi = out.data() + i * k;
+      for (index_t g = 0; g < k; ++g) oi[g] = S::finalize(acc[static_cast<std::size_t>(g)]);
+    }
+  }
+  return out;
+}
+
+// The standard real-semiring SpMM fast path: out = A * H.
+template <typename T>
+DenseMatrix<T> spmm(const CsrMatrix<T>& a, const DenseMatrix<T>& h) {
+  AGNN_ASSERT(a.cols() == h.rows(), "spmm: dimension mismatch");
+  const index_t n = a.rows(), k = h.cols();
+  DenseMatrix<T> out(n, k, T(0));
+#pragma omp parallel for schedule(dynamic, 64)
+  for (index_t i = 0; i < n; ++i) {
+    T* oi = out.data() + i * k;
+    for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) {
+      const index_t j = a.col_at(e);
+      const T av = a.val_at(e);
+      const T* hj = h.data() + j * k;
+      for (index_t g = 0; g < k; ++g) oi[g] += av * hj[g];
+    }
+  }
+  return out;
+}
+
+// out += A * H (accumulating variant; the 1.5D distributed SpMM sums
+// partial products from each grid column into the same output block).
+template <typename T>
+void spmm_accumulate(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
+                     DenseMatrix<T>& out) {
+  AGNN_ASSERT(a.cols() == h.rows(), "spmm_accumulate: dimension mismatch");
+  AGNN_ASSERT(out.rows() == a.rows() && out.cols() == h.cols(),
+              "spmm_accumulate: output shape mismatch");
+  const index_t n = a.rows(), k = h.cols();
+#pragma omp parallel for schedule(dynamic, 64)
+  for (index_t i = 0; i < n; ++i) {
+    T* oi = out.data() + i * k;
+    for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) {
+      const index_t j = a.col_at(e);
+      const T av = a.val_at(e);
+      const T* hj = h.data() + j * k;
+      for (index_t g = 0; g < k; ++g) oi[g] += av * hj[g];
+    }
+  }
+}
+
+// Runtime-dispatched aggregation, the user-facing ⊕ of the generic model.
+template <typename T>
+DenseMatrix<T> aggregate(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
+                         Aggregation agg) {
+  switch (agg) {
+    case Aggregation::kSum: return spmm(a, h);
+    case Aggregation::kMin: return spmm_semiring<MinPlusSemiring<T>>(a, h);
+    case Aggregation::kMax: return spmm_semiring<MaxPlusSemiring<T>>(a, h);
+    case Aggregation::kMean: return spmm_semiring<AverageSemiring<T>>(a, h);
+  }
+  AGNN_ASSERT(false, "unknown aggregation");
+  return {};
+}
+
+// SpMMM — sparse x dense x dense (Table 2, new kernel identified by the
+// paper). Computes A * H * W choosing the cheaper association order:
+// (A*H)*W costs nnz*k_in + n*k_in*k_out, A*(H*W) costs n*k_in*k_out +
+// nnz*k_out. This realizes the Phi ∘ ⊕ ordering freedom of Section 4.4.
+template <typename T>
+DenseMatrix<T> spmmm(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
+                     const DenseMatrix<T>& w) {
+  const double k_in = static_cast<double>(h.cols());
+  const double k_out = static_cast<double>(w.cols());
+  const double nnz = static_cast<double>(a.nnz());
+  const double n = static_cast<double>(a.rows());
+  const double cost_agg_first = nnz * k_in + n * k_in * k_out;
+  const double cost_proj_first = n * k_in * k_out + nnz * k_out;
+  if (cost_agg_first <= cost_proj_first) {
+    return matmul(spmm(a, h), w);
+  }
+  return spmm(a, matmul(h, w));
+}
+
+// MSpMM — dense x sparse x dense (Table 2). Computes X^T * A * Y, the
+// compute pattern of the backward-pass weight update Y = H^T Psi' G.
+template <typename T>
+DenseMatrix<T> mspmm(const DenseMatrix<T>& x, const CsrMatrix<T>& a,
+                     const DenseMatrix<T>& y) {
+  AGNN_ASSERT(x.rows() == a.rows() && a.cols() == y.rows(),
+              "mspmm: dimension mismatch");
+  // (A * Y) is tall-skinny; X^T * (A*Y) reduces to a small k x k result.
+  return matmul_tn(x, spmm(a, y));
+}
+
+}  // namespace agnn

@@ -1,0 +1,147 @@
+// Tests for the activation functions (and their derivatives) and the losses
+// bootstrapping the backward recursion.
+#include <gtest/gtest.h>
+
+#include "core/activations.hpp"
+#include "core/loss.hpp"
+#include "test_utils.hpp"
+
+namespace agnn {
+namespace {
+
+class ActivationSweep : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(ActivationSweep, DerivativeMatchesFiniteDifference) {
+  const Activation act = GetParam();
+  const double eps = 1e-6;
+  // Probe points away from the ReLU kink.
+  for (double z : {-2.0, -0.7, -0.1, 0.1, 0.9, 3.0}) {
+    const double numeric = (apply_activation(act, z + eps) -
+                            apply_activation(act, z - eps)) / (2 * eps);
+    EXPECT_NEAR(activation_derivative(act, z), numeric, 1e-6)
+        << to_string(act) << " at z=" << z;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, ActivationSweep,
+                         ::testing::Values(Activation::kIdentity, Activation::kRelu,
+                                           Activation::kLeakyRelu, Activation::kTanh,
+                                           Activation::kSigmoid));
+
+TEST(Activations, ReluClampsNegative) {
+  EXPECT_DOUBLE_EQ(apply_activation(Activation::kRelu, -3.0), 0.0);
+  EXPECT_DOUBLE_EQ(apply_activation(Activation::kRelu, 3.0), 3.0);
+}
+
+TEST(Activations, LeakyReluSlope) {
+  EXPECT_DOUBLE_EQ(apply_activation(Activation::kLeakyRelu, -2.0, 0.1), -0.2);
+  EXPECT_DOUBLE_EQ(apply_activation(Activation::kLeakyRelu, 2.0, 0.1), 2.0);
+}
+
+TEST(Activations, ActivateMatrixElementwise) {
+  DenseMatrix<double> z(2, 2, std::vector<double>{-1.0, 0.5, 2.0, -0.25});
+  const auto h = activate(Activation::kRelu, z);
+  EXPECT_DOUBLE_EQ(h(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(h(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(h(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(h(1, 1), 0.0);
+}
+
+TEST(Activations, BackwardAppliesChainRule) {
+  DenseMatrix<double> z(1, 3, std::vector<double>{-1.0, 1.0, 2.0});
+  DenseMatrix<double> gamma(1, 3, std::vector<double>{10.0, 20.0, 30.0});
+  const auto g = activation_backward(Activation::kRelu, z, gamma);
+  EXPECT_DOUBLE_EQ(g(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(g(0, 1), 20.0);
+  EXPECT_DOUBLE_EQ(g(0, 2), 30.0);
+}
+
+TEST(Loss, CrossEntropyUniformLogitsIsLogC) {
+  const index_t n = 5, c = 4;
+  DenseMatrix<double> h(n, c, 0.0);
+  std::vector<index_t> labels(static_cast<std::size_t>(n), 1);
+  const auto res = softmax_cross_entropy<double>(h, labels);
+  EXPECT_NEAR(res.value, std::log(static_cast<double>(c)), 1e-12);
+}
+
+TEST(Loss, CrossEntropyPerfectPredictionNearZero) {
+  DenseMatrix<double> h(2, 3, 0.0);
+  h(0, 1) = 100.0;
+  h(1, 2) = 100.0;
+  std::vector<index_t> labels{1, 2};
+  const auto res = softmax_cross_entropy<double>(h, labels);
+  EXPECT_NEAR(res.value, 0.0, 1e-9);
+}
+
+TEST(Loss, CrossEntropyGradientMatchesFiniteDifference) {
+  auto h = testing::random_dense<double>(6, 4, 77);
+  std::vector<index_t> labels{0, 1, 2, 3, 1, 2};
+  const auto res = softmax_cross_entropy<double>(h, labels);
+  const double eps = 1e-6;
+  for (index_t i = 0; i < h.size(); ++i) {
+    const double saved = h.data()[i];
+    h.data()[i] = saved + eps;
+    const double lp = softmax_cross_entropy<double>(h, labels).value;
+    h.data()[i] = saved - eps;
+    const double lm = softmax_cross_entropy<double>(h, labels).value;
+    h.data()[i] = saved;
+    EXPECT_NEAR(res.grad.data()[i], (lp - lm) / (2 * eps), 1e-7);
+  }
+}
+
+TEST(Loss, CrossEntropyMaskExcludesVertices) {
+  auto h = testing::random_dense<double>(4, 3, 79);
+  std::vector<index_t> labels{0, 1, 2, 0};
+  std::vector<std::uint8_t> mask{true, false, true, false};
+  const auto res = softmax_cross_entropy<double>(h, labels, mask);
+  // Masked rows contribute zero gradient.
+  for (index_t j = 0; j < 3; ++j) {
+    EXPECT_DOUBLE_EQ(res.grad(1, j), 0.0);
+    EXPECT_DOUBLE_EQ(res.grad(3, j), 0.0);
+  }
+  // Value equals the mean over the two active rows.
+  double manual = 0;
+  for (index_t i : {index_t(0), index_t(2)}) {
+    double mx = h(i, 0);
+    for (index_t j = 1; j < 3; ++j) mx = std::max(mx, h(i, j));
+    double sum = 0;
+    for (index_t j = 0; j < 3; ++j) sum += std::exp(h(i, j) - mx);
+    manual += std::log(sum) + mx - h(i, labels[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_NEAR(res.value, manual / 2.0, 1e-12);
+}
+
+TEST(Loss, CrossEntropyExplicitNormalizer) {
+  auto h = testing::random_dense<double>(4, 3, 81);
+  std::vector<index_t> labels{0, 1, 2, 0};
+  const auto res_auto = softmax_cross_entropy<double>(h, labels);
+  const auto res_scaled = softmax_cross_entropy<double>(h, labels, {}, 8);
+  EXPECT_NEAR(res_scaled.value, res_auto.value / 2.0, 1e-12);
+  EXPECT_NEAR(res_scaled.grad(0, 0), res_auto.grad(0, 0) / 2.0, 1e-12);
+}
+
+TEST(Loss, MseKnownValue) {
+  DenseMatrix<double> h(2, 1, std::vector<double>{1.0, 3.0});
+  DenseMatrix<double> y(2, 1, std::vector<double>{0.0, 1.0});
+  const auto res = mse_loss(h, y);
+  // (0.5*1 + 0.5*4) / 2 = 1.25
+  EXPECT_DOUBLE_EQ(res.value, 1.25);
+  EXPECT_DOUBLE_EQ(res.grad(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(res.grad(1, 0), 1.0);
+}
+
+TEST(Loss, ArgmaxAndAccuracy) {
+  DenseMatrix<double> h(3, 3, 0.0);
+  h(0, 2) = 1.0;
+  h(1, 0) = 1.0;
+  h(2, 1) = 1.0;
+  const auto pred = argmax_rows(h);
+  EXPECT_EQ(pred, (std::vector<index_t>{2, 0, 1}));
+  std::vector<index_t> labels{2, 0, 0};
+  EXPECT_NEAR(accuracy(h, labels), 2.0 / 3.0, 1e-12);
+  std::vector<std::uint8_t> mask{true, true, false};
+  EXPECT_NEAR(accuracy(h, labels, mask), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace agnn

@@ -1,0 +1,66 @@
+// Tests for the artifact-style command-line parser.
+#include <gtest/gtest.h>
+
+#include "core/cli.hpp"
+
+namespace agnn {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ShortOptionsWithValues) {
+  const auto a = parse({"-m", "GAT", "-v", "1024"});
+  EXPECT_EQ(a.get_string("-m", ""), "GAT");
+  EXPECT_EQ(a.get_long("-v", 0), 1024);
+}
+
+TEST(Cli, LongOptionsWithEquals) {
+  const auto a = parse({"--features=32", "--model=VA"});
+  EXPECT_EQ(a.get_long("--features", 0), 32);
+  EXPECT_EQ(a.get_string("--model", ""), "VA");
+}
+
+TEST(Cli, FlagsWithoutValues) {
+  const auto a = parse({"--inference", "-m", "AGNN"});
+  EXPECT_TRUE(a.get_flag("--inference"));
+  EXPECT_FALSE(a.get_flag("--training"));
+  EXPECT_EQ(a.get_string("-m", ""), "AGNN");
+}
+
+TEST(Cli, ShortLongAliasPreference) {
+  const auto a = parse({"-v", "100", "--vertices", "200"});
+  // Short spelling wins when both are given.
+  EXPECT_EQ(a.get_long("-v", "--vertices", 0), 100);
+  const auto b = parse({"--vertices", "200"});
+  EXPECT_EQ(b.get_long("-v", "--vertices", 0), 200);
+  const auto c = parse({});
+  EXPECT_EQ(c.get_long("-v", "--vertices", 7), 7);
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const auto a = parse({});
+  EXPECT_EQ(a.get_string("-m", "VA"), "VA");
+  EXPECT_EQ(a.get_long("--repeat", 10), 10);
+}
+
+TEST(Cli, NonIntegerValueThrows) {
+  const auto a = parse({"-v", "abc"});
+  EXPECT_THROW(a.get_long("-v", 0), std::logic_error);
+}
+
+TEST(Cli, NegativeNumbersAsValues) {
+  const auto a = parse({"--seed=-5"});
+  EXPECT_EQ(a.get_long("--seed", 0), -5);
+}
+
+TEST(Cli, MalformedPositionalThrows) {
+  std::vector<const char*> argv{"prog", "stray"};
+  EXPECT_THROW(CliArgs(2, argv.data()), std::logic_error);
+}
+
+}  // namespace
+}  // namespace agnn

@@ -1,0 +1,238 @@
+// Tests for the simulated-cluster SPMD runtime: collectives against
+// sequential oracles, sub-communicator splits, one-sided windows, and the
+// volume-accounting conventions.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "comm/communicator.hpp"
+#include "comm/cost_model.hpp"
+
+namespace agnn::comm {
+namespace {
+
+class RankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankSweep, BroadcastDeliversRootBuffer) {
+  const int p = GetParam();
+  SpmdRuntime::run(p, [&](Communicator& c) {
+    std::vector<double> buf(8, c.rank() == 2 % p ? 42.0 : -1.0);
+    if (c.rank() == 2 % p) {
+      for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<double>(i);
+    }
+    c.broadcast(std::span<double>(buf), 2 % p);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      EXPECT_DOUBLE_EQ(buf[i], static_cast<double>(i)) << "rank " << c.rank();
+    }
+  });
+}
+
+TEST_P(RankSweep, ReduceSumAtRoot) {
+  const int p = GetParam();
+  SpmdRuntime::run(p, [&](Communicator& c) {
+    std::vector<int> buf{c.rank() + 1, 10 * (c.rank() + 1)};
+    c.reduce_sum(std::span<int>(buf), 0);
+    if (c.rank() == 0) {
+      const int expected = p * (p + 1) / 2;
+      EXPECT_EQ(buf[0], expected);
+      EXPECT_EQ(buf[1], 10 * expected);
+    }
+  });
+}
+
+TEST_P(RankSweep, AllreduceSumEverywhere) {
+  const int p = GetParam();
+  SpmdRuntime::run(p, [&](Communicator& c) {
+    std::vector<double> buf{static_cast<double>(c.rank()), 1.0};
+    c.allreduce_sum(std::span<double>(buf));
+    EXPECT_DOUBLE_EQ(buf[0], static_cast<double>(p * (p - 1) / 2));
+    EXPECT_DOUBLE_EQ(buf[1], static_cast<double>(p));
+  });
+}
+
+TEST_P(RankSweep, AllreduceMaxEverywhere) {
+  const int p = GetParam();
+  SpmdRuntime::run(p, [&](Communicator& c) {
+    std::vector<double> buf{static_cast<double>(c.rank() % 3),
+                            -static_cast<double>(c.rank())};
+    c.allreduce_max(std::span<double>(buf));
+    EXPECT_DOUBLE_EQ(buf[0], static_cast<double>(std::min(p - 1, 2)));
+    EXPECT_DOUBLE_EQ(buf[1], 0.0);
+  });
+}
+
+TEST_P(RankSweep, AllgathervConcatenatesInRankOrder) {
+  const int p = GetParam();
+  SpmdRuntime::run(p, [&](Communicator& c) {
+    // Variable sizes: rank r contributes r+1 values, all equal to r.
+    std::vector<int> mine(static_cast<std::size_t>(c.rank() + 1), c.rank());
+    std::vector<std::size_t> offsets;
+    const auto all = c.allgatherv(std::span<const int>(mine), &offsets);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(p * (p + 1) / 2));
+    std::size_t idx = 0;
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(offsets[static_cast<std::size_t>(r)], idx);
+      for (int i = 0; i <= r; ++i) EXPECT_EQ(all[idx++], r);
+    }
+  });
+}
+
+TEST_P(RankSweep, WindowGetReadsPeerData) {
+  const int p = GetParam();
+  SpmdRuntime::run(p, [&](Communicator& c) {
+    std::vector<double> mine(16);
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      mine[i] = 100.0 * c.rank() + static_cast<double>(i);
+    }
+    auto win = c.expose(std::span<const double>(mine));
+    const int peer = (c.rank() + 1) % p;
+    std::vector<double> got(4);
+    win.get(std::span<double>(got), peer, 3);
+    win.close();
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_DOUBLE_EQ(got[i], 100.0 * peer + 3.0 + static_cast<double>(i));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, RankSweep, ::testing::Values(1, 2, 3, 4, 7, 8));
+
+TEST(Communicator, SplitFormsRowAndColumnGroups) {
+  // 2x3 grid: split by row then by column; check sizes and ranks.
+  SpmdRuntime::run(6, [&](Communicator& c) {
+    const int row = c.rank() / 3, col = c.rank() % 3;
+    Communicator row_comm = c.split(row, col);
+    Communicator col_comm = c.split(100 + col, row);
+    EXPECT_EQ(row_comm.size(), 3);
+    EXPECT_EQ(row_comm.rank(), col);
+    EXPECT_EQ(col_comm.size(), 2);
+    EXPECT_EQ(col_comm.rank(), row);
+    // Collectives on subgroups see only group members.
+    std::vector<int> buf{1};
+    row_comm.allreduce_sum(std::span<int>(buf));
+    EXPECT_EQ(buf[0], 3);
+    std::vector<int> buf2{c.rank()};
+    col_comm.allreduce_sum(std::span<int>(buf2));
+    EXPECT_EQ(buf2[0], col + (col + 3));  // ranks (0,col) and (1,col)
+  });
+}
+
+TEST(Communicator, SplitChargesToGlobalStats) {
+  const auto stats = SpmdRuntime::run(4, [&](Communicator& c) {
+    Communicator sub = c.split(c.rank() % 2, c.rank());
+    std::vector<double> buf(10, 1.0);
+    sub.allreduce_sum(std::span<double>(buf));
+  });
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.bytes_sent, 2 * 10 * sizeof(double));
+  }
+}
+
+TEST(Communicator, VolumeAccountingConventions) {
+  constexpr std::size_t kWords = 64;
+  const auto stats = SpmdRuntime::run(4, [&](Communicator& c) {
+    std::vector<double> buf(kWords, 1.0);
+    c.broadcast(std::span<double>(buf), 0);
+  });
+  // broadcast: every rank charged w bytes, ceil(log2(4)) = 2 supersteps.
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.bytes_sent, kWords * sizeof(double));
+    EXPECT_EQ(s.supersteps, 2u);
+  }
+}
+
+TEST(Communicator, AllreduceChargesTwiceTheBuffer) {
+  constexpr std::size_t kWords = 32;
+  const auto stats = SpmdRuntime::run(8, [&](Communicator& c) {
+    std::vector<float> buf(kWords, static_cast<float>(c.rank()));
+    c.allreduce_sum(std::span<float>(buf));
+  });
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.bytes_sent, 2 * kWords * sizeof(float));
+    EXPECT_EQ(s.supersteps, 2u * 3u);
+  }
+}
+
+TEST(Communicator, WindowChargesTheOwner) {
+  const auto stats = SpmdRuntime::run(2, [&](Communicator& c) {
+    std::vector<double> mine(100, 1.0);
+    auto win = c.expose(std::span<const double>(mine));
+    if (c.rank() == 0) {
+      std::vector<double> got(40);
+      win.get(std::span<double>(got), 1, 0);  // rank 0 pulls from rank 1
+    }
+    win.close();
+  });
+  EXPECT_EQ(stats[0].bytes_sent, 0u);  // rank 0 only received
+  EXPECT_EQ(stats[1].bytes_sent, 40 * sizeof(double));  // rank 1 sent
+}
+
+TEST(Communicator, SelfGetIsFree) {
+  const auto stats = SpmdRuntime::run(2, [&](Communicator& c) {
+    std::vector<double> mine(10, 1.0);
+    auto win = c.expose(std::span<const double>(mine));
+    std::vector<double> got(10);
+    win.get(std::span<double>(got), c.rank(), 0);
+    win.close();
+  });
+  for (const auto& s : stats) EXPECT_EQ(s.bytes_sent, 0u);
+}
+
+TEST(Communicator, SingleRankCollectivesAreFree) {
+  const auto stats = SpmdRuntime::run(1, [&](Communicator& c) {
+    std::vector<double> buf(100, 1.0);
+    c.broadcast(std::span<double>(buf), 0);
+    c.allreduce_sum(std::span<double>(buf));
+    c.reduce_sum(std::span<double>(buf), 0);
+  });
+  EXPECT_EQ(stats[0].bytes_sent, 0u);
+}
+
+TEST(Communicator, ResetAllStatsZeroesCounters) {
+  const auto stats = SpmdRuntime::run(3, [&](Communicator& c) {
+    std::vector<double> buf(50, 1.0);
+    c.allreduce_sum(std::span<double>(buf));
+    reset_all_stats(c);
+  });
+  for (const auto& s : stats) {
+    EXPECT_EQ(s.bytes_sent, 0u);
+    EXPECT_EQ(s.supersteps, 0u);
+  }
+}
+
+TEST(Communicator, ComputeRegionAccumulatesThreadTime) {
+  const auto stats = SpmdRuntime::run(2, [&](Communicator& c) {
+    ComputeRegion region(c.stats());
+    // Busy loop long enough to register on the thread CPU clock.
+    volatile double x = 0;
+    for (int i = 0; i < 2000000; ++i) x = x + 1.0;
+    (void)x;
+  });
+  for (const auto& s : stats) EXPECT_GT(s.compute_seconds, 0.0);
+}
+
+TEST(CostModel, AlphaBetaArithmetic) {
+  CostModel m{.alpha = 1e-6, .beta = 1e-9};
+  VolumeSnapshot s{.bytes_sent = 1000, .messages = 2, .supersteps = 5,
+                   .compute_seconds = 0.25};
+  EXPECT_DOUBLE_EQ(m.comm_time(s), 5e-6 + 1000e-9);
+  std::vector<VolumeSnapshot> all{s, {.bytes_sent = 2000, .messages = 1,
+                                      .supersteps = 1, .compute_seconds = 0.5}};
+  // comm_time(s) = 6e-6 dominates comm_time of the second snapshot (3e-6).
+  EXPECT_DOUBLE_EQ(m.max_comm_time(all), 5e-6 + 1000e-9);
+  EXPECT_DOUBLE_EQ(m.total_time(all), 0.5 + 5e-6 + 1000e-9);
+}
+
+TEST(CostModel, SnapshotAggregates) {
+  std::vector<VolumeSnapshot> all{{.bytes_sent = 10, .messages = 1, .supersteps = 2,
+                                   .compute_seconds = 0.1},
+                                  {.bytes_sent = 30, .messages = 2, .supersteps = 7,
+                                   .compute_seconds = 0.4}};
+  EXPECT_EQ(max_bytes_sent(all), 30u);
+  EXPECT_EQ(total_bytes_sent(all), 40u);
+  EXPECT_EQ(max_supersteps(all), 7u);
+  EXPECT_DOUBLE_EQ(max_compute_seconds(all), 0.4);
+}
+
+}  // namespace
+}  // namespace agnn::comm

@@ -1,0 +1,159 @@
+// Unit and property tests for the dense kernels against naive oracles.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tensor/dense_ops.hpp"
+#include "tensor/reference_impls.hpp"
+#include "test_utils.hpp"
+
+namespace agnn {
+namespace {
+
+using testing::expect_matrix_near;
+using testing::random_dense;
+
+TEST(DenseOps, MatmulSmallKnownValues) {
+  DenseMatrix<double> a(2, 3, std::vector<double>{1, 2, 3, 4, 5, 6});
+  DenseMatrix<double> b(3, 2, std::vector<double>{7, 8, 9, 10, 11, 12});
+  auto c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(DenseOps, MatmulDimensionMismatchThrows) {
+  DenseMatrix<double> a(2, 3), b(2, 2);
+  EXPECT_THROW(matmul(a, b), std::logic_error);
+}
+
+class MatmulSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulSweep, MatchesNaiveOracle) {
+  const auto [n, k, m] = GetParam();
+  auto a = random_dense<double>(n, k, 11);
+  auto b = random_dense<double>(k, m, 13);
+  expect_matrix_near(matmul(a, b), reference::matmul_naive(a, b), 1e-10, "matmul");
+}
+
+TEST_P(MatmulSweep, TransposedVariantsMatchExplicitTranspose) {
+  const auto [n, k, m] = GetParam();
+  auto a = random_dense<double>(n, k, 17);
+  auto b = random_dense<double>(n, m, 19);
+  // A^T B == transpose(A) * B
+  expect_matrix_near(matmul_tn(a, b), reference::matmul_naive(transpose(a), b),
+                     1e-10, "matmul_tn");
+  auto c = random_dense<double>(m, k, 23);
+  // A C^T == A * transpose(C)
+  expect_matrix_near(matmul_nt(a.slice_rows(0, n), c),
+                     reference::matmul_naive(a, transpose(c)), 1e-10, "matmul_nt");
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatmulSweep,
+                         ::testing::Values(std::tuple{1, 1, 1}, std::tuple{2, 3, 4},
+                                           std::tuple{7, 5, 3}, std::tuple{16, 16, 16},
+                                           std::tuple{33, 8, 129}, std::tuple{64, 1, 64}));
+
+TEST(DenseOps, TransposeInvolution) {
+  auto a = random_dense<float>(13, 7, 29);
+  expect_matrix_near(transpose(transpose(a)), a, 0.0, "transpose^2");
+}
+
+TEST(DenseOps, MatvecMatchesMatmul) {
+  auto a = random_dense<double>(9, 5, 31);
+  auto x = random_dense<double>(5, 1, 37);
+  const auto y = matvec(a, std::span<const double>(x.data(), 5));
+  const auto y_ref = matmul(a, x);
+  for (index_t i = 0; i < 9; ++i) {
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], y_ref(i, 0), 1e-12);
+  }
+}
+
+TEST(DenseOps, MatvecTnMatchesTransposedMatmul) {
+  auto a = random_dense<double>(9, 5, 41);
+  auto x = random_dense<double>(9, 1, 43);
+  const auto y = matvec_tn(a, std::span<const double>(x.data(), 9));
+  const auto y_ref = matmul(transpose(a), x);
+  for (index_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], y_ref(i, 0), 1e-12);
+  }
+}
+
+TEST(DenseOps, AddSubHadamardElementwise) {
+  auto a = random_dense<double>(4, 4, 47);
+  auto b = random_dense<double>(4, 4, 53);
+  const auto s = add(a, b);
+  const auto d = sub(a, b);
+  const auto h = hadamard(a, b);
+  for (index_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s.data()[i], a.data()[i] + b.data()[i]);
+    EXPECT_DOUBLE_EQ(d.data()[i], a.data()[i] - b.data()[i]);
+    EXPECT_DOUBLE_EQ(h.data()[i], a.data()[i] * b.data()[i]);
+  }
+}
+
+TEST(DenseOps, AxpyAccumulates) {
+  auto a = random_dense<double>(3, 3, 59);
+  DenseMatrix<double> c(3, 3, 1.0);
+  axpy(2.0, a, c);
+  for (index_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(c.data()[i], 1.0 + 2.0 * a.data()[i]);
+  }
+}
+
+TEST(DenseOps, ReplicateColsImplementsRep) {
+  std::vector<double> x{1, 2, 3};
+  auto r = replicate_cols<double>(x, 4);
+  EXPECT_EQ(r.rows(), 3);
+  EXPECT_EQ(r.cols(), 4);
+  for (index_t j = 0; j < 4; ++j) {
+    EXPECT_DOUBLE_EQ(r(0, j), 1);
+    EXPECT_DOUBLE_EQ(r(2, j), 3);
+  }
+}
+
+TEST(DenseOps, RowSumsImplementsSum) {
+  DenseMatrix<double> a(2, 3, std::vector<double>{1, 2, 3, -1, 0, 1});
+  const auto s = row_sums(a);
+  EXPECT_DOUBLE_EQ(s[0], 6);
+  EXPECT_DOUBLE_EQ(s[1], 0);
+}
+
+TEST(DenseOps, RowL2Norms) {
+  DenseMatrix<double> a(2, 2, std::vector<double>{3, 4, 0, 0});
+  const auto n = row_l2_norms(a);
+  EXPECT_DOUBLE_EQ(n[0], 5);
+  EXPECT_DOUBLE_EQ(n[1], 0);
+}
+
+TEST(DenseOps, OuterProduct) {
+  std::vector<double> x{1, 2}, y{3, 4, 5};
+  const auto o = outer<double>(x, y);
+  EXPECT_EQ(o.rows(), 2);
+  EXPECT_EQ(o.cols(), 3);
+  EXPECT_DOUBLE_EQ(o(1, 2), 10);
+  DenseMatrix<double> acc(2, 3, 1.0);
+  add_outer_inplace<double>(acc, x, y);
+  EXPECT_DOUBLE_EQ(acc(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(acc(1, 2), 11.0);
+}
+
+TEST(DenseOps, FrobeniusNormAndMaxAbsDiff) {
+  DenseMatrix<double> a(1, 2, std::vector<double>{3, 4});
+  EXPECT_DOUBLE_EQ(frobenius_norm(a), 5.0);
+  DenseMatrix<double> b(1, 2, std::vector<double>{3, 4.5});
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.5);
+}
+
+// Property: (A B) C == A (B C) — associativity of the MM kernel to FP slop.
+TEST(DenseOps, MatmulAssociativity) {
+  auto a = random_dense<double>(6, 5, 61);
+  auto b = random_dense<double>(5, 7, 67);
+  auto c = random_dense<double>(7, 3, 71);
+  expect_matrix_near(matmul(matmul(a, b), c), matmul(a, matmul(b, c)), 1e-9,
+                     "associativity");
+}
+
+}  // namespace
+}  // namespace agnn

@@ -1,0 +1,152 @@
+// Tests for the execution-DAG fusion planner (Section 6.2 / Figure 5): the
+// planner must fuse every virtual intermediate of every model's forward and
+// backward DAG into an SDDMM-like kernel, and the memory estimator must
+// quantify the n^2 -> nnz collapse.
+#include <gtest/gtest.h>
+
+#include "core/execution_dag.hpp"
+
+namespace agnn::ir {
+namespace {
+
+// Find the node id with the given name.
+int find(const ExecutionDag& dag, const std::string& name) {
+  for (const auto& n : dag.nodes()) {
+    if (n.name == name) return n.id;
+  }
+  ADD_FAILURE() << "node not found: " << name;
+  return -1;
+}
+
+TEST(ExecutionDag, VaForwardFusesTheDotProductSampling) {
+  const auto dag = build_va_forward();
+  const auto plan = plan_fusions(dag);
+  EXPECT_TRUE(plan.all_virtual_fused());
+  ASSERT_EQ(plan.kernels.size(), 1u);
+  // The fused kernel: H H^T (virtual) -> Psi (sparse sampling).
+  const auto& k = plan.kernels.front();
+  ASSERT_EQ(k.path.size(), 2u);
+  EXPECT_EQ(k.path[0], find(dag, "H H^T"));
+  EXPECT_EQ(k.terminal(), find(dag, "Psi = A .* HH^T"));
+  EXPECT_EQ(dag.node(k.terminal()).producer, OpClass::kSDDMM);
+}
+
+TEST(ExecutionDag, VaBackwardFusesTheNComputation) {
+  const auto dag = build_va_backward();
+  const auto plan = plan_fusions(dag);
+  EXPECT_TRUE(plan.all_virtual_fused());
+  ASSERT_EQ(plan.kernels.size(), 1u);
+  EXPECT_EQ(plan.kernels.front().terminal(), find(dag, "N = A .* MH^T"));
+}
+
+TEST(ExecutionDag, AgnnForwardFusesBothVirtualChains) {
+  const auto dag = build_agnn_forward();
+  const auto plan = plan_fusions(dag);
+  EXPECT_TRUE(plan.all_virtual_fused());
+  // Two virtual chains (H H^T and n n^T) merge into the cosine division;
+  // both end at the same sparse sampling node.
+  ASSERT_EQ(plan.kernels.size(), 2u);
+  for (const auto& k : plan.kernels) {
+    EXPECT_EQ(k.terminal(), find(dag, "Psi = A .* cos"));
+  }
+}
+
+TEST(ExecutionDag, GatForwardFusesTheRankOneChain) {
+  const auto dag = build_gat_forward();
+  const auto plan = plan_fusions(dag);
+  EXPECT_TRUE(plan.all_virtual_fused());
+  ASSERT_EQ(plan.kernels.size(), 1u);
+  const auto& k = plan.kernels.front();
+  // C -> LeakyReLU(C) -> E: a three-node fused chain, matching the fused
+  // psi_gat kernel which computes LeakyReLU(s1_i + s2_j) per edge.
+  ASSERT_EQ(k.path.size(), 3u);
+  EXPECT_EQ(k.path[0], find(dag, "C = s1 1^T + 1 s2^T"));
+  EXPECT_EQ(k.path[1], find(dag, "LeakyReLU(C)"));
+  EXPECT_EQ(k.terminal(), find(dag, "E = A .* LeakyReLU(C)"));
+}
+
+TEST(ExecutionDag, GatBackwardFusesTheDPsiSampling) {
+  const auto dag = build_gat_backward();
+  const auto plan = plan_fusions(dag);
+  EXPECT_TRUE(plan.all_virtual_fused());
+  ASSERT_EQ(plan.kernels.size(), 1u);
+  EXPECT_EQ(plan.kernels.front().terminal(),
+            find(dag, "dPsi = pattern(A) .* GH'^T"));
+}
+
+TEST(ExecutionDag, GcnHasNoVirtualIntermediates) {
+  const auto dag = build_gcn_forward();
+  const auto plan = plan_fusions(dag);
+  EXPECT_TRUE(plan.kernels.empty());
+  EXPECT_TRUE(plan.all_virtual_fused());
+}
+
+TEST(ExecutionDag, PlannerFlagsUnfusableVirtuals) {
+  // A virtual matrix consumed by a dense op (no sparse sampling anywhere):
+  // the planner must refuse, because executing this DAG would materialize
+  // an n x n dense tensor.
+  ExecutionDag dag("bad");
+  const int h = dag.add_input("H", TensorClass::kDenseTall);
+  const int hx = dag.add_op("H H^T", TensorClass::kVirtualDense, OpClass::kMatMul,
+                            {h, h});
+  dag.add_op("sum rows", TensorClass::kDenseTall, OpClass::kRowReduce, {hx});
+  const auto plan = plan_fusions(dag);
+  EXPECT_FALSE(plan.all_virtual_fused());
+  ASSERT_EQ(plan.unfused_virtual.size(), 1u);
+  EXPECT_EQ(plan.unfused_virtual.front(), hx);
+}
+
+TEST(ExecutionDag, InvalidInputReferenceThrows) {
+  ExecutionDag dag("bad");
+  EXPECT_THROW(dag.add_op("x", TensorClass::kDenseTall, OpClass::kMatMul, {42}),
+               std::logic_error);
+}
+
+TEST(ExecutionDag, ConsumersAreTracked) {
+  const auto dag = build_va_forward();
+  const int h = find(dag, "H");
+  const auto cons = dag.consumers(h);
+  // H feeds: H H^T (as both operands, counted once) and Psi H.
+  EXPECT_EQ(cons.size(), 2u);
+}
+
+class MemoryEstimateSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(MemoryEstimateSweep, FusionCollapsesQuadraticTerm) {
+  const auto [n, k, nnz] = GetParam();
+  using Builder = ExecutionDag (*)();
+  for (const Builder dag_builder :
+       {Builder{&build_va_forward}, Builder{&build_agnn_forward},
+        Builder{&build_gat_forward}}) {
+    const auto dag = dag_builder();
+    const auto est = estimate_memory(dag, n, k, nnz);
+    // Unfused must carry at least one n^2 term; fused must not.
+    EXPECT_GE(est.unfused_bytes, n * n * 4) << dag.name();
+    EXPECT_LT(est.fused_bytes, est.unfused_bytes) << dag.name();
+    // For n >> k and sparse graphs the saving is dramatic.
+    if (n >= 1e4 && nnz <= n * 100) {
+      EXPECT_GT(est.saving_factor(), 10.0) << dag.name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MemoryEstimateSweep,
+                         ::testing::Values(std::tuple{1e3, 16.0, 1e4},
+                                           std::tuple{1e4, 16.0, 1e5},
+                                           std::tuple{1e6, 128.0, 1e7}));
+
+TEST(ExecutionDag, MemoryEstimateMatchesHandCount) {
+  // VA forward: A (nnz) + H (nk) + W (k^2) + HH^T (n^2 virtual) +
+  // Psi (nnz) + PsiH (nk) + Z (nk).
+  const auto dag = build_va_forward();
+  const double n = 100, k = 4, nnz = 500, b = 4;
+  const auto est = estimate_memory(dag, n, k, nnz, b);
+  const double expected_unfused =
+      b * (nnz + n * k + k * k + n * n + nnz + n * k + n * k);
+  EXPECT_DOUBLE_EQ(est.unfused_bytes, expected_unfused);
+  EXPECT_DOUBLE_EQ(est.fused_bytes, expected_unfused - b * n * n);
+}
+
+}  // namespace
+}  // namespace agnn::ir

@@ -1,0 +1,145 @@
+// The fused Psi kernels (Section 6.2) must agree exactly with the unfused
+// reference implementations that materialize the virtual dense matrices.
+#include <gtest/gtest.h>
+
+#include "tensor/fused.hpp"
+#include "tensor/reference_impls.hpp"
+#include "tensor/spmm.hpp"
+#include "test_utils.hpp"
+
+namespace agnn {
+namespace {
+
+using testing::random_dense;
+using testing::random_sparse;
+
+class FusedSweep : public ::testing::TestWithParam<std::tuple<int, int, double, int>> {};
+
+TEST_P(FusedSweep, VaMatchesUnfused) {
+  const auto [n, k, density, seed] = GetParam();
+  const auto a = random_sparse<double>(n, density, seed, /*binary=*/true);
+  const auto h = random_dense<double>(n, k, seed + 100);
+  testing::expect_sparse_near(psi_va(a, h), reference::psi_va_unfused(a, h), 1e-9,
+                              "psi_va");
+}
+
+TEST_P(FusedSweep, AgnnMatchesUnfused) {
+  const auto [n, k, density, seed] = GetParam();
+  const auto a = random_sparse<double>(n, density, seed, /*binary=*/true);
+  const auto h = random_dense<double>(n, k, seed + 200);
+  testing::expect_sparse_near(psi_agnn(a, h), reference::psi_agnn_unfused(a, h),
+                              1e-9, "psi_agnn");
+}
+
+TEST_P(FusedSweep, GatScoresMatchUnfused) {
+  const auto [n, k, density, seed] = GetParam();
+  const auto a = random_sparse<double>(n, density, seed, /*binary=*/true);
+  const auto hp = random_dense<double>(n, k, seed + 300);
+  const auto a1 = random_dense<double>(k, 1, seed + 301);
+  const auto a2 = random_dense<double>(k, 1, seed + 302);
+  const auto s1 = matvec(hp, std::span<const double>(a1.data(), static_cast<std::size_t>(k)));
+  const auto s2 = matvec(hp, std::span<const double>(a2.data(), static_cast<std::size_t>(k)));
+  const double slope = 0.2;
+  const auto gp = psi_gat<double>(a, s1, s2, slope);
+  // Pre-softmax scores against the unfused rank-1 materialization.
+  const auto scores_ref = reference::gat_scores_unfused<double>(a, s1, s2, slope);
+  // psi_gat caches *pre-activation* C; compare post-activation A ⊙ lrelu(C).
+  auto e_fused = gp.scores_pre;
+  {
+    auto v = e_fused.vals_mutable();
+    for (index_t i = 0; i < e_fused.nnz(); ++i) {
+      const double c = v[static_cast<std::size_t>(i)];
+      v[static_cast<std::size_t>(i)] = (c > 0 ? c : slope * c) * a.val_at(i);
+    }
+  }
+  testing::expect_sparse_near(e_fused, scores_ref, 1e-9, "gat scores");
+  // Softmax result against the sparse softmax of the reference scores.
+  testing::expect_sparse_near(gp.psi, row_softmax(scores_ref), 1e-9, "gat psi");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, FusedSweep,
+    ::testing::Values(std::tuple{5, 3, 0.6, 1}, std::tuple{16, 8, 0.3, 2},
+                      std::tuple{40, 16, 0.15, 3}, std::tuple{64, 4, 0.08, 4},
+                      std::tuple{10, 1, 0.5, 5}));
+
+TEST(FusedKernels, VaPsiIsSymmetricOnSymmetricGraph) {
+  // H H^T is symmetric; if A is symmetric then Psi must be too.
+  const auto g = testing::small_graph<double>(30, 120, 7);
+  const auto h = random_dense<double>(30, 6, 11);
+  const auto psi = psi_va(g.adj, h);
+  const auto psi_t = psi.transposed();
+  testing::expect_sparse_near(psi, psi_t, 1e-10, "VA symmetry");
+}
+
+TEST(FusedKernels, AgnnScoresAreCosinesInUnitRange) {
+  const auto g = testing::small_graph<double>(25, 100, 13);
+  const auto h = random_dense<double>(25, 8, 17);
+  const auto psi = psi_agnn(g.adj, h);
+  for (index_t e = 0; e < psi.nnz(); ++e) {
+    EXPECT_LE(std::abs(psi.val_at(e)), 1.0 + 1e-9);
+  }
+  // Self-loops have cosine exactly 1.
+  graph::BuildOptions opt;
+  opt.add_self_loops = true;
+  const auto g2 = graph::build_graph<double>(
+      graph::generate_erdos_renyi_m(10, 30, 19), opt);
+  const auto h2 = random_dense<double>(10, 4, 23);
+  const auto psi2 = psi_agnn(g2.adj, h2);
+  for (index_t i = 0; i < psi2.rows(); ++i) {
+    for (index_t e = psi2.row_begin(i); e < psi2.row_end(i); ++e) {
+      if (psi2.col_at(e) == i) EXPECT_NEAR(psi2.val_at(e), 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(FusedKernels, GatPsiRowsAreStochastic) {
+  const auto g = testing::small_graph<double>(20, 80, 29);
+  const index_t n = 20, k = 5;
+  const auto hp = random_dense<double>(n, k, 31);
+  const auto s1 = matvec(hp, std::span<const double>(
+                                 random_dense<double>(k, 1, 32).data(),
+                                 static_cast<std::size_t>(k)));
+  std::vector<double> s1v = s1;
+  const auto s2 = matvec(hp, std::span<const double>(
+                                 random_dense<double>(k, 1, 33).data(),
+                                 static_cast<std::size_t>(k)));
+  const auto gp = psi_gat<double>(g.adj, s1v, s2, 0.2);
+  for (index_t i = 0; i < n; ++i) {
+    if (gp.psi.row_nnz(i) == 0) continue;
+    double sum = 0;
+    for (index_t e = gp.psi.row_begin(i); e < gp.psi.row_end(i); ++e) {
+      EXPECT_GE(gp.psi.val_at(e), 0.0);
+      sum += gp.psi.val_at(e);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(FusedKernels, FusedVaAggregateMatchesTwoKernelPipeline) {
+  const auto g = testing::small_graph<double>(35, 150, 37);
+  const auto h = random_dense<double>(35, 7, 41);
+  const auto x = random_dense<double>(35, 9, 43);
+  const auto fused = fused_va_aggregate(g.adj, h, x);
+  const auto pipeline = spmm(psi_va(g.adj, h), x);
+  testing::expect_matrix_near(fused, pipeline, 1e-9, "fused VA aggregate");
+}
+
+TEST(FusedKernels, FusedGatAggregateMatchesTwoKernelPipeline) {
+  const auto g = testing::small_graph<double>(28, 120, 47);
+  const index_t n = 28, k = 6;
+  const auto hp = random_dense<double>(n, k, 53);
+  const auto x = random_dense<double>(n, 4, 59);
+  Rng rng(61);
+  std::vector<double> s1(static_cast<std::size_t>(n)), s2(static_cast<std::size_t>(n));
+  for (auto& v : s1) v = rng.next_uniform(-1, 1);
+  for (auto& v : s2) v = rng.next_uniform(-1, 1);
+  const auto fused = fused_gat_aggregate<double>(g.adj, s1, s2, 0.2, x);
+  const auto gp = psi_gat<double>(g.adj, s1, s2, 0.2);
+  const auto pipeline = spmm(gp.psi, x);
+  testing::expect_matrix_near(fused, pipeline, 1e-9, "fused GAT aggregate");
+  (void)hp;
+}
+
+}  // namespace
+}  // namespace agnn

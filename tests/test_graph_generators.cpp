@@ -1,0 +1,119 @@
+// Tests for the Kronecker (Graph500-style, dataset B0) and Erdős–Rényi
+// (dataset B2) generators plus the build pipeline's degree properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/erdos_renyi.hpp"
+#include "graph/graph.hpp"
+#include "graph/kronecker.hpp"
+#include "test_utils.hpp"
+
+namespace agnn::graph {
+namespace {
+
+TEST(Kronecker, VertexCountIsPowerOfTwo) {
+  const auto el = generate_kronecker({.scale = 8, .edges = 1000, .seed = 1});
+  EXPECT_EQ(el.n, 256);
+  EXPECT_EQ(el.size(), 1000);
+}
+
+TEST(Kronecker, AllEndpointsInRange) {
+  const auto el = generate_kronecker({.scale = 10, .edges = 5000, .seed = 2});
+  for (index_t e = 0; e < el.size(); ++e) {
+    EXPECT_GE(el.src[static_cast<std::size_t>(e)], 0);
+    EXPECT_LT(el.src[static_cast<std::size_t>(e)], el.n);
+    EXPECT_GE(el.dst[static_cast<std::size_t>(e)], 0);
+    EXPECT_LT(el.dst[static_cast<std::size_t>(e)], el.n);
+  }
+}
+
+TEST(Kronecker, DeterministicForFixedSeed) {
+  const auto a = generate_kronecker({.scale = 9, .edges = 2000, .seed = 7});
+  const auto b = generate_kronecker({.scale = 9, .edges = 2000, .seed = 7});
+  EXPECT_EQ(a.src, b.src);
+  EXPECT_EQ(a.dst, b.dst);
+  const auto c = generate_kronecker({.scale = 9, .edges = 2000, .seed = 8});
+  EXPECT_NE(a.src, c.src);
+}
+
+TEST(Kronecker, HeavyTailDegreeDistribution) {
+  // The Kronecker model concentrates edges on low-id vertices: the maximum
+  // degree must far exceed the average degree (load imbalance is exactly
+  // why the paper uses these graphs).
+  const auto el = generate_kronecker({.scale = 10, .edges = 20000, .seed = 3});
+  const auto g = build_graph<double>(el);
+  const double avg = static_cast<double>(g.num_edges()) /
+                     static_cast<double>(g.num_vertices());
+  EXPECT_GT(static_cast<double>(g.max_degree()), 5.0 * avg);
+}
+
+TEST(Kronecker, InvalidScaleThrows) {
+  EXPECT_THROW(generate_kronecker({.scale = 0, .edges = 10}), std::logic_error);
+  EXPECT_THROW(generate_kronecker({.scale = 64, .edges = 10}), std::logic_error);
+}
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  const index_t n = 512;
+  const double q = 0.02;
+  const auto el = generate_erdos_renyi({.n = n, .q = q, .seed = 11});
+  const double expected = q * static_cast<double>(n) * static_cast<double>(n);
+  // Binomial std dev ~ sqrt(N q); allow 6 sigma.
+  const double sigma = std::sqrt(expected * (1 - q));
+  EXPECT_NEAR(static_cast<double>(el.size()), expected, 6.0 * sigma + n);
+}
+
+TEST(ErdosRenyi, NoSelfLoopsByDefault) {
+  const auto el = generate_erdos_renyi({.n = 128, .q = 0.1, .seed = 13});
+  for (index_t e = 0; e < el.size(); ++e) {
+    EXPECT_NE(el.src[static_cast<std::size_t>(e)], el.dst[static_cast<std::size_t>(e)]);
+  }
+}
+
+TEST(ErdosRenyi, EdgesAreSortedAndUnique) {
+  // Geometric skipping emits strictly increasing linear indices, so the raw
+  // edge list is duplicate-free by construction.
+  const auto el = generate_erdos_renyi({.n = 200, .q = 0.05, .seed = 17});
+  for (index_t e = 1; e < el.size(); ++e) {
+    const auto prev = el.src[static_cast<std::size_t>(e - 1)] * 200 +
+                      el.dst[static_cast<std::size_t>(e - 1)];
+    const auto cur = el.src[static_cast<std::size_t>(e)] * 200 +
+                     el.dst[static_cast<std::size_t>(e)];
+    EXPECT_LT(prev, cur);
+  }
+}
+
+TEST(ErdosRenyi, UniformDegreesAreBalanced) {
+  // Unlike Kronecker, Rand graphs have max degree close to average — the
+  // property Section 8.4 relies on for its load-balance argument.
+  const auto el = generate_erdos_renyi({.n = 1024, .q = 0.05, .seed = 19});
+  const auto g = build_graph<double>(el);
+  const double avg = static_cast<double>(g.num_edges()) /
+                     static_cast<double>(g.num_vertices());
+  EXPECT_LT(static_cast<double>(g.max_degree()), 2.0 * avg);
+}
+
+TEST(ErdosRenyi, TargetEdgeCountHelper) {
+  const auto el = generate_erdos_renyi_m(256, 4000, 23);
+  EXPECT_NEAR(static_cast<double>(el.size()), 4000.0, 600.0);
+}
+
+TEST(ErdosRenyi, InvalidParamsThrow) {
+  EXPECT_THROW(generate_erdos_renyi({.n = 0, .q = 0.1}), std::logic_error);
+  EXPECT_THROW(generate_erdos_renyi({.n = 10, .q = 0.0}), std::logic_error);
+  EXPECT_THROW(generate_erdos_renyi({.n = 10, .q = 1.5}), std::logic_error);
+}
+
+TEST(ErdosRenyi, DensityMatchesRho) {
+  // rho = m / n^2 is the density definition used throughout the evaluation.
+  const index_t n = 1000;
+  const auto el = generate_erdos_renyi({.n = n, .q = 0.01, .seed = 29});
+  BuildOptions opt;
+  opt.symmetrize = false;
+  opt.fix_isolated = false;
+  const auto g = build_graph<double>(el, opt);
+  EXPECT_NEAR(g.density(), 0.01, 0.002);
+}
+
+}  // namespace
+}  // namespace agnn::graph

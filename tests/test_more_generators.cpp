@@ -1,0 +1,128 @@
+// Tests for the Watts–Strogatz and Barabási–Albert generators and their
+// structural properties (clustering / small-world behavior, power-law-ish
+// degree concentration).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "core/model.hpp"
+#include "graph/small_world.hpp"
+#include "test_utils.hpp"
+
+namespace agnn::graph {
+namespace {
+
+TEST(WattsStrogatz, ZeroBetaIsRingLattice) {
+  const auto el = generate_watts_strogatz({.n = 20, .k = 4, .beta = 0.0, .seed = 1});
+  EXPECT_EQ(el.size(), 40);  // n * k/2
+  const auto g = build_graph<double>(el);
+  // Pure lattice: every vertex has degree exactly k.
+  for (index_t v = 0; v < 20; ++v) EXPECT_EQ(g.adj.row_nnz(v), 4);
+  // Edges connect ring neighbors at distance <= k/2.
+  for (index_t v = 0; v < 20; ++v) {
+    for (index_t e = g.adj.row_begin(v); e < g.adj.row_end(v); ++e) {
+      const index_t u = g.adj.col_at(e);
+      const index_t d = std::min((u - v + 20) % 20, (v - u + 20) % 20);
+      EXPECT_LE(d, 2);
+    }
+  }
+}
+
+TEST(WattsStrogatz, FullRewiringDestroysLattice) {
+  const auto el = generate_watts_strogatz({.n = 200, .k = 6, .beta = 1.0, .seed = 3});
+  const auto g = build_graph<double>(el);
+  // With beta = 1 long-range edges dominate: count edges with ring
+  // distance > k/2 — must be the majority.
+  index_t long_range = 0, total = 0;
+  for (index_t v = 0; v < 200; ++v) {
+    for (index_t e = g.adj.row_begin(v); e < g.adj.row_end(v); ++e) {
+      const index_t u = g.adj.col_at(e);
+      const index_t d = std::min((u - v + 200) % 200, (v - u + 200) % 200);
+      ++total;
+      if (d > 3) ++long_range;
+    }
+  }
+  EXPECT_GT(long_range * 2, total);
+}
+
+TEST(WattsStrogatz, SmallBetaShrinksDiameterKeepsClustering) {
+  // The defining small-world effect: a few rewired edges collapse the BFS
+  // eccentricity while triangles (clustering) largely survive.
+  const auto ring = build_graph<double>(
+      generate_watts_strogatz({.n = 400, .k = 8, .beta = 0.0, .seed = 5}));
+  const auto sw = build_graph<double>(
+      generate_watts_strogatz({.n = 400, .k = 8, .beta = 0.1, .seed = 5}));
+  auto ecc = [](const CsrMatrix<double>& adj) {
+    const auto levels = bfs_levels(adj, 0);
+    index_t mx = 0;
+    for (const auto l : levels) mx = std::max(mx, l);
+    return mx;
+  };
+  EXPECT_LT(ecc(sw.adj), ecc(ring.adj) / 2);
+  const auto tri_ring = count_triangles(ring.adj);
+  const auto tri_sw = count_triangles(sw.adj);
+  EXPECT_GT(tri_sw, tri_ring / 3);  // clustering largely preserved
+  EXPECT_GT(tri_ring, 0u);
+}
+
+TEST(WattsStrogatz, ValidatesParameters) {
+  EXPECT_THROW(generate_watts_strogatz({.n = 2, .k = 2}), std::logic_error);
+  EXPECT_THROW(generate_watts_strogatz({.n = 10, .k = 3}), std::logic_error);
+  EXPECT_THROW(generate_watts_strogatz({.n = 10, .k = 12}), std::logic_error);
+  EXPECT_THROW(generate_watts_strogatz({.n = 10, .k = 4, .beta = 2.0}),
+               std::logic_error);
+}
+
+TEST(BarabasiAlbert, EdgeCountAndConnectivity) {
+  const auto el = generate_barabasi_albert({.n = 300, .m = 3, .seed = 7});
+  // Seed clique C(4,2)=6 edges + 3 per subsequent vertex.
+  EXPECT_EQ(el.size(), 6 + (300 - 4) * 3);
+  const auto g = build_graph<double>(el);
+  // Growth attaches every vertex: a single connected component.
+  const auto labels = connected_components(g.adj);
+  for (const auto l : labels) EXPECT_EQ(l, 0);
+}
+
+TEST(BarabasiAlbert, PreferentialAttachmentConcentratesDegree) {
+  const auto g = build_graph<double>(
+      generate_barabasi_albert({.n = 1000, .m = 3, .seed = 11}));
+  const double avg = static_cast<double>(g.num_edges()) /
+                     static_cast<double>(g.num_vertices());
+  // Hubs: max degree far above average (scale-free-like tail), unlike an
+  // Erdős–Rényi graph of the same size.
+  EXPECT_GT(static_cast<double>(g.max_degree()), 6.0 * avg);
+  // Early vertices accumulate the most degree.
+  index_t early_heavy = 0;
+  for (index_t v = 0; v < 10; ++v) {
+    if (static_cast<double>(g.adj.row_nnz(v)) > 2.0 * avg) ++early_heavy;
+  }
+  EXPECT_GE(early_heavy, 5);
+}
+
+TEST(BarabasiAlbert, DeterministicAndValidated) {
+  const auto a = generate_barabasi_albert({.n = 50, .m = 2, .seed = 13});
+  const auto b = generate_barabasi_albert({.n = 50, .m = 2, .seed = 13});
+  EXPECT_EQ(a.src, b.src);
+  EXPECT_EQ(a.dst, b.dst);
+  EXPECT_THROW(generate_barabasi_albert({.n = 5, .m = 5}), std::logic_error);
+  EXPECT_THROW(generate_barabasi_albert({.n = 5, .m = 0}), std::logic_error);
+}
+
+TEST(BarabasiAlbert, WorksAsGnnSubstrate) {
+  // End-to-end smoke: the generated graph runs through a GAT layer.
+  const auto g = build_graph<double>(
+      generate_barabasi_albert({.n = 128, .m = 2, .seed = 17}));
+  GnnConfig cfg;
+  cfg.kind = ModelKind::kGAT;
+  cfg.in_features = 4;
+  cfg.layer_widths = {4};
+  GnnModel<double> model(cfg);
+  const auto x = testing::random_dense<double>(128, 4, 19);
+  const auto h = model.infer(g.adj, x);
+  for (index_t i = 0; i < h.size(); ++i) EXPECT_TRUE(std::isfinite(h.data()[i]));
+}
+
+}  // namespace
+}  // namespace agnn::graph

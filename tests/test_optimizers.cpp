@@ -1,0 +1,115 @@
+// Unit tests for the optimizers: plain SGD (the paper's W := W - alpha Y),
+// momentum, weight decay, and Adam.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/optimizer.hpp"
+
+namespace agnn {
+namespace {
+
+TEST(Sgd, PlainStepIsPaperUpdateRule) {
+  SgdOptimizer<double> opt(0.5);
+  std::vector<double> p{1.0, -2.0};
+  std::vector<double> g{0.2, 0.4};
+  opt.step(0, p, g);
+  EXPECT_DOUBLE_EQ(p[0], 1.0 - 0.5 * 0.2);
+  EXPECT_DOUBLE_EQ(p[1], -2.0 - 0.5 * 0.4);
+}
+
+TEST(Sgd, MomentumAccumulatesVelocity) {
+  SgdOptimizer<double> opt(1.0, 0.9);
+  std::vector<double> p{0.0};
+  std::vector<double> g{1.0};
+  opt.step(0, p, g);  // v = 1,   p = -1
+  EXPECT_DOUBLE_EQ(p[0], -1.0);
+  opt.step(0, p, g);  // v = 1.9, p = -2.9
+  EXPECT_DOUBLE_EQ(p[0], -2.9);
+}
+
+TEST(Sgd, WeightDecayShrinksParameters) {
+  SgdOptimizer<double> opt(0.1, 0.0, 0.5);
+  std::vector<double> p{2.0};
+  std::vector<double> g{0.0};
+  opt.step(0, p, g);
+  EXPECT_DOUBLE_EQ(p[0], 2.0 - 0.1 * (0.5 * 2.0));
+}
+
+TEST(Sgd, SlotsAreIndependent) {
+  SgdOptimizer<double> opt(1.0, 0.9);
+  std::vector<double> p1{0.0}, p2{0.0};
+  std::vector<double> g{1.0};
+  opt.step(0, p1, g);
+  opt.step(1, p2, g);
+  opt.step(0, p1, g);
+  // Slot 1 got one step, slot 0 two with momentum.
+  EXPECT_DOUBLE_EQ(p2[0], -1.0);
+  EXPECT_DOUBLE_EQ(p1[0], -2.9);
+}
+
+TEST(Sgd, ResetClearsVelocity) {
+  SgdOptimizer<double> opt(1.0, 0.9);
+  std::vector<double> p{0.0};
+  std::vector<double> g{1.0};
+  opt.step(0, p, g);
+  opt.reset();
+  opt.step(0, p, g);
+  EXPECT_DOUBLE_EQ(p[0], -2.0);  // no momentum carry-over
+}
+
+TEST(Sgd, SizeMismatchThrows) {
+  SgdOptimizer<double> opt(0.1);
+  std::vector<double> p{1.0, 2.0};
+  std::vector<double> g{1.0};
+  EXPECT_THROW(opt.step(0, p, g), std::logic_error);
+}
+
+TEST(Adam, FirstStepIsScaledSignOfGradient) {
+  // With bias correction, step 1 moves by ~lr * sign(g).
+  AdamOptimizer<double> opt(0.1);
+  std::vector<double> p{0.0, 0.0};
+  std::vector<double> g{5.0, -0.001};
+  opt.step(0, p, g);
+  EXPECT_NEAR(p[0], -0.1, 1e-6);
+  EXPECT_NEAR(p[1], 0.1, 1e-3);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize f(x) = (x - 3)^2 — Adam must land near 3.
+  AdamOptimizer<double> opt(0.1);
+  std::vector<double> x{0.0};
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> g{2.0 * (x[0] - 3.0)};
+    opt.step(0, x, g);
+  }
+  EXPECT_NEAR(x[0], 3.0, 1e-2);
+}
+
+TEST(Adam, DeterministicAcrossInstances) {
+  auto run = [] {
+    AdamOptimizer<double> opt(0.05);
+    std::vector<double> x{1.0, -1.0};
+    for (int i = 0; i < 20; ++i) {
+      std::vector<double> g{x[0] * 0.5, x[1] * 0.25};
+      opt.step(0, x, g);
+    }
+    return x;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Adam, ResetRestartsMoments) {
+  AdamOptimizer<double> opt(0.1);
+  std::vector<double> p{0.0};
+  std::vector<double> g{1.0};
+  opt.step(0, p, g);
+  const double after_one = p[0];
+  opt.reset();
+  std::vector<double> q{0.0};
+  opt.step(0, q, g);
+  EXPECT_DOUBLE_EQ(q[0], after_one);
+}
+
+}  // namespace
+}  // namespace agnn

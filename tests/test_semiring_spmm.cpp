@@ -1,0 +1,152 @@
+// Tests for the generalized semiring aggregation ⊕ of Section 4.3:
+// sum / min / max / average aggregations as sparse-dense products.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "tensor/reference_impls.hpp"
+#include "tensor/spmm.hpp"
+#include "test_utils.hpp"
+
+namespace agnn {
+namespace {
+
+using testing::random_dense;
+using testing::random_sparse;
+
+TEST(SemiringSpmm, SumEqualsRealSemiringFastPath) {
+  const auto a = random_sparse<double>(14, 0.3, 3);
+  const auto h = random_dense<double>(14, 5, 5);
+  testing::expect_matrix_near(spmm_semiring<PlusTimesSemiring<double>>(a, h),
+                              spmm(a, h), 1e-12, "plus-times vs fast path");
+}
+
+TEST(SemiringSpmm, MinAggregationSelectsNeighborhoodMinimum) {
+  // Binary adjacency: min aggregation over (min, +) with A values 0 must
+  // give h(i, g) = min_{j in N(i)} h(j, g).
+  auto a = random_sparse<double>(12, 0.3, 7, /*binary=*/true);
+  auto v = a.vals_mutable();
+  for (auto& x : v) x = 0.0;  // tropical: edge weight 0 = identity of +
+  const auto h = random_dense<double>(12, 4, 11);
+  const auto out = spmm_semiring<MinPlusSemiring<double>>(a, h);
+  for (index_t i = 0; i < 12; ++i) {
+    for (index_t g = 0; g < 4; ++g) {
+      double mn = std::numeric_limits<double>::infinity();
+      for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) {
+        mn = std::min(mn, h(a.col_at(e), g));
+      }
+      EXPECT_DOUBLE_EQ(out(i, g), mn);
+    }
+  }
+}
+
+TEST(SemiringSpmm, MaxAggregationSelectsNeighborhoodMaximum) {
+  auto a = random_sparse<double>(12, 0.3, 13, /*binary=*/true);
+  auto v = a.vals_mutable();
+  for (auto& x : v) x = 0.0;
+  const auto h = random_dense<double>(12, 4, 17);
+  const auto out = spmm_semiring<MaxPlusSemiring<double>>(a, h);
+  for (index_t i = 0; i < 12; ++i) {
+    for (index_t g = 0; g < 4; ++g) {
+      double mx = -std::numeric_limits<double>::infinity();
+      for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) {
+        mx = std::max(mx, h(a.col_at(e), g));
+      }
+      EXPECT_DOUBLE_EQ(out(i, g), mx);
+    }
+  }
+}
+
+TEST(SemiringSpmm, AverageAggregationComputesNeighborhoodMean) {
+  const auto a = random_sparse<double>(15, 0.25, 19, /*binary=*/true);
+  const auto h = random_dense<double>(15, 3, 23);
+  const auto out = spmm_semiring<AverageSemiring<double>>(a, h);
+  for (index_t i = 0; i < 15; ++i) {
+    for (index_t g = 0; g < 3; ++g) {
+      double sum = 0;
+      index_t cnt = a.row_nnz(i);
+      for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) sum += h(a.col_at(e), g);
+      if (cnt == 0) {
+        EXPECT_DOUBLE_EQ(out(i, g), 0.0);
+      } else {
+        EXPECT_NEAR(out(i, g), sum / static_cast<double>(cnt), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(SemiringSpmm, AverageAggregationRespectsWeights) {
+  // Weighted mean: values of A act as weights in the tuple semiring.
+  CooMatrix<double> coo;
+  coo.n_rows = coo.n_cols = 3;
+  coo.push_back(0, 1, 1.0);
+  coo.push_back(0, 2, 3.0);
+  const auto a = CsrMatrix<double>::from_coo(coo);
+  DenseMatrix<double> h(3, 1, std::vector<double>{0.0, 4.0, 8.0});
+  const auto out = spmm_semiring<AverageSemiring<double>>(a, h);
+  // (1*4 + 3*8) / (1+3) = 7
+  EXPECT_NEAR(out(0, 0), 7.0, 1e-12);
+}
+
+// Property: the average-semiring merge is order-insensitive (the weighted-
+// average op2 is associative+commutative over the weights) — permuting the
+// neighbor order must not change the result beyond FP noise.
+TEST(SemiringSpmm, AverageMergeOrderInsensitive) {
+  AverageSemiring<double>::Accum acc1{}, acc2{};
+  const double vals[] = {3.0, -1.0, 7.5, 2.25};
+  const double weights[] = {1.0, 2.0, 0.5, 4.0};
+  for (int i = 0; i < 4; ++i) {
+    AverageSemiring<double>::accumulate(acc1, weights[i], vals[i]);
+  }
+  for (int i = 3; i >= 0; --i) {
+    AverageSemiring<double>::accumulate(acc2, weights[i], vals[i]);
+  }
+  EXPECT_NEAR(AverageSemiring<double>::finalize(acc1),
+              AverageSemiring<double>::finalize(acc2), 1e-12);
+  // Both must equal the direct weighted mean.
+  double num = 0, den = 0;
+  for (int i = 0; i < 4; ++i) {
+    num += weights[i] * vals[i];
+    den += weights[i];
+  }
+  EXPECT_NEAR(AverageSemiring<double>::finalize(acc1), num / den, 1e-12);
+}
+
+class AggregateDispatchSweep : public ::testing::TestWithParam<Aggregation> {};
+
+TEST_P(AggregateDispatchSweep, DispatchMatchesDirectSemiringCall) {
+  auto a = random_sparse<double>(10, 0.3, 29, /*binary=*/true);
+  if (GetParam() == Aggregation::kMin || GetParam() == Aggregation::kMax) {
+    auto v = a.vals_mutable();
+    for (auto& x : v) x = 0.0;
+  }
+  const auto h = random_dense<double>(10, 4, 31);
+  const auto out = aggregate(a, h, GetParam());
+  DenseMatrix<double> ref;
+  switch (GetParam()) {
+    case Aggregation::kSum: ref = spmm(a, h); break;
+    case Aggregation::kMin: ref = spmm_semiring<MinPlusSemiring<double>>(a, h); break;
+    case Aggregation::kMax: ref = spmm_semiring<MaxPlusSemiring<double>>(a, h); break;
+    case Aggregation::kMean: ref = spmm_semiring<AverageSemiring<double>>(a, h); break;
+  }
+  testing::expect_matrix_near(out, ref, 1e-12, to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAggregations, AggregateDispatchSweep,
+                         ::testing::Values(Aggregation::kSum, Aggregation::kMin,
+                                           Aggregation::kMax, Aggregation::kMean));
+
+TEST(SemiringSpmm, EmptyRowsYieldIdentity) {
+  CooMatrix<double> coo;
+  coo.n_rows = coo.n_cols = 3;
+  coo.push_back(0, 1, 0.0);
+  const auto a = CsrMatrix<double>::from_coo(coo);
+  const auto h = random_dense<double>(3, 2, 37);
+  const auto mn = spmm_semiring<MinPlusSemiring<double>>(a, h);
+  EXPECT_TRUE(std::isinf(mn(1, 0)));  // empty neighborhood -> +inf identity
+  const auto mean = spmm_semiring<AverageSemiring<double>>(a, h);
+  EXPECT_DOUBLE_EQ(mean(1, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace agnn

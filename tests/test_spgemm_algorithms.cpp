@@ -1,0 +1,240 @@
+// Tests for SpGEMM (plain and masked) and the linear-algebraic graph
+// algorithms, each against an independent combinatorial oracle.
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "tensor/reference_impls.hpp"
+#include "tensor/spgemm.hpp"
+#include "test_utils.hpp"
+
+namespace agnn {
+namespace {
+
+class SpgemmSweep : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(SpgemmSweep, MatchesDenseProduct) {
+  const auto [n, density, seed] = GetParam();
+  const auto a = testing::random_sparse<double>(n, density, seed);
+  const auto b = testing::random_sparse<double>(n, density, seed + 1);
+  const auto c = spgemm(a, b);
+  const auto ref = reference::matmul_naive(a.to_dense(), b.to_dense());
+  const auto cd = c.to_dense();
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(cd(i, j), ref(i, j), 1e-9) << i << "," << j;
+    }
+  }
+  // CSR invariant: sorted columns within each row.
+  for (index_t i = 0; i < c.rows(); ++i) {
+    for (index_t e = c.row_begin(i) + 1; e < c.row_end(i); ++e) {
+      EXPECT_LT(c.col_at(e - 1), c.col_at(e));
+    }
+  }
+}
+
+TEST_P(SpgemmSweep, MaskedMatchesMaskedDenseProduct) {
+  const auto [n, density, seed] = GetParam();
+  const auto a = testing::random_sparse<double>(n, density, seed + 2);
+  const auto b = testing::random_sparse<double>(n, density, seed + 3);
+  const auto mask = testing::random_sparse<double>(n, density, seed + 4);
+  const auto c = spgemm_masked(a, b, mask);
+  const auto ref = reference::matmul_naive(a.to_dense(), b.to_dense());
+  ASSERT_TRUE(c.same_pattern(mask));
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t e = mask.row_begin(i); e < mask.row_end(i); ++e) {
+      EXPECT_NEAR(c.val_at(e), mask.val_at(e) * ref(i, mask.col_at(e)), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, SpgemmSweep,
+                         ::testing::Values(std::tuple{8, 0.5, 1},
+                                           std::tuple{20, 0.2, 2},
+                                           std::tuple{50, 0.1, 3},
+                                           std::tuple{64, 0.05, 4},
+                                           std::tuple{1, 1.0, 5}));
+
+TEST(Spgemm, EmptyOperands) {
+  CooMatrix<double> coo;
+  coo.n_rows = coo.n_cols = 5;
+  const auto empty = CsrMatrix<double>::from_coo(coo);
+  const auto c = spgemm(empty, empty);
+  EXPECT_EQ(c.nnz(), 0);
+}
+
+TEST(Spgemm, DimensionMismatchThrows) {
+  const auto a = testing::random_sparse<double>(4, 0.5, 7);
+  CooMatrix<double> coo;
+  coo.n_rows = 3;
+  coo.n_cols = 3;
+  const auto b = CsrMatrix<double>::from_coo(coo);
+  EXPECT_THROW(spgemm(a, b), std::logic_error);
+}
+
+// ---- BFS ----------------------------------------------------------------------
+
+std::vector<index_t> bfs_oracle(const CsrMatrix<double>& adj, index_t source) {
+  std::vector<index_t> level(static_cast<std::size_t>(adj.rows()), -1);
+  std::queue<index_t> q;
+  level[static_cast<std::size_t>(source)] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const index_t u = q.front();
+    q.pop();
+    for (index_t e = adj.row_begin(u); e < adj.row_end(u); ++e) {
+      const index_t v = adj.col_at(e);
+      if (level[static_cast<std::size_t>(v)] < 0) {
+        level[static_cast<std::size_t>(v)] = level[static_cast<std::size_t>(u)] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return level;
+}
+
+class BfsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BfsSweep, MatchesQueueOracle) {
+  const auto g = testing::small_graph<double>(80, 200, GetParam());
+  for (const index_t source : {index_t(0), index_t(13), index_t(79)}) {
+    EXPECT_EQ(graph::bfs_levels(g.adj, source), bfs_oracle(g.adj, source))
+        << "source " << source;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfsSweep, ::testing::Values(1, 2, 3, 4));
+
+TEST(Bfs, DisconnectedVerticesStayUnreached) {
+  graph::BuildOptions opt;
+  opt.symmetrize = true;
+  opt.fix_isolated = false;
+  graph::EdgeList el;
+  el.n = 5;
+  el.push_back(0, 1);
+  el.push_back(3, 4);
+  const auto g = graph::build_graph<double>(el, opt);
+  const auto levels = graph::bfs_levels(g.adj, 0);
+  EXPECT_EQ(levels[0], 0);
+  EXPECT_EQ(levels[1], 1);
+  EXPECT_EQ(levels[2], -1);
+  EXPECT_EQ(levels[3], -1);
+  EXPECT_EQ(levels[4], -1);
+}
+
+// ---- triangles -------------------------------------------------------------------
+
+std::uint64_t triangles_oracle(const CsrMatrix<double>& adj) {
+  std::uint64_t count = 0;
+  for (index_t i = 0; i < adj.rows(); ++i) {
+    for (index_t e = adj.row_begin(i); e < adj.row_end(i); ++e) {
+      const index_t j = adj.col_at(e);
+      if (j <= i) continue;
+      for (index_t f = adj.row_begin(j); f < adj.row_end(j); ++f) {
+        const index_t k = adj.col_at(f);
+        if (k <= j) continue;
+        // Is (i, k) an edge?
+        for (index_t h = adj.row_begin(i); h < adj.row_end(i); ++h) {
+          if (adj.col_at(h) == k) {
+            ++count;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return count;
+}
+
+TEST(Triangles, KnownSmallGraphs) {
+  // A triangle plus a pendant edge: exactly one triangle.
+  graph::EdgeList el;
+  el.n = 4;
+  el.push_back(0, 1);
+  el.push_back(1, 2);
+  el.push_back(2, 0);
+  el.push_back(2, 3);
+  const auto g = graph::build_graph<double>(el);
+  EXPECT_EQ(graph::count_triangles(g.adj), 1u);
+  // K4 has 4 triangles.
+  graph::EdgeList k4;
+  k4.n = 4;
+  for (index_t i = 0; i < 4; ++i) {
+    for (index_t j = i + 1; j < 4; ++j) k4.push_back(i, j);
+  }
+  const auto gk4 = graph::build_graph<double>(k4);
+  EXPECT_EQ(graph::count_triangles(gk4.adj), 4u);
+}
+
+class TriangleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TriangleSweep, MatchesEnumerationOracle) {
+  const auto g = testing::small_graph<double>(60, 300, 100 + GetParam(),
+                                              /*self_loops=*/false);
+  EXPECT_EQ(graph::count_triangles(g.adj), triangles_oracle(g.adj));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriangleSweep, ::testing::Values(1, 2, 3));
+
+// ---- connected components -----------------------------------------------------------
+
+TEST(Components, LabelsMatchBfsReachability) {
+  graph::BuildOptions opt;
+  opt.fix_isolated = false;
+  graph::EdgeList el;
+  el.n = 9;
+  // Components: {0,1,2}, {3,4}, {5}, {6,7,8}.
+  el.push_back(0, 1);
+  el.push_back(1, 2);
+  el.push_back(3, 4);
+  el.push_back(6, 7);
+  el.push_back(7, 8);
+  const auto g = graph::build_graph<double>(el, opt);
+  const auto labels = graph::connected_components(g.adj);
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[1], 0);
+  EXPECT_EQ(labels[2], 0);
+  EXPECT_EQ(labels[3], 3);
+  EXPECT_EQ(labels[4], 3);
+  EXPECT_EQ(labels[5], 5);
+  EXPECT_EQ(labels[6], 6);
+  EXPECT_EQ(labels[7], 6);
+  EXPECT_EQ(labels[8], 6);
+}
+
+TEST(Components, RandomGraphComponentsAreConsistent) {
+  const auto g = testing::small_graph<double>(100, 90, 47, /*self_loops=*/false);
+  const auto labels = graph::connected_components(g.adj);
+  // Same label <=> mutually reachable (checked via BFS from each label rep).
+  std::set<index_t> reps(labels.begin(), labels.end());
+  for (const index_t rep : reps) {
+    const auto levels = graph::bfs_levels(g.adj, rep);
+    for (index_t v = 0; v < 100; ++v) {
+      const bool same = labels[static_cast<std::size_t>(v)] == rep;
+      const bool reachable = levels[static_cast<std::size_t>(v)] >= 0;
+      EXPECT_EQ(same, reachable) << "vertex " << v << " rep " << rep;
+    }
+  }
+}
+
+TEST(CommonNeighbors, CountsSharedNeighborsOnEdges) {
+  const auto g = testing::small_graph<double>(30, 150, 53, /*self_loops=*/false);
+  const auto cn = graph::common_neighbors(g.adj);
+  const auto d = g.adj.to_dense();
+  for (index_t i = 0; i < 30; ++i) {
+    for (index_t e = cn.row_begin(i); e < cn.row_end(i); ++e) {
+      const index_t j = cn.col_at(e);
+      double expected = 0;
+      for (index_t k = 0; k < 30; ++k) {
+        if (d(i, k) != 0 && d(k, j) != 0) expected += 1;
+      }
+      EXPECT_NEAR(cn.val_at(e), expected, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace agnn

@@ -1,0 +1,137 @@
+// The closed-form volume predictions must match the engines' measured
+// volumes EXACTLY (byte-for-byte) — the strongest possible check that the
+// implementation realizes the Section 7 communication scheme and nothing
+// more.
+#include <gtest/gtest.h>
+
+#include "baseline/dist_local_engine.hpp"
+#include "comm/communicator.hpp"
+#include "core/model.hpp"
+#include "dist/dist_engine.hpp"
+#include "dist/volume_model.hpp"
+#include "graph/graph.hpp"
+#include "test_utils.hpp"
+
+namespace agnn::dist {
+namespace {
+
+GnnConfig config_for(ModelKind kind, index_t k, int layers) {
+  GnnConfig cfg;
+  cfg.kind = kind;
+  cfg.in_features = k;
+  cfg.layer_widths.assign(static_cast<std::size_t>(layers), k);
+  cfg.seed = 1;
+  return cfg;
+}
+
+struct VolumeCase {
+  ModelKind kind;
+  int ranks;
+  index_t n;  // divisible by sqrt(ranks) for exactness
+  index_t k;
+  int layers;
+};
+
+class ExactVolumeSweep : public ::testing::TestWithParam<VolumeCase> {};
+
+TEST_P(ExactVolumeSweep, GlobalEngineMatchesClosedFormExactly) {
+  const auto& p = GetParam();
+  const auto g = testing::small_graph<double>(p.n, 6 * p.n, 7);
+  const CsrMatrix<double> adj =
+      p.kind == ModelKind::kGCN ? graph::sym_normalize(g.adj) : g.adj;
+  const auto x = testing::random_dense<double>(p.n, p.k, 9);
+
+  const auto stats = comm::SpmdRuntime::run(p.ranks, [&](comm::Communicator& world) {
+    GnnModel<double> model(config_for(p.kind, p.k, p.layers));
+    DistGnnEngine<double> engine(world, adj, model);
+    comm::reset_all_stats(world);
+    engine.forward(x, nullptr);
+  });
+  const double predicted_bytes =
+      p.layers * predicted_global_forward_words(p.kind, p.n, p.k, p.ranks) *
+      sizeof(double);
+  // Diagonal grid ranks are their own transpose partner, so their block
+  // exchanges are free; the prediction is exact for the max (off-diagonal)
+  // rank when n divides evenly.
+  EXPECT_EQ(static_cast<double>(comm::max_bytes_sent(stats)), predicted_bytes)
+      << to_string(p.kind) << " p=" << p.ranks;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ExactVolumeSweep,
+    ::testing::Values(VolumeCase{ModelKind::kGCN, 4, 32, 4, 2},
+                      VolumeCase{ModelKind::kVA, 4, 32, 4, 2},
+                      VolumeCase{ModelKind::kVA, 9, 36, 8, 1},
+                      VolumeCase{ModelKind::kAGNN, 4, 32, 4, 2},
+                      VolumeCase{ModelKind::kAGNN, 16, 32, 4, 3},
+                      VolumeCase{ModelKind::kGAT, 4, 32, 4, 2},
+                      VolumeCase{ModelKind::kGAT, 9, 36, 8, 1},
+                      VolumeCase{ModelKind::kGIN, 4, 32, 4, 2},
+                      VolumeCase{ModelKind::kGIN, 9, 36, 3, 2},
+                      VolumeCase{ModelKind::kGCN, 16, 64, 8, 3}),
+    [](const auto& info) {
+      return std::string(to_string(info.param.kind)) + "_p" +
+             std::to_string(info.param.ranks) + "_n" + std::to_string(info.param.n) +
+             "_k" + std::to_string(info.param.k) + "_L" +
+             std::to_string(info.param.layers);
+    });
+
+TEST(VolumeModel, SingleRankIsFree) {
+  EXPECT_EQ(predicted_global_forward_words(ModelKind::kGAT, 100, 16, 1), 0.0);
+}
+
+TEST(VolumeModel, Section7BoundDominatesAsConstantFactor) {
+  // The engine's exact volume must stay within a fixed constant of the
+  // Section 7 bound across a sweep of (n, k, p).
+  for (const index_t n : {64, 256, 1024}) {
+    for (const index_t k : {4, 16, 64}) {
+      for (const int p : {4, 16, 64}) {
+        for (const ModelKind kind : {ModelKind::kVA, ModelKind::kAGNN,
+                                     ModelKind::kGAT, ModelKind::kGCN,
+                                     ModelKind::kGIN}) {
+          const double exact = predicted_global_forward_words(kind, n, k, p);
+          const double bound = section7_bound_words(n, k, p);
+          EXPECT_LT(exact, 7.0 * bound)
+              << to_string(kind) << " n=" << n << " k=" << k << " p=" << p;
+        }
+      }
+    }
+  }
+}
+
+TEST(VolumeModel, LocalEnginePredictionMatchesMeasuredExactly) {
+  const index_t n = 36, k = 8;
+  const auto g = testing::small_graph<double>(n, 250, 13);
+  const auto x = testing::random_dense<double>(n, k, 15);
+  for (const int ranks : {2, 3, 4}) {
+    for (const ModelKind kind : {ModelKind::kGCN, ModelKind::kVA, ModelKind::kGAT}) {
+      const CsrMatrix<double> adj =
+          kind == ModelKind::kGCN ? graph::sym_normalize(g.adj) : g.adj;
+      const auto stats =
+          comm::SpmdRuntime::run(ranks, [&](comm::Communicator& world) {
+            GnnModel<double> model(config_for(kind, k, 1));
+            baseline::DistLocalEngine<double> engine(world, adj, model);
+            comm::reset_all_stats(world);
+            engine.forward(x, nullptr);
+          });
+      const double predicted = predicted_local_forward_bytes(
+          adj, ranks, k, /*has_attention_vector=*/kind == ModelKind::kGAT);
+      EXPECT_EQ(static_cast<double>(comm::max_bytes_sent(stats)), predicted)
+          << to_string(kind) << " p=" << ranks;
+    }
+  }
+}
+
+TEST(VolumeModel, GlobalScalesDownLocalDoesNot) {
+  // As p grows at fixed n, the global per-rank prediction shrinks ~1/sqrt(p)
+  // while the dense-graph local prediction stays ~n*k.
+  const index_t n = 144, k = 16;
+  const double g4 = predicted_global_forward_words(ModelKind::kVA, n, k, 4);
+  const double g16 = predicted_global_forward_words(ModelKind::kVA, n, k, 16);
+  const double g144 = predicted_global_forward_words(ModelKind::kVA, n, k, 144);
+  EXPECT_GT(g4, 1.8 * g16);
+  EXPECT_GT(g16, 2.0 * g144);
+}
+
+}  // namespace
+}  // namespace agnn::dist
