@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_makg.dir/bench_fig7_makg.cpp.o"
+  "CMakeFiles/bench_fig7_makg.dir/bench_fig7_makg.cpp.o.d"
+  "bench_fig7_makg"
+  "bench_fig7_makg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_makg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

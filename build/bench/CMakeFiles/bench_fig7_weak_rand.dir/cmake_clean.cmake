@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_weak_rand.dir/bench_fig7_weak_rand.cpp.o"
+  "CMakeFiles/bench_fig7_weak_rand.dir/bench_fig7_weak_rand.cpp.o.d"
+  "bench_fig7_weak_rand"
+  "bench_fig7_weak_rand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_weak_rand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_weak_kron.dir/bench_fig8_weak_kron.cpp.o"
+  "CMakeFiles/bench_fig8_weak_kron.dir/bench_fig8_weak_kron.cpp.o.d"
+  "bench_fig8_weak_kron"
+  "bench_fig8_weak_kron.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_weak_kron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_classification.dir/node_classification.cpp.o"
+  "CMakeFiles/node_classification.dir/node_classification.cpp.o.d"
+  "node_classification"
+  "node_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

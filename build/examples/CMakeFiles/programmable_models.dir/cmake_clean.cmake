@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/programmable_models.dir/programmable_models.cpp.o"
+  "CMakeFiles/programmable_models.dir/programmable_models.cpp.o.d"
+  "programmable_models"
+  "programmable_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/programmable_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

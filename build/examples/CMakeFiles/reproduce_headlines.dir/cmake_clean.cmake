@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reproduce_headlines.dir/reproduce_headlines.cpp.o"
+  "CMakeFiles/reproduce_headlines.dir/reproduce_headlines.cpp.o.d"
+  "reproduce_headlines"
+  "reproduce_headlines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reproduce_headlines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

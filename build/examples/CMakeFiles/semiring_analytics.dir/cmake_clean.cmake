@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semiring_analytics.dir/semiring_analytics.cpp.o"
+  "CMakeFiles/semiring_analytics.dir/semiring_analytics.cpp.o.d"
+  "semiring_analytics"
+  "semiring_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semiring_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unified_bench.dir/unified_bench.cpp.o"
+  "CMakeFiles/unified_bench.dir/unified_bench.cpp.o.d"
+  "unified_bench"
+  "unified_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unified_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/erdos_renyi.cpp" "src/graph/CMakeFiles/agnn_graph.dir/erdos_renyi.cpp.o" "gcc" "src/graph/CMakeFiles/agnn_graph.dir/erdos_renyi.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/agnn_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/agnn_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/kronecker.cpp" "src/graph/CMakeFiles/agnn_graph.dir/kronecker.cpp.o" "gcc" "src/graph/CMakeFiles/agnn_graph.dir/kronecker.cpp.o.d"
+  "/root/repo/src/graph/sbm.cpp" "src/graph/CMakeFiles/agnn_graph.dir/sbm.cpp.o" "gcc" "src/graph/CMakeFiles/agnn_graph.dir/sbm.cpp.o.d"
+  "/root/repo/src/graph/small_world.cpp" "src/graph/CMakeFiles/agnn_graph.dir/small_world.cpp.o" "gcc" "src/graph/CMakeFiles/agnn_graph.dir/small_world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

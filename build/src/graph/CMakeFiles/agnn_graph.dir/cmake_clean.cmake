@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agnn_graph.dir/erdos_renyi.cpp.o"
+  "CMakeFiles/agnn_graph.dir/erdos_renyi.cpp.o.d"
+  "CMakeFiles/agnn_graph.dir/io.cpp.o"
+  "CMakeFiles/agnn_graph.dir/io.cpp.o.d"
+  "CMakeFiles/agnn_graph.dir/kronecker.cpp.o"
+  "CMakeFiles/agnn_graph.dir/kronecker.cpp.o.d"
+  "CMakeFiles/agnn_graph.dir/sbm.cpp.o"
+  "CMakeFiles/agnn_graph.dir/sbm.cpp.o.d"
+  "CMakeFiles/agnn_graph.dir/small_world.cpp.o"
+  "CMakeFiles/agnn_graph.dir/small_world.cpp.o.d"
+  "libagnn_graph.a"
+  "libagnn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agnn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_activations_loss.dir/test_activations_loss.cpp.o"
+  "CMakeFiles/test_activations_loss.dir/test_activations_loss.cpp.o.d"
+  "test_activations_loss"
+  "test_activations_loss.pdb"
+  "test_activations_loss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_activations_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_gnn.dir/test_dist_gnn.cpp.o"
+  "CMakeFiles/test_dist_gnn.dir/test_dist_gnn.cpp.o.d"
+  "test_dist_gnn"
+  "test_dist_gnn.pdb"
+  "test_dist_gnn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_integration.dir/test_dist_integration.cpp.o"
+  "CMakeFiles/test_dist_integration.dir/test_dist_integration.cpp.o.d"
+  "test_dist_integration"
+  "test_dist_integration.pdb"
+  "test_dist_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_local_baseline.dir/test_dist_local_baseline.cpp.o"
+  "CMakeFiles/test_dist_local_baseline.dir/test_dist_local_baseline.cpp.o.d"
+  "test_dist_local_baseline"
+  "test_dist_local_baseline.pdb"
+  "test_dist_local_baseline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_local_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

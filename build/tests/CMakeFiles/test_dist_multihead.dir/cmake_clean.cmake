@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_multihead.dir/test_dist_multihead.cpp.o"
+  "CMakeFiles/test_dist_multihead.dir/test_dist_multihead.cpp.o.d"
+  "test_dist_multihead"
+  "test_dist_multihead.pdb"
+  "test_dist_multihead[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_multihead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

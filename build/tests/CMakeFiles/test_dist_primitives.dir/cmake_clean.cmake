@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_primitives.dir/test_dist_primitives.cpp.o"
+  "CMakeFiles/test_dist_primitives.dir/test_dist_primitives.cpp.o.d"
+  "test_dist_primitives"
+  "test_dist_primitives.pdb"
+  "test_dist_primitives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_execution_dag.dir/test_execution_dag.cpp.o"
+  "CMakeFiles/test_execution_dag.dir/test_execution_dag.cpp.o.d"
+  "test_execution_dag"
+  "test_execution_dag.pdb"
+  "test_execution_dag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_execution_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

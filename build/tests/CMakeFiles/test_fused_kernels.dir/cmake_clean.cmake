@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fused_kernels.dir/test_fused_kernels.cpp.o"
+  "CMakeFiles/test_fused_kernels.dir/test_fused_kernels.cpp.o.d"
+  "test_fused_kernels"
+  "test_fused_kernels.pdb"
+  "test_fused_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fused_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

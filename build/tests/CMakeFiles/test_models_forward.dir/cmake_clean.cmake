@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_models_forward.dir/test_models_forward.cpp.o"
+  "CMakeFiles/test_models_forward.dir/test_models_forward.cpp.o.d"
+  "test_models_forward"
+  "test_models_forward.pdb"
+  "test_models_forward[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_models_forward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

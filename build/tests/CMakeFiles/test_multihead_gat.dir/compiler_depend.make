@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_multihead_gat.
+# This may be replaced when dependencies are built.

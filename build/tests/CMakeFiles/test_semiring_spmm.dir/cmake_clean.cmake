@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_semiring_spmm.dir/test_semiring_spmm.cpp.o"
+  "CMakeFiles/test_semiring_spmm.dir/test_semiring_spmm.cpp.o.d"
+  "test_semiring_spmm"
+  "test_semiring_spmm.pdb"
+  "test_semiring_spmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_semiring_spmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

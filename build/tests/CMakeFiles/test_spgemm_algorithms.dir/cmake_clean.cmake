@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spgemm_algorithms.dir/test_spgemm_algorithms.cpp.o"
+  "CMakeFiles/test_spgemm_algorithms.dir/test_spgemm_algorithms.cpp.o.d"
+  "test_spgemm_algorithms"
+  "test_spgemm_algorithms.pdb"
+  "test_spgemm_algorithms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spgemm_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_volume_model.dir/test_volume_model.cpp.o"
+  "CMakeFiles/test_volume_model.dir/test_volume_model.cpp.o.d"
+  "test_volume_model"
+  "test_volume_model.pdb"
+  "test_volume_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_volume_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
