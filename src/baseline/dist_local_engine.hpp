@@ -26,6 +26,7 @@
 #include "core/loss.hpp"
 #include "core/model.hpp"
 #include "core/optimizer.hpp"
+#include "core/workspace.hpp"
 #include "dist/process_grid.hpp"
 
 namespace agnn::baseline {
@@ -60,11 +61,13 @@ class DistLocalEngine {
   index_t num_vertices() const { return n_; }
   const dist::BlockRange& owned_block() const { return vr_; }
   index_t num_ghosts() const { return static_cast<index_t>(ghost_ids_.size()); }
+  Workspace<T>& workspace() { return ws_; }
+  const WorkspaceStats& workspace_stats() const { return ws_.stats(); }
 
   DenseMatrix<T> forward(const DenseMatrix<T>& x_global,
                          std::vector<LocalLayerCache<T>>* caches) {
     DenseMatrix<T> h_own = x_global.slice_rows(vr_.begin, vr_.end);
-    if (caches) caches->assign(model_.num_layers(), LocalLayerCache<T>{});
+    if (caches) caches->resize(model_.num_layers());  // keeps slot storage warm
     for (std::size_t l = 0; l < model_.num_layers(); ++l) {
       h_own = layer_forward(model_.layer(l), h_own, caches ? &(*caches)[l] : nullptr);
     }
@@ -84,7 +87,7 @@ class DistLocalEngine {
   StepResult train_step(const DenseMatrix<T>& x_global,
                         std::span<const index_t> labels, Optimizer<T>& opt,
                         std::span<const std::uint8_t> mask = {}) {
-    std::vector<LocalLayerCache<T>> caches;
+    std::vector<LocalLayerCache<T>>& caches = caches_;  // persistent slots
     const DenseMatrix<T> h_own = forward(x_global, &caches);
 
     index_t active = 0;
@@ -193,20 +196,21 @@ class DistLocalEngine {
 
   // ---- communication steps ---------------------------------------------------
 
-  // Fetch ghost feature rows from their owners (forward exchange).
-  DenseMatrix<T> fetch_ghost_rows(const DenseMatrix<T>& h_own) {
+  // Fetch ghost feature rows from their owners (forward exchange), writing
+  // directly into rows [own, own + G) of the feature table — no staging
+  // buffer, so a reused table means a reused exchange target.
+  void fetch_ghost_rows_into(const DenseMatrix<T>& h_own, DenseMatrix<T>& table) {
     const index_t k = h_own.cols();
-    DenseMatrix<T> ghost(static_cast<index_t>(ghost_ids_.size()), k);
+    const index_t own = vr_.size();
     auto win = world_.expose(std::span<const T>(h_own.flat()));
     for (std::size_t g = 0; g < ghost_ids_.size(); ++g) {
       const index_t id = ghost_ids_[g];
       const int owner = owner_of(id);
       const auto range = dist::block_range(n_, p_, owner);
-      win.get(ghost.row(static_cast<index_t>(g)), owner,
+      win.get(table.row(own + static_cast<index_t>(g)), owner,
               static_cast<std::size_t>((id - range.begin) * k));
     }
     win.close();
-    return ghost;
   }
 
   // Ship ghost gradient contributions back to their owners and accumulate
@@ -257,84 +261,77 @@ class DistLocalEngine {
 
     const index_t own = vr_.size();
     const index_t k_in = h_own.cols();
-    // Ghost exchange, then assemble the feature table.
-    const DenseMatrix<T> ghost = fetch_ghost_rows(h_own);
-    DenseMatrix<T> table(own + ghost.rows(), k_in);
-    table.set_rows(0, h_own);
-    if (ghost.rows() > 0) table.set_rows(own, ghost);
+    // All intermediates live in the cache slots (or a throwaway scratch in
+    // inference mode), overwritten in place across steps.
+    LocalLayerCache<T> scratch;
+    LocalLayerCache<T>& c = cache ? *cache : scratch;
+    // Ghost exchange, straight into the feature table.
+    c.table.resize(own + num_ghosts(), k_in);
+    c.table.set_rows(0, h_own);
+    fetch_ghost_rows_into(h_own, c.table);
 
     DenseMatrix<T> w2 = layer.weights2();
     if (!w2.empty()) world_.broadcast(w2.flat(), 0);
 
     comm::ComputeRegion t(world_.stats());
-    CsrMatrix<T> psi_loc, cos_loc, scores_pre_loc;
-    DenseMatrix<T> hp_table, ph_own, z_own, mlp_pre_own, mlp_hidden_own;
     switch (layer.kind()) {
       case ModelKind::kGCN: {
-        ph_own = spmm(local_adj_, table);
-        z_own = matmul(ph_own, w);
-        psi_loc = local_adj_;
+        spmm(local_adj_, c.table, c.ph_own);
+        matmul(c.ph_own, w, c.z_own);
+        c.psi_loc = local_adj_;
         break;
       }
       case ModelKind::kGIN: {
-        ph_own = spmm(local_adj_, table);  // X = A H ...
-        axpy(T(1) + layer.gin_epsilon(), h_own, ph_own);  // ... + (1+eps) H
-        mlp_pre_own = matmul(ph_own, w);
-        mlp_hidden_own = activate(layer.mlp_activation(), mlp_pre_own, T(0.01));
-        z_own = matmul(mlp_hidden_own, w2);
-        psi_loc = local_adj_;
+        spmm(local_adj_, c.table, c.ph_own);  // X = A H ...
+        axpy(T(1) + layer.gin_epsilon(), h_own, c.ph_own);  // ... + (1+eps) H
+        matmul(c.ph_own, w, c.mlp_pre_own);
+        activate(layer.mlp_activation(), c.mlp_pre_own, c.mlp_hidden_own, T(0.01));
+        matmul(c.mlp_hidden_own, w2, c.z_own);
+        c.psi_loc = local_adj_;
         break;
       }
       case ModelKind::kVA: {
-        psi_loc = sddmm(local_adj_, h_own, table);
-        ph_own = spmm(psi_loc, table);
-        z_own = matmul(ph_own, w);
+        sddmm(local_adj_, h_own, c.table, c.psi_loc);
+        spmm(c.psi_loc, c.table, c.ph_own);
+        matmul(c.ph_own, w, c.z_own);
         break;
       }
       case ModelKind::kAGNN: {
-        cos_loc = sddmm(local_adj_.with_values(T(1)), h_own, table);
-        std::vector<T> inv_r = row_l2_norms(h_own);
-        std::vector<T> inv_c = row_l2_norms(table);
-        for (auto& v : inv_r) v = v > T(0) ? T(1) / v : T(0);
-        for (auto& v : inv_c) v = v > T(0) ? T(1) / v : T(0);
-        cos_loc = scale_rows_cols<T>(cos_loc, inv_r, inv_c);
-        psi_loc = hadamard_same_pattern(cos_loc, local_adj_);
-        ph_own = spmm(psi_loc, table);
-        z_own = matmul(ph_own, w);
+        sddmm_unweighted(local_adj_, h_own, c.table, c.cos_loc);
+        auto inv_r = ws_.acquire_vec(own);
+        auto inv_c = ws_.acquire_vec(c.table.rows());
+        row_l2_norms(h_own, *inv_r);
+        row_l2_norms(c.table, *inv_c);
+        for (auto& v : *inv_r) v = v > T(0) ? T(1) / v : T(0);
+        for (auto& v : *inv_c) v = v > T(0) ? T(1) / v : T(0);
+        scale_rows_cols<T>(c.cos_loc, inv_r.cspan(), inv_c.cspan(), c.cos_loc);
+        hadamard_same_pattern(c.cos_loc, local_adj_, c.psi_loc);
+        spmm(c.psi_loc, c.table, c.ph_own);
+        matmul(c.ph_own, w, c.z_own);
         break;
       }
       case ModelKind::kGAT: {
-        hp_table = matmul(table, w);
+        matmul(c.table, w, c.hp_table);
         const index_t k_out = layer.out_features();
         const std::span<const T> a_all(a);
         const auto a1 = a_all.subspan(0, static_cast<std::size_t>(k_out));
         const auto a2 = a_all.subspan(static_cast<std::size_t>(k_out));
-        const std::vector<T> s1 =
-            matvec(DenseMatrix<T>(own, k_out,
-                                  std::vector<T>(hp_table.data(),
-                                                 hp_table.data() + own * k_out)),
-                   a1);
-        const std::vector<T> s2 = matvec(hp_table, a2);
-        const GatPsi<T> gp = psi_gat<T>(local_adj_, s1, s2, layer.attention_slope());
-        psi_loc = gp.psi;
-        scores_pre_loc = gp.scores_pre;
-        z_own = spmm(psi_loc, hp_table);
+        auto s1 = ws_.acquire_vec(own);
+        auto s2 = ws_.acquire_vec(c.hp_table.rows());
+        for (index_t i = 0; i < own; ++i) {  // s1 needs only the owned rows
+          const T* r = c.hp_table.data() + i * k_out;
+          T acc = T(0);
+          for (index_t g = 0; g < k_out; ++g) acc += r[g] * a1[static_cast<std::size_t>(g)];
+          (*s1)[static_cast<std::size_t>(i)] = acc;
+        }
+        matvec(c.hp_table, a2, *s2);
+        psi_gat<T>(local_adj_, s1.cspan(), s2.cspan(), layer.attention_slope(),
+                   c.scores_pre_loc, c.psi_loc);
+        spmm(c.psi_loc, c.hp_table, c.z_own);
         break;
       }
     }
-    DenseMatrix<T> h_out = activate(layer.activation(), z_own, T(0.01));
-    if (cache) {
-      cache->table = std::move(table);
-      cache->z_own = std::move(z_own);
-      cache->psi_loc = std::move(psi_loc);
-      cache->cos_loc = std::move(cos_loc);
-      cache->scores_pre_loc = std::move(scores_pre_loc);
-      cache->hp_table = std::move(hp_table);
-      cache->ph_own = std::move(ph_own);
-      cache->mlp_pre_own = std::move(mlp_pre_own);
-      cache->mlp_hidden_own = std::move(mlp_hidden_own);
-    }
-    return h_out;
+    return activate(layer.activation(), c.z_own, T(0.01));
   }
 
   // ---- per-layer backward ------------------------------------------------------
@@ -499,6 +496,8 @@ class DistLocalEngine {
   std::vector<index_t> ghost_slice_;  // per-owner ranges in ghost_ids_
   std::vector<index_t> incoming_offset_;               // per source rank
   std::vector<std::vector<index_t>> incoming_local_rows_;  // per source rank
+  Workspace<T> ws_;                          // per-rank scratch pool
+  std::vector<LocalLayerCache<T>> caches_;   // persistent training caches
 };
 
 }  // namespace agnn::baseline

@@ -23,19 +23,25 @@
 
 #include "core/layer.hpp"
 #include "core/model.hpp"
+#include "core/workspace.hpp"
 
 namespace agnn::baseline {
 
 // One local-formulation layer forward, parameterized by the same Layer
 // object the global engine uses (so weights are shared bit-for-bit).
+// Scratch (projected features, norms, score vectors) comes from `ws`.
 template <typename T>
-DenseMatrix<T> local_layer_forward(const Layer<T>& layer, const CsrMatrix<T>& adj,
-                                   const DenseMatrix<T>& h) {
+void local_layer_forward(const Layer<T>& layer, const CsrMatrix<T>& adj,
+                         const DenseMatrix<T>& h, Workspace<T>& ws,
+                         DenseMatrix<T>& out) {
+  AGNN_ASSERT(&out != &h, "local forward: out must not alias h");
   const index_t n = adj.rows();
   const index_t k_in = h.cols();
   const index_t k_out = layer.out_features();
   const DenseMatrix<T>& w = layer.weights();
-  DenseMatrix<T> z(n, k_out, T(0));
+  DenseMatrix<T>& z = out;
+  z.resize(n, k_out);
+  z.fill(T(0));
 
   switch (layer.kind()) {
     case ModelKind::kGCN: {
@@ -81,7 +87,8 @@ DenseMatrix<T> local_layer_forward(const Layer<T>& layer, const CsrMatrix<T>& ad
     }
     case ModelKind::kAGNN: {
       // psi = cosine(h_i, h_j) h_j per edge.
-      std::vector<T> norms(static_cast<std::size_t>(n));
+      auto norms_h = ws.acquire_vec(n);
+      std::vector<T>& norms = *norms_h;
       for (index_t i = 0; i < n; ++i) {
         const T* hi = h.data() + i * k_in;
         T acc = T(0);
@@ -152,8 +159,13 @@ DenseMatrix<T> local_layer_forward(const Layer<T>& layer, const CsrMatrix<T>& ad
       const T slope = layer.attention_slope();
       // Projected features W h_j, recomputed per vertex's use in the pure
       // local style would be O(m k^2); like DGL, precompute per vertex once.
-      const DenseMatrix<T> hp = matmul(h, w);
-      std::vector<T> s1(static_cast<std::size_t>(n)), s2(static_cast<std::size_t>(n));
+      auto hp_h = ws.acquire_dense(n, k_out);
+      matmul(h, w, *hp_h);
+      const DenseMatrix<T>& hp = *hp_h;
+      auto s1_h = ws.acquire_vec(n);
+      auto s2_h = ws.acquire_vec(n);
+      std::vector<T>& s1 = *s1_h;
+      std::vector<T>& s2 = *s2_h;
       for (index_t i = 0; i < n; ++i) {
         const T* hpi = hp.data() + i * k_out;
         T d1 = T(0), d2 = T(0);
@@ -197,17 +209,45 @@ DenseMatrix<T> local_layer_forward(const Layer<T>& layer, const CsrMatrix<T>& ad
       break;
     }
   }
-  return activate(layer.activation(), z, T(0.01));
+  activate(layer.activation(), z, z, T(0.01));  // in place
 }
 
-// Full local-formulation inference for a model.
+template <typename T>
+DenseMatrix<T> local_layer_forward(const Layer<T>& layer, const CsrMatrix<T>& adj,
+                                   const DenseMatrix<T>& h) {
+  Workspace<T> ws;
+  DenseMatrix<T> out;
+  local_layer_forward(layer, adj, h, ws, out);
+  return out;
+}
+
+// Full local-formulation inference for a model. Feature buffers ping-pong
+// between two pooled matrices sized for the widest layer.
+template <typename T>
+void local_infer(const GnnModel<T>& model, const CsrMatrix<T>& adj,
+                 const DenseMatrix<T>& x, Workspace<T>& ws,
+                 DenseMatrix<T>& h_out) {
+  if (model.num_layers() == 1) {
+    local_layer_forward(model.layer(0), adj, x, ws, h_out);
+    return;
+  }
+  auto buf0 = ws.acquire_dense(x.rows(), model.max_layer_width());
+  auto buf1 = ws.acquire_dense(x.rows(), model.max_layer_width());
+  const DenseMatrix<T>* src = &x;
+  for (std::size_t l = 0; l < model.num_layers(); ++l) {
+    const bool last = (l + 1 == model.num_layers());
+    DenseMatrix<T>* dst = last ? &h_out : (l % 2 == 0 ? &*buf0 : &*buf1);
+    local_layer_forward(model.layer(l), adj, *src, ws, *dst);
+    src = dst;
+  }
+}
+
 template <typename T>
 DenseMatrix<T> local_infer(const GnnModel<T>& model, const CsrMatrix<T>& adj,
                            const DenseMatrix<T>& x) {
-  DenseMatrix<T> h = x;
-  for (std::size_t l = 0; l < model.num_layers(); ++l) {
-    h = local_layer_forward(model.layer(l), adj, h);
-  }
+  Workspace<T> ws;
+  DenseMatrix<T> h;
+  local_infer(model, adj, x, ws, h);
   return h;
 }
 

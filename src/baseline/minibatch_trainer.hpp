@@ -13,6 +13,7 @@
 #include "core/loss.hpp"
 #include "core/model.hpp"
 #include "core/optimizer.hpp"
+#include "core/workspace.hpp"
 
 namespace agnn::baseline {
 
@@ -41,14 +42,19 @@ class MinibatchTrainer {
       bmask[i] = static_cast<index_t>(i) < mb.num_seeds ? 1 : 0;
     }
 
-    std::vector<LayerCache<T>> caches;
-    const DenseMatrix<T> h = model_.forward(mb.adj, bx, caches);
-    const LossResult<T> loss = softmax_cross_entropy<T>(h, blabels, bmask);
-    const auto grads =
-        model_.backward(mb.adj, mb.adj.transposed(), caches, loss.grad);
-    model_.apply_gradients(grads, *opt_);
-    return {loss.value, mb.num_seeds, static_cast<index_t>(mb.vertices.size())};
+    // Batch sizes vary step to step, but the workspace's size-bucketed pool
+    // absorbs the jitter: buffers are recycled across batches, not per step.
+    model_.forward(mb.adj, bx, caches_, ws_, h_);
+    softmax_cross_entropy<T>(h_, blabels, loss_, bmask);
+    auto adj_t = ws_.acquire_csr(mb.adj.cols(), mb.adj.rows(), mb.adj.nnz());
+    mb.adj.transposed_into(*adj_t);
+    model_.backward(mb.adj, *adj_t, caches_, loss_.grad, ws_, grads_);
+    model_.apply_gradients(grads_, *opt_);
+    return {loss_.value, mb.num_seeds, static_cast<index_t>(mb.vertices.size())};
   }
+
+  Workspace<T>& workspace() { return ws_; }
+  const WorkspaceStats& workspace_stats() const { return ws_.stats(); }
 
   // Run `steps` mini-batch steps; returns the loss trajectory.
   std::vector<T> train(const CsrMatrix<T>& adj, const DenseMatrix<T>& x,
@@ -65,6 +71,11 @@ class MinibatchTrainer {
   index_t batch_size_;
   std::uint64_t seed_;
   std::uint64_t step_count_ = 0;
+  Workspace<T> ws_;
+  std::vector<LayerCache<T>> caches_;
+  std::vector<LayerGrads<T>> grads_;
+  DenseMatrix<T> h_;
+  LossResult<T> loss_;
 };
 
 }  // namespace agnn::baseline

@@ -54,28 +54,45 @@ T activation_derivative(Activation a, T z, T leaky_slope = T(0.01)) {
   return T(1);
 }
 
-// H = sigma(Z), element-wise.
+// H = sigma(Z), element-wise. The out-parameter form resizes `h` in place
+// (no allocation within capacity); `h` may alias `z`.
 template <typename T>
-DenseMatrix<T> activate(Activation a, const DenseMatrix<T>& z, T leaky_slope = T(0.01)) {
-  DenseMatrix<T> h(z.rows(), z.cols());
+void activate(Activation a, const DenseMatrix<T>& z, DenseMatrix<T>& h,
+              T leaky_slope = T(0.01)) {
+  h.resize(z.rows(), z.cols());
 #pragma omp parallel for schedule(static)
   for (index_t i = 0; i < z.size(); ++i) {
     h.data()[i] = apply_activation(a, z.data()[i], leaky_slope);
   }
+}
+
+template <typename T>
+DenseMatrix<T> activate(Activation a, const DenseMatrix<T>& z, T leaky_slope = T(0.01)) {
+  DenseMatrix<T> h;
+  activate(a, z, h, leaky_slope);
   return h;
 }
 
 // G = Gamma ⊙ sigma'(Z): the per-layer gradient recursion of Eq. (6).
+// `g` may alias `z` or `gamma` (pure element-wise read-before-write).
 template <typename T>
-DenseMatrix<T> activation_backward(Activation a, const DenseMatrix<T>& z,
-                                   const DenseMatrix<T>& gamma,
-                                   T leaky_slope = T(0.01)) {
+void activation_backward(Activation a, const DenseMatrix<T>& z,
+                         const DenseMatrix<T>& gamma, DenseMatrix<T>& g,
+                         T leaky_slope = T(0.01)) {
   AGNN_ASSERT(z.same_shape(gamma), "activation_backward: shape mismatch");
-  DenseMatrix<T> g(z.rows(), z.cols());
+  g.resize(z.rows(), z.cols());
 #pragma omp parallel for schedule(static)
   for (index_t i = 0; i < z.size(); ++i) {
     g.data()[i] = gamma.data()[i] * activation_derivative(a, z.data()[i], leaky_slope);
   }
+}
+
+template <typename T>
+DenseMatrix<T> activation_backward(Activation a, const DenseMatrix<T>& z,
+                                   const DenseMatrix<T>& gamma,
+                                   T leaky_slope = T(0.01)) {
+  DenseMatrix<T> g;
+  activation_backward(a, z, gamma, g, leaky_slope);
   return g;
 }
 

@@ -15,12 +15,19 @@
 // Eq. (11)–(13) literally; AGNN and GAT backward are derived in this repo
 // (the paper defers them to its technical report) and are validated against
 // finite differences in tests/test_gradcheck.cpp.
+//
+// Memory discipline (DESIGN.md §8): the workspace-threaded entry points
+// write results into caller-owned storage, reuse the LayerCache slots'
+// backing storage in place across steps, and draw every transient through
+// the Workspace pool — a steady-state training step allocates nothing. The
+// by-value signatures are thin wrappers over the same code paths.
 #pragma once
 
 #include <optional>
 #include <vector>
 
 #include "core/activations.hpp"
+#include "core/workspace.hpp"
 #include "tensor/csr_matrix.hpp"
 #include "tensor/dense_matrix.hpp"
 #include "tensor/dense_ops.hpp"
@@ -46,6 +53,11 @@ inline const char* to_string(ModelKind m) {
 // Intermediate tensors cached by the forward pass for reuse in backward
 // (training mode). Inference mode leaves this empty — the --inference
 // execution of the paper's artifact, which stores no intermediates.
+//
+// The slots are plain members (not pool handles) so they stay valid between
+// forward and backward; the forward pass overwrites them in place, so their
+// backing storage is reused for the lifetime of the cache — engines keep
+// caches as persistent members and reach a zero-allocation steady state.
 template <typename T>
 struct LayerCache {
   DenseMatrix<T> h_in;       // H^l (post-dropout if dropout is active)
@@ -139,157 +151,206 @@ class Layer {
     return {};
   }
 
-  // Forward pass. If `cache` is null, runs in inference mode (no
-  // intermediates stored; the deepest fused kernels are used).
-  DenseMatrix<T> forward(const CsrMatrix<T>& adj, const DenseMatrix<T>& h,
-                         LayerCache<T>* cache) const {
+  // Forward pass into caller-owned `out`. If `cache` is null, runs in
+  // inference mode (no intermediates stored; the deepest fused kernels are
+  // used). All transients come from `ws`; nothing is allocated once the
+  // pool and the cache slots are warm. `out` must not alias `h`.
+  void forward(const CsrMatrix<T>& adj, const DenseMatrix<T>& h,
+               LayerCache<T>* cache, Workspace<T>& ws, DenseMatrix<T>& out) const {
     AGNN_ASSERT(h.cols() == k_in_, "layer forward: feature width mismatch");
     AGNN_ASSERT(adj.rows() == h.rows() && adj.cols() == h.rows(),
                 "layer forward: adjacency/feature shape mismatch");
-    DenseMatrix<T> z = compute_z(adj, h, cache);
-    DenseMatrix<T> out = activate(act_, z, T(0.01));
+    AGNN_ASSERT(&out != &h, "layer forward: out must not alias h");
     if (cache) {
-      cache->h_in = h;
-      cache->z = std::move(z);
+      compute_z(adj, h, cache, ws, cache->z);
+      activate(act_, cache->z, out, T(0.01));
+      if (&cache->h_in != &h) cache->h_in = h;
+    } else {
+      compute_z(adj, h, nullptr, ws, out);
+      activate(act_, out, out, T(0.01));  // in place
     }
+  }
+
+  DenseMatrix<T> forward(const CsrMatrix<T>& adj, const DenseMatrix<T>& h,
+                         LayerCache<T>* cache) const {
+    Workspace<T> ws;
+    DenseMatrix<T> out;
+    forward(adj, h, cache, ws, out);
     return out;
   }
 
-  // Backward pass. `g` is G^l = dL/dZ^l; `adj_t` is A^T (the reversed graph
-  // of Section 5.2 — equal to A for undirected inputs).
-  LayerGrads<T> backward(const CsrMatrix<T>& adj, const CsrMatrix<T>& adj_t,
-                         const LayerCache<T>& cache, const DenseMatrix<T>& g) const {
+  // Backward pass into caller-owned `out`. `g` is G^l = dL/dZ^l; `adj_t` is
+  // A^T (the reversed graph of Section 5.2 — equal to A for undirected
+  // inputs). Scratch comes from `ws`; the LayerGrads slots are resized in
+  // place, so persistent grads reach a zero-allocation steady state.
+  void backward(const CsrMatrix<T>& adj, const CsrMatrix<T>& adj_t,
+                const LayerCache<T>& cache, const DenseMatrix<T>& g,
+                Workspace<T>& ws, LayerGrads<T>& out) const {
+    if (kind_ != ModelKind::kGIN) out.d_w2.resize(0, 0);
+    if (kind_ != ModelKind::kGAT) out.d_a.clear();
     switch (kind_) {
-      case ModelKind::kGCN: return backward_gcn(adj_t, cache, g);
-      case ModelKind::kVA: return backward_va(adj, adj_t, cache, g);
-      case ModelKind::kAGNN: return backward_agnn(adj, cache, g);
-      case ModelKind::kGAT: return backward_gat(adj, cache, g);
-      case ModelKind::kGIN: return backward_gin(adj_t, cache, g);
+      case ModelKind::kGCN: backward_gcn(adj_t, cache, g, ws, out); return;
+      case ModelKind::kVA: backward_va(adj, adj_t, cache, g, ws, out); return;
+      case ModelKind::kAGNN: backward_agnn(adj, cache, g, ws, out); return;
+      case ModelKind::kGAT: backward_gat(adj, cache, g, ws, out); return;
+      case ModelKind::kGIN: backward_gin(adj_t, cache, g, ws, out); return;
     }
     AGNN_ASSERT(false, "unknown model kind");
-    return {};
+  }
+
+  LayerGrads<T> backward(const CsrMatrix<T>& adj, const CsrMatrix<T>& adj_t,
+                         const LayerCache<T>& cache, const DenseMatrix<T>& g) const {
+    Workspace<T> ws;
+    LayerGrads<T> out;
+    backward(adj, adj_t, cache, g, ws, out);
+    return out;
   }
 
  private:
-  DenseMatrix<T> compute_z(const CsrMatrix<T>& adj, const DenseMatrix<T>& h,
-                           LayerCache<T>* cache) const {
+  void compute_z(const CsrMatrix<T>& adj, const DenseMatrix<T>& h,
+                 LayerCache<T>* cache, Workspace<T>& ws, DenseMatrix<T>& z) const {
+    const index_t n = adj.rows();
     switch (kind_) {
       case ModelKind::kGCN: {
         // Z = Â H W — SpMMM with association order chosen by cost.
-        if (!cache) return spmmm(adj, h, w_);
-        DenseMatrix<T> ah = spmm(adj, h);
-        DenseMatrix<T> z = matmul(ah, w_);
-        cache->psi_h = std::move(ah);
-        return z;
+        if (!cache) {
+          auto scratch = ws.acquire_dense(n, std::max(k_in_, k_out_));
+          spmmm(adj, h, w_, *scratch, z);
+          return;
+        }
+        spmm(adj, h, cache->psi_h);
+        matmul(cache->psi_h, w_, z);
+        return;
       }
       case ModelKind::kGIN: {
         // X = (A + (1+eps) I) H, Z = sigma_mlp(X W) W2.
-        DenseMatrix<T> x = spmm(adj, h);
-        axpy(T(1) + gin_epsilon_, h, x);
-        DenseMatrix<T> pre = matmul(x, w_);
-        DenseMatrix<T> hidden = activate(mlp_act_, pre, T(0.01));
-        DenseMatrix<T> z = matmul(hidden, w2_);
+        PooledDense<T> xb, preb, hidb;
+        DenseMatrix<T>* x;
+        DenseMatrix<T>* pre;
+        DenseMatrix<T>* hidden;
         if (cache) {
-          cache->psi_h = std::move(x);
-          cache->mlp_pre = std::move(pre);
-          cache->mlp_hidden = std::move(hidden);
+          x = &cache->psi_h;
+          pre = &cache->mlp_pre;
+          hidden = &cache->mlp_hidden;
+        } else {
+          xb = ws.acquire_dense(n, k_in_);
+          preb = ws.acquire_dense(n, k_out_);
+          hidb = ws.acquire_dense(n, k_out_);
+          x = &*xb;
+          pre = &*preb;
+          hidden = &*hidb;
         }
-        return z;
+        spmm(adj, h, *x);
+        axpy(T(1) + gin_epsilon_, h, *x);
+        matmul(*x, w_, *pre);
+        activate(mlp_act_, *pre, *hidden, T(0.01));
+        matmul(*hidden, w2_, z);
+        return;
       }
       case ModelKind::kVA: {
         if (!cache) {
           // Inference: deepest fusion — never materialize Psi.
-          return matmul(fused_va_aggregate(adj, h, h), w_);
+          auto tmp = ws.acquire_dense(n, k_in_);
+          fused_va_aggregate(adj, h, h, *tmp);
+          matmul(*tmp, w_, z);
+          return;
         }
-        CsrMatrix<T> psi = psi_va(adj, h);
-        DenseMatrix<T> ph = spmm(psi, h);
-        DenseMatrix<T> z = matmul(ph, w_);
-        cache->psi = std::move(psi);
-        cache->psi_h = std::move(ph);
-        return z;
+        psi_va(adj, h, cache->psi);
+        spmm(cache->psi, h, cache->psi_h);
+        matmul(cache->psi_h, w_, z);
+        return;
       }
       case ModelKind::kAGNN: {
-        CsrMatrix<T> psi = psi_agnn(adj, h);
-        DenseMatrix<T> ph = spmm(psi, h);
-        DenseMatrix<T> z = matmul(ph, w_);
+        auto norms = ws.acquire_vec(n);
+        row_l2_norms(h, *norms);
         if (cache) {
-          cache->psi = std::move(psi);
-          cache->psi_h = std::move(ph);
+          psi_agnn(adj, h, norms.cspan(), cache->psi);
+          spmm(cache->psi, h, cache->psi_h);
+          matmul(cache->psi_h, w_, z);
+          return;
         }
-        return z;
+        auto psi = ws.acquire_csr(adj.rows(), adj.cols(), adj.nnz());
+        psi_agnn(adj, h, norms.cspan(), *psi);
+        auto ph = ws.acquire_dense(n, k_in_);
+        spmm(*psi, h, *ph);
+        matmul(*ph, w_, z);
+        return;
       }
       case ModelKind::kGAT: {
-        DenseMatrix<T> hp = matmul(h, w_);
         const std::span<const T> a_all(a_);
         const auto a1 = a_all.subspan(0, static_cast<std::size_t>(k_out_));
         const auto a2 = a_all.subspan(static_cast<std::size_t>(k_out_));
-        std::vector<T> s1 = matvec(hp, a1);
-        std::vector<T> s2 = matvec(hp, a2);
         if (!cache) {
-          return fused_gat_aggregate(adj, std::span<const T>(s1),
-                                     std::span<const T>(s2), attention_slope_, hp);
+          auto hp = ws.acquire_dense(n, k_out_);
+          matmul(h, w_, *hp);
+          auto s1 = ws.acquire_vec(n);
+          auto s2 = ws.acquire_vec(n);
+          matvec(*hp, a1, *s1);
+          matvec(*hp, a2, *s2);
+          fused_gat_aggregate(adj, s1.cspan(), s2.cspan(), attention_slope_, *hp, z);
+          return;
         }
-        GatPsi<T> gp = psi_gat(adj, std::span<const T>(s1), std::span<const T>(s2),
-                               attention_slope_);
-        DenseMatrix<T> z = spmm(gp.psi, hp);
-        cache->psi = std::move(gp.psi);
-        cache->scores_pre = std::move(gp.scores_pre);
+        matmul(h, w_, cache->h_proj);
+        matvec(cache->h_proj, a1, cache->s1);
+        matvec(cache->h_proj, a2, cache->s2);
+        psi_gat<T>(adj, cache->s1, cache->s2, attention_slope_,
+                   cache->scores_pre, cache->psi);
+        spmm(cache->psi, cache->h_proj, z);
         cache->psi_h = z;  // Psi * H' — not needed for dW here but kept for symmetry
-        cache->h_proj = std::move(hp);
-        cache->s1 = std::move(s1);
-        cache->s2 = std::move(s2);
-        return z;
+        return;
       }
     }
     AGNN_ASSERT(false, "unknown model kind");
-    return {};
   }
 
-  LayerGrads<T> backward_gcn(const CsrMatrix<T>& adj_t, const LayerCache<T>& cache,
-                             const DenseMatrix<T>& g) const {
-    LayerGrads<T> out;
-    out.d_w = matmul_tn(cache.psi_h, g);        // (Â H)^T G
-    out.d_h_in = spmm(adj_t, matmul_nt(g, w_)); // Â^T (G W^T)
-    return out;
+  void backward_gcn(const CsrMatrix<T>& adj_t, const LayerCache<T>& cache,
+                    const DenseMatrix<T>& g, Workspace<T>& ws,
+                    LayerGrads<T>& out) const {
+    matmul_tn(cache.psi_h, g, out.d_w);          // (Â H)^T G
+    auto gw = ws.acquire_dense(g.rows(), k_in_); // G W^T
+    matmul_nt(g, w_, *gw);
+    spmm(adj_t, *gw, out.d_h_in);                // Â^T (G W^T)
   }
 
   // GIN backward: dW2 = hidden^T G, dHidden = G W2^T,
   // dPre = dHidden ⊙ sigma_mlp'(pre), dW = X^T dPre, dX = dPre W^T,
   // Gamma = A^T dX + (1+eps) dX.
-  LayerGrads<T> backward_gin(const CsrMatrix<T>& adj_t, const LayerCache<T>& cache,
-                             const DenseMatrix<T>& g) const {
-    LayerGrads<T> out;
-    out.d_w2 = matmul_tn(cache.mlp_hidden, g);
-    const DenseMatrix<T> d_hidden = matmul_nt(g, w2_);
-    const DenseMatrix<T> d_pre =
-        activation_backward(mlp_act_, cache.mlp_pre, d_hidden, T(0.01));
-    out.d_w = matmul_tn(cache.psi_h, d_pre);
-    const DenseMatrix<T> d_x = matmul_nt(d_pre, w_);
-    DenseMatrix<T> gamma = spmm(adj_t, d_x);
-    axpy(T(1) + gin_epsilon_, d_x, gamma);
-    out.d_h_in = std::move(gamma);
-    return out;
+  void backward_gin(const CsrMatrix<T>& adj_t, const LayerCache<T>& cache,
+                    const DenseMatrix<T>& g, Workspace<T>& ws,
+                    LayerGrads<T>& out) const {
+    matmul_tn(cache.mlp_hidden, g, out.d_w2);
+    auto d_pre = ws.acquire_dense(g.rows(), k_out_);
+    matmul_nt(g, w2_, *d_pre);  // dHidden
+    activation_backward(mlp_act_, cache.mlp_pre, *d_pre, *d_pre, T(0.01));  // in place
+    matmul_tn(cache.psi_h, *d_pre, out.d_w);
+    auto d_x = ws.acquire_dense(g.rows(), k_in_);
+    matmul_nt(*d_pre, w_, *d_x);
+    spmm(adj_t, *d_x, out.d_h_in);
+    axpy(T(1) + gin_epsilon_, *d_x, out.d_h_in);
   }
 
   // Paper Eq. (11)–(13): M = G W^T, N = A ⊙ (M H^T),
   // Gamma = N_+ H + (A^T ⊙ H_x) M,  Y = H^T (A^T ⊙ H_x) G = (Psi H)^T G.
-  LayerGrads<T> backward_va(const CsrMatrix<T>& adj, const CsrMatrix<T>& adj_t,
-                            const LayerCache<T>& cache, const DenseMatrix<T>& g) const {
-    LayerGrads<T> out;
+  void backward_va(const CsrMatrix<T>& adj, const CsrMatrix<T>& adj_t,
+                   const LayerCache<T>& cache, const DenseMatrix<T>& g,
+                   Workspace<T>& ws, LayerGrads<T>& out) const {
     const DenseMatrix<T>& h = cache.h_in;
-    out.d_w = matmul_tn(cache.psi_h, g);
-    const DenseMatrix<T> m = matmul_nt(g, w_);
+    matmul_tn(cache.psi_h, g, out.d_w);
+    auto m = ws.acquire_dense(g.rows(), k_in_);
+    matmul_nt(g, w_, *m);
     // N = A ⊙ (M H^T): an SDDMM — the MSpMM pattern of the backward DAG.
-    const CsrMatrix<T> n = sddmm(adj, m, h);
+    auto n = ws.acquire_csr(adj.rows(), adj.cols(), adj.nnz());
+    sddmm(adj, *m, h, *n);
     // Gamma = (N + N^T) H + Psi^T M. Computed as two SpMMs instead of
     // materializing N_+'s union pattern.
-    DenseMatrix<T> gamma = spmm(n, h);
-    spmm_accumulate(n.transposed(), h, gamma);
-    // Psi^T = A^T ⊙ H_x; reuse the transposed adjacency pattern.
-    const CsrMatrix<T> psi_t = sddmm(adj_t, h, h);
-    spmm_accumulate(psi_t, m, gamma);
-    out.d_h_in = std::move(gamma);
-    return out;
+    spmm(*n, h, out.d_h_in);
+    auto scratch = ws.acquire_csr(adj.cols(), adj.rows(), adj.nnz());
+    n->transposed_into(*scratch);
+    spmm_accumulate(*scratch, h, out.d_h_in);
+    // Psi^T = A^T ⊙ H_x; reuse the transposed adjacency pattern (and the
+    // same pooled buffer as N^T — its job there is done).
+    sddmm(adj_t, h, h, *scratch);
+    spmm_accumulate(*scratch, *m, out.d_h_in);
   }
 
   // AGNN backward (derivation in DESIGN.md / README):
@@ -297,58 +358,68 @@ class Layer {
   //   Gamma = Psi^T M
   //         + diag(1/n) [ (D + D^T) Ĥ - diag(rowsum(D ⊙ Ĉ) + colsum(D ⊙ Ĉ)) Ĥ ]
   // where Ĥ has unit-normalized rows and Ĉ holds the cosine values.
-  LayerGrads<T> backward_agnn(const CsrMatrix<T>& adj, const LayerCache<T>& cache,
-                              const DenseMatrix<T>& g) const {
-    LayerGrads<T> out;
+  void backward_agnn(const CsrMatrix<T>& adj, const LayerCache<T>& cache,
+                     const DenseMatrix<T>& g, Workspace<T>& ws,
+                     LayerGrads<T>& out) const {
     const DenseMatrix<T>& h = cache.h_in;
-    out.d_w = matmul_tn(cache.psi_h, g);
-    const DenseMatrix<T> m = matmul_nt(g, w_);
-    const CsrMatrix<T> d = sddmm(adj, m, h);
+    matmul_tn(cache.psi_h, g, out.d_w);
+    auto m = ws.acquire_dense(g.rows(), k_in_);
+    matmul_nt(g, w_, *m);
+    auto d = ws.acquire_csr(adj.rows(), adj.cols(), adj.nnz());
+    sddmm(adj, *m, h, *d);
 
-    const std::vector<T> norms = row_l2_norms(h);
+    auto norms = ws.acquire_vec(h.rows());
+    row_l2_norms(h, *norms);
     // Ĥ: unit rows (zero rows stay zero).
-    DenseMatrix<T> h_hat = h;
+    auto h_hat = ws.acquire_dense(h.rows(), h.cols());
+    *h_hat = h;
     for (index_t i = 0; i < h.rows(); ++i) {
-      const T ni = norms[static_cast<std::size_t>(i)];
+      const T ni = (*norms)[static_cast<std::size_t>(i)];
       if (ni <= T(0)) continue;
-      T* row = h_hat.data() + i * h.cols();
+      T* row = h_hat->data() + i * h.cols();
       for (index_t j = 0; j < h.cols(); ++j) row[j] /= ni;
     }
     // Cosine matrix Ĉ on the adjacency pattern: Psi values divided by A
     // values (identical when A is binary, which attention models use).
-    CsrMatrix<T> cos = cache.psi;
+    auto cos = ws.acquire_csr_like(cache.psi);
     {
-      auto cv = cos.vals_mutable();
+      auto cv = cos->vals_mutable();
       const auto av = adj.vals();
-      for (index_t e = 0; e < cos.nnz(); ++e) {
+      for (index_t e = 0; e < cos->nnz(); ++e) {
         const T a = av[static_cast<std::size_t>(e)];
         cv[static_cast<std::size_t>(e)] =
             a != T(0) ? cv[static_cast<std::size_t>(e)] / a : T(0);
       }
     }
-    const CsrMatrix<T> dc = hadamard_same_pattern(d, cos);
-    const std::vector<T> rs = sparse_row_sums(dc);
-    const std::vector<T> cs = sparse_col_sums(dc);
+    auto dc = ws.acquire_csr(adj.rows(), adj.cols(), adj.nnz());
+    hadamard_same_pattern(*d, *cos, *dc);
+    auto rs = ws.acquire_vec(adj.rows());
+    sparse_row_sums(*dc, *rs);
+    auto cs = ws.acquire_vec(adj.cols());
+    sparse_col_sums(*dc, *cs);
 
-    DenseMatrix<T> gamma = spmm(d, h_hat);
-    spmm_accumulate(d.transposed(), h_hat, gamma);
+    spmm(*d, *h_hat, out.d_h_in);
+    auto scratch = ws.acquire_csr(adj.cols(), adj.rows(), adj.nnz());
+    d->transposed_into(*scratch);
+    spmm_accumulate(*scratch, *h_hat, out.d_h_in);
+    DenseMatrix<T>& gamma = out.d_h_in;
     for (index_t i = 0; i < gamma.rows(); ++i) {
-      const T ni = norms[static_cast<std::size_t>(i)];
+      const T ni = (*norms)[static_cast<std::size_t>(i)];
       T* gi = gamma.data() + i * gamma.cols();
       if (ni <= T(0)) {
         for (index_t j = 0; j < gamma.cols(); ++j) gi[j] = T(0);
         continue;
       }
-      const T coef = rs[static_cast<std::size_t>(i)] + cs[static_cast<std::size_t>(i)];
-      const T* hhi = h_hat.data() + i * gamma.cols();
+      const T coef =
+          (*rs)[static_cast<std::size_t>(i)] + (*cs)[static_cast<std::size_t>(i)];
+      const T* hhi = h_hat->data() + i * gamma.cols();
       const T inv = T(1) / ni;
       for (index_t j = 0; j < gamma.cols(); ++j) {
         gi[j] = (gi[j] - coef * hhi[j]) * inv;
       }
     }
-    spmm_accumulate(cache.psi.transposed(), m, gamma);
-    out.d_h_in = std::move(gamma);
-    return out;
+    cache.psi.transposed_into(*scratch);  // reuse the transpose buffer
+    spmm_accumulate(*scratch, *m, gamma);
   }
 
   // GAT backward:
@@ -356,48 +427,56 @@ class Layer {
   //   dPsi = A-sampled G H'^T, dE = softmax-Jacobian(dPsi),
   //   dC = dE ⊙ A ⊙ LeakyReLU'(C), ds1 = row-sums(dC), ds2 = col-sums(dC),
   //   da = [H'^T ds1; H'^T ds2], dW = H^T dH', Gamma = dH' W^T.
-  LayerGrads<T> backward_gat(const CsrMatrix<T>& adj, const LayerCache<T>& cache,
-                             const DenseMatrix<T>& g) const {
-    LayerGrads<T> out;
+  void backward_gat(const CsrMatrix<T>& adj, const LayerCache<T>& cache,
+                    const DenseMatrix<T>& g, Workspace<T>& ws,
+                    LayerGrads<T>& out) const {
     const DenseMatrix<T>& h = cache.h_in;
     const DenseMatrix<T>& hp = cache.h_proj;
     const CsrMatrix<T>& s = cache.psi;
 
     // dPsi sampled on the adjacency pattern (pattern of s, values unused).
-    const CsrMatrix<T> d_psi = sddmm(s.with_values(T(1)), g, hp);
-    const CsrMatrix<T> d_e = row_softmax_backward(s, d_psi);
-    // dC = dE ⊙ A ⊙ LeakyReLU'(C): the A values were folded into E during
-    // forward, so they reappear as a factor here (1 for binary adjacency).
-    CsrMatrix<T> d_c = d_e;
+    auto d_psi = ws.acquire_csr(s.rows(), s.cols(), s.nnz());
+    sddmm_unweighted(s, g, hp, *d_psi);
+    // dE, then dC in place: dC = dE ⊙ A ⊙ LeakyReLU'(C) — the A values were
+    // folded into E during forward, so they reappear as a factor here
+    // (1 for binary adjacency).
+    auto d_c = ws.acquire_csr(s.rows(), s.cols(), s.nnz());
+    row_softmax_backward(s, *d_psi, *d_c);
     {
-      auto v = d_c.vals_mutable();
+      auto v = d_c->vals_mutable();
       const auto c = cache.scores_pre.vals();
       const auto av = adj.vals();
-      for (index_t e = 0; e < d_c.nnz(); ++e) {
+      for (index_t e = 0; e < d_c->nnz(); ++e) {
         const T ce = c[static_cast<std::size_t>(e)];
         v[static_cast<std::size_t>(e)] *=
             av[static_cast<std::size_t>(e)] * (ce > T(0) ? T(1) : attention_slope_);
       }
     }
-    const std::vector<T> ds1 = sparse_row_sums(d_c);
-    const std::vector<T> ds2 = sparse_col_sums(d_c);
+    auto ds1 = ws.acquire_vec(s.rows());
+    sparse_row_sums(*d_c, *ds1);
+    auto ds2 = ws.acquire_vec(s.cols());
+    sparse_col_sums(*d_c, *ds2);
 
-    DenseMatrix<T> d_hp = spmm(s.transposed(), g);
+    auto st = ws.acquire_csr(s.cols(), s.rows(), s.nnz());
+    s.transposed_into(*st);
+    auto d_hp = ws.acquire_dense(g.rows(), k_out_);
+    spmm(*st, g, *d_hp);
     const std::span<const T> a_all(a_);
     const auto a1 = a_all.subspan(0, static_cast<std::size_t>(k_out_));
     const auto a2 = a_all.subspan(static_cast<std::size_t>(k_out_));
-    add_outer_inplace(d_hp, std::span<const T>(ds1), a1);
-    add_outer_inplace(d_hp, std::span<const T>(ds2), a2);
+    add_outer_inplace(*d_hp, ds1.cspan(), a1);
+    add_outer_inplace(*d_hp, ds2.cspan(), a2);
 
     out.d_a.resize(static_cast<std::size_t>(2 * k_out_));
-    const std::vector<T> da1 = matvec_tn(hp, std::span<const T>(ds1));
-    const std::vector<T> da2 = matvec_tn(hp, std::span<const T>(ds2));
-    std::copy(da1.begin(), da1.end(), out.d_a.begin());
-    std::copy(da2.begin(), da2.end(), out.d_a.begin() + k_out_);
+    auto da1 = ws.acquire_vec(k_out_);
+    matvec_tn(hp, ds1.cspan(), *da1);
+    auto da2 = ws.acquire_vec(k_out_);
+    matvec_tn(hp, ds2.cspan(), *da2);
+    std::copy(da1->begin(), da1->end(), out.d_a.begin());
+    std::copy(da2->begin(), da2->end(), out.d_a.begin() + k_out_);
 
-    out.d_w = matmul_tn(h, d_hp);
-    out.d_h_in = matmul_nt(d_hp, w_);
-    return out;
+    matmul_tn(h, *d_hp, out.d_w);
+    matmul_nt(*d_hp, w_, out.d_h_in);
   }
 
   ModelKind kind_;

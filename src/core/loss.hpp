@@ -23,17 +23,20 @@ struct LossResult {
 // unmasked rows contribute neither loss nor gradient.
 // `normalize_count`, when positive, overrides the divisor (the distributed
 // engine normalizes local blocks by the *global* active-vertex count).
+// The out-parameter form reuses `out.grad`'s storage across steps (no
+// allocation within capacity) — the training loops call this every epoch.
 template <typename T>
-LossResult<T> softmax_cross_entropy(const DenseMatrix<T>& h,
-                                    std::span<const index_t> labels,
-                                    std::span<const std::uint8_t> mask = {},
-                                    index_t normalize_count = -1) {
+void softmax_cross_entropy(const DenseMatrix<T>& h,
+                           std::span<const index_t> labels, LossResult<T>& out,
+                           std::span<const std::uint8_t> mask = {},
+                           index_t normalize_count = -1) {
   AGNN_ASSERT(static_cast<index_t>(labels.size()) == h.rows(),
               "cross entropy: one label per row required");
   AGNN_ASSERT(mask.empty() || static_cast<index_t>(mask.size()) == h.rows(),
               "cross entropy: mask size mismatch");
-  LossResult<T> out;
-  out.grad = DenseMatrix<T>(h.rows(), h.cols(), T(0));
+  out.value = T(0);
+  out.grad.resize(h.rows(), h.cols());
+  out.grad.fill(T(0));
   const index_t n = h.rows(), c = h.cols();
   index_t active = 0;
   for (index_t i = 0; i < n; ++i) {
@@ -41,7 +44,7 @@ LossResult<T> softmax_cross_entropy(const DenseMatrix<T>& h,
     ++active;
   }
   if (normalize_count > 0) active = normalize_count;
-  if (active == 0) return out;
+  if (active == 0) return;
   const T inv_n = T(1) / static_cast<T>(active);
   double loss = 0.0;
 #pragma omp parallel for schedule(static) reduction(+ : loss)
@@ -63,6 +66,15 @@ LossResult<T> softmax_cross_entropy(const DenseMatrix<T>& h,
     }
   }
   out.value = static_cast<T>(loss) * inv_n;
+}
+
+template <typename T>
+LossResult<T> softmax_cross_entropy(const DenseMatrix<T>& h,
+                                    std::span<const index_t> labels,
+                                    std::span<const std::uint8_t> mask = {},
+                                    index_t normalize_count = -1) {
+  LossResult<T> out;
+  softmax_cross_entropy(h, labels, out, mask, normalize_count);
   return out;
 }
 

@@ -9,12 +9,18 @@
 // are reused verbatim per head. The backward pass follows the single-head
 // derivation per head with the incoming gradient sliced (concat) or scaled
 // (average).
+//
+// The workspace-threaded entry points reuse cache slots in place and draw
+// per-head scratch from the pool; handles released at the end of one head's
+// iteration are re-acquired by the next head, so a layer needs one set of
+// scratch buffers regardless of head count.
 #pragma once
 
 #include <vector>
 
 #include "core/activations.hpp"
 #include "core/optimizer.hpp"
+#include "core/workspace.hpp"
 #include "tensor/fused.hpp"
 #include "tensor/sparse_ops.hpp"
 #include "tensor/spmm.hpp"
@@ -93,105 +99,168 @@ class MultiHeadGatLayer {
     return heads_[static_cast<std::size_t>(h)];
   }
 
-  DenseMatrix<T> forward(const CsrMatrix<T>& adj, const DenseMatrix<T>& h,
-                         MultiHeadCache<T>* cache) const {
+  void forward(const CsrMatrix<T>& adj, const DenseMatrix<T>& h,
+               MultiHeadCache<T>* cache, Workspace<T>& ws,
+               DenseMatrix<T>& out) const {
     AGNN_ASSERT(h.cols() == k_in_, "multi-head forward: feature width mismatch");
+    AGNN_ASSERT(&out != &h, "multi-head forward: out must not alias h");
     const index_t n = h.rows();
-    DenseMatrix<T> z(n, out_features(), T(0));
+    // The combined pre-activation accumulates across heads; with a cache it
+    // lives in the cache slot (backward needs it), otherwise in `out` itself
+    // and is activated in place at the end.
+    PooledDense<T> zb;
+    DenseMatrix<T>* z;
     if (cache) {
-      cache->h_in = h;
-      cache->heads.assign(heads_.size(), typename MultiHeadCache<T>::Head{});
+      if (&cache->h_in != &h) cache->h_in = h;
+      cache->heads.resize(heads_.size());  // preserves per-head slot storage
+      z = &cache->z;
+    } else {
+      z = &out;
     }
+    z->resize(n, out_features());
+    z->fill(T(0));
     const T head_scale = combine_ == HeadCombine::kAverage
                              ? T(1) / static_cast<T>(heads_.size())
                              : T(1);
+    auto z_head = ws.acquire_dense(n, k_head_);
     for (std::size_t hd = 0; hd < heads_.size(); ++hd) {
       const auto& p = heads_[hd];
-      DenseMatrix<T> hp = matmul(h, p.w);
+      // Per-head slots: cache members when training, pooled when not. The
+      // pooled handles release at the end of the iteration, so every head
+      // after the first re-acquires the same buffers.
+      PooledDense<T> hpb;
+      PooledCsr<T> psib, preb;
+      PooledVec<T> s1b, s2b;
+      DenseMatrix<T>* hp;
+      CsrMatrix<T>* psi;
+      CsrMatrix<T>* pre;
+      std::vector<T>* s1;
+      std::vector<T>* s2;
+      if (cache) {
+        auto& hc = cache->heads[hd];
+        hp = &hc.hp;
+        psi = &hc.psi;
+        pre = &hc.scores_pre;
+        s1 = &hc.s1;
+        s2 = &hc.s2;
+      } else {
+        hpb = ws.acquire_dense(n, k_head_);
+        psib = ws.acquire_csr(adj.rows(), adj.cols(), adj.nnz());
+        preb = ws.acquire_csr(adj.rows(), adj.cols(), adj.nnz());
+        s1b = ws.acquire_vec(n);
+        s2b = ws.acquire_vec(n);
+        hp = &*hpb;
+        psi = &*psib;
+        pre = &*preb;
+        s1 = &*s1b;
+        s2 = &*s2b;
+      }
+      matmul(h, p.w, *hp);
       const std::span<const T> a_all(p.a);
       const auto a1 = a_all.subspan(0, static_cast<std::size_t>(k_head_));
       const auto a2 = a_all.subspan(static_cast<std::size_t>(k_head_));
-      std::vector<T> s1 = matvec(hp, a1);
-      std::vector<T> s2 = matvec(hp, a2);
-      GatPsi<T> gp = psi_gat<T>(adj, s1, s2, slope_);
-      const DenseMatrix<T> z_head = spmm(gp.psi, hp);
+      matvec(*hp, a1, *s1);
+      matvec(*hp, a2, *s2);
+      psi_gat<T>(adj, *s1, *s2, slope_, *pre, *psi);
+      spmm(*psi, *hp, *z_head);
       // Place the head's output into its combined slot.
       const index_t off = combine_ == HeadCombine::kConcat
                               ? static_cast<index_t>(hd) * k_head_
                               : 0;
       for (index_t i = 0; i < n; ++i) {
-        T* zi = z.data() + i * z.cols() + off;
-        const T* src = z_head.data() + i * k_head_;
+        T* zi = z->data() + i * z->cols() + off;
+        const T* src = z_head->data() + i * k_head_;
         for (index_t j = 0; j < k_head_; ++j) zi[j] += head_scale * src[j];
       }
-      if (cache) {
-        auto& hc = cache->heads[hd];
-        hc.psi = std::move(gp.psi);
-        hc.scores_pre = std::move(gp.scores_pre);
-        hc.hp = std::move(hp);
-        hc.s1 = std::move(s1);
-        hc.s2 = std::move(s2);
-      }
     }
-    if (cache) cache->z = z;
-    return activate(act_, z, T(0.01));
+    if (cache) {
+      activate(act_, cache->z, out, T(0.01));
+    } else {
+      activate(act_, out, out, T(0.01));  // in place
+    }
+  }
+
+  DenseMatrix<T> forward(const CsrMatrix<T>& adj, const DenseMatrix<T>& h,
+                         MultiHeadCache<T>* cache) const {
+    Workspace<T> ws;
+    DenseMatrix<T> out;
+    forward(adj, h, cache, ws, out);
+    return out;
   }
 
   // `g` is dL/dZ of the combined pre-activation.
-  MultiHeadGrads<T> backward(const CsrMatrix<T>& adj, const MultiHeadCache<T>& cache,
-                             const DenseMatrix<T>& g) const {
-    MultiHeadGrads<T> out;
+  void backward(const CsrMatrix<T>& adj, const MultiHeadCache<T>& cache,
+                const DenseMatrix<T>& g, Workspace<T>& ws,
+                MultiHeadGrads<T>& out) const {
     out.heads.resize(heads_.size());
-    out.d_h_in = DenseMatrix<T>(cache.h_in.rows(), k_in_, T(0));
+    out.d_h_in.resize(cache.h_in.rows(), k_in_);
+    out.d_h_in.fill(T(0));
     const T head_scale = combine_ == HeadCombine::kAverage
                              ? T(1) / static_cast<T>(heads_.size())
                              : T(1);
+    auto g_head = ws.acquire_dense(g.rows(), k_head_);
     for (std::size_t hd = 0; hd < heads_.size(); ++hd) {
       const auto& p = heads_[hd];
       const auto& hc = cache.heads[hd];
       // Slice (concat) or scale (average) the incoming gradient.
-      DenseMatrix<T> g_head(g.rows(), k_head_);
       const index_t off = combine_ == HeadCombine::kConcat
                               ? static_cast<index_t>(hd) * k_head_
                               : 0;
       for (index_t i = 0; i < g.rows(); ++i) {
         const T* gi = g.data() + i * g.cols() + off;
-        T* dst = g_head.data() + i * k_head_;
+        T* dst = g_head->data() + i * k_head_;
         for (index_t j = 0; j < k_head_; ++j) dst[j] = head_scale * gi[j];
       }
 
       // Single-head GAT backward (same derivation as Layer::backward_gat).
-      const CsrMatrix<T> d_psi = sddmm(hc.psi.with_values(T(1)), g_head, hc.hp);
-      const CsrMatrix<T> d_e = row_softmax_backward(hc.psi, d_psi);
-      CsrMatrix<T> d_c = d_e;
+      auto d_psi = ws.acquire_csr(hc.psi.rows(), hc.psi.cols(), hc.psi.nnz());
+      sddmm_unweighted(hc.psi, *g_head, hc.hp, *d_psi);
+      auto d_c = ws.acquire_csr(hc.psi.rows(), hc.psi.cols(), hc.psi.nnz());
+      row_softmax_backward(hc.psi, *d_psi, *d_c);
       {
-        auto v = d_c.vals_mutable();
+        auto v = d_c->vals_mutable();
         const auto pre = hc.scores_pre.vals();
         const auto av = adj.vals();
-        for (index_t e = 0; e < d_c.nnz(); ++e) {
+        for (index_t e = 0; e < d_c->nnz(); ++e) {
           const T ce = pre[static_cast<std::size_t>(e)];
           v[static_cast<std::size_t>(e)] *=
               av[static_cast<std::size_t>(e)] * (ce > T(0) ? T(1) : slope_);
         }
       }
-      const std::vector<T> ds1 = sparse_row_sums(d_c);
-      const std::vector<T> ds2 = sparse_col_sums(d_c);
-      DenseMatrix<T> d_hp = spmm(hc.psi.transposed(), g_head);
+      auto ds1 = ws.acquire_vec(hc.psi.rows());
+      sparse_row_sums(*d_c, *ds1);
+      auto ds2 = ws.acquire_vec(hc.psi.cols());
+      sparse_col_sums(*d_c, *ds2);
+      auto st = ws.acquire_csr(hc.psi.cols(), hc.psi.rows(), hc.psi.nnz());
+      hc.psi.transposed_into(*st);
+      auto d_hp = ws.acquire_dense(g.rows(), k_head_);
+      spmm(*st, *g_head, *d_hp);
       const std::span<const T> a_all(p.a);
       const auto a1 = a_all.subspan(0, static_cast<std::size_t>(k_head_));
       const auto a2 = a_all.subspan(static_cast<std::size_t>(k_head_));
-      add_outer_inplace(d_hp, std::span<const T>(ds1), a1);
-      add_outer_inplace(d_hp, std::span<const T>(ds2), a2);
+      add_outer_inplace(*d_hp, ds1.cspan(), a1);
+      add_outer_inplace(*d_hp, ds2.cspan(), a2);
 
       auto& hg = out.heads[hd];
       hg.d_a.resize(static_cast<std::size_t>(2 * k_head_));
-      const std::vector<T> da1 = matvec_tn(hc.hp, std::span<const T>(ds1));
-      const std::vector<T> da2 = matvec_tn(hc.hp, std::span<const T>(ds2));
-      std::copy(da1.begin(), da1.end(), hg.d_a.begin());
-      std::copy(da2.begin(), da2.end(), hg.d_a.begin() + k_head_);
-      hg.d_w = matmul_tn(cache.h_in, d_hp);
-      axpy(T(1), matmul_nt(d_hp, p.w), out.d_h_in);
+      auto da1 = ws.acquire_vec(k_head_);
+      matvec_tn(hc.hp, ds1.cspan(), *da1);
+      auto da2 = ws.acquire_vec(k_head_);
+      matvec_tn(hc.hp, ds2.cspan(), *da2);
+      std::copy(da1->begin(), da1->end(), hg.d_a.begin());
+      std::copy(da2->begin(), da2->end(), hg.d_a.begin() + k_head_);
+      matmul_tn(cache.h_in, *d_hp, hg.d_w);
+      auto gw = ws.acquire_dense(g.rows(), k_in_);
+      matmul_nt(*d_hp, p.w, *gw);
+      axpy(T(1), *gw, out.d_h_in);
     }
+  }
+
+  MultiHeadGrads<T> backward(const CsrMatrix<T>& adj, const MultiHeadCache<T>& cache,
+                             const DenseMatrix<T>& g) const {
+    Workspace<T> ws;
+    MultiHeadGrads<T> out;
+    backward(adj, cache, g, ws, out);
     return out;
   }
 
@@ -239,35 +308,81 @@ class MultiHeadGat {
   MultiHeadGatLayer<T>& layer(std::size_t l) { return layers_[l]; }
   const MultiHeadGatLayer<T>& layer(std::size_t l) const { return layers_[l]; }
 
+  index_t max_layer_width() const {
+    index_t w = 0;
+    for (const auto& layer : layers_) w = std::max(w, layer.out_features());
+    return w;
+  }
+
+  void infer(const CsrMatrix<T>& adj, const DenseMatrix<T>& x, Workspace<T>& ws,
+             DenseMatrix<T>& h_out) const {
+    if (layers_.size() == 1) {
+      layers_[0].forward(adj, x, nullptr, ws, h_out);
+      return;
+    }
+    auto buf0 = ws.acquire_dense(x.rows(), max_layer_width());
+    auto buf1 = ws.acquire_dense(x.rows(), max_layer_width());
+    const DenseMatrix<T>* src = &x;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      const bool last = (l + 1 == layers_.size());
+      DenseMatrix<T>* dst = last ? &h_out : (l % 2 == 0 ? &*buf0 : &*buf1);
+      layers_[l].forward(adj, *src, nullptr, ws, *dst);
+      src = dst;
+    }
+  }
+
   DenseMatrix<T> infer(const CsrMatrix<T>& adj, const DenseMatrix<T>& x) const {
-    DenseMatrix<T> h = x;
-    for (const auto& layer : layers_) h = layer.forward(adj, h, nullptr);
+    Workspace<T> ws;
+    DenseMatrix<T> h;
+    infer(adj, x, ws, h);
     return h;
+  }
+
+  // Training forward: each layer's output lands directly in the next
+  // layer's h_in cache slot (no intermediate feature buffer).
+  void forward(const CsrMatrix<T>& adj, const DenseMatrix<T>& x,
+               std::vector<MultiHeadCache<T>>& caches, Workspace<T>& ws,
+               DenseMatrix<T>& h_out) const {
+    caches.resize(layers_.size());  // preserves slot storage across steps
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      DenseMatrix<T>& h = caches[l].h_in;
+      if (l == 0) h = x;
+      const bool last = (l + 1 == layers_.size());
+      DenseMatrix<T>& dst = last ? h_out : caches[l + 1].h_in;
+      layers_[l].forward(adj, h, &caches[l], ws, dst);
+    }
   }
 
   DenseMatrix<T> forward(const CsrMatrix<T>& adj, const DenseMatrix<T>& x,
                          std::vector<MultiHeadCache<T>>& caches) const {
-    caches.assign(layers_.size(), MultiHeadCache<T>{});
-    DenseMatrix<T> h = x;
-    for (std::size_t l = 0; l < layers_.size(); ++l) {
-      h = layers_[l].forward(adj, h, &caches[l]);
-    }
+    Workspace<T> ws;
+    DenseMatrix<T> h;
+    forward(adj, x, caches, ws, h);
     return h;
+  }
+
+  void backward(const CsrMatrix<T>& adj,
+                const std::vector<MultiHeadCache<T>>& caches,
+                const DenseMatrix<T>& d_h_out, Workspace<T>& ws,
+                std::vector<MultiHeadGrads<T>>& grads) const {
+    grads.resize(layers_.size());
+    auto g = ws.acquire_dense(d_h_out.rows(), max_layer_width());
+    activation_backward(layers_.back().activation(), caches.back().z, d_h_out, *g);
+    for (std::size_t l = layers_.size(); l-- > 0;) {
+      layers_[l].backward(adj, caches[l], *g, ws, grads[l]);
+      if (l > 0) {
+        activation_backward(layers_[l - 1].activation(), caches[l - 1].z,
+                            grads[l].d_h_in, *g);
+      }
+    }
   }
 
   std::vector<MultiHeadGrads<T>> backward(const CsrMatrix<T>& adj,
                                           const std::vector<MultiHeadCache<T>>& caches,
                                           const DenseMatrix<T>& d_h_out) const {
-    std::vector<MultiHeadGrads<T>> grads(layers_.size());
-    DenseMatrix<T> g = activation_backward(layers_.back().activation(),
-                                           caches.back().z, d_h_out);
-    for (std::size_t l = layers_.size(); l-- > 0;) {
-      grads[l] = layers_[l].backward(adj, caches[l], g);
-      if (l > 0) {
-        g = activation_backward(layers_[l - 1].activation(), caches[l - 1].z,
-                                grads[l].d_h_in);
-      }
-    }
+    Workspace<T> ws;
+    std::vector<MultiHeadGrads<T>> grads;
+    backward(adj, caches, d_h_out, ws, grads);
     return grads;
   }
 

@@ -1,0 +1,368 @@
+// Workspace<T>: a per-rank, size-bucketed buffer pool for hot-path tensors.
+//
+// Every kernel in src/tensor/ has an out-parameter overload that writes into
+// caller-provided storage. The Workspace is where that storage comes from on
+// the training hot path: engines acquire matrices, kernels resize them within
+// capacity (no heap traffic), and RAII handles return them to the pool when
+// they go out of scope. After a warm-up epoch the pool has one buffer per
+// live intermediate, so steady-state training performs zero heap allocations.
+//
+// Pooling policy:
+//  - Buffers are bucketed by floor(log2(element capacity)), so lookup touches
+//    O(log max-size) buckets.
+//  - acquire_* uses best-fit: the smallest pooled buffer whose capacity
+//    covers the request. Because buckets partition capacities by power of
+//    two, the best fit is the min-capacity qualifying entry of the lowest
+//    qualifying non-empty bucket. Best-fit (rather than first-fit) keeps a
+//    deterministic, periodic request sequence — which is exactly what a
+//    training loop issues — mapping to the same buffers every epoch, which
+//    is what makes the 100%-hit steady state reachable.
+//  - The pool only grows (no trimming); `resident_bytes` / `peak_resident`
+//    track what it holds so regressions are observable in benchmarks.
+//
+// Ownership convention (see DESIGN.md §8): the caller owns kernel outputs,
+// the Workspace owns scratch, and anything acquired is returned automatically
+// by the PooledDense / PooledCsr handle destructor. The Workspace is
+// per-rank and NOT thread-safe: kernels parallelise internally with OpenMP,
+// but acquire/release happens on the engine's driving thread only.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "tensor/common.hpp"
+#include "tensor/csr_matrix.hpp"
+#include "tensor/dense_matrix.hpp"
+
+namespace agnn {
+
+struct WorkspaceStats {
+  std::uint64_t acquires = 0;         // total acquire_* calls
+  std::uint64_t pool_hits = 0;        // served from pooled storage
+  std::uint64_t pool_misses = 0;      // required a fresh heap allocation
+  std::uint64_t bytes_acquired = 0;   // payload bytes handed out (hits + misses)
+  std::uint64_t resident_bytes = 0;   // bytes of backing storage the pool has created
+  std::uint64_t peak_resident_bytes = 0;
+
+  double hit_rate() const {
+    return acquires == 0 ? 1.0
+                         : static_cast<double>(pool_hits) / static_cast<double>(acquires);
+  }
+};
+
+template <typename T>
+class Workspace;
+
+// Move-only RAII handle over a pooled std::vector<T> (the n- and k-length
+// vectors of the formulations: row norms, attention halves, row/col sums).
+template <typename T>
+class PooledVec {
+ public:
+  PooledVec() = default;
+  PooledVec(Workspace<T>* ws, std::vector<T>&& v) : ws_(ws), v_(std::move(v)) {}
+  PooledVec(const PooledVec&) = delete;
+  PooledVec& operator=(const PooledVec&) = delete;
+  PooledVec(PooledVec&& other) noexcept
+      : ws_(std::exchange(other.ws_, nullptr)), v_(std::move(other.v_)) {}
+  PooledVec& operator=(PooledVec&& other) noexcept {
+    if (this != &other) {
+      release();
+      ws_ = std::exchange(other.ws_, nullptr);
+      v_ = std::move(other.v_);
+    }
+    return *this;
+  }
+  ~PooledVec() { release(); }
+
+  std::vector<T>& operator*() { return v_; }
+  const std::vector<T>& operator*() const { return v_; }
+  std::vector<T>* operator->() { return &v_; }
+  const std::vector<T>* operator->() const { return &v_; }
+  std::vector<T>& get() { return v_; }
+  const std::vector<T>& get() const { return v_; }
+  std::span<const T> cspan() const { return {v_.data(), v_.size()}; }
+
+ private:
+  void release();
+
+  Workspace<T>* ws_ = nullptr;
+  std::vector<T> v_;
+};
+
+// Move-only RAII handle over a pooled DenseMatrix. Dereference like a
+// pointer; the buffer returns to its Workspace on destruction.
+template <typename T>
+class PooledDense {
+ public:
+  PooledDense() = default;
+  PooledDense(Workspace<T>* ws, DenseMatrix<T>&& m) : ws_(ws), m_(std::move(m)) {}
+  PooledDense(const PooledDense&) = delete;
+  PooledDense& operator=(const PooledDense&) = delete;
+  PooledDense(PooledDense&& other) noexcept
+      : ws_(std::exchange(other.ws_, nullptr)), m_(std::move(other.m_)) {}
+  PooledDense& operator=(PooledDense&& other) noexcept {
+    if (this != &other) {
+      release();
+      ws_ = std::exchange(other.ws_, nullptr);
+      m_ = std::move(other.m_);
+    }
+    return *this;
+  }
+  ~PooledDense() { release(); }
+
+  DenseMatrix<T>& operator*() { return m_; }
+  const DenseMatrix<T>& operator*() const { return m_; }
+  DenseMatrix<T>* operator->() { return &m_; }
+  const DenseMatrix<T>* operator->() const { return &m_; }
+  DenseMatrix<T>& get() { return m_; }
+  const DenseMatrix<T>& get() const { return m_; }
+
+ private:
+  void release();
+
+  Workspace<T>* ws_ = nullptr;
+  DenseMatrix<T> m_;
+};
+
+// Move-only RAII handle over a pooled CsrMatrix.
+template <typename T>
+class PooledCsr {
+ public:
+  PooledCsr() = default;
+  PooledCsr(Workspace<T>* ws, CsrMatrix<T>&& m) : ws_(ws), m_(std::move(m)) {}
+  PooledCsr(const PooledCsr&) = delete;
+  PooledCsr& operator=(const PooledCsr&) = delete;
+  PooledCsr(PooledCsr&& other) noexcept
+      : ws_(std::exchange(other.ws_, nullptr)), m_(std::move(other.m_)) {}
+  PooledCsr& operator=(PooledCsr&& other) noexcept {
+    if (this != &other) {
+      release();
+      ws_ = std::exchange(other.ws_, nullptr);
+      m_ = std::move(other.m_);
+    }
+    return *this;
+  }
+  ~PooledCsr() { release(); }
+
+  CsrMatrix<T>& operator*() { return m_; }
+  const CsrMatrix<T>& operator*() const { return m_; }
+  CsrMatrix<T>* operator->() { return &m_; }
+  const CsrMatrix<T>* operator->() const { return &m_; }
+  CsrMatrix<T>& get() { return m_; }
+  const CsrMatrix<T>& get() const { return m_; }
+
+ private:
+  void release();
+
+  Workspace<T>* ws_ = nullptr;
+  CsrMatrix<T> m_;
+};
+
+template <typename T>
+class Workspace {
+ public:
+  // ~2^48 elements is far beyond anything addressable here; 49 buckets
+  // covers every floor(log2(capacity)) we can see.
+  static constexpr int kBuckets = 49;
+
+  Workspace() : dense_pool_(kBuckets), csr_pool_(kBuckets), vec_pool_(kBuckets) {}
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  // A dense rows x cols buffer. Contents are unspecified; the out-parameter
+  // kernels overwrite every element.
+  PooledDense<T> acquire_dense(index_t rows, index_t cols) {
+    AGNN_ASSERT(rows >= 0 && cols >= 0, "acquire_dense: bad shape");
+    const index_t elems = rows * cols;
+    ++stats_.acquires;
+    stats_.bytes_acquired += static_cast<std::uint64_t>(elems) * sizeof(T);
+    for (int b = bucket_of(elems); b < kBuckets; ++b) {
+      auto& bucket = dense_pool_[static_cast<std::size_t>(b)];
+      int best = -1;
+      for (int i = 0; i < static_cast<int>(bucket.size()); ++i) {
+        const index_t cap = bucket[static_cast<std::size_t>(i)].capacity();
+        if (cap >= elems &&
+            (best < 0 || cap < bucket[static_cast<std::size_t>(best)].capacity())) {
+          best = i;
+        }
+      }
+      if (best >= 0) {
+        ++stats_.pool_hits;
+        DenseMatrix<T> m = take(bucket, best);
+        m.resize(rows, cols);
+        return PooledDense<T>(this, std::move(m));
+      }
+    }
+    ++stats_.pool_misses;
+    add_resident(static_cast<std::uint64_t>(elems) * sizeof(T));
+    DenseMatrix<T> m;
+    m.reserve(elems);
+    m.resize(rows, cols);
+    return PooledDense<T>(this, std::move(m));
+  }
+
+  // A CSR buffer that is a full copy of `a` (pattern + values). Within
+  // capacity, vector copy-assignment allocates nothing, so a steady-state
+  // SDDMM-shaped acquire is heap-silent. Callers typically overwrite vals.
+  PooledCsr<T> acquire_csr_like(const CsrMatrix<T>& a) {
+    PooledCsr<T> h = acquire_csr(a.rows(), a.cols(), a.nnz());
+    *h = a;
+    return h;
+  }
+
+  // A CSR buffer with capacity for `rows` rows and `nnz` entries. Its
+  // logical contents are whatever the pooled buffer last held — callers
+  // rebuild it entirely (e.g. via transposed_into or copy-assignment).
+  PooledCsr<T> acquire_csr(index_t rows, index_t cols, index_t nnz) {
+    AGNN_ASSERT(rows >= 0 && cols >= 0 && nnz >= 0, "acquire_csr: bad shape");
+    (void)cols;
+    ++stats_.acquires;
+    stats_.bytes_acquired += csr_bytes(rows, nnz);
+    for (int b = bucket_of(nnz); b < kBuckets; ++b) {
+      auto& bucket = csr_pool_[static_cast<std::size_t>(b)];
+      int best = -1;
+      for (int i = 0; i < static_cast<int>(bucket.size()); ++i) {
+        const auto& cand = bucket[static_cast<std::size_t>(i)];
+        if (cand.nnz_capacity() >= nnz && cand.rows_capacity() >= rows &&
+            (best < 0 ||
+             cand.nnz_capacity() < bucket[static_cast<std::size_t>(best)].nnz_capacity())) {
+          best = i;
+        }
+      }
+      if (best >= 0) {
+        ++stats_.pool_hits;
+        return PooledCsr<T>(this, take(bucket, best));
+      }
+    }
+    ++stats_.pool_misses;
+    add_resident(csr_bytes(rows, nnz));
+    CsrMatrix<T> m;
+    m.reserve(rows, nnz);
+    return PooledCsr<T>(this, std::move(m));
+  }
+
+  // A pooled std::vector<T> resized to `n`; contents unspecified, callers
+  // overwrite (row norms, attention halves, sparse row/col sums).
+  PooledVec<T> acquire_vec(index_t n) {
+    AGNN_ASSERT(n >= 0, "acquire_vec: bad size");
+    ++stats_.acquires;
+    stats_.bytes_acquired += static_cast<std::uint64_t>(n) * sizeof(T);
+    for (int b = bucket_of(n); b < kBuckets; ++b) {
+      auto& bucket = vec_pool_[static_cast<std::size_t>(b)];
+      int best = -1;
+      for (int i = 0; i < static_cast<int>(bucket.size()); ++i) {
+        const index_t cap =
+            static_cast<index_t>(bucket[static_cast<std::size_t>(i)].capacity());
+        if (cap >= n &&
+            (best < 0 ||
+             cap < static_cast<index_t>(
+                       bucket[static_cast<std::size_t>(best)].capacity()))) {
+          best = i;
+        }
+      }
+      if (best >= 0) {
+        ++stats_.pool_hits;
+        std::vector<T> v = take(bucket, best);
+        v.resize(static_cast<std::size_t>(n));
+        return PooledVec<T>(this, std::move(v));
+      }
+    }
+    ++stats_.pool_misses;
+    add_resident(static_cast<std::uint64_t>(n) * sizeof(T));
+    std::vector<T> v;
+    v.reserve(static_cast<std::size_t>(n));
+    v.resize(static_cast<std::size_t>(n));
+    return PooledVec<T>(this, std::move(v));
+  }
+
+  // Return storage to the pool. Normally called by the handle destructors,
+  // but also usable directly to donate a matrix whose storage should be
+  // recycled (e.g. a temporary built outside the workspace).
+  void recycle(DenseMatrix<T>&& m) {
+    if (m.capacity() <= 0) return;
+    dense_pool_[static_cast<std::size_t>(bucket_of(m.capacity()))].push_back(std::move(m));
+  }
+  void recycle(CsrMatrix<T>&& m) {
+    if (m.nnz_capacity() <= 0 && m.rows_capacity() <= 0) return;
+    csr_pool_[static_cast<std::size_t>(bucket_of(m.nnz_capacity()))].push_back(std::move(m));
+  }
+  void recycle(std::vector<T>&& v) {
+    if (v.capacity() == 0) return;
+    const int b = bucket_of(static_cast<index_t>(v.capacity()));
+    vec_pool_[static_cast<std::size_t>(b)].push_back(std::move(v));
+  }
+
+  const WorkspaceStats& stats() const { return stats_; }
+
+  // Zero the traffic counters (acquires / hits / misses / bytes_acquired)
+  // while keeping the residency gauges, so callers can measure a window
+  // (e.g. "epochs after the first") in isolation.
+  void reset_stats() {
+    const std::uint64_t resident = stats_.resident_bytes;
+    const std::uint64_t peak = stats_.peak_resident_bytes;
+    stats_ = WorkspaceStats{};
+    stats_.resident_bytes = resident;
+    stats_.peak_resident_bytes = peak;
+  }
+
+ private:
+  static int bucket_of(index_t elems) {
+    if (elems <= 0) return 0;
+    const int b = std::bit_width(static_cast<std::uint64_t>(elems)) - 1;
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  static std::uint64_t csr_bytes(index_t rows, index_t nnz) {
+    return static_cast<std::uint64_t>(nnz) * (sizeof(T) + sizeof(index_t)) +
+           static_cast<std::uint64_t>(rows + 1) * sizeof(index_t);
+  }
+
+  template <typename M>
+  static M take(std::vector<M>& bucket, int i) {
+    M m = std::move(bucket[static_cast<std::size_t>(i)]);
+    bucket[static_cast<std::size_t>(i)] = std::move(bucket.back());
+    bucket.pop_back();
+    return m;
+  }
+
+  void add_resident(std::uint64_t bytes) {
+    stats_.resident_bytes += bytes;
+    if (stats_.resident_bytes > stats_.peak_resident_bytes) {
+      stats_.peak_resident_bytes = stats_.resident_bytes;
+    }
+  }
+
+  std::vector<std::vector<DenseMatrix<T>>> dense_pool_;
+  std::vector<std::vector<CsrMatrix<T>>> csr_pool_;
+  std::vector<std::vector<std::vector<T>>> vec_pool_;
+  WorkspaceStats stats_;
+};
+
+template <typename T>
+void PooledDense<T>::release() {
+  if (ws_ != nullptr) {
+    ws_->recycle(std::move(m_));
+    ws_ = nullptr;
+  }
+}
+
+template <typename T>
+void PooledCsr<T>::release() {
+  if (ws_ != nullptr) {
+    ws_->recycle(std::move(m_));
+    ws_ = nullptr;
+  }
+}
+
+template <typename T>
+void PooledVec<T>::release() {
+  if (ws_ != nullptr) {
+    ws_->recycle(std::move(v_));
+    ws_ = nullptr;
+  }
+}
+
+}  // namespace agnn

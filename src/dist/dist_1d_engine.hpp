@@ -22,6 +22,7 @@
 #include "core/loss.hpp"
 #include "core/model.hpp"
 #include "core/optimizer.hpp"
+#include "core/workspace.hpp"
 #include "dist/process_grid.hpp"
 
 namespace agnn::dist {
@@ -53,11 +54,13 @@ class Dist1dGlobalEngine {
   }
 
   const BlockRange& owned_block() const { return vr_; }
+  Workspace<T>& workspace() { return ws_; }
+  const WorkspaceStats& workspace_stats() const { return ws_.stats(); }
 
   DenseMatrix<T> forward(const DenseMatrix<T>& x_global,
                          std::vector<Dist1dLayerCache<T>>* caches) {
     DenseMatrix<T> h_own = x_global.slice_rows(vr_.begin, vr_.end);
-    if (caches) caches->assign(model_.num_layers(), Dist1dLayerCache<T>{});
+    if (caches) caches->resize(model_.num_layers());  // keeps slot storage warm
     for (std::size_t l = 0; l < model_.num_layers(); ++l) {
       h_own = layer_forward(model_.layer(l), h_own, caches ? &(*caches)[l] : nullptr);
     }
@@ -71,7 +74,7 @@ class Dist1dGlobalEngine {
   StepResult train_step(const DenseMatrix<T>& x_global,
                         std::span<const index_t> labels, Optimizer<T>& opt,
                         std::span<const std::uint8_t> mask = {}) {
-    std::vector<Dist1dLayerCache<T>> caches;
+    std::vector<Dist1dLayerCache<T>>& caches = caches_;  // persistent slots
     const DenseMatrix<T> h_own = forward(x_global, &caches);
 
     index_t active = 0;
@@ -106,12 +109,13 @@ class Dist1dGlobalEngine {
 
  private:
   // Allgather owned row blocks into the full matrix (in rank order — the
-  // n*k-per-rank cost that defines this scheme).
-  DenseMatrix<T> allgather_rows(const DenseMatrix<T>& own) {
+  // n*k-per-rank cost that defines this scheme), into caller storage.
+  void allgather_rows_into(const DenseMatrix<T>& own, DenseMatrix<T>& full) {
     const std::vector<T> flat = world_.allgatherv(std::span<const T>(own.flat()));
     AGNN_ASSERT(static_cast<index_t>(flat.size()) == n_ * own.cols(),
                 "1d allgather: unexpected size");
-    return DenseMatrix<T>(n_, own.cols(), flat);
+    full.resize(n_, own.cols());
+    std::copy(flat.begin(), flat.end(), full.data());
   }
 
   DenseMatrix<T> layer_forward(const Layer<T>& layer, const DenseMatrix<T>& h_own,
@@ -123,74 +127,71 @@ class Dist1dGlobalEngine {
     DenseMatrix<T> w2 = layer.weights2();
     if (!w2.empty()) world_.broadcast(w2.flat(), 0);
 
-    const DenseMatrix<T> h_full = allgather_rows(h_own);
+    // All intermediates live in the cache slots (or a throwaway scratch in
+    // inference mode), overwritten in place across steps.
+    Dist1dLayerCache<T> scratch;
+    Dist1dLayerCache<T>& c = cache ? *cache : scratch;
+    allgather_rows_into(h_own, c.h_full);
 
     comm::ComputeRegion t(world_.stats());
-    CsrMatrix<T> psi_loc, cos_loc, scores_pre_loc;
-    DenseMatrix<T> hp_full, ph_own, z_own, mlp_pre_own, mlp_hidden_own;
     switch (layer.kind()) {
       case ModelKind::kGCN: {
-        ph_own = spmm(a_loc_, h_full);
-        z_own = matmul(ph_own, w);
-        psi_loc = a_loc_;
+        spmm(a_loc_, c.h_full, c.ph_own);
+        matmul(c.ph_own, w, c.z_own);
+        c.psi_loc = a_loc_;
         break;
       }
       case ModelKind::kGIN: {
-        ph_own = spmm(a_loc_, h_full);
-        axpy(T(1) + layer.gin_epsilon(), h_own, ph_own);
-        mlp_pre_own = matmul(ph_own, w);
-        mlp_hidden_own = activate(layer.mlp_activation(), mlp_pre_own, T(0.01));
-        z_own = matmul(mlp_hidden_own, w2);
-        psi_loc = a_loc_;
+        spmm(a_loc_, c.h_full, c.ph_own);
+        axpy(T(1) + layer.gin_epsilon(), h_own, c.ph_own);
+        matmul(c.ph_own, w, c.mlp_pre_own);
+        activate(layer.mlp_activation(), c.mlp_pre_own, c.mlp_hidden_own, T(0.01));
+        matmul(c.mlp_hidden_own, w2, c.z_own);
+        c.psi_loc = a_loc_;
         break;
       }
       case ModelKind::kVA: {
-        psi_loc = sddmm(a_loc_, h_own, h_full);
-        ph_own = spmm(psi_loc, h_full);
-        z_own = matmul(ph_own, w);
+        sddmm(a_loc_, h_own, c.h_full, c.psi_loc);
+        spmm(c.psi_loc, c.h_full, c.ph_own);
+        matmul(c.ph_own, w, c.z_own);
         break;
       }
       case ModelKind::kAGNN: {
-        cos_loc = sddmm(a_loc_.with_values(T(1)), h_own, h_full);
-        std::vector<T> inv_r = row_l2_norms(h_own);
-        std::vector<T> inv_c = row_l2_norms(h_full);
-        for (auto& v : inv_r) v = v > T(0) ? T(1) / v : T(0);
-        for (auto& v : inv_c) v = v > T(0) ? T(1) / v : T(0);
-        cos_loc = scale_rows_cols<T>(cos_loc, inv_r, inv_c);
-        psi_loc = hadamard_same_pattern(cos_loc, a_loc_);
-        ph_own = spmm(psi_loc, h_full);
-        z_own = matmul(ph_own, w);
+        sddmm_unweighted(a_loc_, h_own, c.h_full, c.cos_loc);
+        auto inv_r = ws_.acquire_vec(vr_.size());
+        auto inv_c = ws_.acquire_vec(n_);
+        row_l2_norms(h_own, *inv_r);
+        row_l2_norms(c.h_full, *inv_c);
+        for (auto& v : *inv_r) v = v > T(0) ? T(1) / v : T(0);
+        for (auto& v : *inv_c) v = v > T(0) ? T(1) / v : T(0);
+        scale_rows_cols<T>(c.cos_loc, inv_r.cspan(), inv_c.cspan(), c.cos_loc);
+        hadamard_same_pattern(c.cos_loc, a_loc_, c.psi_loc);
+        spmm(c.psi_loc, c.h_full, c.ph_own);
+        matmul(c.ph_own, w, c.z_own);
         break;
       }
       case ModelKind::kGAT: {
-        hp_full = matmul(h_full, w);  // redundant full projection per rank
+        matmul(c.h_full, w, c.hp_full);  // redundant full projection per rank
         const index_t k_out = layer.out_features();
         const std::span<const T> a_all(a);
         const auto a1 = a_all.subspan(0, static_cast<std::size_t>(k_out));
         const auto a2 = a_all.subspan(static_cast<std::size_t>(k_out));
-        const DenseMatrix<T> hp_own = hp_full.slice_rows(vr_.begin, vr_.end);
-        const std::vector<T> s1 = matvec(hp_own, a1);
-        const std::vector<T> s2 = matvec(hp_full, a2);
-        const GatPsi<T> gp = psi_gat<T>(a_loc_, s1, s2, layer.attention_slope());
-        psi_loc = gp.psi;
-        scores_pre_loc = gp.scores_pre;
-        z_own = spmm(psi_loc, hp_full);
+        auto s1 = ws_.acquire_vec(vr_.size());
+        auto s2 = ws_.acquire_vec(n_);
+        for (index_t i = 0; i < vr_.size(); ++i) {  // s1 needs owned rows only
+          const T* r = c.hp_full.data() + (vr_.begin + i) * k_out;
+          T acc = T(0);
+          for (index_t g = 0; g < k_out; ++g) acc += r[g] * a1[static_cast<std::size_t>(g)];
+          (*s1)[static_cast<std::size_t>(i)] = acc;
+        }
+        matvec(c.hp_full, a2, *s2);
+        psi_gat<T>(a_loc_, s1.cspan(), s2.cspan(), layer.attention_slope(),
+                   c.scores_pre_loc, c.psi_loc);
+        spmm(c.psi_loc, c.hp_full, c.z_own);
         break;
       }
     }
-    DenseMatrix<T> h_out = activate(layer.activation(), z_own, T(0.01));
-    if (cache) {
-      cache->h_full = h_full;
-      cache->z_own = std::move(z_own);
-      cache->psi_loc = std::move(psi_loc);
-      cache->cos_loc = std::move(cos_loc);
-      cache->scores_pre_loc = std::move(scores_pre_loc);
-      cache->hp_full = std::move(hp_full);
-      cache->ph_own = std::move(ph_own);
-      cache->mlp_pre_own = std::move(mlp_pre_own);
-      cache->mlp_hidden_own = std::move(mlp_hidden_own);
-    }
-    return h_out;
+    return activate(layer.activation(), c.z_own, T(0.01));
   }
 
   DenseMatrix<T> layer_backward(const Layer<T>& layer,
@@ -358,6 +359,8 @@ class Dist1dGlobalEngine {
   BlockRange vr_;
   GnnModel<T>& model_;
   CsrMatrix<T> a_loc_;  // owned rows x n
+  Workspace<T> ws_;                           // per-rank scratch pool
+  std::vector<Dist1dLayerCache<T>> caches_;   // persistent training caches
 };
 
 }  // namespace agnn::dist

@@ -26,6 +26,7 @@
 #include "core/loss.hpp"
 #include "core/model.hpp"
 #include "core/optimizer.hpp"
+#include "core/workspace.hpp"
 #include "dist/process_grid.hpp"
 #include "graph/graph.hpp"
 
@@ -77,6 +78,8 @@ class DistGnnEngine {
   const BlockRange& row_block() const { return ri_; }
   const BlockRange& col_block() const { return cj_; }
   const CsrMatrix<T>& local_adjacency() const { return a_loc_; }
+  Workspace<T>& workspace() { return ws_; }
+  const WorkspaceStats& workspace_stats() const { return ws_.stats(); }
 
   // ---- forward -------------------------------------------------------------
 
@@ -86,7 +89,7 @@ class DistGnnEngine {
   DenseMatrix<T> forward(const DenseMatrix<T>& x_global,
                          std::vector<DistLayerCache<T>>* caches) {
     DenseMatrix<T> h_b = x_global.slice_rows(cj_.begin, cj_.end);
-    if (caches) caches->assign(model_.num_layers(), DistLayerCache<T>{});
+    if (caches) caches->resize(model_.num_layers());  // keeps slot storage warm
     for (std::size_t l = 0; l < model_.num_layers(); ++l) {
       h_b = layer_forward(model_.layer(l), h_b, caches ? &(*caches)[l] : nullptr);
     }
@@ -113,7 +116,7 @@ class DistGnnEngine {
                         std::span<const index_t> labels,
                         Optimizer<T>& opt,
                         std::span<const std::uint8_t> mask = {}) {
-    std::vector<DistLayerCache<T>> caches;
+    std::vector<DistLayerCache<T>>& caches = caches_;  // persistent slots
     const DenseMatrix<T> h_b = forward(x_global, &caches);
 
     // Loss on the local row block, normalized by the global active count.
@@ -175,42 +178,57 @@ class DistGnnEngine {
   // Transpose-partner exchange: give my layout-B block, receive the
   // partner's — which is exactly my layout-R block (rows R_i). Also used in
   // the other direction (R -> B). One block of nk/sqrt(p) words per rank.
-  DenseMatrix<T> partner_exchange(const DenseMatrix<T>& mine, index_t out_rows) {
-    DenseMatrix<T> out(out_rows, mine.cols());
+  void partner_exchange(const DenseMatrix<T>& mine, index_t out_rows,
+                        DenseMatrix<T>& out) {
+    out.resize(out_rows, mine.cols());
     auto win = world_.expose(std::span<const T>(mine.flat()));
     win.get(out.flat(), grid_.partner_of(world_.rank()), 0);
     win.close();
+  }
+
+  DenseMatrix<T> partner_exchange(const DenseMatrix<T>& mine, index_t out_rows) {
+    DenseMatrix<T> out;
+    partner_exchange(mine, out_rows, out);
     return out;
   }
 
-  std::vector<T> partner_exchange_vec(const std::vector<T>& mine, index_t out_len) {
-    std::vector<T> out(static_cast<std::size_t>(out_len));
+  void partner_exchange_vec(const std::vector<T>& mine, index_t out_len,
+                            std::vector<T>& out) {
+    out.resize(static_cast<std::size_t>(out_len));
     auto win = world_.expose(std::span<const T>(mine));
     win.get(std::span<T>(out), grid_.partner_of(world_.rank()), 0);
     win.close();
+  }
+
+  std::vector<T> partner_exchange_vec(const std::vector<T>& mine, index_t out_len) {
+    std::vector<T> out;
+    partner_exchange_vec(mine, out_len, out);
     return out;
   }
 
   // Distributed graph softmax over grid rows: per-row max and sum span the
-  // whole grid row of blocks (Section 4.2 executed blockwise).
-  CsrMatrix<T> dist_row_softmax(const CsrMatrix<T>& e_loc) {
-    const index_t rows = e_loc.rows();
-    std::vector<T> row_max(static_cast<std::size_t>(rows),
-                           -std::numeric_limits<T>::infinity());
+  // whole grid row of blocks (Section 4.2 executed blockwise). Normalizes
+  // `s` (holding the raw E values) in place; reduction vectors are pooled.
+  void dist_row_softmax_inplace(CsrMatrix<T>& s) {
+    const index_t rows = s.rows();
+    auto row_max_h = ws_.acquire_vec(rows);
+    std::vector<T>& row_max = *row_max_h;
+    std::fill(row_max.begin(), row_max.end(), -std::numeric_limits<T>::infinity());
     for (index_t i = 0; i < rows; ++i) {
-      for (index_t e = e_loc.row_begin(i); e < e_loc.row_end(i); ++e) {
+      for (index_t e = s.row_begin(i); e < s.row_end(i); ++e) {
         row_max[static_cast<std::size_t>(i)] =
-            std::max(row_max[static_cast<std::size_t>(i)], e_loc.val_at(e));
+            std::max(row_max[static_cast<std::size_t>(i)], s.val_at(e));
       }
     }
     row_comm_.allreduce_max(std::span<T>(row_max));
-    CsrMatrix<T> s = e_loc;
     auto v = s.vals_mutable();
-    std::vector<T> row_sum(static_cast<std::size_t>(rows), T(0));
+    auto row_sum_h = ws_.acquire_vec(rows);
+    std::vector<T>& row_sum = *row_sum_h;
+    std::fill(row_sum.begin(), row_sum.end(), T(0));
     for (index_t i = 0; i < rows; ++i) {
       const T mx = row_max[static_cast<std::size_t>(i)];
       for (index_t e = s.row_begin(i); e < s.row_end(i); ++e) {
-        const T ex = std::exp(e_loc.val_at(e) - mx);
+        const T ex = std::exp(v[static_cast<std::size_t>(e)] - mx);
         v[static_cast<std::size_t>(e)] = ex;
         row_sum[static_cast<std::size_t>(i)] += ex;
       }
@@ -224,7 +242,6 @@ class DistGnnEngine {
         v[static_cast<std::size_t>(e)] *= inv;
       }
     }
-    return s;
   }
 
   // ---- per-layer forward -----------------------------------------------------
@@ -240,129 +257,116 @@ class DistGnnEngine {
     DenseMatrix<T> w2 = layer.weights2();
     if (!w2.empty()) world_.broadcast(w2.flat(), 0);
 
-    CsrMatrix<T> psi_loc;
-    CsrMatrix<T> cos_loc;
-    CsrMatrix<T> scores_pre_loc;
-    DenseMatrix<T> h_r, hp_b;
-    std::vector<T> s1_r, s2_b;
+    // All intermediates live in the cache slots (or a throwaway scratch in
+    // inference mode), overwritten in place across steps.
+    DistLayerCache<T> scratch;
+    DistLayerCache<T>& c = cache ? *cache : scratch;
     const DenseMatrix<T>* x_b = &h_b;  // aggregation input
 
     switch (layer.kind()) {
       case ModelKind::kGCN: {
-        psi_loc = a_loc_;
+        c.psi_loc = a_loc_;
         break;
       }
       case ModelKind::kGIN: {
         // Plain-sum aggregation over A; the (1+eps) self term needs the
         // R_i rows of H, which arrive via the partner exchange.
-        h_r = partner_exchange(h_b, ri_.size());
-        psi_loc = a_loc_;
+        partner_exchange(h_b, ri_.size(), c.h_r);
+        c.psi_loc = a_loc_;
         break;
       }
       case ModelKind::kVA: {
-        h_r = partner_exchange(h_b, ri_.size());
+        partner_exchange(h_b, ri_.size(), c.h_r);
         comm::ComputeRegion t(world_.stats());
-        psi_loc = sddmm(a_loc_, h_r, h_b);
+        sddmm(a_loc_, c.h_r, h_b, c.psi_loc);
         break;
       }
       case ModelKind::kAGNN: {
-        h_r = partner_exchange(h_b, ri_.size());
+        partner_exchange(h_b, ri_.size(), c.h_r);
         comm::ComputeRegion t(world_.stats());
         // Cosine block: sampled dot products divided by the row/col norms.
         // Norms are local because full feature rows are local in each layout.
-        cos_loc = sddmm(a_loc_.with_values(T(1)), h_r, h_b);
-        const std::vector<T> nr = inv_norms(h_r);
-        const std::vector<T> nc = inv_norms(h_b);
-        cos_loc = scale_rows_cols<T>(cos_loc, nr, nc);
-        psi_loc = hadamard_same_pattern(cos_loc, a_loc_);
+        sddmm_unweighted(a_loc_, c.h_r, h_b, c.cos_loc);
+        auto nr = ws_.acquire_vec(ri_.size());
+        auto nc = ws_.acquire_vec(cj_.size());
+        inv_norms(c.h_r, *nr);
+        inv_norms(h_b, *nc);
+        scale_rows_cols<T>(c.cos_loc, nr.cspan(), nc.cspan(), c.cos_loc);
+        hadamard_same_pattern(c.cos_loc, a_loc_, c.psi_loc);
         break;
       }
       case ModelKind::kGAT: {
         {
           comm::ComputeRegion t(world_.stats());
-          hp_b = matmul(h_b, w);
+          matmul(h_b, w, c.hp_b);
           const std::span<const T> a_all(a);
-          const auto a1 = a_all.subspan(0, static_cast<std::size_t>(layer.out_features()));
           const auto a2 = a_all.subspan(static_cast<std::size_t>(layer.out_features()));
-          s2_b = matvec(hp_b, a2);
-          s1_r.clear();
+          matvec(c.hp_b, a2, c.s2_b);
         }
-        std::vector<T> s1_b = matvec(hp_b, std::span<const T>(a).subspan(
-                                               0, static_cast<std::size_t>(
-                                                      layer.out_features())));
-        s1_r = partner_exchange_vec(s1_b, ri_.size());
+        std::vector<T> s1_b = matvec(c.hp_b, std::span<const T>(a).subspan(
+                                                 0, static_cast<std::size_t>(
+                                                        layer.out_features())));
+        partner_exchange_vec(s1_b, ri_.size(), c.s1_r);
         {
           comm::ComputeRegion t(world_.stats());
           // E block: A ⊙ LeakyReLU(s1 1^T + 1 s2^T) sampled on the edges.
-          scores_pre_loc = a_loc_;
-          CsrMatrix<T> e_loc = a_loc_;
-          auto pre = scores_pre_loc.vals_mutable();
-          auto ev = e_loc.vals_mutable();
+          c.scores_pre_loc = a_loc_;
+          c.psi_loc = a_loc_;
+          auto pre = c.scores_pre_loc.vals_mutable();
+          auto ev = c.psi_loc.vals_mutable();
           const T slope = layer.attention_slope();
           for (index_t i = 0; i < a_loc_.rows(); ++i) {
-            const T s1i = s1_r[static_cast<std::size_t>(i)];
+            const T s1i = c.s1_r[static_cast<std::size_t>(i)];
             for (index_t e = a_loc_.row_begin(i); e < a_loc_.row_end(i); ++e) {
-              const T c = s1i + s2_b[static_cast<std::size_t>(a_loc_.col_at(e))];
-              pre[static_cast<std::size_t>(e)] = c;
+              const T cv = s1i + c.s2_b[static_cast<std::size_t>(a_loc_.col_at(e))];
+              pre[static_cast<std::size_t>(e)] = cv;
               ev[static_cast<std::size_t>(e)] =
-                  a_loc_.val_at(e) * (c > T(0) ? c : slope * c);
+                  a_loc_.val_at(e) * (cv > T(0) ? cv : slope * cv);
             }
           }
-          psi_loc = std::move(e_loc);
         }
-        psi_loc = dist_row_softmax(psi_loc);
-        x_b = &hp_b;
+        dist_row_softmax_inplace(c.psi_loc);
+        x_b = &c.hp_b;
         break;
       }
     }
 
     // Aggregation: local block SpMM, then reduce partial sums along the row.
-    DenseMatrix<T> partial;
     {
       comm::ComputeRegion t(world_.stats());
-      partial = spmm(psi_loc, *x_b);
+      spmm(c.psi_loc, *x_b, c.ph_r);
     }
-    row_comm_.allreduce_sum(partial.flat());
-    DenseMatrix<T> z_r, mlp_pre_r, mlp_hidden_r;
+    row_comm_.allreduce_sum(c.ph_r.flat());
+    // Z in layout R: for GAT it is the reduced aggregate itself; for the
+    // others a pooled buffer holds the projection.
+    const DenseMatrix<T>* z_r = &c.ph_r;
+    auto z_r_h = ws_.acquire_dense(ri_.size(), layer.out_features());
     {
       comm::ComputeRegion t(world_.stats());
       switch (layer.kind()) {
         case ModelKind::kGAT:
-          z_r = partial;
           break;
         case ModelKind::kGIN:
           // X = (A H) + (1+eps) H, then the per-row MLP.
-          axpy(T(1) + layer.gin_epsilon(), h_r, partial);
-          mlp_pre_r = matmul(partial, w);
-          mlp_hidden_r = activate(layer.mlp_activation(), mlp_pre_r, T(0.01));
-          z_r = matmul(mlp_hidden_r, w2);
+          axpy(T(1) + layer.gin_epsilon(), c.h_r, c.ph_r);
+          matmul(c.ph_r, w, c.mlp_pre_r);
+          activate(layer.mlp_activation(), c.mlp_pre_r, c.mlp_hidden_r, T(0.01));
+          matmul(c.mlp_hidden_r, w2, *z_r_h);
+          z_r = &*z_r_h;
           break;
         default:
-          z_r = matmul(partial, w);
+          matmul(c.ph_r, w, *z_r_h);
+          z_r = &*z_r_h;
       }
     }
     // Redistribute Z from layout R to layout B to link into the next layer.
-    DenseMatrix<T> z_b = partner_exchange(z_r, cj_.size());
+    partner_exchange(*z_r, cj_.size(), c.z_b);
     DenseMatrix<T> h_out;
     {
       comm::ComputeRegion t(world_.stats());
-      h_out = activate(layer.activation(), z_b, T(0.01));
+      activate(layer.activation(), c.z_b, h_out, T(0.01));
     }
-
-    if (cache) {
-      cache->h_b = h_b;
-      cache->h_r = std::move(h_r);
-      cache->z_b = std::move(z_b);
-      cache->psi_loc = std::move(psi_loc);
-      cache->cos_loc = std::move(cos_loc);
-      cache->ph_r = std::move(partial);
-      cache->mlp_pre_r = std::move(mlp_pre_r);
-      cache->mlp_hidden_r = std::move(mlp_hidden_r);
-      cache->hp_b = std::move(hp_b);
-      cache->scores_pre_loc = std::move(scores_pre_loc);
-      cache->s1_r = std::move(s1_r);
-      cache->s2_b = std::move(s2_b);
-    }
+    if (cache) c.h_b = h_b;
     return h_out;
   }
 
@@ -598,10 +602,9 @@ class DistGnnEngine {
     return dw;
   }
 
-  static std::vector<T> inv_norms(const DenseMatrix<T>& h) {
-    std::vector<T> n = row_l2_norms(h);
+  static void inv_norms(const DenseMatrix<T>& h, std::vector<T>& n) {
+    row_l2_norms(h, n);
     for (auto& v : n) v = v > T(0) ? T(1) / v : T(0);
-    return n;
   }
 
   static DenseMatrix<T> unit_rows(const DenseMatrix<T>& h) {
@@ -625,6 +628,8 @@ class DistGnnEngine {
   GnnModel<T>& model_;
   CsrMatrix<T> a_loc_;
   CsrMatrix<T> a_loc_t_;
+  Workspace<T> ws_;                         // per-rank scratch pool
+  std::vector<DistLayerCache<T>> caches_;   // persistent training caches
 };
 
 }  // namespace agnn::dist

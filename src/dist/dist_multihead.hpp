@@ -12,6 +12,7 @@
 #include "comm/communicator.hpp"
 #include "core/loss.hpp"
 #include "core/multihead_gat.hpp"
+#include "core/workspace.hpp"
 #include "dist/process_grid.hpp"
 #include "graph/graph.hpp"
 
@@ -52,12 +53,15 @@ class DistMultiHeadGatEngine {
   DenseMatrix<T> forward(const DenseMatrix<T>& x_global,
                          std::vector<DistMultiHeadCache<T>>* caches) {
     DenseMatrix<T> h_b = x_global.slice_rows(cj_.begin, cj_.end);
-    if (caches) caches->assign(model_.num_layers(), DistMultiHeadCache<T>{});
+    if (caches) caches->resize(model_.num_layers());  // keeps slot storage warm
     for (std::size_t l = 0; l < model_.num_layers(); ++l) {
       h_b = layer_forward(model_.layer(l), h_b, caches ? &(*caches)[l] : nullptr);
     }
     return h_b;
   }
+
+  Workspace<T>& workspace() { return ws_; }
+  const WorkspaceStats& workspace_stats() const { return ws_.stats(); }
 
   DenseMatrix<T> infer(const DenseMatrix<T>& x_global) {
     const DenseMatrix<T> h_b = forward(x_global, nullptr);
@@ -74,7 +78,7 @@ class DistMultiHeadGatEngine {
   StepResult train_step(const DenseMatrix<T>& x_global,
                         std::span<const index_t> labels, Optimizer<T>& opt,
                         std::span<const std::uint8_t> mask = {}) {
-    std::vector<DistMultiHeadCache<T>> caches;
+    std::vector<DistMultiHeadCache<T>>& caches = caches_;  // persistent slots
     const DenseMatrix<T> h_b = forward(x_global, &caches);
 
     index_t active = 0;
@@ -107,40 +111,56 @@ class DistMultiHeadGatEngine {
   }
 
  private:
-  DenseMatrix<T> partner_exchange(const DenseMatrix<T>& mine, index_t out_rows) {
-    DenseMatrix<T> out(out_rows, mine.cols());
+  void partner_exchange(const DenseMatrix<T>& mine, index_t out_rows,
+                        DenseMatrix<T>& out) {
+    out.resize(out_rows, mine.cols());
     auto win = world_.expose(std::span<const T>(mine.flat()));
     win.get(out.flat(), grid_.partner_of(world_.rank()), 0);
     win.close();
+  }
+
+  DenseMatrix<T> partner_exchange(const DenseMatrix<T>& mine, index_t out_rows) {
+    DenseMatrix<T> out;
+    partner_exchange(mine, out_rows, out);
     return out;
   }
 
-  std::vector<T> partner_exchange_vec(const std::vector<T>& mine, index_t out_len) {
-    std::vector<T> out(static_cast<std::size_t>(out_len));
+  void partner_exchange_vec(const std::vector<T>& mine, index_t out_len,
+                            std::vector<T>& out) {
+    out.resize(static_cast<std::size_t>(out_len));
     auto win = world_.expose(std::span<const T>(mine));
     win.get(std::span<T>(out), grid_.partner_of(world_.rank()), 0);
     win.close();
+  }
+
+  std::vector<T> partner_exchange_vec(const std::vector<T>& mine, index_t out_len) {
+    std::vector<T> out;
+    partner_exchange_vec(mine, out_len, out);
     return out;
   }
 
-  CsrMatrix<T> dist_row_softmax(const CsrMatrix<T>& e_loc) {
-    const index_t rows = e_loc.rows();
-    std::vector<T> row_max(static_cast<std::size_t>(rows),
-                           -std::numeric_limits<T>::infinity());
+  // Normalizes `s` (holding the raw E values) in place; reduction vectors
+  // are pooled.
+  void dist_row_softmax_inplace(CsrMatrix<T>& s) {
+    const index_t rows = s.rows();
+    auto row_max_h = ws_.acquire_vec(rows);
+    std::vector<T>& row_max = *row_max_h;
+    std::fill(row_max.begin(), row_max.end(), -std::numeric_limits<T>::infinity());
     for (index_t i = 0; i < rows; ++i) {
-      for (index_t e = e_loc.row_begin(i); e < e_loc.row_end(i); ++e) {
+      for (index_t e = s.row_begin(i); e < s.row_end(i); ++e) {
         row_max[static_cast<std::size_t>(i)] =
-            std::max(row_max[static_cast<std::size_t>(i)], e_loc.val_at(e));
+            std::max(row_max[static_cast<std::size_t>(i)], s.val_at(e));
       }
     }
     row_comm_.allreduce_max(std::span<T>(row_max));
-    CsrMatrix<T> s = e_loc;
     auto v = s.vals_mutable();
-    std::vector<T> row_sum(static_cast<std::size_t>(rows), T(0));
+    auto row_sum_h = ws_.acquire_vec(rows);
+    std::vector<T>& row_sum = *row_sum_h;
+    std::fill(row_sum.begin(), row_sum.end(), T(0));
     for (index_t i = 0; i < rows; ++i) {
       const T mx = row_max[static_cast<std::size_t>(i)];
       for (index_t e = s.row_begin(i); e < s.row_end(i); ++e) {
-        const T ex = std::exp(e_loc.val_at(e) - mx);
+        const T ex = std::exp(v[static_cast<std::size_t>(e)] - mx);
         v[static_cast<std::size_t>(e)] = ex;
         row_sum[static_cast<std::size_t>(i)] += ex;
       }
@@ -154,7 +174,6 @@ class DistMultiHeadGatEngine {
         v[static_cast<std::size_t>(e)] *= inv;
       }
     }
-    return s;
   }
 
   DenseMatrix<T> layer_forward(const MultiHeadGatLayer<T>& layer,
@@ -165,51 +184,55 @@ class DistMultiHeadGatEngine {
     const T head_scale = layer.combine() == HeadCombine::kAverage
                              ? T(1) / static_cast<T>(layer.num_heads())
                              : T(1);
-    DenseMatrix<T> z_r(ri_.size(), out, T(0));
-    if (cache) {
-      cache->h_b = h_b;
-      cache->heads.assign(static_cast<std::size_t>(layer.num_heads()),
-                          typename DistMultiHeadCache<T>::Head{});
-    }
+    auto z_r_h = ws_.acquire_dense(ri_.size(), out);
+    DenseMatrix<T>& z_r = *z_r_h;
+    z_r.fill(T(0));
+    // Per-head intermediates live in the cache slots (or a throwaway scratch
+    // in inference mode), overwritten in place across steps and heads.
+    DistMultiHeadCache<T> scratch;
+    DistMultiHeadCache<T>& c = cache ? *cache : scratch;
+    if (cache) c.h_b = h_b;
+    c.heads.resize(static_cast<std::size_t>(layer.num_heads()));
+    auto partial_h = ws_.acquire_dense(ri_.size(), k_head);
+    DenseMatrix<T>& partial = *partial_h;
     for (int hd = 0; hd < layer.num_heads(); ++hd) {
+      auto& hc = c.heads[static_cast<std::size_t>(hd)];
       DenseMatrix<T> w = layer.head(hd).w;
       world_.broadcast(w.flat(), 0);
       std::vector<T> a = layer.head(hd).a;
       world_.broadcast(std::span<T>(a), 0);
 
-      DenseMatrix<T> hp_b;
-      std::vector<T> s1_b, s2_b;
+      std::vector<T> s1_b;
       {
         comm::ComputeRegion t(world_.stats());
-        hp_b = matmul(h_b, w);
+        matmul(h_b, w, hc.hp_b);
         const std::span<const T> a_all(a);
-        s1_b = matvec(hp_b, a_all.subspan(0, static_cast<std::size_t>(k_head)));
-        s2_b = matvec(hp_b, a_all.subspan(static_cast<std::size_t>(k_head)));
+        s1_b = matvec(hc.hp_b, a_all.subspan(0, static_cast<std::size_t>(k_head)));
+        matvec(hc.hp_b, a_all.subspan(static_cast<std::size_t>(k_head)), hc.s2_b);
       }
-      const std::vector<T> s1_r = partner_exchange_vec(s1_b, ri_.size());
+      partner_exchange_vec(s1_b, ri_.size(), hc.s1_r);
 
-      CsrMatrix<T> scores_pre = a_loc_;
-      CsrMatrix<T> e_loc = a_loc_;
       {
         comm::ComputeRegion t(world_.stats());
-        auto pre = scores_pre.vals_mutable();
-        auto ev = e_loc.vals_mutable();
+        hc.scores_pre_loc = a_loc_;
+        hc.psi_loc = a_loc_;
+        auto pre = hc.scores_pre_loc.vals_mutable();
+        auto ev = hc.psi_loc.vals_mutable();
         const T slope = layer.attention_slope();
         for (index_t i = 0; i < a_loc_.rows(); ++i) {
-          const T s1i = s1_r[static_cast<std::size_t>(i)];
+          const T s1i = hc.s1_r[static_cast<std::size_t>(i)];
           for (index_t e = a_loc_.row_begin(i); e < a_loc_.row_end(i); ++e) {
-            const T c = s1i + s2_b[static_cast<std::size_t>(a_loc_.col_at(e))];
-            pre[static_cast<std::size_t>(e)] = c;
+            const T cv = s1i + hc.s2_b[static_cast<std::size_t>(a_loc_.col_at(e))];
+            pre[static_cast<std::size_t>(e)] = cv;
             ev[static_cast<std::size_t>(e)] =
-                a_loc_.val_at(e) * (c > T(0) ? c : slope * c);
+                a_loc_.val_at(e) * (cv > T(0) ? cv : slope * cv);
           }
         }
       }
-      CsrMatrix<T> psi_loc = dist_row_softmax(e_loc);
-      DenseMatrix<T> partial;
+      dist_row_softmax_inplace(hc.psi_loc);
       {
         comm::ComputeRegion t(world_.stats());
-        partial = spmm(psi_loc, hp_b);
+        spmm(hc.psi_loc, hc.hp_b, partial);
       }
       row_comm_.allreduce_sum(partial.flat());
       {
@@ -223,22 +246,13 @@ class DistMultiHeadGatEngine {
           for (index_t j = 0; j < k_head; ++j) dst[j] += head_scale * src[j];
         }
       }
-      if (cache) {
-        auto& hc = cache->heads[static_cast<std::size_t>(hd)];
-        hc.psi_loc = std::move(psi_loc);
-        hc.scores_pre_loc = std::move(scores_pre);
-        hc.hp_b = std::move(hp_b);
-        hc.s1_r = s1_r;
-        hc.s2_b = std::move(s2_b);
-      }
     }
-    DenseMatrix<T> z_b = partner_exchange(z_r, cj_.size());
+    partner_exchange(z_r, cj_.size(), c.z_b);
     DenseMatrix<T> h_out;
     {
       comm::ComputeRegion t(world_.stats());
-      h_out = activate(layer.activation(), z_b, T(0.01));
+      activate(layer.activation(), c.z_b, h_out, T(0.01));
     }
-    if (cache) cache->z_b = std::move(z_b);
     return h_out;
   }
 
@@ -342,6 +356,8 @@ class DistMultiHeadGatEngine {
   BlockRange ri_, cj_;
   MultiHeadGat<T>& model_;
   CsrMatrix<T> a_loc_;
+  Workspace<T> ws_;
+  std::vector<DistMultiHeadCache<T>> caches_;
 };
 
 }  // namespace agnn::dist

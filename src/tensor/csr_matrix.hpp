@@ -77,6 +77,19 @@ class CsrMatrix {
   index_t cols() const { return n_cols_; }
   index_t nnz() const { return static_cast<index_t>(col_idx_.size()); }
 
+  // Backing-storage capacities, used by the Workspace pool to decide whether
+  // an existing buffer can absorb a pattern without allocating.
+  index_t nnz_capacity() const { return static_cast<index_t>(vals_.capacity()); }
+  index_t rows_capacity() const {
+    return static_cast<index_t>(row_ptr_.capacity()) - 1;
+  }
+
+  void reserve(index_t rows, index_t nnz) {
+    row_ptr_.reserve(static_cast<std::size_t>(rows + 1));
+    col_idx_.reserve(static_cast<std::size_t>(nnz));
+    vals_.reserve(static_cast<std::size_t>(nnz));
+  }
+
   std::span<const index_t> row_ptr() const { return row_ptr_; }
   std::span<const index_t> col_idx() const { return col_idx_; }
   std::span<const T> vals() const { return vals_; }
@@ -104,24 +117,37 @@ class CsrMatrix {
 
   // Transpose via a counting pass; O(nnz + n). The backward pass runs on the
   // reversed graph (Section 5.2), so this is on the training hot path.
-  CsrMatrix transposed() const {
-    CsrMatrix t;
-    t.n_rows_ = n_cols_;
-    t.n_cols_ = n_rows_;
-    t.row_ptr_.assign(static_cast<std::size_t>(n_cols_ + 1), 0);
-    t.col_idx_.resize(col_idx_.size());
-    t.vals_.resize(vals_.size());
-    for (const index_t c : col_idx_) t.row_ptr_[static_cast<std::size_t>(c) + 1]++;
-    for (std::size_t i = 1; i < t.row_ptr_.size(); ++i) t.row_ptr_[i] += t.row_ptr_[i - 1];
-    std::vector<index_t> next(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  //
+  // The out-parameter form writes into caller-owned storage and allocates
+  // nothing once `out`'s buffers have the capacity (Workspace-friendly). It
+  // avoids the usual scratch cursor vector: row_ptr_ entries themselves serve
+  // as insertion cursors, then get shifted back down by one at the end.
+  void transposed_into(CsrMatrix& out) const {
+    AGNN_ASSERT(&out != this, "transposed_into cannot alias its input");
+    out.n_rows_ = n_cols_;
+    out.n_cols_ = n_rows_;
+    out.row_ptr_.assign(static_cast<std::size_t>(n_cols_ + 1), 0);
+    out.col_idx_.resize(col_idx_.size());
+    out.vals_.resize(vals_.size());
+    auto& rp = out.row_ptr_;
+    for (const index_t c : col_idx_) rp[static_cast<std::size_t>(c) + 1]++;
+    for (std::size_t i = 1; i < rp.size(); ++i) rp[i] += rp[i - 1];
     for (index_t i = 0; i < n_rows_; ++i) {
       for (index_t e = row_begin(i); e < row_end(i); ++e) {
         const index_t c = col_at(e);
-        const index_t pos = next[static_cast<std::size_t>(c)]++;
-        t.col_idx_[static_cast<std::size_t>(pos)] = i;
-        t.vals_[static_cast<std::size_t>(pos)] = val_at(e);
+        const index_t pos = rp[static_cast<std::size_t>(c)]++;
+        out.col_idx_[static_cast<std::size_t>(pos)] = i;
+        out.vals_[static_cast<std::size_t>(pos)] = val_at(e);
       }
     }
+    // Each rp[c] has advanced to rp[c+1]'s final value; shift back down.
+    for (std::size_t c = rp.size() - 1; c > 0; --c) rp[c] = rp[c - 1];
+    rp[0] = 0;
+  }
+
+  CsrMatrix transposed() const {
+    CsrMatrix t;
+    transposed_into(t);
     return t;
   }
 

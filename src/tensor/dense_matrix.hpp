@@ -39,6 +39,24 @@ class DenseMatrix {
   index_t size() const { return rows_ * cols_; }
   bool empty() const { return data_.empty(); }
 
+  // Element capacity of the backing storage. A matrix resized within its
+  // capacity performs no heap allocation — the contract the Workspace buffer
+  // pool is built on.
+  index_t capacity() const { return static_cast<index_t>(data_.capacity()); }
+
+  void reserve(index_t elems) { data_.reserve(static_cast<std::size_t>(elems)); }
+
+  // Reshape in place, reusing the backing storage. Contents after a resize
+  // are unspecified (old values are retained where sizes overlap); callers
+  // are expected to overwrite every element — this is the entry point of the
+  // out-parameter kernel overloads.
+  void resize(index_t rows, index_t cols) {
+    AGNN_ASSERT(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(static_cast<std::size_t>(rows * cols));
+  }
+
   T& operator()(index_t i, index_t j) {
     AGNN_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_, "index out of range");
     return data_[static_cast<std::size_t>(i * cols_ + j)];

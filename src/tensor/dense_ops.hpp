@@ -5,11 +5,19 @@
 // All O(n*k) and larger loops are OpenMP-parallel over rows; feature
 // dimensions (k) are kept in the innermost loop so the compiler can
 // vectorize over the contiguous row storage.
+//
+// Every kernel has an out-parameter overload writing into caller-provided
+// storage (no allocation within capacity); the by-value signatures are thin
+// wrappers. Out-parameters must not alias inputs unless noted.
 #pragma once
 
 #include <cmath>
 #include <numeric>
 #include <vector>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
 
 #include "tensor/dense_matrix.hpp"
 
@@ -17,35 +25,60 @@ namespace agnn {
 
 // C = A * B                                                     (MM, Table 2)
 template <typename T>
-DenseMatrix<T> matmul(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+void matmul(const DenseMatrix<T>& a, const DenseMatrix<T>& b, DenseMatrix<T>& c) {
   AGNN_ASSERT(a.cols() == b.rows(), "matmul: inner dimensions must agree");
-  DenseMatrix<T> c(a.rows(), b.cols(), T(0));
+  AGNN_ASSERT(&c != &a && &c != &b, "matmul: output cannot alias an input");
   const index_t n = a.rows(), k = a.cols(), m = b.cols();
+  c.resize(n, m);
 #pragma omp parallel for schedule(static)
   for (index_t i = 0; i < n; ++i) {
     T* ci = c.data() + i * m;
     const T* ai = a.data() + i * k;
+    for (index_t j = 0; j < m; ++j) ci[j] = T(0);
     for (index_t l = 0; l < k; ++l) {
       const T ail = ai[l];
       const T* bl = b.data() + l * m;
       for (index_t j = 0; j < m; ++j) ci[j] += ail * bl[j];
     }
   }
+}
+
+template <typename T>
+DenseMatrix<T> matmul(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+  DenseMatrix<T> c;
+  matmul(a, b, c);
   return c;
 }
 
 // C = A^T * B  (used for weight gradients Y = H^T (...) G)
 template <typename T>
-DenseMatrix<T> matmul_tn(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+void matmul_tn(const DenseMatrix<T>& a, const DenseMatrix<T>& b, DenseMatrix<T>& c) {
   AGNN_ASSERT(a.rows() == b.rows(), "matmul_tn: row counts must agree");
+  AGNN_ASSERT(&c != &a && &c != &b, "matmul_tn: output cannot alias an input");
   const index_t n = a.rows(), ka = a.cols(), kb = b.cols();
-  DenseMatrix<T> c(ka, kb, T(0));
+  c.resize(ka, kb);
+  c.fill(T(0));
   // ka, kb are feature dimensions (small); parallelize the reduction over n
-  // with per-thread accumulators to avoid atomics.
+  // with per-thread accumulators, then reduce them in thread order so the
+  // result is deterministic for a fixed thread count (the by-value and
+  // out-parameter paths must match bitwise).
+#if defined(_OPENMP)
+  const int n_threads = omp_get_max_threads();
+#else
+  const int n_threads = 1;
+#endif
+  std::vector<DenseMatrix<T>> locals(static_cast<std::size_t>(n_threads));
 #pragma omp parallel
   {
-    DenseMatrix<T> local(ka, kb, T(0));
-#pragma omp for schedule(static) nowait
+#if defined(_OPENMP)
+    const int tid = omp_get_thread_num();
+#else
+    const int tid = 0;
+#endif
+    DenseMatrix<T>& local = locals[static_cast<std::size_t>(tid)];
+    local.resize(ka, kb);
+    local.fill(T(0));
+#pragma omp for schedule(static)
     for (index_t i = 0; i < n; ++i) {
       const T* ai = a.data() + i * ka;
       const T* bi = b.data() + i * kb;
@@ -55,20 +88,27 @@ DenseMatrix<T> matmul_tn(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
         for (index_t j = 0; j < kb; ++j) row[j] += ail * bi[j];
       }
     }
-#pragma omp critical
-    {
-      for (index_t p = 0; p < c.size(); ++p) c.data()[p] += local.data()[p];
-    }
   }
+  for (const auto& local : locals) {
+    if (local.size() != c.size()) continue;  // thread never entered the region
+    for (index_t p = 0; p < c.size(); ++p) c.data()[p] += local.data()[p];
+  }
+}
+
+template <typename T>
+DenseMatrix<T> matmul_tn(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+  DenseMatrix<T> c;
+  matmul_tn(a, b, c);
   return c;
 }
 
 // C = A * B^T  (used when multiplying by W^T in backward passes)
 template <typename T>
-DenseMatrix<T> matmul_nt(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+void matmul_nt(const DenseMatrix<T>& a, const DenseMatrix<T>& b, DenseMatrix<T>& c) {
   AGNN_ASSERT(a.cols() == b.cols(), "matmul_nt: column counts must agree");
+  AGNN_ASSERT(&c != &a && &c != &b, "matmul_nt: output cannot alias an input");
   const index_t n = a.rows(), k = a.cols(), m = b.rows();
-  DenseMatrix<T> c(n, m, T(0));
+  c.resize(n, m);
 #pragma omp parallel for schedule(static)
   for (index_t i = 0; i < n; ++i) {
     const T* ai = a.data() + i * k;
@@ -80,23 +120,36 @@ DenseMatrix<T> matmul_nt(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
       ci[j] = acc;
     }
   }
+}
+
+template <typename T>
+DenseMatrix<T> matmul_nt(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+  DenseMatrix<T> c;
+  matmul_nt(a, b, c);
   return c;
 }
 
 template <typename T>
-DenseMatrix<T> transpose(const DenseMatrix<T>& a) {
-  DenseMatrix<T> c(a.cols(), a.rows());
+void transpose(const DenseMatrix<T>& a, DenseMatrix<T>& c) {
+  AGNN_ASSERT(&c != &a, "transpose: output cannot alias the input");
+  c.resize(a.cols(), a.rows());
 #pragma omp parallel for schedule(static)
   for (index_t i = 0; i < a.rows(); ++i)
     for (index_t j = 0; j < a.cols(); ++j) c(j, i) = a(i, j);
+}
+
+template <typename T>
+DenseMatrix<T> transpose(const DenseMatrix<T>& a) {
+  DenseMatrix<T> c;
+  transpose(a, c);
   return c;
 }
 
 // y = A * x (matrix-vector; used for s = H' a in GAT)
 template <typename T>
-std::vector<T> matvec(const DenseMatrix<T>& a, std::span<const T> x) {
+void matvec(const DenseMatrix<T>& a, std::span<const T> x, std::vector<T>& y) {
   AGNN_ASSERT(a.cols() == static_cast<index_t>(x.size()), "matvec: dimension mismatch");
-  std::vector<T> y(static_cast<std::size_t>(a.rows()), T(0));
+  y.resize(static_cast<std::size_t>(a.rows()));
 #pragma omp parallel for schedule(static)
   for (index_t i = 0; i < a.rows(); ++i) {
     const T* ai = a.data() + i * a.cols();
@@ -104,19 +157,31 @@ std::vector<T> matvec(const DenseMatrix<T>& a, std::span<const T> x) {
     for (index_t j = 0; j < a.cols(); ++j) acc += ai[j] * x[static_cast<std::size_t>(j)];
     y[static_cast<std::size_t>(i)] = acc;
   }
+}
+
+template <typename T>
+std::vector<T> matvec(const DenseMatrix<T>& a, std::span<const T> x) {
+  std::vector<T> y;
+  matvec(a, x, y);
   return y;
 }
 
 // y = A^T * x (used for parameter-vector gradients da = H'^T ds)
 template <typename T>
-std::vector<T> matvec_tn(const DenseMatrix<T>& a, std::span<const T> x) {
+void matvec_tn(const DenseMatrix<T>& a, std::span<const T> x, std::vector<T>& y) {
   AGNN_ASSERT(a.rows() == static_cast<index_t>(x.size()), "matvec_tn: dimension mismatch");
-  std::vector<T> y(static_cast<std::size_t>(a.cols()), T(0));
+  y.assign(static_cast<std::size_t>(a.cols()), T(0));
   for (index_t i = 0; i < a.rows(); ++i) {
     const T xi = x[static_cast<std::size_t>(i)];
     const T* ai = a.data() + i * a.cols();
     for (index_t j = 0; j < a.cols(); ++j) y[static_cast<std::size_t>(j)] += ai[j] * xi;
   }
+}
+
+template <typename T>
+std::vector<T> matvec_tn(const DenseMatrix<T>& a, std::span<const T> x) {
+  std::vector<T> y;
+  matvec_tn(a, x, y);
   return y;
 }
 
@@ -128,31 +193,51 @@ void axpy(T alpha, const DenseMatrix<T>& a, DenseMatrix<T>& c) {
   for (index_t i = 0; i < a.size(); ++i) c.data()[i] += alpha * a.data()[i];
 }
 
+// Element-wise kernels. The output may alias either input (pure per-element
+// reads before writes), which the in-place gradient paths rely on.
 template <typename T>
-DenseMatrix<T> add(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+void add(const DenseMatrix<T>& a, const DenseMatrix<T>& b, DenseMatrix<T>& c) {
   AGNN_ASSERT(a.same_shape(b), "add: shape mismatch");
-  DenseMatrix<T> c(a.rows(), a.cols());
+  c.resize(a.rows(), a.cols());
 #pragma omp parallel for schedule(static)
   for (index_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] + b.data()[i];
+}
+
+template <typename T>
+DenseMatrix<T> add(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+  DenseMatrix<T> c;
+  add(a, b, c);
   return c;
 }
 
 template <typename T>
-DenseMatrix<T> sub(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+void sub(const DenseMatrix<T>& a, const DenseMatrix<T>& b, DenseMatrix<T>& c) {
   AGNN_ASSERT(a.same_shape(b), "sub: shape mismatch");
-  DenseMatrix<T> c(a.rows(), a.cols());
+  c.resize(a.rows(), a.cols());
 #pragma omp parallel for schedule(static)
   for (index_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] - b.data()[i];
+}
+
+template <typename T>
+DenseMatrix<T> sub(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+  DenseMatrix<T> c;
+  sub(a, b, c);
   return c;
 }
 
 // C = A ⊙ B (element-wise Hadamard product)
 template <typename T>
-DenseMatrix<T> hadamard(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+void hadamard(const DenseMatrix<T>& a, const DenseMatrix<T>& b, DenseMatrix<T>& c) {
   AGNN_ASSERT(a.same_shape(b), "hadamard: shape mismatch");
-  DenseMatrix<T> c(a.rows(), a.cols());
+  c.resize(a.rows(), a.cols());
 #pragma omp parallel for schedule(static)
   for (index_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] * b.data()[i];
+}
+
+template <typename T>
+DenseMatrix<T> hadamard(const DenseMatrix<T>& a, const DenseMatrix<T>& b) {
+  DenseMatrix<T> c;
+  hadamard(a, b, c);
   return c;
 }
 
@@ -175,8 +260,8 @@ DenseMatrix<T> replicate_cols(std::span<const T> x, index_t cols) {
 
 // sum(X) = X * 1 (Table 2): per-row summation.
 template <typename T>
-std::vector<T> row_sums(const DenseMatrix<T>& a) {
-  std::vector<T> s(static_cast<std::size_t>(a.rows()), T(0));
+void row_sums(const DenseMatrix<T>& a, std::vector<T>& s) {
+  s.resize(static_cast<std::size_t>(a.rows()));
 #pragma omp parallel for schedule(static)
   for (index_t i = 0; i < a.rows(); ++i) {
     const T* ai = a.data() + i * a.cols();
@@ -184,13 +269,19 @@ std::vector<T> row_sums(const DenseMatrix<T>& a) {
     for (index_t j = 0; j < a.cols(); ++j) acc += ai[j];
     s[static_cast<std::size_t>(i)] = acc;
   }
+}
+
+template <typename T>
+std::vector<T> row_sums(const DenseMatrix<T>& a) {
+  std::vector<T> s;
+  row_sums(a, s);
   return s;
 }
 
 // The vector n of the AGNN formulation: n_i = ||h_i||_2.
 template <typename T>
-std::vector<T> row_l2_norms(const DenseMatrix<T>& a) {
-  std::vector<T> s(static_cast<std::size_t>(a.rows()), T(0));
+void row_l2_norms(const DenseMatrix<T>& a, std::vector<T>& s) {
+  s.resize(static_cast<std::size_t>(a.rows()));
 #pragma omp parallel for schedule(static)
   for (index_t i = 0; i < a.rows(); ++i) {
     const T* ai = a.data() + i * a.cols();
@@ -198,19 +289,31 @@ std::vector<T> row_l2_norms(const DenseMatrix<T>& a) {
     for (index_t j = 0; j < a.cols(); ++j) acc += ai[j] * ai[j];
     s[static_cast<std::size_t>(i)] = std::sqrt(acc);
   }
+}
+
+template <typename T>
+std::vector<T> row_l2_norms(const DenseMatrix<T>& a) {
+  std::vector<T> s;
+  row_l2_norms(a, s);
   return s;
 }
 
 // C = x * y^T (outer product; used by GAT backward: dH' += ds1 a1^T + ...)
 template <typename T>
-DenseMatrix<T> outer(std::span<const T> x, std::span<const T> y) {
-  DenseMatrix<T> c(static_cast<index_t>(x.size()), static_cast<index_t>(y.size()));
+void outer(std::span<const T> x, std::span<const T> y, DenseMatrix<T>& c) {
+  c.resize(static_cast<index_t>(x.size()), static_cast<index_t>(y.size()));
 #pragma omp parallel for schedule(static)
   for (index_t i = 0; i < c.rows(); ++i) {
     T* ci = c.data() + i * c.cols();
     const T xi = x[static_cast<std::size_t>(i)];
     for (index_t j = 0; j < c.cols(); ++j) ci[j] = xi * y[static_cast<std::size_t>(j)];
   }
+}
+
+template <typename T>
+DenseMatrix<T> outer(std::span<const T> x, std::span<const T> y) {
+  DenseMatrix<T> c;
+  outer(x, y, c);
   return c;
 }
 

@@ -9,9 +9,13 @@
 // The *_unfused reference implementations (which do materialize the dense
 // intermediate) live in reference_impls.hpp and exist only for tests and
 // for the fusion-ablation benchmark.
+//
+// Every kernel has an out-parameter overload writing into caller-provided
+// (typically Workspace-pooled) storage; by-value signatures are wrappers.
 #pragma once
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "tensor/csr_matrix.hpp"
@@ -25,6 +29,11 @@ namespace agnn {
 // One fused pass: Psi_ij = A_ij * <h_i, h_j>. This is exactly SDDMM with
 // X = Y = H, fusing the Hadamard filter into the sampling.
 template <typename T>
+void psi_va(const CsrMatrix<T>& a, const DenseMatrix<T>& h, CsrMatrix<T>& out) {
+  sddmm(a, h, h, out);
+}
+
+template <typename T>
 CsrMatrix<T> psi_va(const CsrMatrix<T>& a, const DenseMatrix<T>& h) {
   return sddmm(a, h, h);
 }
@@ -32,14 +41,20 @@ CsrMatrix<T> psi_va(const CsrMatrix<T>& a, const DenseMatrix<T>& h) {
 // AGNN:  Psi = A ⊙ (H H^T ⊘ n n^T),  n_i = ||h_i||_2.
 // The outer product n n^T stays virtual: the fused kernel divides each
 // sampled dot product by n_i * n_j on the fly (cosine similarity per edge).
+// An all-zero feature row makes n_i * n_j vanish; its dot products are then
+// exactly zero too (Cauchy-Schwarz: |dot| <= n_i * n_j), so clamping the
+// denominator to a tiny eps yields 0 for degenerate edges and is bitwise
+// unchanged for every non-degenerate one.
 template <typename T>
-CsrMatrix<T> psi_agnn(const CsrMatrix<T>& a, const DenseMatrix<T>& h) {
+void psi_agnn(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
+              std::span<const T> norms, CsrMatrix<T>& out) {
   AGNN_ASSERT(a.rows() == h.rows() && a.cols() == h.rows(),
               "psi_agnn: A must be n x n matching H's rows");
-  const std::vector<T> norms = row_l2_norms(h);
-  CsrMatrix<T> out = a;
+  AGNN_ASSERT(static_cast<index_t>(norms.size()) == h.rows(), "psi_agnn: norms size");
+  if (&out != &a) out = a;
   auto v = out.vals_mutable();
   const index_t k = h.cols();
+  const T eps = std::numeric_limits<T>::min();  // smallest positive normal
 #pragma omp parallel for schedule(dynamic, 64)
   for (index_t i = 0; i < a.rows(); ++i) {
     const T* hi = h.data() + i * k;
@@ -49,11 +64,22 @@ CsrMatrix<T> psi_agnn(const CsrMatrix<T>& a, const DenseMatrix<T>& h) {
       const T* hj = h.data() + j * k;
       T dot = T(0);
       for (index_t g = 0; g < k; ++g) dot += hi[g] * hj[g];
-      const T denom = ni * norms[static_cast<std::size_t>(j)];
-      v[static_cast<std::size_t>(e)] =
-          a.val_at(e) * (denom > T(0) ? dot / denom : T(0));
+      const T denom = std::max(ni * norms[static_cast<std::size_t>(j)], eps);
+      v[static_cast<std::size_t>(e)] = a.val_at(e) * (dot / denom);
     }
   }
+}
+
+template <typename T>
+void psi_agnn(const CsrMatrix<T>& a, const DenseMatrix<T>& h, CsrMatrix<T>& out) {
+  const std::vector<T> norms = row_l2_norms(h);
+  psi_agnn(a, h, std::span<const T>(norms), out);
+}
+
+template <typename T>
+CsrMatrix<T> psi_agnn(const CsrMatrix<T>& a, const DenseMatrix<T>& h) {
+  CsrMatrix<T> out;
+  psi_agnn(a, h, out);
   return out;
 }
 
@@ -71,13 +97,15 @@ struct GatPsi {
 // s1 1^T + 1 s2^T is sampled at the edges; the softmax is the graph softmax
 // of Section 4.2, fused into the same sparse pattern.
 template <typename T>
-GatPsi<T> psi_gat(const CsrMatrix<T>& a, std::span<const T> s1,
-                  std::span<const T> s2, T leaky_slope) {
+void psi_gat(const CsrMatrix<T>& a, std::span<const T> s1, std::span<const T> s2,
+             T leaky_slope, CsrMatrix<T>& scores_pre, CsrMatrix<T>& psi) {
   AGNN_ASSERT(static_cast<index_t>(s1.size()) == a.rows(), "psi_gat: s1 size");
   AGNN_ASSERT(static_cast<index_t>(s2.size()) == a.cols(), "psi_gat: s2 size");
-  GatPsi<T> out{a, a};
-  auto pre = out.scores_pre.vals_mutable();
-  auto act = out.psi.vals_mutable();
+  AGNN_ASSERT(&scores_pre != &psi, "psi_gat: outputs must be distinct");
+  scores_pre = a;
+  psi = a;
+  auto pre = scores_pre.vals_mutable();
+  auto act = psi.vals_mutable();
 #pragma omp parallel for schedule(dynamic, 64)
   for (index_t i = 0; i < a.rows(); ++i) {
     const T s1i = s1[static_cast<std::size_t>(i)];
@@ -88,7 +116,20 @@ GatPsi<T> psi_gat(const CsrMatrix<T>& a, std::span<const T> s1,
       act[static_cast<std::size_t>(e)] = a.val_at(e) * lrelu;
     }
   }
-  out.psi = row_softmax(out.psi);
+  row_softmax_inplace(psi);
+}
+
+template <typename T>
+void psi_gat(const CsrMatrix<T>& a, std::span<const T> s1, std::span<const T> s2,
+             T leaky_slope, GatPsi<T>& out) {
+  psi_gat(a, s1, s2, leaky_slope, out.scores_pre, out.psi);
+}
+
+template <typename T>
+GatPsi<T> psi_gat(const CsrMatrix<T>& a, std::span<const T> s1,
+                  std::span<const T> s2, T leaky_slope) {
+  GatPsi<T> out;
+  psi_gat(a, s1, s2, leaky_slope, out);
   return out;
 }
 
@@ -97,16 +138,18 @@ GatPsi<T> psi_gat(const CsrMatrix<T>& a, std::span<const T> s1,
 // fusion the execution DAG admits for VA (SDDMM fused into the following
 // SpMM) and is benchmarked against the two-kernel pipeline.
 template <typename T>
-DenseMatrix<T> fused_va_aggregate(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
-                                  const DenseMatrix<T>& x) {
+void fused_va_aggregate(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
+                        const DenseMatrix<T>& x, DenseMatrix<T>& out) {
   AGNN_ASSERT(a.rows() == h.rows() && a.cols() == h.rows(), "fused_va: shape");
   AGNN_ASSERT(a.cols() == x.rows(), "fused_va: aggregation input shape");
+  AGNN_ASSERT(&out != &h && &out != &x, "fused_va: output cannot alias an input");
   const index_t n = a.rows(), k = h.cols(), kx = x.cols();
-  DenseMatrix<T> out(n, kx, T(0));
+  out.resize(n, kx);
 #pragma omp parallel for schedule(dynamic, 64)
   for (index_t i = 0; i < n; ++i) {
     const T* hi = h.data() + i * k;
     T* oi = out.data() + i * kx;
+    for (index_t g = 0; g < kx; ++g) oi[g] = T(0);
     for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) {
       const index_t j = a.col_at(e);
       const T* hj = h.data() + j * k;
@@ -117,18 +160,27 @@ DenseMatrix<T> fused_va_aggregate(const CsrMatrix<T>& a, const DenseMatrix<T>& h
       for (index_t g = 0; g < kx; ++g) oi[g] += score * xj[g];
     }
   }
+}
+
+template <typename T>
+DenseMatrix<T> fused_va_aggregate(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
+                                  const DenseMatrix<T>& x) {
+  DenseMatrix<T> out;
+  fused_va_aggregate(a, h, x, out);
   return out;
 }
 
 // Fully fused GAT layer aggregation: out = sm(A ⊙ LeakyReLU(s1 1^T + 1 s2^T)) * X
 // with per-row score buffers only (O(max row nnz) scratch per thread).
 template <typename T>
-DenseMatrix<T> fused_gat_aggregate(const CsrMatrix<T>& a, std::span<const T> s1,
-                                   std::span<const T> s2, T leaky_slope,
-                                   const DenseMatrix<T>& x) {
+void fused_gat_aggregate(const CsrMatrix<T>& a, std::span<const T> s1,
+                         std::span<const T> s2, T leaky_slope,
+                         const DenseMatrix<T>& x, DenseMatrix<T>& out) {
   AGNN_ASSERT(a.cols() == x.rows(), "fused_gat: aggregation input shape");
+  AGNN_ASSERT(&out != &x, "fused_gat: output cannot alias an input");
   const index_t n = a.rows(), kx = x.cols();
-  DenseMatrix<T> out(n, kx, T(0));
+  out.resize(n, kx);
+  out.fill(T(0));
 #pragma omp parallel
   {
     std::vector<T> scores;
@@ -159,6 +211,14 @@ DenseMatrix<T> fused_gat_aggregate(const CsrMatrix<T>& a, std::span<const T> s1,
       }
     }
   }
+}
+
+template <typename T>
+DenseMatrix<T> fused_gat_aggregate(const CsrMatrix<T>& a, std::span<const T> s1,
+                                   std::span<const T> s2, T leaky_slope,
+                                   const DenseMatrix<T>& x) {
+  DenseMatrix<T> out;
+  fused_gat_aggregate(a, s1, s2, leaky_slope, x, out);
   return out;
 }
 

@@ -3,6 +3,12 @@
 //
 // Everything here operates on the non-zeros of a CSR pattern only — the
 // dense n x n matrices of the formulations stay virtual (Section 6.1).
+//
+// Every kernel has an out-parameter overload that rebuilds `out` in place;
+// within capacity (vector copy-assignment reuses storage) this allocates
+// nothing, which is what the Workspace pool relies on. Out-parameters may
+// alias the sparse inputs unless noted — the value loops read each element
+// before writing it.
 #pragma once
 
 #include <cmath>
@@ -19,12 +25,12 @@ namespace agnn {
 // i.e. the dense product X Y^T sampled at the non-zeros, scaled by the
 // sampling matrix's own values (the Hadamard with A in the formulations).
 template <typename T>
-CsrMatrix<T> sddmm(const CsrMatrix<T>& pattern, const DenseMatrix<T>& x,
-                   const DenseMatrix<T>& y) {
+void sddmm(const CsrMatrix<T>& pattern, const DenseMatrix<T>& x,
+           const DenseMatrix<T>& y, CsrMatrix<T>& out) {
   AGNN_ASSERT(pattern.rows() == x.rows(), "sddmm: row dimension mismatch");
   AGNN_ASSERT(pattern.cols() == y.rows(), "sddmm: col dimension mismatch");
   AGNN_ASSERT(x.cols() == y.cols(), "sddmm: inner dimension mismatch");
-  CsrMatrix<T> out = pattern;
+  if (&out != &pattern) out = pattern;
   const index_t k = x.cols();
   auto v = out.vals_mutable();
 #pragma omp parallel for schedule(dynamic, 64)
@@ -38,57 +44,125 @@ CsrMatrix<T> sddmm(const CsrMatrix<T>& pattern, const DenseMatrix<T>& x,
       v[static_cast<std::size_t>(e)] = pattern.val_at(e) * acc;
     }
   }
+}
+
+template <typename T>
+CsrMatrix<T> sddmm(const CsrMatrix<T>& pattern, const DenseMatrix<T>& x,
+                   const DenseMatrix<T>& y) {
+  CsrMatrix<T> out;
+  sddmm(pattern, x, y, out);
+  return out;
+}
+
+// SDDMM with the sampling values treated as 1: out(i,j) = <x_i, y_j> on the
+// pattern of `pattern`. Equivalent to sddmm(pattern.with_values(1), x, y)
+// but never materializes the all-ones copy — the GAT backward pass calls
+// this every step.
+template <typename T>
+void sddmm_unweighted(const CsrMatrix<T>& pattern, const DenseMatrix<T>& x,
+                      const DenseMatrix<T>& y, CsrMatrix<T>& out) {
+  AGNN_ASSERT(pattern.rows() == x.rows(), "sddmm: row dimension mismatch");
+  AGNN_ASSERT(pattern.cols() == y.rows(), "sddmm: col dimension mismatch");
+  AGNN_ASSERT(x.cols() == y.cols(), "sddmm: inner dimension mismatch");
+  if (&out != &pattern) out = pattern;
+  const index_t k = x.cols();
+  auto v = out.vals_mutable();
+#pragma omp parallel for schedule(dynamic, 64)
+  for (index_t i = 0; i < pattern.rows(); ++i) {
+    const T* xi = x.data() + i * k;
+    for (index_t e = pattern.row_begin(i); e < pattern.row_end(i); ++e) {
+      const index_t j = pattern.col_at(e);
+      const T* yj = y.data() + j * k;
+      T acc = T(0);
+      for (index_t g = 0; g < k; ++g) acc += xi[g] * yj[g];
+      v[static_cast<std::size_t>(e)] = acc;
+    }
+  }
+}
+
+template <typename T>
+CsrMatrix<T> sddmm_unweighted(const CsrMatrix<T>& pattern, const DenseMatrix<T>& x,
+                              const DenseMatrix<T>& y) {
+  CsrMatrix<T> out;
+  sddmm_unweighted(pattern, x, y, out);
   return out;
 }
 
 // Element-wise product of two sparse matrices with identical patterns.
 template <typename T>
-CsrMatrix<T> hadamard_same_pattern(const CsrMatrix<T>& a, const CsrMatrix<T>& b) {
+void hadamard_same_pattern(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                           CsrMatrix<T>& out) {
   AGNN_ASSERT(a.same_pattern(b), "hadamard: patterns must match");
-  CsrMatrix<T> out = a;
+  if (&out != &a && &out != &b) out = a;
   auto v = out.vals_mutable();
+  const auto av = a.vals();
   const auto bv = b.vals();
 #pragma omp parallel for schedule(static)
   for (index_t e = 0; e < a.nnz(); ++e) {
-    v[static_cast<std::size_t>(e)] *= bv[static_cast<std::size_t>(e)];
+    v[static_cast<std::size_t>(e)] =
+        av[static_cast<std::size_t>(e)] * bv[static_cast<std::size_t>(e)];
   }
+}
+
+template <typename T>
+CsrMatrix<T> hadamard_same_pattern(const CsrMatrix<T>& a, const CsrMatrix<T>& b) {
+  CsrMatrix<T> out;
+  hadamard_same_pattern(a, b, out);
   return out;
 }
 
 // Apply a scalar function to every stored value (exp, LeakyReLU, ...).
 template <typename T, typename F>
-CsrMatrix<T> map_values(const CsrMatrix<T>& a, F&& f) {
-  CsrMatrix<T> out = a;
+void map_values(const CsrMatrix<T>& a, F&& f, CsrMatrix<T>& out) {
+  if (&out != &a) out = a;
   auto v = out.vals_mutable();
 #pragma omp parallel for schedule(static)
   for (index_t e = 0; e < a.nnz(); ++e) {
     v[static_cast<std::size_t>(e)] = f(v[static_cast<std::size_t>(e)]);
   }
+}
+
+template <typename T, typename F>
+CsrMatrix<T> map_values(const CsrMatrix<T>& a, F&& f) {
+  CsrMatrix<T> out;
+  map_values(a, f, out);
   return out;
 }
 
 // sum(X) = X * 1 over the sparse pattern: per-row sum of stored values.
 template <typename T>
-std::vector<T> sparse_row_sums(const CsrMatrix<T>& a) {
-  std::vector<T> s(static_cast<std::size_t>(a.rows()), T(0));
+void sparse_row_sums(const CsrMatrix<T>& a, std::vector<T>& s) {
+  s.resize(static_cast<std::size_t>(a.rows()));
 #pragma omp parallel for schedule(dynamic, 64)
   for (index_t i = 0; i < a.rows(); ++i) {
     T acc = T(0);
     for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) acc += a.val_at(e);
     s[static_cast<std::size_t>(i)] = acc;
   }
+}
+
+template <typename T>
+std::vector<T> sparse_row_sums(const CsrMatrix<T>& a) {
+  std::vector<T> s;
+  sparse_row_sums(a, s);
   return s;
 }
 
 // sum^T(X) = 1^T * X: per-column sum of stored values.
 template <typename T>
-std::vector<T> sparse_col_sums(const CsrMatrix<T>& a) {
-  std::vector<T> s(static_cast<std::size_t>(a.cols()), T(0));
+void sparse_col_sums(const CsrMatrix<T>& a, std::vector<T>& s) {
+  s.assign(static_cast<std::size_t>(a.cols()), T(0));
   for (index_t i = 0; i < a.rows(); ++i) {
     for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) {
       s[static_cast<std::size_t>(a.col_at(e))] += a.val_at(e);
     }
   }
+}
+
+template <typename T>
+std::vector<T> sparse_col_sums(const CsrMatrix<T>& a) {
+  std::vector<T> s;
+  sparse_col_sums(a, s);
   return s;
 }
 
@@ -98,24 +172,35 @@ std::vector<T> sparse_col_sums(const CsrMatrix<T>& a) {
 // overflow for large attention scores) and divided by its row sum.
 // The replication rs_n stays virtual: only the n-vector of row sums exists.
 template <typename T>
-CsrMatrix<T> row_softmax(const CsrMatrix<T>& x) {
-  CsrMatrix<T> out = x;
-  auto v = out.vals_mutable();
+void row_softmax_inplace(CsrMatrix<T>& x) {
+  auto v = x.vals_mutable();
 #pragma omp parallel for schedule(dynamic, 64)
   for (index_t i = 0; i < x.rows(); ++i) {
     const index_t b = x.row_begin(i), e = x.row_end(i);
     if (b == e) continue;
-    T mx = x.val_at(b);
-    for (index_t t = b + 1; t < e; ++t) mx = std::max(mx, x.val_at(t));
+    T mx = v[static_cast<std::size_t>(b)];
+    for (index_t t = b + 1; t < e; ++t) mx = std::max(mx, v[static_cast<std::size_t>(t)]);
     T sum = T(0);
     for (index_t t = b; t < e; ++t) {
-      const T ex = std::exp(x.val_at(t) - mx);
+      const T ex = std::exp(v[static_cast<std::size_t>(t)] - mx);
       v[static_cast<std::size_t>(t)] = ex;
       sum += ex;
     }
     const T inv = T(1) / sum;
     for (index_t t = b; t < e; ++t) v[static_cast<std::size_t>(t)] *= inv;
   }
+}
+
+template <typename T>
+void row_softmax(const CsrMatrix<T>& x, CsrMatrix<T>& out) {
+  if (&out != &x) out = x;
+  row_softmax_inplace(out);
+}
+
+template <typename T>
+CsrMatrix<T> row_softmax(const CsrMatrix<T>& x) {
+  CsrMatrix<T> out;
+  row_softmax(x, out);
   return out;
 }
 
@@ -124,9 +209,10 @@ CsrMatrix<T> row_softmax(const CsrMatrix<T>& x) {
 //   dX(i,j) = S(i,j) * (dS(i,j) - sum_j' S(i,j') dS(i,j'))
 // — the per-row softmax Jacobian applied without materializing it.
 template <typename T>
-CsrMatrix<T> row_softmax_backward(const CsrMatrix<T>& s, const CsrMatrix<T>& ds) {
+void row_softmax_backward(const CsrMatrix<T>& s, const CsrMatrix<T>& ds,
+                          CsrMatrix<T>& dx) {
   AGNN_ASSERT(s.same_pattern(ds), "softmax backward: patterns must match");
-  CsrMatrix<T> dx = s;
+  if (&dx != &s && &dx != &ds) dx = s;
   auto v = dx.vals_mutable();
 #pragma omp parallel for schedule(dynamic, 64)
   for (index_t i = 0; i < s.rows(); ++i) {
@@ -138,6 +224,12 @@ CsrMatrix<T> row_softmax_backward(const CsrMatrix<T>& s, const CsrMatrix<T>& ds)
       v[static_cast<std::size_t>(e)] = s.val_at(e) * (ds.val_at(e) - dot);
     }
   }
+}
+
+template <typename T>
+CsrMatrix<T> row_softmax_backward(const CsrMatrix<T>& s, const CsrMatrix<T>& ds) {
+  CsrMatrix<T> dx;
+  row_softmax_backward(s, ds, dx);
   return dx;
 }
 
@@ -145,11 +237,11 @@ CsrMatrix<T> row_softmax_backward(const CsrMatrix<T>& s, const CsrMatrix<T>& ds)
 // division by an outer product (AGNN's ⊘ n n^T) with scale vectors already
 // inverted by the caller.
 template <typename T>
-CsrMatrix<T> scale_rows_cols(const CsrMatrix<T>& a, std::span<const T> scale_row,
-                             std::span<const T> scale_col) {
+void scale_rows_cols(const CsrMatrix<T>& a, std::span<const T> scale_row,
+                     std::span<const T> scale_col, CsrMatrix<T>& out) {
   AGNN_ASSERT(static_cast<index_t>(scale_row.size()) == a.rows(), "row scale size");
   AGNN_ASSERT(static_cast<index_t>(scale_col.size()) == a.cols(), "col scale size");
-  CsrMatrix<T> out = a;
+  if (&out != &a) out = a;
   auto v = out.vals_mutable();
 #pragma omp parallel for schedule(dynamic, 64)
   for (index_t i = 0; i < a.rows(); ++i) {
@@ -159,6 +251,13 @@ CsrMatrix<T> scale_rows_cols(const CsrMatrix<T>& a, std::span<const T> scale_row
           ri * scale_col[static_cast<std::size_t>(a.col_at(e))];
     }
   }
+}
+
+template <typename T>
+CsrMatrix<T> scale_rows_cols(const CsrMatrix<T>& a, std::span<const T> scale_row,
+                             std::span<const T> scale_col) {
+  CsrMatrix<T> out;
+  scale_rows_cols(a, scale_row, scale_col, out);
   return out;
 }
 

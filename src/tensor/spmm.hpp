@@ -4,6 +4,11 @@
 // This is the ⊕ aggregation of the global formulation: out = A ⊕ H.
 // Row-parallel over the sparse matrix; each output row is owned by exactly
 // one thread so no atomics are needed.
+//
+// Every kernel has an out-parameter overload `kernel(..., out)` that resizes
+// `out` in place and overwrites every element — within capacity this
+// performs no heap allocation, which is what the Workspace pool relies on.
+// The by-value signatures are thin wrappers kept for tests and examples.
 #pragma once
 
 #include <vector>
@@ -16,10 +21,11 @@ namespace agnn {
 
 // Generalized SpMM over an arbitrary semiring S.
 template <typename S, typename T>
-DenseMatrix<T> spmm_semiring(const CsrMatrix<T>& a, const DenseMatrix<T>& h) {
+void spmm_semiring(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
+                   DenseMatrix<T>& out) {
   AGNN_ASSERT(a.cols() == h.rows(), "spmm: dimension mismatch");
   const index_t n = a.rows(), k = h.cols();
-  DenseMatrix<T> out(n, k);
+  out.resize(n, k);
 #pragma omp parallel
   {
     std::vector<typename S::Accum> acc(static_cast<std::size_t>(k));
@@ -38,18 +44,25 @@ DenseMatrix<T> spmm_semiring(const CsrMatrix<T>& a, const DenseMatrix<T>& h) {
       for (index_t g = 0; g < k; ++g) oi[g] = S::finalize(acc[static_cast<std::size_t>(g)]);
     }
   }
+}
+
+template <typename S, typename T>
+DenseMatrix<T> spmm_semiring(const CsrMatrix<T>& a, const DenseMatrix<T>& h) {
+  DenseMatrix<T> out;
+  spmm_semiring<S>(a, h, out);
   return out;
 }
 
 // The standard real-semiring SpMM fast path: out = A * H.
 template <typename T>
-DenseMatrix<T> spmm(const CsrMatrix<T>& a, const DenseMatrix<T>& h) {
+void spmm(const CsrMatrix<T>& a, const DenseMatrix<T>& h, DenseMatrix<T>& out) {
   AGNN_ASSERT(a.cols() == h.rows(), "spmm: dimension mismatch");
   const index_t n = a.rows(), k = h.cols();
-  DenseMatrix<T> out(n, k, T(0));
+  out.resize(n, k);
 #pragma omp parallel for schedule(dynamic, 64)
   for (index_t i = 0; i < n; ++i) {
     T* oi = out.data() + i * k;
+    for (index_t g = 0; g < k; ++g) oi[g] = T(0);
     for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) {
       const index_t j = a.col_at(e);
       const T av = a.val_at(e);
@@ -57,6 +70,12 @@ DenseMatrix<T> spmm(const CsrMatrix<T>& a, const DenseMatrix<T>& h) {
       for (index_t g = 0; g < k; ++g) oi[g] += av * hj[g];
     }
   }
+}
+
+template <typename T>
+DenseMatrix<T> spmm(const CsrMatrix<T>& a, const DenseMatrix<T>& h) {
+  DenseMatrix<T> out;
+  spmm(a, h, out);
   return out;
 }
 
@@ -83,25 +102,34 @@ void spmm_accumulate(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
 
 // Runtime-dispatched aggregation, the user-facing ⊕ of the generic model.
 template <typename T>
-DenseMatrix<T> aggregate(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
-                         Aggregation agg) {
+void aggregate(const CsrMatrix<T>& a, const DenseMatrix<T>& h, Aggregation agg,
+               DenseMatrix<T>& out) {
   switch (agg) {
-    case Aggregation::kSum: return spmm(a, h);
-    case Aggregation::kMin: return spmm_semiring<MinPlusSemiring<T>>(a, h);
-    case Aggregation::kMax: return spmm_semiring<MaxPlusSemiring<T>>(a, h);
-    case Aggregation::kMean: return spmm_semiring<AverageSemiring<T>>(a, h);
+    case Aggregation::kSum: spmm(a, h, out); return;
+    case Aggregation::kMin: spmm_semiring<MinPlusSemiring<T>>(a, h, out); return;
+    case Aggregation::kMax: spmm_semiring<MaxPlusSemiring<T>>(a, h, out); return;
+    case Aggregation::kMean: spmm_semiring<AverageSemiring<T>>(a, h, out); return;
   }
   AGNN_ASSERT(false, "unknown aggregation");
-  return {};
+}
+
+template <typename T>
+DenseMatrix<T> aggregate(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
+                         Aggregation agg) {
+  DenseMatrix<T> out;
+  aggregate(a, h, agg, out);
+  return out;
 }
 
 // SpMMM — sparse x dense x dense (Table 2, new kernel identified by the
 // paper). Computes A * H * W choosing the cheaper association order:
 // (A*H)*W costs nnz*k_in + n*k_in*k_out, A*(H*W) costs n*k_in*k_out +
 // nnz*k_out. This realizes the Phi ∘ ⊕ ordering freedom of Section 4.4.
+// The out-parameter form also takes a scratch matrix for the intermediate
+// product so a pooled caller stays allocation-free.
 template <typename T>
-DenseMatrix<T> spmmm(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
-                     const DenseMatrix<T>& w) {
+void spmmm(const CsrMatrix<T>& a, const DenseMatrix<T>& h, const DenseMatrix<T>& w,
+           DenseMatrix<T>& scratch, DenseMatrix<T>& out) {
   const double k_in = static_cast<double>(h.cols());
   const double k_out = static_cast<double>(w.cols());
   const double nnz = static_cast<double>(a.nnz());
@@ -109,20 +137,40 @@ DenseMatrix<T> spmmm(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
   const double cost_agg_first = nnz * k_in + n * k_in * k_out;
   const double cost_proj_first = n * k_in * k_out + nnz * k_out;
   if (cost_agg_first <= cost_proj_first) {
-    return matmul(spmm(a, h), w);
+    spmm(a, h, scratch);
+    matmul(scratch, w, out);
+  } else {
+    matmul(h, w, scratch);
+    spmm(a, scratch, out);
   }
-  return spmm(a, matmul(h, w));
+}
+
+template <typename T>
+DenseMatrix<T> spmmm(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
+                     const DenseMatrix<T>& w) {
+  DenseMatrix<T> scratch, out;
+  spmmm(a, h, w, scratch, out);
+  return out;
 }
 
 // MSpMM — dense x sparse x dense (Table 2). Computes X^T * A * Y, the
 // compute pattern of the backward-pass weight update Y = H^T Psi' G.
 template <typename T>
-DenseMatrix<T> mspmm(const DenseMatrix<T>& x, const CsrMatrix<T>& a,
-                     const DenseMatrix<T>& y) {
+void mspmm(const DenseMatrix<T>& x, const CsrMatrix<T>& a, const DenseMatrix<T>& y,
+           DenseMatrix<T>& scratch, DenseMatrix<T>& out) {
   AGNN_ASSERT(x.rows() == a.rows() && a.cols() == y.rows(),
               "mspmm: dimension mismatch");
   // (A * Y) is tall-skinny; X^T * (A*Y) reduces to a small k x k result.
-  return matmul_tn(x, spmm(a, y));
+  spmm(a, y, scratch);
+  matmul_tn(x, scratch, out);
+}
+
+template <typename T>
+DenseMatrix<T> mspmm(const DenseMatrix<T>& x, const CsrMatrix<T>& a,
+                     const DenseMatrix<T>& y) {
+  DenseMatrix<T> scratch, out;
+  mspmm(x, a, y, scratch, out);
+  return out;
 }
 
 }  // namespace agnn

@@ -93,6 +93,39 @@ TEST(FusedKernels, AgnnScoresAreCosinesInUnitRange) {
   }
 }
 
+// Regression: an all-zero feature row used to produce 0/0 = NaN cosines.
+// Cauchy-Schwarz bounds every dot product by the norm product, so clamping
+// the denominator must give exactly 0 on degenerate edges and leave all
+// other edges untouched.
+TEST(FusedKernels, AgnnDegenerateZeroRowYieldsZeroNotNan) {
+  const auto a = random_sparse<double>(12, 0.4, 41, /*binary=*/true);
+  auto h = random_dense<double>(12, 6, 43);
+  for (index_t f = 0; f < h.cols(); ++f) h(3, f) = 0.0;  // degenerate vertex
+
+  const auto psi = psi_agnn(a, h);
+  for (index_t i = 0; i < psi.rows(); ++i) {
+    for (index_t e = psi.row_begin(i); e < psi.row_end(i); ++e) {
+      const double v = psi.val_at(e);
+      EXPECT_TRUE(std::isfinite(v)) << "(" << i << "," << psi.col_at(e) << ")";
+      if (i == 3 || psi.col_at(e) == 3) {
+        EXPECT_EQ(v, 0.0) << "degenerate edge (" << i << "," << psi.col_at(e) << ")";
+      }
+    }
+  }
+
+  // Non-degenerate edges are bitwise unchanged by the eps clamp: compare
+  // against the same graph with the zero row replaced by a unit vector.
+  auto h2 = h;
+  h2(3, 0) = 1.0;
+  const auto psi2 = psi_agnn(a, h2);
+  for (index_t i = 0; i < psi.rows(); ++i) {
+    for (index_t e = psi.row_begin(i); e < psi.row_end(i); ++e) {
+      if (i == 3 || psi.col_at(e) == 3) continue;
+      EXPECT_EQ(psi.val_at(e), psi2.val_at(e));
+    }
+  }
+}
+
 TEST(FusedKernels, GatPsiRowsAreStochastic) {
   const auto g = testing::small_graph<double>(20, 80, 29);
   const index_t n = 20, k = 5;

@@ -1,0 +1,234 @@
+// Workspace pool semantics plus the two acceptance properties of the
+// workspace-backed kernel API: (a) the out-parameter overloads are bitwise
+// identical to their by-value wrappers for every model kind, and (b) after a
+// warm-up epoch, full-batch training is served entirely from the pool — no
+// new heap blocks, 100% hit rate.
+#include <gtest/gtest.h>
+
+#include "baseline/local_engine.hpp"
+#include "core/model.hpp"
+#include "core/workspace.hpp"
+#include "graph/graph.hpp"
+#include "graph/kronecker.hpp"
+#include "tensor/fused.hpp"
+#include "tensor/sparse_ops.hpp"
+#include "tensor/spmm.hpp"
+#include "test_utils.hpp"
+
+namespace agnn {
+namespace {
+
+using ::agnn::testing::random_dense;
+using ::agnn::testing::random_sparse;
+
+TEST(Workspace, ReleasedBufferIsReacquired) {
+  Workspace<double> ws;
+  double* p = nullptr;
+  {
+    auto h = ws.acquire_dense(32, 8);
+    p = h->data();
+  }
+  EXPECT_EQ(ws.stats().pool_misses, 1u);
+  auto h2 = ws.acquire_dense(32, 8);
+  EXPECT_EQ(h2->data(), p);  // same backing storage, recycled
+  EXPECT_EQ(ws.stats().pool_hits, 1u);
+  EXPECT_EQ(ws.stats().pool_misses, 1u);
+}
+
+TEST(Workspace, BestFitPicksSmallestQualifyingBuffer) {
+  Workspace<double> ws;
+  {
+    auto big = ws.acquire_dense(100, 10);    // 1000 elems
+    auto small = ws.acquire_dense(65, 10);   // 650 elems, same 2^9 bucket
+  }
+  auto h = ws.acquire_dense(60, 10);  // 600 elems: must get the 650-cap buffer
+  EXPECT_EQ(h->capacity(), 650);
+  EXPECT_EQ(ws.stats().pool_hits, 1u);
+}
+
+TEST(Workspace, ResidentBytesOnlyGrowOnMiss) {
+  Workspace<double> ws;
+  { auto h = ws.acquire_vec(1000); }
+  const auto resident = ws.stats().resident_bytes;
+  EXPECT_EQ(resident, 1000 * sizeof(double));
+  { auto h = ws.acquire_vec(900); }  // served from pool
+  EXPECT_EQ(ws.stats().resident_bytes, resident);
+  EXPECT_EQ(ws.stats().peak_resident_bytes, resident);
+}
+
+TEST(Workspace, ResetStatsKeepsResidencyGauges) {
+  Workspace<double> ws;
+  { auto h = ws.acquire_dense(16, 16); }
+  const auto resident = ws.stats().resident_bytes;
+  ws.reset_stats();
+  EXPECT_EQ(ws.stats().acquires, 0u);
+  EXPECT_EQ(ws.stats().pool_misses, 0u);
+  EXPECT_EQ(ws.stats().resident_bytes, resident);
+}
+
+// --- out-param overloads must be bitwise identical to the by-value forms ---
+
+template <typename T>
+void expect_bitwise_equal(const DenseMatrix<T>& a, const DenseMatrix<T>& b,
+                          const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < a.cols(); ++j) {
+      EXPECT_EQ(a(i, j), b(i, j)) << what << " at (" << i << "," << j << ")";
+    }
+  }
+}
+
+template <typename T>
+void expect_bitwise_equal(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
+                          const char* what) {
+  ASSERT_TRUE(a.same_pattern(b)) << what << ": patterns differ";
+  for (index_t e = 0; e < a.nnz(); ++e) {
+    EXPECT_EQ(a.val_at(e), b.val_at(e)) << what << " at nnz " << e;
+  }
+}
+
+TEST(WorkspaceBitwise, TensorKernels) {
+  const auto adj = random_sparse<double>(40, 0.15, 3, /*binary=*/true);
+  const auto h = random_dense<double>(40, 8, 4);
+  const auto g = random_dense<double>(40, 8, 5);
+  Workspace<double> ws;
+
+  {
+    auto out = ws.acquire_dense(40, 8);
+    spmm(adj, h, *out);
+    expect_bitwise_equal(*out, spmm(adj, h), "spmm");
+  }
+  {
+    auto out = ws.acquire_csr_like(adj);
+    sddmm(adj, h, g, *out);
+    expect_bitwise_equal(*out, sddmm(adj, h, g), "sddmm");
+  }
+  {
+    auto out = ws.acquire_csr_like(adj);
+    sddmm_unweighted(adj, h, g, *out);
+    expect_bitwise_equal(*out, sddmm(adj.with_values(1.0), h, g),
+                         "sddmm_unweighted");
+  }
+  {
+    auto out = ws.acquire_csr_like(adj);
+    psi_va(adj, h, *out);
+    expect_bitwise_equal(*out, psi_va(adj, h), "psi_va");
+  }
+  {
+    auto out = ws.acquire_csr_like(adj);
+    psi_agnn(adj, h, *out);
+    expect_bitwise_equal(*out, psi_agnn(adj, h), "psi_agnn");
+  }
+  {
+    Rng rng(6);
+    std::vector<double> a1(8), a2(8);
+    for (auto& v : a1) v = rng.next_uniform(-1.0, 1.0);
+    for (auto& v : a2) v = rng.next_uniform(-1.0, 1.0);
+    const std::vector<double> s1 = matvec(h, std::span<const double>(a1));
+    const std::vector<double> s2 = matvec(h, std::span<const double>(a2));
+    GatPsi<double> out;
+    psi_gat<double>(adj, s1, s2, 0.2, out);
+    const GatPsi<double> ref = psi_gat<double>(adj, s1, s2, 0.2);
+    expect_bitwise_equal(out.psi, ref.psi, "psi_gat.psi");
+    expect_bitwise_equal(out.scores_pre, ref.scores_pre, "psi_gat.scores_pre");
+  }
+  {
+    auto t = ws.acquire_csr(adj.cols(), adj.rows(), adj.nnz());
+    adj.transposed_into(*t);
+    expect_bitwise_equal(*t, adj.transposed(), "transposed");
+  }
+}
+
+class WorkspaceLayerSweep : public ::testing::TestWithParam<ModelKind> {};
+
+// The full layer forward (all five formulations) must produce bit-identical
+// output whether the caller uses the by-value wrapper or threads a workspace.
+TEST_P(WorkspaceLayerSweep, LayerForwardMatchesByValue) {
+  const auto g = testing::small_graph<double>(50, 200, 11);
+  const CsrMatrix<double> adj = GetParam() == ModelKind::kGCN
+                                    ? graph::sym_normalize(g.adj)
+                                    : g.adj;
+  const auto x = random_dense<double>(50, 6, 12);
+
+  GnnConfig cfg;
+  cfg.kind = GetParam();
+  cfg.in_features = 6;
+  cfg.layer_widths = {10, 3};
+  cfg.seed = 21;
+  GnnModel<double> model(cfg);
+
+  Workspace<double> ws;
+  DenseMatrix<double> in = x;
+  for (std::size_t l = 0; l < model.num_layers(); ++l) {
+    const DenseMatrix<double> ref =
+        baseline::local_layer_forward(model.layer(l), adj, in);
+    auto out = ws.acquire_dense(in.rows(), model.layer(l).out_features());
+    baseline::local_layer_forward(model.layer(l), adj, in, ws, *out);
+    expect_bitwise_equal(*out, ref, "layer");
+    in = ref;
+  }
+
+  // Whole-model inference: pooled vs by-value, for both the global-kernel
+  // model path and the per-edge baseline path.
+  DenseMatrix<double> h_ws;
+  model.infer(adj, x, ws, h_ws);
+  expect_bitwise_equal(h_ws, model.infer(adj, x), "model-infer");
+  baseline::local_infer(model, adj, x, ws, h_ws);
+  expect_bitwise_equal(h_ws, baseline::local_infer(model, adj, x),
+                       "local-infer");
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, WorkspaceLayerSweep,
+                         ::testing::Values(ModelKind::kVA, ModelKind::kAGNN,
+                                           ModelKind::kGAT, ModelKind::kGCN,
+                                           ModelKind::kGIN),
+                         [](const auto& param_info) {
+                           return to_string(param_info.param);
+                         });
+
+// --- steady-state training must be allocation-free after warm-up ---
+
+TEST(WorkspaceSteadyState, GatTrainingPoolHitsAreTotalAfterEpochOne) {
+  // Small Kronecker graph through the standard pipeline, as in the paper's
+  // B0 dataset family.
+  const auto el = graph::generate_kronecker({.scale = 6, .edges = 600, .seed = 9});
+  graph::BuildOptions opt;
+  opt.add_self_loops = true;
+  const auto g = graph::build_graph<double>(el, opt);
+  const index_t n = g.num_vertices();
+
+  const auto x = random_dense<double>(n, 8, 13);
+  std::vector<index_t> labels(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) labels[static_cast<std::size_t>(i)] = i % 2;
+
+  GnnConfig cfg;
+  cfg.kind = ModelKind::kGAT;
+  cfg.in_features = 8;
+  cfg.layer_widths = {12, 2};
+  cfg.seed = 5;
+  GnnModel<double> model(cfg);
+  Trainer<double> trainer(model, std::make_unique<AdamOptimizer<double>>(0.01));
+
+  const CsrMatrix<double> adj_t = g.adj.transposed();
+
+  // Epoch 1: warm-up. The pool may (and must) allocate here.
+  trainer.step(g.adj, adj_t, x, labels);
+  EXPECT_GT(trainer.workspace_stats().pool_misses, 0u);
+  const auto resident_after_warmup = trainer.workspace_stats().resident_bytes;
+
+  // Epochs 2-3: every acquire must be a pool hit; no new heap blocks.
+  trainer.workspace().reset_stats();
+  trainer.step(g.adj, adj_t, x, labels);
+  trainer.step(g.adj, adj_t, x, labels);
+  const auto& st = trainer.workspace_stats();
+  EXPECT_GT(st.acquires, 0u);
+  EXPECT_EQ(st.pool_misses, 0u) << "steady-state training allocated";
+  EXPECT_DOUBLE_EQ(st.hit_rate(), 1.0);
+  EXPECT_EQ(st.resident_bytes, resident_after_warmup)
+      << "pool grew after warm-up";
+}
+
+}  // namespace
+}  // namespace agnn
