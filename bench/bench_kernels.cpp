@@ -199,6 +199,26 @@ void SddmmKernel(benchmark::State& state) {
   auto& f = fixture(state.range(0), 0.005, state.range(1));
   for (auto _ : state) benchmark::DoNotOptimize(sddmm(f.g.adj, f.h, f.h));
 }
+// Sparse reductions: row sums walk CSR rows contiguously; col sums scatter
+// into per-thread partials above the parallel-path nnz threshold (1 << 13).
+void SparseRowSums(benchmark::State& state) {
+  auto& f = fixture(state.range(0), 0.005, 16);
+  std::vector<real_t> sums;
+  for (auto _ : state) {
+    sparse_row_sums(f.g.adj, sums);
+    benchmark::DoNotOptimize(sums.data());
+  }
+  state.counters["nnz"] = static_cast<double>(f.g.num_edges());
+}
+void SparseColSums(benchmark::State& state) {
+  auto& f = fixture(state.range(0), 0.005, 16);
+  std::vector<real_t> sums;
+  for (auto _ : state) {
+    sparse_col_sums(f.g.adj, sums);
+    benchmark::DoNotOptimize(sums.data());
+  }
+  state.counters["nnz"] = static_cast<double>(f.g.num_edges());
+}
 
 // ---- workspace-backed (pooled) execution -------------------------------------------
 //
@@ -365,6 +385,8 @@ BENCHMARK(SpgemmMaskedTriangles)->Arg(1024)->Arg(2048);
 BENCHMARK(SparseTranspose)->Arg(2048)->Arg(4096);
 BENCHMARK(GraphSoftmax)->Arg(2048)->Arg(4096);
 BENCHMARK(SddmmKernel)->Args({2048, 16})->Args({2048, 128});
+BENCHMARK(SparseRowSums)->Arg(2048)->Arg(8192);
+BENCHMARK(SparseColSums)->Arg(2048)->Arg(8192);
 
 }  // namespace
 }  // namespace agnn::bench

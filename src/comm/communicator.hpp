@@ -72,7 +72,11 @@ struct GroupContext {
   std::barrier<> sync;
   std::vector<const void*> slots;     // per-rank staging pointer
   std::vector<std::size_t> sizes;     // per-rank staging payload size
-  void* scratch = nullptr;            // collective-owned temporary (rank 0)
+  // Collective-owned accumulator, written by rank 0 between barriers. Owned
+  // by the context (not a raw new/delete pair inside the collective) so an
+  // assertion throw mid-collective cannot leak it, and reused across calls
+  // so steady-state allreduces allocate nothing after warm-up.
+  std::vector<unsigned char> scratch;
   std::vector<int> split_color;
   std::vector<int> split_key;
   std::vector<std::shared_ptr<GroupContext>> subgroup;  // per-rank result of split
@@ -101,9 +105,14 @@ class Communicator {
   void broadcast(std::span<T> buf, int root) {
     AGNN_ASSERT(root >= 0 && root < size(), "broadcast: bad root");
     if (size() == 1) return;
+    ctx_->sizes[static_cast<std::size_t>(rank_)] = buf.size();
     if (rank_ == root) ctx_->slots[static_cast<std::size_t>(root)] = buf.data();
     barrier();
-    if (rank_ != root) {
+    // A receiver larger than the root would read past the root's staging
+    // buffer; every rank checks itself against the root's staged size.
+    AGNN_ASSERT(ctx_->sizes[static_cast<std::size_t>(root)] == buf.size(),
+                "broadcast: buffer size must match the root's");
+    if (rank_ != root && !buf.empty()) {
       const auto* src =
           static_cast<const T*>(ctx_->slots[static_cast<std::size_t>(root)]);
       std::memcpy(buf.data(), src, buf.size_bytes());
@@ -120,6 +129,11 @@ class Communicator {
     ctx_->slots[static_cast<std::size_t>(rank_)] = buf.data();
     ctx_->sizes[static_cast<std::size_t>(rank_)] = buf.size();
     barrier();
+    // Size agreement is asserted on *every* rank (against the root's staged
+    // size) so the offending rank fails loudly, and re-checked by the root
+    // before it dereferences any peer's staging pointer.
+    AGNN_ASSERT(ctx_->sizes[static_cast<std::size_t>(root)] == buf.size(),
+                "reduce: buffer size must match the root's");
     if (rank_ == root) {
       for (int r = 0; r < size(); ++r) {
         if (r == root) continue;
@@ -140,26 +154,23 @@ class Communicator {
     ctx_->slots[static_cast<std::size_t>(rank_)] = buf.data();
     ctx_->sizes[static_cast<std::size_t>(rank_)] = buf.size();
     barrier();
+    AGNN_ASSERT(ctx_->sizes[0] == buf.size(), "allreduce: buffer sizes must match");
     if (rank_ == 0) {
-      auto* acc = new std::vector<T>(buf.size(), T(0));
+      ctx_->scratch.resize(buf.size_bytes());
+      auto* acc = reinterpret_cast<T*>(ctx_->scratch.data());
+      std::fill_n(acc, buf.size(), T(0));
       for (int r = 0; r < size(); ++r) {
         AGNN_ASSERT(ctx_->sizes[static_cast<std::size_t>(r)] == buf.size(),
                     "allreduce: buffer sizes must match");
         const auto* src = static_cast<const T*>(ctx_->slots[static_cast<std::size_t>(r)]);
-        for (std::size_t i = 0; i < buf.size(); ++i) (*acc)[i] += src[i];
+        for (std::size_t i = 0; i < buf.size(); ++i) acc[i] += src[i];
       }
-      ctx_->scratch = acc;
     }
     barrier();
-    {
-      const auto* acc = static_cast<const std::vector<T>*>(ctx_->scratch);
-      std::memcpy(buf.data(), acc->data(), buf.size_bytes());
+    if (!buf.empty()) {
+      std::memcpy(buf.data(), ctx_->scratch.data(), buf.size_bytes());
     }
     barrier();
-    if (rank_ == 0) {
-      delete static_cast<std::vector<T>*>(ctx_->scratch);
-      ctx_->scratch = nullptr;
-    }
     stats().charge(2 * buf.size_bytes(), 2,
                    2 * detail::ceil_log2(static_cast<std::uint64_t>(size())));
   }
@@ -171,30 +182,25 @@ class Communicator {
     ctx_->slots[static_cast<std::size_t>(rank_)] = buf.data();
     ctx_->sizes[static_cast<std::size_t>(rank_)] = buf.size();
     barrier();
+    AGNN_ASSERT(ctx_->sizes[0] == buf.size(), "allreduce_max: buffer sizes must match");
     if (rank_ == 0) {
-      auto* acc = new std::vector<T>(
-          static_cast<const T*>(ctx_->slots[0]),
-          static_cast<const T*>(ctx_->slots[0]) + buf.size());
+      ctx_->scratch.resize(buf.size_bytes());
+      auto* acc = reinterpret_cast<T*>(ctx_->scratch.data());
+      std::copy_n(static_cast<const T*>(ctx_->slots[0]), buf.size(), acc);
       for (int r = 1; r < size(); ++r) {
         AGNN_ASSERT(ctx_->sizes[static_cast<std::size_t>(r)] == buf.size(),
                     "allreduce_max: buffer sizes must match");
         const auto* src = static_cast<const T*>(ctx_->slots[static_cast<std::size_t>(r)]);
         for (std::size_t i = 0; i < buf.size(); ++i) {
-          if (src[i] > (*acc)[i]) (*acc)[i] = src[i];
+          if (src[i] > acc[i]) acc[i] = src[i];
         }
       }
-      ctx_->scratch = acc;
     }
     barrier();
-    {
-      const auto* acc = static_cast<const std::vector<T>*>(ctx_->scratch);
-      std::memcpy(buf.data(), acc->data(), buf.size_bytes());
+    if (!buf.empty()) {
+      std::memcpy(buf.data(), ctx_->scratch.data(), buf.size_bytes());
     }
     barrier();
-    if (rank_ == 0) {
-      delete static_cast<std::vector<T>*>(ctx_->scratch);
-      ctx_->scratch = nullptr;
-    }
     stats().charge(2 * buf.size_bytes(), 2,
                    2 * detail::ceil_log2(static_cast<std::uint64_t>(size())));
   }

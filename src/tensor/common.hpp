@@ -73,8 +73,9 @@ class Rng {
     return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
   }
 
-  // Uniform in [0, bound).
+  // Uniform in [0, bound). `bound` must be positive (modulo by zero is UB).
   std::uint64_t next_bounded(std::uint64_t bound) {
+    AGNN_ASSERT(bound > 0, "next_bounded: bound must be positive");
     // Lemire's nearly-divisionless method is overkill here; modulo bias is
     // below 2^-40 for every bound used in this project.
     return next_u64() % bound;

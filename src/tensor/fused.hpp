@@ -42,9 +42,13 @@ CsrMatrix<T> psi_va(const CsrMatrix<T>& a, const DenseMatrix<T>& h) {
 // The outer product n n^T stays virtual: the fused kernel divides each
 // sampled dot product by n_i * n_j on the fly (cosine similarity per edge).
 // An all-zero feature row makes n_i * n_j vanish; its dot products are then
-// exactly zero too (Cauchy-Schwarz: |dot| <= n_i * n_j), so clamping the
-// denominator to a tiny eps yields 0 for degenerate edges and is bitwise
-// unchanged for every non-degenerate one.
+// exactly zero too (Cauchy-Schwarz: |dot| <= n_i * n_j), so guarding the
+// division on denom > 0 yields 0 for degenerate edges and leaves every
+// non-degenerate edge's arithmetic untouched. (An earlier eps-clamp variant
+// silently flattened edges whose norm product underflows below the smallest
+// normal — subnormal-magnitude features — to ~0 while the unfused reference
+// still recovered the cosine; found by the differential harness, pinned in
+// DiffRegression.AgnnSubnormalNormProductKeepsCosine.)
 template <typename T>
 void psi_agnn(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
               std::span<const T> norms, CsrMatrix<T>& out) {
@@ -54,7 +58,6 @@ void psi_agnn(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
   if (&out != &a) out = a;
   auto v = out.vals_mutable();
   const index_t k = h.cols();
-  const T eps = std::numeric_limits<T>::min();  // smallest positive normal
 #pragma omp parallel for schedule(dynamic, 64)
   for (index_t i = 0; i < a.rows(); ++i) {
     const T* hi = h.data() + i * k;
@@ -64,8 +67,8 @@ void psi_agnn(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
       const T* hj = h.data() + j * k;
       T dot = T(0);
       for (index_t g = 0; g < k; ++g) dot += hi[g] * hj[g];
-      const T denom = std::max(ni * norms[static_cast<std::size_t>(j)], eps);
-      v[static_cast<std::size_t>(e)] = a.val_at(e) * (dot / denom);
+      const T denom = ni * norms[static_cast<std::size_t>(j)];
+      v[static_cast<std::size_t>(e)] = denom > T(0) ? a.val_at(e) * (dot / denom) : T(0);
     }
   }
 }

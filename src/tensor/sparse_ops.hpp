@@ -14,6 +14,10 @@
 #include <cmath>
 #include <vector>
 
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
 #include "tensor/csr_matrix.hpp"
 #include "tensor/dense_matrix.hpp"
 #include "tensor/dense_ops.hpp"
@@ -149,9 +153,52 @@ std::vector<T> sparse_row_sums(const CsrMatrix<T>& a) {
 }
 
 // sum^T(X) = 1^T * X: per-column sum of stored values.
+//
+// Rows cannot be split across threads naively (two rows may hit the same
+// column), so the parallel path accumulates into per-thread partial vectors
+// and merges them column-parallel. The row partition uses a *static*
+// schedule so each thread sums a deterministic row range — the result is
+// bitwise reproducible run to run, which the differential harness and the
+// dist-vs-sequential tests rely on. Small inputs keep the serial path: no
+// partial-buffer allocation, and below the threshold the merge would cost
+// more than the sums.
 template <typename T>
 void sparse_col_sums(const CsrMatrix<T>& a, std::vector<T>& s) {
-  s.assign(static_cast<std::size_t>(a.cols()), T(0));
+  const std::size_t cols = static_cast<std::size_t>(a.cols());
+  s.assign(cols, T(0));
+#if defined(_OPENMP)
+  constexpr index_t kParallelNnzThreshold = index_t(1) << 13;
+  if (omp_get_max_threads() > 1 && a.nnz() >= kParallelNnzThreshold) {
+    std::vector<T> partials;
+    int teams = 1;
+#pragma omp parallel
+    {
+#pragma omp single
+      {
+        teams = omp_get_num_threads();
+        partials.assign(static_cast<std::size_t>(teams) * cols, T(0));
+      }  // implicit barrier: partials is sized before any thread writes
+      T* mine = partials.data() +
+                static_cast<std::size_t>(omp_get_thread_num()) * cols;
+#pragma omp for schedule(static)
+      for (index_t i = 0; i < a.rows(); ++i) {
+        for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) {
+          mine[static_cast<std::size_t>(a.col_at(e))] += a.val_at(e);
+        }
+      }  // implicit barrier: all partials complete before the merge
+#pragma omp for schedule(static)
+      for (index_t j = 0; j < a.cols(); ++j) {
+        T acc = T(0);
+        for (int t = 0; t < teams; ++t) {
+          acc += partials[static_cast<std::size_t>(t) * cols +
+                          static_cast<std::size_t>(j)];
+        }
+        s[static_cast<std::size_t>(j)] = acc;
+      }
+    }
+    return;
+  }
+#endif
   for (index_t i = 0; i < a.rows(); ++i) {
     for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) {
       s[static_cast<std::size_t>(a.col_at(e))] += a.val_at(e);

@@ -1,0 +1,257 @@
+// Seeded adversarial-scenario generator for the differential harness.
+//
+// Every scenario is a pure function of its seed: the graph family, feature
+// regime, and all shape parameters are drawn from an Rng seeded with it, so
+// `diff_fuzz --seed N` reproduces a failing case exactly. The families and
+// regimes target the places where the fused kernels and the distributed
+// engines have historically diverged from the global formulations: empty
+// rows, isolated vertices, self-loops, star graphs with one huge-degree hub,
+// all-zero / subnormal-scale / huge-magnitude features, and exactly-tied
+// attention scores.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/common.hpp"
+#include "tensor/coo_matrix.hpp"
+#include "tensor/csr_matrix.hpp"
+#include "tensor/dense_matrix.hpp"
+
+namespace agnn::diffuzz {
+
+enum class GraphFamily : int {
+  kEmpty = 0,      // n vertices, zero edges: every row and column empty
+  kSingleVertex,   // n = 1, with or without a self-loop
+  kSelfLoopsOnly,  // diagonal-only adjacency
+  kStar,           // vertex 0 adjacent to all others: one huge-degree hub
+  kIsolatedMix,    // random graph with a batch of fully isolated vertices
+  kRandom,         // plain random graph (control case)
+  kFamilyCount
+};
+
+enum class FeatureRegime : int {
+  kUniform = 0,     // U(-1, 1): control case
+  kZeroRows,        // some all-zero feature rows (degenerate norms)
+  kSmallScale,      // magnitudes ~1e-140: norm *products* near underflow
+  kSubnormalScale,  // magnitudes ~1e-160: norm products underflow to subnormal
+  kLargeMagnitude,  // magnitudes ~1e12: stresses softmax shift / overflow paths
+  kConstant,        // every entry identical: exactly duplicated attention scores
+  kRegimeCount
+};
+
+inline const char* to_string(GraphFamily f) {
+  switch (f) {
+    case GraphFamily::kEmpty: return "empty";
+    case GraphFamily::kSingleVertex: return "single-vertex";
+    case GraphFamily::kSelfLoopsOnly: return "self-loops-only";
+    case GraphFamily::kStar: return "star";
+    case GraphFamily::kIsolatedMix: return "isolated-mix";
+    case GraphFamily::kRandom: return "random";
+    default: return "?";
+  }
+}
+
+inline const char* to_string(FeatureRegime r) {
+  switch (r) {
+    case FeatureRegime::kUniform: return "uniform";
+    case FeatureRegime::kZeroRows: return "zero-rows";
+    case FeatureRegime::kSmallScale: return "small-scale";
+    case FeatureRegime::kSubnormalScale: return "subnormal-scale";
+    case FeatureRegime::kLargeMagnitude: return "large-magnitude";
+    case FeatureRegime::kConstant: return "constant";
+    default: return "?";
+  }
+}
+
+// What the scenario will be driven through. Kernel scenarios may shrink to a
+// single vertex and use the full regime list; engine scenarios keep n large
+// enough that every simulated rank owns at least one vertex, and avoid the
+// subnormal regime (subnormal intermediates carry so few mantissa bits that
+// algebraically equivalent summation orders legitimately differ beyond any
+// useful tolerance — the kernel suite covers that range bitwise instead).
+enum class Purpose { kKernels, kEngines };
+
+struct Scenario {
+  std::uint64_t seed = 0;
+  Purpose purpose = Purpose::kKernels;
+  GraphFamily family = GraphFamily::kRandom;
+  FeatureRegime regime = FeatureRegime::kUniform;
+  index_t n = 0;          // vertices
+  index_t k = 0;          // feature width
+  bool self_loops = false;  // add the diagonal on top of the family's edges
+  double density = 0.0;   // for the random families
+  // Engine-only knobs.
+  int kind = 0;           // cycles through ModelKind by the check driver
+  int ranks_grid = 1;     // perfect-square rank count for the 1.5D engines
+  int ranks_row = 2;      // rank count for the 1D engines
+  int layers = 1;
+  bool use_mask = false;  // exercise the masked-loss path
+
+  std::string describe() const {
+    std::string s = std::string("graph=") + diffuzz::to_string(family) +
+                    " features=" + diffuzz::to_string(regime) +
+                    " n=" + std::to_string(n) + " k=" + std::to_string(k);
+    if (self_loops) s += " +self-loops";
+    if (purpose == Purpose::kEngines) {
+      s += " kind=" + std::to_string(kind) +
+           " p_grid=" + std::to_string(ranks_grid) +
+           " p_row=" + std::to_string(ranks_row) +
+           " layers=" + std::to_string(layers);
+      if (use_mask) s += " +mask";
+    }
+    return s;
+  }
+};
+
+inline Scenario make_scenario(std::uint64_t seed, Purpose purpose) {
+  // Salted so the kernel and engine suites draw independent streams.
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(purpose) + 1);
+  Scenario sc;
+  sc.seed = seed;
+  sc.purpose = purpose;
+  sc.family = static_cast<GraphFamily>(
+      rng.next_bounded(static_cast<std::uint64_t>(GraphFamily::kFamilyCount)));
+  if (purpose == Purpose::kKernels) {
+    sc.regime = static_cast<FeatureRegime>(
+        rng.next_bounded(static_cast<std::uint64_t>(FeatureRegime::kRegimeCount)));
+    sc.n = sc.family == GraphFamily::kSingleVertex
+               ? 1
+               : static_cast<index_t>(4 + rng.next_bounded(44));
+    sc.k = static_cast<index_t>(1 + rng.next_bounded(8));
+  } else {
+    // The engines need a model head wide enough for the label space and a
+    // vertex count that keeps every block of a 3x3 grid non-empty.
+    static constexpr FeatureRegime kEngineRegimes[] = {
+        FeatureRegime::kUniform, FeatureRegime::kZeroRows,
+        FeatureRegime::kSmallScale, FeatureRegime::kConstant};
+    sc.regime = kEngineRegimes[rng.next_bounded(4)];
+    if (sc.family == GraphFamily::kSingleVertex) sc.family = GraphFamily::kStar;
+    sc.n = static_cast<index_t>(10 + rng.next_bounded(15));
+    sc.k = static_cast<index_t>(3 + rng.next_bounded(3));
+    sc.kind = static_cast<int>(rng.next_bounded(5));
+    static constexpr int kGridRanks[] = {1, 4, 9};
+    sc.ranks_grid = kGridRanks[rng.next_bounded(3)];
+    sc.ranks_row = static_cast<int>(2 + rng.next_bounded(2));
+    sc.layers = static_cast<int>(1 + rng.next_bounded(2));
+    sc.use_mask = rng.next_bounded(2) == 1;
+  }
+  sc.self_loops = rng.next_bounded(3) == 0;
+  sc.density = 0.05 + 0.4 * rng.next_double();
+  return sc;
+}
+
+// Build the scenario's adjacency structure (binary values). The COO path
+// deduplicates through a set, so every family composes with self_loops.
+template <typename T>
+CsrMatrix<T> make_graph(const Scenario& sc) {
+  Rng rng(sc.seed * 0x2545f4914f6cdd1dULL + 17);
+  std::set<std::pair<index_t, index_t>> edges;
+  switch (sc.family) {
+    case GraphFamily::kEmpty:
+      break;
+    case GraphFamily::kSingleVertex:
+      if (rng.next_bounded(2) == 0) edges.insert({0, 0});
+      break;
+    case GraphFamily::kSelfLoopsOnly:
+      for (index_t i = 0; i < sc.n; ++i) edges.insert({i, i});
+      break;
+    case GraphFamily::kStar:
+      for (index_t j = 1; j < sc.n; ++j) {
+        edges.insert({0, j});
+        edges.insert({j, 0});
+      }
+      break;
+    case GraphFamily::kIsolatedMix: {
+      // Random edges among the first half; the second half stays isolated.
+      const index_t live = std::max<index_t>(1, sc.n / 2);
+      const auto m = static_cast<index_t>(
+          rng.next_bounded(static_cast<std::uint64_t>(3 * live) + 1));
+      for (index_t e = 0; e < m; ++e) {
+        const auto i = static_cast<index_t>(rng.next_bounded(static_cast<std::uint64_t>(live)));
+        const auto j = static_cast<index_t>(rng.next_bounded(static_cast<std::uint64_t>(live)));
+        edges.insert({i, j});
+        edges.insert({j, i});  // symmetric, like the project's graph builders
+      }
+      break;
+    }
+    case GraphFamily::kRandom: {
+      const auto m = static_cast<index_t>(static_cast<double>(sc.n) *
+                                          static_cast<double>(sc.n) * sc.density);
+      for (index_t e = 0; e < m; ++e) {
+        const auto i = static_cast<index_t>(rng.next_bounded(static_cast<std::uint64_t>(sc.n)));
+        const auto j = static_cast<index_t>(rng.next_bounded(static_cast<std::uint64_t>(sc.n)));
+        edges.insert({i, j});
+        edges.insert({j, i});
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  if (sc.self_loops) {
+    for (index_t i = 0; i < sc.n; ++i) edges.insert({i, i});
+  }
+  CooMatrix<T> coo;
+  coo.n_rows = coo.n_cols = sc.n;
+  coo.reserve(edges.size());
+  for (const auto& [i, j] : edges) coo.push_back(i, j, T(1));
+  return CsrMatrix<T>::from_coo(coo);
+}
+
+// Feature magnitudes per regime. Subnormal-scale is tuned so row-norm
+// *products* (~scale^2 * k) drop below the smallest normal double while the
+// norms themselves stay normal — the exact range where psi_agnn's old
+// eps-clamp silently flattened cosines to ~0.
+inline double regime_scale(FeatureRegime r) {
+  switch (r) {
+    case FeatureRegime::kSmallScale: return 1e-140;
+    case FeatureRegime::kSubnormalScale: return 1e-160;
+    case FeatureRegime::kLargeMagnitude: return 1e12;
+    default: return 1.0;
+  }
+}
+
+template <typename T>
+DenseMatrix<T> make_features(const Scenario& sc, index_t rows, index_t cols,
+                             std::uint64_t salt) {
+  Rng rng(sc.seed * 0xda942042e4dd58b5ULL + salt);
+  DenseMatrix<T> h(rows, cols);
+  if (sc.regime == FeatureRegime::kConstant) {
+    h.fill(T(0.625));  // exactly representable: every score collides exactly
+    return h;
+  }
+  const double scale = regime_scale(sc.regime);
+  for (index_t i = 0; i < h.size(); ++i) {
+    h.data()[i] = static_cast<T>(scale * rng.next_uniform(-1.0, 1.0));
+  }
+  if (sc.regime == FeatureRegime::kZeroRows && rows > 0) {
+    const auto nz = 1 + rng.next_bounded(static_cast<std::uint64_t>(rows + 3) / 4);
+    for (std::uint64_t z = 0; z < nz; ++z) {
+      const auto i = static_cast<index_t>(rng.next_bounded(static_cast<std::uint64_t>(rows)));
+      for (index_t f = 0; f < cols; ++f) h(i, f) = T(0);
+    }
+  }
+  return h;
+}
+
+// Per-vertex attention score vectors (the s1/s2 of the GAT formulation).
+// The constant regime yields exact ties across every edge of a row.
+template <typename T>
+std::vector<T> make_scores(const Scenario& sc, index_t n, std::uint64_t salt) {
+  Rng rng(sc.seed * 0x94d049bb133111ebULL + salt);
+  std::vector<T> s(static_cast<std::size_t>(n));
+  if (sc.regime == FeatureRegime::kConstant) {
+    for (auto& v : s) v = T(0.375);
+    return s;
+  }
+  const double scale = regime_scale(sc.regime);
+  for (auto& v : s) v = static_cast<T>(scale * rng.next_uniform(-1.0, 1.0));
+  return s;
+}
+
+}  // namespace agnn::diffuzz

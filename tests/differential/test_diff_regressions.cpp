@@ -1,0 +1,89 @@
+// Named regressions pinned from differential-harness findings, plus a
+// fast replay of the leading fuzz seeds so a broken generator or check is
+// caught by the unit suite even when the big-budget diff_fuzz ctest entries
+// are skipped.
+//
+// Convention: every divergence diff_fuzz finds gets a named TEST here (or in
+// the relevant kernel suite) that reconstructs the scenario directly, so the
+// bug stays covered even if the seed-to-scenario mapping changes later.
+#include <gtest/gtest.h>
+
+#include "differential/checks.hpp"
+
+namespace agnn {
+namespace {
+
+using diffuzz::Failures;
+using diffuzz::Purpose;
+
+// A small ring graph: every vertex has neighbors.
+CsrMatrix<double> ring_graph(index_t n) {
+  CooMatrix<double> coo;
+  coo.n_rows = coo.n_cols = n;
+  for (index_t i = 0; i < n; ++i) {
+    coo.push_back(i, (i + 1) % n, 1.0);
+    coo.push_back((i + 1) % n, i, 1.0);
+  }
+  return CsrMatrix<double>::from_coo(coo);
+}
+
+std::string render(const Failures& f) {
+  std::string s;
+  for (const auto& x : f) s += x.check + ": " + x.detail + "\n";
+  return s;
+}
+
+TEST(DiffRegression, LeadingKernelSeedsReplayClean) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const auto sc = diffuzz::make_scenario(seed, Purpose::kKernels);
+    Failures failures;
+    diffuzz::check_kernels(sc, failures);
+    EXPECT_TRUE(failures.empty())
+        << "seed " << seed << " [" << sc.describe() << "]\n" << render(failures);
+  }
+}
+
+TEST(DiffRegression, LeadingOutparamSeedsReplayClean) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const auto sc = diffuzz::make_scenario(seed, Purpose::kKernels);
+    Failures failures;
+    diffuzz::check_outparam(sc, failures);
+    EXPECT_TRUE(failures.empty())
+        << "seed " << seed << " [" << sc.describe() << "]\n" << render(failures);
+  }
+}
+
+TEST(DiffRegression, LeadingEngineSeedsReplayClean) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto sc = diffuzz::make_scenario(seed, Purpose::kEngines);
+    Failures failures;
+    diffuzz::check_engines(sc, failures);
+    EXPECT_TRUE(failures.empty())
+        << "seed " << seed << " [" << sc.describe() << "]\n" << render(failures);
+  }
+}
+
+// Pinned from the harness's subnormal-scale regime: features around 1e-160
+// make every norm *product* underflow below the smallest normal double while
+// the norms themselves stay normal. The old eps-clamp in psi_agnn
+// (max(n_i*n_j, DBL_MIN)) then divided by DBL_MIN instead of the true
+// subnormal product, flattening cosines of ~1 down to ~5e-13.
+TEST(DiffRegression, AgnnSubnormalNormProductKeepsCosine) {
+  const index_t n = 6, k = 4;
+  // Single shared nonzero column: every pair of rows has cosine exactly 1.
+  DenseMatrix<double> h(n, k, 0.0);
+  for (index_t i = 0; i < n; ++i) h(i, 0) = 1e-160;
+  const auto a = ring_graph(n);
+  const auto psi = psi_agnn(a, h);
+  const auto ref = reference::psi_agnn_unfused(a, h);
+  for (index_t e = 0; e < psi.nnz(); ++e) {
+    // Fused and unfused divide the same subnormal operands: bitwise equal.
+    EXPECT_EQ(psi.val_at(e), ref.val_at(e)) << "edge " << e;
+    // And the cosine survives (subnormal division is imprecise, but nowhere
+    // near the ~1e-13 the clamp used to produce).
+    EXPECT_NEAR(psi.val_at(e), 1.0, 0.05) << "edge " << e;
+  }
+}
+
+}  // namespace
+}  // namespace agnn

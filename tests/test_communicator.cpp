@@ -234,5 +234,64 @@ TEST(CostModel, SnapshotAggregates) {
   EXPECT_DOUBLE_EQ(max_compute_seconds(all), 0.4);
 }
 
+// Collectives must validate buffer-size agreement on every rank. Before the
+// check, a receiver whose buffer was larger than the root's read past the
+// root's staged allocation. An assert failure inside a rank thread escapes
+// the SpmdRuntime body and terminates, so these are death tests.
+TEST(CommunicatorDeath, BroadcastSizeMismatchIsRejected) {
+  EXPECT_DEATH(SpmdRuntime::run(2,
+                                [&](Communicator& c) {
+                                  std::vector<double> buf(
+                                      c.rank() == 0 ? 4u : 8u, 1.0);
+                                  c.broadcast(std::span<double>(buf), 0);
+                                }),
+               "sizes\? must match");
+}
+
+TEST(CommunicatorDeath, ReduceSumSizeMismatchIsRejected) {
+  EXPECT_DEATH(SpmdRuntime::run(3,
+                                [&](Communicator& c) {
+                                  std::vector<int> buf(
+                                      c.rank() == 1 ? 2u : 5u, 1);
+                                  c.reduce_sum(std::span<int>(buf), 0);
+                                }),
+               "sizes\? must match");
+}
+
+TEST(CommunicatorDeath, AllreduceSizeMismatchIsRejected) {
+  EXPECT_DEATH(SpmdRuntime::run(2,
+                                [&](Communicator& c) {
+                                  std::vector<double> buf(
+                                      c.rank() == 0 ? 3u : 6u, 1.0);
+                                  c.allreduce_sum(std::span<double>(buf));
+                                }),
+               "sizes\? must match");
+}
+
+// The allreduce scratch is context-owned and reused; interleaving different
+// element types and sizes (including empty) must stay correct call to call.
+TEST(Communicator, AllreduceScratchSurvivesSizeAndTypeChanges) {
+  SpmdRuntime::run(4, [&](Communicator& c) {
+    std::vector<double> big(1024, 1.0);
+    c.allreduce_sum(std::span<double>(big));
+    for (double v : big) EXPECT_DOUBLE_EQ(v, 4.0);
+
+    std::vector<int> small{c.rank()};
+    c.allreduce_sum(std::span<int>(small));
+    EXPECT_EQ(small[0], 6);
+
+    std::vector<float> mx{static_cast<float>(c.rank())};
+    c.allreduce_max(std::span<float>(mx));
+    EXPECT_FLOAT_EQ(mx[0], 3.0f);
+
+    std::vector<double> empty;
+    c.allreduce_sum(std::span<double>(empty));  // no-op, must not touch scratch state
+
+    std::vector<double> again(17, static_cast<double>(c.rank()));
+    c.allreduce_sum(std::span<double>(again));
+    for (double v : again) EXPECT_DOUBLE_EQ(v, 6.0);
+  });
+}
+
 }  // namespace
 }  // namespace agnn::comm

@@ -234,5 +234,44 @@ TEST(SparseOps, MspmmMatchesExplicit) {
   testing::expect_matrix_near(out, ref, 1e-10, "mspmm");
 }
 
+// Degenerate graphs through the softmax backward — adversarial families of
+// the differential harness (tests/differential), pinned in the unit suite.
+TEST(SparseOps, SoftmaxBackwardSelfLoopOnlyIsExactlyZero) {
+  // Every softmax row has a single edge, so S(i,i) = 1 and the Jacobian
+  // row-dot equals dS(i,i): dX must be exactly 0 at every edge.
+  CooMatrix<double> coo;
+  coo.n_rows = coo.n_cols = 4;
+  for (index_t i = 0; i < 4; ++i) coo.push_back(i, i, 0.5 + 0.25 * double(i));
+  const auto scores = CsrMatrix<double>::from_coo(coo);
+  const auto s = row_softmax(scores);
+  for (index_t e = 0; e < s.nnz(); ++e) EXPECT_EQ(s.val_at(e), 1.0);
+  auto ds = s;
+  {
+    auto v = ds.vals_mutable();
+    Rng rng(89);
+    for (auto& x : v) x = rng.next_uniform(-3, 3);
+  }
+  const auto dx = row_softmax_backward(s, ds);
+  for (index_t e = 0; e < dx.nnz(); ++e) EXPECT_EQ(dx.val_at(e), 0.0);
+}
+
+TEST(SparseOps, SoftmaxBackwardEmptyGraph) {
+  CooMatrix<double> coo;
+  coo.n_rows = coo.n_cols = 0;
+  const auto s = row_softmax(CsrMatrix<double>::from_coo(coo));
+  const auto dx = row_softmax_backward(s, s);
+  EXPECT_EQ(dx.rows(), 0);
+  EXPECT_EQ(dx.nnz(), 0);
+}
+
+TEST(SparseOps, SoftmaxBackwardAllIsolatedVertices) {
+  CooMatrix<double> coo;
+  coo.n_rows = coo.n_cols = 7;  // vertices but no edges: all rows empty
+  const auto s = row_softmax(CsrMatrix<double>::from_coo(coo));
+  const auto dx = row_softmax_backward(s, s);
+  EXPECT_EQ(dx.rows(), 7);
+  EXPECT_EQ(dx.nnz(), 0);
+}
+
 }  // namespace
 }  // namespace agnn
