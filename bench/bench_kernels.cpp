@@ -14,6 +14,7 @@
 
 #include "baseline/local_engine.hpp"
 #include "bench_common.hpp"
+#include "obs/trace.hpp"
 #include "tensor/fused.hpp"
 #include "tensor/reference_impls.hpp"
 #include "tensor/spgemm.hpp"
@@ -333,6 +334,56 @@ DenseMatrix<real_t> spmm_scheduled(const CsrMatrix<real_t>& a,
   return out;
 }
 
+// ---- tracing overhead (the obs/trace.hpp contract) --------------------------------
+//
+// Every kernel above already contains AGNN_TRACE_SCOPE; these two measure what
+// that costs. TraceSpanDisabled is the per-span price every untraced run pays
+// (contract: one relaxed atomic load + branch in the constructor, one
+// predictable member-bool branch in the destructor — single-digit ns, which
+// against the µs-scale kernels above is the <1% overhead the design promises,
+// cf. GatAggregateDeepFused). TraceSpanEnabled is the recording price.
+
+void TraceSpanDisabled(benchmark::State& state) {
+  obs::Tracer::set_enabled(false);
+  for (auto _ : state) {
+    AGNN_TRACE_SCOPE("bench_span", kKernel);
+    benchmark::ClobberMemory();
+  }
+}
+void TraceSpanEnabled(benchmark::State& state) {
+  obs::Tracer::instance().set_buffer_capacity(1u << 16);
+  obs::Tracer::instance().clear();
+  obs::Tracer::set_enabled(true);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    // Drain the thread buffer before it fills so every iteration measures
+    // the accept path, not the drop path. clear() is safe here: same
+    // thread, no span open.
+    if ((++i & ((1u << 14) - 1)) == 0) obs::Tracer::instance().clear();
+    AGNN_TRACE_SCOPE("bench_span", kKernel);
+    benchmark::ClobberMemory();
+  }
+  obs::Tracer::set_enabled(false);
+  obs::Tracer::instance().clear();
+}
+// The fused-GAT microbench with recording on: compare against
+// GatAggregateDeepFused (same math, spans compiled in but disabled) to see
+// the end-to-end tracing cost on a real kernel.
+void GatAggregateDeepFusedTraced(benchmark::State& state) {
+  auto& f = fixture(state.range(0), 0.01, state.range(1));
+  obs::Tracer::instance().set_buffer_capacity(1u << 16);
+  obs::Tracer::instance().clear();
+  obs::Tracer::set_enabled(true);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    if ((++i & ((1u << 12) - 1)) == 0) obs::Tracer::instance().clear();
+    benchmark::DoNotOptimize(
+        fused_gat_aggregate<real_t>(f.g.adj, f.s1, f.s2, 0.2f, f.h));
+  }
+  obs::Tracer::set_enabled(false);
+  obs::Tracer::instance().clear();
+}
+
 void SpmmStatic(benchmark::State& state) {
   auto& f = fixture(4096, 0.005, 16);  // heavy-tail: load imbalance matters
   for (auto _ : state) benchmark::DoNotOptimize(spmm_scheduled<false>(f.g.adj, f.h));
@@ -387,6 +438,9 @@ BENCHMARK(GraphSoftmax)->Arg(2048)->Arg(4096);
 BENCHMARK(SddmmKernel)->Args({2048, 16})->Args({2048, 128});
 BENCHMARK(SparseRowSums)->Arg(2048)->Arg(8192);
 BENCHMARK(SparseColSums)->Arg(2048)->Arg(8192);
+BENCHMARK(TraceSpanDisabled);
+BENCHMARK(TraceSpanEnabled);
+BENCHMARK(GatAggregateDeepFusedTraced)->Args({1024, 16});
 
 }  // namespace
 }  // namespace agnn::bench

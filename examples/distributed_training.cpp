@@ -6,6 +6,9 @@
 // Figure 6 on one machine.
 //
 //   ./build/examples/distributed_training
+//
+// Set AGNN_TRACE=1 to record a per-rank timeline of every kernel,
+// collective, and superstep into trace.json (open in ui.perfetto.dev).
 #include <cstdio>
 
 #include "baseline/dist_local_engine.hpp"
@@ -15,6 +18,7 @@
 #include "dist/dist_engine.hpp"
 #include "graph/graph.hpp"
 #include "graph/kronecker.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -60,6 +64,7 @@ Measured run(const CsrMatrix<float>& adj, const DenseMatrix<float>& x,
 }  // namespace
 
 int main() {
+  const obs::TraceSession trace("trace.json");  // active iff AGNN_TRACE=1
   const index_t k = 16;
   graph::KroneckerParams params;
   params.scale = 11;  // n = 2048

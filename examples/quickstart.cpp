@@ -2,14 +2,20 @@
 // the global tensor formulation, in ~60 lines of user code.
 //
 //   ./build/examples/quickstart
+//   AGNN_TRACE=1 ./build/examples/quickstart   # also writes trace.json
 #include <cstdio>
 
 #include "core/model.hpp"
 #include "graph/graph.hpp"
 #include "graph/kronecker.hpp"
+#include "obs/trace.hpp"
 
 int main() {
   using namespace agnn;
+
+  // 0. Optional tracing: when AGNN_TRACE=1 every kernel and training phase
+  //    below lands in trace.json — open it in https://ui.perfetto.dev.
+  const obs::TraceSession trace("trace.json");
 
   // 1. A graph: Kronecker (heavy-tail), n = 1024, ~20k edges, undirected,
   //    isolated vertices patched, self loops for the attention models.

@@ -22,9 +22,18 @@
 //   -p/--ranks P                     simulated ranks (default 1; perfect
 //                                    square for --engine global)
 //   --engine {global,local}          formulation to execute (default global)
+//   --trace                          also write the profiling repetition's
+//                                    timeline as Chrome/Perfetto JSON
+//                                    (AGNN_TRACE=1 works too)
+//   --trace-out PATH                 trace output path (default trace.json)
+//
+// After the timed repetitions one extra *traced* repetition runs, and its
+// per-collective measured-compute vs modeled-comm table is printed; rows
+// whose ratio deviates more than 2x from the volume model are flagged.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -38,6 +47,8 @@
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
 #include "graph/kronecker.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_report.hpp"
 
 namespace {
 
@@ -130,10 +141,8 @@ int main(int argc, char** argv) {
   cfg.seed = seed + 3;
 
   const comm::CostModel cost{.alpha = 1.5e-6, .beta = 1.0 / 10.0e9};
-  std::vector<double> times;
-  double comm_mb = 0;
-  for (int r = 0; r < warmup + repeat; ++r) {
-    const auto stats = comm::SpmdRuntime::run(ranks, [&](comm::Communicator& world) {
+  const auto run_once = [&]() {
+    return comm::SpmdRuntime::run(ranks, [&](comm::Communicator& world) {
       GnnModel<float> model(cfg);
       if (engine == "global") {
         dist::DistGnnEngine<float> eng(world, adj, model);
@@ -155,6 +164,12 @@ int main(int argc, char** argv) {
         }
       }
     });
+  };
+
+  std::vector<double> times;
+  double comm_mb = 0;
+  for (int r = 0; r < warmup + repeat; ++r) {
+    const auto stats = run_once();
     if (r >= warmup) {
       times.push_back(cost.total_time(stats));
       comm_mb = static_cast<double>(comm::max_bytes_sent(stats)) / 1e6;
@@ -164,5 +179,34 @@ int main(int argc, char** argv) {
   std::printf("modeled step time: median %.3f ms, stddev %.3f ms over %d runs\n",
               1e3 * median(times), 1e3 * stddev(times), repeat);
   std::printf("max per-rank communication: %.3f MB\n", comm_mb);
+
+  // One extra repetition with the tracer on: join the measured kernel time
+  // between collectives (per rank, max-reduced) against the alpha-beta model
+  // of each collective, and flag supersteps off by more than 2x.
+  obs::Tracer::instance().clear();
+  obs::Tracer::set_enabled(true);
+  run_once();
+  obs::Tracer::set_enabled(false);
+  const auto events = obs::Tracer::instance().collect();
+
+  const obs::TraceReport report(cost, 2.0);
+  const auto rows = report.build(events);
+  std::printf("\nper-collective compute vs modeled comm (1 traced %s):\n",
+              inference ? "inference" : "training step");
+  std::ostringstream table;
+  const std::size_t flagged = report.print(table, rows);
+  std::fputs(table.str().c_str(), stdout);
+  if (flagged > 0) {
+    std::printf("%zu collective(s) deviate >2x from the volume model's "
+                "compute/comm balance\n",
+                flagged);
+  }
+
+  if (args.get_flag("--trace") || obs::Tracer::env_wants_trace()) {
+    const std::string path = args.get_string("--trace-out", "trace.json");
+    if (obs::Tracer::instance().write_chrome_json_file(path)) {
+      std::printf("wrote %s — open in https://ui.perfetto.dev\n", path.c_str());
+    }
+  }
   return 0;
 }

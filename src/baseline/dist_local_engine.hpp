@@ -28,6 +28,7 @@
 #include "core/optimizer.hpp"
 #include "core/workspace.hpp"
 #include "dist/process_grid.hpp"
+#include "obs/trace.hpp"
 
 namespace agnn::baseline {
 
@@ -66,6 +67,7 @@ class DistLocalEngine {
 
   DenseMatrix<T> forward(const DenseMatrix<T>& x_global,
                          std::vector<LocalLayerCache<T>>* caches) {
+    AGNN_TRACE_SCOPE("local_dist.forward", kPhase);
     DenseMatrix<T> h_own = x_global.slice_rows(vr_.begin, vr_.end);
     if (caches) caches->resize(model_.num_layers());  // keeps slot storage warm
     for (std::size_t l = 0; l < model_.num_layers(); ++l) {
@@ -87,6 +89,7 @@ class DistLocalEngine {
   StepResult train_step(const DenseMatrix<T>& x_global,
                         std::span<const index_t> labels, Optimizer<T>& opt,
                         std::span<const std::uint8_t> mask = {}) {
+    AGNN_TRACE_SCOPE("local_dist.train_step", kPhase);
     std::vector<LocalLayerCache<T>>& caches = caches_;  // persistent slots
     const DenseMatrix<T> h_own = forward(x_global, &caches);
 
@@ -200,6 +203,7 @@ class DistLocalEngine {
   // directly into rows [own, own + G) of the feature table — no staging
   // buffer, so a reused table means a reused exchange target.
   void fetch_ghost_rows_into(const DenseMatrix<T>& h_own, DenseMatrix<T>& table) {
+    AGNN_TRACE_SCOPE("local_dist.ghost_exchange", kPhase);
     const index_t k = h_own.cols();
     const index_t own = vr_.size();
     auto win = world_.expose(std::span<const T>(h_own.flat()));
@@ -218,6 +222,7 @@ class DistLocalEngine {
   // ghost list order.
   void scatter_ghost_contributions(const DenseMatrix<T>& contrib_ghost,
                                    DenseMatrix<T>& gamma_own) {
+    AGNN_TRACE_SCOPE("local_dist.ghost_scatter", kPhase);
     const index_t k = contrib_ghost.cols();
     auto win = world_.expose(std::span<const T>(contrib_ghost.flat()));
     for (int r = 0; r < p_; ++r) {
@@ -254,6 +259,7 @@ class DistLocalEngine {
 
   DenseMatrix<T> layer_forward(const Layer<T>& layer, const DenseMatrix<T>& h_own,
                                LocalLayerCache<T>* cache) {
+    AGNN_TRACE_SCOPE("local_dist.layer_forward", kPhase);
     DenseMatrix<T> w = layer.weights();
     world_.broadcast(w.flat(), 0);
     std::vector<T> a = layer.attention_params();
@@ -338,6 +344,7 @@ class DistLocalEngine {
 
   DenseMatrix<T> layer_backward(const Layer<T>& layer, const LocalLayerCache<T>& cache,
                                 const DenseMatrix<T>& g_own, LayerGrads<T>& grads) {
+    AGNN_TRACE_SCOPE("local_dist.layer_backward", kPhase);
     const DenseMatrix<T>& w = layer.weights();
     const index_t own = vr_.size();
     const index_t k_in = layer.in_features();

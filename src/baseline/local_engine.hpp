@@ -24,6 +24,7 @@
 #include "core/layer.hpp"
 #include "core/model.hpp"
 #include "core/workspace.hpp"
+#include "obs/trace.hpp"
 
 namespace agnn::baseline {
 
@@ -34,6 +35,7 @@ template <typename T>
 void local_layer_forward(const Layer<T>& layer, const CsrMatrix<T>& adj,
                          const DenseMatrix<T>& h, Workspace<T>& ws,
                          DenseMatrix<T>& out) {
+  AGNN_TRACE_SCOPE("local.layer_forward", kPhase);
   AGNN_ASSERT(&out != &h, "local forward: out must not alias h");
   const index_t n = adj.rows();
   const index_t k_in = h.cols();

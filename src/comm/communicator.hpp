@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "comm/volume_stats.hpp"
+#include "obs/trace.hpp"
 #include "tensor/common.hpp"
 
 namespace agnn::comm {
@@ -103,6 +104,7 @@ class Communicator {
   // ---- broadcast -------------------------------------------------------
   template <typename T>
   void broadcast(std::span<T> buf, int root) {
+    AGNN_TRACE_SCOPE_BYTES("broadcast", kCollective, buf.size_bytes());
     AGNN_ASSERT(root >= 0 && root < size(), "broadcast: bad root");
     if (size() == 1) return;
     ctx_->sizes[static_cast<std::size_t>(rank_)] = buf.size();
@@ -118,12 +120,14 @@ class Communicator {
       std::memcpy(buf.data(), src, buf.size_bytes());
     }
     barrier();
-    stats().charge(buf.size_bytes(), 1, detail::ceil_log2(static_cast<std::uint64_t>(size())));
+    charge_and_mark(buf.size_bytes(), 1,
+                    detail::ceil_log2(static_cast<std::uint64_t>(size())));
   }
 
   // ---- reduce (sum) to root ---------------------------------------------
   template <typename T>
   void reduce_sum(std::span<T> buf, int root) {
+    AGNN_TRACE_SCOPE_BYTES("reduce_sum", kCollective, buf.size_bytes());
     AGNN_ASSERT(root >= 0 && root < size(), "reduce: bad root");
     if (size() == 1) return;
     ctx_->slots[static_cast<std::size_t>(rank_)] = buf.data();
@@ -144,12 +148,14 @@ class Communicator {
       }
     }
     barrier();
-    stats().charge(buf.size_bytes(), 1, detail::ceil_log2(static_cast<std::uint64_t>(size())));
+    charge_and_mark(buf.size_bytes(), 1,
+                    detail::ceil_log2(static_cast<std::uint64_t>(size())));
   }
 
   // ---- allreduce (sum) ----------------------------------------------------
   template <typename T>
   void allreduce_sum(std::span<T> buf) {
+    AGNN_TRACE_SCOPE_BYTES("allreduce_sum", kCollective, 2 * buf.size_bytes());
     if (size() == 1) return;
     ctx_->slots[static_cast<std::size_t>(rank_)] = buf.data();
     ctx_->sizes[static_cast<std::size_t>(rank_)] = buf.size();
@@ -171,13 +177,14 @@ class Communicator {
       std::memcpy(buf.data(), ctx_->scratch.data(), buf.size_bytes());
     }
     barrier();
-    stats().charge(2 * buf.size_bytes(), 2,
-                   2 * detail::ceil_log2(static_cast<std::uint64_t>(size())));
+    charge_and_mark(2 * buf.size_bytes(), 2,
+                    2 * detail::ceil_log2(static_cast<std::uint64_t>(size())));
   }
 
   // ---- allreduce (max) ------------------------------------------------------
   template <typename T>
   void allreduce_max(std::span<T> buf) {
+    AGNN_TRACE_SCOPE_BYTES("allreduce_max", kCollective, 2 * buf.size_bytes());
     if (size() == 1) return;
     ctx_->slots[static_cast<std::size_t>(rank_)] = buf.data();
     ctx_->sizes[static_cast<std::size_t>(rank_)] = buf.size();
@@ -201,8 +208,8 @@ class Communicator {
       std::memcpy(buf.data(), ctx_->scratch.data(), buf.size_bytes());
     }
     barrier();
-    stats().charge(2 * buf.size_bytes(), 2,
-                   2 * detail::ceil_log2(static_cast<std::uint64_t>(size())));
+    charge_and_mark(2 * buf.size_bytes(), 2,
+                    2 * detail::ceil_log2(static_cast<std::uint64_t>(size())));
   }
 
   // ---- allgatherv ---------------------------------------------------------
@@ -211,6 +218,7 @@ class Communicator {
   template <typename T>
   std::vector<T> allgatherv(std::span<const T> in,
                             std::vector<std::size_t>* offsets_out = nullptr) {
+    AGNN_TRACE_SCOPE_BYTES("allgatherv", kCollective, in.size_bytes());
     ctx_->slots[static_cast<std::size_t>(rank_)] = in.data();
     ctx_->sizes[static_cast<std::size_t>(rank_)] = in.size();
     barrier();
@@ -231,8 +239,9 @@ class Communicator {
     }
     barrier();
     if (size() > 1) {
-      stats().charge((total - in.size()) * sizeof(T), static_cast<std::uint64_t>(size() - 1),
-                     detail::ceil_log2(static_cast<std::uint64_t>(size())));
+      charge_and_mark((total - in.size()) * sizeof(T),
+                      static_cast<std::uint64_t>(size() - 1),
+                      detail::ceil_log2(static_cast<std::uint64_t>(size())));
     }
     if (offsets_out) *offsets_out = std::move(offsets);
     return out;
@@ -257,6 +266,8 @@ class Communicator {
     // Copy `out.size()` elements from `src_rank`'s exposed buffer starting
     // at `src_offset` (in elements).
     void get(std::span<T> out, int src_rank, std::size_t src_offset) {
+      AGNN_TRACE_SCOPE_BYTES("window_get", kCollective,
+                             src_rank == c_.rank_ ? 0 : out.size_bytes());
       AGNN_ASSERT(src_rank >= 0 && src_rank < c_.size(), "window get: bad rank");
       const std::size_t avail = c_.ctx_->sizes[static_cast<std::size_t>(src_rank)];
       AGNN_ASSERT(src_offset + out.size() <= avail, "window get: out of range");
@@ -273,8 +284,9 @@ class Communicator {
     void close() {
       if (closed_) return;
       closed_ = true;
+      AGNN_TRACE_SCOPE("window_close", kCollective);
       c_.barrier();
-      c_.stats().charge(0, 0, 1);  // the exchange phase is one superstep
+      c_.charge_and_mark(0, 0, 1);  // the exchange phase is one superstep
     }
 
    private:
@@ -295,6 +307,16 @@ class Communicator {
  private:
   template <typename T>
   friend class Window;
+
+  // Charge the rank and emit a superstep instant carrying the charged
+  // bytes, so a trace ties each boundary to its exact billed volume.
+  void charge_and_mark(std::uint64_t bytes, std::uint64_t msgs,
+                       std::uint64_t steps) {
+    VolumeStats& s = stats();
+    s.charge(bytes, msgs, steps);
+    obs::superstep_mark(bytes,
+                        s.supersteps.load(std::memory_order_relaxed));
+  }
 
   std::shared_ptr<detail::GroupContext> ctx_;
   int rank_;
@@ -355,6 +377,8 @@ class SpmdRuntime {
     threads.reserve(static_cast<std::size_t>(nranks - 1));
     auto rank_main = [&](int r) {
       try {
+        // Tracing: this thread's events render on the rank's track.
+        obs::RankBinding trace_rank(r);
         Communicator c(ctx, r);
         body(c);
       } catch (...) {
@@ -373,7 +397,9 @@ class SpmdRuntime {
     }
     std::vector<VolumeSnapshot> out;
     out.reserve(static_cast<std::size_t>(nranks));
-    for (auto& s : *stats) out.push_back(snapshot(s));
+    // All rank threads are joined: the counters are quiescent, so the
+    // cross-field-consistent snapshot is both available and required here.
+    for (auto& s : *stats) out.push_back(snapshot_quiesced(s));
     return out;
   }
 };

@@ -44,9 +44,33 @@ struct VolumeSnapshot {
   double compute_seconds = 0.0;
 };
 
+// Live-path snapshot. The four fields are loaded one by one with relaxed
+// order while the owning rank (or, for Window gets, a peer) may still be
+// charging, so the result can *tear across fields*: bytes from after a
+// charge paired with messages from before it. Each individual field is
+// still a valid past value — fine for progress displays and monitoring,
+// not for assertions. For exact numbers use snapshot_quiesced() below.
 inline VolumeSnapshot snapshot(const VolumeStats& s) {
-  return {s.bytes_sent.load(), s.messages.load(), s.supersteps.load(),
-          static_cast<double>(s.compute_ns.load()) * 1e-9};
+  return {s.bytes_sent.load(std::memory_order_relaxed),
+          s.messages.load(std::memory_order_relaxed),
+          s.supersteps.load(std::memory_order_relaxed),
+          static_cast<double>(s.compute_ns.load(std::memory_order_relaxed)) *
+              1e-9};
+}
+
+// Quiesced snapshot: cross-field consistent *provided the caller has
+// synchronized with every charging thread* — after a Communicator barrier,
+// or after SpmdRuntime joined its rank threads. The acquire loads pair with
+// the release/seq-cst edges of that synchronization (barrier arrive/wait,
+// thread join), making all charges sequenced-before it visible; no charge
+// can be concurrent, so the fields cannot tear. Asserting code (tests,
+// end-of-run reports) must use this form.
+inline VolumeSnapshot snapshot_quiesced(const VolumeStats& s) {
+  return {s.bytes_sent.load(std::memory_order_acquire),
+          s.messages.load(std::memory_order_acquire),
+          s.supersteps.load(std::memory_order_acquire),
+          static_cast<double>(s.compute_ns.load(std::memory_order_acquire)) *
+              1e-9};
 }
 
 // Thread CPU time of the calling thread, in nanoseconds. Unlike wall time,

@@ -21,6 +21,7 @@
 #include "core/loss.hpp"
 #include "core/optimizer.hpp"
 #include "core/workspace.hpp"
+#include "obs/trace.hpp"
 
 namespace agnn {
 
@@ -69,6 +70,7 @@ class GnnModel {
   // ping-pong between two pooled matrices; all scratch comes from `ws`.
   void infer(const CsrMatrix<T>& adj, const DenseMatrix<T>& x, Workspace<T>& ws,
              DenseMatrix<T>& h_out) const {
+    AGNN_TRACE_SCOPE("model.infer", kPhase);
     if (layers_.size() == 1) {
       layers_[0].forward(adj, x, nullptr, ws, h_out);
       return;
@@ -101,6 +103,7 @@ class GnnModel {
                std::vector<LayerCache<T>>& caches, Workspace<T>& ws,
                DenseMatrix<T>& h_out, double dropout_rate = 0.0,
                std::uint64_t dropout_seed = 0) const {
+    AGNN_TRACE_SCOPE("model.forward", kPhase);
     AGNN_ASSERT(dropout_rate >= 0.0 && dropout_rate < 1.0,
                 "dropout rate must be in [0, 1)");
     caches.resize(layers_.size());  // preserves slot storage across steps
@@ -142,6 +145,7 @@ class GnnModel {
                 const std::vector<LayerCache<T>>& caches,
                 const DenseMatrix<T>& d_h_out, Workspace<T>& ws,
                 std::vector<LayerGrads<T>>& grads) const {
+    AGNN_TRACE_SCOPE("model.backward", kPhase);
     AGNN_ASSERT(caches.size() == layers_.size(), "backward: cache count mismatch");
     grads.resize(layers_.size());
     // One pooled G buffer serves the whole recursion: layer widths vary, but
@@ -217,6 +221,7 @@ class Trainer {
   StepResult step(const CsrMatrix<T>& adj, const CsrMatrix<T>& adj_t,
                   const DenseMatrix<T>& x, std::span<const index_t> labels,
                   std::span<const std::uint8_t> mask = {}) {
+    AGNN_TRACE_SCOPE("trainer.step", kEpoch);
     model_.forward(adj, x, caches_, ws_, h_, dropout_rate_, step_count_++);
     softmax_cross_entropy(h_, labels, loss_, mask);
     model_.backward(adj, adj_t, caches_, loss_.grad, ws_, grads_);
@@ -232,6 +237,7 @@ class Trainer {
     std::vector<T> losses;
     losses.reserve(static_cast<std::size_t>(epochs));
     for (int e = 0; e < epochs; ++e) {
+      AGNN_TRACE_SCOPE("trainer.epoch", kEpoch);
       losses.push_back(step(adj, adj_t, x, labels, mask).loss);
     }
     return losses;

@@ -24,6 +24,7 @@
 #include "core/optimizer.hpp"
 #include "core/workspace.hpp"
 #include "dist/process_grid.hpp"
+#include "obs/trace.hpp"
 
 namespace agnn::dist {
 
@@ -59,6 +60,7 @@ class Dist1dGlobalEngine {
 
   DenseMatrix<T> forward(const DenseMatrix<T>& x_global,
                          std::vector<Dist1dLayerCache<T>>* caches) {
+    AGNN_TRACE_SCOPE("dist1d.forward", kPhase);
     DenseMatrix<T> h_own = x_global.slice_rows(vr_.begin, vr_.end);
     if (caches) caches->resize(model_.num_layers());  // keeps slot storage warm
     for (std::size_t l = 0; l < model_.num_layers(); ++l) {
@@ -74,6 +76,7 @@ class Dist1dGlobalEngine {
   StepResult train_step(const DenseMatrix<T>& x_global,
                         std::span<const index_t> labels, Optimizer<T>& opt,
                         std::span<const std::uint8_t> mask = {}) {
+    AGNN_TRACE_SCOPE("dist1d.train_step", kPhase);
     std::vector<Dist1dLayerCache<T>>& caches = caches_;  // persistent slots
     const DenseMatrix<T> h_own = forward(x_global, &caches);
 
@@ -120,6 +123,7 @@ class Dist1dGlobalEngine {
 
   DenseMatrix<T> layer_forward(const Layer<T>& layer, const DenseMatrix<T>& h_own,
                                Dist1dLayerCache<T>* cache) {
+    AGNN_TRACE_SCOPE("dist1d.layer_forward", kPhase);
     DenseMatrix<T> w = layer.weights();
     world_.broadcast(w.flat(), 0);
     std::vector<T> a = layer.attention_params();
@@ -197,6 +201,7 @@ class Dist1dGlobalEngine {
   DenseMatrix<T> layer_backward(const Layer<T>& layer,
                                 const Dist1dLayerCache<T>& cache,
                                 const DenseMatrix<T>& g_own, LayerGrads<T>& grads) {
+    AGNN_TRACE_SCOPE("dist1d.layer_backward", kPhase);
     const DenseMatrix<T>& w = layer.weights();
     const index_t own = vr_.size();
     const index_t k_in = layer.in_features();

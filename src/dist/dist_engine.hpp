@@ -29,6 +29,7 @@
 #include "core/workspace.hpp"
 #include "dist/process_grid.hpp"
 #include "graph/graph.hpp"
+#include "obs/trace.hpp"
 
 namespace agnn::dist {
 
@@ -88,6 +89,7 @@ class DistGnnEngine {
   // runs in inference mode.
   DenseMatrix<T> forward(const DenseMatrix<T>& x_global,
                          std::vector<DistLayerCache<T>>* caches) {
+    AGNN_TRACE_SCOPE("dist1_5d.forward", kPhase);
     DenseMatrix<T> h_b = x_global.slice_rows(cj_.begin, cj_.end);
     if (caches) caches->resize(model_.num_layers());  // keeps slot storage warm
     for (std::size_t l = 0; l < model_.num_layers(); ++l) {
@@ -116,6 +118,7 @@ class DistGnnEngine {
                         std::span<const index_t> labels,
                         Optimizer<T>& opt,
                         std::span<const std::uint8_t> mask = {}) {
+    AGNN_TRACE_SCOPE("dist1_5d.train_step", kPhase);
     std::vector<DistLayerCache<T>>& caches = caches_;  // persistent slots
     const DenseMatrix<T> h_b = forward(x_global, &caches);
 
@@ -248,6 +251,7 @@ class DistGnnEngine {
 
   DenseMatrix<T> layer_forward(const Layer<T>& layer, const DenseMatrix<T>& h_b,
                                DistLayerCache<T>* cache) {
+    AGNN_TRACE_SCOPE("dist1_5d.layer_forward", kPhase);
     // Model parameters are replicated: broadcast from rank 0 (values are
     // already identical; this charges the O(k^2) parameter-movement term).
     DenseMatrix<T> w = layer.weights();
@@ -374,6 +378,7 @@ class DistGnnEngine {
 
   DenseMatrix<T> layer_backward(const Layer<T>& layer, const DistLayerCache<T>& cache,
                                 const DenseMatrix<T>& g_b, LayerGrads<T>& grads) {
+    AGNN_TRACE_SCOPE("dist1_5d.layer_backward", kPhase);
     const DenseMatrix<T>& w = layer.weights();
     switch (layer.kind()) {
       case ModelKind::kGCN: return backward_gcn(layer, cache, g_b, grads, w);

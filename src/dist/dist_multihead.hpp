@@ -15,6 +15,7 @@
 #include "core/workspace.hpp"
 #include "dist/process_grid.hpp"
 #include "graph/graph.hpp"
+#include "obs/trace.hpp"
 
 namespace agnn::dist {
 
@@ -52,6 +53,7 @@ class DistMultiHeadGatEngine {
 
   DenseMatrix<T> forward(const DenseMatrix<T>& x_global,
                          std::vector<DistMultiHeadCache<T>>* caches) {
+    AGNN_TRACE_SCOPE("dist_mh_gat.forward", kPhase);
     DenseMatrix<T> h_b = x_global.slice_rows(cj_.begin, cj_.end);
     if (caches) caches->resize(model_.num_layers());  // keeps slot storage warm
     for (std::size_t l = 0; l < model_.num_layers(); ++l) {
@@ -78,6 +80,7 @@ class DistMultiHeadGatEngine {
   StepResult train_step(const DenseMatrix<T>& x_global,
                         std::span<const index_t> labels, Optimizer<T>& opt,
                         std::span<const std::uint8_t> mask = {}) {
+    AGNN_TRACE_SCOPE("dist_mh_gat.train_step", kPhase);
     std::vector<DistMultiHeadCache<T>>& caches = caches_;  // persistent slots
     const DenseMatrix<T> h_b = forward(x_global, &caches);
 
@@ -179,6 +182,7 @@ class DistMultiHeadGatEngine {
   DenseMatrix<T> layer_forward(const MultiHeadGatLayer<T>& layer,
                                const DenseMatrix<T>& h_b,
                                DistMultiHeadCache<T>* cache) {
+    AGNN_TRACE_SCOPE("dist_mh_gat.layer_forward", kPhase);
     const index_t k_head = layer.head_features();
     const index_t out = layer.out_features();
     const T head_scale = layer.combine() == HeadCombine::kAverage
@@ -259,6 +263,7 @@ class DistMultiHeadGatEngine {
   DenseMatrix<T> layer_backward(const MultiHeadGatLayer<T>& layer,
                                 const DistMultiHeadCache<T>& cache,
                                 const DenseMatrix<T>& g_b, MultiHeadGrads<T>& grads) {
+    AGNN_TRACE_SCOPE("dist_mh_gat.layer_backward", kPhase);
     const index_t k_head = layer.head_features();
     const index_t out = layer.out_features();
     const T head_scale = layer.combine() == HeadCombine::kAverage

@@ -1,0 +1,180 @@
+// Named metrics registry: one place where the repo's ad-hoc counters —
+// workspace hit/miss/residency, comm::VolumeStats bytes/messages/supersteps,
+// cost-model seconds — meet under stable names, with text and JSON dumps.
+//
+// Counters are monotonically increasing integers (atomic, relaxed — callers
+// may bump them from rank threads); gauges are last-write-wins doubles.
+// Registration is idempotent: asking for an existing name of the same kind
+// returns the same metric object; asking for an existing name of the *other*
+// kind is a programming error and fails the usual AGNN_ASSERT way.
+//
+// Metric objects are reference-stable for the registry's lifetime (std::map
+// node stability), so hot paths may cache `Counter&` and never re-lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "tensor/common.hpp"
+
+namespace agnn::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global() {
+    static MetricsRegistry r;
+    return r;
+  }
+
+  Counter& counter(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = metrics_.try_emplace(std::string(name));
+    if (inserted) {
+      it->second.kind = Kind::kCounter;
+    } else {
+      AGNN_ASSERT(it->second.kind == Kind::kCounter,
+                  "metrics: name already registered as a gauge");
+    }
+    return it->second.counter;
+  }
+
+  Gauge& gauge(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = metrics_.try_emplace(std::string(name));
+    if (inserted) {
+      it->second.kind = Kind::kGauge;
+    } else {
+      AGNN_ASSERT(it->second.kind == Kind::kGauge,
+                  "metrics: name already registered as a counter");
+    }
+    return it->second.gauge;
+  }
+
+  void add(std::string_view name, std::uint64_t v) { counter(name).add(v); }
+  void set(std::string_view name, double v) { gauge(name).set(v); }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return metrics_.size();
+  }
+
+  // `name value` per line, sorted by name (std::map order).
+  std::string dump_text() const {
+    std::ostringstream os;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, m] : metrics_) {
+      os << name << ' ';
+      if (m.kind == Kind::kCounter) {
+        os << m.counter.value();
+      } else {
+        os << m.gauge.value();
+      }
+      os << '\n';
+    }
+    return os.str();
+  }
+
+  // Flat JSON object: {"name": value, ...}, sorted by name.
+  std::string dump_json() const {
+    std::ostringstream os;
+    os << "{";
+    std::lock_guard<std::mutex> lock(mutex_);
+    bool first = true;
+    for (const auto& [name, m] : metrics_) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << name << "\":";
+      if (m.kind == Kind::kCounter) {
+        os << m.counter.value();
+      } else {
+        os << m.gauge.value();
+      }
+    }
+    os << "}";
+    return os.str();
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    metrics_.clear();
+  }
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge };
+  struct Metric {
+    Kind kind = Kind::kCounter;
+    Counter counter;
+    Gauge gauge;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Metric, std::less<>> metrics_;
+};
+
+// ---- importers for the existing ad-hoc stats --------------------------
+// Templates so this header stays dependency-free: any struct with the
+// respective field names qualifies (core::WorkspaceStats,
+// comm::VolumeSnapshot).
+
+// WorkspaceStats → counters under `<prefix>.{acquires,hits,misses,...}`.
+template <typename WorkspaceStatsT>
+void import_workspace_stats(MetricsRegistry& reg, const WorkspaceStatsT& ws,
+                            std::string_view prefix) {
+  const std::string p(prefix);
+  reg.counter(p + ".acquires").set(ws.acquires);
+  reg.counter(p + ".pool_hits").set(ws.pool_hits);
+  reg.counter(p + ".pool_misses").set(ws.pool_misses);
+  reg.counter(p + ".bytes_acquired").set(ws.bytes_acquired);
+  reg.counter(p + ".resident_bytes").set(ws.resident_bytes);
+  reg.counter(p + ".peak_resident_bytes").set(ws.peak_resident_bytes);
+  reg.gauge(p + ".hit_rate").set(ws.hit_rate());
+}
+
+// VolumeSnapshot → counters/gauge under `<prefix>.{bytes_sent,...}`.
+template <typename VolumeSnapshotT>
+void import_volume_snapshot(MetricsRegistry& reg, const VolumeSnapshotT& s,
+                            std::string_view prefix) {
+  const std::string p(prefix);
+  reg.counter(p + ".bytes_sent").set(s.bytes_sent);
+  reg.counter(p + ".messages").set(s.messages);
+  reg.counter(p + ".supersteps").set(s.supersteps);
+  reg.gauge(p + ".compute_seconds").set(s.compute_seconds);
+}
+
+// Alpha-beta cost-model outputs → gauges under `<prefix>.{...}_seconds`.
+inline void import_cost_model(MetricsRegistry& reg, double comm_seconds,
+                              double compute_seconds, double total_seconds,
+                              std::string_view prefix) {
+  const std::string p(prefix);
+  reg.gauge(p + ".modeled_comm_seconds").set(comm_seconds);
+  reg.gauge(p + ".measured_compute_seconds").set(compute_seconds);
+  reg.gauge(p + ".modeled_total_seconds").set(total_seconds);
+}
+
+}  // namespace agnn::obs

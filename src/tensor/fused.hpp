@@ -18,6 +18,7 @@
 #include <limits>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "tensor/csr_matrix.hpp"
 #include "tensor/dense_matrix.hpp"
 #include "tensor/dense_ops.hpp"
@@ -30,6 +31,7 @@ namespace agnn {
 // X = Y = H, fusing the Hadamard filter into the sampling.
 template <typename T>
 void psi_va(const CsrMatrix<T>& a, const DenseMatrix<T>& h, CsrMatrix<T>& out) {
+  AGNN_TRACE_SCOPE("psi_va", kKernel);
   sddmm(a, h, h, out);
 }
 
@@ -52,6 +54,7 @@ CsrMatrix<T> psi_va(const CsrMatrix<T>& a, const DenseMatrix<T>& h) {
 template <typename T>
 void psi_agnn(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
               std::span<const T> norms, CsrMatrix<T>& out) {
+  AGNN_TRACE_SCOPE("psi_agnn", kKernel);
   AGNN_ASSERT(a.rows() == h.rows() && a.cols() == h.rows(),
               "psi_agnn: A must be n x n matching H's rows");
   AGNN_ASSERT(static_cast<index_t>(norms.size()) == h.rows(), "psi_agnn: norms size");
@@ -102,6 +105,7 @@ struct GatPsi {
 template <typename T>
 void psi_gat(const CsrMatrix<T>& a, std::span<const T> s1, std::span<const T> s2,
              T leaky_slope, CsrMatrix<T>& scores_pre, CsrMatrix<T>& psi) {
+  AGNN_TRACE_SCOPE("psi_gat", kKernel);
   AGNN_ASSERT(static_cast<index_t>(s1.size()) == a.rows(), "psi_gat: s1 size");
   AGNN_ASSERT(static_cast<index_t>(s2.size()) == a.cols(), "psi_gat: s2 size");
   AGNN_ASSERT(&scores_pre != &psi, "psi_gat: outputs must be distinct");
@@ -143,6 +147,7 @@ GatPsi<T> psi_gat(const CsrMatrix<T>& a, std::span<const T> s1,
 template <typename T>
 void fused_va_aggregate(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
                         const DenseMatrix<T>& x, DenseMatrix<T>& out) {
+  AGNN_TRACE_SCOPE("fused_va_aggregate", kKernel);
   AGNN_ASSERT(a.rows() == h.rows() && a.cols() == h.rows(), "fused_va: shape");
   AGNN_ASSERT(a.cols() == x.rows(), "fused_va: aggregation input shape");
   AGNN_ASSERT(&out != &h && &out != &x, "fused_va: output cannot alias an input");
@@ -179,6 +184,7 @@ template <typename T>
 void fused_gat_aggregate(const CsrMatrix<T>& a, std::span<const T> s1,
                          std::span<const T> s2, T leaky_slope,
                          const DenseMatrix<T>& x, DenseMatrix<T>& out) {
+  AGNN_TRACE_SCOPE("fused_gat_aggregate", kKernel);
   AGNN_ASSERT(a.cols() == x.rows(), "fused_gat: aggregation input shape");
   AGNN_ASSERT(&out != &x, "fused_gat: output cannot alias an input");
   const index_t n = a.rows(), kx = x.cols();

@@ -18,6 +18,7 @@
 #include <omp.h>
 #endif
 
+#include "obs/trace.hpp"
 #include "tensor/csr_matrix.hpp"
 #include "tensor/dense_matrix.hpp"
 #include "tensor/dense_ops.hpp"
@@ -31,6 +32,7 @@ namespace agnn {
 template <typename T>
 void sddmm(const CsrMatrix<T>& pattern, const DenseMatrix<T>& x,
            const DenseMatrix<T>& y, CsrMatrix<T>& out) {
+  AGNN_TRACE_SCOPE("sddmm", kKernel);
   AGNN_ASSERT(pattern.rows() == x.rows(), "sddmm: row dimension mismatch");
   AGNN_ASSERT(pattern.cols() == y.rows(), "sddmm: col dimension mismatch");
   AGNN_ASSERT(x.cols() == y.cols(), "sddmm: inner dimension mismatch");
@@ -65,6 +67,7 @@ CsrMatrix<T> sddmm(const CsrMatrix<T>& pattern, const DenseMatrix<T>& x,
 template <typename T>
 void sddmm_unweighted(const CsrMatrix<T>& pattern, const DenseMatrix<T>& x,
                       const DenseMatrix<T>& y, CsrMatrix<T>& out) {
+  AGNN_TRACE_SCOPE("sddmm_unweighted", kKernel);
   AGNN_ASSERT(pattern.rows() == x.rows(), "sddmm: row dimension mismatch");
   AGNN_ASSERT(pattern.cols() == y.rows(), "sddmm: col dimension mismatch");
   AGNN_ASSERT(x.cols() == y.cols(), "sddmm: inner dimension mismatch");
@@ -96,6 +99,7 @@ CsrMatrix<T> sddmm_unweighted(const CsrMatrix<T>& pattern, const DenseMatrix<T>&
 template <typename T>
 void hadamard_same_pattern(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
                            CsrMatrix<T>& out) {
+  AGNN_TRACE_SCOPE("hadamard_same_pattern", kKernel);
   AGNN_ASSERT(a.same_pattern(b), "hadamard: patterns must match");
   if (&out != &a && &out != &b) out = a;
   auto v = out.vals_mutable();
@@ -136,6 +140,7 @@ CsrMatrix<T> map_values(const CsrMatrix<T>& a, F&& f) {
 // sum(X) = X * 1 over the sparse pattern: per-row sum of stored values.
 template <typename T>
 void sparse_row_sums(const CsrMatrix<T>& a, std::vector<T>& s) {
+  AGNN_TRACE_SCOPE("sparse_row_sums", kKernel);
   s.resize(static_cast<std::size_t>(a.rows()));
 #pragma omp parallel for schedule(dynamic, 64)
   for (index_t i = 0; i < a.rows(); ++i) {
@@ -164,6 +169,7 @@ std::vector<T> sparse_row_sums(const CsrMatrix<T>& a) {
 // more than the sums.
 template <typename T>
 void sparse_col_sums(const CsrMatrix<T>& a, std::vector<T>& s) {
+  AGNN_TRACE_SCOPE("sparse_col_sums", kKernel);
   const std::size_t cols = static_cast<std::size_t>(a.cols());
   s.assign(cols, T(0));
 #if defined(_OPENMP)
@@ -220,6 +226,7 @@ std::vector<T> sparse_col_sums(const CsrMatrix<T>& a) {
 // The replication rs_n stays virtual: only the n-vector of row sums exists.
 template <typename T>
 void row_softmax_inplace(CsrMatrix<T>& x) {
+  AGNN_TRACE_SCOPE("row_softmax", kKernel);
   auto v = x.vals_mutable();
 #pragma omp parallel for schedule(dynamic, 64)
   for (index_t i = 0; i < x.rows(); ++i) {
@@ -258,6 +265,7 @@ CsrMatrix<T> row_softmax(const CsrMatrix<T>& x) {
 template <typename T>
 void row_softmax_backward(const CsrMatrix<T>& s, const CsrMatrix<T>& ds,
                           CsrMatrix<T>& dx) {
+  AGNN_TRACE_SCOPE("row_softmax_backward", kKernel);
   AGNN_ASSERT(s.same_pattern(ds), "softmax backward: patterns must match");
   if (&dx != &s && &dx != &ds) dx = s;
   auto v = dx.vals_mutable();
@@ -286,6 +294,7 @@ CsrMatrix<T> row_softmax_backward(const CsrMatrix<T>& s, const CsrMatrix<T>& ds)
 template <typename T>
 void scale_rows_cols(const CsrMatrix<T>& a, std::span<const T> scale_row,
                      std::span<const T> scale_col, CsrMatrix<T>& out) {
+  AGNN_TRACE_SCOPE("scale_rows_cols", kKernel);
   AGNN_ASSERT(static_cast<index_t>(scale_row.size()) == a.rows(), "row scale size");
   AGNN_ASSERT(static_cast<index_t>(scale_col.size()) == a.cols(), "col scale size");
   if (&out != &a) out = a;
@@ -312,6 +321,7 @@ CsrMatrix<T> scale_rows_cols(const CsrMatrix<T>& a, std::span<const T> scale_row
 // the VA backward pass N_+ = N + N^T). The result's pattern is the union.
 template <typename T>
 CsrMatrix<T> add_transpose(const CsrMatrix<T>& x) {
+  AGNN_TRACE_SCOPE("add_transpose", kKernel);
   AGNN_ASSERT(x.rows() == x.cols(), "add_transpose: matrix must be square");
   const CsrMatrix<T> xt = x.transposed();
   CooMatrix<T> coo = x.to_coo();

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "tensor/csr_matrix.hpp"
 #include "tensor/dense_matrix.hpp"
 #include "tensor/semiring.hpp"
@@ -23,6 +24,7 @@ namespace agnn {
 template <typename S, typename T>
 void spmm_semiring(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
                    DenseMatrix<T>& out) {
+  AGNN_TRACE_SCOPE("spmm_semiring", kKernel);
   AGNN_ASSERT(a.cols() == h.rows(), "spmm: dimension mismatch");
   const index_t n = a.rows(), k = h.cols();
   out.resize(n, k);
@@ -56,6 +58,7 @@ DenseMatrix<T> spmm_semiring(const CsrMatrix<T>& a, const DenseMatrix<T>& h) {
 // The standard real-semiring SpMM fast path: out = A * H.
 template <typename T>
 void spmm(const CsrMatrix<T>& a, const DenseMatrix<T>& h, DenseMatrix<T>& out) {
+  AGNN_TRACE_SCOPE("spmm", kKernel);
   AGNN_ASSERT(a.cols() == h.rows(), "spmm: dimension mismatch");
   const index_t n = a.rows(), k = h.cols();
   out.resize(n, k);
@@ -84,6 +87,7 @@ DenseMatrix<T> spmm(const CsrMatrix<T>& a, const DenseMatrix<T>& h) {
 template <typename T>
 void spmm_accumulate(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
                      DenseMatrix<T>& out) {
+  AGNN_TRACE_SCOPE("spmm_accumulate", kKernel);
   AGNN_ASSERT(a.cols() == h.rows(), "spmm_accumulate: dimension mismatch");
   AGNN_ASSERT(out.rows() == a.rows() && out.cols() == h.cols(),
               "spmm_accumulate: output shape mismatch");
@@ -130,6 +134,7 @@ DenseMatrix<T> aggregate(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
 template <typename T>
 void spmmm(const CsrMatrix<T>& a, const DenseMatrix<T>& h, const DenseMatrix<T>& w,
            DenseMatrix<T>& scratch, DenseMatrix<T>& out) {
+  AGNN_TRACE_SCOPE("spmmm", kKernel);
   const double k_in = static_cast<double>(h.cols());
   const double k_out = static_cast<double>(w.cols());
   const double nnz = static_cast<double>(a.nnz());
@@ -158,6 +163,7 @@ DenseMatrix<T> spmmm(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
 template <typename T>
 void mspmm(const DenseMatrix<T>& x, const CsrMatrix<T>& a, const DenseMatrix<T>& y,
            DenseMatrix<T>& scratch, DenseMatrix<T>& out) {
+  AGNN_TRACE_SCOPE("mspmm", kKernel);
   AGNN_ASSERT(x.rows() == a.rows() && a.cols() == y.rows(),
               "mspmm: dimension mismatch");
   // (A * Y) is tall-skinny; X^T * (A*Y) reduces to a small k x k result.
