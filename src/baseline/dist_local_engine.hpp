@@ -124,6 +124,10 @@ class DistLocalEngine {
     return {loss_buf[0]};
   }
 
+  // The world communicator (exposed so the recovery loop can barrier and
+  // rendezvous on the same group the engine trains over).
+  comm::Communicator& world() { return world_; }
+
  private:
   // ---- setup ---------------------------------------------------------------
 

@@ -19,10 +19,18 @@
 //
 // Data movement itself is implemented in whatever way is simplest (shared
 // staging pointers + barriers); only the *accounting* models the network.
+//
+// Failure semantics (see comm/fault_injection.hpp and DESIGN.md §10): every
+// collective entry is a fault-injection point, and every barrier is checked —
+// a declared failure (injected abort, tripped timeout, or a rank dying with
+// CommError) surfaces as a structured CommError on EVERY rank instead of a
+// deadlock. `Communicator::recover()` is the all-ranks rendezvous that
+// clears the failure so a checkpoint-restore loop can retry.
 #pragma once
 
 #include <algorithm>
-#include <barrier>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -34,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "comm/fault_injection.hpp"
 #include "comm/volume_stats.hpp"
 #include "obs/trace.hpp"
 #include "tensor/common.hpp"
@@ -56,11 +65,12 @@ inline std::uint64_t ceil_log2(std::uint64_t x) {
 // group; `global` maps to the runtime-wide rank ids used for stats.
 struct GroupContext {
   explicit GroupContext(int size_, std::vector<int> global_,
-                        std::vector<VolumeStats>* stats_)
+                        std::vector<VolumeStats>* stats_,
+                        FaultState* faults_ = nullptr)
       : size(size_),
         global(std::move(global_)),
         stats(stats_),
-        sync(size_),
+        faults(faults_),
         slots(static_cast<std::size_t>(size_), nullptr),
         sizes(static_cast<std::size_t>(size_), 0),
         split_color(static_cast<std::size_t>(size_), 0),
@@ -70,7 +80,7 @@ struct GroupContext {
   int size;
   std::vector<int> global;            // group rank -> global rank
   std::vector<VolumeStats>* stats;    // indexed by global rank
-  std::barrier<> sync;
+  FaultState* faults;                 // runtime-wide; shared by all groups
   std::vector<const void*> slots;     // per-rank staging pointer
   std::vector<std::size_t> sizes;     // per-rank staging payload size
   // Collective-owned accumulator, written by rank 0 between barriers. Owned
@@ -82,6 +92,76 @@ struct GroupContext {
   std::vector<int> split_key;
   std::vector<std::shared_ptr<GroupContext>> subgroup;  // per-rank result of split
   std::vector<int> subrank;           // per-rank rank within its subgroup
+
+  // Checked barrier replacing std::barrier: identical rendezvous in the
+  // healthy case, plus failure propagation and an optional deadline. The
+  // outcome is uniform per generation — once the last member arrives and
+  // the generation advances, every member returns success (the wake loop
+  // checks the generation *before* the failure flag); if any member throws
+  // at entry or while waiting, the generation never advances and every
+  // other member unwinds too (via the failure flag or the deadline). The
+  // recovery-epoch tag lazily resets abandoned arrival counts after
+  // FaultState::recover(), when no thread can be inside a wait.
+  void barrier_wait(int global_rank, const char* where) {
+    std::unique_lock<std::mutex> lk(bar_mu);
+    if (faults != nullptr) {
+      const std::uint64_t re = faults->recovery_epoch();
+      if (bar_epoch != re) {
+        bar_epoch = re;
+        bar_count = 0;
+      }
+      faults->check(where);
+    }
+    const std::uint64_t gen = bar_gen;
+    if (++bar_count == size) {
+      bar_count = 0;
+      ++bar_gen;
+      lk.unlock();
+      bar_cv.notify_all();
+      return;
+    }
+    const bool finite = faults != nullptr && faults->has_timeout();
+    const auto start = std::chrono::steady_clock::now();
+    const auto deadline = start + (finite ? faults->timeout()
+                                          : std::chrono::nanoseconds(0));
+    auto charge_wait = [&] {
+      const auto waited = std::chrono::steady_clock::now() - start;
+      (*stats)[static_cast<std::size_t>(global_rank)].wait_ns.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+                  .count()),
+          std::memory_order_relaxed);
+    };
+    while (bar_gen == gen) {
+      // Completion is cv-notified; the short poll bounds how long a waiter
+      // can miss a failure declared without a notification reaching it.
+      bar_cv.wait_for(lk, std::chrono::milliseconds(1));
+      if (bar_gen != gen) break;  // completed: uniform success
+      if (faults == nullptr) continue;
+      if (faults->failure_active()) {
+        charge_wait();
+        faults->check(where);  // throws
+      }
+      if (finite && std::chrono::steady_clock::now() >= deadline) {
+        charge_wait();
+        lk.unlock();
+        faults->declare(
+            FaultKind::kCollectiveTimeout, global_rank,
+            (*stats)[static_cast<std::size_t>(global_rank)].supersteps.load(
+                std::memory_order_relaxed),
+            where);
+        faults->check(where);  // throws
+      }
+    }
+    charge_wait();
+  }
+
+ private:
+  std::mutex bar_mu;
+  std::condition_variable bar_cv;
+  int bar_count = 0;
+  std::uint64_t bar_gen = 0;    // completed-generation counter
+  std::uint64_t bar_epoch = 0;  // FaultState recovery epoch this state is for
 };
 
 }  // namespace detail
@@ -99,12 +179,25 @@ class Communicator {
     return (*ctx_->stats)[static_cast<std::size_t>(global_rank())];
   }
 
-  void barrier() { ctx_->sync.arrive_and_wait(); }
+  void barrier() {
+    fault_point("barrier");
+    ctx_->barrier_wait(global_rank(), "barrier");
+  }
+
+  // Recovery rendezvous after a caught CommError: collective over ALL ranks
+  // of the runtime (whatever group this communicator is). Clears the active
+  // failure and re-arms every group's barriers; throws CommError if the
+  // cluster cannot recover (a rank died, or the rendezvous timed out).
+  void recover() {
+    AGNN_ASSERT(ctx_->faults != nullptr, "recover: no fault state installed");
+    ctx_->faults->recover(global_rank());
+  }
 
   // ---- broadcast -------------------------------------------------------
   template <typename T>
   void broadcast(std::span<T> buf, int root) {
     AGNN_TRACE_SCOPE_BYTES("broadcast", kCollective, buf.size_bytes());
+    fault_point("broadcast");
     AGNN_ASSERT(root >= 0 && root < size(), "broadcast: bad root");
     if (size() == 1) return;
     ctx_->sizes[static_cast<std::size_t>(rank_)] = buf.size();
@@ -128,6 +221,7 @@ class Communicator {
   template <typename T>
   void reduce_sum(std::span<T> buf, int root) {
     AGNN_TRACE_SCOPE_BYTES("reduce_sum", kCollective, buf.size_bytes());
+    fault_point("reduce_sum");
     AGNN_ASSERT(root >= 0 && root < size(), "reduce: bad root");
     if (size() == 1) return;
     ctx_->slots[static_cast<std::size_t>(rank_)] = buf.data();
@@ -156,6 +250,7 @@ class Communicator {
   template <typename T>
   void allreduce_sum(std::span<T> buf) {
     AGNN_TRACE_SCOPE_BYTES("allreduce_sum", kCollective, 2 * buf.size_bytes());
+    fault_point("allreduce_sum");
     if (size() == 1) return;
     ctx_->slots[static_cast<std::size_t>(rank_)] = buf.data();
     ctx_->sizes[static_cast<std::size_t>(rank_)] = buf.size();
@@ -185,6 +280,7 @@ class Communicator {
   template <typename T>
   void allreduce_max(std::span<T> buf) {
     AGNN_TRACE_SCOPE_BYTES("allreduce_max", kCollective, 2 * buf.size_bytes());
+    fault_point("allreduce_max");
     if (size() == 1) return;
     ctx_->slots[static_cast<std::size_t>(rank_)] = buf.data();
     ctx_->sizes[static_cast<std::size_t>(rank_)] = buf.size();
@@ -219,6 +315,7 @@ class Communicator {
   std::vector<T> allgatherv(std::span<const T> in,
                             std::vector<std::size_t>* offsets_out = nullptr) {
     AGNN_TRACE_SCOPE_BYTES("allgatherv", kCollective, in.size_bytes());
+    fault_point("allgatherv");
     ctx_->slots[static_cast<std::size_t>(rank_)] = in.data();
     ctx_->sizes[static_cast<std::size_t>(rank_)] = in.size();
     barrier();
@@ -255,11 +352,21 @@ class Communicator {
   class Window {
    public:
     Window(Communicator& c, std::span<const T> local) : c_(c) {
+      c_.fault_point("window_expose");
       c_.ctx_->slots[static_cast<std::size_t>(c_.rank_)] = local.data();
       c_.ctx_->sizes[static_cast<std::size_t>(c_.rank_)] = local.size();
       c_.barrier();
     }
-    ~Window() { close(); }
+    // Unwinding past an open window must neither throw nor block: with a
+    // failure active the close-barrier throws CommError, which is swallowed
+    // here — this rank rethrows at its next collective anyway. Explicit
+    // close() calls still propagate the error.
+    ~Window() {
+      try {
+        close();
+      } catch (...) {
+      }
+    }
     Window(const Window&) = delete;
     Window& operator=(const Window&) = delete;
 
@@ -308,6 +415,17 @@ class Communicator {
   template <typename T>
   friend class Window;
 
+  // The single fault-injection hook: every collective entry consults the
+  // runtime's FaultState, which fires any due plan events for this rank
+  // (straggler sleep, abort, stall) and surfaces an active failure as
+  // CommError. Costs two atomic loads when no plan is installed.
+  void fault_point(const char* where) {
+    FaultState* st = ctx_->faults;
+    if (st == nullptr) return;
+    st->on_collective(where, global_rank(),
+                      stats().supersteps.load(std::memory_order_relaxed));
+  }
+
   // Charge the rank and emit a superstep instant carrying the charged
   // bytes, so a trace ties each boundary to its exact billed volume.
   void charge_and_mark(std::uint64_t bytes, std::uint64_t msgs,
@@ -343,7 +461,8 @@ inline Communicator Communicator::split(int color, int key) {
         global.push_back(ctx_->global[static_cast<std::size_t>(m)]);
       }
       auto sub = std::make_shared<detail::GroupContext>(
-          static_cast<int>(members.size()), std::move(global), ctx_->stats);
+          static_cast<int>(members.size()), std::move(global), ctx_->stats,
+          ctx_->faults);
       for (std::size_t i = 0; i < members.size(); ++i) {
         ctx_->subgroup[static_cast<std::size_t>(members[i])] = sub;
         ctx_->subrank[static_cast<std::size_t>(members[i])] = static_cast<int>(i);
@@ -357,6 +476,19 @@ inline Communicator Communicator::split(int color, int key) {
   return sub;
 }
 
+// Options for a fault-aware run. The default-constructed value means "no
+// faults, no timeout" — byte-identical behavior to the plain overload,
+// except that the plain overload additionally consults AGNN_FAULTS /
+// AGNN_COMM_TIMEOUT_MS (so any existing program is chaos-able from the
+// environment), while an explicit RunOptions is authoritative.
+struct RunOptions {
+  FaultPlan faults;
+  // Barrier deadline per collective. <= 0 picks the default: 2s when a
+  // fault plan is installed (so injected deadlocks fail fast), otherwise
+  // no deadline (healthy runs never spuriously trip under load).
+  std::chrono::milliseconds timeout{0};
+};
+
 // Executes an SPMD body on `nranks` simulated ranks and returns the final
 // per-rank volume/compute snapshots.
 class SpmdRuntime {
@@ -364,13 +496,32 @@ class SpmdRuntime {
   using Body = std::function<void(Communicator&)>;
 
   static std::vector<VolumeSnapshot> run(int nranks, const Body& body) {
+    RunOptions opts;
+    opts.faults = FaultPlan::from_env();
+    if (const char* v = std::getenv("AGNN_COMM_TIMEOUT_MS")) {
+      const long ms = std::atol(v);
+      if (ms > 0) opts.timeout = std::chrono::milliseconds(ms);
+    }
+    return run(nranks, opts, body);
+  }
+
+  static std::vector<VolumeSnapshot> run(int nranks, const RunOptions& opts,
+                                         const Body& body) {
     AGNN_ASSERT(nranks >= 1, "need at least one rank");
     auto stats = std::make_unique<std::vector<VolumeStats>>(
         static_cast<std::size_t>(nranks));
+    auto faults = std::make_unique<FaultState>(nranks);
+    const auto timeout =
+        opts.timeout.count() > 0
+            ? std::chrono::nanoseconds(opts.timeout)
+            : (opts.faults.empty() ? std::chrono::nanoseconds(0)
+                                   : std::chrono::nanoseconds(
+                                         std::chrono::seconds(2)));
+    faults->install(opts.faults, timeout);
     std::vector<int> global(static_cast<std::size_t>(nranks));
     for (int r = 0; r < nranks; ++r) global[static_cast<std::size_t>(r)] = r;
     auto ctx = std::make_shared<detail::GroupContext>(nranks, std::move(global),
-                                                      stats.get());
+                                                      stats.get(), faults.get());
 
     std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
     std::vector<std::thread> threads;
@@ -381,10 +532,17 @@ class SpmdRuntime {
         obs::RankBinding trace_rank(r);
         Communicator c(ctx, r);
         body(c);
+      } catch (const CommError&) {
+        // A structured comm failure is survivable at the runtime level: the
+        // rank is marked dead (so peers blocked in barriers or in recover()
+        // unwind instead of waiting for it) and the error is rethrown to
+        // the caller after the join.
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        faults->mark_rank_dead(r);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
-        // A dead rank would deadlock the barriers of the survivors; there is
-        // no recovery story for a failed simulated rank, so abort loudly.
+        // Anything else is a programming error (assertion failure); there
+        // is no recovery story for it, so abort loudly.
         std::fprintf(stderr, "fatal: simulated rank %d threw an exception\n", r);
         std::terminate();
       }

@@ -1,0 +1,413 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// The SPMD runtime models a healthy BSP machine; this layer adds the
+// unhealthy one. A FaultPlan schedules faults at (rank, superstep) points —
+// logical time, not wall time — so a given plan replays identically on every
+// run of the same program: the n-th collective a rank enters at superstep
+// counter >= S is the same collective every time. Three fault kinds:
+//
+//   delay    the rank sleeps at the collective entry (a straggler); peers
+//            observe the stall as barrier wait time (VolumeStats::wait_ns)
+//   abort    the rank declares a failure and throws CommError; every other
+//            rank's next collective throws the same structured CommError
+//   timeout  the rank stalls past the collective timeout; a peer's barrier
+//            deadline trips and declares the failure for everyone
+//
+// Failure agreement protocol: a single runtime-wide FaultState is shared by
+// the world group and every split sub-group. Declaring a failure stores the
+// fault info and flips an atomic flag; every barrier wait polls the flag, so
+// all ranks — whatever group they are blocked in — unwind with CommError
+// instead of deadlocking. Communicator::recover() is the only rendezvous
+// that works while a failure is active; once all ranks arrive it clears the
+// flag and bumps the recovery epoch, which lazily re-arms every group's
+// barrier state (see GroupContext::barrier_wait).
+//
+// Plans come from code (tests), from the AGNN_FAULTS environment variable,
+// or from a CLI flag that examples forward — the spec string is its own
+// replay format: `kind@rR:sS[:Nus]`, ';'-separated, e.g.
+//     AGNN_FAULTS="delay@r0:s3:500us;abort@r1:s12"
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "tensor/common.hpp"
+
+namespace agnn::comm {
+
+enum class FaultKind : std::uint8_t {
+  kStragglerDelay,     // sleep at the collective entry, then proceed
+  kRankAbort,          // declare failure + throw CommError on the faulted rank
+  kCollectiveTimeout,  // stall until a peer's barrier deadline declares failure
+};
+
+inline const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kStragglerDelay: return "delay";
+    case FaultKind::kRankAbort: return "abort";
+    case FaultKind::kCollectiveTimeout: return "timeout";
+  }
+  return "?";
+}
+
+// One scheduled fault: fires exactly once, at the first collective entry on
+// global rank `rank` whose superstep counter has reached `superstep`.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kStragglerDelay;
+  int rank = 0;
+  std::uint64_t superstep = 0;
+  std::uint64_t delay_us = 0;  // kStragglerDelay only
+};
+
+// Structured communication failure. Thrown on *every* rank of the run: the
+// faulted/declaring rank throws first, all others throw from their next
+// collective entry or barrier wait. `origin_rank` is the declaring rank —
+// for timeouts that may be a detecting peer rather than the stalled rank.
+class CommError : public std::runtime_error {
+ public:
+  CommError(FaultKind kind, int origin_rank, std::uint64_t superstep,
+            const char* where)
+      : std::runtime_error(std::string("CommError: ") + to_string(kind) +
+                           " (origin rank " + std::to_string(origin_rank) +
+                           ", superstep " + std::to_string(superstep) +
+                           ", in " + where + ")"),
+        kind_(kind),
+        origin_rank_(origin_rank),
+        superstep_(superstep),
+        where_(where) {}
+
+  FaultKind kind() const { return kind_; }
+  int origin_rank() const { return origin_rank_; }
+  std::uint64_t superstep() const { return superstep_; }
+  const char* where() const { return where_; }
+
+ private:
+  FaultKind kind_;
+  int origin_rank_;
+  std::uint64_t superstep_;
+  const char* where_;  // string literal (collective name)
+};
+
+// An ordered list of FaultEvents plus the spec-string round trip. The spec
+// is the replay handle: tests and CI log `plan.spec()` so any observed run
+// can be reproduced with AGNN_FAULTS=<spec>.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  void add(const FaultEvent& ev) { events_.push_back(ev); }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+  const FaultEvent& event(std::size_t i) const { return events_[i]; }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  // Grammar: spec := event (';' event)*
+  //          event := kind '@r' rank ':s' superstep [':' delay 'us']
+  static FaultPlan parse(const std::string& spec) {
+    FaultPlan plan;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      std::size_t end = spec.find(';', pos);
+      if (end == std::string::npos) end = spec.size();
+      if (end > pos) plan.add(parse_event(spec.substr(pos, end - pos)));
+      pos = end + 1;
+    }
+    return plan;
+  }
+
+  std::string spec() const {
+    std::string s;
+    for (const FaultEvent& ev : events_) {
+      if (!s.empty()) s += ';';
+      s += to_string(ev.kind);
+      s += "@r" + std::to_string(ev.rank) + ":s" + std::to_string(ev.superstep);
+      if (ev.kind == FaultKind::kStragglerDelay) {
+        s += ":" + std::to_string(ev.delay_us) + "us";
+      }
+    }
+    return s;
+  }
+
+  // Seeded random plan (xoshiro Rng: identical across platforms). At most
+  // one abort-class event so a bounded-retry recovery loop always converges;
+  // superstep targets land in the middle half of [1, max_superstep].
+  static FaultPlan random(std::uint64_t seed, int nranks,
+                          std::uint64_t max_superstep, int max_events = 2,
+                          std::uint64_t max_delay_us = 2000) {
+    AGNN_ASSERT(nranks >= 1 && max_superstep >= 1 && max_events >= 1,
+                "fault plan: bad random-plan bounds");
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0xfa17ULL);
+    FaultPlan plan;
+    const int n = 1 + static_cast<int>(rng.next_bounded(
+                          static_cast<std::uint64_t>(max_events)));
+    bool have_hard_fault = false;
+    for (int i = 0; i < n; ++i) {
+      FaultEvent ev;
+      const std::uint64_t k = rng.next_bounded(3);
+      ev.kind = static_cast<FaultKind>(k);
+      if (ev.kind != FaultKind::kStragglerDelay) {
+        if (have_hard_fault) ev.kind = FaultKind::kStragglerDelay;
+        have_hard_fault = true;
+      }
+      ev.rank = static_cast<int>(rng.next_bounded(static_cast<std::uint64_t>(nranks)));
+      const std::uint64_t lo = 1 + max_superstep / 4;
+      const std::uint64_t hi = 1 + (3 * max_superstep) / 4;
+      ev.superstep = lo + rng.next_bounded(hi - lo + 1);
+      if (ev.kind == FaultKind::kStragglerDelay) {
+        ev.delay_us = 1 + rng.next_bounded(max_delay_us);
+      }
+      plan.add(ev);
+    }
+    return plan;
+  }
+
+  static FaultPlan from_env() {
+    const char* v = std::getenv("AGNN_FAULTS");
+    if (v == nullptr || v[0] == '\0') return {};
+    return parse(v);
+  }
+
+ private:
+  static FaultEvent parse_event(const std::string& tok) {
+    FaultEvent ev;
+    const std::size_t at = tok.find('@');
+    AGNN_ASSERT(at != std::string::npos, "fault spec: missing '@' in " + tok);
+    const std::string kind = tok.substr(0, at);
+    if (kind == "delay") {
+      ev.kind = FaultKind::kStragglerDelay;
+    } else if (kind == "abort") {
+      ev.kind = FaultKind::kRankAbort;
+    } else if (kind == "timeout") {
+      ev.kind = FaultKind::kCollectiveTimeout;
+    } else {
+      AGNN_ASSERT(false, "fault spec: unknown kind '" + kind + "'");
+    }
+    std::size_t pos = at + 1;
+    AGNN_ASSERT(pos < tok.size() && tok[pos] == 'r',
+                "fault spec: expected 'r<rank>' in " + tok);
+    ev.rank = static_cast<int>(parse_u64(tok, ++pos));
+    AGNN_ASSERT(pos < tok.size() && tok[pos] == ':' && pos + 1 < tok.size() &&
+                    tok[pos + 1] == 's',
+                "fault spec: expected ':s<superstep>' in " + tok);
+    pos += 2;
+    ev.superstep = parse_u64(tok, pos);
+    if (ev.kind == FaultKind::kStragglerDelay) {
+      if (pos < tok.size()) {
+        AGNN_ASSERT(tok[pos] == ':', "fault spec: expected ':<delay>us' in " + tok);
+        ev.delay_us = parse_u64(tok, ++pos);
+        AGNN_ASSERT(tok.compare(pos, std::string::npos, "us") == 0,
+                    "fault spec: delay must end in 'us' in " + tok);
+        pos = tok.size();
+      } else {
+        ev.delay_us = 1000;  // a bare delay event defaults to 1ms
+      }
+    }
+    AGNN_ASSERT(pos == tok.size(), "fault spec: trailing junk in " + tok);
+    return ev;
+  }
+
+  static std::uint64_t parse_u64(const std::string& tok, std::size_t& pos) {
+    AGNN_ASSERT(pos < tok.size() && tok[pos] >= '0' && tok[pos] <= '9',
+                "fault spec: expected a number in " + tok);
+    std::uint64_t v = 0;
+    while (pos < tok.size() && tok[pos] >= '0' && tok[pos] <= '9') {
+      v = v * 10 + static_cast<std::uint64_t>(tok[pos] - '0');
+      ++pos;
+    }
+    return v;
+  }
+
+  std::vector<FaultEvent> events_;
+};
+
+// Runtime-wide fault machinery, shared (by pointer) between the world group
+// and every split sub-group of one SpmdRuntime::run. Owns the installed
+// plan, the active-failure flag, and the recovery rendezvous.
+//
+// Locking: `mu_` is a leaf lock — it is acquired with a GroupContext's
+// barrier mutex possibly held (barrier_wait -> check/declare), never the
+// other way round, so the two layers cannot deadlock.
+class FaultState {
+ public:
+  explicit FaultState(int nranks) : nranks_(nranks) {}
+
+  void install(FaultPlan plan, std::chrono::nanoseconds timeout) {
+    plan_ = std::move(plan);
+    fired_.assign(plan_.size(), 0);
+    timeout_ = timeout;
+    armed_.store(!plan_.empty(), std::memory_order_release);
+  }
+
+  std::chrono::nanoseconds timeout() const { return timeout_; }
+  bool has_timeout() const { return timeout_.count() > 0; }
+
+  bool failure_active() const {
+    return active_.load(std::memory_order_acquire);
+  }
+
+  std::uint64_t recovery_epoch() const {
+    return recovery_epoch_.load(std::memory_order_acquire);
+  }
+
+  // Throws the active failure (if any) as a CommError. Every collective
+  // entry and every barrier-wait wake calls this, which is what turns one
+  // declared failure into a CommError on all ranks.
+  void check(const char* where) {
+    if (!failure_active()) return;
+    std::unique_lock<std::mutex> lk(mu_);
+    throw CommError(info_.kind, info_.rank, info_.superstep,
+                    where != nullptr ? where : info_where_);
+  }
+
+  // First declaration wins; later ones (other ranks detecting the same
+  // stall) are dropped so the reported origin is stable per failure.
+  void declare(FaultKind kind, int origin_rank, std::uint64_t superstep,
+               const char* where) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (active_.load(std::memory_order_relaxed)) return;
+      info_ = {kind, origin_rank, superstep, 0};
+      info_where_ = where;
+      active_.store(true, std::memory_order_release);
+    }
+    obs::fault_mark("fault.declared", 0, superstep);
+    cv_.notify_all();
+  }
+
+  // Called by the runtime when a rank's body exits with a CommError: the
+  // rank will never reach recover(), so waiters must not hold out for it.
+  void mark_rank_dead(int rank) {
+    declare(FaultKind::kRankAbort, rank, 0, "rank exit");
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      ++dead_ranks_;
+    }
+    cv_.notify_all();
+  }
+
+  // The collective-entry hook: fires any due plan events for this rank,
+  // then surfaces an active failure. Cheap when disarmed (two atomic loads).
+  void on_collective(const char* where, int global_rank,
+                     std::uint64_t superstep) {
+    if (armed_.load(std::memory_order_relaxed)) {
+      fire_due_events(where, global_rank, superstep);
+    }
+    check(where);
+  }
+
+  // Recovery rendezvous: collective over ALL ranks of the runtime. Once
+  // every rank arrives the failure is cleared and the recovery epoch bumps,
+  // which re-arms the (abandoned) barrier state of every group. Throws if a
+  // rank died (its body exited) or the rendezvous itself times out —
+  // recovery is then impossible and the run unwinds everywhere.
+  void recover(int global_rank) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!active_.load(std::memory_order_relaxed)) return;  // already recovered
+    ++recover_count_;
+    const std::uint64_t gen = recover_gen_;
+    if (recover_count_ == nranks_) {
+      recover_count_ = 0;
+      ++recover_gen_;
+      recovery_epoch_.fetch_add(1, std::memory_order_release);
+      active_.store(false, std::memory_order_release);
+      lk.unlock();
+      cv_.notify_all();
+      obs::fault_mark("fault.recovered", 0, 0);
+      return;
+    }
+    const auto deadline = std::chrono::steady_clock::now() + recover_timeout();
+    while (recover_gen_ == gen) {
+      if (dead_ranks_ > 0) {
+        throw CommError(FaultKind::kRankAbort, info_.rank, info_.superstep,
+                        "recover: a rank died");
+      }
+      if (cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
+          recover_gen_ == gen) {
+        throw CommError(FaultKind::kCollectiveTimeout, global_rank, 0,
+                        "recover: rendezvous timed out");
+      }
+    }
+  }
+
+ private:
+  std::chrono::nanoseconds recover_timeout() const {
+    // Always finite: an unrecoverable cluster must fail, not hang. 4x the
+    // collective timeout leaves room for slow (sanitized) unwinding.
+    const auto floor = std::chrono::seconds(2);
+    return has_timeout() ? std::max<std::chrono::nanoseconds>(4 * timeout_, floor)
+                         : std::chrono::nanoseconds(std::chrono::seconds(10));
+  }
+
+  void fire_due_events(const char* where, int global_rank,
+                       std::uint64_t superstep) {
+    // Scan outside the per-event actions: plans are tiny (a handful of
+    // events), and firing is once-per-event, so the lock cost is negligible
+    // next to the collective itself.
+    for (std::size_t i = 0; i < plan_.size(); ++i) {
+      const FaultEvent& ev = plan_.event(i);
+      if (ev.rank != global_rank || superstep < ev.superstep) continue;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        if (fired_[i]) continue;
+        fired_[i] = 1;
+      }
+      switch (ev.kind) {
+        case FaultKind::kStragglerDelay:
+          obs::fault_mark("fault.delay", ev.delay_us, superstep);
+          std::this_thread::sleep_for(std::chrono::microseconds(ev.delay_us));
+          break;
+        case FaultKind::kRankAbort:
+          obs::fault_mark("fault.abort", 0, superstep);
+          declare(FaultKind::kRankAbort, global_rank, superstep, where);
+          check(where);  // throws for this rank too
+          break;
+        case FaultKind::kCollectiveTimeout: {
+          obs::fault_mark("fault.timeout", 0, superstep);
+          // Stall until a peer's barrier deadline declares the failure; if
+          // no finite timeout is configured (or peers are all stalled too),
+          // self-declare after our own grace period so nothing hangs.
+          const auto grace =
+              has_timeout() ? 2 * timeout_
+                            : std::chrono::nanoseconds(std::chrono::seconds(1));
+          const auto deadline = std::chrono::steady_clock::now() + grace;
+          {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_.wait_until(lk, deadline, [&] {
+              return active_.load(std::memory_order_relaxed);
+            });
+          }
+          declare(FaultKind::kCollectiveTimeout, global_rank, superstep, where);
+          check(where);  // throws
+          break;
+        }
+      }
+    }
+  }
+
+  const int nranks_;
+  FaultPlan plan_;
+  std::vector<char> fired_;  // one-shot flags, parallel to plan_.events()
+  std::chrono::nanoseconds timeout_{0};  // 0 = wait forever (healthy default)
+  std::atomic<bool> armed_{false};       // plan installed and non-empty
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<bool> active_{false};  // a failure is declared and unrecovered
+  FaultEvent info_;                  // kind/rank/superstep of the declaration
+  const char* info_where_ = "?";
+  int dead_ranks_ = 0;
+  int recover_count_ = 0;
+  std::uint64_t recover_gen_ = 0;
+  std::atomic<std::uint64_t> recovery_epoch_{0};
+};
+
+}  // namespace agnn::comm

@@ -21,6 +21,9 @@ struct VolumeStats {
   std::atomic<std::uint64_t> messages{0};
   std::atomic<std::uint64_t> supersteps{0};
   std::atomic<std::uint64_t> compute_ns{0};
+  // Wall time this rank spent blocked in barrier waits (straggler signal:
+  // a healthy rank waiting on a slow peer accumulates wait, not compute).
+  std::atomic<std::uint64_t> wait_ns{0};
 
   void charge(std::uint64_t bytes, std::uint64_t msgs, std::uint64_t steps) {
     bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
@@ -33,6 +36,7 @@ struct VolumeStats {
     messages.store(0);
     supersteps.store(0);
     compute_ns.store(0);
+    wait_ns.store(0);
   }
 };
 
@@ -42,6 +46,7 @@ struct VolumeSnapshot {
   std::uint64_t messages = 0;
   std::uint64_t supersteps = 0;
   double compute_seconds = 0.0;
+  double wait_seconds = 0.0;
 };
 
 // Live-path snapshot. The four fields are loaded one by one with relaxed
@@ -55,6 +60,8 @@ inline VolumeSnapshot snapshot(const VolumeStats& s) {
           s.messages.load(std::memory_order_relaxed),
           s.supersteps.load(std::memory_order_relaxed),
           static_cast<double>(s.compute_ns.load(std::memory_order_relaxed)) *
+              1e-9,
+          static_cast<double>(s.wait_ns.load(std::memory_order_relaxed)) *
               1e-9};
 }
 
@@ -70,6 +77,8 @@ inline VolumeSnapshot snapshot_quiesced(const VolumeStats& s) {
           s.messages.load(std::memory_order_acquire),
           s.supersteps.load(std::memory_order_acquire),
           static_cast<double>(s.compute_ns.load(std::memory_order_acquire)) *
+              1e-9,
+          static_cast<double>(s.wait_ns.load(std::memory_order_acquire)) *
               1e-9};
 }
 

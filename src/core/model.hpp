@@ -246,6 +246,11 @@ class Trainer {
   Workspace<T>& workspace() { return ws_; }
   const WorkspaceStats& workspace_stats() const { return ws_.stats(); }
 
+  // Exposed for checkpointing (serialization.hpp persists the model's
+  // parameters and the optimizer's flattened state together).
+  GnnModel<T>& model() { return model_; }
+  Optimizer<T>& optimizer() { return *opt_; }
+
  private:
   GnnModel<T>& model_;
   std::unique_ptr<Optimizer<T>> opt_;

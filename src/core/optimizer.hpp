@@ -21,6 +21,16 @@ class Optimizer {
   // Update parameter buffer `slot` (a stable id per parameter tensor).
   virtual void step(std::size_t slot, std::span<T> param, std::span<const T> grad) = 0;
   virtual void reset() = 0;
+
+  // Flatten/restore the internal state (momentum, Adam moments) so a
+  // recovery checkpoint reproduces the optimizer bit-for-bit. The blob
+  // layout is private to each optimizer; a stateless optimizer keeps these
+  // defaults (empty blob, restore == reset).
+  virtual void snapshot_state(std::vector<double>& out) const { out.clear(); }
+  virtual void restore_state(std::span<const double> in) {
+    AGNN_ASSERT(in.empty(), "optimizer: unexpected state blob");
+    reset();
+  }
 };
 
 template <typename T>
@@ -45,6 +55,34 @@ class SgdOptimizer final : public Optimizer<T> {
   }
 
   void reset() override { velocities_.clear(); }
+
+  // Blob layout: [#slots][per slot: size, values...].
+  void snapshot_state(std::vector<double>& out) const override {
+    out.clear();
+    out.push_back(static_cast<double>(velocities_.size()));
+    for (const auto& v : velocities_) {
+      out.push_back(static_cast<double>(v.size()));
+      for (const T& x : v) out.push_back(static_cast<double>(x));
+    }
+  }
+
+  void restore_state(std::span<const double> in) override {
+    if (in.empty()) {  // checkpoint taken before any stateful step
+      reset();
+      return;
+    }
+    std::size_t pos = 0;
+    const auto next = [&] {
+      AGNN_ASSERT(pos < in.size(), "sgd: truncated state blob");
+      return in[pos++];
+    };
+    velocities_.assign(static_cast<std::size_t>(next()), {});
+    for (auto& v : velocities_) {
+      v.resize(static_cast<std::size_t>(next()));
+      for (T& x : v) x = static_cast<T>(next());
+    }
+    AGNN_ASSERT(pos == in.size(), "sgd: oversized state blob");
+  }
 
  private:
   std::vector<T>& velocity(std::size_t slot, std::size_t size) {
@@ -81,6 +119,40 @@ class AdamOptimizer final : public Optimizer<T> {
   }
 
   void reset() override { states_.clear(); }
+
+  // Blob layout: [#slots][per slot: t, size, m..., v...].
+  void snapshot_state(std::vector<double>& out) const override {
+    out.clear();
+    out.push_back(static_cast<double>(states_.size()));
+    for (const State& st : states_) {
+      out.push_back(static_cast<double>(st.t));
+      out.push_back(static_cast<double>(st.m.size()));
+      for (const T& x : st.m) out.push_back(static_cast<double>(x));
+      for (const T& x : st.v) out.push_back(static_cast<double>(x));
+    }
+  }
+
+  void restore_state(std::span<const double> in) override {
+    if (in.empty()) {
+      reset();
+      return;
+    }
+    std::size_t pos = 0;
+    const auto next = [&] {
+      AGNN_ASSERT(pos < in.size(), "adam: truncated state blob");
+      return in[pos++];
+    };
+    states_.assign(static_cast<std::size_t>(next()), {});
+    for (State& st : states_) {
+      st.t = static_cast<int>(next());
+      const auto size = static_cast<std::size_t>(next());
+      st.m.resize(size);
+      st.v.resize(size);
+      for (T& x : st.m) x = static_cast<T>(next());
+      for (T& x : st.v) x = static_cast<T>(next());
+    }
+    AGNN_ASSERT(pos == in.size(), "adam: oversized state blob");
+  }
 
  private:
   struct State {

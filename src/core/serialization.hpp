@@ -2,18 +2,31 @@
 // parameters (W, a, W2 per layer). The format is versioned and validated on
 // load; loading reconstructs an identical model (bit-exact parameters).
 //
-// Format (little-endian):
+// Model format (little-endian):
 //   8 bytes  magic "AGNNMDL1"
 //   i64      model kind, in_features, #layers
 //   i64      hidden act, output act, mlp act
 //   f64      attention_slope, gin_epsilon
 //   per layer: i64 width; i64 w_size, w data; i64 a_size, a data;
 //              i64 w2_size, w2 data                         (all doubles)
+//
+// Training checkpoints (the recovery loop's persistence format) wrap a
+// model blob with progress metadata and flattened optimizer state:
+//   8 bytes  magic "AGNNCKP1"
+//   i64      epoch (completed epochs at checkpoint time)
+//   i64      optimizer state size; f64 state...   (Optimizer::snapshot_state)
+//   <model blob as above>
+// Checkpoints are written to `path + ".tmp"` and renamed into place, so a
+// crash mid-write never corrupts the previous checkpoint.
 #pragma once
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <istream>
+#include <ostream>
 #include <string>
+#include <vector>
 
 #include "core/model.hpp"
 
@@ -22,14 +35,15 @@ namespace agnn {
 namespace detail {
 
 constexpr char kModelMagic[8] = {'A', 'G', 'N', 'N', 'M', 'D', 'L', '1'};
+constexpr char kCheckpointMagic[8] = {'A', 'G', 'N', 'N', 'C', 'K', 'P', '1'};
 
 template <typename T>
-void write_pod(std::ofstream& out, const T& v) {
+void write_pod(std::ostream& out, const T& v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
 template <typename T>
-T read_pod(std::ifstream& in) {
+T read_pod(std::istream& in) {
   T v{};
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
   AGNN_ASSERT(in.good(), "model file truncated");
@@ -37,13 +51,13 @@ T read_pod(std::ifstream& in) {
 }
 
 template <typename T>
-void write_buffer(std::ofstream& out, std::span<const T> data) {
+void write_buffer(std::ostream& out, std::span<const T> data) {
   write_pod<std::int64_t>(out, static_cast<std::int64_t>(data.size()));
   for (const T& v : data) write_pod<double>(out, static_cast<double>(v));
 }
 
 template <typename T>
-void read_buffer(std::ifstream& in, std::span<T> data) {
+void read_buffer(std::istream& in, std::span<T> data) {
   const auto size = read_pod<std::int64_t>(in);
   AGNN_ASSERT(size == static_cast<std::int64_t>(data.size()),
               "model file: parameter size mismatch");
@@ -53,9 +67,7 @@ void read_buffer(std::ifstream& in, std::span<T> data) {
 }  // namespace detail
 
 template <typename T>
-void save_model(const std::string& path, const GnnModel<T>& model) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  AGNN_ASSERT(out.good(), "cannot open model file for writing: " + path);
+void save_model(std::ostream& out, const GnnModel<T>& model) {
   out.write(detail::kModelMagic, sizeof(detail::kModelMagic));
   const GnnConfig& cfg = model.config();
   detail::write_pod<std::int64_t>(out, static_cast<std::int64_t>(cfg.kind));
@@ -75,17 +87,22 @@ void save_model(const std::string& path, const GnnModel<T>& model) {
     detail::write_buffer<T>(out, layer.attention_params());
     detail::write_buffer<T>(out, layer.weights2().flat());
   }
+}
+
+template <typename T>
+void save_model(const std::string& path, const GnnModel<T>& model) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  AGNN_ASSERT(out.good(), "cannot open model file for writing: " + path);
+  save_model(out, model);
   AGNN_ASSERT(out.good(), "model write failed: " + path);
 }
 
 template <typename T>
-GnnModel<T> load_model(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  AGNN_ASSERT(in.good(), "cannot open model file: " + path);
+GnnModel<T> load_model(std::istream& in, const std::string& what) {
   char magic[8];
   in.read(magic, sizeof(magic));
   AGNN_ASSERT(in.good() && std::memcmp(magic, detail::kModelMagic, 8) == 0,
-              "bad magic in model file: " + path);
+              "bad magic in model file: " + what);
   GnnConfig cfg;
   cfg.kind = static_cast<ModelKind>(detail::read_pod<std::int64_t>(in));
   cfg.in_features = detail::read_pod<std::int64_t>(in);
@@ -135,6 +152,130 @@ GnnModel<T> load_model(const std::string& path) {
     }
   }
   return model;
+}
+
+template <typename T>
+GnnModel<T> load_model(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  AGNN_ASSERT(in.good(), "cannot open model file: " + path);
+  return load_model<T>(in, path);
+}
+
+// ---- training checkpoints -------------------------------------------------
+
+struct CheckpointMeta {
+  std::int64_t epoch = 0;  // completed epochs at checkpoint time
+};
+
+// Copy parameters from `src` into `dst`; both must share the same
+// architecture (kind, widths). Used by checkpoint restore, which loads into
+// the live model that engines hold references to.
+template <typename T>
+void copy_params(const GnnModel<T>& src, GnnModel<T>& dst) {
+  AGNN_ASSERT(src.num_layers() == dst.num_layers() &&
+                  src.config().kind == dst.config().kind &&
+                  src.config().in_features == dst.config().in_features,
+              "checkpoint: model architecture mismatch");
+  for (std::size_t l = 0; l < src.num_layers(); ++l) {
+    const Layer<T>& a = src.layer(l);
+    Layer<T>& b = dst.layer(l);
+    AGNN_ASSERT(a.out_features() == b.out_features(),
+                "checkpoint: layer width mismatch");
+    std::copy(a.weights().flat().begin(), a.weights().flat().end(),
+              b.weights().data());
+    b.attention_params() = a.attention_params();
+    if (!a.weights2().empty()) {
+      std::copy(a.weights2().flat().begin(), a.weights2().flat().end(),
+                b.weights2().data());
+    }
+  }
+}
+
+template <typename T>
+void save_checkpoint(const std::string& path, const GnnModel<T>& model,
+                     std::int64_t epoch,
+                     std::span<const double> opt_state = {}) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    AGNN_ASSERT(out.good(), "cannot open checkpoint for writing: " + tmp);
+    out.write(detail::kCheckpointMagic, sizeof(detail::kCheckpointMagic));
+    detail::write_pod<std::int64_t>(out, epoch);
+    detail::write_buffer<double>(out, opt_state);
+    save_model(out, model);
+    AGNN_ASSERT(out.good(), "checkpoint write failed: " + tmp);
+  }
+  AGNN_ASSERT(std::rename(tmp.c_str(), path.c_str()) == 0,
+              "checkpoint rename failed: " + path);
+}
+
+// Loads parameters into the existing `model` (engines keep their references)
+// and returns the progress metadata; `opt_state`, if non-null, receives the
+// flattened optimizer state for Optimizer::restore_state.
+template <typename T>
+CheckpointMeta load_checkpoint(const std::string& path, GnnModel<T>& model,
+                               std::vector<double>* opt_state = nullptr) {
+  std::ifstream in(path, std::ios::binary);
+  AGNN_ASSERT(in.good(), "cannot open checkpoint: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  AGNN_ASSERT(in.good() && std::memcmp(magic, detail::kCheckpointMagic, 8) == 0,
+              "bad magic in checkpoint file: " + path);
+  CheckpointMeta meta;
+  meta.epoch = detail::read_pod<std::int64_t>(in);
+  const auto state_size = detail::read_pod<std::int64_t>(in);
+  AGNN_ASSERT(state_size >= 0, "checkpoint: bad optimizer state size");
+  std::vector<double> state(static_cast<std::size_t>(state_size));
+  for (double& v : state) v = detail::read_pod<double>(in);
+  if (opt_state != nullptr) *opt_state = std::move(state);
+  GnnModel<T> loaded = load_model<T>(in, path);
+  copy_params(loaded, model);
+  return meta;
+}
+
+inline bool checkpoint_exists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in.good();
+}
+
+// Trainer-level checkpointed training: resumes from `opts.path` when a
+// checkpoint exists there, and persists one every `opts.every` epochs plus
+// at the end. Returns the losses of the epochs run *by this call* (a full
+// trajectory when starting fresh, the tail when resuming).
+struct TrainerCheckpointOptions {
+  std::string path;
+  int every = 10;
+};
+
+template <typename T>
+std::vector<T> train_with_checkpoints(Trainer<T>& trainer,
+                                      const CsrMatrix<T>& adj,
+                                      const DenseMatrix<T>& x,
+                                      std::span<const index_t> labels,
+                                      int epochs,
+                                      const TrainerCheckpointOptions& opts,
+                                      std::span<const std::uint8_t> mask = {}) {
+  AGNN_ASSERT(!opts.path.empty() && opts.every >= 1,
+              "train_with_checkpoints: bad options");
+  std::int64_t start = 0;
+  if (checkpoint_exists(opts.path)) {
+    std::vector<double> opt_state;
+    const CheckpointMeta meta =
+        load_checkpoint(opts.path, trainer.model(), &opt_state);
+    trainer.optimizer().restore_state(opt_state);
+    start = meta.epoch;
+  }
+  const CsrMatrix<T> adj_t = adj.transposed();
+  std::vector<T> losses;
+  std::vector<double> opt_state;
+  for (std::int64_t e = start; e < epochs; ++e) {
+    losses.push_back(trainer.step(adj, adj_t, x, labels, mask).loss);
+    if ((e + 1) % opts.every == 0 || e + 1 == epochs) {
+      trainer.optimizer().snapshot_state(opt_state);
+      save_checkpoint(opts.path, trainer.model(), e + 1, opt_state);
+    }
+  }
+  return losses;
 }
 
 }  // namespace agnn

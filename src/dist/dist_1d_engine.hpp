@@ -110,6 +110,10 @@ class Dist1dGlobalEngine {
     return {loss_buf[0]};
   }
 
+  // The world communicator (exposed so the recovery loop can barrier and
+  // rendezvous on the same group the engine trains over).
+  comm::Communicator& world() { return world_; }
+
  private:
   // Allgather owned row blocks into the full matrix (in rank order — the
   // n*k-per-rank cost that defines this scheme), into caller storage.

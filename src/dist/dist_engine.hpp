@@ -175,6 +175,10 @@ class DistGnnEngine {
   // Gather per-layer gradients (validation only): dW is already global.
   // (grads from train_step are identical on all ranks.)
 
+  // The world communicator (exposed so the recovery loop can barrier and
+  // rendezvous on the same group the engine trains over).
+  comm::Communicator& world() { return world_; }
+
  private:
   // ---- layout exchange helpers ----------------------------------------------
 

@@ -113,6 +113,10 @@ class DistMultiHeadGatEngine {
     return {loss_buf[0]};
   }
 
+  // The world communicator (exposed so the recovery loop can barrier and
+  // rendezvous on the same group the engine trains over).
+  comm::Communicator& world() { return world_; }
+
  private:
   void partner_exchange(const DenseMatrix<T>& mine, index_t out_rows,
                         DenseMatrix<T>& out) {

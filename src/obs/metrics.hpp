@@ -165,6 +165,7 @@ void import_volume_snapshot(MetricsRegistry& reg, const VolumeSnapshotT& s,
   reg.counter(p + ".messages").set(s.messages);
   reg.counter(p + ".supersteps").set(s.supersteps);
   reg.gauge(p + ".compute_seconds").set(s.compute_seconds);
+  reg.gauge(p + ".wait_seconds").set(s.wait_seconds);
 }
 
 // Alpha-beta cost-model outputs → gauges under `<prefix>.{...}_seconds`.

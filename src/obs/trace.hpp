@@ -35,6 +35,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -53,6 +54,7 @@ enum class SpanCategory : std::uint8_t {
   kPhase,       // engine-level phase: layer forward/backward, exchange, ...
   kEpoch,       // Trainer epoch / train_step
   kSuperstep,   // instant marker: a rank's superstep counter advanced
+  kFault,       // instant marker: injected fault / failure declaration
 };
 
 inline const char* to_string(SpanCategory c) {
@@ -62,6 +64,7 @@ inline const char* to_string(SpanCategory c) {
     case SpanCategory::kPhase: return "phase";
     case SpanCategory::kEpoch: return "epoch";
     case SpanCategory::kSuperstep: return "superstep";
+    case SpanCategory::kFault: return "fault";
   }
   return "?";
 }
@@ -255,8 +258,19 @@ class Tracer {
        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"driver\"}}";
 
     char ts_buf[32];
+    // Per-tid stack of open Begins: a span still open at export time (the
+    // recording thread unwound without reaching its End, or export ran
+    // mid-span) gets a synthesized End below so the JSON stays balanced.
+    std::map<std::int32_t, std::vector<const TraceEvent*>> open;
+    std::uint64_t last_ts_ns = 0;
     for (const auto& e : events) {
       const std::int32_t tid = e.rank < 0 ? driver_tid : e.rank;
+      last_ts_ns = std::max(last_ts_ns, e.ts_ns);
+      if (e.phase == 'B') {
+        open[tid].push_back(&e);
+      } else if (e.phase == 'E' && !open[tid].empty()) {
+        open[tid].pop_back();
+      }
       // ts is microseconds; keep ns resolution with three decimals.
       std::snprintf(ts_buf, sizeof(ts_buf), "%llu.%03u",
                     static_cast<unsigned long long>(e.ts_ns / 1000),
@@ -283,6 +297,16 @@ class Tracer {
         os << "}";
       }
       os << "}";
+    }
+    std::snprintf(ts_buf, sizeof(ts_buf), "%llu.%03u",
+                  static_cast<unsigned long long>(last_ts_ns / 1000),
+                  static_cast<unsigned>(last_ts_ns % 1000));
+    for (const auto& [tid, stack] : open) {
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        os << ",\n{\"ph\":\"E\",\"pid\":0,\"tid\":" << tid
+           << ",\"ts\":" << ts_buf << ",\"name\":\"" << (*it)->name
+           << "\",\"cat\":\"" << to_string((*it)->category) << "\"}";
+      }
     }
     os << "\n]\n";
   }
@@ -377,6 +401,16 @@ inline void superstep_mark(std::uint64_t bytes, std::uint64_t superstep) {
   if (!Tracer::enabled()) return;
   Tracer::instance().instant("superstep", SpanCategory::kSuperstep, bytes,
                              superstep);
+}
+
+// Instant marker for the fault-injection layer (comm/fault_injection.hpp):
+// an injected fault firing, a failure being declared, or a recovery
+// completing. `name` must be a string literal ("fault.delay", ...); `arg`
+// carries a kind-specific detail (the delay in us for stragglers).
+inline void fault_mark(const char* name, std::uint64_t arg,
+                       std::uint64_t superstep) {
+  if (!Tracer::enabled()) return;
+  Tracer::instance().instant(name, SpanCategory::kFault, arg, superstep);
 }
 
 // Env/flag-driven session for example mains: enables tracing when forced or

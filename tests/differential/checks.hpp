@@ -28,12 +28,14 @@
 #include "baseline/dist_local_engine.hpp"
 #include "baseline/local_engine.hpp"
 #include "comm/communicator.hpp"
+#include "comm/fault_injection.hpp"
 #include "core/model.hpp"
 #include "core/multihead_gat.hpp"
 #include "differential/adversarial.hpp"
 #include "dist/dist_1d_engine.hpp"
 #include "dist/dist_engine.hpp"
 #include "dist/dist_multihead.hpp"
+#include "dist/recovery.hpp"
 #include "graph/graph.hpp"
 #include "tensor/fused.hpp"
 #include "tensor/reference_impls.hpp"
@@ -611,6 +613,120 @@ inline void check_engines(const Scenario& sc, Failures& out) {
         for (auto& f : local) record(f.check, f.detail);
       }
     });
+  }
+}
+
+// ---- suite 4: fault injection + checkpoint recovery ------------------------
+//
+// For each scenario: train the 1.5D engine fault-free, then again under a
+// FaultPlan drawn deterministically from the seed (targeted at the observed
+// superstep range) with the checkpoint-recovery loop. Recovery must land on
+// the fault-free trajectory — losses and final parameters — and any injected
+// fault must resolve (recover or fail structured) rather than deadlock. A
+// divergence replays with `diff_fuzz --suite faults --seed N`; the plan's
+// spec string is part of the failure detail so the exact fault schedule can
+// also be replayed standalone via AGNN_FAULTS.
+inline void check_fault_recovery(const Scenario& sc, Failures& out) {
+  const auto kind = static_cast<ModelKind>(sc.kind);
+  const auto g = make_graph<double>(sc);
+  const CsrMatrix<double> adj =
+      kind == ModelKind::kGCN ? graph::sym_normalize(g) : g;
+  const auto x = make_features<double>(sc, sc.n, sc.k, 31);
+
+  GnnConfig cfg;
+  cfg.kind = kind;
+  cfg.in_features = sc.k;
+  cfg.layer_widths.assign(static_cast<std::size_t>(sc.layers), sc.k);
+  cfg.hidden_activation = Activation::kTanh;
+  cfg.seed = 7117;
+
+  std::vector<index_t> labels(static_cast<std::size_t>(sc.n));
+  {
+    Rng rng(sc.seed * 0xd1342543de82ef95ULL + 37);
+    for (auto& l : labels) {
+      l = static_cast<index_t>(rng.next_bounded(static_cast<std::uint64_t>(sc.k)));
+    }
+  }
+
+  const int ranks = sc.ranks_grid;
+  constexpr int kEpochs = 4;
+  struct Outcome {
+    std::vector<double> losses;
+    std::vector<double> params;
+    int restores = 0;
+    std::uint64_t supersteps = 0;
+  };
+  std::mutex mu;
+  const auto run_training = [&](const comm::FaultPlan& plan, Outcome& res) {
+    comm::RunOptions opts;
+    opts.faults = plan;
+    if (!plan.empty()) opts.timeout = std::chrono::milliseconds(300);
+    const auto snaps =
+        comm::SpmdRuntime::run(ranks, opts, [&](comm::Communicator& world) {
+          GnnModel<double> model(cfg);
+          dist::DistGnnEngine<double> engine(world, adj, model);
+          SgdOptimizer<double> opt(0.05);
+          dist::RecoveryOptions ropts;
+          ropts.checkpoint_every = 2;
+          const auto report = dist::train_with_recovery<double>(
+              world, engine, model, opt, x, labels, kEpochs, {}, ropts);
+          if (world.rank() == 0) {
+            std::lock_guard<std::mutex> lock(mu);
+            res.losses = report.losses;
+            res.restores = report.restores;
+            dist::collect_params(model, res.params);
+          }
+        });
+    res.supersteps = comm::max_supersteps(snaps);
+  };
+
+  Outcome clean;
+  run_training({}, clean);
+
+  const comm::FaultPlan plan = comm::FaultPlan::random(
+      sc.seed, ranks, std::max<std::uint64_t>(clean.supersteps, 4));
+  Outcome chaos;
+  try {
+    run_training(plan, chaos);
+  } catch (const comm::CommError& e) {
+    // A random plan has at most one abort-class event; bounded retries must
+    // absorb it. Reaching here means recovery itself failed.
+    out.push_back({"fault_recovery_unrecovered",
+                   std::string(e.what()) + " plan=" + plan.spec()});
+    return;
+  }
+
+  // Same trajectory as the fault-free run. 1e-12, not bitwise: several
+  // kernels reduce via dynamically-scheduled per-thread partials, so
+  // summation order is not identical run to run.
+  constexpr double kReplayTol = 1e-12;
+  if (chaos.losses.size() != clean.losses.size()) {
+    out.push_back({"fault_recovery_losses", "epoch count mismatch"});
+  } else {
+    for (std::size_t e = 0; e < clean.losses.size(); ++e) {
+      if (!near(chaos.losses[e], clean.losses[e], kReplayTol)) {
+        out.push_back({"fault_recovery_losses",
+                       "epoch " + std::to_string(e) + ": " +
+                           std::to_string(chaos.losses[e]) + " vs " +
+                           std::to_string(clean.losses[e]) +
+                           " plan=" + plan.spec()});
+        break;
+      }
+    }
+  }
+  if (chaos.params.size() != clean.params.size()) {
+    out.push_back({"fault_recovery_params", "parameter count mismatch"});
+  } else {
+    for (std::size_t i = 0; i < clean.params.size(); ++i) {
+      if (!near(chaos.params[i], clean.params[i], kReplayTol)) {
+        out.push_back({"fault_recovery_params",
+                       "param " + std::to_string(i) + ": " +
+                           std::to_string(chaos.params[i]) + " vs " +
+                           std::to_string(clean.params[i]) +
+                           " plan=" + plan.spec()});
+        break;
+      }
+    }
   }
 }
 

@@ -63,6 +63,16 @@ TEST(DiffRegression, LeadingEngineSeedsReplayClean) {
   }
 }
 
+TEST(DiffRegression, LeadingFaultSeedsReplayClean) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto sc = diffuzz::make_scenario(seed, Purpose::kEngines);
+    Failures failures;
+    diffuzz::check_fault_recovery(sc, failures);
+    EXPECT_TRUE(failures.empty())
+        << "seed " << seed << " [" << sc.describe() << "]\n" << render(failures);
+  }
+}
+
 // Pinned from the harness's subnormal-scale regime: features around 1e-160
 // make every norm *product* underflow below the smallest normal double while
 // the norms themselves stay normal. The old eps-clamp in psi_agnn

@@ -1,0 +1,173 @@
+// Golden-value pinning for every model kind: forward outputs, training
+// losses, and first-step weight gradients on a fixed tiny graph, committed
+// as data (tests/golden/golden_values.txt). Any unintended numerical change
+// anywhere in the stack — kernels, layers, loss, optimizer — shows up as a
+// diff against these values.
+//
+// Regeneration (after an *intended* numerical change):
+//     AGNN_REGEN_GOLDEN=1 ./test_golden_models
+// rewrites the file in the source tree; commit the diff alongside the change
+// that explains it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "graph/graph.hpp"
+#include "test_utils.hpp"
+
+namespace agnn {
+namespace {
+
+constexpr const char* kGoldenFile = AGNN_GOLDEN_DIR "/golden_values.txt";
+
+// The pinned workload: 8 nodes, 4 features, 4 classes, 2 layers, 3 SGD
+// steps. Small enough that the file is reviewable, deep enough to exercise
+// both layer kinds of every model (hidden tanh + identity output).
+constexpr index_t kNodes = 8;
+constexpr index_t kFeatures = 4;
+constexpr int kSteps = 3;
+
+GnnConfig golden_config(ModelKind kind) {
+  GnnConfig cfg;
+  cfg.kind = kind;
+  cfg.in_features = kFeatures;
+  cfg.layer_widths = {kFeatures, kFeatures};
+  cfg.hidden_activation = Activation::kTanh;
+  cfg.seed = 2023;
+  return cfg;
+}
+
+struct GoldenWorkload {
+  CsrMatrix<double> adj;
+  CsrMatrix<double> adj_t;
+  DenseMatrix<double> x;
+  std::vector<index_t> labels;
+};
+
+GoldenWorkload make_workload(ModelKind kind) {
+  GoldenWorkload w;
+  const auto g = testing::small_graph<double>(kNodes, 20, 97);
+  w.adj = kind == ModelKind::kGCN ? graph::sym_normalize(g.adj) : g.adj;
+  w.adj_t = w.adj.transposed();
+  w.x = testing::random_dense<double>(kNodes, kFeatures, 101);
+  w.labels.resize(kNodes);
+  Rng rng(103);
+  for (auto& l : w.labels) {
+    l = static_cast<index_t>(rng.next_bounded(kFeatures));
+  }
+  return w;
+}
+
+// One model's pinned quantities, keyed for the golden file.
+std::map<std::string, std::vector<double>> compute_quantities(ModelKind kind) {
+  const GoldenWorkload w = make_workload(kind);
+  std::map<std::string, std::vector<double>> q;
+
+  GnnModel<double> model(golden_config(kind));
+
+  // Forward pass and first-step gradients (pre-update parameters).
+  std::vector<LayerCache<double>> caches;
+  const DenseMatrix<double> h = model.forward(w.adj, w.x, caches);
+  q["forward"] = {h.flat().begin(), h.flat().end()};
+  LossResult<double> loss;
+  softmax_cross_entropy(h, std::span<const index_t>(w.labels), loss);
+  const auto grads = model.backward(w.adj, w.adj_t, caches, loss.grad);
+  q["grad_w0"] = {grads[0].d_w.flat().begin(), grads[0].d_w.flat().end()};
+  if (!grads[0].d_a.empty()) q["grad_a0"] = grads[0].d_a;
+
+  // Training losses and post-training layer-0 weights.
+  Trainer<double> trainer(model, std::make_unique<SgdOptimizer<double>>(0.05));
+  q["losses"] = trainer.train(w.adj, w.x, std::span<const index_t>(w.labels),
+                              kSteps);
+  const auto wf = model.layer(0).weights().flat();
+  q["final_w0"] = {wf.begin(), wf.end()};
+  return q;
+}
+
+using GoldenData = std::map<std::string, std::vector<double>>;
+
+// File format: one record per line, whitespace-separated:
+//     <kind>.<key> <count> <value>*      (values printed with %.17g)
+GoldenData load_golden() {
+  std::ifstream in(kGoldenFile);
+  GoldenData data;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string key;
+    std::size_t count = 0;
+    ss >> key >> count;
+    std::vector<double> values(count);
+    for (double& v : values) ss >> v;
+    EXPECT_FALSE(ss.fail()) << "golden file: bad record " << key;
+    data[key] = std::move(values);
+  }
+  return data;
+}
+
+void regenerate() {
+  std::ofstream out(kGoldenFile, std::ios::trunc);
+  ASSERT_TRUE(out.good()) << "cannot write " << kGoldenFile;
+  out << "# Pinned model outputs; regenerate with AGNN_REGEN_GOLDEN=1 "
+         "./test_golden_models\n";
+  for (ModelKind kind : {ModelKind::kVA, ModelKind::kAGNN, ModelKind::kGAT,
+                         ModelKind::kGCN, ModelKind::kGIN}) {
+    for (const auto& [key, values] : compute_quantities(kind)) {
+      out << to_string(kind) << '.' << key << ' ' << values.size();
+      char buf[64];
+      for (double v : values) {
+        std::snprintf(buf, sizeof(buf), " %.17g", v);
+        out << buf;
+      }
+      out << '\n';
+    }
+  }
+  ASSERT_TRUE(out.good()) << "write failed: " << kGoldenFile;
+}
+
+class GoldenModels : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(GoldenModels, MatchesPinnedValues) {
+  if (std::getenv("AGNN_REGEN_GOLDEN") != nullptr) {
+    regenerate();
+    GTEST_SKIP() << "regenerated " << kGoldenFile;
+  }
+  const ModelKind kind = GetParam();
+  const GoldenData golden = load_golden();
+  ASSERT_FALSE(golden.empty())
+      << "missing " << kGoldenFile
+      << " — run with AGNN_REGEN_GOLDEN=1 to create it";
+  const auto actual = compute_quantities(kind);
+  for (const auto& [key, values] : actual) {
+    const std::string full = std::string(to_string(kind)) + "." + key;
+    const auto it = golden.find(full);
+    ASSERT_NE(it, golden.end()) << "golden file lacks " << full;
+    ASSERT_EQ(it->second.size(), values.size()) << full;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      // abs+rel tolerance: absorbs OpenMP reassociation across thread
+      // counts while still catching any real numerical change.
+      const double tol = 1e-9 * (1.0 + std::abs(it->second[i]));
+      EXPECT_NEAR(values[i], it->second[i], tol) << full << "[" << i << "]";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, GoldenModels,
+                         ::testing::Values(ModelKind::kVA, ModelKind::kAGNN,
+                                           ModelKind::kGAT, ModelKind::kGCN,
+                                           ModelKind::kGIN),
+                         [](const ::testing::TestParamInfo<ModelKind>& tpi) {
+                           return std::string(to_string(tpi.param));
+                         });
+
+}  // namespace
+}  // namespace agnn

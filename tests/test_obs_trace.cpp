@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <map>
@@ -271,6 +272,78 @@ TEST(TraceJson, ExportIsWellFormed) {
   EXPECT_NE(json.find("\"name\":\"driver\""), std::string::npos);
   EXPECT_NE(json.find("\"cat\":\"collective\""), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"driver_span\""), std::string::npos);
+}
+
+std::size_t count_occurrences(const std::string& hay, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(TraceJson, AbortMidSuperstepStaysWellFormed) {
+  // A rank torn down by an injected fault can leave B events without their
+  // E (here forced with a raw begin that never ends); the export must still
+  // be valid JSON with every span closed — the writer synthesizes the Es.
+  ScopedTracing tracing;
+  comm::RunOptions opts;
+  opts.faults = comm::FaultPlan::parse("abort@r1:s4");
+  opts.timeout = std::chrono::milliseconds(250);
+  std::atomic<int> errors{0};
+  comm::SpmdRuntime::run(3, opts, [&](comm::Communicator& world) {
+    std::vector<double> buf(8, 1.0);
+    try {
+      for (int i = 0; i < 10; ++i) {
+        AGNN_TRACE_SCOPE("chaos.step", kPhase);
+        world.allreduce_sum(std::span<double>(buf));
+      }
+    } catch (const comm::CommError&) {
+      Tracer::instance().begin("chaos.unwound", SpanCategory::kPhase, 0);
+      errors.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(errors.load(), 3);
+  Tracer::set_enabled(false);
+
+  std::ostringstream os;
+  Tracer::instance().write_chrome_json(os);
+  const std::string json = os.str();
+
+  JsonChecker check{json};
+  EXPECT_TRUE(check.document()) << "invalid JSON near byte " << check.i;
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""),
+            count_occurrences(json, "\"ph\":\"E\""))
+      << "unbalanced spans in export";
+  // The injected fault and the open spans both made it into the trace.
+  EXPECT_NE(json.find("\"name\":\"fault.abort\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"chaos.unwound\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"fault\""), std::string::npos);
+}
+
+TEST(TraceJson, SynthesizedEndsCloseNestedOpenSpans) {
+  ScopedTracing tracing;
+  // Two spans left open, nested, on a non-rank thread.
+  std::thread t([] {
+    obs::RankBinding bind(5);
+    Tracer::instance().begin("outer_open", SpanCategory::kPhase, 0);
+    Tracer::instance().begin("inner_open", SpanCategory::kKernel, 0);
+  });
+  t.join();
+  Tracer::set_enabled(false);
+
+  std::ostringstream os;
+  Tracer::instance().write_chrome_json(os);
+  const std::string json = os.str();
+  JsonChecker check{json};
+  EXPECT_TRUE(check.document()) << "invalid JSON near byte " << check.i;
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"E\""), 2u);
+  // Synthesized closes come innermost-first, so the stream stays nestable:
+  // the last mention of the inner span (its E) precedes the outer span's E.
+  EXPECT_LT(json.rfind("\"name\":\"inner_open\""),
+            json.rfind("\"name\":\"outer_open\""));
 }
 
 TEST(TraceBuffer, DropNewestPreservesBalance) {
