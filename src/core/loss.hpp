@@ -8,6 +8,10 @@
 #include <cmath>
 #include <vector>
 
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
 #include "tensor/dense_matrix.hpp"
 
 namespace agnn {
@@ -46,10 +50,8 @@ void softmax_cross_entropy(const DenseMatrix<T>& h,
   if (normalize_count > 0) active = normalize_count;
   if (active == 0) return;
   const T inv_n = T(1) / static_cast<T>(active);
-  double loss = 0.0;
-#pragma omp parallel for schedule(static) reduction(+ : loss)
-  for (index_t i = 0; i < n; ++i) {
-    if (!mask.empty() && !mask[static_cast<std::size_t>(i)]) continue;
+  auto row_loss = [&](index_t i) -> double {
+    if (!mask.empty() && !mask[static_cast<std::size_t>(i)]) return 0.0;
     const index_t y = labels[static_cast<std::size_t>(i)];
     AGNN_ASSERT(y >= 0 && y < c, "cross entropy: label out of range");
     const T* hi = h.data() + i * c;
@@ -58,13 +60,36 @@ void softmax_cross_entropy(const DenseMatrix<T>& h,
     T sum = T(0);
     for (index_t j = 0; j < c; ++j) sum += std::exp(hi[j] - mx);
     const T log_z = std::log(sum) + mx;
-    loss += static_cast<double>(log_z - hi[y]);
     T* gi = out.grad.data() + i * c;
     for (index_t j = 0; j < c; ++j) {
       const T p = std::exp(hi[j] - log_z);  // softmax probability
       gi[j] = (p - (j == y ? T(1) : T(0))) * inv_n;
     }
+    return static_cast<double>(log_z - hi[y]);
+  };
+  double loss = 0.0;
+#if defined(_OPENMP)
+  // reduction(+) combines the per-thread partial sums in an unspecified
+  // order, so repeated runs could differ in the last bits. Summing explicit
+  // per-thread partials in thread-index order (over the same static row
+  // partition) makes the loss bitwise reproducible run to run. The partial
+  // buffer is per calling thread and grows once.
+  {
+    thread_local std::vector<double> partials;
+    partials.assign(static_cast<std::size_t>(omp_get_max_threads()), 0.0);
+    double* parts = partials.data();
+#pragma omp parallel
+    {
+      double mine = 0.0;
+#pragma omp for schedule(static) nowait
+      for (index_t i = 0; i < n; ++i) mine += row_loss(i);
+      parts[static_cast<std::size_t>(omp_get_thread_num())] = mine;
+    }
+    for (const double p : partials) loss += p;
   }
+#else
+  for (index_t i = 0; i < n; ++i) loss += row_loss(i);
+#endif
   out.value = static_cast<T>(loss) * inv_n;
 }
 

@@ -2,6 +2,9 @@
 // bootstrapping the backward recursion.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+
 #include "core/activations.hpp"
 #include "core/loss.hpp"
 #include "test_utils.hpp"
@@ -118,6 +121,23 @@ TEST(Loss, CrossEntropyExplicitNormalizer) {
   const auto res_scaled = softmax_cross_entropy<double>(h, labels, {}, 8);
   EXPECT_NEAR(res_scaled.value, res_auto.value / 2.0, 1e-12);
   EXPECT_NEAR(res_scaled.grad(0, 0), res_auto.grad(0, 0) / 2.0, 1e-12);
+}
+
+// The parallel loss reduction sums explicit per-thread partials in
+// thread-index order over a static row partition, so repeated evaluations
+// of the same batch are bitwise identical — not merely close.
+TEST(Loss, CrossEntropyRepeatedRunsBitwiseIdentical) {
+  const auto h = testing::random_dense<double>(257, 7, 83);
+  std::vector<index_t> labels(257);
+  Rng rng(89);
+  for (auto& l : labels) l = static_cast<index_t>(rng.next_bounded(7));
+  const auto first = softmax_cross_entropy<double>(h, labels);
+  for (int rep = 0; rep < 4; ++rep) {
+    const auto again = softmax_cross_entropy<double>(h, labels);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(first.value),
+              std::bit_cast<std::uint64_t>(again.value))
+        << "loss value drifted on repeat " << rep;
+  }
 }
 
 TEST(Loss, MseKnownValue) {

@@ -2,8 +2,13 @@
 // reference implementations that materialize the virtual dense matrices.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+
 #include "tensor/fused.hpp"
 #include "tensor/reference_impls.hpp"
+#include "tensor/schedule.hpp"
 #include "tensor/spmm.hpp"
 #include "test_utils.hpp"
 
@@ -219,6 +224,47 @@ TEST(FusedKernels, GatHandlesAllIsolatedVertices) {
   for (index_t i = 0; i < 5; ++i)
     for (index_t g = 0; g < 3; ++g)
       EXPECT_EQ(out(i, g), 0.0) << "isolated row " << i << " must aggregate to 0";
+}
+
+// Repeated runs of the fused aggregates must be bitwise identical under
+// every schedule policy: the chunk decomposition is a pure function of
+// (row_ptr, policy, grain) and split-row partials fold in fixed piece
+// order, so no run-to-run reassociation is possible.
+TEST(FusedKernels, ScheduleRepeatedRunsAreBitwiseIdentical) {
+  const auto g = testing::small_graph<double>(48, 360, 91);
+  const index_t n = g.adj.rows();
+  const auto h = random_dense<double>(n, 5, 93);
+  const auto x = random_dense<double>(n, 4, 97);
+  Rng rng(99);
+  std::vector<double> s1(static_cast<std::size_t>(n)), s2(static_cast<std::size_t>(n));
+  for (auto& v : s1) v = rng.next_uniform(-1, 1);
+  for (auto& v : s2) v = rng.next_uniform(-1, 1);
+  const auto bits_equal = [](const DenseMatrix<double>& a,
+                             const DenseMatrix<double>& b) {
+    if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+    for (index_t i = 0; i < a.size(); ++i) {
+      if (std::bit_cast<std::uint64_t>(a.data()[i]) !=
+          std::bit_cast<std::uint64_t>(b.data()[i])) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (const auto policy :
+       {SchedulePolicy::kRowParallel, SchedulePolicy::kEdgeBalanced,
+        SchedulePolicy::kHybridBinned}) {
+    // grain 8 forces splits even on this small graph
+    const auto sched = KernelSchedule::build(g.adj.row_ptr(), policy, 8);
+    DenseMatrix<double> va_a, va_b, gat_a, gat_b;
+    fused_va_aggregate(g.adj, h, x, va_a, &sched);
+    fused_va_aggregate(g.adj, h, x, va_b, &sched);
+    fused_gat_aggregate<double>(g.adj, s1, s2, 0.2, x, gat_a, &sched);
+    fused_gat_aggregate<double>(g.adj, s1, s2, 0.2, x, gat_b, &sched);
+    EXPECT_TRUE(bits_equal(va_a, va_b))
+        << "fused_va_aggregate not reproducible under " << to_string(policy);
+    EXPECT_TRUE(bits_equal(gat_a, gat_b))
+        << "fused_gat_aggregate not reproducible under " << to_string(policy);
+  }
 }
 
 TEST(FusedKernels, GatSelfLoopOnlyAdjacencyIsIdentity) {

@@ -161,6 +161,39 @@ TEST_P(GoldenModels, MatchesPinnedValues) {
   }
 }
 
+// Every schedule policy must reproduce the same pinned goldens — the values
+// were not regenerated for the scheduler work, so this asserts the chunked
+// paths stay on the pinned numerical trajectory for all five model kinds.
+// AGNN_SCHEDULE_GRAIN=4 forces real splits on the tiny 8-node workload.
+TEST_P(GoldenModels, AllPoliciesMatchPinnedValues) {
+  if (std::getenv("AGNN_REGEN_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "regeneration handled by MatchesPinnedValues";
+  }
+  const ModelKind kind = GetParam();
+  const GoldenData golden = load_golden();
+  ASSERT_FALSE(golden.empty()) << "missing " << kGoldenFile;
+  ::setenv("AGNN_SCHEDULE_GRAIN", "4", 1);
+  for (const char* policy : {"row", "edge", "hybrid"}) {
+    ::setenv("AGNN_SCHEDULE", policy, 1);
+    const auto actual = compute_quantities(kind);
+    for (const auto& [key, values] : actual) {
+      const std::string full = std::string(to_string(kind)) + "." + key;
+      const auto it = golden.find(full);
+      ASSERT_NE(it, golden.end()) << "golden file lacks " << full;
+      ASSERT_EQ(it->second.size(), values.size()) << full;
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        // Same tolerance as the primary golden check: split-row partials
+        // reassociate within it.
+        const double tol = 1e-9 * (1.0 + std::abs(it->second[i]));
+        EXPECT_NEAR(values[i], it->second[i], tol)
+            << full << "[" << i << "] under AGNN_SCHEDULE=" << policy;
+      }
+    }
+  }
+  ::unsetenv("AGNN_SCHEDULE");
+  ::unsetenv("AGNN_SCHEDULE_GRAIN");
+}
+
 INSTANTIATE_TEST_SUITE_P(AllKinds, GoldenModels,
                          ::testing::Values(ModelKind::kVA, ModelKind::kAGNN,
                                            ModelKind::kGAT, ModelKind::kGCN,
