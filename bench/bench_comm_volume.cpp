@@ -8,10 +8,17 @@
 // (c) The Section 8.2 communication-overhead datapoint: GAT at 1% density,
 //     modeled communication time as p grows (paper: 0.41 s at 32 nodes to
 //     1.13 s at 512 — sublinear growth in p at fixed per-rank work).
+// (d) The distribution-policy family crossover (Section 6.3 generalized):
+//     measured max-per-rank forward volume of every family member
+//     (1D/1.5D/2D/3D) against the exact per-rank protocol replay and the
+//     closed-form asymptotic bound, across square AND awkward rank counts.
 #include <cmath>
 
 #include "bench_common.hpp"
 #include "dist/dist_1d_engine.hpp"
+#include "dist/dist_summa_engine.hpp"
+#include "dist/engine_factory.hpp"
+#include "dist/volume_model.hpp"
 
 namespace agnn::bench {
 namespace {
@@ -112,6 +119,68 @@ void Scheme1dVs15d(benchmark::State& state) {
   state.SetLabel("GAT inference");
 }
 
+// One forward pass of each family member, measured against the exact
+// per-rank replay (byte-exact for 1D/2D/3D and for 1.5D when sqrt(p)
+// divides n) and the closed-form asymptotic bound. The per-p rows across
+// policies form the family crossover table pinned in results/.
+void PolicyFamilyVolume(benchmark::State& state) {
+  const auto policy = static_cast<dist::DistPolicy>(state.range(0));
+  const int ranks = static_cast<int>(state.range(1));
+  const index_t n = 1024, k = 16;
+  const int layers = 3;
+  const ModelKind kind = ModelKind::kVA;
+  static const graph::Graph<real_t>& g = *new graph::Graph<real_t>(
+      uniform_graph(n, 0.01, 21));
+  Rng rng(11);
+  DenseMatrix<real_t> x(n, k);
+  x.fill_uniform(rng, -1.0, 1.0);
+
+  for (auto _ : state) {
+    const auto stats =
+        comm::SpmdRuntime::run(ranks, [&](comm::Communicator& world) {
+          GnnModel<real_t> model(model_config(kind, k, layers));
+          switch (policy) {
+            case dist::DistPolicy::k1D: {
+              dist::Dist1dGlobalEngine<real_t> engine(world, g.adj, model);
+              comm::reset_all_stats(world);
+              engine.forward(x, nullptr);
+              break;
+            }
+            case dist::DistPolicy::k1_5D: {
+              dist::DistGnnEngine<real_t> engine(world, g.adj, model);
+              comm::reset_all_stats(world);
+              engine.forward(x, nullptr);
+              break;
+            }
+            case dist::DistPolicy::k2D:
+            case dist::DistPolicy::k3D: {
+              dist::DistSummaEngine<real_t> engine(world, g.adj, model,
+                                                   policy);
+              comm::reset_all_stats(world);
+              engine.forward(x, nullptr);
+              break;
+            }
+          }
+        });
+    const auto r = summarize(stats);
+    state.SetIterationTime(std::max(1e-9, r.modeled_seconds));
+    const double measured_words =
+        static_cast<double>(comm::max_bytes_sent(stats)) / sizeof(real_t);
+    const double exact_words =
+        layers * dist::predicted_policy_forward_words(policy, kind, n, k, ranks);
+    const double bound_words =
+        layers * dist::policy_bound_words(policy, n, k, ranks);
+    state.counters["measured_kwords"] = measured_words / 1e3;
+    state.counters["exact_kwords"] = exact_words / 1e3;
+    state.counters["bound_kwords"] = bound_words / 1e3;
+    state.counters["measured_over_bound"] =
+        ranks == 1 ? 0.0 : measured_words / bound_words;
+    state.counters["measured_over_exact"] =
+        exact_words > 0 ? measured_words / exact_words : 0.0;
+  }
+  state.SetLabel(std::string("fwd/VA/") + dist::to_string(policy));
+}
+
 void GatCommOverheadVsRanks(benchmark::State& state) {
   const int ranks = static_cast<int>(state.range(0));
   const index_t k = 16;
@@ -168,6 +237,23 @@ void register_all() {
         ->Args({p})
         ->UseManualTime()
         ->Iterations(1);
+  }
+  // The family crossover table: square counts cover all four members;
+  // the awkward counts (6, 8, 12) exercise the members that accept any p.
+  for (const auto policy :
+       {dist::DistPolicy::k1D, dist::DistPolicy::k1_5D, dist::DistPolicy::k2D,
+        dist::DistPolicy::k3D}) {
+    for (const int p : {4, 6, 8, 12, 16, 64}) {
+      if (!dist::policy_accepts(policy, p)) continue;
+      benchmark::RegisterBenchmark(
+          (std::string("Sec6_PolicyFamily/") + dist::to_string(policy) + "/p" +
+           std::to_string(p))
+              .c_str(),
+          PolicyFamilyVolume)
+          ->Args({static_cast<long>(policy), p})
+          ->UseManualTime()
+          ->Iterations(1);
+    }
   }
 }
 

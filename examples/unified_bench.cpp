@@ -19,9 +19,13 @@
 //   --repeat R / --warmup W          timed / warm-up executions (10 / 2)
 //   --inference                      inference only (no intermediates)
 //   -s/--seed S                      RNG seed (default 0)
-//   -p/--ranks P                     simulated ranks (default 1; perfect
-//                                    square for --engine global)
+//   -p/--ranks P                     simulated ranks (default 1)
 //   --engine {global,local}          formulation to execute (default global)
+//
+// With --engine global the distribution policy comes from AGNN_DIST
+// (1d | 1.5d | 2d | 3d | auto; AGNN_DIST_DEPTH for 3d replication depth).
+// The default "auto" picks 1.5D on perfect-square rank counts and 2D
+// otherwise, so -p no longer has to be a square.
 //   --trace                          also write the profiling repetition's
 //                                    timeline as Chrome/Perfetto JSON
 //                                    (AGNN_TRACE=1 works too)
@@ -43,6 +47,7 @@
 #include "core/cli.hpp"
 #include "core/model.hpp"
 #include "dist/dist_engine.hpp"
+#include "dist/engine_factory.hpp"
 #include "graph/erdos_renyi.hpp"
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
@@ -126,13 +131,17 @@ int main(int argc, char** argv) {
     l = static_cast<index_t>(rng.next_bounded(static_cast<std::uint64_t>(k)));
   }
 
+  // Resolve (and validate) the distribution grid up front so a bad
+  // AGNN_DIST / rank-count combination fails before any rank is spawned.
+  const dist::GridShape grid = dist::grid_from_env(ranks);
+
   std::printf("model=%s engine=%s task=%s n=%lld m=%lld features=%lld layers=%d "
-              "ranks=%d\n",
+              "ranks=%d dist=%s\n",
               to_string(kind), engine.c_str(),
               inference ? "inference" : "training",
               static_cast<long long>(g.num_vertices()),
               static_cast<long long>(g.num_edges()), static_cast<long long>(k),
-              layers, ranks);
+              layers, ranks, grid.describe().c_str());
 
   GnnConfig cfg;
   cfg.kind = kind;
@@ -145,13 +154,14 @@ int main(int argc, char** argv) {
     return comm::SpmdRuntime::run(ranks, [&](comm::Communicator& world) {
       GnnModel<float> model(cfg);
       if (engine == "global") {
-        dist::DistGnnEngine<float> eng(world, adj, model);
+        const auto eng = dist::make_dist_engine(grid.policy, world, adj, model,
+                                                grid.depth);
         comm::reset_all_stats(world);
         if (inference) {
-          eng.forward(x, nullptr);
+          eng->infer(x);
         } else {
           SgdOptimizer<float> sgd(0.01f);
-          eng.train_step(x, labels, sgd);
+          eng->train_step(x, labels, sgd);
         }
       } else {
         baseline::DistLocalEngine<float> eng(world, adj, model);

@@ -75,7 +75,8 @@ struct GroupContext {
         sizes(static_cast<std::size_t>(size_), 0),
         split_color(static_cast<std::size_t>(size_), 0),
         split_key(static_cast<std::size_t>(size_), 0),
-        subgroup(static_cast<std::size_t>(size_)) {}
+        subgroup(static_cast<std::size_t>(size_)),
+        pending(static_cast<std::size_t>(size_), 0) {}
 
   int size;
   std::vector<int> global;            // group rank -> global rank
@@ -92,6 +93,11 @@ struct GroupContext {
   std::vector<int> split_key;
   std::vector<std::shared_ptr<GroupContext>> subgroup;  // per-rank result of split
   std::vector<int> subrank;           // per-rank rank within its subgroup
+  // Per-rank "async collective in flight" flag. Each rank reads and writes
+  // ONLY its own entry (no synchronization needed); it guards against
+  // starting a second collective on a group whose staging slots are still
+  // pinned by an unwaited ibroadcast/iallreduce.
+  std::vector<char> pending;
 
   // Checked barrier replacing std::barrier: identical rendezvous in the
   // healthy case, plus failure propagation and an optional deadline. The
@@ -198,6 +204,7 @@ class Communicator {
   void broadcast(std::span<T> buf, int root) {
     AGNN_TRACE_SCOPE_BYTES("broadcast", kCollective, buf.size_bytes());
     fault_point("broadcast");
+    assert_no_pending("broadcast");
     AGNN_ASSERT(root >= 0 && root < size(), "broadcast: bad root");
     if (size() == 1) return;
     ctx_->sizes[static_cast<std::size_t>(rank_)] = buf.size();
@@ -222,6 +229,7 @@ class Communicator {
   void reduce_sum(std::span<T> buf, int root) {
     AGNN_TRACE_SCOPE_BYTES("reduce_sum", kCollective, buf.size_bytes());
     fault_point("reduce_sum");
+    assert_no_pending("reduce_sum");
     AGNN_ASSERT(root >= 0 && root < size(), "reduce: bad root");
     if (size() == 1) return;
     ctx_->slots[static_cast<std::size_t>(rank_)] = buf.data();
@@ -251,6 +259,7 @@ class Communicator {
   void allreduce_sum(std::span<T> buf) {
     AGNN_TRACE_SCOPE_BYTES("allreduce_sum", kCollective, 2 * buf.size_bytes());
     fault_point("allreduce_sum");
+    assert_no_pending("allreduce_sum");
     if (size() == 1) return;
     ctx_->slots[static_cast<std::size_t>(rank_)] = buf.data();
     ctx_->sizes[static_cast<std::size_t>(rank_)] = buf.size();
@@ -281,6 +290,7 @@ class Communicator {
   void allreduce_max(std::span<T> buf) {
     AGNN_TRACE_SCOPE_BYTES("allreduce_max", kCollective, 2 * buf.size_bytes());
     fault_point("allreduce_max");
+    assert_no_pending("allreduce_max");
     if (size() == 1) return;
     ctx_->slots[static_cast<std::size_t>(rank_)] = buf.data();
     ctx_->sizes[static_cast<std::size_t>(rank_)] = buf.size();
@@ -316,6 +326,7 @@ class Communicator {
                             std::vector<std::size_t>* offsets_out = nullptr) {
     AGNN_TRACE_SCOPE_BYTES("allgatherv", kCollective, in.size_bytes());
     fault_point("allgatherv");
+    assert_no_pending("allgatherv");
     ctx_->slots[static_cast<std::size_t>(rank_)] = in.data();
     ctx_->sizes[static_cast<std::size_t>(rank_)] = in.size();
     barrier();
@@ -353,6 +364,7 @@ class Communicator {
    public:
     Window(Communicator& c, std::span<const T> local) : c_(c) {
       c_.fault_point("window_expose");
+      c_.assert_no_pending("window_expose");
       c_.ctx_->slots[static_cast<std::size_t>(c_.rank_)] = local.data();
       c_.ctx_->sizes[static_cast<std::size_t>(c_.rank_)] = local.size();
       c_.barrier();
@@ -406,6 +418,181 @@ class Communicator {
     return Window<T>(*this, local);
   }
 
+  // ---- async collectives --------------------------------------------------
+  // ibroadcast / iallreduce_sum split the blocking collective at its first
+  // rendezvous: `start` stages this rank's buffer and passes the entry
+  // barrier, then returns a handle; `wait()` performs the data movement, the
+  // remaining barriers, and the volume/superstep charge of the blocking
+  // form. The result and the accounting are therefore identical to the
+  // blocking call by construction — the only difference is that the caller
+  // may compute between start and wait, which the trace renders as kernel
+  // spans nested inside the still-open collective span (the overlap
+  // evidence the pipelined SUMMA engines rely on).
+  //
+  // Contract: the buffer is pinned from start until wait() returns — peers
+  // read it through the staging slot during wait — and at most one async
+  // collective per (group, rank) may be in flight (staging slots are a
+  // single set per group; the `pending` flag asserts this).
+  template <typename T>
+  class Pending {
+   public:
+    Pending(Pending&& o) noexcept
+        : c_(o.c_),
+          op_(o.op_),
+          buf_(o.buf_),
+          root_(o.root_),
+          done_(o.done_),
+          span_name_(o.span_name_) {
+      o.done_ = true;
+      o.span_name_ = nullptr;
+    }
+    Pending& operator=(Pending&& o) noexcept {
+      if (this != &o) {
+        try {
+          wait();
+        } catch (...) {
+        }
+        c_ = o.c_;
+        op_ = o.op_;
+        buf_ = o.buf_;
+        root_ = o.root_;
+        done_ = o.done_;
+        span_name_ = o.span_name_;
+        o.done_ = true;
+        o.span_name_ = nullptr;
+      }
+      return *this;
+    }
+    Pending(const Pending&) = delete;
+    Pending& operator=(const Pending&) = delete;
+
+    // Like ~Window: unwinding past an unwaited handle must neither throw nor
+    // deadlock — with a failure active the completion barrier throws
+    // CommError, swallowed here; this rank rethrows at its next collective.
+    ~Pending() {
+      try {
+        wait();
+      } catch (...) {
+      }
+    }
+
+    // Complete the collective: exactly the tail of the blocking form after
+    // its first barrier. Idempotent.
+    void wait() {
+      if (done_) return;
+      done_ = true;
+      Communicator& c = *c_;
+      c.ctx_->pending[static_cast<std::size_t>(c.rank_)] = 0;
+      if (op_ == Op::kBroadcast) {
+        AGNN_ASSERT(
+            c.ctx_->sizes[static_cast<std::size_t>(root_)] == buf_.size(),
+            "ibroadcast: buffer size must match the root's");
+        if (c.rank_ != root_ && !buf_.empty()) {
+          const auto* src = static_cast<const T*>(
+              c.ctx_->slots[static_cast<std::size_t>(root_)]);
+          std::memcpy(buf_.data(), src, buf_.size_bytes());
+        }
+        c.barrier();
+        c.charge_and_mark(
+            buf_.size_bytes(), 1,
+            detail::ceil_log2(static_cast<std::uint64_t>(c.size())));
+      } else {
+        AGNN_ASSERT(c.ctx_->sizes[0] == buf_.size(),
+                    "iallreduce_sum: buffer sizes must match");
+        if (c.rank_ == 0) {
+          c.ctx_->scratch.resize(buf_.size_bytes());
+          auto* acc = reinterpret_cast<T*>(c.ctx_->scratch.data());
+          std::fill_n(acc, buf_.size(), T(0));
+          for (int r = 0; r < c.size(); ++r) {
+            AGNN_ASSERT(
+                c.ctx_->sizes[static_cast<std::size_t>(r)] == buf_.size(),
+                "iallreduce_sum: buffer sizes must match");
+            const auto* src = static_cast<const T*>(
+                c.ctx_->slots[static_cast<std::size_t>(r)]);
+            for (std::size_t i = 0; i < buf_.size(); ++i) acc[i] += src[i];
+          }
+        }
+        c.barrier();
+        if (!buf_.empty()) {
+          std::memcpy(buf_.data(), c.ctx_->scratch.data(), buf_.size_bytes());
+        }
+        c.barrier();
+        c.charge_and_mark(
+            2 * buf_.size_bytes(), 2,
+            2 * detail::ceil_log2(static_cast<std::uint64_t>(c.size())));
+      }
+      close_span();
+    }
+
+   private:
+    friend class Communicator;
+    enum class Op : std::uint8_t { kBroadcast, kAllreduceSum };
+
+    // Trivial (single-rank) completed handle.
+    Pending(Communicator& c, Op op) : c_(&c), op_(op), done_(true) {}
+
+    Pending(Communicator& c, Op op, std::span<T> buf, int root,
+            const char* span_name)
+        : c_(&c), op_(op), buf_(buf), root_(root), span_name_(span_name) {}
+
+    void close_span() {
+      if (span_name_ != nullptr) {
+        obs::Tracer::instance().end(span_name_, obs::SpanCategory::kCollective);
+        span_name_ = nullptr;
+      }
+    }
+
+    Communicator* c_;
+    Op op_;
+    std::span<T> buf_{};
+    int root_ = 0;
+    bool done_ = false;
+    const char* span_name_ = nullptr;  // non-null iff the Begin was recorded
+  };
+
+  // Start an asynchronous broadcast. Same staging, fault point, and (at
+  // wait) accounting as `broadcast`.
+  template <typename T>
+  Pending<T> ibroadcast(std::span<T> buf, int root) {
+    fault_point("ibroadcast");
+    AGNN_ASSERT(root >= 0 && root < size(), "ibroadcast: bad root");
+    assert_no_pending("ibroadcast");
+    if (size() == 1) return Pending<T>(*this, Pending<T>::Op::kBroadcast);
+    ctx_->sizes[static_cast<std::size_t>(rank_)] = buf.size();
+    if (rank_ == root) ctx_->slots[static_cast<std::size_t>(root)] = buf.data();
+    barrier();
+    ctx_->pending[static_cast<std::size_t>(rank_)] = 1;
+    const char* span = nullptr;
+    if (obs::Tracer::enabled() &&
+        obs::Tracer::instance().begin("ibroadcast",
+                                      obs::SpanCategory::kCollective,
+                                      buf.size_bytes())) {
+      span = "ibroadcast";
+    }
+    return Pending<T>(*this, Pending<T>::Op::kBroadcast, buf, root, span);
+  }
+
+  // Start an asynchronous allreduce(sum). Same staging, fault point, and
+  // (at wait) accounting as `allreduce_sum`.
+  template <typename T>
+  Pending<T> iallreduce_sum(std::span<T> buf) {
+    fault_point("iallreduce_sum");
+    assert_no_pending("iallreduce_sum");
+    if (size() == 1) return Pending<T>(*this, Pending<T>::Op::kAllreduceSum);
+    ctx_->slots[static_cast<std::size_t>(rank_)] = buf.data();
+    ctx_->sizes[static_cast<std::size_t>(rank_)] = buf.size();
+    barrier();
+    ctx_->pending[static_cast<std::size_t>(rank_)] = 1;
+    const char* span = nullptr;
+    if (obs::Tracer::enabled() &&
+        obs::Tracer::instance().begin("iallreduce_sum",
+                                      obs::SpanCategory::kCollective,
+                                      2 * buf.size_bytes())) {
+      span = "iallreduce_sum";
+    }
+    return Pending<T>(*this, Pending<T>::Op::kAllreduceSum, buf, 0, span);
+  }
+
   // ---- split ---------------------------------------------------------------
   // Partition the group by color; within each color, ranks are ordered by
   // (key, old rank). Collective over the whole group.
@@ -414,6 +601,18 @@ class Communicator {
  private:
   template <typename T>
   friend class Window;
+  template <typename T>
+  friend class Pending;
+
+  // Starting any staging collective while an async one is in flight on the
+  // same group would clobber the staging slots the pending op still reads;
+  // each rank checks (and owns) only its own flag.
+  void assert_no_pending(const char* what) {
+    (void)what;
+    AGNN_ASSERT(ctx_->pending[static_cast<std::size_t>(rank_)] == 0,
+                "async collective still in flight on this group: wait() the "
+                "handle before the next collective");
+  }
 
   // The single fault-injection hook: every collective entry consults the
   // runtime's FaultState, which fires any due plan events for this rank

@@ -12,19 +12,13 @@
 //
 // which is exactly the gap the 1.5D scheme buys. The engines compute
 // identical results (tests assert equality), so bench_comm_volume can
-// compare them purely on data movement.
+// compare them purely on data movement. Step plumbing (layer loop, loss,
+// gradient chaining) comes from the shared EngineCoreBase.
 #pragma once
 
 #include <vector>
 
-#include "comm/communicator.hpp"
-#include "core/layer.hpp"
-#include "core/loss.hpp"
-#include "core/model.hpp"
-#include "core/optimizer.hpp"
-#include "core/workspace.hpp"
-#include "dist/process_grid.hpp"
-#include "obs/trace.hpp"
+#include "dist/engine_core.hpp"
 
 namespace agnn::dist {
 
@@ -42,98 +36,62 @@ struct Dist1dLayerCache {
 };
 
 template <typename T>
-class Dist1dGlobalEngine {
+class Dist1dGlobalEngine
+    : public EngineCoreBase<T, Dist1dLayerCache<T>, Dist1dGlobalEngine<T>> {
+  using Base = EngineCoreBase<T, Dist1dLayerCache<T>, Dist1dGlobalEngine<T>>;
+  friend Base;
+
  public:
+  using LayerCache = Dist1dLayerCache<T>;
+  static constexpr const char* kForwardSpan = "dist1d.forward";
+  static constexpr const char* kTrainSpan = "dist1d.train_step";
+
   Dist1dGlobalEngine(comm::Communicator& world, const CsrMatrix<T>& a_global,
                      GnnModel<T>& model)
-      : world_(world),
+      : Base(world, a_global.rows(), model),
         p_(world.size()),
-        n_(a_global.rows()),
-        vr_(block_range(n_, p_, world.rank())),
-        model_(model) {
-    a_loc_ = a_global.block(vr_.begin, vr_.end, 0, n_);
+        vr_(block_range(this->n_, p_, world.rank())) {
+    a_loc_ = a_global.block(vr_.begin, vr_.end, 0, this->n_);
   }
 
   const BlockRange& owned_block() const { return vr_; }
-  Workspace<T>& workspace() { return ws_; }
-  const WorkspaceStats& workspace_stats() const { return ws_.stats(); }
 
-  DenseMatrix<T> forward(const DenseMatrix<T>& x_global,
-                         std::vector<Dist1dLayerCache<T>>* caches) {
-    AGNN_TRACE_SCOPE("dist1d.forward", kPhase);
-    DenseMatrix<T> h_own = x_global.slice_rows(vr_.begin, vr_.end);
-    if (caches) caches->resize(model_.num_layers());  // keeps slot storage warm
-    for (std::size_t l = 0; l < model_.num_layers(); ++l) {
-      h_own = layer_forward(model_.layer(l), h_own, caches ? &(*caches)[l] : nullptr);
-    }
-    return h_own;
+  // Owned row blocks partition [0, n) in rank order, so the allgatherv
+  // concatenation IS the global matrix.
+  DenseMatrix<T> gather_output(const DenseMatrix<T>& h_own) {
+    DenseMatrix<T> full;
+    allgather_rows_into(h_own, full);
+    return full;
   }
-
-  struct StepResult {
-    T loss = T(0);
-  };
-
-  StepResult train_step(const DenseMatrix<T>& x_global,
-                        std::span<const index_t> labels, Optimizer<T>& opt,
-                        std::span<const std::uint8_t> mask = {}) {
-    AGNN_TRACE_SCOPE("dist1d.train_step", kPhase);
-    std::vector<Dist1dLayerCache<T>>& caches = caches_;  // persistent slots
-    const DenseMatrix<T> h_own = forward(x_global, &caches);
-
-    index_t active = 0;
-    for (index_t i = 0; i < static_cast<index_t>(labels.size()); ++i) {
-      if (mask.empty() || mask[static_cast<std::size_t>(i)]) ++active;
-    }
-    const auto local_labels = labels.subspan(static_cast<std::size_t>(vr_.begin),
-                                             static_cast<std::size_t>(vr_.size()));
-    const auto local_mask =
-        mask.empty() ? mask
-                     : mask.subspan(static_cast<std::size_t>(vr_.begin),
-                                    static_cast<std::size_t>(vr_.size()));
-    LossResult<T> loss = softmax_cross_entropy(h_own, local_labels, local_mask, active);
-    std::vector<T> loss_buf{loss.value};
-    world_.allreduce_sum(std::span<T>(loss_buf));
-
-    const auto& last = model_.layer(model_.num_layers() - 1);
-    DenseMatrix<T> g_own =
-        activation_backward(last.activation(), caches.back().z_own, loss.grad);
-    std::vector<LayerGrads<T>> grads(model_.num_layers());
-    for (std::size_t l = model_.num_layers(); l-- > 0;) {
-      DenseMatrix<T> gamma_own =
-          layer_backward(model_.layer(l), caches[l], g_own, grads[l]);
-      if (l > 0) {
-        g_own = activation_backward(model_.layer(l - 1).activation(),
-                                    caches[l - 1].z_own, gamma_own);
-      }
-    }
-    model_.apply_gradients(grads, opt);
-    return {loss_buf[0]};
-  }
-
-  // The world communicator (exposed so the recovery loop can barrier and
-  // rendezvous on the same group the engine trains over).
-  comm::Communicator& world() { return world_; }
 
  private:
+  // ---- engine-core policy hooks ---------------------------------------------
+
+  BlockRange input_block() const { return vr_; }
+  // Row blocks are disjoint: every rank's loss contribution counts.
+  bool counts_in_loss() const { return true; }
+  const DenseMatrix<T>& cached_z(const Dist1dLayerCache<T>& c) const {
+    return c.z_own;
+  }
+
   // Allgather owned row blocks into the full matrix (in rank order — the
   // n*k-per-rank cost that defines this scheme), into caller storage.
   void allgather_rows_into(const DenseMatrix<T>& own, DenseMatrix<T>& full) {
-    const std::vector<T> flat = world_.allgatherv(std::span<const T>(own.flat()));
-    AGNN_ASSERT(static_cast<index_t>(flat.size()) == n_ * own.cols(),
+    const std::vector<T> flat =
+        this->world_.allgatherv(std::span<const T>(own.flat()));
+    AGNN_ASSERT(static_cast<index_t>(flat.size()) == this->n_ * own.cols(),
                 "1d allgather: unexpected size");
-    full.resize(n_, own.cols());
+    full.resize(this->n_, own.cols());
     std::copy(flat.begin(), flat.end(), full.data());
   }
 
   DenseMatrix<T> layer_forward(const Layer<T>& layer, const DenseMatrix<T>& h_own,
                                Dist1dLayerCache<T>* cache) {
     AGNN_TRACE_SCOPE("dist1d.layer_forward", kPhase);
-    DenseMatrix<T> w = layer.weights();
-    world_.broadcast(w.flat(), 0);
-    std::vector<T> a = layer.attention_params();
-    if (!a.empty()) world_.broadcast(std::span<T>(a), 0);
-    DenseMatrix<T> w2 = layer.weights2();
-    if (!w2.empty()) world_.broadcast(w2.flat(), 0);
+    typename Base::LayerParams params = this->broadcast_params(layer);
+    const DenseMatrix<T>& w = params.w;
+    const std::vector<T>& a = params.a;
+    const DenseMatrix<T>& w2 = params.w2;
 
     // All intermediates live in the cache slots (or a throwaway scratch in
     // inference mode), overwritten in place across steps.
@@ -141,7 +99,7 @@ class Dist1dGlobalEngine {
     Dist1dLayerCache<T>& c = cache ? *cache : scratch;
     allgather_rows_into(h_own, c.h_full);
 
-    comm::ComputeRegion t(world_.stats());
+    comm::ComputeRegion t(this->world_.stats());
     switch (layer.kind()) {
       case ModelKind::kGCN: {
         spmm(a_loc_, c.h_full, c.ph_own);
@@ -166,12 +124,10 @@ class Dist1dGlobalEngine {
       }
       case ModelKind::kAGNN: {
         sddmm_unweighted(a_loc_, h_own, c.h_full, c.cos_loc);
-        auto inv_r = ws_.acquire_vec(vr_.size());
-        auto inv_c = ws_.acquire_vec(n_);
-        row_l2_norms(h_own, *inv_r);
-        row_l2_norms(c.h_full, *inv_c);
-        for (auto& v : *inv_r) v = v > T(0) ? T(1) / v : T(0);
-        for (auto& v : *inv_c) v = v > T(0) ? T(1) / v : T(0);
+        auto inv_r = this->ws_.acquire_vec(vr_.size());
+        auto inv_c = this->ws_.acquire_vec(this->n_);
+        inv_row_norms(h_own, *inv_r);
+        inv_row_norms(c.h_full, *inv_c);
         scale_rows_cols<T>(c.cos_loc, inv_r.cspan(), inv_c.cspan(), c.cos_loc);
         hadamard_same_pattern(c.cos_loc, a_loc_, c.psi_loc);
         spmm(c.psi_loc, c.h_full, c.ph_own);
@@ -184,8 +140,8 @@ class Dist1dGlobalEngine {
         const std::span<const T> a_all(a);
         const auto a1 = a_all.subspan(0, static_cast<std::size_t>(k_out));
         const auto a2 = a_all.subspan(static_cast<std::size_t>(k_out));
-        auto s1 = ws_.acquire_vec(vr_.size());
-        auto s2 = ws_.acquire_vec(n_);
+        auto s1 = this->ws_.acquire_vec(vr_.size());
+        auto s2 = this->ws_.acquire_vec(this->n_);
         for (index_t i = 0; i < vr_.size(); ++i) {  // s1 needs owned rows only
           const T* r = c.hp_full.data() + (vr_.begin + i) * k_out;
           T acc = T(0);
@@ -209,23 +165,24 @@ class Dist1dGlobalEngine {
     const DenseMatrix<T>& w = layer.weights();
     const index_t own = vr_.size();
     const index_t k_in = layer.in_features();
+    const index_t n = this->n_;
     DenseMatrix<T> h_own = cache.h_full.slice_rows(vr_.begin, vr_.end);
 
     // Column-side gradient contributions live on all n rows; 1D has no
     // column partition, so they are allreduced as a full n x k matrix —
     // the 2 n k term of this scheme's volume.
-    DenseMatrix<T> gamma_full(n_, k_in, T(0));
+    DenseMatrix<T> gamma_full(n, k_in, T(0));
     switch (layer.kind()) {
       case ModelKind::kGCN: {
-        comm::ComputeRegion t(world_.stats());
+        comm::ComputeRegion t(this->world_.stats());
         grads.d_w = matmul_tn(cache.ph_own, g_own);
         const DenseMatrix<T> m_own = matmul_nt(g_own, w);
-        gamma_full = DenseMatrix<T>(n_, k_in, T(0));
+        gamma_full = DenseMatrix<T>(n, k_in, T(0));
         spmm_accumulate_rows(a_loc_.transposed(), m_own, gamma_full);
         break;
       }
       case ModelKind::kGIN: {
-        comm::ComputeRegion t(world_.stats());
+        comm::ComputeRegion t(this->world_.stats());
         grads.d_w2 = matmul_tn(cache.mlp_hidden_own, g_own);
         const DenseMatrix<T> d_hidden = matmul_nt(g_own, layer.weights2());
         const DenseMatrix<T> d_pre = activation_backward(
@@ -242,7 +199,7 @@ class Dist1dGlobalEngine {
         break;
       }
       case ModelKind::kVA: {
-        comm::ComputeRegion t(world_.stats());
+        comm::ComputeRegion t(this->world_.stats());
         grads.d_w = matmul_tn(cache.ph_own, g_own);
         const DenseMatrix<T> m_own = matmul_nt(g_own, w);
         const CsrMatrix<T> n_loc = sddmm(a_loc_, m_own, cache.h_full);
@@ -257,7 +214,7 @@ class Dist1dGlobalEngine {
         break;
       }
       case ModelKind::kAGNN: {
-        comm::ComputeRegion t(world_.stats());
+        comm::ComputeRegion t(this->world_.stats());
         grads.d_w = matmul_tn(cache.ph_own, g_own);
         const DenseMatrix<T> m_own = matmul_nt(g_own, w);
         const CsrMatrix<T> d_loc = sddmm(a_loc_, m_own, cache.h_full);
@@ -265,17 +222,11 @@ class Dist1dGlobalEngine {
         const std::vector<T> rs_own = sparse_row_sums(dc);
         const std::vector<T> cs_full = sparse_col_sums(dc);
         const std::vector<T> norms = row_l2_norms(cache.h_full);
-        DenseMatrix<T> hhat = cache.h_full;
-        for (index_t i = 0; i < n_; ++i) {
-          const T ni = norms[static_cast<std::size_t>(i)];
-          if (ni <= T(0)) continue;
-          T* row = hhat.data() + i * k_in;
-          for (index_t j = 0; j < k_in; ++j) row[j] /= ni;
-        }
+        const DenseMatrix<T> hhat = unit_rows(cache.h_full);
         const DenseMatrix<T> hhat_own = hhat.slice_rows(vr_.begin, vr_.end);
-        DenseMatrix<T> col_part(n_, k_in, T(0));
+        DenseMatrix<T> col_part(n, k_in, T(0));
         spmm_accumulate_rows(d_loc.transposed(), hhat_own, col_part);
-        for (index_t j = 0; j < n_; ++j) {
+        for (index_t j = 0; j < n; ++j) {
           const T nj = norms[static_cast<std::size_t>(j)];
           T* row = col_part.data() + j * k_in;
           if (nj <= T(0)) {
@@ -303,7 +254,7 @@ class Dist1dGlobalEngine {
         break;
       }
       case ModelKind::kGAT: {
-        comm::ComputeRegion t(world_.stats());
+        comm::ComputeRegion t(this->world_.stats());
         const index_t k_out = layer.out_features();
         const std::span<const T> a_all(layer.attention_params());
         const auto a1 = a_all.subspan(0, static_cast<std::size_t>(k_out));
@@ -325,7 +276,7 @@ class Dist1dGlobalEngine {
         const std::vector<T> ds1_own = sparse_row_sums(d_c);
         const std::vector<T> ds2_full = sparse_col_sums(d_c);
         // dH' contributions to all rows (column side) + own-row terms.
-        DenseMatrix<T> dhp_full(n_, k_out, T(0));
+        DenseMatrix<T> dhp_full(n, k_out, T(0));
         spmm_accumulate_rows(cache.psi_loc.transposed(), g_own, dhp_full);
         for (index_t i = 0; i < own; ++i) {
           T* row = dhp_full.data() + (vr_.begin + i) * k_out;
@@ -346,11 +297,11 @@ class Dist1dGlobalEngine {
       }
     }
 
-    world_.allreduce_sum(grads.d_w.flat());
-    if (!grads.d_w2.empty()) world_.allreduce_sum(grads.d_w2.flat());
-    if (!grads.d_a.empty()) world_.allreduce_sum(std::span<T>(grads.d_a));
+    this->world_.allreduce_sum(grads.d_w.flat());
+    if (!grads.d_w2.empty()) this->world_.allreduce_sum(grads.d_w2.flat());
+    if (!grads.d_a.empty()) this->world_.allreduce_sum(std::span<T>(grads.d_a));
     // The defining 1D cost: the full n x k gradient matrix is allreduced.
-    world_.allreduce_sum(gamma_full.flat());
+    this->world_.allreduce_sum(gamma_full.flat());
     return gamma_full.slice_rows(vr_.begin, vr_.end);
   }
 
@@ -362,14 +313,9 @@ class Dist1dGlobalEngine {
     spmm_accumulate(a, h, out);
   }
 
-  comm::Communicator& world_;
   int p_;
-  index_t n_;
   BlockRange vr_;
-  GnnModel<T>& model_;
   CsrMatrix<T> a_loc_;  // owned rows x n
-  Workspace<T> ws_;                           // per-rank scratch pool
-  std::vector<Dist1dLayerCache<T>> caches_;   // persistent training caches
 };
 
 }  // namespace agnn::dist

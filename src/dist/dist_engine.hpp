@@ -17,19 +17,16 @@
 // Every byte is charged through the Communicator's volume accounting, which
 // the theory-verification benchmark (bench_comm_volume) checks against the
 // closed-form bound.
+//
+// The step plumbing (layer loop, loss, gradient chaining) lives in the
+// policy-parameterized EngineCoreBase; this file holds only the 1.5D layer
+// math and layout exchanges.
 #pragma once
 
 #include <vector>
 
-#include "comm/communicator.hpp"
-#include "core/layer.hpp"
-#include "core/loss.hpp"
-#include "core/model.hpp"
-#include "core/optimizer.hpp"
-#include "core/workspace.hpp"
-#include "dist/process_grid.hpp"
+#include "dist/engine_core.hpp"
 #include "graph/graph.hpp"
-#include "obs/trace.hpp"
 
 namespace agnn::dist {
 
@@ -52,112 +49,38 @@ struct DistLayerCache {
 };
 
 template <typename T>
-class DistGnnEngine {
+class DistGnnEngine
+    : public EngineCoreBase<T, DistLayerCache<T>, DistGnnEngine<T>> {
+  using Base = EngineCoreBase<T, DistLayerCache<T>, DistGnnEngine<T>>;
+  friend Base;
+
  public:
+  using LayerCache = DistLayerCache<T>;
+  static constexpr const char* kForwardSpan = "dist1_5d.forward";
+  static constexpr const char* kTrainSpan = "dist1_5d.train_step";
+
   // Collective constructor: every rank passes the same global adjacency and
   // a model replica (identical across ranks by construction — same config
   // seed). Block extraction is local; initial data distribution is not
   // charged, matching the paper's accounting.
   DistGnnEngine(comm::Communicator& world, const CsrMatrix<T>& a_global,
                 GnnModel<T>& model)
-      : world_(world),
+      : Base(world, a_global.rows(), model),
         grid_(ProcessGrid::side_for(world.size())),
         gi_(grid_.row_of(world.rank())),
         gj_(grid_.col_of(world.rank())),
         row_comm_(world.split(gi_, gj_)),
         col_comm_(world.split(grid_.q + gj_, gi_)),
-        n_(a_global.rows()),
-        ri_(block_range(n_, grid_.q, gi_)),
-        cj_(block_range(n_, grid_.q, gj_)),
-        model_(model) {
+        ri_(block_range(this->n_, grid_.q, gi_)),
+        cj_(block_range(this->n_, grid_.q, gj_)) {
     AGNN_ASSERT(a_global.rows() == a_global.cols(), "adjacency must be square");
     a_loc_ = a_global.block(ri_.begin, ri_.end, cj_.begin, cj_.end);
     a_loc_t_ = a_loc_.transposed();
   }
 
-  index_t num_vertices() const { return n_; }
   const BlockRange& row_block() const { return ri_; }
   const BlockRange& col_block() const { return cj_; }
   const CsrMatrix<T>& local_adjacency() const { return a_loc_; }
-  Workspace<T>& workspace() { return ws_; }
-  const WorkspaceStats& workspace_stats() const { return ws_.stats(); }
-
-  // ---- forward -------------------------------------------------------------
-
-  // Full forward pass; x_global is the (replicated) input feature matrix.
-  // Returns the final features in layout B (rows C_j). If `caches` is null,
-  // runs in inference mode.
-  DenseMatrix<T> forward(const DenseMatrix<T>& x_global,
-                         std::vector<DistLayerCache<T>>* caches) {
-    AGNN_TRACE_SCOPE("dist1_5d.forward", kPhase);
-    DenseMatrix<T> h_b = x_global.slice_rows(cj_.begin, cj_.end);
-    if (caches) caches->resize(model_.num_layers());  // keeps slot storage warm
-    for (std::size_t l = 0; l < model_.num_layers(); ++l) {
-      h_b = layer_forward(model_.layer(l), h_b, caches ? &(*caches)[l] : nullptr);
-    }
-    return h_b;
-  }
-
-  // Inference with a final gather of the global output (for validation and
-  // examples; the gather itself is a debug output path).
-  DenseMatrix<T> infer(const DenseMatrix<T>& x_global) {
-    const DenseMatrix<T> h_b = forward(x_global, nullptr);
-    return gather_layout_b(h_b);
-  }
-
-  // ---- training --------------------------------------------------------------
-
-  struct StepResult {
-    T loss = T(0);
-  };
-
-  // One full-batch training step. Labels and mask are replicated (like the
-  // input features). Gradients are globally allreduced, so the per-rank
-  // model replicas stay bitwise in sync.
-  StepResult train_step(const DenseMatrix<T>& x_global,
-                        std::span<const index_t> labels,
-                        Optimizer<T>& opt,
-                        std::span<const std::uint8_t> mask = {}) {
-    AGNN_TRACE_SCOPE("dist1_5d.train_step", kPhase);
-    std::vector<DistLayerCache<T>>& caches = caches_;  // persistent slots
-    const DenseMatrix<T> h_b = forward(x_global, &caches);
-
-    // Loss on the local row block, normalized by the global active count.
-    index_t active = 0;
-    for (index_t i = 0; i < static_cast<index_t>(labels.size()); ++i) {
-      if (mask.empty() || mask[static_cast<std::size_t>(i)]) ++active;
-    }
-    const auto local_labels = labels.subspan(static_cast<std::size_t>(cj_.begin),
-                                             static_cast<std::size_t>(cj_.size()));
-    const auto local_mask =
-        mask.empty() ? mask
-                     : mask.subspan(static_cast<std::size_t>(cj_.begin),
-                                    static_cast<std::size_t>(cj_.size()));
-    LossResult<T> loss = softmax_cross_entropy(h_b, local_labels, local_mask, active);
-
-    // Scalar loss: blocks are replicated across grid rows, so only row 0
-    // contributes to the global sum.
-    std::vector<T> loss_buf{gi_ == 0 ? loss.value : T(0)};
-    world_.allreduce_sum(std::span<T>(loss_buf));
-
-    // G^L = nabla_H L ⊙ sigma'(Z^L), locally on layout B.
-    const auto& last = model_.layer(model_.num_layers() - 1);
-    DenseMatrix<T> g_b =
-        activation_backward(last.activation(), caches.back().z_b, loss.grad);
-
-    std::vector<LayerGrads<T>> grads(model_.num_layers());
-    for (std::size_t l = model_.num_layers(); l-- > 0;) {
-      DenseMatrix<T> gamma_b = layer_backward(model_.layer(l), caches[l], g_b, grads[l]);
-      if (l > 0) {
-        g_b = activation_backward(model_.layer(l - 1).activation(),
-                                  caches[l - 1].z_b, gamma_b);
-      }
-    }
-    model_.apply_gradients(grads, opt);
-    return {loss_buf[0]};
-  }
-
-  // ---- gathers (validation / output only) -----------------------------------
 
   // Reassemble a layout-B distributed matrix into the full global matrix.
   DenseMatrix<T> gather_layout_b(const DenseMatrix<T>& local_b) {
@@ -166,20 +89,27 @@ class DistGnnEngine {
     // which are world ranks 0..q-1 — exactly rank order for allgatherv.
     std::span<const T> contrib;
     if (gi_ == 0) contrib = local_b.flat();
-    const std::vector<T> flat = world_.allgatherv(contrib);
-    AGNN_ASSERT(static_cast<index_t>(flat.size()) == n_ * local_b.cols(),
+    const std::vector<T> flat = this->world_.allgatherv(contrib);
+    AGNN_ASSERT(static_cast<index_t>(flat.size()) == this->n_ * local_b.cols(),
                 "gather: unexpected total size");
-    return DenseMatrix<T>(n_, local_b.cols(), flat);
+    return DenseMatrix<T>(this->n_, local_b.cols(), flat);
   }
 
-  // Gather per-layer gradients (validation only): dW is already global.
-  // (grads from train_step are identical on all ranks.)
-
-  // The world communicator (exposed so the recovery loop can barrier and
-  // rendezvous on the same group the engine trains over).
-  comm::Communicator& world() { return world_; }
+  DenseMatrix<T> gather_output(const DenseMatrix<T>& local_b) {
+    return gather_layout_b(local_b);
+  }
 
  private:
+  // ---- engine-core policy hooks ---------------------------------------------
+
+  BlockRange input_block() const { return cj_; }
+  // Blocks are replicated across grid rows: only row 0 contributes to sums
+  // over the global vertex set (loss, output gather).
+  bool counts_in_loss() const { return gi_ == 0; }
+  const DenseMatrix<T>& cached_z(const DistLayerCache<T>& c) const {
+    return c.z_b;
+  }
+
   // ---- layout exchange helpers ----------------------------------------------
 
   // Transpose-partner exchange: give my layout-B block, receive the
@@ -188,8 +118,8 @@ class DistGnnEngine {
   void partner_exchange(const DenseMatrix<T>& mine, index_t out_rows,
                         DenseMatrix<T>& out) {
     out.resize(out_rows, mine.cols());
-    auto win = world_.expose(std::span<const T>(mine.flat()));
-    win.get(out.flat(), grid_.partner_of(world_.rank()), 0);
+    auto win = this->world_.expose(std::span<const T>(mine.flat()));
+    win.get(out.flat(), grid_.partner_of(this->world_.rank()), 0);
     win.close();
   }
 
@@ -202,8 +132,8 @@ class DistGnnEngine {
   void partner_exchange_vec(const std::vector<T>& mine, index_t out_len,
                             std::vector<T>& out) {
     out.resize(static_cast<std::size_t>(out_len));
-    auto win = world_.expose(std::span<const T>(mine));
-    win.get(std::span<T>(out), grid_.partner_of(world_.rank()), 0);
+    auto win = this->world_.expose(std::span<const T>(mine));
+    win.get(std::span<T>(out), grid_.partner_of(this->world_.rank()), 0);
     win.close();
   }
 
@@ -213,57 +143,15 @@ class DistGnnEngine {
     return out;
   }
 
-  // Distributed graph softmax over grid rows: per-row max and sum span the
-  // whole grid row of blocks (Section 4.2 executed blockwise). Normalizes
-  // `s` (holding the raw E values) in place; reduction vectors are pooled.
-  void dist_row_softmax_inplace(CsrMatrix<T>& s) {
-    const index_t rows = s.rows();
-    auto row_max_h = ws_.acquire_vec(rows);
-    std::vector<T>& row_max = *row_max_h;
-    std::fill(row_max.begin(), row_max.end(), -std::numeric_limits<T>::infinity());
-    for (index_t i = 0; i < rows; ++i) {
-      for (index_t e = s.row_begin(i); e < s.row_end(i); ++e) {
-        row_max[static_cast<std::size_t>(i)] =
-            std::max(row_max[static_cast<std::size_t>(i)], s.val_at(e));
-      }
-    }
-    row_comm_.allreduce_max(std::span<T>(row_max));
-    auto v = s.vals_mutable();
-    auto row_sum_h = ws_.acquire_vec(rows);
-    std::vector<T>& row_sum = *row_sum_h;
-    std::fill(row_sum.begin(), row_sum.end(), T(0));
-    for (index_t i = 0; i < rows; ++i) {
-      const T mx = row_max[static_cast<std::size_t>(i)];
-      for (index_t e = s.row_begin(i); e < s.row_end(i); ++e) {
-        const T ex = std::exp(v[static_cast<std::size_t>(e)] - mx);
-        v[static_cast<std::size_t>(e)] = ex;
-        row_sum[static_cast<std::size_t>(i)] += ex;
-      }
-    }
-    row_comm_.allreduce_sum(std::span<T>(row_sum));
-    for (index_t i = 0; i < rows; ++i) {
-      const T rs = row_sum[static_cast<std::size_t>(i)];
-      if (rs <= T(0)) continue;
-      const T inv = T(1) / rs;
-      for (index_t e = s.row_begin(i); e < s.row_end(i); ++e) {
-        v[static_cast<std::size_t>(e)] *= inv;
-      }
-    }
-  }
-
   // ---- per-layer forward -----------------------------------------------------
 
   DenseMatrix<T> layer_forward(const Layer<T>& layer, const DenseMatrix<T>& h_b,
                                DistLayerCache<T>* cache) {
     AGNN_TRACE_SCOPE("dist1_5d.layer_forward", kPhase);
-    // Model parameters are replicated: broadcast from rank 0 (values are
-    // already identical; this charges the O(k^2) parameter-movement term).
-    DenseMatrix<T> w = layer.weights();
-    world_.broadcast(w.flat(), 0);
-    std::vector<T> a = layer.attention_params();
-    if (!a.empty()) world_.broadcast(std::span<T>(a), 0);
-    DenseMatrix<T> w2 = layer.weights2();
-    if (!w2.empty()) world_.broadcast(w2.flat(), 0);
+    typename Base::LayerParams params = this->broadcast_params(layer);
+    const DenseMatrix<T>& w = params.w;
+    const std::vector<T>& a = params.a;
+    const DenseMatrix<T>& w2 = params.w2;
 
     // All intermediates live in the cache slots (or a throwaway scratch in
     // inference mode), overwritten in place across steps.
@@ -285,27 +173,27 @@ class DistGnnEngine {
       }
       case ModelKind::kVA: {
         partner_exchange(h_b, ri_.size(), c.h_r);
-        comm::ComputeRegion t(world_.stats());
+        comm::ComputeRegion t(this->world_.stats());
         sddmm(a_loc_, c.h_r, h_b, c.psi_loc);
         break;
       }
       case ModelKind::kAGNN: {
         partner_exchange(h_b, ri_.size(), c.h_r);
-        comm::ComputeRegion t(world_.stats());
+        comm::ComputeRegion t(this->world_.stats());
         // Cosine block: sampled dot products divided by the row/col norms.
         // Norms are local because full feature rows are local in each layout.
         sddmm_unweighted(a_loc_, c.h_r, h_b, c.cos_loc);
-        auto nr = ws_.acquire_vec(ri_.size());
-        auto nc = ws_.acquire_vec(cj_.size());
-        inv_norms(c.h_r, *nr);
-        inv_norms(h_b, *nc);
+        auto nr = this->ws_.acquire_vec(ri_.size());
+        auto nc = this->ws_.acquire_vec(cj_.size());
+        inv_row_norms(c.h_r, *nr);
+        inv_row_norms(h_b, *nc);
         scale_rows_cols<T>(c.cos_loc, nr.cspan(), nc.cspan(), c.cos_loc);
         hadamard_same_pattern(c.cos_loc, a_loc_, c.psi_loc);
         break;
       }
       case ModelKind::kGAT: {
         {
-          comm::ComputeRegion t(world_.stats());
+          comm::ComputeRegion t(this->world_.stats());
           matmul(h_b, w, c.hp_b);
           const std::span<const T> a_all(a);
           const auto a2 = a_all.subspan(static_cast<std::size_t>(layer.out_features()));
@@ -316,7 +204,7 @@ class DistGnnEngine {
                                                         layer.out_features())));
         partner_exchange_vec(s1_b, ri_.size(), c.s1_r);
         {
-          comm::ComputeRegion t(world_.stats());
+          comm::ComputeRegion t(this->world_.stats());
           // E block: A ⊙ LeakyReLU(s1 1^T + 1 s2^T) sampled on the edges.
           c.scores_pre_loc = a_loc_;
           c.psi_loc = a_loc_;
@@ -333,7 +221,7 @@ class DistGnnEngine {
             }
           }
         }
-        dist_row_softmax_inplace(c.psi_loc);
+        dist_row_softmax_inplace(c.psi_loc, row_comm_, this->ws_);
         x_b = &c.hp_b;
         break;
       }
@@ -341,16 +229,16 @@ class DistGnnEngine {
 
     // Aggregation: local block SpMM, then reduce partial sums along the row.
     {
-      comm::ComputeRegion t(world_.stats());
+      comm::ComputeRegion t(this->world_.stats());
       spmm(c.psi_loc, *x_b, c.ph_r);
     }
     row_comm_.allreduce_sum(c.ph_r.flat());
     // Z in layout R: for GAT it is the reduced aggregate itself; for the
     // others a pooled buffer holds the projection.
     const DenseMatrix<T>* z_r = &c.ph_r;
-    auto z_r_h = ws_.acquire_dense(ri_.size(), layer.out_features());
+    auto z_r_h = this->ws_.acquire_dense(ri_.size(), layer.out_features());
     {
-      comm::ComputeRegion t(world_.stats());
+      comm::ComputeRegion t(this->world_.stats());
       switch (layer.kind()) {
         case ModelKind::kGAT:
           break;
@@ -371,7 +259,7 @@ class DistGnnEngine {
     partner_exchange(*z_r, cj_.size(), c.z_b);
     DenseMatrix<T> h_out;
     {
-      comm::ComputeRegion t(world_.stats());
+      comm::ComputeRegion t(this->world_.stats());
       activate(layer.activation(), c.z_b, h_out, T(0.01));
     }
     if (cache) c.h_b = h_b;
@@ -400,7 +288,7 @@ class DistGnnEngine {
                               const DenseMatrix<T>& w) {
     const DenseMatrix<T> g_r = partner_exchange(g_b, ri_.size());
     grads.d_w = weight_grad_r(cache.ph_r, g_r);
-    comm::ComputeRegion t(world_.stats());
+    comm::ComputeRegion t(this->world_.stats());
     DenseMatrix<T> m_r = matmul_nt(g_r, w);
     DenseMatrix<T> gamma_b = spmm(a_loc_t_, m_r);
     col_comm_.allreduce_sum(gamma_b.flat());
@@ -417,7 +305,7 @@ class DistGnnEngine {
     grads.d_w2 = weight_grad_r(cache.mlp_hidden_r, g_r);
     DenseMatrix<T> dx_r, gamma_b;
     {
-      comm::ComputeRegion t(world_.stats());
+      comm::ComputeRegion t(this->world_.stats());
       const DenseMatrix<T> d_hidden = matmul_nt(g_r, layer.weights2());
       const DenseMatrix<T> d_pre = activation_backward(
           layer.mlp_activation(), cache.mlp_pre_r, d_hidden, T(0.01));
@@ -428,10 +316,10 @@ class DistGnnEngine {
       dx_r = matmul_nt(d_pre, w);
       gamma_b = spmm(a_loc_t_, dx_r);
     }
-    world_.allreduce_sum(grads.d_w.flat());
+    this->world_.allreduce_sum(grads.d_w.flat());
     col_comm_.allreduce_sum(gamma_b.flat());
     DenseMatrix<T> dx_b = partner_exchange(dx_r, cj_.size());
-    comm::ComputeRegion t(world_.stats());
+    comm::ComputeRegion t(this->world_.stats());
     axpy(T(1) + layer.gin_epsilon(), dx_b, gamma_b);
     return gamma_b;
   }
@@ -441,7 +329,7 @@ class DistGnnEngine {
                              const DenseMatrix<T>& w) {
     DenseMatrix<T> m_b;
     {
-      comm::ComputeRegion t(world_.stats());
+      comm::ComputeRegion t(this->world_.stats());
       m_b = matmul_nt(g_b, w);
     }
     const DenseMatrix<T> m_r = partner_exchange(m_b, ri_.size());
@@ -450,7 +338,7 @@ class DistGnnEngine {
 
     DenseMatrix<T> nh_r, gamma2_b;
     {
-      comm::ComputeRegion t(world_.stats());
+      comm::ComputeRegion t(this->world_.stats());
       // N block = A ⊙ (M H^T): the backward SDDMM on the stationary pattern.
       const CsrMatrix<T> n_loc = sddmm(a_loc_, m_r, cache.h_b);
       nh_r = spmm(n_loc, cache.h_b);
@@ -460,7 +348,7 @@ class DistGnnEngine {
     row_comm_.allreduce_sum(nh_r.flat());
     col_comm_.allreduce_sum(gamma2_b.flat());
     DenseMatrix<T> gamma_b = partner_exchange(nh_r, cj_.size());
-    comm::ComputeRegion t(world_.stats());
+    comm::ComputeRegion t(this->world_.stats());
     axpy(T(1), gamma2_b, gamma_b);
     return gamma_b;
   }
@@ -470,7 +358,7 @@ class DistGnnEngine {
                                const DenseMatrix<T>& w) {
     DenseMatrix<T> m_b;
     {
-      comm::ComputeRegion t(world_.stats());
+      comm::ComputeRegion t(this->world_.stats());
       m_b = matmul_nt(g_b, w);
     }
     const DenseMatrix<T> m_r = partner_exchange(m_b, ri_.size());
@@ -482,7 +370,7 @@ class DistGnnEngine {
     std::vector<T> norms_b;
     DenseMatrix<T> hhat_b, hhat_r;
     {
-      comm::ComputeRegion t(world_.stats());
+      comm::ComputeRegion t(this->world_.stats());
       const CsrMatrix<T> d_loc = sddmm(a_loc_, m_r, cache.h_b);
       const CsrMatrix<T> dc = hadamard_same_pattern(d_loc, cache.cos_loc);
       rs_r = sparse_row_sums(dc);
@@ -502,7 +390,7 @@ class DistGnnEngine {
     const std::vector<T> rs_b = partner_exchange_vec(rs_r, cj_.size());
     DenseMatrix<T> sum_b = partner_exchange(dh_r, cj_.size());
 
-    comm::ComputeRegion t(world_.stats());
+    comm::ComputeRegion t(this->world_.stats());
     axpy(T(1), dth_b, sum_b);
     const index_t k = sum_b.cols();
     for (index_t i = 0; i < sum_b.rows(); ++i) {
@@ -533,7 +421,7 @@ class DistGnnEngine {
     CsrMatrix<T> d_psi;
     std::vector<T> dots_r(static_cast<std::size_t>(ri_.size()), T(0));
     {
-      comm::ComputeRegion t(world_.stats());
+      comm::ComputeRegion t(this->world_.stats());
       d_psi = sddmm(cache.psi_loc.with_values(T(1)), g_r, cache.hp_b);
       for (index_t i = 0; i < cache.psi_loc.rows(); ++i) {
         T acc = T(0);
@@ -549,7 +437,7 @@ class DistGnnEngine {
     std::vector<T> ds1_r, ds2_b;
     DenseMatrix<T> dhp_b;
     {
-      comm::ComputeRegion t(world_.stats());
+      comm::ComputeRegion t(this->world_.stats());
       CsrMatrix<T> d_c = d_psi;
       auto v = d_c.vals_mutable();
       const auto pre = cache.scores_pre_loc.vals();
@@ -573,7 +461,7 @@ class DistGnnEngine {
     const std::vector<T> ds1_b = partner_exchange_vec(ds1_r, cj_.size());
 
     {
-      comm::ComputeRegion t(world_.stats());
+      comm::ComputeRegion t(this->world_.stats());
       add_outer_inplace(dhp_b, std::span<const T>(ds1_b), a1);
       add_outer_inplace(dhp_b, std::span<const T>(ds2_b), a2);
     }
@@ -583,19 +471,19 @@ class DistGnnEngine {
     DenseMatrix<T> dw(w.rows(), w.cols(), T(0));
     std::vector<T> da(static_cast<std::size_t>(2 * k_out), T(0));
     if (gi_ == 0) {
-      comm::ComputeRegion t(world_.stats());
+      comm::ComputeRegion t(this->world_.stats());
       dw = matmul_tn(cache.h_b, dhp_b);
       const std::vector<T> da1 = matvec_tn(cache.hp_b, std::span<const T>(ds1_b));
       const std::vector<T> da2 = matvec_tn(cache.hp_b, std::span<const T>(ds2_b));
       std::copy(da1.begin(), da1.end(), da.begin());
       std::copy(da2.begin(), da2.end(), da.begin() + k_out);
     }
-    world_.allreduce_sum(dw.flat());
-    world_.allreduce_sum(std::span<T>(da));
+    this->world_.allreduce_sum(dw.flat());
+    this->world_.allreduce_sum(std::span<T>(da));
     grads.d_w = std::move(dw);
     grads.d_a = std::move(da);
 
-    comm::ComputeRegion t(world_.stats());
+    comm::ComputeRegion t(this->world_.stats());
     return matmul_nt(dhp_b, w);
   }
 
@@ -604,41 +492,19 @@ class DistGnnEngine {
   DenseMatrix<T> weight_grad_r(const DenseMatrix<T>& ph_r, const DenseMatrix<T>& g_r) {
     DenseMatrix<T> dw(ph_r.cols(), g_r.cols(), T(0));
     if (gj_ == 0) {
-      comm::ComputeRegion t(world_.stats());
+      comm::ComputeRegion t(this->world_.stats());
       dw = matmul_tn(ph_r, g_r);
     }
-    world_.allreduce_sum(dw.flat());
+    this->world_.allreduce_sum(dw.flat());
     return dw;
   }
 
-  static void inv_norms(const DenseMatrix<T>& h, std::vector<T>& n) {
-    row_l2_norms(h, n);
-    for (auto& v : n) v = v > T(0) ? T(1) / v : T(0);
-  }
-
-  static DenseMatrix<T> unit_rows(const DenseMatrix<T>& h) {
-    DenseMatrix<T> out = h;
-    const std::vector<T> n = row_l2_norms(h);
-    for (index_t i = 0; i < h.rows(); ++i) {
-      const T ni = n[static_cast<std::size_t>(i)];
-      if (ni <= T(0)) continue;
-      T* row = out.data() + i * h.cols();
-      for (index_t j = 0; j < h.cols(); ++j) row[j] /= ni;
-    }
-    return out;
-  }
-
-  comm::Communicator& world_;
   ProcessGrid grid_;
   int gi_, gj_;
   comm::Communicator row_comm_, col_comm_;
-  index_t n_;
   BlockRange ri_, cj_;
-  GnnModel<T>& model_;
   CsrMatrix<T> a_loc_;
   CsrMatrix<T> a_loc_t_;
-  Workspace<T> ws_;                         // per-rank scratch pool
-  std::vector<DistLayerCache<T>> caches_;   // persistent training caches
 };
 
 }  // namespace agnn::dist

@@ -19,6 +19,10 @@
 // links consecutive layers.
 #pragma once
 
+#include <optional>
+#include <stdexcept>
+#include <string>
+
 #include "tensor/common.hpp"
 
 namespace agnn::dist {
@@ -39,6 +43,18 @@ inline BlockRange block_range(index_t n, index_t nblocks, index_t b) {
   return {begin, begin + size};
 }
 
+// Inverse of block_range: the block of the even partition of [0, n) into
+// `nblocks` pieces that contains index x. (Empty blocks contain no index, so
+// the result always names a block of positive size.)
+inline index_t block_index_of(index_t n, index_t nblocks, index_t x) {
+  AGNN_ASSERT(nblocks > 0 && x >= 0 && x < n, "block_index_of: bad index");
+  const index_t base = n / nblocks;
+  const index_t rem = n % nblocks;
+  const index_t big = (base + 1) * rem;  // indices covered by the larger blocks
+  if (x < big) return x / (base + 1);
+  return rem + (x - big) / base;  // base > 0 here: x >= big implies n > rem
+}
+
 // Square q x q grid; rank r <-> (row = r / q, col = r % q).
 struct ProcessGrid {
   int q = 1;  // grid side; p = q*q ranks
@@ -54,11 +70,29 @@ struct ProcessGrid {
   // The transpose-exchange partner of rank (i, j) is (j, i).
   int partner_of(int rank) const { return rank_of(col_of(rank), row_of(rank)); }
 
-  static int side_for(int nranks) {
+  // Side of the square 1.5D grid, or nullopt when `nranks` is not a
+  // perfect square (the non-throwing form for policy routing).
+  static std::optional<int> try_side_for(int nranks) {
     int side = 1;
     while (side * side < nranks) ++side;
-    AGNN_ASSERT(side * side == nranks, "rank count must be a perfect square");
+    if (side * side != nranks) return std::nullopt;
     return side;
+  }
+
+  // Throwing form: non-square rank counts get a structured error naming the
+  // family members that DO accept this p, so a mis-sized launch tells the
+  // user which AGNN_DIST to pick instead of just "must be a square".
+  static int side_for(int nranks) {
+    const auto side = try_side_for(nranks);
+    if (!side.has_value()) {
+      throw std::logic_error(
+          "1.5d process grid: rank count " + std::to_string(nranks) +
+          " is not a perfect square; distributions accepting p=" +
+          std::to_string(nranks) +
+          ": AGNN_DIST=1d (row blocks), AGNN_DIST=2d (r x c SUMMA grid), "
+          "AGNN_DIST=3d (depth-replicated)");
+    }
+    return *side;
   }
 };
 

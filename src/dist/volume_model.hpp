@@ -22,9 +22,29 @@
 #include <vector>
 
 #include "core/layer.hpp"
+#include "dist/dist_policy.hpp"
 #include "dist/process_grid.hpp"
 
 namespace agnn::dist {
+
+namespace detail_volume {
+
+// Parameter-broadcast words per layer (W, and for GAT the attention vector,
+// for GIN the second MLP matrix), charged to every rank when p > 1.
+inline double param_words(ModelKind kind, index_t k) {
+  const double kd = static_cast<double>(k);
+  switch (kind) {
+    case ModelKind::kGIN: return 2 * kd * kd;
+    case ModelKind::kGAT: return kd * kd + 2 * kd;
+    default: return kd * kd;
+  }
+}
+
+inline index_t overlap(const BlockRange& a, const BlockRange& b) {
+  return std::max<index_t>(0, std::min(a.end, b.end) - std::max(a.begin, b.begin));
+}
+
+}  // namespace detail_volume
 
 // Max-per-rank words moved by ONE forward layer of the global engine.
 // Exact when n is divisible by q; an upper bound otherwise (uses the
@@ -45,12 +65,130 @@ inline double predicted_global_forward_words(ModelKind kind, index_t n, index_t 
   return 0.0;
 }
 
+// Max-per-rank words moved by ONE forward layer of the 1D row-block engine:
+// the parameter broadcast plus the allgather of everyone else's feature
+// rows. Exact for every (n, p) — allgatherv charges (total - own) words, so
+// the max lands on a rank owning a small block.
+inline double predicted_1d_forward_words(index_t n, index_t k, int ranks,
+                                         ModelKind kind) {
+  if (ranks == 1) return 0.0;
+  double max_words = 0.0;
+  for (int r = 0; r < ranks; ++r) {
+    const BlockRange vr = block_range(n, ranks, r);
+    const double words =
+        detail_volume::param_words(kind, k) +
+        static_cast<double>(n - vr.size()) * static_cast<double>(k);
+    max_words = std::max(max_words, words);
+  }
+  return max_words;
+}
+
+// Max-per-rank words moved by ONE forward layer of the SUMMA engine on an
+// r x c x d grid, exact for every (n, shape): replays the engine's protocol
+// per rank — the owner-charged gathers/scatters, the pipelined panel
+// broadcasts (volume-identical to their blocking forms), and the row-family
+// allreduce — and takes the max. Graph-independent: every term depends only
+// on the block geometry.
+inline double predicted_summa_forward_words(ModelKind kind, index_t n, index_t k,
+                                            const GridShape& shape) {
+  const int r = shape.rows, c = shape.cols, d = shape.depth;
+  if (shape.size() == 1) return 0.0;
+  const double kd = static_cast<double>(k);
+  double max_words = 0.0;
+  for (int gi = 0; gi < r; ++gi) {
+    for (int gj = 0; gj < c; ++gj) {
+      for (int gl = 0; gl < d; ++gl) {
+        const BlockRange ri = block_range(n, r, gi);
+        const BlockRange cj = block_range(n, c, gj);
+        const BlockRange ds = block_range(cj.size(), d, gl);
+        const BlockRange cs{cj.begin + ds.begin, cj.begin + ds.end};
+        const BlockRange vs = block_range(cj.size(), r, gi);
+        const BlockRange v{cj.begin + vs.begin, cj.begin + vs.end};
+        const double own_in_ri =
+            static_cast<double>(detail_volume::overlap(v, ri));
+        // Rows served from this rank's V block to the layout-R gathers of
+        // the c requesters per grid row, minus its own (free) fetches.
+        const double gather_served =
+            static_cast<double>(c) * static_cast<double>(v.size()) - own_in_ri;
+        // Rows served redistributing layout R back to the owned V rows.
+        const double scatter_served =
+            static_cast<double>(detail_volume::overlap(cj, ri)) - own_in_ri;
+        double words = detail_volume::param_words(kind, k);
+        if (kind == ModelKind::kGIN || kind == ModelKind::kVA ||
+            kind == ModelKind::kAGNN) {
+          words += gather_served * kd;  // H rows R_i
+        }
+        if (kind == ModelKind::kGAT) {
+          words += gather_served;  // the s1 score vector, width 1
+        }
+        if (r > 1) {
+          // The SUMMA panel broadcasts assemble all of C_j^l on each slice.
+          words += static_cast<double>(cs.size()) * kd;
+        }
+        if (c * d > 1) {
+          words += 2.0 * static_cast<double>(ri.size()) * kd;  // row allreduce
+          if (kind == ModelKind::kGAT) {
+            words += 4.0 * static_cast<double>(ri.size());  // softmax max+sum
+          }
+        }
+        words += scatter_served * kd;
+        max_words = std::max(max_words, words);
+      }
+    }
+  }
+  return max_words;
+}
+
+// Max-per-rank words for ONE forward layer under any member of the
+// distribution-policy family. 1D and SUMMA replays are exact for every
+// (n, p); the 1.5D closed form is exact when sqrt(p) divides n.
+inline double predicted_policy_forward_words(DistPolicy policy, ModelKind kind,
+                                             index_t n, index_t k, int ranks,
+                                             int depth_hint = 0) {
+  switch (policy) {
+    case DistPolicy::k1D:
+      return predicted_1d_forward_words(n, k, ranks, kind);
+    case DistPolicy::k1_5D:
+      return predicted_global_forward_words(kind, n, k, ranks);
+    case DistPolicy::k2D:
+    case DistPolicy::k3D:
+      return predicted_summa_forward_words(kind, n, k,
+                                           grid_for(policy, ranks, depth_hint));
+  }
+  return 0.0;
+}
+
 // The Section 7.1 asymptotic bound c*(n k / sqrt(p) + k^2) with c = 1,
 // for normalized measured/bound ratios.
 inline double section7_bound_words(index_t n, index_t k, int ranks) {
   const double q = std::sqrt(static_cast<double>(ranks));
   return static_cast<double>(n) * static_cast<double>(k) / q +
          static_cast<double>(k) * static_cast<double>(k);
+}
+
+// Closed-form asymptotic per-rank bound for each family member, the
+// policy-generalized Section 7.1 term (words; constant factor 1):
+//   1D    n k            (the full feature matrix every layer)
+//   1.5D  n k / sqrt(p) + k^2
+//   2D    n k (1/r + 1/c) + k^2     (panel broadcasts + row allreduce)
+//   3D    n k (1/r + 1/(c d)) + k^2 (depth shrinks the stationary slice)
+inline double policy_bound_words(DistPolicy policy, index_t n, index_t k,
+                                 int ranks, int depth_hint = 0) {
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+  switch (policy) {
+    case DistPolicy::k1D: return nd * kd;
+    case DistPolicy::k1_5D: return section7_bound_words(n, k, ranks);
+    case DistPolicy::k2D:
+    case DistPolicy::k3D: {
+      const GridShape s = grid_for(policy, ranks, depth_hint);
+      return nd * kd *
+                 (1.0 / static_cast<double>(s.rows) +
+                  1.0 / static_cast<double>(s.cols * s.depth)) +
+             kd * kd;
+    }
+  }
+  return 0.0;
 }
 
 // Max-per-rank bytes for one forward layer of the LOCAL (ghost-exchange)

@@ -91,6 +91,21 @@ struct Scenario {
   int ranks_row = 2;      // rank count for the 1D engines
   int layers = 1;
   bool use_mask = false;  // exercise the masked-loss path
+  // Factory-routed distribution-policy check: a drawn DistPolicy (as int,
+  // matching dist::DistPolicy's enumerators) plus a rank count that policy
+  // accepts (square for 1.5d, arbitrary otherwise).
+  int policy = 1;
+  int ranks_policy = 1;
+
+  const char* policy_name() const {
+    switch (policy) {
+      case 0: return "1d";
+      case 1: return "1.5d";
+      case 2: return "2d";
+      case 3: return "3d";
+      default: return "?";
+    }
+  }
 
   std::string describe() const {
     std::string s = std::string("graph=") + diffuzz::to_string(family) +
@@ -101,7 +116,8 @@ struct Scenario {
       s += " kind=" + std::to_string(kind) +
            " p_grid=" + std::to_string(ranks_grid) +
            " p_row=" + std::to_string(ranks_row) +
-           " layers=" + std::to_string(layers);
+           " layers=" + std::to_string(layers) + " dist=" + policy_name() +
+           ":p" + std::to_string(ranks_policy);
       if (use_mask) s += " +mask";
     }
     return s;
@@ -142,6 +158,17 @@ inline Scenario make_scenario(std::uint64_t seed, Purpose purpose) {
   }
   sc.self_loops = rng.next_bounded(3) == 0;
   sc.density = 0.05 + 0.4 * rng.next_double();
+  // Drawn last so older seeds reproduce the same shapes they always did.
+  if (purpose == Purpose::kEngines) {
+    sc.policy = static_cast<int>(rng.next_bounded(4));
+    if (sc.policy == 1) {  // 1.5d: square counts only
+      static constexpr int kSquareRanks[] = {1, 4, 9};
+      sc.ranks_policy = kSquareRanks[rng.next_bounded(3)];
+    } else {
+      static constexpr int kAnyRanks[] = {2, 3, 6, 8};
+      sc.ranks_policy = kAnyRanks[rng.next_bounded(4)];
+    }
+  }
   return sc;
 }
 

@@ -35,6 +35,7 @@
 #include "dist/dist_1d_engine.hpp"
 #include "dist/dist_engine.hpp"
 #include "dist/dist_multihead.hpp"
+#include "dist/engine_factory.hpp"
 #include "dist/recovery.hpp"
 #include "graph/graph.hpp"
 #include "tensor/fused.hpp"
@@ -623,42 +624,36 @@ inline void check_engines(const Scenario& sc, Failures& out) {
         return baseline::DistLocalEngine<double>(world, adj, model);
       },
       sc.ranks_row);
+  run_engine_checks(
+      "dist_1d_engine",
+      [&](comm::Communicator& world, GnnModel<double>& model) {
+        return dist::Dist1dGlobalEngine<double>(world, adj, model);
+      },
+      sc.ranks_row);
 
-  // The 1D engine has no gather-based infer(); gather its row blocks here.
-  comm::SpmdRuntime::run(sc.ranks_row, [&](comm::Communicator& world) {
-    GnnModel<double> model(cfg);
-    dist::Dist1dGlobalEngine<double> engine(world, adj, model);
-    Failures local;
-    {
-      const auto h_own = engine.forward(x, nullptr);
-      const std::vector<double> flat =
-          world.allgatherv(std::span<const double>(h_own.flat()));
-      compare_dense("dist_1d_engine_infer",
-                    DenseMatrix<double>(sc.n, h_own.cols(), flat), ref, kTol,
-                    local);
+  // Factory-routed check over the scenario's drawn distribution policy: the
+  // runtime-selected engine (1d/1.5d/2d/3d, same surface the benchmarks
+  // use) must match the sequential oracle too. A thin value wrapper gives
+  // the unique_ptr the engine-shaped surface run_engine_checks expects.
+  struct FactoryEngine {
+    std::unique_ptr<dist::IDistEngine<double>> impl;
+    DenseMatrix<double> infer(const DenseMatrix<double>& xg) {
+      return impl->infer(xg);
     }
-    SgdOptimizer<double> opt(0.05);
-    for (int s = 0; s < 2; ++s) {
-      const auto res = engine.train_step(x, labels, opt, mask);
-      if (!near(res.loss, ref_losses[static_cast<std::size_t>(s)], kTol)) {
-        local.push_back({"dist_1d_engine_train_loss", "step " + std::to_string(s)});
-      }
+    dist::IDistEngine<double>::StepResult train_step(
+        const DenseMatrix<double>& xg, std::span<const index_t> lab,
+        Optimizer<double>& opt, std::span<const std::uint8_t> m) {
+      return impl->train_step(xg, lab, opt, m);
     }
-    for (std::size_t l = 0; l < model.num_layers(); ++l) {
-      const auto& w_dist = model.layer(l).weights();
-      const auto& w_seq = seq_train.layer(l).weights();
-      for (index_t i = 0; i < w_seq.size(); ++i) {
-        if (!near(w_dist.data()[i], w_seq.data()[i], kTol)) {
-          local.push_back({"dist_1d_engine_train_weights",
-                           "layer " + std::to_string(l)});
-          break;
-        }
-      }
-    }
-    if (world.rank() == 0) {
-      for (auto& f : local) record(f.check, f.detail);
-    }
-  });
+  };
+  const auto policy = static_cast<dist::DistPolicy>(sc.policy);
+  run_engine_checks(
+      std::string("dist_policy_") + dist::to_string(policy) + "_engine",
+      [&](comm::Communicator& world, GnnModel<double>& model) {
+        return FactoryEngine{
+            dist::make_dist_engine(policy, world, adj, model)};
+      },
+      sc.ranks_policy);
 
   // Multi-head GAT engine against the sequential multi-head model. The
   // attention semantics need the raw adjacency (not the GCN normalization).

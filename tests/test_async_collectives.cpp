@@ -1,0 +1,295 @@
+// The async collectives (ibroadcast / iallreduce_sum) are the blocking
+// collectives split at their first rendezvous: the result must be BITWISE
+// identical, the volume/superstep accounting must be identical, and the
+// pipelined post-compute-wait pattern the SUMMA engines use must hold up
+// under fault injection. Anything weaker would let the overlap optimization
+// silently change what the engines compute.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "comm/communicator.hpp"
+
+namespace agnn::comm {
+namespace {
+
+std::vector<double> pattern(int rank, std::size_t words, double salt) {
+  std::vector<double> v(words);
+  for (std::size_t i = 0; i < words; ++i) {
+    v[i] = salt + static_cast<double>(rank) * 1e3 +
+           static_cast<double>(i) * 0.37;
+  }
+  return v;
+}
+
+void expect_bitwise_equal(const std::vector<double>& got,
+                          const std::vector<double>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(got[i]),
+              std::bit_cast<std::uint64_t>(want[i]))
+        << what << " word " << i;
+  }
+}
+
+TEST(AsyncCollectives, IbroadcastBitwiseEqualsBroadcast) {
+  for (const int p : {2, 3, 4, 7}) {
+    SpmdRuntime::run(p, [&](Communicator& world) {
+      for (int root = 0; root < world.size(); ++root) {
+        auto blocking = pattern(world.rank(), 33, 1.5);
+        auto async = blocking;
+        world.broadcast(std::span<double>(blocking), root);
+        auto h = world.ibroadcast(std::span<double>(async), root);
+        h.wait();
+        if (world.rank() == 0) {
+          expect_bitwise_equal(async, blocking, "ibroadcast");
+        }
+      }
+    });
+  }
+}
+
+TEST(AsyncCollectives, IallreduceBitwiseEqualsAllreduce) {
+  for (const int p : {2, 4, 5}) {
+    SpmdRuntime::run(p, [&](Communicator& world) {
+      auto blocking = pattern(world.rank(), 41, -2.25);
+      auto async = blocking;
+      world.allreduce_sum(std::span<double>(blocking));
+      auto h = world.iallreduce_sum(std::span<double>(async));
+      h.wait();
+      if (world.rank() == 0) {
+        expect_bitwise_equal(async, blocking, "iallreduce_sum");
+      }
+    });
+  }
+}
+
+// The handle must charge exactly what the blocking form charges, per rank:
+// same bytes, same supersteps. Run the same schedule both ways and compare
+// the runtime's volume snapshots.
+TEST(AsyncCollectives, AccountingIdenticalToBlockingForms) {
+  constexpr int kRanks = 6;
+  constexpr std::size_t kWords = 29;
+  const auto schedule = [&](bool async) {
+    return SpmdRuntime::run(kRanks, [&](Communicator& world) {
+      auto buf = pattern(world.rank(), kWords, 3.0);
+      for (int root = 0; root < world.size(); ++root) {
+        if (async) {
+          auto h = world.ibroadcast(std::span<double>(buf), root);
+          h.wait();
+        } else {
+          world.broadcast(std::span<double>(buf), root);
+        }
+      }
+      if (async) {
+        auto h = world.iallreduce_sum(std::span<double>(buf));
+        h.wait();
+      } else {
+        world.allreduce_sum(std::span<double>(buf));
+      }
+    });
+  };
+  const auto blocking = schedule(false);
+  const auto async = schedule(true);
+  ASSERT_EQ(blocking.size(), async.size());
+  for (std::size_t r = 0; r < blocking.size(); ++r) {
+    EXPECT_EQ(async[r].bytes_sent, blocking[r].bytes_sent) << "rank " << r;
+    EXPECT_EQ(async[r].supersteps, blocking[r].supersteps) << "rank " << r;
+  }
+}
+
+// Computing between start and wait — the entire point of the split — must
+// not perturb the transferred data, even when the compute touches the
+// root's OTHER buffers.
+TEST(AsyncCollectives, OverlappedComputeDoesNotPerturbTheTransfer) {
+  SpmdRuntime::run(4, [&](Communicator& world) {
+    auto reference = pattern(world.rank(), 64, 7.0);
+    auto buf = reference;
+    world.broadcast(std::span<double>(reference), 1);
+    auto h = world.ibroadcast(std::span<double>(buf), 1);
+    // Local "kernel" work while the broadcast is in flight.
+    std::vector<double> scratch(256);
+    for (std::size_t i = 0; i < scratch.size(); ++i) {
+      scratch[i] = static_cast<double>(i) * 1.0001;
+    }
+    h.wait();
+    if (world.rank() == 0) {
+      expect_bitwise_equal(buf, reference, "overlapped ibroadcast");
+    }
+    EXPECT_GT(scratch[255], 0.0);
+  });
+}
+
+// The engines' pipelined panel loop: wait stage t, post t+1, compute t. One
+// handle in flight per group at a time; results must equal the blocking
+// stage loop bitwise.
+TEST(AsyncCollectives, PipelinedStageLoopEqualsBlockingLoop) {
+  constexpr int kStages = 5;
+  constexpr std::size_t kWords = 17;
+  SpmdRuntime::run(kStages, [&](Communicator& world) {
+    std::vector<std::vector<double>> blocking(kStages);
+    std::vector<std::vector<double>> pipelined(kStages);
+    for (int t = 0; t < kStages; ++t) {
+      blocking[static_cast<std::size_t>(t)] =
+          pattern(world.rank(), kWords, 11.0 + t);
+      pipelined[static_cast<std::size_t>(t)] =
+          blocking[static_cast<std::size_t>(t)];
+    }
+    for (int t = 0; t < kStages; ++t) {
+      world.broadcast(std::span<double>(blocking[static_cast<std::size_t>(t)]),
+                      t);
+    }
+    using Pending = Communicator::Pending<double>;
+    std::optional<Pending> cur(
+        world.ibroadcast(std::span<double>(pipelined[0]), 0));
+    std::optional<Pending> next;
+    double compute_sink = 0.0;
+    for (int t = 0; t < kStages; ++t) {
+      cur->wait();
+      if (t + 1 < kStages) {
+        next = world.ibroadcast(
+            std::span<double>(pipelined[static_cast<std::size_t>(t + 1)]),
+            t + 1);
+      }
+      for (const double v : pipelined[static_cast<std::size_t>(t)]) {
+        compute_sink += v;  // stage-t "SpMM" overlapping the t+1 broadcast
+      }
+      cur = std::move(next);
+      next.reset();
+    }
+    EXPECT_NE(compute_sink, 0.0);
+    if (world.rank() == 0) {
+      for (int t = 0; t < kStages; ++t) {
+        expect_bitwise_equal(pipelined[static_cast<std::size_t>(t)],
+                             blocking[static_cast<std::size_t>(t)],
+                             "pipelined stage");
+      }
+    }
+  });
+}
+
+// Fault-injection points fire for the async forms exactly like the blocking
+// ones: a straggler delay at the ibroadcast superstep must leave the result
+// bitwise intact (peers absorb the stall as barrier wait time).
+TEST(AsyncCollectives, StragglerDelayLeavesResultsBitwiseIntact) {
+  RunOptions opts;
+  FaultEvent ev;
+  ev.kind = FaultKind::kStragglerDelay;
+  ev.rank = 1;
+  ev.superstep = 2;
+  ev.delay_us = 300;
+  opts.faults.add(ev);
+  opts.timeout = std::chrono::milliseconds(500);
+
+  // The fault-free reference, computed once outside.
+  std::vector<double> want = pattern(2, 21, 5.5);  // root 2's buffer
+
+  const auto snaps = SpmdRuntime::run(4, opts, [&](Communicator& world) {
+    auto buf = pattern(world.rank(), 21, 5.5);
+    for (int round = 0; round < 3; ++round) {
+      auto h = world.ibroadcast(std::span<double>(buf), 2);
+      h.wait();
+    }
+    if (world.rank() == 0) {
+      expect_bitwise_equal(buf, want, "ibroadcast under straggler");
+    }
+  });
+  double total_wait = 0.0;
+  for (const auto& s : snaps) total_wait += s.wait_seconds;
+  EXPECT_GT(total_wait, 0.0);
+}
+
+// Hard faults must surface on every rank through the async path too — the
+// wait() completes the same checked barriers as the blocking form.
+TEST(AsyncCollectives, AbortSurfacesOnEveryRank) {
+  RunOptions opts;
+  opts.faults = FaultPlan::parse("abort@r1:s3");
+  opts.timeout = std::chrono::milliseconds(250);
+  std::atomic<int> comm_errors{0};
+  SpmdRuntime::run(3, opts, [&](Communicator& world) {
+    auto buf = pattern(world.rank(), 16, 9.0);
+    try {
+      for (int round = 0; round < 8; ++round) {
+        auto h = world.iallreduce_sum(std::span<double>(buf));
+        h.wait();
+      }
+    } catch (const CommError&) {
+      comm_errors.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(comm_errors.load(), 3);
+}
+
+TEST(AsyncCollectives, SingleRankHandlesAreTrivialAndFree) {
+  const auto snaps = SpmdRuntime::run(1, [&](Communicator& world) {
+    auto buf = pattern(0, 50, 1.0);
+    const auto before = buf;
+    auto hb = world.ibroadcast(std::span<double>(buf), 0);
+    hb.wait();
+    auto ha = world.iallreduce_sum(std::span<double>(buf));
+    ha.wait();
+    expect_bitwise_equal(buf, before, "single-rank async");
+  });
+  EXPECT_EQ(snaps[0].bytes_sent, 0u);
+}
+
+TEST(AsyncCollectives, WaitIsIdempotentAndDestructorCompletes) {
+  SpmdRuntime::run(3, [&](Communicator& world) {
+    auto a = pattern(world.rank(), 12, 2.0);
+    auto want = a;
+    world.broadcast(std::span<double>(want), 0);
+    {
+      auto h = world.ibroadcast(std::span<double>(a), 0);
+      h.wait();
+      h.wait();  // second wait must be a no-op
+    }
+    if (world.rank() == 0) expect_bitwise_equal(a, want, "idempotent wait");
+
+    // Destructor-completed handle: never explicitly waited. Every rank must
+    // still converge (the dtor runs the completion barriers).
+    auto b = pattern(world.rank(), 12, 4.0);
+    auto want_b = b;
+    world.broadcast(std::span<double>(want_b), 1);
+    {
+      auto h = world.ibroadcast(std::span<double>(b), 1);
+      (void)h;
+    }
+    if (world.rank() == 0) expect_bitwise_equal(b, want_b, "dtor wait");
+
+    // Moved-from handles are inert; the moved-to handle completes.
+    auto c = pattern(world.rank(), 12, 6.0);
+    auto want_c = c;
+    world.broadcast(std::span<double>(want_c), 2);
+    auto h1 = world.ibroadcast(std::span<double>(c), 2);
+    auto h2 = std::move(h1);
+    h2.wait();
+    if (world.rank() == 0) expect_bitwise_equal(c, want_c, "moved handle");
+  });
+}
+
+// Starting any staging collective while a handle is in flight on the same
+// group would clobber the staging slots the pending op still reads; the
+// guard must reject it on every rank, after which the pending handle still
+// completes cleanly.
+TEST(AsyncCollectives, BlockingCollectiveRejectedWhileHandleInFlight) {
+  SpmdRuntime::run(2, [&](Communicator& world) {
+    auto a = pattern(world.rank(), 8, 1.0);
+    auto want = a;
+    world.broadcast(std::span<double>(want), 0);
+    auto h = world.ibroadcast(std::span<double>(a), 0);
+    auto other = pattern(world.rank(), 8, 3.0);
+    EXPECT_THROW(world.allreduce_sum(std::span<double>(other)),
+                 std::logic_error);
+    h.wait();
+    if (world.rank() == 0) expect_bitwise_equal(a, want, "post-guard wait");
+  });
+}
+
+}  // namespace
+}  // namespace agnn::comm

@@ -154,11 +154,23 @@ TEST(DistEngine, MaskedTrainingMatchesSequential) {
 }
 
 TEST(DistEngine, NonSquareRankCountRejected) {
-  // The engine requires a perfect-square rank count (square grid); the
-  // check fires deterministically on every rank before any collective, so
-  // it is validated here directly on the grid helper.
-  EXPECT_THROW(ProcessGrid::side_for(2), std::logic_error);
-  EXPECT_THROW(ProcessGrid::side_for(12), std::logic_error);
+  // The 1.5D engine requires a perfect-square rank count (square grid); the
+  // check fires deterministically on every rank before any collective, and
+  // the structured error must name the family members that DO accept the
+  // count so the failure is actionable.
+  for (const int p : {2, 3, 6, 8, 12}) {
+    try {
+      ProcessGrid::side_for(p);
+      FAIL() << "side_for must reject non-square p=" << p;
+    } catch (const std::logic_error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("AGNN_DIST=1d"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("AGNN_DIST=2d"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("AGNN_DIST=3d"), std::string::npos) << msg;
+    }
+  }
+  EXPECT_EQ(ProcessGrid::try_side_for(12), std::nullopt);
+  EXPECT_EQ(ProcessGrid::try_side_for(9), 3);
 }
 
 }  // namespace

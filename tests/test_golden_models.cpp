@@ -19,7 +19,9 @@
 #include <string>
 #include <vector>
 
+#include "comm/communicator.hpp"
 #include "core/model.hpp"
+#include "dist/engine_factory.hpp"
 #include "graph/graph.hpp"
 #include "test_utils.hpp"
 
@@ -192,6 +194,68 @@ TEST_P(GoldenModels, AllPoliciesMatchPinnedValues) {
   }
   ::unsetenv("AGNN_SCHEDULE");
   ::unsetenv("AGNN_SCHEDULE_GRAIN");
+}
+
+// Every distribution policy must land on the same pinned goldens — the
+// values were NOT regenerated for the policy-family work, so this asserts
+// the 1D/1.5D/2D/3D engines (including the pipelined SUMMA panel loop and
+// the depth-replicated 3D gradients) stay on the pinned numerical
+// trajectory for all five model kinds. Only the engine-observable keys are
+// checked: forward outputs, training losses, and post-training weights.
+TEST_P(GoldenModels, AllDistributionPoliciesMatchPinnedValues) {
+  if (std::getenv("AGNN_REGEN_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "regeneration handled by MatchesPinnedValues";
+  }
+  const ModelKind kind = GetParam();
+  const GoldenData golden = load_golden();
+  ASSERT_FALSE(golden.empty()) << "missing " << kGoldenFile;
+  const GoldenWorkload w = make_workload(kind);
+
+  struct PolicyCase {
+    dist::DistPolicy policy;
+    int ranks;
+    int depth_hint;
+  };
+  const PolicyCase cases[] = {{dist::DistPolicy::k1D, 2, 0},
+                              {dist::DistPolicy::k1_5D, 4, 0},
+                              {dist::DistPolicy::k2D, 4, 0},
+                              {dist::DistPolicy::k3D, 8, 2}};
+  for (const PolicyCase& pc : cases) {
+    std::map<std::string, std::vector<double>> q;
+    comm::SpmdRuntime::run(pc.ranks, [&](comm::Communicator& world) {
+      GnnModel<double> model(golden_config(kind));
+      auto engine = dist::make_dist_engine(pc.policy, world, w.adj, model,
+                                           pc.depth_hint);
+      const auto h = engine->infer(w.x);
+      SgdOptimizer<double> opt(0.05);
+      std::vector<double> losses;
+      for (int s = 0; s < kSteps; ++s) {
+        losses.push_back(
+            engine->train_step(w.x, std::span<const index_t>(w.labels), opt)
+                .loss);
+      }
+      if (world.rank() == 0) {
+        q["forward"] = {h.flat().begin(), h.flat().end()};
+        q["losses"] = losses;
+        const auto wf = model.layer(0).weights().flat();
+        q["final_w0"] = {wf.begin(), wf.end()};
+      }
+    });
+    for (const auto& [key, values] : q) {
+      const std::string full = std::string(to_string(kind)) + "." + key;
+      const auto it = golden.find(full);
+      ASSERT_NE(it, golden.end()) << "golden file lacks " << full;
+      ASSERT_EQ(it->second.size(), values.size()) << full;
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        // Same tolerance as the primary golden check: distributed partial
+        // sums reassociate within it.
+        const double tol = 1e-9 * (1.0 + std::abs(it->second[i]));
+        EXPECT_NEAR(values[i], it->second[i], tol)
+            << full << "[" << i << "] under AGNN_DIST="
+            << dist::to_string(pc.policy) << " p=" << pc.ranks;
+      }
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllKinds, GoldenModels,

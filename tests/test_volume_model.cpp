@@ -7,7 +7,9 @@
 #include "baseline/dist_local_engine.hpp"
 #include "comm/communicator.hpp"
 #include "core/model.hpp"
+#include "dist/dist_1d_engine.hpp"
 #include "dist/dist_engine.hpp"
+#include "dist/dist_summa_engine.hpp"
 #include "dist/volume_model.hpp"
 #include "graph/graph.hpp"
 #include "test_utils.hpp"
@@ -78,6 +80,136 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(VolumeModel, SingleRankIsFree) {
   EXPECT_EQ(predicted_global_forward_words(ModelKind::kGAT, 100, 16, 1), 0.0);
+  EXPECT_EQ(predicted_1d_forward_words(100, 16, 1, ModelKind::kGAT), 0.0);
+  EXPECT_EQ(predicted_summa_forward_words(ModelKind::kGAT, 100, 16,
+                                          GridShape{DistPolicy::k2D, 1, 1, 1}),
+            0.0);
+}
+
+// The per-rank protocol replay must match the SUMMA engines byte-for-byte
+// on every family shape — including the rectangular, prime, and
+// depth-replicated grids, with a vertex count (23) nothing divides.
+TEST(VolumeModel, SummaFamilyMatchesMeasuredExactly) {
+  const index_t n = 23, k = 4;
+  const int layers = 2;
+  const auto g = testing::small_graph<double>(n, 5 * n, 123);
+  const auto x = testing::random_dense<double>(n, k, 13);
+  const GridShape shapes[] = {
+      {DistPolicy::k2D, 2, 2, 1}, {DistPolicy::k2D, 3, 2, 1},
+      {DistPolicy::k2D, 2, 3, 1}, {DistPolicy::k2D, 3, 1, 1},
+      {DistPolicy::k2D, 1, 3, 1}, {DistPolicy::k3D, 3, 2, 2},
+      {DistPolicy::k3D, 2, 2, 2}, {DistPolicy::k3D, 2, 1, 4},
+  };
+  for (const ModelKind kind : {ModelKind::kGCN, ModelKind::kGIN, ModelKind::kVA,
+                               ModelKind::kAGNN, ModelKind::kGAT}) {
+    const CsrMatrix<double> adj =
+        kind == ModelKind::kGCN ? graph::sym_normalize(g.adj) : g.adj;
+    for (const GridShape& shape : shapes) {
+      const auto stats =
+          comm::SpmdRuntime::run(shape.size(), [&](comm::Communicator& world) {
+            GnnModel<double> model(config_for(kind, k, layers));
+            DistSummaEngine<double> engine(world, adj, model, shape);
+            comm::reset_all_stats(world);
+            engine.forward(x, nullptr);
+          });
+      const double predicted_bytes =
+          layers * predicted_summa_forward_words(kind, n, k, shape) *
+          sizeof(double);
+      EXPECT_EQ(static_cast<double>(comm::max_bytes_sent(stats)),
+                predicted_bytes)
+          << to_string(kind) << " " << shape.describe();
+    }
+  }
+}
+
+// Same byte-exactness for the 1D row-block engine, whose only volume is the
+// parameter broadcast plus the per-layer allgather.
+TEST(VolumeModel, OneDMatchesMeasuredExactly) {
+  const index_t n = 23, k = 4;
+  const int layers = 2;
+  const auto g = testing::small_graph<double>(n, 5 * n, 123);
+  const auto x = testing::random_dense<double>(n, k, 13);
+  for (const ModelKind kind : {ModelKind::kGCN, ModelKind::kGIN, ModelKind::kVA,
+                               ModelKind::kAGNN, ModelKind::kGAT}) {
+    const CsrMatrix<double> adj =
+        kind == ModelKind::kGCN ? graph::sym_normalize(g.adj) : g.adj;
+    for (const int p : {2, 3, 5}) {
+      const auto stats =
+          comm::SpmdRuntime::run(p, [&](comm::Communicator& world) {
+            GnnModel<double> model(config_for(kind, k, layers));
+            Dist1dGlobalEngine<double> engine(world, adj, model);
+            comm::reset_all_stats(world);
+            engine.forward(x, nullptr);
+          });
+      const double predicted_bytes =
+          layers * predicted_1d_forward_words(n, k, p, kind) * sizeof(double);
+      EXPECT_EQ(static_cast<double>(comm::max_bytes_sent(stats)),
+                predicted_bytes)
+          << to_string(kind) << " p=" << p;
+    }
+  }
+}
+
+// The policy dispatcher must agree with the per-family replays it routes to.
+TEST(VolumeModel, PolicyDispatchMatchesFamilyReplays) {
+  const index_t n = 96, k = 8;
+  EXPECT_EQ(predicted_policy_forward_words(DistPolicy::k1D, ModelKind::kVA, n,
+                                           k, 6),
+            predicted_1d_forward_words(n, k, 6, ModelKind::kVA));
+  EXPECT_EQ(predicted_policy_forward_words(DistPolicy::k1_5D, ModelKind::kGAT,
+                                           n, k, 9),
+            predicted_global_forward_words(ModelKind::kGAT, n, k, 9));
+  EXPECT_EQ(predicted_policy_forward_words(DistPolicy::k2D, ModelKind::kGIN, n,
+                                           k, 6),
+            predicted_summa_forward_words(ModelKind::kGIN, n, k,
+                                          grid_for(DistPolicy::k2D, 6)));
+  EXPECT_EQ(
+      predicted_policy_forward_words(DistPolicy::k3D, ModelKind::kAGNN, n, k,
+                                     8, /*depth_hint=*/2),
+      predicted_summa_forward_words(ModelKind::kAGNN, n, k,
+                                    grid_for(DistPolicy::k3D, 8, 2)));
+}
+
+// Every family member's exact replay must stay within a fixed constant of
+// its closed-form asymptotic bound across a sweep — the policy-generalized
+// Section 7.1 statement.
+TEST(VolumeModel, PolicyBoundsDominateAsConstantFactor) {
+  for (const index_t n : {64, 256, 1024}) {
+    for (const index_t k : {4, 16, 64}) {
+      for (const int p : {4, 6, 16, 24, 64}) {
+        for (const ModelKind kind : {ModelKind::kVA, ModelKind::kAGNN,
+                                     ModelKind::kGAT, ModelKind::kGCN,
+                                     ModelKind::kGIN}) {
+          for (const DistPolicy policy :
+               {DistPolicy::k1D, DistPolicy::k1_5D, DistPolicy::k2D,
+                DistPolicy::k3D}) {
+            if (!policy_accepts(policy, p)) continue;
+            const double exact =
+                predicted_policy_forward_words(policy, kind, n, k, p);
+            const double bound = policy_bound_words(policy, n, k, p);
+            EXPECT_LT(exact, 7.0 * bound)
+                << to_string(policy) << " " << to_string(kind) << " n=" << n
+                << " k=" << k << " p=" << p;
+          }
+        }
+      }
+    }
+  }
+}
+
+// The asymptotic ladder: at a fixed rank count, each richer member's bound
+// is no worse than the one below it (1D >= 1.5D on squares; 2D >= 3D).
+TEST(VolumeModel, FamilyBoundsFormALadder) {
+  const index_t n = 4096, k = 32;
+  for (const int p : {16, 64}) {
+    const double b1 = policy_bound_words(DistPolicy::k1D, n, k, p);
+    const double b15 = policy_bound_words(DistPolicy::k1_5D, n, k, p);
+    const double b2 = policy_bound_words(DistPolicy::k2D, n, k, p);
+    const double b3 = policy_bound_words(DistPolicy::k3D, n, k, p, 2);
+    EXPECT_GE(b1, b15) << p;
+    EXPECT_GE(b1, b2) << p;
+    EXPECT_GE(b2, b3) << p;
+  }
 }
 
 TEST(VolumeModel, Section7BoundDominatesAsConstantFactor) {
