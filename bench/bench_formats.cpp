@@ -1,0 +1,173 @@
+// Format roofline study: the (reordering x sparse-format x schedule) cross
+// product on a skewed Kronecker graph, measured as SpMM throughput.
+//
+// Each cell reports effective bandwidth (GB/s over the minimal traffic:
+// the edge list once, the feature matrix once, the output once) and the
+// speedup against the scalar CSR row-parallel kernel on the SAME vertex
+// ordering — so the format/schedule effect is isolated from the reordering
+// effect, and the reordering effect is visible by comparing cells down a
+// column. The blocked formats (SELL-C-sigma, BCSR) own whole output rows
+// per chunk and therefore ignore the schedule axis; their cells are
+// repeated across schedules so the table stays a full cross product.
+//
+// The pinned numbers live in results/bench_formats.txt (schema in
+// results/README.md).
+#include <chrono>
+#include <cmath>
+#include <string>
+
+#include "bench_common.hpp"
+#include "graph/reorder.hpp"
+#include "tensor/bcsr_matrix.hpp"
+#include "tensor/blocked_ops.hpp"
+#include "tensor/schedule.hpp"
+#include "tensor/sell_matrix.hpp"
+#include "tensor/spmm.hpp"
+
+namespace agnn::bench {
+namespace {
+
+enum class Ordering { kNatural, kShuffled, kDegreeDescending, kRcm };
+enum class Format { kCsr, kSell, kBcsr };
+
+const char* to_string(Ordering o) {
+  switch (o) {
+    case Ordering::kNatural: return "natural";
+    case Ordering::kShuffled: return "shuffled";
+    case Ordering::kDegreeDescending: return "degree_desc";
+    case Ordering::kRcm: return "rcm";
+  }
+  return "?";
+}
+
+const char* to_string(Format f) {
+  switch (f) {
+    case Format::kCsr: return "csr";
+    case Format::kSell: return "sell";
+    case Format::kBcsr: return "bcsr";
+  }
+  return "?";
+}
+
+// Dataset B0 at reduced scale: heavy-tailed, so the orderings genuinely
+// differ in locality and the hub rows stress the blocked formats' padding.
+const CsrMatrix<real_t>& ordered_graph(Ordering ordering) {
+  static const graph::Graph<real_t> base = kronecker_graph(13, 0.002, 77);
+  static const CsrMatrix<real_t> natural = base.adj;
+  static const CsrMatrix<real_t> shuffled = graph::permute_graph(
+      base.adj, graph::random_permutation(base.num_vertices(), 13));
+  static const CsrMatrix<real_t> degree_desc = graph::permute_graph(
+      base.adj, graph::degree_descending_permutation(base.adj));
+  static const CsrMatrix<real_t> rcm =
+      graph::permute_graph(base.adj, graph::rcm_permutation(base.adj));
+  switch (ordering) {
+    case Ordering::kNatural: return natural;
+    case Ordering::kShuffled: return shuffled;
+    case Ordering::kDegreeDescending: return degree_desc;
+    case Ordering::kRcm: return rcm;
+  }
+  return natural;
+}
+
+// Best-of-reps wall time of a kernel closure (the usual roofline practice:
+// the minimum is the least noise-contaminated estimate of the true cost).
+template <typename F>
+double best_seconds(F&& fn, int reps = 5) {
+  fn();  // warm-up: touches allocations and the format caches
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+void FormatRoofline(benchmark::State& state) {
+  const auto ordering = static_cast<Ordering>(state.range(0));
+  const auto format = static_cast<Format>(state.range(1));
+  const auto policy = static_cast<SchedulePolicy>(state.range(2));
+  const index_t k = static_cast<index_t>(state.range(3));
+
+  const CsrMatrix<real_t>& adj = ordered_graph(ordering);
+  const index_t n = adj.rows();
+  Rng rng(11);
+  DenseMatrix<real_t> x(n, k);
+  x.fill_uniform(rng, -1.0, 1.0);
+  DenseMatrix<real_t> out(n, k);
+
+  const auto sched =
+      KernelSchedule::build(adj.row_ptr(), policy, kDefaultScheduleGrain);
+  const auto row = KernelSchedule::build(adj.row_ptr(),
+                                         SchedulePolicy::kRowParallel,
+                                         kDefaultScheduleGrain);
+
+  // Format conversions happen outside the timed region, like the cached
+  // dispatch path (sell_for / bcsr_for build once per sparsity pattern).
+  const auto sell = SellCSigmaMatrix<real_t>::from_csr(adj);
+  const auto bcsr = BcsrMatrix<real_t>::from_csr(adj);
+
+  auto run_cell = [&] {
+    switch (format) {
+      case Format::kCsr: spmm(adj, x, out, &sched); break;
+      case Format::kSell: sell_spmm(sell, adj.vals(), x, out); break;
+      case Format::kBcsr:
+        if (bcsr.valid()) {
+          bcsr_spmm(bcsr, adj.vals(), x, out);
+        } else {
+          spmm(adj, x, out, &sched);  // the dispatch layer's own fallback
+        }
+        break;
+    }
+  };
+  const double cell_s = best_seconds(run_cell);
+  const double base_s = best_seconds([&] { spmm(adj, x, out, &row); });
+
+  for (auto _ : state) state.SetIterationTime(cell_s);
+
+  // Minimal traffic: every edge (value + column index) once, H once, out
+  // once. Padding and re-reads only lower the achieved number.
+  const double bytes =
+      static_cast<double>(adj.nnz()) * (sizeof(real_t) + sizeof(index_t)) +
+      2.0 * static_cast<double>(n) * static_cast<double>(k) * sizeof(real_t);
+  state.counters["GBps"] = bytes / 1e9 / cell_s;
+  state.counters["speedup_vs_csr_row"] = base_s / cell_s;
+  state.counters["nnz"] = static_cast<double>(adj.nnz());
+  state.counters["k"] = static_cast<double>(k);
+  state.SetLabel(std::string(to_string(ordering)) + "/" + to_string(format) +
+                 "/" + agnn::to_string(policy));
+}
+
+void register_all() {
+  for (const auto ordering :
+       {Ordering::kNatural, Ordering::kShuffled, Ordering::kDegreeDescending,
+        Ordering::kRcm}) {
+    for (const auto format : {Format::kCsr, Format::kSell, Format::kBcsr}) {
+      for (const auto policy :
+           {SchedulePolicy::kRowParallel, SchedulePolicy::kEdgeBalanced,
+            SchedulePolicy::kHybridBinned}) {
+        for (const long k : {32L, 64L}) {
+          benchmark::RegisterBenchmark(
+              (std::string("FormatRoofline/") + to_string(ordering) + "/" +
+               to_string(format) + "/" + agnn::to_string(policy) + "/k" +
+               std::to_string(k))
+                  .c_str(),
+              FormatRoofline)
+              ->Args({static_cast<long>(ordering), static_cast<long>(format),
+                      static_cast<long>(policy), k})
+              ->UseManualTime()
+              ->Iterations(1);
+        }
+      }
+    }
+  }
+}
+
+const int registered = (register_all(), 0);
+
+}  // namespace
+}  // namespace agnn::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,220 @@
+// BCSR (blocked CSR): the register-blocked companion format to SELL-C-σ
+// (DESIGN.md §13). Rows are grouped into block rows of br consecutive rows;
+// every br×bc tile that contains at least one non-zero is stored densely
+// (row-major within the tile), with `src(slot)` mapping each tile slot back
+// to its originating CSR nnz index, or -1 for fill.
+//
+// Convertibility: a BCSR tile can hold at most one value per (row, column)
+// position, so the conversion requires strictly ascending columns within
+// each CSR row — no duplicates, no unsorted rows. Graph CSRs built through
+// from_coo are always sorted, but duplicate edges are representable in CSR,
+// so `from_csr` refuses (valid() == false) rather than silently merging;
+// the format dispatcher falls back to CSR for such matrices.
+//
+// The kernels skip fill slots via src(slot) < 0, so BCSR results are
+// bitwise-identical to the scalar CSR kernels for *all* inputs, including
+// non-finite values (a processed fill slot would turn 0*inf into NaN).
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "tensor/common.hpp"
+#include "tensor/csr_matrix.hpp"
+
+namespace agnn {
+
+template <typename T>
+class BcsrMatrix {
+ public:
+  // 4×8: four output rows re-use each gathered h row; 8 columns give the
+  // depth for the k-wide inner axpy to amortize the tile load.
+  static constexpr index_t kDefaultBlockRows = 4;
+  static constexpr index_t kDefaultBlockCols = 8;
+
+  BcsrMatrix() = default;
+
+  // Pattern + packed values. Check valid() afterwards: a CSR with duplicate
+  // or unsorted columns within a row is not BCSR-representable.
+  static BcsrMatrix from_csr(const CsrMatrix<T>& a,
+                             index_t br = kDefaultBlockRows,
+                             index_t bc = kDefaultBlockCols) {
+    BcsrMatrix b = pattern_from_csr(a, br, bc);
+    if (!b.valid()) return b;
+    b.vals_.assign(b.src_.size(), T{});
+    const auto av = a.vals();
+    for (std::size_t slot = 0; slot < b.src_.size(); ++slot) {
+      if (b.src_[slot] >= 0) b.vals_[slot] = av[static_cast<std::size_t>(b.src_[slot])];
+    }
+    return b;
+  }
+
+  // Pattern-only conversion (the form CsrMatrix caches; see sell_matrix.hpp
+  // for the freshness rationale).
+  static BcsrMatrix pattern_from_csr(const CsrMatrix<T>& a,
+                                     index_t br = kDefaultBlockRows,
+                                     index_t bc = kDefaultBlockCols) {
+    AGNN_ASSERT(br > 0 && bc > 0, "BcsrMatrix: block dims must be positive");
+    BcsrMatrix b;
+    b.n_rows_ = a.rows();
+    b.n_cols_ = a.cols();
+    b.nnz_ = a.nnz();
+    b.br_ = br;
+    b.bc_ = bc;
+    b.valid_ = true;
+    const index_t n_block_rows = (b.n_rows_ + br - 1) / br;
+    b.block_row_ptr_.assign(static_cast<std::size_t>(n_block_rows) + 1, 0);
+
+    // Strict-ascending-column check; also the losslessness precondition.
+    const auto cols = a.col_idx();
+    for (index_t i = 0; i < b.n_rows_; ++i) {
+      for (index_t e = a.row_begin(i) + 1; e < a.row_end(i); ++e) {
+        if (cols[static_cast<std::size_t>(e)] <= cols[static_cast<std::size_t>(e - 1)]) {
+          b.valid_ = false;
+          return b;
+        }
+      }
+    }
+
+    // Pass 1: count distinct block columns per block row. Entries within a
+    // block row arrive row-by-row, so per-J presence needs a marker; use an
+    // epoch-stamped scratch over block columns (O(n_cols/bc) once).
+    const index_t n_block_cols = (b.n_cols_ + bc - 1) / bc;
+    std::vector<index_t> stamp(static_cast<std::size_t>(n_block_cols), -1);
+    for (index_t I = 0; I < n_block_rows; ++I) {
+      const index_t r0 = I * br;
+      const index_t r1 = std::min<index_t>(r0 + br, b.n_rows_);
+      index_t count = 0;
+      for (index_t i = r0; i < r1; ++i) {
+        for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) {
+          const index_t J = cols[static_cast<std::size_t>(e)] / bc;
+          if (stamp[static_cast<std::size_t>(J)] != I) {
+            stamp[static_cast<std::size_t>(J)] = I;
+            ++count;
+          }
+        }
+      }
+      b.block_row_ptr_[static_cast<std::size_t>(I) + 1] = count;
+    }
+    for (std::size_t i = 1; i < b.block_row_ptr_.size(); ++i) {
+      b.block_row_ptr_[i] += b.block_row_ptr_[i - 1];
+    }
+
+    // Pass 2: fill block columns (ascending J within each block row) and the
+    // slot→nnz map. `pos` maps a block column J to its block index while a
+    // block row is being filled.
+    const index_t n_blocks = b.block_row_ptr_.back();
+    b.block_col_.assign(static_cast<std::size_t>(n_blocks), 0);
+    b.src_.assign(static_cast<std::size_t>(n_blocks * br * bc), index_t{-1});
+    std::vector<index_t> pos(static_cast<std::size_t>(n_block_cols), -1);
+    std::fill(stamp.begin(), stamp.end(), index_t{-1});
+    for (index_t I = 0; I < n_block_rows; ++I) {
+      const index_t r0 = I * br;
+      const index_t r1 = std::min<index_t>(r0 + br, b.n_rows_);
+      index_t next = b.block_row_ptr_[static_cast<std::size_t>(I)];
+      // Distinct Js arrive interleaved across the block row's rows; collect
+      // them in first-seen order, then sort the slice ascending so each
+      // output row's block traversal preserves the CSR column order.
+      const index_t first = next;
+      for (index_t i = r0; i < r1; ++i) {
+        for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) {
+          const index_t J = cols[static_cast<std::size_t>(e)] / bc;
+          if (stamp[static_cast<std::size_t>(J)] != I) {
+            stamp[static_cast<std::size_t>(J)] = I;
+            b.block_col_[static_cast<std::size_t>(next++)] = J;
+          }
+        }
+      }
+      std::sort(b.block_col_.begin() + first, b.block_col_.begin() + next);
+      for (index_t blk = first; blk < next; ++blk) {
+        pos[static_cast<std::size_t>(b.block_col_[static_cast<std::size_t>(blk)])] = blk;
+      }
+      for (index_t i = r0; i < r1; ++i) {
+        for (index_t e = a.row_begin(i); e < a.row_end(i); ++e) {
+          const index_t c = cols[static_cast<std::size_t>(e)];
+          const index_t blk = pos[static_cast<std::size_t>(c / bc)];
+          const index_t slot = blk * br * bc + (i - r0) * bc + (c % bc);
+          b.src_[static_cast<std::size_t>(slot)] = e;
+        }
+      }
+    }
+    return b;
+  }
+
+  // Exact inverse of from_csr for valid conversions: the strict-ascending
+  // precondition means rebuilding rows in ascending-column order reproduces
+  // row_ptr/col_idx/vals bit-for-bit.
+  CsrMatrix<T> to_csr() const {
+    AGNN_ASSERT(valid_, "BcsrMatrix::to_csr: invalid (unconvertible) matrix");
+    AGNN_ASSERT(!vals_.empty() || nnz_ == 0,
+                "BcsrMatrix::to_csr: pattern-only conversion has no values");
+    std::vector<index_t> row_ptr(static_cast<std::size_t>(n_rows_) + 1, 0);
+    std::vector<index_t> col_idx(static_cast<std::size_t>(nnz_));
+    std::vector<T> vals(static_cast<std::size_t>(nnz_));
+    const index_t n_block_rows = block_rows();
+    for (int pass = 0; pass < 2; ++pass) {
+      for (index_t I = 0; I < n_block_rows; ++I) {
+        const index_t r0 = I * br_;
+        const index_t r1 = std::min<index_t>(r0 + br_, n_rows_);
+        for (index_t blk = block_row_ptr_[static_cast<std::size_t>(I)];
+             blk < block_row_ptr_[static_cast<std::size_t>(I) + 1]; ++blk) {
+          const index_t J = block_col_[static_cast<std::size_t>(blk)];
+          for (index_t i = r0; i < r1; ++i) {
+            for (index_t c = 0; c < bc_; ++c) {
+              const index_t slot = blk * br_ * bc_ + (i - r0) * bc_ + c;
+              if (src_[static_cast<std::size_t>(slot)] < 0) continue;
+              if (pass == 0) {
+                row_ptr[static_cast<std::size_t>(i) + 1]++;
+              } else {
+                const index_t at = row_ptr[static_cast<std::size_t>(i)]++;
+                col_idx[static_cast<std::size_t>(at)] = J * bc_ + c;
+                vals[static_cast<std::size_t>(at)] = vals_[static_cast<std::size_t>(slot)];
+              }
+            }
+          }
+        }
+      }
+      if (pass == 0) {
+        for (std::size_t i = 1; i < row_ptr.size(); ++i) row_ptr[i] += row_ptr[i - 1];
+      }
+    }
+    // Pass 1 advanced each row_ptr[i] to row_ptr[i+1]'s value; shift down.
+    for (std::size_t i = row_ptr.size() - 1; i > 0; --i) row_ptr[i] = row_ptr[i - 1];
+    row_ptr[0] = 0;
+    return CsrMatrix<T>(n_rows_, n_cols_, std::move(row_ptr), std::move(col_idx),
+                        std::move(vals));
+  }
+
+  bool valid() const { return valid_; }
+  index_t rows() const { return n_rows_; }
+  index_t cols() const { return n_cols_; }
+  index_t nnz() const { return nnz_; }
+  index_t block_height() const { return br_; }
+  index_t block_width() const { return bc_; }
+  index_t block_rows() const {
+    return static_cast<index_t>(block_row_ptr_.size()) - 1;
+  }
+  index_t blocks() const { return block_row_ptr_.empty() ? 0 : block_row_ptr_.back(); }
+  // Allocated value slots, fill included; slots() - nnz() is the fill cost.
+  index_t slots() const { return blocks() * br_ * bc_; }
+
+  std::span<const index_t> block_row_ptr() const { return block_row_ptr_; }
+  std::span<const index_t> block_col() const { return block_col_; }
+  std::span<const index_t> src() const { return src_; }
+  std::span<const T> vals() const { return vals_; }
+
+ private:
+  index_t n_rows_ = 0;
+  index_t n_cols_ = 0;
+  index_t nnz_ = 0;
+  index_t br_ = kDefaultBlockRows;
+  index_t bc_ = kDefaultBlockCols;
+  bool valid_ = false;
+  std::vector<index_t> block_row_ptr_;  // per block row: first block index
+  std::vector<index_t> block_col_;      // per block: block-column J
+  std::vector<index_t> src_;            // per slot: CSR nnz index (-1 = fill)
+  std::vector<T> vals_;                 // per slot: packed values (explicit conv only)
+};
+
+}  // namespace agnn

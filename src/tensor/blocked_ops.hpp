@@ -1,0 +1,486 @@
+// Vectorized kernels over the blocked formats (DESIGN.md §13): SpMM, SDDMM
+// and the fused attention forwards on SELL-C-σ, plus SpMM on BCSR.
+//
+// The bitwise contract. Every kernel here produces output bitwise-identical
+// to its scalar CSR counterpart (spmm / sddmm / fused_*_aggregate under a
+// row-parallel schedule — which is itself bitwise-identical to the chunked
+// policies). Three rules make this possible:
+//
+//   1. Vectorize across k, never across edges. Each output element's
+//      additions form one chain whose order is the contract; the k feature
+//      lanes are independent chains, so a k-wide AXPY is free.
+//   2. Per-row edge order is the CSR order. SELL lanes store a row's edges
+//      depth-ascending in original order; BCSR traverses blocks ascending-J
+//      with ascending columns inside, which is the CSR order for the sorted
+//      rows BCSR accepts.
+//   3. Dot products stay g-sequential. SDDMM-like reductions are never
+//      split across SIMD lanes; throughput comes from unrolling across
+//      independent edges (separate accumulation chains).
+//
+// Padding never touches the arithmetic: SELL lanes carry true row lengths
+// and stop there; BCSR fill slots are skipped via src(slot) < 0. So the
+// contract holds for *all* inputs, non-finite values included.
+//
+// SIMD structure: each kernel's work unit is one chunk (SELL) or block row
+// (BCSR), written as an always_inline body template. The body is
+// instantiated twice — once at the build's baseline ISA and once inside a
+// `#pragma GCC target("avx2")` region (see simd.hpp for why that region can
+// never fuse mul+add into FMA, which would break the bitwise contract) —
+// and the public kernel picks per call at chunk granularity via
+// simd::have_avx2(). No global -march flags, no per-edge dispatch overhead,
+// and the portable instantiation is exactly what the
+// -DAGNN_SIMD_INTRINSICS=OFF CI leg always runs.
+//
+// Values are always read through the format's src() map from the caller's
+// live CSR value array (`vals`), so kernels dispatched off a cached
+// pattern-only conversion see in-place value updates (attention weights
+// change every training step).
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <span>
+
+#include "tensor/bcsr_matrix.hpp"
+#include "tensor/dense_matrix.hpp"
+#include "tensor/schedule.hpp"
+#include "tensor/sell_matrix.hpp"
+#include "tensor/simd.hpp"
+
+namespace agnn {
+
+namespace detail {
+
+// Cache tile over k for the SpMM kernels: the C (resp. br) output rows of a
+// chunk stay L1-resident across the chunk's whole edge range, bounding the
+// per-edge traffic to the gathered h row. 256 elements × 8 output rows is
+// 16 KiB of doubles — half of a typical L1d.
+inline constexpr index_t kSpmmKTile = 256;
+
+// ---- chunk/block-row bodies (instantiated per ISA; see header comment) ----
+
+template <typename T>
+AGNN_ALWAYS_INLINE void sell_spmm_chunk(const SellCSigmaMatrix<T>& s,
+                                        const T* AGNN_RESTRICT vals,
+                                        const T* AGNN_RESTRICT h,
+                                        T* AGNN_RESTRICT out, index_t k,
+                                        index_t c, index_t k0, index_t kt) {
+  const index_t C = s.chunk();
+  const auto chunk_ptr = s.chunk_ptr();
+  const auto row_of = s.row_of_lane();
+  const auto len = s.lane_len();
+  const auto col = s.col();
+  const auto src = s.src();
+  const index_t base = chunk_ptr[static_cast<std::size_t>(c)];
+  const index_t width = (chunk_ptr[static_cast<std::size_t>(c) + 1] - base) / C;
+  // Zero this chunk's output tiles, then accumulate depth-major: at each
+  // depth the C lanes' slots are contiguous.
+  for (index_t lane = 0; lane < C; ++lane) {
+    const index_t row = row_of[static_cast<std::size_t>(c * C + lane)];
+    if (row < 0) continue;
+    T* AGNN_RESTRICT oi = out + row * k + k0;
+    for (index_t g = 0; g < kt; ++g) oi[g] = T(0);
+  }
+  for (index_t j = 0; j < width; ++j) {
+    const index_t slot0 = base + j * C;
+    for (index_t lane = 0; lane < C; ++lane) {
+      if (j >= len[static_cast<std::size_t>(c * C + lane)]) continue;
+      const std::size_t slot = static_cast<std::size_t>(slot0 + lane);
+      const index_t row = row_of[static_cast<std::size_t>(c * C + lane)];
+      const T av = vals[static_cast<std::size_t>(src[slot])];
+      T* AGNN_RESTRICT oi = out + row * k + k0;
+      const T* AGNN_RESTRICT hj = h + col[slot] * k + k0;
+      for (index_t g = 0; g < kt; ++g) oi[g] += av * hj[g];
+    }
+  }
+}
+
+template <typename T>
+AGNN_ALWAYS_INLINE void bcsr_spmm_block_row(const BcsrMatrix<T>& b,
+                                            const T* AGNN_RESTRICT vals,
+                                            const T* AGNN_RESTRICT h,
+                                            T* AGNN_RESTRICT out, index_t k,
+                                            index_t I, index_t k0, index_t kt) {
+  const index_t br = b.block_height(), bc = b.block_width();
+  const auto brp = b.block_row_ptr();
+  const auto bcol = b.block_col();
+  const auto src = b.src();
+  const index_t r0 = I * br;
+  const index_t r1 = std::min<index_t>(r0 + br, b.rows());
+  for (index_t i = r0; i < r1; ++i) {
+    T* AGNN_RESTRICT oi = out + i * k + k0;
+    for (index_t g = 0; g < kt; ++g) oi[g] = T(0);
+  }
+  for (index_t blk = brp[static_cast<std::size_t>(I)];
+       blk < brp[static_cast<std::size_t>(I) + 1]; ++blk) {
+    const index_t c0 = bcol[static_cast<std::size_t>(blk)] * bc;
+    const index_t slot0 = blk * br * bc;
+    for (index_t i = r0; i < r1; ++i) {
+      T* AGNN_RESTRICT oi = out + i * k + k0;
+      for (index_t c = 0; c < bc; ++c) {
+        const index_t sidx =
+            src[static_cast<std::size_t>(slot0 + (i - r0) * bc + c)];
+        if (sidx < 0) continue;  // fill slot — not part of the pattern
+        const T av = vals[static_cast<std::size_t>(sidx)];
+        const T* AGNN_RESTRICT hj = h + (c0 + c) * k + k0;
+        for (index_t g = 0; g < kt; ++g) oi[g] += av * hj[g];
+      }
+    }
+  }
+}
+
+template <bool Weighted, typename T>
+AGNN_ALWAYS_INLINE void sell_sddmm_chunk(const SellCSigmaMatrix<T>& s,
+                                         const T* AGNN_RESTRICT pattern_vals,
+                                         const T* AGNN_RESTRICT x,
+                                         const T* AGNN_RESTRICT y,
+                                         T* AGNN_RESTRICT out_vals, index_t k,
+                                         index_t c) {
+  const index_t C = s.chunk();
+  const auto chunk_ptr = s.chunk_ptr();
+  const auto row_of = s.row_of_lane();
+  const auto len = s.lane_len();
+  const auto col = s.col();
+  const auto src = s.src();
+  const index_t base = chunk_ptr[static_cast<std::size_t>(c)];
+  const auto edge_out = [&](std::size_t slot, T dot) {
+    const std::size_t t = static_cast<std::size_t>(src[slot]);
+    if constexpr (Weighted) {
+      out_vals[t] = pattern_vals[t] * dot;
+    } else {
+      out_vals[t] = dot;
+    }
+  };
+  for (index_t lane = 0; lane < C; ++lane) {
+    const std::size_t gl = static_cast<std::size_t>(c * C + lane);
+    const index_t row = row_of[gl];
+    if (row < 0) continue;
+    const T* AGNN_RESTRICT xi = x + row * k;
+    const index_t L = len[gl];
+    index_t j = 0;
+    // Four independent edges of the lane at a time: four separate dot
+    // chains, each g-sequential, sharing the x_i loads.
+    for (; j + 4 <= L; j += 4) {
+      const std::size_t s0 = static_cast<std::size_t>(base + (j + 0) * C + lane);
+      const std::size_t s1 = static_cast<std::size_t>(base + (j + 1) * C + lane);
+      const std::size_t s2 = static_cast<std::size_t>(base + (j + 2) * C + lane);
+      const std::size_t s3 = static_cast<std::size_t>(base + (j + 3) * C + lane);
+      const T* AGNN_RESTRICT y0 = y + col[s0] * k;
+      const T* AGNN_RESTRICT y1 = y + col[s1] * k;
+      const T* AGNN_RESTRICT y2 = y + col[s2] * k;
+      const T* AGNN_RESTRICT y3 = y + col[s3] * k;
+      T a0 = T(0), a1 = T(0), a2 = T(0), a3 = T(0);
+      for (index_t g = 0; g < k; ++g) {
+        const T xg = xi[g];
+        a0 += xg * y0[g];
+        a1 += xg * y1[g];
+        a2 += xg * y2[g];
+        a3 += xg * y3[g];
+      }
+      edge_out(s0, a0);
+      edge_out(s1, a1);
+      edge_out(s2, a2);
+      edge_out(s3, a3);
+    }
+    for (; j < L; ++j) {
+      const std::size_t slot = static_cast<std::size_t>(base + j * C + lane);
+      const T* AGNN_RESTRICT yj = y + col[slot] * k;
+      T acc = T(0);
+      for (index_t g = 0; g < k; ++g) acc += xi[g] * yj[g];
+      edge_out(slot, acc);
+    }
+  }
+}
+
+template <typename T>
+AGNN_ALWAYS_INLINE void sell_fused_va_chunk(const SellCSigmaMatrix<T>& s,
+                                            const T* AGNN_RESTRICT vals,
+                                            const T* AGNN_RESTRICT h,
+                                            const T* AGNN_RESTRICT x,
+                                            T* AGNN_RESTRICT out, index_t k,
+                                            index_t kx, index_t c) {
+  const index_t C = s.chunk();
+  const auto chunk_ptr = s.chunk_ptr();
+  const auto row_of = s.row_of_lane();
+  const auto len = s.lane_len();
+  const auto col = s.col();
+  const auto src = s.src();
+  const index_t base = chunk_ptr[static_cast<std::size_t>(c)];
+  for (index_t lane = 0; lane < C; ++lane) {
+    const std::size_t gl = static_cast<std::size_t>(c * C + lane);
+    const index_t row = row_of[gl];
+    if (row < 0) continue;
+    const T* AGNN_RESTRICT hi = h + row * k;
+    T* AGNN_RESTRICT oi = out + row * kx;
+    for (index_t g = 0; g < kx; ++g) oi[g] = T(0);
+    for (index_t j = 0; j < len[gl]; ++j) {
+      const std::size_t slot = static_cast<std::size_t>(base + j * C + lane);
+      const index_t jc = col[slot];
+      const T* AGNN_RESTRICT hj = h + jc * k;
+      T score = T(0);
+      for (index_t g = 0; g < k; ++g) score += hi[g] * hj[g];
+      score *= vals[static_cast<std::size_t>(src[slot])];
+      const T* AGNN_RESTRICT xj = x + jc * kx;
+      for (index_t g = 0; g < kx; ++g) oi[g] += score * xj[g];
+    }
+  }
+}
+
+template <typename T>
+AGNN_ALWAYS_INLINE void sell_fused_gat_chunk(
+    const SellCSigmaMatrix<T>& s, const T* AGNN_RESTRICT vals,
+    const T* AGNN_RESTRICT s1, const T* AGNN_RESTRICT s2, T leaky_slope,
+    const T* AGNN_RESTRICT x, T* AGNN_RESTRICT out, T* AGNN_RESTRICT scores,
+    index_t kx, index_t c) {
+  const index_t C = s.chunk();
+  const auto chunk_ptr = s.chunk_ptr();
+  const auto row_of = s.row_of_lane();
+  const auto len = s.lane_len();
+  const auto col = s.col();
+  const auto src = s.src();
+  const index_t base = chunk_ptr[static_cast<std::size_t>(c)];
+  for (index_t lane = 0; lane < C; ++lane) {
+    const std::size_t gl = static_cast<std::size_t>(c * C + lane);
+    const index_t row = row_of[gl];
+    const index_t L = len[gl];
+    if (row < 0 || L == 0) continue;
+    // Same three-phase per-row online softmax as fused_gat_aggregate's
+    // row_body, in the same edge order.
+    const T s1i = s1[static_cast<std::size_t>(row)];
+    T mx = -std::numeric_limits<T>::infinity();
+    for (index_t j = 0; j < L; ++j) {
+      const std::size_t slot = static_cast<std::size_t>(base + j * C + lane);
+      const T cc = s1i + s2[static_cast<std::size_t>(col[slot])];
+      const T lrelu =
+          (cc > T(0) ? cc : leaky_slope * cc) * vals[static_cast<std::size_t>(src[slot])];
+      scores[j] = lrelu;
+      mx = std::max(mx, lrelu);
+    }
+    T sum = T(0);
+    for (index_t j = 0; j < L; ++j) {
+      const T ex = std::exp(scores[j] - mx);
+      scores[j] = ex;
+      sum += ex;
+    }
+    const T inv = T(1) / sum;
+    T* AGNN_RESTRICT oi = out + row * kx;
+    for (index_t j = 0; j < L; ++j) {
+      const std::size_t slot = static_cast<std::size_t>(base + j * C + lane);
+      const T w = scores[j] * inv;
+      const T* AGNN_RESTRICT xj = x + col[slot] * kx;
+      for (index_t g = 0; g < kx; ++g) oi[g] += w * xj[g];
+    }
+  }
+}
+
+#if AGNN_SIMD_AVX2_PATH
+// AVX2 instantiations: same bodies, compiled under the avx2 target (which
+// the autovectorizer uses for the k-wide loops; mul+add stay separate —
+// FMA is a distinct target flag that is never enabled). Runtime-gated by
+// simd::have_avx2() in the public kernels.
+#pragma GCC push_options
+#pragma GCC target("avx2")
+template <typename T>
+void sell_spmm_chunk_avx2(const SellCSigmaMatrix<T>& s, const T* vals,
+                          const T* h, T* out, index_t k, index_t c, index_t k0,
+                          index_t kt) {
+  sell_spmm_chunk(s, vals, h, out, k, c, k0, kt);
+}
+template <typename T>
+void bcsr_spmm_block_row_avx2(const BcsrMatrix<T>& b, const T* vals, const T* h,
+                              T* out, index_t k, index_t I, index_t k0,
+                              index_t kt) {
+  bcsr_spmm_block_row(b, vals, h, out, k, I, k0, kt);
+}
+template <bool Weighted, typename T>
+void sell_sddmm_chunk_avx2(const SellCSigmaMatrix<T>& s, const T* pattern_vals,
+                           const T* x, const T* y, T* out_vals, index_t k,
+                           index_t c) {
+  sell_sddmm_chunk<Weighted>(s, pattern_vals, x, y, out_vals, k, c);
+}
+template <typename T>
+void sell_fused_va_chunk_avx2(const SellCSigmaMatrix<T>& s, const T* vals,
+                              const T* h, const T* x, T* out, index_t k,
+                              index_t kx, index_t c) {
+  sell_fused_va_chunk(s, vals, h, x, out, k, kx, c);
+}
+template <typename T>
+void sell_fused_gat_chunk_avx2(const SellCSigmaMatrix<T>& s, const T* vals,
+                               const T* s1, const T* s2, T leaky_slope,
+                               const T* x, T* out, T* scores, index_t kx,
+                               index_t c) {
+  sell_fused_gat_chunk(s, vals, s1, s2, leaky_slope, x, out, scores, kx, c);
+}
+#pragma GCC pop_options
+#endif  // AGNN_SIMD_AVX2_PATH
+
+}  // namespace detail
+
+// out = A * H with A in SELL-C-σ form. Bitwise-identical to spmm().
+template <typename T>
+void sell_spmm(const SellCSigmaMatrix<T>& s, std::span<const T> vals,
+               const DenseMatrix<T>& h, DenseMatrix<T>& out) {
+  AGNN_ASSERT(s.cols() == h.rows(), "sell_spmm: dimension mismatch");
+  AGNN_ASSERT(static_cast<index_t>(vals.size()) == s.nnz(),
+              "sell_spmm: values must be the source CSR value array");
+  const index_t k = h.cols();
+  out.resize(s.rows(), k);
+  const index_t n_chunks = s.chunks();
+  const bool avx2 = simd::have_avx2();
+  for (index_t k0 = 0; k0 < k; k0 += detail::kSpmmKTile) {
+    const index_t kt = std::min<index_t>(detail::kSpmmKTile, k - k0);
+#pragma omp parallel for schedule(dynamic, 4)
+    for (index_t c = 0; c < n_chunks; ++c) {
+#if AGNN_SIMD_AVX2_PATH
+      if (avx2) {
+        detail::sell_spmm_chunk_avx2(s, vals.data(), h.data(), out.data(), k,
+                                     c, k0, kt);
+        continue;
+      }
+#endif
+      (void)avx2;
+      detail::sell_spmm_chunk(s, vals.data(), h.data(), out.data(), k, c, k0,
+                              kt);
+    }
+  }
+}
+
+// out = A * H with A in BCSR form. Bitwise-identical to spmm(); requires a
+// valid (strictly-sorted-row) conversion.
+template <typename T>
+void bcsr_spmm(const BcsrMatrix<T>& b, std::span<const T> vals,
+               const DenseMatrix<T>& h, DenseMatrix<T>& out) {
+  AGNN_ASSERT(b.valid(), "bcsr_spmm: invalid BCSR conversion");
+  AGNN_ASSERT(b.cols() == h.rows(), "bcsr_spmm: dimension mismatch");
+  AGNN_ASSERT(static_cast<index_t>(vals.size()) == b.nnz(),
+              "bcsr_spmm: values must be the source CSR value array");
+  const index_t k = h.cols();
+  out.resize(b.rows(), k);
+  const index_t n_block_rows = b.block_rows();
+  const bool avx2 = simd::have_avx2();
+  for (index_t k0 = 0; k0 < k; k0 += detail::kSpmmKTile) {
+    const index_t kt = std::min<index_t>(detail::kSpmmKTile, k - k0);
+#pragma omp parallel for schedule(dynamic, 4)
+    for (index_t I = 0; I < n_block_rows; ++I) {
+#if AGNN_SIMD_AVX2_PATH
+      if (avx2) {
+        detail::bcsr_spmm_block_row_avx2(b, vals.data(), h.data(), out.data(),
+                                         k, I, k0, kt);
+        continue;
+      }
+#endif
+      (void)avx2;
+      detail::bcsr_spmm_block_row(b, vals.data(), h.data(), out.data(), k, I,
+                                  k0, kt);
+    }
+  }
+}
+
+// SDDMM on SELL-C-σ: out_vals[src(slot)] = (pattern value ·) <x_i, y_j> for
+// every stored edge. Bitwise-identical to sddmm()/sddmm_unweighted().
+template <bool Weighted, typename T>
+void sell_sddmm(const SellCSigmaMatrix<T>& s, std::span<const T> pattern_vals,
+                const DenseMatrix<T>& x, const DenseMatrix<T>& y,
+                std::span<T> out_vals) {
+  AGNN_ASSERT(s.rows() == x.rows(), "sell_sddmm: row dimension mismatch");
+  AGNN_ASSERT(s.cols() == y.rows(), "sell_sddmm: col dimension mismatch");
+  AGNN_ASSERT(x.cols() == y.cols(), "sell_sddmm: inner dimension mismatch");
+  AGNN_ASSERT(static_cast<index_t>(out_vals.size()) == s.nnz(),
+              "sell_sddmm: output size mismatch");
+  const index_t k = x.cols();
+  const index_t n_chunks = s.chunks();
+  const bool avx2 = simd::have_avx2();
+#pragma omp parallel for schedule(dynamic, 4)
+  for (index_t c = 0; c < n_chunks; ++c) {
+#if AGNN_SIMD_AVX2_PATH
+    if (avx2) {
+      detail::sell_sddmm_chunk_avx2<Weighted>(s, pattern_vals.data(), x.data(),
+                                              y.data(), out_vals.data(), k, c);
+      continue;
+    }
+#endif
+    (void)avx2;
+    detail::sell_sddmm_chunk<Weighted>(s, pattern_vals.data(), x.data(),
+                                       y.data(), out_vals.data(), k, c);
+  }
+}
+
+// Fused VA forward on SELL-C-σ: out = (A ⊙ H H^T) * X in one pass.
+// Bitwise-identical to fused_va_aggregate().
+template <typename T>
+void sell_fused_va_aggregate(const SellCSigmaMatrix<T>& s,
+                             std::span<const T> vals, const DenseMatrix<T>& h,
+                             const DenseMatrix<T>& x, DenseMatrix<T>& out) {
+  AGNN_ASSERT(s.rows() == h.rows() && s.cols() == h.rows(), "fused_va: shape");
+  AGNN_ASSERT(s.cols() == x.rows(), "fused_va: aggregation input shape");
+  AGNN_ASSERT(&out != &h && &out != &x, "fused_va: output cannot alias an input");
+  AGNN_ASSERT(static_cast<index_t>(vals.size()) == s.nnz(),
+              "fused_va: values must be the source CSR value array");
+  const index_t k = h.cols(), kx = x.cols();
+  out.resize(s.rows(), kx);
+  const index_t n_chunks = s.chunks();
+  const bool avx2 = simd::have_avx2();
+#pragma omp parallel for schedule(dynamic, 4)
+  for (index_t c = 0; c < n_chunks; ++c) {
+#if AGNN_SIMD_AVX2_PATH
+    if (avx2) {
+      detail::sell_fused_va_chunk_avx2(s, vals.data(), h.data(), x.data(),
+                                       out.data(), k, kx, c);
+      continue;
+    }
+#endif
+    (void)avx2;
+    detail::sell_fused_va_chunk(s, vals.data(), h.data(), x.data(), out.data(),
+                                k, kx, c);
+  }
+}
+
+// Fused GAT forward on SELL-C-σ: out = sm(A ⊙ LeakyReLU(s1 1^T + 1 s2^T)) * X.
+// Bitwise-identical to fused_gat_aggregate().
+template <typename T>
+void sell_fused_gat_aggregate(const SellCSigmaMatrix<T>& s,
+                              std::span<const T> vals, std::span<const T> s1,
+                              std::span<const T> s2, T leaky_slope,
+                              const DenseMatrix<T>& x, DenseMatrix<T>& out) {
+  AGNN_ASSERT(s.cols() == x.rows(), "fused_gat: aggregation input shape");
+  AGNN_ASSERT(&out != &x, "fused_gat: output cannot alias an input");
+  AGNN_ASSERT(static_cast<index_t>(s1.size()) == s.rows(), "fused_gat: s1 size");
+  AGNN_ASSERT(static_cast<index_t>(s2.size()) == s.cols(), "fused_gat: s2 size");
+  AGNN_ASSERT(static_cast<index_t>(vals.size()) == s.nnz(),
+              "fused_gat: values must be the source CSR value array");
+  const index_t kx = x.cols();
+  out.resize(s.rows(), kx);
+  out.fill(T(0));
+  const index_t n_chunks = s.chunks();
+  const bool avx2 = simd::have_avx2();
+  // Per-thread score scratch sized to the widest chunk (= widest row).
+  index_t max_w = 0;
+  const auto cp = s.chunk_ptr();
+  for (index_t c = 0; c < n_chunks; ++c) {
+    max_w = std::max(max_w, (cp[static_cast<std::size_t>(c) + 1] -
+                             cp[static_cast<std::size_t>(c)]) /
+                                s.chunk());
+  }
+#pragma omp parallel
+  {
+    T* scores =
+        detail::schedule_arena<T, 21>(static_cast<std::size_t>(max_w));
+#pragma omp for schedule(dynamic, 4)
+    for (index_t c = 0; c < n_chunks; ++c) {
+#if AGNN_SIMD_AVX2_PATH
+      if (avx2) {
+        detail::sell_fused_gat_chunk_avx2(s, vals.data(), s1.data(), s2.data(),
+                                          leaky_slope, x.data(), out.data(),
+                                          scores, kx, c);
+        continue;
+      }
+#endif
+      (void)avx2;
+      detail::sell_fused_gat_chunk(s, vals.data(), s1.data(), s2.data(),
+                                   leaky_slope, x.data(), out.data(), scores,
+                                   kx, c);
+    }
+  }
+}
+
+}  // namespace agnn

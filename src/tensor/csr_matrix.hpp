@@ -21,6 +21,16 @@ namespace agnn {
 // Defined in tensor/schedule.hpp; the CSR only carries an opaque cache slot.
 class KernelSchedule;
 
+// Defined in tensor/sell_matrix.hpp / tensor/bcsr_matrix.hpp; like the
+// schedule, the CSR only carries opaque cache slots for its blocked-format
+// conversions. The cached objects are pattern-only (kernels read values
+// through their src() maps from the live CSR value array), so in-place value
+// mutation via vals_mutable() never makes them stale.
+template <typename U>
+class SellCSigmaMatrix;
+template <typename U>
+class BcsrMatrix;
+
 template <typename T>
 class CsrMatrix {
  public:
@@ -40,6 +50,8 @@ class CsrMatrix {
         col_idx_(o.col_idx_),
         vals_(o.vals_) {
     schedule_cache_.store(o.cached_schedule(), std::memory_order_release);
+    sell_cache_.store(o.cached_sell(), std::memory_order_release);
+    bcsr_cache_.store(o.cached_bcsr(), std::memory_order_release);
   }
 
   CsrMatrix& operator=(const CsrMatrix& o) {
@@ -50,6 +62,8 @@ class CsrMatrix {
       col_idx_ = o.col_idx_;
       vals_ = o.vals_;
       schedule_cache_.store(o.cached_schedule(), std::memory_order_release);
+      sell_cache_.store(o.cached_sell(), std::memory_order_release);
+      bcsr_cache_.store(o.cached_bcsr(), std::memory_order_release);
     }
     return *this;
   }
@@ -61,6 +75,8 @@ class CsrMatrix {
         col_idx_(std::move(o.col_idx_)),
         vals_(std::move(o.vals_)) {
     schedule_cache_.store(o.cached_schedule(), std::memory_order_release);
+    sell_cache_.store(o.cached_sell(), std::memory_order_release);
+    bcsr_cache_.store(o.cached_bcsr(), std::memory_order_release);
   }
 
   CsrMatrix& operator=(CsrMatrix&& o) noexcept {
@@ -71,6 +87,8 @@ class CsrMatrix {
       col_idx_ = std::move(o.col_idx_);
       vals_ = std::move(o.vals_);
       schedule_cache_.store(o.cached_schedule(), std::memory_order_release);
+      sell_cache_.store(o.cached_sell(), std::memory_order_release);
+      bcsr_cache_.store(o.cached_bcsr(), std::memory_order_release);
     }
     return *this;
   }
@@ -273,6 +291,30 @@ class CsrMatrix {
   }
   void invalidate_schedule_cache() const {
     schedule_cache_.store(nullptr, std::memory_order_release);
+    invalidate_format_cache();
+  }
+
+  // --- blocked-format cache (tensor/format.hpp) --------------------------
+  // Pattern-only SELL-C-σ / BCSR conversions, built lazily by sell_for() /
+  // bcsr_for(). Same lifecycle as the schedule cache: pure functions of the
+  // sparsity pattern, shared across copies, invalidated when the pattern is
+  // rebuilt in place. Value mutation needs no invalidation — the cached
+  // objects carry no values (kernels read via src() from the live CSR).
+  std::shared_ptr<const SellCSigmaMatrix<T>> cached_sell() const {
+    return sell_cache_.load(std::memory_order_acquire);
+  }
+  void cache_sell(std::shared_ptr<const SellCSigmaMatrix<T>> s) const {
+    sell_cache_.store(std::move(s), std::memory_order_release);
+  }
+  std::shared_ptr<const BcsrMatrix<T>> cached_bcsr() const {
+    return bcsr_cache_.load(std::memory_order_acquire);
+  }
+  void cache_bcsr(std::shared_ptr<const BcsrMatrix<T>> b) const {
+    bcsr_cache_.store(std::move(b), std::memory_order_release);
+  }
+  void invalidate_format_cache() const {
+    sell_cache_.store(nullptr, std::memory_order_release);
+    bcsr_cache_.store(nullptr, std::memory_order_release);
   }
 
  private:
@@ -282,6 +324,8 @@ class CsrMatrix {
   std::vector<index_t> col_idx_;
   std::vector<T> vals_;
   mutable std::atomic<std::shared_ptr<const KernelSchedule>> schedule_cache_{};
+  mutable std::atomic<std::shared_ptr<const SellCSigmaMatrix<T>>> sell_cache_{};
+  mutable std::atomic<std::shared_ptr<const BcsrMatrix<T>>> bcsr_cache_{};
 };
 
 }  // namespace agnn

@@ -1,0 +1,135 @@
+// Sparse-format selection (DESIGN.md §13): the AGNN_FORMAT knob, the cached
+// CSR→blocked conversions, and the dispatch predicate the CSR-facing kernels
+// (spmm, sddmm, fused_*_aggregate) consult before falling back to their
+// scalar loops.
+//
+// Mirrors the KernelSchedule machinery one file over: parse + env read, a
+// lazily-built conversion cached on the CsrMatrix behind an atomic
+// shared_ptr (safe for concurrent rank threads; a lost race builds the same
+// conversion twice), and metrics marks on every build. The dispatch is
+// result-invisible by construction — the blocked kernels are
+// bitwise-identical to the scalar CSR ones (blocked_ops.hpp) — so changing
+// AGNN_FORMAT can never change a model's output, only its speed; the format
+// axis of the equivalence sweep and the differential formats suite enforce
+// exactly that.
+//
+// Default is kCsr: the blocked paths are opt-in via AGNN_FORMAT=sell / bcsr
+// / auto, keeping the seed behavior (and every pinned golden) byte-stable by
+// default.
+#pragma once
+
+#include <cstdlib>
+#include <memory>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "tensor/bcsr_matrix.hpp"
+#include "tensor/csr_matrix.hpp"
+#include "tensor/sell_matrix.hpp"
+
+namespace agnn {
+
+enum class SparseFormat {
+  kCsr,   // scalar CSR loops (the seed behavior; default)
+  kSell,  // SELL-C-σ, SIMD-blocked (blocked_ops.hpp)
+  kBcsr,  // BCSR register blocks; falls back to CSR where unconvertible
+  kAuto,  // kSell above a size threshold, kCsr below it
+};
+
+inline const char* to_string(SparseFormat f) {
+  switch (f) {
+    case SparseFormat::kCsr: return "csr";
+    case SparseFormat::kSell: return "sell";
+    case SparseFormat::kBcsr: return "bcsr";
+    case SparseFormat::kAuto: return "auto";
+  }
+  return "?";
+}
+
+// Accepted spellings for AGNN_FORMAT and the bench/CLI flags. Returns false
+// (and leaves `out` untouched) for anything else.
+inline bool parse_sparse_format(std::string_view s, SparseFormat& out) {
+  if (s == "csr" || s.empty()) {
+    out = SparseFormat::kCsr;
+  } else if (s == "sell" || s == "sell-c-sigma") {
+    out = SparseFormat::kSell;
+  } else if (s == "bcsr") {
+    out = SparseFormat::kBcsr;
+  } else if (s == "auto") {
+    out = SparseFormat::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+inline SparseFormat sparse_format_from_env() {
+  const char* e = std::getenv("AGNN_FORMAT");
+  if (e == nullptr) return SparseFormat::kCsr;
+  SparseFormat f = SparseFormat::kCsr;
+  if (!parse_sparse_format(e, f)) return SparseFormat::kCsr;
+  return f;
+}
+
+// Below this the conversion bookkeeping outweighs any SIMD win; kAuto stays
+// on the scalar path (which also keeps unit-test-sized graphs on the seed
+// code unless a format is forced explicitly).
+inline constexpr index_t kFormatAutoMinNnz = 1 << 14;
+
+// Cached pattern-only conversions. Like schedule_for: pure functions of the
+// sparsity pattern, so copies share them and in-place pattern rebuilds
+// (transposed_into) invalidate them; value mutation needs no invalidation
+// because the cached objects carry no values.
+template <typename T>
+std::shared_ptr<const SellCSigmaMatrix<T>> sell_for(const CsrMatrix<T>& a) {
+  auto cached = a.cached_sell();
+  if (cached) return cached;
+  auto built = std::make_shared<const SellCSigmaMatrix<T>>(
+      SellCSigmaMatrix<T>::pattern_from_csr(a));
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("format.builds.sell").add(1);
+  reg.gauge("format.last_sell_pad_ratio")
+      .set(built->nnz() > 0
+               ? static_cast<double>(built->slots()) / static_cast<double>(built->nnz())
+               : 1.0);
+  a.cache_sell(built);
+  return built;
+}
+
+template <typename T>
+std::shared_ptr<const BcsrMatrix<T>> bcsr_for(const CsrMatrix<T>& a) {
+  auto cached = a.cached_bcsr();
+  if (cached) return cached;
+  auto built = std::make_shared<const BcsrMatrix<T>>(
+      BcsrMatrix<T>::pattern_from_csr(a));
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter(built->valid() ? "format.builds.bcsr" : "format.builds.bcsr_rejected")
+      .add(1);
+  if (built->valid() && built->nnz() > 0) {
+    reg.gauge("format.last_bcsr_fill_ratio")
+        .set(static_cast<double>(built->slots()) / static_cast<double>(built->nnz()));
+  }
+  a.cache_bcsr(built);
+  return built;
+}
+
+namespace detail {
+
+// The per-call dispatch decision for a CSR-facing kernel: resolves the env
+// knob (and kAuto's size threshold) to a concrete format. Degenerate
+// matrices stay on the scalar path — there is nothing to block.
+template <typename T>
+inline SparseFormat dispatch_format(const CsrMatrix<T>& a) {
+  SparseFormat f = sparse_format_from_env();
+  if (f == SparseFormat::kAuto) {
+    f = a.nnz() >= kFormatAutoMinNnz ? SparseFormat::kSell : SparseFormat::kCsr;
+  }
+  if (f != SparseFormat::kCsr && (a.rows() == 0 || a.nnz() == 0)) {
+    f = SparseFormat::kCsr;
+  }
+  return f;
+}
+
+}  // namespace detail
+
+}  // namespace agnn

@@ -19,9 +19,11 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "tensor/blocked_ops.hpp"
 #include "tensor/csr_matrix.hpp"
 #include "tensor/dense_matrix.hpp"
 #include "tensor/dense_ops.hpp"
+#include "tensor/format.hpp"
 #include "tensor/sparse_ops.hpp"
 
 namespace agnn {
@@ -160,6 +162,11 @@ void fused_va_aggregate(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
   AGNN_ASSERT(a.cols() == x.rows(), "fused_va: aggregation input shape");
   AGNN_ASSERT(&out != &h && &out != &x, "fused_va: output cannot alias an input");
   const index_t n = a.rows(), k = h.cols(), kx = x.cols();
+  // AGNN_FORMAT dispatch (bitwise-invisible; see blocked_ops.hpp).
+  if (detail::dispatch_format(a) == SparseFormat::kSell) {
+    sell_fused_va_aggregate(*sell_for(a), a.vals(), h, x, out);
+    return;
+  }
   out.resize(n, kx);
   std::shared_ptr<const KernelSchedule> owned;
   sched = detail::resolve_schedule(a, sched, owned);
@@ -243,6 +250,11 @@ void fused_gat_aggregate(const CsrMatrix<T>& a, std::span<const T> s1,
   AGNN_ASSERT(a.cols() == x.rows(), "fused_gat: aggregation input shape");
   AGNN_ASSERT(&out != &x, "fused_gat: output cannot alias an input");
   const index_t n = a.rows(), kx = x.cols();
+  // AGNN_FORMAT dispatch (bitwise-invisible; see blocked_ops.hpp).
+  if (detail::dispatch_format(a) == SparseFormat::kSell) {
+    sell_fused_gat_aggregate(*sell_for(a), a.vals(), s1, s2, leaky_slope, x, out);
+    return;
+  }
   out.resize(n, kx);
   out.fill(T(0));
   std::shared_ptr<const KernelSchedule> owned;

@@ -1,0 +1,193 @@
+// SELL-C-σ: the SIMD-blocked sparse format of the format layer (DESIGN.md
+// §13). Rows are grouped into chunks of C lanes; within each sorting window
+// of σ rows (σ a multiple of C) lanes are ordered by descending row length so
+// chunk widths — and therefore zero padding — stay small even on skewed
+// degree distributions. Slots are laid out depth-major,
+//
+//   slot(c, j, lane) = chunk_ptr[c] + j * C + lane,
+//
+// so that at a fixed depth j the C lanes' columns/values are contiguous.
+//
+// Two properties the kernels in blocked_ops.hpp rely on:
+//
+//  * Losslessness. Every CSR entry (including duplicates and unsorted rows)
+//    maps to exactly one slot, depth order within a lane preserves the
+//    original intra-row order, and `src(slot)` records the originating CSR
+//    nnz index. `to_csr()` reproduces the source matrix bit-for-bit.
+//
+//  * Value freshness. CsrMatrix values mutate in place (vals_mutable()) with
+//    no invalidation hook — attention weights change every step — so the
+//    cached conversion stored on CsrMatrix is pattern-only and kernels read
+//    values through `src(slot)` from the live CSR value array. The packed
+//    `vals()` copy is filled only by the explicit `from_csr` conversion and
+//    exists for round-trip tests and standalone use.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "tensor/common.hpp"
+#include "tensor/csr_matrix.hpp"
+
+namespace agnn {
+
+template <typename T>
+class SellCSigmaMatrix {
+ public:
+  // C = 8 covers a 256-bit register of floats and two of doubles; σ = 128
+  // keeps the sort window local enough that the lane→row permutation stays
+  // cache-friendly while still absorbing power-law skew.
+  static constexpr index_t kDefaultChunk = 8;
+  static constexpr index_t kDefaultSigma = 128;
+
+  SellCSigmaMatrix() = default;
+
+  // Pattern + values conversion (lossless; see to_csr).
+  static SellCSigmaMatrix from_csr(const CsrMatrix<T>& a,
+                                   index_t chunk = kDefaultChunk,
+                                   index_t sigma = kDefaultSigma) {
+    SellCSigmaMatrix s = pattern_from_csr(a, chunk, sigma);
+    s.vals_.assign(s.col_.size(), T{});
+    const auto av = a.vals();
+    for (std::size_t slot = 0; slot < s.src_.size(); ++slot) {
+      if (s.src_[slot] >= 0) s.vals_[slot] = av[static_cast<std::size_t>(s.src_[slot])];
+    }
+    return s;
+  }
+
+  // Pattern-only conversion: everything except the packed value copy. This
+  // is what CsrMatrix caches; kernels then read values via src() from the
+  // live CSR value array so in-place value mutation never goes stale.
+  static SellCSigmaMatrix pattern_from_csr(const CsrMatrix<T>& a,
+                                           index_t chunk = kDefaultChunk,
+                                           index_t sigma = kDefaultSigma) {
+    AGNN_ASSERT(chunk > 0, "SellCSigmaMatrix: chunk C must be positive");
+    AGNN_ASSERT(sigma > 0 && sigma % chunk == 0,
+                "SellCSigmaMatrix: sigma must be a positive multiple of C");
+    SellCSigmaMatrix s;
+    s.n_rows_ = a.rows();
+    s.n_cols_ = a.cols();
+    s.nnz_ = a.nnz();
+    s.chunk_ = chunk;
+    s.sigma_ = sigma;
+    const index_t n = s.n_rows_;
+    const index_t n_chunks = (n + chunk - 1) / chunk;
+
+    // σ-window sort: within each window of σ consecutive rows, order rows by
+    // descending nnz (stable tie-break on row id for determinism).
+    std::vector<index_t> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), index_t{0});
+    for (index_t w = 0; w < n; w += sigma) {
+      const index_t e = std::min<index_t>(w + sigma, n);
+      std::stable_sort(order.begin() + w, order.begin() + e,
+                       [&a](index_t x, index_t y) {
+                         return a.row_nnz(x) > a.row_nnz(y);
+                       });
+    }
+
+    // Lane bookkeeping: pad the last chunk with empty lanes (row -1, len 0)
+    // so slot addressing is uniform.
+    const std::size_t lanes = static_cast<std::size_t>(n_chunks * chunk);
+    s.row_of_lane_.assign(lanes, index_t{-1});
+    s.lane_len_.assign(lanes, index_t{0});
+    for (index_t l = 0; l < n; ++l) {
+      s.row_of_lane_[static_cast<std::size_t>(l)] = order[static_cast<std::size_t>(l)];
+      s.lane_len_[static_cast<std::size_t>(l)] = a.row_nnz(order[static_cast<std::size_t>(l)]);
+    }
+
+    s.chunk_ptr_.assign(static_cast<std::size_t>(n_chunks) + 1, index_t{0});
+    for (index_t c = 0; c < n_chunks; ++c) {
+      index_t width = 0;
+      for (index_t lane = 0; lane < chunk; ++lane)
+        width = std::max(width, s.lane_len_[static_cast<std::size_t>(c * chunk + lane)]);
+      s.chunk_ptr_[static_cast<std::size_t>(c) + 1] =
+          s.chunk_ptr_[static_cast<std::size_t>(c)] + width * chunk;
+    }
+
+    const std::size_t slots = static_cast<std::size_t>(s.chunk_ptr_.back());
+    s.col_.assign(slots, index_t{0});   // pad columns point at column 0 ...
+    s.src_.assign(slots, index_t{-1});  // ... but src = -1 marks them dead.
+    for (index_t c = 0; c < n_chunks; ++c) {
+      const index_t base = s.chunk_ptr_[static_cast<std::size_t>(c)];
+      for (index_t lane = 0; lane < chunk; ++lane) {
+        const std::size_t gl = static_cast<std::size_t>(c * chunk + lane);
+        const index_t row = s.row_of_lane_[gl];
+        if (row < 0) continue;
+        const index_t rb = a.row_begin(row);
+        for (index_t j = 0; j < s.lane_len_[gl]; ++j) {
+          const std::size_t slot = static_cast<std::size_t>(base + j * chunk + lane);
+          s.col_[slot] = a.col_idx()[static_cast<std::size_t>(rb + j)];
+          s.src_[slot] = rb + j;
+        }
+      }
+    }
+    return s;
+  }
+
+  // Exact inverse of from_csr: reproduces row_ptr/col_idx/vals bit-for-bit,
+  // including duplicate entries and original intra-row order.
+  CsrMatrix<T> to_csr() const {
+    AGNN_ASSERT(!vals_.empty() || nnz_ == 0,
+                "SellCSigmaMatrix::to_csr: pattern-only conversion has no values");
+    std::vector<index_t> row_ptr(static_cast<std::size_t>(n_rows_) + 1, 0);
+    std::vector<index_t> col_idx(static_cast<std::size_t>(nnz_));
+    std::vector<T> vals(static_cast<std::size_t>(nnz_));
+    for (std::size_t gl = 0; gl < row_of_lane_.size(); ++gl) {
+      if (row_of_lane_[gl] >= 0)
+        row_ptr[static_cast<std::size_t>(row_of_lane_[gl]) + 1] = lane_len_[gl];
+    }
+    for (std::size_t i = 1; i < row_ptr.size(); ++i) row_ptr[i] += row_ptr[i - 1];
+    const index_t n_chunks = chunks();
+    for (index_t c = 0; c < n_chunks; ++c) {
+      const index_t base = chunk_ptr_[static_cast<std::size_t>(c)];
+      for (index_t lane = 0; lane < chunk_; ++lane) {
+        const std::size_t gl = static_cast<std::size_t>(c * chunk_ + lane);
+        const index_t row = row_of_lane_[gl];
+        if (row < 0) continue;
+        const index_t rb = row_ptr[static_cast<std::size_t>(row)];
+        for (index_t j = 0; j < lane_len_[gl]; ++j) {
+          const std::size_t slot = static_cast<std::size_t>(base + j * chunk_ + lane);
+          col_idx[static_cast<std::size_t>(rb + j)] = col_[slot];
+          vals[static_cast<std::size_t>(rb + j)] = vals_[slot];
+        }
+      }
+    }
+    return CsrMatrix<T>(n_rows_, n_cols_, std::move(row_ptr), std::move(col_idx),
+                        std::move(vals));
+  }
+
+  index_t rows() const { return n_rows_; }
+  index_t cols() const { return n_cols_; }
+  index_t nnz() const { return nnz_; }
+  index_t chunk() const { return chunk_; }
+  index_t sigma() const { return sigma_; }
+  index_t chunks() const {
+    return static_cast<index_t>(chunk_ptr_.size()) - 1;
+  }
+  // Total allocated slots, pads included; slots() - nnz() is the padding cost.
+  index_t slots() const { return chunk_ptr_.empty() ? 0 : chunk_ptr_.back(); }
+
+  std::span<const index_t> chunk_ptr() const { return chunk_ptr_; }
+  std::span<const index_t> row_of_lane() const { return row_of_lane_; }
+  std::span<const index_t> lane_len() const { return lane_len_; }
+  std::span<const index_t> col() const { return col_; }
+  std::span<const index_t> src() const { return src_; }
+  std::span<const T> vals() const { return vals_; }
+
+ private:
+  index_t n_rows_ = 0;
+  index_t n_cols_ = 0;
+  index_t nnz_ = 0;
+  index_t chunk_ = kDefaultChunk;
+  index_t sigma_ = kDefaultSigma;
+  std::vector<index_t> chunk_ptr_;    // per chunk: first slot offset
+  std::vector<index_t> row_of_lane_;  // per lane: original row id (-1 = pad lane)
+  std::vector<index_t> lane_len_;     // per lane: true row nnz
+  std::vector<index_t> col_;          // per slot: column (0 for pads)
+  std::vector<index_t> src_;          // per slot: CSR nnz index (-1 for pads)
+  std::vector<T> vals_;               // per slot: packed values (explicit conv only)
+};
+
+}  // namespace agnn

@@ -1,0 +1,141 @@
+// Portable SIMD layer for the blocked sparse kernels (DESIGN.md §13).
+//
+// Every blocked kernel is written so that per-output-element floating-point
+// evaluation order is *identical* to the scalar CSR kernels: vectorization
+// happens across the dense feature dimension k (independent accumulation
+// chains), never across the sparse edge dimension (a single accumulation
+// chain whose order is the bitwise contract).
+//
+// Bitwise-reproducibility rules this layer enforces:
+//   * mul + add only, never FMA. The scalar baselines are compiled without
+//     -mfma, so a fused multiply-add in the AVX2 path would round differently
+//     (single rounding vs. two) and break the "blocked == scalar CSR bitwise"
+//     contract that test_formats.cpp and the differential formats suite pin.
+//     The AVX2 code is compiled under target("avx2") — attribute or pragma —
+//     which enables the AVX2 ISA only; FMA is a separate target flag that is
+//     never set, so the compiler cannot contract mul/add pairs, whether they
+//     come from intrinsics here or from autovectorized loops in the blocked
+//     kernel bodies.
+//   * No horizontal reductions. Dot products (SDDMM) stay g-sequential per
+//     edge; speed there comes from unrolling across independent edges.
+//
+// Dispatch granularity matters: a per-edge call into a target("avx2")
+// function cannot be inlined across the target boundary, and the call
+// overhead eats the SIMD win (measured slower than scalar CSR). So the
+// blocked kernels dispatch per *chunk*: each kernel's chunk body is an
+// AGNN_ALWAYS_INLINE template instantiated twice — once at baseline ISA,
+// once inside a `#pragma GCC target("avx2")` region (pragmas, unlike
+// attributes, apply to template instantiations) — and have_avx2() picks the
+// twin at runtime. No global -march flags, so the rest of the build is
+// unchanged. Building with -DAGNN_SIMD_INTRINSICS=OFF (CI's portable leg)
+// defines AGNN_DISABLE_SIMD_INTRINSICS and removes the AVX2 twins entirely,
+// leaving the portable bodies — which the autovectorizer still turns into
+// baseline-ISA code, same as the scalar CSR kernels get.
+#pragma once
+
+#include <type_traits>
+
+#include "tensor/common.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define AGNN_RESTRICT __restrict__
+// Forces the blocked-kernel chunk bodies to inline into their per-ISA
+// instantiation wrappers, so the avx2 twin really compiles the loops under
+// the avx2 target instead of calling back into baseline-ISA code.
+#define AGNN_ALWAYS_INLINE __attribute__((always_inline)) inline
+#else
+#define AGNN_RESTRICT
+#define AGNN_ALWAYS_INLINE inline
+#endif
+
+#if defined(__GNUC__) && defined(__x86_64__) && !defined(__clang__) && \
+    !defined(AGNN_DISABLE_SIMD_INTRINSICS)
+#define AGNN_SIMD_AVX2_PATH 1
+#include <immintrin.h>
+#else
+#define AGNN_SIMD_AVX2_PATH 0
+#endif
+
+namespace agnn::simd {
+
+// True when this build carries the AVX2 intrinsic paths at all (the CI
+// portable leg compiles them out to keep the fallback honestly tested).
+constexpr bool compiled_with_avx2() { return AGNN_SIMD_AVX2_PATH != 0; }
+
+// Runtime CPU check, cached after the first call.
+inline bool have_avx2() {
+#if AGNN_SIMD_AVX2_PATH
+  static const bool ok = __builtin_cpu_supports("avx2");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+namespace detail {
+
+// Portable fallback: a plain loop the autovectorizer handles at the build's
+// baseline ISA. Per-element order matches the scalar kernels trivially.
+template <typename T>
+inline void axpy_portable(T* AGNN_RESTRICT o, const T* AGNN_RESTRICT x, T a,
+                          index_t n) {
+  for (index_t g = 0; g < n; ++g) o[g] += a * x[g];
+}
+
+#if AGNN_SIMD_AVX2_PATH
+__attribute__((target("avx2"))) inline void axpy_avx2(
+    double* AGNN_RESTRICT o, const double* AGNN_RESTRICT x, double a,
+    index_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  index_t g = 0;
+  for (; g + 8 <= n; g += 8) {
+    // Two independent 4-lane streams per iteration; mul then add (no FMA).
+    const __m256d p0 = _mm256_mul_pd(va, _mm256_loadu_pd(x + g));
+    const __m256d p1 = _mm256_mul_pd(va, _mm256_loadu_pd(x + g + 4));
+    _mm256_storeu_pd(o + g, _mm256_add_pd(_mm256_loadu_pd(o + g), p0));
+    _mm256_storeu_pd(o + g + 4, _mm256_add_pd(_mm256_loadu_pd(o + g + 4), p1));
+  }
+  for (; g + 4 <= n; g += 4) {
+    const __m256d p = _mm256_mul_pd(va, _mm256_loadu_pd(x + g));
+    _mm256_storeu_pd(o + g, _mm256_add_pd(_mm256_loadu_pd(o + g), p));
+  }
+  for (; g < n; ++g) o[g] += a * x[g];
+}
+
+__attribute__((target("avx2"))) inline void axpy_avx2(
+    float* AGNN_RESTRICT o, const float* AGNN_RESTRICT x, float a, index_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  index_t g = 0;
+  for (; g + 16 <= n; g += 16) {
+    const __m256 p0 = _mm256_mul_ps(va, _mm256_loadu_ps(x + g));
+    const __m256 p1 = _mm256_mul_ps(va, _mm256_loadu_ps(x + g + 8));
+    _mm256_storeu_ps(o + g, _mm256_add_ps(_mm256_loadu_ps(o + g), p0));
+    _mm256_storeu_ps(o + g + 8, _mm256_add_ps(_mm256_loadu_ps(o + g + 8), p1));
+  }
+  for (; g + 8 <= n; g += 8) {
+    const __m256 p = _mm256_mul_ps(va, _mm256_loadu_ps(x + g));
+    _mm256_storeu_ps(o + g, _mm256_add_ps(_mm256_loadu_ps(o + g), p));
+  }
+  for (; g < n; ++g) o[g] += a * x[g];
+}
+#endif  // AGNN_SIMD_AVX2_PATH
+
+}  // namespace detail
+
+// o[0..n) += a * x[0..n). Bitwise-identical across all paths (see header
+// comment). `o` and `x` must not overlap.
+template <typename T>
+inline void axpy(T* AGNN_RESTRICT o, const T* AGNN_RESTRICT x, T a,
+                 index_t n) {
+#if AGNN_SIMD_AVX2_PATH
+  if constexpr (std::is_same_v<T, double> || std::is_same_v<T, float>) {
+    if (have_avx2()) {
+      detail::axpy_avx2(o, x, a, n);
+      return;
+    }
+  }
+#endif
+  detail::axpy_portable(o, x, a, n);
+}
+
+}  // namespace agnn::simd

@@ -19,9 +19,11 @@
 #endif
 
 #include "obs/trace.hpp"
+#include "tensor/blocked_ops.hpp"
 #include "tensor/csr_matrix.hpp"
 #include "tensor/dense_matrix.hpp"
 #include "tensor/dense_ops.hpp"
+#include "tensor/format.hpp"
 #include "tensor/schedule.hpp"
 
 namespace agnn {
@@ -56,6 +58,14 @@ void sddmm(const CsrMatrix<T>& pattern, const DenseMatrix<T>& x,
   if (&out != &pattern) out = pattern;
   const index_t k = x.cols();
   auto v = out.vals_mutable();
+  // AGNN_FORMAT dispatch (bitwise-invisible; see blocked_ops.hpp). BCSR has
+  // no SDDMM kernel — only SELL reroutes, everything else stays scalar. The
+  // per-edge read of the pattern value happens before the write, so the
+  // usual out-aliases-pattern contract holds on the blocked path too.
+  if (detail::dispatch_format(pattern) == SparseFormat::kSell) {
+    sell_sddmm<true>(*sell_for(pattern), pattern.vals(), x, y, v);
+    return;
+  }
   std::shared_ptr<const KernelSchedule> owned;
   sched = detail::resolve_schedule(pattern, sched, owned);
   detail::scheduled_rows(*sched, pattern, [&](index_t i, index_t b, index_t e) {
@@ -93,6 +103,10 @@ void sddmm_unweighted(const CsrMatrix<T>& pattern, const DenseMatrix<T>& x,
   if (&out != &pattern) out = pattern;
   const index_t k = x.cols();
   auto v = out.vals_mutable();
+  if (detail::dispatch_format(pattern) == SparseFormat::kSell) {
+    sell_sddmm<false>(*sell_for(pattern), pattern.vals(), x, y, v);
+    return;
+  }
   std::shared_ptr<const KernelSchedule> owned;
   sched = detail::resolve_schedule(pattern, sched, owned);
   detail::scheduled_rows(*sched, pattern, [&](index_t i, index_t b, index_t e) {

@@ -14,8 +14,10 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "tensor/blocked_ops.hpp"
 #include "tensor/csr_matrix.hpp"
 #include "tensor/dense_matrix.hpp"
+#include "tensor/format.hpp"
 #include "tensor/schedule.hpp"
 #include "tensor/semiring.hpp"
 
@@ -173,6 +175,23 @@ void spmm(const CsrMatrix<T>& a, const DenseMatrix<T>& h, DenseMatrix<T>& out,
   AGNN_TRACE_SCOPE("spmm", kKernel);
   AGNN_ASSERT(a.cols() == h.rows(), "spmm: dimension mismatch");
   const index_t n = a.rows(), k = h.cols();
+  // AGNN_FORMAT dispatch: the blocked kernels are bitwise-identical to the
+  // scalar loops below (blocked_ops.hpp), so this is a pure speed knob. An
+  // explicit schedule is irrelevant on the blocked paths — every output row
+  // is owned by exactly one chunk.
+  switch (detail::dispatch_format(a)) {
+    case SparseFormat::kSell:
+      sell_spmm(*sell_for(a), a.vals(), h, out);
+      return;
+    case SparseFormat::kBcsr:
+      if (auto b = bcsr_for(a); b->valid()) {
+        bcsr_spmm(*b, a.vals(), h, out);
+        return;
+      }
+      break;  // unconvertible (duplicate/unsorted rows): scalar fallback
+    default:
+      break;
+  }
   out.resize(n, k);
   std::shared_ptr<const KernelSchedule> owned;
   if (sched == nullptr) {
@@ -238,6 +257,7 @@ void spmm_accumulate(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
 template <typename T>
 void aggregate(const CsrMatrix<T>& a, const DenseMatrix<T>& h, Aggregation agg,
                DenseMatrix<T>& out, const KernelSchedule* sched = nullptr) {
+  AGNN_ASSERT(a.cols() == h.rows(), "aggregate: dimension mismatch");
   switch (agg) {
     case Aggregation::kSum: spmm(a, h, out, sched); return;
     case Aggregation::kMin:
@@ -271,6 +291,11 @@ template <typename T>
 void spmmm(const CsrMatrix<T>& a, const DenseMatrix<T>& h, const DenseMatrix<T>& w,
            DenseMatrix<T>& scratch, DenseMatrix<T>& out) {
   AGNN_TRACE_SCOPE("spmmm", kKernel);
+  // Checked up front so a mismatch names spmmm instead of surfacing from an
+  // inner spmm/matmul with a misleading message.
+  AGNN_ASSERT(a.cols() == h.rows(), "spmmm: A.cols must match H.rows");
+  AGNN_ASSERT(h.cols() == w.rows(), "spmmm: H.cols must match W.rows");
+  AGNN_ASSERT(&scratch != &out, "spmmm: scratch and out must be distinct");
   const double k_in = static_cast<double>(h.cols());
   const double k_out = static_cast<double>(w.cols());
   const double nnz = static_cast<double>(a.nnz());
@@ -302,6 +327,7 @@ void mspmm(const DenseMatrix<T>& x, const CsrMatrix<T>& a, const DenseMatrix<T>&
   AGNN_TRACE_SCOPE("mspmm", kKernel);
   AGNN_ASSERT(x.rows() == a.rows() && a.cols() == y.rows(),
               "mspmm: dimension mismatch");
+  AGNN_ASSERT(&scratch != &out, "mspmm: scratch and out must be distinct");
   // (A * Y) is tall-skinny; X^T * (A*Y) reduces to a small k x k result.
   spmm(a, y, scratch);
   matmul_tn(x, scratch, out);

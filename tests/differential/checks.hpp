@@ -20,6 +20,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -27,6 +28,10 @@
 
 #include "baseline/dist_local_engine.hpp"
 #include "baseline/local_engine.hpp"
+#include "tensor/bcsr_matrix.hpp"
+#include "tensor/blocked_ops.hpp"
+#include "tensor/format.hpp"
+#include "tensor/sell_matrix.hpp"
 #include "comm/communicator.hpp"
 #include "comm/fault_injection.hpp"
 #include "core/model.hpp"
@@ -520,6 +525,124 @@ inline void check_schedule(const Scenario& sc, Failures& out) {
   compare_dense_bits(tag + "_repeat_spmm", again.mm, got.mm, out);
   compare_dense_bits(tag + "_repeat_fused_gat", again.gat, got.gat, out);
   compare_sparse_bits(tag + "_repeat_gat_psi", again.gpsi, got.gpsi, out);
+}
+
+// ---- suite: blocked sparse formats -----------------------------------------
+// Draws a SELL-C-σ geometry (C ∈ {2,4,8,16}, σ a multiple of C) and a BCSR
+// block shape (heights/widths 1..6) from the seed, then checks
+//   (a) CSR → blocked → CSR round-trips are bitwise lossless,
+//   (b) every blocked kernel is bitwise identical to its scalar CSR
+//       counterpart under an explicit row-parallel schedule (the blocked
+//       contract is row-at-a-time CSR edge order, so bitwise — not kTol —
+//       is the bar; references pin the row schedule because chunked
+//       schedules legitimately reassociate split hub rows), and
+//   (c) the AGNN_FORMAT=sell env dispatch path through the public CSR
+//       kernels lands on the same bits as the scalar run.
+// A divergence replays with `diff_fuzz --suite formats --seed N`.
+inline void check_formats(const Scenario& sc, Failures& out) {
+  auto a = make_graph<double>(sc);
+  {
+    // Non-uniform edge weights so the slot → CSR source-index indirection
+    // is actually exercised (uniform 1.0 values would hide permutation bugs).
+    Rng rng(sc.seed * 0x8cb92ba72f3d8dd7ULL + 61);
+    auto v = a.vals_mutable();
+    for (index_t e = 0; e < a.nnz(); ++e) {
+      v[static_cast<std::size_t>(e)] = rng.next_uniform(-2.0, 2.0);
+    }
+  }
+  const auto h = make_features<double>(sc, sc.n, sc.k, 11);
+  const auto x = make_features<double>(sc, sc.n, std::max<index_t>(1, sc.k - 1), 13);
+  const auto s1 = make_scores<double>(sc, sc.n, 17);
+  const auto s2 = make_scores<double>(sc, sc.n, 19);
+  const double slope = 0.2;
+
+  Rng rng(sc.seed * 0xbf58476d1ce4e5b9ULL + 67);
+  const auto chunk = static_cast<index_t>(index_t{1} << (1 + rng.next_bounded(4)));
+  const auto sigma = chunk * static_cast<index_t>(1 + rng.next_bounded(16));
+  const auto br = static_cast<index_t>(1 + rng.next_bounded(6));
+  const auto bc = static_cast<index_t>(1 + rng.next_bounded(6));
+  const auto grain = static_cast<index_t>(1 + rng.next_bounded(16));
+  const auto row =
+      KernelSchedule::build(a.row_ptr(), SchedulePolicy::kRowParallel, grain);
+  const std::string tag = "formats_c" + std::to_string(chunk) + "s" +
+                          std::to_string(sigma) + "_b" + std::to_string(br) +
+                          "x" + std::to_string(bc);
+
+  // (a) lossless round-trips.
+  const auto sell = SellCSigmaMatrix<double>::from_csr(a, chunk, sigma);
+  compare_sparse_bits(tag + "_sell_roundtrip", sell.to_csr(), a, out);
+  const auto bcsr = BcsrMatrix<double>::from_csr(a, br, bc);
+  // make_graph builds through a set, so rows are strictly sorted and every
+  // conversion must succeed; an invalid BCSR here is itself a bug.
+  if (!bcsr.valid()) {
+    out.push_back({tag + "_bcsr_valid", "sorted graph rejected"});
+  } else {
+    compare_sparse_bits(tag + "_bcsr_roundtrip", bcsr.to_csr(), a, out);
+  }
+
+  // (b) blocked kernels bitwise vs the row-scheduled scalar CSR paths.
+  DenseMatrix<double> ref_mm;
+  spmm(a, h, ref_mm, &row);
+  {
+    DenseMatrix<double> got;
+    sell_spmm(sell, a.vals(), h, got);
+    compare_dense_bits(tag + "_sell_spmm", got, ref_mm, out);
+  }
+  if (bcsr.valid()) {
+    DenseMatrix<double> got;
+    bcsr_spmm(bcsr, a.vals(), h, got);
+    compare_dense_bits(tag + "_bcsr_spmm", got, ref_mm, out);
+  }
+  {
+    CsrMatrix<double> ref;
+    sddmm(a, h, h, ref, &row);
+    auto got = a;
+    auto v = got.vals_mutable();
+    sell_sddmm<true>(sell, a.vals(), h, h, v);
+    compare_sparse_bits(tag + "_sell_sddmm", got, ref, out);
+  }
+  {
+    CsrMatrix<double> ref;
+    sddmm_unweighted(a, h, h, ref, &row);
+    auto got = a;
+    auto v = got.vals_mutable();
+    sell_sddmm<false>(sell, a.vals(), h, h, v);
+    compare_sparse_bits(tag + "_sell_sddmm_unweighted", got, ref, out);
+  }
+  {
+    DenseMatrix<double> ref, got;
+    fused_va_aggregate(a, h, x, ref, &row);
+    sell_fused_va_aggregate(sell, a.vals(), h, x, got);
+    compare_dense_bits(tag + "_sell_fused_va", got, ref, out);
+  }
+  {
+    DenseMatrix<double> ref, got;
+    fused_gat_aggregate<double>(a, s1, s2, slope, x, ref, &row);
+    sell_fused_gat_aggregate<double>(sell, a.vals(), s1, s2, slope, x, got);
+    compare_dense_bits(tag + "_sell_fused_gat", got, ref, out);
+  }
+
+  // (c) the env-selected dispatch inside the public kernels: AGNN_FORMAT=sell
+  // must be invisible to the bit. (Save/restore so the knob does not leak
+  // into the other suites of the same fuzz run.)
+  {
+    const char* old = std::getenv("AGNN_FORMAT");
+    const std::string saved = old ? old : "";
+    setenv("AGNN_FORMAT", "sell", 1);
+    DenseMatrix<double> env_mm;
+    spmm(a, h, env_mm);
+    DenseMatrix<double> env_gat;
+    fused_gat_aggregate<double>(a, s1, s2, slope, x, env_gat);
+    if (old) {
+      setenv("AGNN_FORMAT", saved.c_str(), 1);
+    } else {
+      unsetenv("AGNN_FORMAT");
+    }
+    compare_dense_bits(tag + "_dispatch_spmm", env_mm, ref_mm, out);
+    DenseMatrix<double> ref_gat;
+    fused_gat_aggregate<double>(a, s1, s2, slope, x, ref_gat, &row);
+    compare_dense_bits(tag + "_dispatch_fused_gat", env_gat, ref_gat, out);
+  }
 }
 
 // ---- suite 3: distributed engines vs the sequential model ------------------

@@ -33,13 +33,14 @@ constexpr SuiteSpec kSuites[] = {
     {"kernels", Purpose::kKernels, agnn::diffuzz::check_kernels, 200},
     {"outparam", Purpose::kKernels, agnn::diffuzz::check_outparam, 200},
     {"schedule", Purpose::kKernels, agnn::diffuzz::check_schedule, 200},
+    {"formats", Purpose::kKernels, agnn::diffuzz::check_formats, 200},
     {"engines", Purpose::kEngines, agnn::diffuzz::check_engines, 40},
     {"faults", Purpose::kEngines, agnn::diffuzz::check_fault_recovery, 15},
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--suite kernels|outparam|schedule|engines|faults|all] [--seed N]\n"
+               "usage: %s [--suite kernels|outparam|schedule|formats|engines|faults|all] [--seed N]\n"
                "          [--count N] [--start-seed N] [--verbose]\n",
                argv0);
   return 2;

@@ -28,6 +28,7 @@
 
 #include "graph/graph.hpp"
 #include "graph/kronecker.hpp"
+#include "graph/reorder.hpp"
 #include "tensor/fused.hpp"
 #include "tensor/schedule.hpp"
 #include "tensor/sparse_ops.hpp"
@@ -805,6 +806,31 @@ TEST(ScheduleSteadyState, ChunkedKernelsAllocateNothing) {
   const std::uint64_t after = g_news.load(std::memory_order_relaxed);
   EXPECT_EQ(after, before)
       << "steady-state chunked kernels performed " << (after - before)
+      << " allocations";
+}
+
+// The reorder path rides the same audit: validate_permutation used to build
+// an n-element vector<bool> per permute_* call; it now stamps an epoch into
+// a thread_local high-water buffer, so repeated permutes within capacity
+// must allocate nothing.
+TEST(ScheduleSteadyState, PermutationValidationAllocatesNothing) {
+  const index_t n = 96;
+  const auto x = random_dense<double>(n, 7, 167);
+  const auto perm = graph::random_permutation(n, 173);
+  std::vector<double> v(static_cast<std::size_t>(n), 1.5), vout;
+  DenseMatrix<double> out;
+  auto run_once = [&] {
+    graph::validate_permutation(perm, n);
+    graph::permute_rows(x, perm, out);
+    graph::permute_vector(v, perm, vout);
+  };
+  run_once();
+  run_once();  // stamp buffer and outputs at their high-water mark
+  const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  for (int rep = 0; rep < 8; ++rep) run_once();
+  const std::uint64_t after = g_news.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before)
+      << "steady-state permutation validation performed " << (after - before)
       << " allocations";
 }
 
