@@ -18,8 +18,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
 
 #include "baseline/dist_local_engine.hpp"
 #include "baseline/minibatch.hpp"
@@ -30,6 +36,8 @@
 #include "graph/erdos_renyi.hpp"
 #include "graph/graph.hpp"
 #include "graph/kronecker.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/perf_counters.hpp"
 
 namespace agnn::bench {
 
@@ -217,4 +225,163 @@ inline void report(benchmark::State& state, const RunResult& r) {
   state.counters["compute_s"] = r.compute_seconds;
 }
 
+// Attach a registry histogram's tail quantiles as counters, so a traced
+// bench run carries p50/p99/p999 per benchmark in the JSON report. No-op
+// when the histogram is absent or empty (untraced run).
+inline void attach_histogram_quantiles(benchmark::State& state,
+                                       std::string_view hist_name) {
+  const obs::Histogram* h =
+      obs::MetricsRegistry::global().find_histogram(hist_name);
+  if (h == nullptr || h->count() == 0) return;
+  state.counters["p50_ns"] = static_cast<double>(h->p50());
+  state.counters["p99_ns"] = static_cast<double>(h->p99());
+  state.counters["p999_ns"] = static_cast<double>(h->p999());
+}
+
+// Attach a perf region's accumulated counters (cycles/instructions/IPC/
+// cache miss rate) as benchmark counters. No-op without AGNN_PERF or when
+// the syscall was unavailable.
+inline void attach_perf_counters(benchmark::State& state,
+                                 std::string_view region_name) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  const std::string p = "perf." + std::string(region_name);
+  const obs::Counter* cyc = reg.find_counter(p + ".cycles");
+  if (cyc == nullptr || cyc->value() == 0) return;
+  state.counters["cycles"] = static_cast<double>(cyc->value());
+  if (const obs::Counter* ins = reg.find_counter(p + ".instructions")) {
+    state.counters["instructions"] = static_cast<double>(ins->value());
+  }
+  if (const obs::Gauge* ipc = reg.find_gauge(p + ".ipc")) {
+    state.counters["ipc"] = ipc->value();
+  }
+  if (const obs::Gauge* mr = reg.find_gauge(p + ".cache_miss_rate")) {
+    state.counters["cache_miss_rate"] = mr->value();
+  }
+}
+
+// ---- machine-readable JSON reports ----------------------------------------
+
+// Context of this build/machine, stamped into every report. Git sha and
+// flags come from CMake compile definitions (bench targets only, so a sha
+// change doesn't rebuild the world); CPU model from /proc/cpuinfo.
+inline obs::bench::BenchContext build_context() {
+  obs::bench::BenchContext ctx;
+#ifdef AGNN_GIT_SHA
+  ctx.git_sha = AGNN_GIT_SHA;
+#endif
+#ifdef __VERSION__
+  ctx.compiler = __VERSION__;
+#endif
+#ifdef AGNN_CXX_FLAGS
+  ctx.cxx_flags = AGNN_CXX_FLAGS;
+#endif
+  ctx.cpu_model = "unknown";
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const std::size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        std::size_t b = colon + 1;
+        while (b < line.size() && line[b] == ' ') ++b;
+        ctx.cpu_model = line.substr(b);
+      }
+      break;
+    }
+  }
+  ctx.hardware_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
+#if defined(_OPENMP)
+  ctx.omp_threads = omp_get_max_threads();
+#else
+  ctx.omp_threads = 1;
+#endif
+  ctx.perf_available = obs::perf::available();
+  return ctx;
+}
+
+// Console output as usual, plus captures every per-repetition run so the
+// JSON writer gets raw samples (google benchmark's own JSON has no schema
+// guarantee across versions and no room for our context/histograms).
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& r : runs) {
+      if (r.run_type != Run::RT_Iteration) continue;  // skip aggregates
+      if (r.error_occurred) continue;
+      captured_.push_back(r);
+    }
+  }
+
+  const std::vector<Run>& runs() const { return captured_; }
+
+ private:
+  std::vector<Run> captured_;
+};
+
+inline obs::bench::BenchReport build_report(
+    const std::vector<benchmark::BenchmarkReporter::Run>& runs) {
+  obs::bench::BenchReport rep;
+  rep.context = build_context();
+  for (const auto& run : runs) {
+    const std::string name = run.benchmark_name();
+    obs::bench::BenchEntry* e = nullptr;
+    for (auto& b : rep.benchmarks) {
+      if (b.name == name) e = &b;
+    }
+    if (e == nullptr) {
+      rep.benchmarks.emplace_back();
+      e = &rep.benchmarks.back();
+      e->name = name;
+    }
+    const double iters =
+        run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+    e->samples_ns.push_back(run.real_accumulated_time / iters * 1e9);
+    for (const auto& [k, c] : run.counters) {
+      e->counters[k] = c.value;
+    }
+  }
+  for (auto& b : rep.benchmarks) obs::bench::finalize(b);
+  rep.histograms_json = obs::bench::histograms_snapshot_json();
+  return rep;
+}
+
+// main() for every bench binary: standard google-benchmark flags plus
+// `--json-out=<path>` writing the schema'd report after the run.
+inline int bench_main(int argc, char** argv) {
+  std::string json_out;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a.rfind("--json-out=", 0) == 0) {
+      json_out = a.substr(std::string_view("--json-out=").size());
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_out.empty()) {
+    const obs::bench::BenchReport rep = build_report(reporter.runs());
+    if (!obs::bench::write_json_file(json_out, rep)) {
+      std::fprintf(stderr, "bench: cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "bench: wrote %s (%zu benchmarks)\n",
+                 json_out.c_str(), rep.benchmarks.size());
+  }
+  return 0;
+}
+
 }  // namespace agnn::bench
+
+#define AGNN_BENCH_MAIN()                              \
+  int main(int argc, char** argv) {                    \
+    return ::agnn::bench::bench_main(argc, argv);      \
+  }

@@ -1,0 +1,80 @@
+// bench_compare: the perf-regression gate.
+//
+//   bench_compare <baseline.json> <current.json>
+//       [--tolerance=1.30] [--min-delta-ns=1000]
+//
+// Exit codes: 0 = no regression, 1 = at least one regression,
+//             2 = bad invocation / unreadable or malformed report.
+//
+// Policy (obs/bench_report.hpp): a matched benchmark regresses only when
+// BOTH its median and its min-of-repetitions exceed baseline * tolerance
+// AND the delta clears the absolute floor. Benchmarks present on only one
+// side are listed but never fail the gate. A self-compare (same file twice)
+// is therefore always exit 0, and CI asserts both that and that a synthetic
+// 2x slowdown fails.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "obs/bench_report.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <baseline.json> <current.json> "
+               "[--tolerance=F] [--min-delta-ns=F]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using agnn::obs::bench::CompareOptions;
+  std::string baseline_path;
+  std::string current_path;
+  CompareOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a.rfind("--tolerance=", 0) == 0) {
+      opts.tolerance = std::atof(argv[i] + std::string_view("--tolerance=").size());
+      if (opts.tolerance <= 1.0) {
+        std::fprintf(stderr, "bench_compare: --tolerance must be > 1.0\n");
+        return 2;
+      }
+    } else if (a.rfind("--min-delta-ns=", 0) == 0) {
+      opts.min_delta_ns =
+          std::atof(argv[i] + std::string_view("--min-delta-ns=").size());
+    } else if (baseline_path.empty()) {
+      baseline_path = a;
+    } else if (current_path.empty()) {
+      current_path = a;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+  try {
+    const auto baseline =
+        agnn::obs::bench::parse_report_file(baseline_path);
+    const auto current = agnn::obs::bench::parse_report_file(current_path);
+    if (baseline.context.cpu_model != current.context.cpu_model) {
+      std::cout << "note: cpu differs (baseline: "
+                << baseline.context.cpu_model
+                << "; current: " << current.context.cpu_model
+                << ") — cross-machine comparisons need a loose tolerance\n";
+    }
+    const auto result = agnn::obs::bench::compare(baseline, current, opts);
+    agnn::obs::bench::print_compare(std::cout, result, opts);
+    return result.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+}

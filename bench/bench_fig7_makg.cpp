@@ -88,4 +88,4 @@ const int registered = (register_all(), 0);
 }  // namespace
 }  // namespace agnn::bench
 
-BENCHMARK_MAIN();
+AGNN_BENCH_MAIN()

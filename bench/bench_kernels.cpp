@@ -382,6 +382,11 @@ void GatAggregateDeepFusedTraced(benchmark::State& state) {
   }
   obs::Tracer::set_enabled(false);
   obs::Tracer::instance().clear();
+  // Tracing was on, so the kernel's latency histogram recorded every call:
+  // surface its tail (and, under AGNN_PERF, the hardware counters) in the
+  // report.
+  attach_histogram_quantiles(state, "kernel.fused_gat_aggregate.ns");
+  attach_perf_counters(state, "fused_gat_aggregate");
 }
 
 void SpmmStatic(benchmark::State& state) {
@@ -445,4 +450,4 @@ BENCHMARK(GatAggregateDeepFusedTraced)->Args({1024, 16});
 }  // namespace
 }  // namespace agnn::bench
 
-BENCHMARK_MAIN();
+AGNN_BENCH_MAIN()

@@ -52,6 +52,8 @@
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
 #include "graph/kronecker.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_report.hpp"
 
@@ -211,11 +213,56 @@ int main(int argc, char** argv) {
                 "compute/comm balance\n",
                 flagged);
   }
+  // Bridge the deviation flags into named gauges so dashboards can alert on
+  // trace_report.flagged_rows without parsing the table.
+  obs::TraceReport::export_flags(rows);
+
+  // Per-kernel roofline attribution: byte-tagged kernel spans joined with
+  // the perf.<kernel>.* registry entries (IPC/cache columns need AGNN_PERF).
+  const auto kernel_rows = obs::TraceReport::build_kernels(events);
+  if (!kernel_rows.empty()) {
+    std::printf("\nper-kernel traffic attribution (1 traced %s):\n",
+                inference ? "inference" : "training step");
+    std::ostringstream ktable;
+    obs::TraceReport::print_kernels(ktable, kernel_rows);
+    std::fputs(ktable.str().c_str(), stdout);
+    if (!obs::perf::available()) {
+      std::printf("perf counters: unavailable (set AGNN_PERF=1; needs "
+                  "perf_event_open) — IPC/cache columns omitted\n");
+    }
+  }
 
   if (args.get_flag("--trace") || obs::Tracer::env_wants_trace()) {
     const std::string path = args.get_string("--trace-out", "trace.json");
     if (obs::Tracer::instance().write_chrome_json_file(path)) {
       std::printf("wrote %s — open in https://ui.perfetto.dev\n", path.c_str());
+    }
+  }
+
+  // Machine-readable report (same schema as the bench/ binaries).
+  const std::string json_out = args.get_string("--json-out", "");
+  if (!json_out.empty()) {
+    obs::bench::BenchReport rep;
+#ifdef __VERSION__
+    rep.context.compiler = __VERSION__;
+#endif
+    rep.context.cpu_model = "unknown";
+    rep.context.perf_available = obs::perf::available();
+    obs::bench::BenchEntry entry;
+    std::ostringstream name;
+    name << "unified/" << to_string(kind) << "/" << engine << "/p" << ranks
+         << (inference ? "/inference" : "/training");
+    entry.name = name.str();
+    for (const double t : times) entry.samples_ns.push_back(t * 1e9);
+    obs::bench::finalize(entry);
+    entry.counters["comm_MB"] = comm_mb;
+    rep.benchmarks.push_back(std::move(entry));
+    rep.histograms_json = obs::bench::histograms_snapshot_json();
+    if (obs::bench::write_json_file(json_out, rep)) {
+      std::printf("wrote %s\n", json_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", json_out.c_str());
+      return 1;
     }
   }
   return 0;

@@ -14,7 +14,7 @@
 #include "core/model.hpp"
 #include "core/optimizer.hpp"
 #include "core/workspace.hpp"
-#include "obs/trace.hpp"
+#include "obs/obs_scope.hpp"
 
 namespace agnn::baseline {
 
@@ -33,7 +33,7 @@ class MinibatchTrainer {
 
   StepResult step(const CsrMatrix<T>& adj, const DenseMatrix<T>& x,
                   std::span<const index_t> labels) {
-    AGNN_TRACE_SCOPE("minibatch.step", kEpoch);
+    AGNN_EPOCH_SCOPE("minibatch.step");
     const Minibatch<T> mb = sample_minibatch(adj, batch_size_, seed_ + step_count_);
     ++step_count_;
     const DenseMatrix<T> bx = gather_batch_features(x, mb);

@@ -44,7 +44,7 @@
 
 #include "comm/fault_injection.hpp"
 #include "comm/volume_stats.hpp"
-#include "obs/trace.hpp"
+#include "obs/obs_scope.hpp"
 #include "tensor/common.hpp"
 
 namespace agnn::comm {
@@ -202,7 +202,7 @@ class Communicator {
   // ---- broadcast -------------------------------------------------------
   template <typename T>
   void broadcast(std::span<T> buf, int root) {
-    AGNN_TRACE_SCOPE_BYTES("broadcast", kCollective, buf.size_bytes());
+    AGNN_COLLECTIVE_SCOPE("broadcast", buf.size_bytes());
     fault_point("broadcast");
     assert_no_pending("broadcast");
     AGNN_ASSERT(root >= 0 && root < size(), "broadcast: bad root");
@@ -227,7 +227,7 @@ class Communicator {
   // ---- reduce (sum) to root ---------------------------------------------
   template <typename T>
   void reduce_sum(std::span<T> buf, int root) {
-    AGNN_TRACE_SCOPE_BYTES("reduce_sum", kCollective, buf.size_bytes());
+    AGNN_COLLECTIVE_SCOPE("reduce_sum", buf.size_bytes());
     fault_point("reduce_sum");
     assert_no_pending("reduce_sum");
     AGNN_ASSERT(root >= 0 && root < size(), "reduce: bad root");
@@ -257,7 +257,7 @@ class Communicator {
   // ---- allreduce (sum) ----------------------------------------------------
   template <typename T>
   void allreduce_sum(std::span<T> buf) {
-    AGNN_TRACE_SCOPE_BYTES("allreduce_sum", kCollective, 2 * buf.size_bytes());
+    AGNN_COLLECTIVE_SCOPE("allreduce_sum", 2 * buf.size_bytes());
     fault_point("allreduce_sum");
     assert_no_pending("allreduce_sum");
     if (size() == 1) return;
@@ -288,7 +288,7 @@ class Communicator {
   // ---- allreduce (max) ------------------------------------------------------
   template <typename T>
   void allreduce_max(std::span<T> buf) {
-    AGNN_TRACE_SCOPE_BYTES("allreduce_max", kCollective, 2 * buf.size_bytes());
+    AGNN_COLLECTIVE_SCOPE("allreduce_max", 2 * buf.size_bytes());
     fault_point("allreduce_max");
     assert_no_pending("allreduce_max");
     if (size() == 1) return;
@@ -324,7 +324,7 @@ class Communicator {
   template <typename T>
   std::vector<T> allgatherv(std::span<const T> in,
                             std::vector<std::size_t>* offsets_out = nullptr) {
-    AGNN_TRACE_SCOPE_BYTES("allgatherv", kCollective, in.size_bytes());
+    AGNN_COLLECTIVE_SCOPE("allgatherv", in.size_bytes());
     fault_point("allgatherv");
     assert_no_pending("allgatherv");
     ctx_->slots[static_cast<std::size_t>(rank_)] = in.data();
@@ -385,8 +385,8 @@ class Communicator {
     // Copy `out.size()` elements from `src_rank`'s exposed buffer starting
     // at `src_offset` (in elements).
     void get(std::span<T> out, int src_rank, std::size_t src_offset) {
-      AGNN_TRACE_SCOPE_BYTES("window_get", kCollective,
-                             src_rank == c_.rank_ ? 0 : out.size_bytes());
+      AGNN_COLLECTIVE_SCOPE("window_get",
+                            src_rank == c_.rank_ ? 0 : out.size_bytes());
       AGNN_ASSERT(src_rank >= 0 && src_rank < c_.size(), "window get: bad rank");
       const std::size_t avail = c_.ctx_->sizes[static_cast<std::size_t>(src_rank)];
       AGNN_ASSERT(src_offset + out.size() <= avail, "window get: out of range");
@@ -403,7 +403,7 @@ class Communicator {
     void close() {
       if (closed_) return;
       closed_ = true;
-      AGNN_TRACE_SCOPE("window_close", kCollective);
+      AGNN_COLLECTIVE_SCOPE("window_close", 0);
       c_.barrier();
       c_.charge_and_mark(0, 0, 1);  // the exchange phase is one superstep
     }
@@ -442,7 +442,8 @@ class Communicator {
           buf_(o.buf_),
           root_(o.root_),
           done_(o.done_),
-          span_name_(o.span_name_) {
+          span_name_(o.span_name_),
+          start_ns_(o.start_ns_) {
       o.done_ = true;
       o.span_name_ = nullptr;
     }
@@ -458,6 +459,7 @@ class Communicator {
         root_ = o.root_;
         done_ = o.done_;
         span_name_ = o.span_name_;
+        start_ns_ = o.start_ns_;
         o.done_ = true;
         o.span_name_ = nullptr;
       }
@@ -532,12 +534,23 @@ class Communicator {
     Pending(Communicator& c, Op op) : c_(&c), op_(op), done_(true) {}
 
     Pending(Communicator& c, Op op, std::span<T> buf, int root,
-            const char* span_name)
-        : c_(&c), op_(op), buf_(buf), root_(root), span_name_(span_name) {}
+            const char* span_name, std::uint64_t start_ns)
+        : c_(&c),
+          op_(op),
+          buf_(buf),
+          root_(root),
+          span_name_(span_name),
+          start_ns_(start_ns) {}
 
+    // Closes the trace span and records the start→wait latency into the
+    // async collective's histogram. Unlike the blocking collectives this is
+    // an off-hot-path registry observe — the span already pays a barrier.
     void close_span() {
       if (span_name_ != nullptr) {
         obs::Tracer::instance().end(span_name_, obs::SpanCategory::kCollective);
+        obs::MetricsRegistry::global().observe(
+            std::string("comm.") + span_name_ + ".ns",
+            obs::detail::now_ns() - start_ns_);
         span_name_ = nullptr;
       }
     }
@@ -548,6 +561,7 @@ class Communicator {
     int root_ = 0;
     bool done_ = false;
     const char* span_name_ = nullptr;  // non-null iff the Begin was recorded
+    std::uint64_t start_ns_ = 0;
   };
 
   // Start an asynchronous broadcast. Same staging, fault point, and (at
@@ -563,13 +577,18 @@ class Communicator {
     barrier();
     ctx_->pending[static_cast<std::size_t>(rank_)] = 1;
     const char* span = nullptr;
+    std::uint64_t start_ns = 0;
     if (obs::Tracer::enabled() &&
         obs::Tracer::instance().begin("ibroadcast",
                                       obs::SpanCategory::kCollective,
                                       buf.size_bytes())) {
       span = "ibroadcast";
+      obs::MetricsRegistry::global().observe("comm.ibroadcast.bytes",
+                                             buf.size_bytes());
+      start_ns = obs::detail::now_ns();
     }
-    return Pending<T>(*this, Pending<T>::Op::kBroadcast, buf, root, span);
+    return Pending<T>(*this, Pending<T>::Op::kBroadcast, buf, root, span,
+                      start_ns);
   }
 
   // Start an asynchronous allreduce(sum). Same staging, fault point, and
@@ -584,13 +603,18 @@ class Communicator {
     barrier();
     ctx_->pending[static_cast<std::size_t>(rank_)] = 1;
     const char* span = nullptr;
+    std::uint64_t start_ns = 0;
     if (obs::Tracer::enabled() &&
         obs::Tracer::instance().begin("iallreduce_sum",
                                       obs::SpanCategory::kCollective,
                                       2 * buf.size_bytes())) {
       span = "iallreduce_sum";
+      obs::MetricsRegistry::global().observe("comm.iallreduce_sum.bytes",
+                                             2 * buf.size_bytes());
+      start_ns = obs::detail::now_ns();
     }
-    return Pending<T>(*this, Pending<T>::Op::kAllreduceSum, buf, 0, span);
+    return Pending<T>(*this, Pending<T>::Op::kAllreduceSum, buf, 0, span,
+                      start_ns);
   }
 
   // ---- split ---------------------------------------------------------------

@@ -1,0 +1,338 @@
+// Minimal JSON value + recursive-descent parser.
+//
+// Exists so the bench-report layer (obs/bench_report.hpp, the bench_compare
+// tool) can read the machine-readable benchmark JSON without growing a
+// third-party dependency. Scope is deliberately small: the full JSON value
+// grammar (objects, arrays, strings with the standard escapes, numbers,
+// true/false/null), UTF-8 passed through verbatim, no comments, no
+// trailing commas. Numbers parse as double — benchmark wall-times and
+// counter snapshots fit double's 2^53 integer range; this is a report
+// format, not a wire protocol.
+//
+// Parse errors throw std::runtime_error with a byte offset; the tools treat
+// a malformed report as a hard failure (a truncated baseline must never
+// pass a perf gate by accident).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agnn::json {
+
+class Value;
+using Array = std::vector<Value>;
+// std::map: deterministic iteration order, matching the registry's sorted
+// dump convention.
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Value() = default;
+  Value(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Value(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT
+  Value(double n) : type_(Type::kNumber), num_(n) {}  // NOLINT
+  Value(std::string s)  // NOLINT
+      : type_(Type::kString), str_(std::move(s)) {}
+  Value(const char* s) : type_(Type::kString), str_(s) {}  // NOLINT
+  Value(Array a)  // NOLINT
+      : type_(Type::kArray), arr_(std::make_shared<Array>(std::move(a))) {}
+  Value(Object o)  // NOLINT
+      : type_(Type::kObject), obj_(std::make_shared<Object>(std::move(o))) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const {
+    require(Type::kBool, "bool");
+    return bool_;
+  }
+  double as_number() const {
+    require(Type::kNumber, "number");
+    return num_;
+  }
+  std::uint64_t as_u64() const {
+    return static_cast<std::uint64_t>(as_number());
+  }
+  const std::string& as_string() const {
+    require(Type::kString, "string");
+    return str_;
+  }
+  const Array& as_array() const {
+    require(Type::kArray, "array");
+    return *arr_;
+  }
+  const Object& as_object() const {
+    require(Type::kObject, "object");
+    return *obj_;
+  }
+
+  // Object member access: `get` returns nullptr when absent, `at` throws.
+  const Value* get(std::string_view key) const {
+    const Object& o = as_object();
+    const auto it = o.find(std::string(key));
+    return it == o.end() ? nullptr : &it->second;
+  }
+  const Value& at(std::string_view key) const {
+    const Value* v = get(key);
+    if (v == nullptr) {
+      throw std::runtime_error("json: missing key '" + std::string(key) + "'");
+    }
+    return *v;
+  }
+
+ private:
+  void require(Type t, const char* what) const {
+    if (type_ != t) {
+      throw std::runtime_error(std::string("json: value is not a ") + what);
+    }
+  }
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  // shared_ptr keeps Value copyable without deep copies of large reports
+  // (sub-values handed around by the comparers alias the parse tree).
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+// ---- writing --------------------------------------------------------------
+
+inline void escape(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+// ---- parsing --------------------------------------------------------------
+
+namespace detail {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json: " + why + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Value(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Value(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object o;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(o));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      o.insert_or_assign(std::move(key), parse_value());
+      skip_ws();
+      const char d = peek();
+      ++pos_;
+      if (d == '}') return Value(std::move(o));
+      if (d != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array a;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(a));
+    }
+    while (true) {
+      a.push_back(parse_value());
+      skip_ws();
+      const char d = peek();
+      ++pos_;
+      if (d == ']') return Value(std::move(a));
+      if (d != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Report strings are ASCII in practice; encode BMP code points as
+          // UTF-8 and reject surrogates (no escaped astral-plane content in
+          // bench reports).
+          if (code >= 0xD800 && code <= 0xDFFF) fail("surrogate in \\u escape");
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      const std::size_t d0 = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == d0) fail("expected digits");
+    };
+    digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      digits();
+    }
+    return Value(std::stod(std::string(text_.substr(start, pos_ - start))));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+inline Value parse(std::string_view text) {
+  return detail::Parser(text).parse_document();
+}
+
+}  // namespace agnn::json

@@ -21,7 +21,7 @@
 #include "core/loss.hpp"
 #include "core/optimizer.hpp"
 #include "core/workspace.hpp"
-#include "obs/trace.hpp"
+#include "obs/obs_scope.hpp"
 
 namespace agnn {
 
@@ -221,7 +221,7 @@ class Trainer {
   StepResult step(const CsrMatrix<T>& adj, const CsrMatrix<T>& adj_t,
                   const DenseMatrix<T>& x, std::span<const index_t> labels,
                   std::span<const std::uint8_t> mask = {}) {
-    AGNN_TRACE_SCOPE("trainer.step", kEpoch);
+    AGNN_EPOCH_SCOPE("trainer.step");
     model_.forward(adj, x, caches_, ws_, h_, dropout_rate_, step_count_++);
     softmax_cross_entropy(h_, labels, loss_, mask);
     model_.backward(adj, adj_t, caches_, loss_.grad, ws_, grads_);
@@ -237,7 +237,7 @@ class Trainer {
     std::vector<T> losses;
     losses.reserve(static_cast<std::size_t>(epochs));
     for (int e = 0; e < epochs; ++e) {
-      AGNN_TRACE_SCOPE("trainer.epoch", kEpoch);
+      AGNN_EPOCH_SCOPE("trainer.epoch");
       losses.push_back(step(adj, adj_t, x, labels, mask).loss);
     }
     return losses;

@@ -1,0 +1,312 @@
+// Machine-readable benchmark reports: schema, writer, parser, comparer.
+//
+// Every bench binary (bench/*, examples/unified_bench) accepts
+// `--json-out=<path>` and emits one report in this schema:
+//
+//   {
+//     "schema_version": 1,
+//     "context": {
+//       "git_sha": "...", "compiler": "...", "cxx_flags": "...",
+//       "cpu_model": "...", "hardware_threads": N, "omp_threads": N,
+//       "perf_available": true|false
+//     },
+//     "benchmarks": [
+//       { "name": "...", "repetitions": R,
+//         "samples_ns": [ ... per-repetition wall ns / iteration ... ],
+//         "median_ns": ..., "min_ns": ...,
+//         "counters": { "comm_MB": ..., "p99_ns": ..., ... } }
+//     ],
+//     "histograms": { "kernel.spmm.ns": {"count":..,"p50":..,...}, ... }
+//   }
+//
+// `histograms` snapshots every histogram in the global MetricsRegistry at
+// exit (present only when tracing recorded something), so a traced bench
+// run carries its full latency distributions alongside the timings.
+//
+// The comparer implements the CI perf gate's policy. Noise awareness is
+// statistic-based, not threshold-tweaking: a benchmark counts as regressed
+// only when BOTH its median and its min-of-samples exceed the baseline by
+// the tolerance factor (the min of R repetitions is the classic low-noise
+// wall-clock statistic; a scheduler hiccup inflates the median but almost
+// never the min), AND the absolute delta clears a floor that sub-microsecond
+// benchmarks can't trip by jitter. Missing/new benchmarks are reported but
+// do not fail the gate — benches evolve; the gate is about the matched set.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace agnn::obs::bench {
+
+inline constexpr int kSchemaVersion = 1;
+
+struct BenchContext {
+  std::string git_sha = "unknown";
+  std::string compiler;
+  std::string cxx_flags;
+  std::string cpu_model;
+  int hardware_threads = 0;
+  int omp_threads = 0;
+  bool perf_available = false;
+};
+
+struct BenchEntry {
+  std::string name;
+  int repetitions = 0;
+  std::vector<double> samples_ns;  // one per repetition (wall ns / iter)
+  double median_ns = 0;
+  double min_ns = 0;
+  std::map<std::string, double> counters;
+};
+
+struct BenchReport {
+  int schema_version = kSchemaVersion;
+  BenchContext context;
+  std::vector<BenchEntry> benchmarks;
+  // Raw JSON object text from MetricsRegistry::dump_json (already valid
+  // JSON); empty when the registry recorded nothing.
+  std::string histograms_json;
+
+  const BenchEntry* find(std::string_view name) const {
+    for (const auto& b : benchmarks) {
+      if (b.name == name) return &b;
+    }
+    return nullptr;
+  }
+};
+
+inline double median_of(std::vector<double> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+// Fill the derived statistics from `samples_ns`.
+inline void finalize(BenchEntry& e) {
+  e.repetitions = static_cast<int>(e.samples_ns.size());
+  e.median_ns = median_of(e.samples_ns);
+  e.min_ns = e.samples_ns.empty()
+                 ? 0
+                 : *std::min_element(e.samples_ns.begin(), e.samples_ns.end());
+}
+
+// ---- writing --------------------------------------------------------------
+
+inline void write_json(std::ostream& os, const BenchReport& r) {
+  os << "{\n  \"schema_version\": " << r.schema_version << ",\n";
+  os << "  \"context\": {";
+  os << "\"git_sha\": ";
+  json::escape(os, r.context.git_sha);
+  os << ", \"compiler\": ";
+  json::escape(os, r.context.compiler);
+  os << ", \"cxx_flags\": ";
+  json::escape(os, r.context.cxx_flags);
+  os << ", \"cpu_model\": ";
+  json::escape(os, r.context.cpu_model);
+  os << ", \"hardware_threads\": " << r.context.hardware_threads;
+  os << ", \"omp_threads\": " << r.context.omp_threads;
+  os << ", \"perf_available\": "
+     << (r.context.perf_available ? "true" : "false");
+  os << "},\n  \"benchmarks\": [";
+  bool first = true;
+  for (const auto& b : r.benchmarks) {
+    os << (first ? "\n" : ",\n") << "    {\"name\": ";
+    first = false;
+    json::escape(os, b.name);
+    os << ", \"repetitions\": " << b.repetitions << ", \"samples_ns\": [";
+    for (std::size_t i = 0; i < b.samples_ns.size(); ++i) {
+      os << (i != 0 ? ", " : "") << b.samples_ns[i];
+    }
+    os << "], \"median_ns\": " << b.median_ns << ", \"min_ns\": " << b.min_ns;
+    os << ", \"counters\": {";
+    bool cfirst = true;
+    for (const auto& [k, v] : b.counters) {
+      os << (cfirst ? "" : ", ");
+      cfirst = false;
+      json::escape(os, k);
+      os << ": " << v;
+    }
+    os << "}}";
+  }
+  os << "\n  ]";
+  if (!r.histograms_json.empty()) {
+    os << ",\n  \"histograms\": " << r.histograms_json;
+  }
+  os << "\n}\n";
+}
+
+inline bool write_json_file(const std::string& path, const BenchReport& r) {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_json(f, r);
+  return static_cast<bool>(f);
+}
+
+// Snapshot every histogram in `reg` as one JSON object (for the report's
+// "histograms" section). Empty string when there are none.
+inline std::string histograms_snapshot_json(
+    const MetricsRegistry& reg = MetricsRegistry::global()) {
+  const json::Value all = json::parse(reg.dump_json());
+  std::ostringstream os;
+  bool any = false;
+  os << "{";
+  for (const auto& [name, v] : all.as_object()) {
+    if (!v.is_object()) continue;  // histograms are the only nested values
+    if (any) os << ", ";
+    any = true;
+    json::escape(os, name);
+    // Re-serialize the summary from the parsed fields (all integers).
+    os << ": {";
+    bool f2 = true;
+    for (const auto& [k, n] : v.as_object()) {
+      os << (f2 ? "" : ", ");
+      f2 = false;
+      json::escape(os, k);
+      os << ": " << n.as_u64();
+    }
+    os << "}";
+  }
+  os << "}";
+  return any ? os.str() : std::string();
+}
+
+// ---- parsing --------------------------------------------------------------
+
+// Throws std::runtime_error on malformed input or schema mismatch.
+inline BenchReport parse_report(std::string_view text) {
+  const json::Value doc = json::parse(text);
+  BenchReport r;
+  r.schema_version = static_cast<int>(doc.at("schema_version").as_number());
+  if (r.schema_version != kSchemaVersion) {
+    throw std::runtime_error("bench report: unsupported schema_version " +
+                             std::to_string(r.schema_version));
+  }
+  const json::Value& ctx = doc.at("context");
+  r.context.git_sha = ctx.at("git_sha").as_string();
+  r.context.compiler = ctx.at("compiler").as_string();
+  r.context.cxx_flags = ctx.at("cxx_flags").as_string();
+  r.context.cpu_model = ctx.at("cpu_model").as_string();
+  r.context.hardware_threads =
+      static_cast<int>(ctx.at("hardware_threads").as_number());
+  r.context.omp_threads = static_cast<int>(ctx.at("omp_threads").as_number());
+  r.context.perf_available = ctx.at("perf_available").as_bool();
+  for (const json::Value& b : doc.at("benchmarks").as_array()) {
+    BenchEntry e;
+    e.name = b.at("name").as_string();
+    e.repetitions = static_cast<int>(b.at("repetitions").as_number());
+    for (const json::Value& s : b.at("samples_ns").as_array()) {
+      e.samples_ns.push_back(s.as_number());
+    }
+    e.median_ns = b.at("median_ns").as_number();
+    e.min_ns = b.at("min_ns").as_number();
+    for (const auto& [k, v] : b.at("counters").as_object()) {
+      e.counters[k] = v.as_number();
+    }
+    r.benchmarks.push_back(std::move(e));
+  }
+  return r;
+}
+
+inline BenchReport parse_report_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("bench report: cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return parse_report(buf.str());
+}
+
+// ---- comparison (the perf-gate policy) ------------------------------------
+
+struct CompareOptions {
+  // Regression factor: current must exceed baseline * tolerance on BOTH the
+  // median and the min statistic to count. 1.30 absorbs run-to-run noise on
+  // a quiet machine; CI uses a looser factor against a pinned cross-machine
+  // baseline (see .github/workflows/ci.yml).
+  double tolerance = 1.30;
+  // Absolute floor: deltas below this many ns are never regressions (ns-
+  // scale benchmarks jitter by whole multiples of themselves).
+  double min_delta_ns = 1000.0;
+};
+
+struct CompareRow {
+  std::string name;
+  double baseline_median_ns = 0;
+  double current_median_ns = 0;
+  double baseline_min_ns = 0;
+  double current_min_ns = 0;
+  double median_ratio = 0;  // current / baseline
+  double min_ratio = 0;
+  bool regressed = false;
+};
+
+struct CompareResult {
+  std::vector<CompareRow> rows;          // matched benchmarks, report order
+  std::vector<std::string> missing;      // in baseline, not in current
+  std::vector<std::string> added;        // in current, not in baseline
+  int regressions = 0;
+
+  bool ok() const { return regressions == 0; }
+};
+
+inline CompareResult compare(const BenchReport& baseline,
+                             const BenchReport& current,
+                             const CompareOptions& opts = {}) {
+  CompareResult out;
+  for (const auto& b : baseline.benchmarks) {
+    const BenchEntry* c = current.find(b.name);
+    if (c == nullptr) {
+      out.missing.push_back(b.name);
+      continue;
+    }
+    CompareRow row;
+    row.name = b.name;
+    row.baseline_median_ns = b.median_ns;
+    row.current_median_ns = c->median_ns;
+    row.baseline_min_ns = b.min_ns;
+    row.current_min_ns = c->min_ns;
+    row.median_ratio = b.median_ns > 0 ? c->median_ns / b.median_ns : 0;
+    row.min_ratio = b.min_ns > 0 ? c->min_ns / b.min_ns : 0;
+    const bool median_bad =
+        c->median_ns > b.median_ns * opts.tolerance &&
+        c->median_ns - b.median_ns > opts.min_delta_ns;
+    const bool min_bad = c->min_ns > b.min_ns * opts.tolerance &&
+                         c->min_ns - b.min_ns > opts.min_delta_ns;
+    row.regressed = median_bad && min_bad;
+    if (row.regressed) ++out.regressions;
+    out.rows.push_back(std::move(row));
+  }
+  for (const auto& c : current.benchmarks) {
+    if (baseline.find(c.name) == nullptr) out.added.push_back(c.name);
+  }
+  return out;
+}
+
+inline void print_compare(std::ostream& os, const CompareResult& r,
+                          const CompareOptions& opts) {
+  os << "benchmark comparison (tolerance " << opts.tolerance << "x, floor "
+     << opts.min_delta_ns << " ns; regression = median AND min exceed)\n";
+  for (const auto& row : r.rows) {
+    os << (row.regressed ? "  REGRESSED " : "  ok        ") << row.name
+       << "  median " << row.baseline_median_ns << " -> "
+       << row.current_median_ns << " ns (" << row.median_ratio << "x), min "
+       << row.baseline_min_ns << " -> " << row.current_min_ns << " ns ("
+       << row.min_ratio << "x)\n";
+  }
+  for (const auto& m : r.missing) os << "  missing   " << m << "\n";
+  for (const auto& a : r.added) os << "  new       " << a << "\n";
+  os << (r.ok() ? "PASS" : "FAIL") << ": " << r.regressions
+     << " regression(s) across " << r.rows.size() << " matched benchmark(s)\n";
+}
+
+}  // namespace agnn::obs::bench

@@ -2,37 +2,60 @@
 // workspace hit/miss/residency, comm::VolumeStats bytes/messages/supersteps,
 // cost-model seconds — meet under stable names, with text and JSON dumps.
 //
-// Counters are monotonically increasing integers (atomic, relaxed — callers
-// may bump them from rank threads); gauges are last-write-wins doubles.
+// Three metric kinds:
+//   * Counter   — monotonically increasing integer (atomic, relaxed). The
+//     API is add-only; `set_max` exists for importing externally-maintained
+//     monotonic snapshots (a watermark: it never moves the value backwards,
+//     so re-importing after an external reset keeps the high-water mark).
+//   * Gauge     — last-write-wins double.
+//   * Histogram — HDR-style log-bucketed distribution (obs/histogram.hpp)
+//     with p50/p90/p99/p999 in the dumps.
+//
 // Registration is idempotent: asking for an existing name of the same kind
-// returns the same metric object; asking for an existing name of the *other*
+// returns the same metric object; asking for an existing name of another
 // kind is a programming error and fails the usual AGNN_ASSERT way.
 //
 // Metric objects are reference-stable for the registry's lifetime (std::map
-// node stability), so hot paths may cache `Counter&` and never re-lock.
+// node stability), so hot paths may cache `Counter&`/`Histogram&` and never
+// re-lock. Dumps are deterministically ordered by name (std::map order) so
+// two dumps of the same state are byte-identical.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
 
+#include "obs/histogram.hpp"
 #include "tensor/common.hpp"
 
 namespace agnn::obs {
 
+// Add-only monotonic counter. The old `set` footgun (a silent backwards
+// jump on a documented-monotonic metric) is gone: use `add` for deltas and
+// `set_max` to import an externally-tracked monotonic value.
 class Counter {
  public:
   void add(std::uint64_t v) { value_.fetch_add(v, std::memory_order_relaxed); }
-  void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+
+  // Monotonic import: value = max(value, v). Never decreases.
+  void set_max(std::uint64_t v) {
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
   std::uint64_t value() const {
     return value_.load(std::memory_order_relaxed);
   }
 
  private:
+  friend class MetricsRegistry;  // reset() only
   std::atomic<std::uint64_t> value_{0};
 };
 
@@ -53,54 +76,73 @@ class MetricsRegistry {
   }
 
   Counter& counter(std::string_view name) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto [it, inserted] = metrics_.try_emplace(std::string(name));
-    if (inserted) {
-      it->second.kind = Kind::kCounter;
-    } else {
-      AGNN_ASSERT(it->second.kind == Kind::kCounter,
-                  "metrics: name already registered as a gauge");
-    }
-    return it->second.counter;
+    return slot(name, Kind::kCounter, "counter").counter;
   }
 
   Gauge& gauge(std::string_view name) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto [it, inserted] = metrics_.try_emplace(std::string(name));
-    if (inserted) {
-      it->second.kind = Kind::kGauge;
-    } else {
-      AGNN_ASSERT(it->second.kind == Kind::kGauge,
-                  "metrics: name already registered as a counter");
-    }
-    return it->second.gauge;
+    return slot(name, Kind::kGauge, "gauge").gauge;
+  }
+
+  Histogram& histogram(std::string_view name) {
+    Metric& m = slot(name, Kind::kHistogram, "histogram");
+    return *m.histogram;
   }
 
   void add(std::string_view name, std::uint64_t v) { counter(name).add(v); }
   void set(std::string_view name, double v) { gauge(name).set(v); }
+  void observe(std::string_view name, std::uint64_t v) {
+    histogram(name).record(v);
+  }
 
   std::size_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return metrics_.size();
   }
 
-  // `name value` per line, sorted by name (std::map order).
+  // Read-only lookups: nullptr when the name is absent or of another kind
+  // (unlike the registering accessors these never create the metric, so
+  // report builders can probe without polluting the dump).
+  const Counter* find_counter(std::string_view name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = metrics_.find(name);
+    return it != metrics_.end() && it->second.kind == Kind::kCounter
+               ? &it->second.counter
+               : nullptr;
+  }
+  const Gauge* find_gauge(std::string_view name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = metrics_.find(name);
+    return it != metrics_.end() && it->second.kind == Kind::kGauge
+               ? &it->second.gauge
+               : nullptr;
+  }
+  const Histogram* find_histogram(std::string_view name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = metrics_.find(name);
+    return it != metrics_.end() && it->second.kind == Kind::kHistogram
+               ? it->second.histogram.get()
+               : nullptr;
+  }
+
+  // `name value` per line (histograms: `name count=... p50=... ...`),
+  // sorted by name.
   std::string dump_text() const {
     std::ostringstream os;
     std::lock_guard<std::mutex> lock(mutex_);
     for (const auto& [name, m] : metrics_) {
       os << name << ' ';
-      if (m.kind == Kind::kCounter) {
-        os << m.counter.value();
-      } else {
-        os << m.gauge.value();
+      switch (m.kind) {
+        case Kind::kCounter: os << m.counter.value(); break;
+        case Kind::kGauge: os << m.gauge.value(); break;
+        case Kind::kHistogram: m.histogram->summary_text(os); break;
       }
       os << '\n';
     }
     return os.str();
   }
 
-  // Flat JSON object: {"name": value, ...}, sorted by name.
+  // Flat JSON object sorted by name; counters/gauges are numbers,
+  // histograms nested objects {"count":...,"p50":...,...}.
   std::string dump_json() const {
     std::ostringstream os;
     os << "{";
@@ -110,28 +152,65 @@ class MetricsRegistry {
       if (!first) os << ",";
       first = false;
       os << "\"" << name << "\":";
-      if (m.kind == Kind::kCounter) {
-        os << m.counter.value();
-      } else {
-        os << m.gauge.value();
+      switch (m.kind) {
+        case Kind::kCounter: os << m.counter.value(); break;
+        case Kind::kGauge: os << m.gauge.value(); break;
+        case Kind::kHistogram: m.histogram->summary_json(os); break;
       }
     }
     os << "}";
     return os.str();
   }
 
+  // Test-only: zero every metric's value but keep all registrations — any
+  // cached Counter&/Gauge&/Histogram& stays valid (unlike clear()). Callers
+  // must quiesce recording threads first.
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, m] : metrics_) {
+      switch (m.kind) {
+        case Kind::kCounter:
+          m.counter.value_.store(0, std::memory_order_relaxed);
+          break;
+        case Kind::kGauge: m.gauge.set(0.0); break;
+        case Kind::kHistogram: m.histogram->reset(); break;
+      }
+    }
+  }
+
+  // Drops every registration. Invalidates cached references — only for
+  // tests that own a local registry; production code uses reset().
   void clear() {
     std::lock_guard<std::mutex> lock(mutex_);
     metrics_.clear();
   }
 
  private:
-  enum class Kind : std::uint8_t { kCounter, kGauge };
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
   struct Metric {
     Kind kind = Kind::kCounter;
     Counter counter;
     Gauge gauge;
+    // Lazily allocated: a histogram is ~15 KiB, counters/gauges shouldn't
+    // pay for it.
+    std::unique_ptr<Histogram> histogram;
   };
+
+  Metric& slot(std::string_view name, Kind kind, const char* kind_name) {
+    (void)kind_name;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = metrics_.try_emplace(std::string(name));
+    if (inserted) {
+      it->second.kind = kind;
+      if (kind == Kind::kHistogram) {
+        it->second.histogram = std::make_unique<Histogram>();
+      }
+    } else {
+      AGNN_ASSERT(it->second.kind == kind,
+                  "metrics: name already registered as another kind");
+    }
+    return it->second;
+  }
 
   mutable std::mutex mutex_;
   std::map<std::string, Metric, std::less<>> metrics_;
@@ -140,19 +219,22 @@ class MetricsRegistry {
 // ---- importers for the existing ad-hoc stats --------------------------
 // Templates so this header stays dependency-free: any struct with the
 // respective field names qualifies (core::WorkspaceStats,
-// comm::VolumeSnapshot).
+// comm::VolumeSnapshot). Monotonic fields import via Counter::set_max
+// (watermark semantics); point-in-time fields are gauges.
 
 // WorkspaceStats → counters under `<prefix>.{acquires,hits,misses,...}`.
 template <typename WorkspaceStatsT>
 void import_workspace_stats(MetricsRegistry& reg, const WorkspaceStatsT& ws,
                             std::string_view prefix) {
   const std::string p(prefix);
-  reg.counter(p + ".acquires").set(ws.acquires);
-  reg.counter(p + ".pool_hits").set(ws.pool_hits);
-  reg.counter(p + ".pool_misses").set(ws.pool_misses);
-  reg.counter(p + ".bytes_acquired").set(ws.bytes_acquired);
-  reg.counter(p + ".resident_bytes").set(ws.resident_bytes);
-  reg.counter(p + ".peak_resident_bytes").set(ws.peak_resident_bytes);
+  reg.counter(p + ".acquires").set_max(ws.acquires);
+  reg.counter(p + ".pool_hits").set_max(ws.pool_hits);
+  reg.counter(p + ".pool_misses").set_max(ws.pool_misses);
+  reg.counter(p + ".bytes_acquired").set_max(ws.bytes_acquired);
+  // Current residency is a point-in-time value (the pool can be rebuilt),
+  // so it is a gauge; the peak is the monotonic watermark.
+  reg.gauge(p + ".resident_bytes").set(static_cast<double>(ws.resident_bytes));
+  reg.counter(p + ".peak_resident_bytes").set_max(ws.peak_resident_bytes);
   reg.gauge(p + ".hit_rate").set(ws.hit_rate());
 }
 
@@ -161,9 +243,9 @@ template <typename VolumeSnapshotT>
 void import_volume_snapshot(MetricsRegistry& reg, const VolumeSnapshotT& s,
                             std::string_view prefix) {
   const std::string p(prefix);
-  reg.counter(p + ".bytes_sent").set(s.bytes_sent);
-  reg.counter(p + ".messages").set(s.messages);
-  reg.counter(p + ".supersteps").set(s.supersteps);
+  reg.counter(p + ".bytes_sent").set_max(s.bytes_sent);
+  reg.counter(p + ".messages").set_max(s.messages);
+  reg.counter(p + ".supersteps").set_max(s.supersteps);
   reg.gauge(p + ".compute_seconds").set(s.compute_seconds);
   reg.gauge(p + ".wait_seconds").set(s.wait_seconds);
 }

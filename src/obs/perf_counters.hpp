@@ -1,0 +1,381 @@
+// Hardware performance counters via Linux perf_event_open.
+//
+// One PerfGroup per thread opens a single counter *group* — cycles (leader),
+// instructions, cache-references, cache-misses, branches, branch-misses —
+// so all six are scheduled and read atomically with one read(2). A
+// PerfRegion brackets a code region: counters are reset+enabled at entry
+// and disabled+read at exit, and the deltas accumulate into the
+// MetricsRegistry under `perf.<name>.*` together with derived IPC /
+// cache-miss-rate / branch-miss-rate gauges. Regions nest; only the
+// outermost region on a thread records (the same depth-1 rule TraceReport
+// uses for kernel spans, so fused kernels don't double-bill the kernels
+// they call).
+//
+// Availability is best-effort BY DESIGN — never a hard failure:
+//   * the whole layer is off unless AGNN_PERF is set (or set_enabled(true));
+//   * perf_event_open may be missing (non-Linux), forbidden
+//     (kernel.perf_event_paranoid > 2, seccomp, containers) or partially
+//     available (some PMU events unsupported under virtualization). A
+//     member that fails to open is skipped; if the *leader* fails the
+//     thread's group is marked unavailable and every PerfRegion on it is a
+//     no-op. `PerfSample::valid` tells consumers whether numbers exist.
+//   * counters are scaled by time_enabled/time_running when the kernel
+//     multiplexed the group (PERF_FORMAT_TOTAL_TIME_*).
+//
+// Threading: a group counts the *calling thread* only (pid=0, cpu=-1), so
+// a region around an OpenMP parallel kernel measures the calling thread's
+// share — documented in DESIGN.md §14 with the availability matrix.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "tensor/common.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace agnn::obs::perf {
+
+// Counter deltas for one region. `valid` is false when the perf layer was
+// unavailable (consumers must not divide by zero-cycles garbage).
+struct PerfSample {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_references = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t branch_misses = 0;
+  bool valid = false;
+
+  double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+  double cache_miss_rate() const {
+    return cache_references == 0
+               ? 0.0
+               : static_cast<double>(cache_misses) /
+                     static_cast<double>(cache_references);
+  }
+  double branch_miss_rate() const {
+    return branches == 0 ? 0.0
+                         : static_cast<double>(branch_misses) /
+                               static_cast<double>(branches);
+  }
+};
+
+// ---- global switches ------------------------------------------------------
+
+namespace detail {
+inline std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> on{[] {
+    const char* v = std::getenv("AGNN_PERF");
+    return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+  }()};
+  return on;
+}
+inline std::atomic<bool>& force_unavailable_flag() {
+  static std::atomic<bool> f{false};
+  return f;
+}
+inline int& region_depth() {
+  thread_local int depth = 0;
+  return depth;
+}
+}  // namespace detail
+
+// AGNN_PERF env (or set_enabled) turns the layer on; availability of the
+// syscall is probed separately, per thread, on first use.
+inline bool enabled() {
+  return detail::enabled_flag().load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) {
+  detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+// Test hook: pretend perf_event_open is unavailable (the degraded path must
+// be a clean no-op — tests/test_perf_counters.cpp asserts it).
+inline void force_unavailable(bool f) {
+  detail::force_unavailable_flag().store(f, std::memory_order_relaxed);
+}
+inline bool forced_unavailable() {
+  return detail::force_unavailable_flag().load(std::memory_order_relaxed);
+}
+
+// ---- the per-thread counter group ----------------------------------------
+
+class PerfGroup {
+ public:
+  PerfGroup() { open_group(); }
+  ~PerfGroup() { close_group(); }
+  PerfGroup(const PerfGroup&) = delete;
+  PerfGroup& operator=(const PerfGroup&) = delete;
+
+  // The leader opened and the test hook is not forcing the degraded path.
+  bool available() const { return leader_fd_ >= 0 && !forced_unavailable(); }
+
+  // Number of group members that actually opened (<= 6); 0 if unavailable.
+  int members() const { return available() ? nr_open_ : 0; }
+
+  void start() {
+#if defined(__linux__)
+    if (!available()) return;
+    ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+#endif
+  }
+
+  PerfSample stop() {
+    PerfSample s;
+#if defined(__linux__)
+    if (!available()) return s;
+    ioctl(leader_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+    // PERF_FORMAT_GROUP | TOTAL_TIME_ENABLED | TOTAL_TIME_RUNNING layout:
+    //   u64 nr; u64 time_enabled; u64 time_running; u64 values[nr];
+    std::uint64_t buf[3 + kMaxEvents] = {0};
+    const ssize_t n = read(leader_fd_, buf, sizeof(buf));
+    if (n < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) return s;
+    const std::uint64_t nr = buf[0];
+    const std::uint64_t enabled_ns = buf[1];
+    const std::uint64_t running_ns = buf[2];
+    if (nr == 0 || running_ns == 0) return s;
+    const double scale = running_ns < enabled_ns
+                             ? static_cast<double>(enabled_ns) /
+                                   static_cast<double>(running_ns)
+                             : 1.0;
+    for (int i = 0; i < nr_open_ && i < static_cast<int>(nr); ++i) {
+      const double v = static_cast<double>(buf[3 + i]) * scale;
+      *field(slot_[i], s) = static_cast<std::uint64_t>(v);
+    }
+    s.valid = true;
+#endif
+    return s;
+  }
+
+ private:
+  static constexpr int kMaxEvents = 6;
+
+  // Which PerfSample field group-member i feeds.
+  enum class Slot : std::uint8_t {
+    kCycles,
+    kInstructions,
+    kCacheRefs,
+    kCacheMisses,
+    kBranches,
+    kBranchMisses,
+  };
+
+  static std::uint64_t* field(Slot slot, PerfSample& s) {
+    switch (slot) {
+      case Slot::kCycles: return &s.cycles;
+      case Slot::kInstructions: return &s.instructions;
+      case Slot::kCacheRefs: return &s.cache_references;
+      case Slot::kCacheMisses: return &s.cache_misses;
+      case Slot::kBranches: return &s.branches;
+      case Slot::kBranchMisses: return &s.branch_misses;
+    }
+    return &s.cycles;
+  }
+
+  void open_group() {
+#if defined(__linux__)
+    if (forced_unavailable()) return;
+    struct Event {
+      std::uint64_t config;
+      Slot slot;
+    };
+    static constexpr Event kEvents[kMaxEvents] = {
+        {PERF_COUNT_HW_CPU_CYCLES, Slot::kCycles},
+        {PERF_COUNT_HW_INSTRUCTIONS, Slot::kInstructions},
+        {PERF_COUNT_HW_CACHE_REFERENCES, Slot::kCacheRefs},
+        {PERF_COUNT_HW_CACHE_MISSES, Slot::kCacheMisses},
+        {PERF_COUNT_HW_BRANCH_INSTRUCTIONS, Slot::kBranches},
+        {PERF_COUNT_HW_BRANCH_MISSES, Slot::kBranchMisses},
+    };
+    for (const Event& ev : kEvents) {
+      perf_event_attr attr;
+      std::memset(&attr, 0, sizeof(attr));
+      attr.type = PERF_TYPE_HARDWARE;
+      attr.size = sizeof(attr);
+      attr.config = ev.config;
+      attr.disabled = (leader_fd_ < 0) ? 1 : 0;  // leader starts disabled
+      attr.exclude_kernel = 1;
+      attr.exclude_hv = 1;
+      attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                         PERF_FORMAT_TOTAL_TIME_RUNNING;
+      const long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                              /*cpu=*/-1, /*group_fd=*/leader_fd_,
+                              /*flags=*/0UL);
+      if (fd < 0) {
+        // Leader failing means no perf at all on this thread (paranoid
+        // sysctl, seccomp, missing PMU); a member failing just means that
+        // event is unsupported here — keep the rest.
+        if (leader_fd_ < 0) return;
+        continue;
+      }
+      fds_[nr_open_] = static_cast<int>(fd);
+      slot_[nr_open_] = ev.slot;
+      if (leader_fd_ < 0) leader_fd_ = static_cast<int>(fd);
+      ++nr_open_;
+    }
+#endif
+  }
+
+  void close_group() {
+#if defined(__linux__)
+    for (int i = 0; i < nr_open_; ++i) close(fds_[i]);
+#endif
+    nr_open_ = 0;
+    leader_fd_ = -1;
+  }
+
+  int leader_fd_ = -1;
+  int nr_open_ = 0;
+  int fds_[kMaxEvents] = {-1, -1, -1, -1, -1, -1};
+  Slot slot_[kMaxEvents] = {};
+};
+
+// The calling thread's group, opened on first use. A thread whose open
+// failed keeps a permanently-unavailable group — the probe is not retried,
+// so the degraded path stays one branch per region.
+inline PerfGroup& thread_group() {
+  thread_local PerfGroup g;
+  return g;
+}
+
+// ---- metric accumulation --------------------------------------------------
+
+// The registry metrics one region name feeds. Resolved once per call site
+// (the AGNN_PERF_SCOPE macro caches the reference in a function-local
+// static), so the hot path never builds strings or locks the registry map.
+struct RegionMetrics {
+  Counter& regions;
+  Counter& cycles;
+  Counter& instructions;
+  Counter& cache_references;
+  Counter& cache_misses;
+  Counter& branches;
+  Counter& branch_misses;
+  Gauge& ipc;
+  Gauge& cache_miss_rate;
+  Gauge& branch_miss_rate;
+
+  static RegionMetrics& get(const char* prefix) {
+    static std::mutex mu;
+    static std::map<std::string, std::unique_ptr<RegionMetrics>> cache;
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(prefix);
+    if (it == cache.end()) {
+      MetricsRegistry& reg = MetricsRegistry::global();
+      const std::string p(prefix);
+      it = cache
+               .emplace(p, std::unique_ptr<RegionMetrics>(new RegionMetrics{
+                               reg.counter(p + ".regions"),
+                               reg.counter(p + ".cycles"),
+                               reg.counter(p + ".instructions"),
+                               reg.counter(p + ".cache_references"),
+                               reg.counter(p + ".cache_misses"),
+                               reg.counter(p + ".branches"),
+                               reg.counter(p + ".branch_misses"),
+                               reg.gauge(p + ".ipc"),
+                               reg.gauge(p + ".cache_miss_rate"),
+                               reg.gauge(p + ".branch_miss_rate")}))
+               .first;
+    }
+    return *it->second;
+  }
+
+  void accumulate(const PerfSample& s) {
+    if (!s.valid) return;
+    regions.add(1);
+    cycles.add(s.cycles);
+    instructions.add(s.instructions);
+    cache_references.add(s.cache_references);
+    cache_misses.add(s.cache_misses);
+    branches.add(s.branches);
+    branch_misses.add(s.branch_misses);
+    // Derived rates over the accumulated totals, so the gauges converge to
+    // the region's lifetime average rather than the last call's noise.
+    const double cyc = static_cast<double>(cycles.value());
+    const double ins = static_cast<double>(instructions.value());
+    const double refs = static_cast<double>(cache_references.value());
+    const double cms = static_cast<double>(cache_misses.value());
+    const double brs = static_cast<double>(branches.value());
+    const double bms = static_cast<double>(branch_misses.value());
+    if (cyc > 0) ipc.set(ins / cyc);
+    if (refs > 0) cache_miss_rate.set(cms / refs);
+    if (brs > 0) branch_miss_rate.set(bms / brs);
+  }
+};
+
+// ---- the RAII region ------------------------------------------------------
+
+// Measures the enclosed code on the calling thread and accumulates into
+// `metrics` at scope exit. Disabled (one relaxed load) unless AGNN_PERF is
+// on; no-op when the thread's group is unavailable; inner nested regions
+// are no-ops (depth-1 rule).
+class PerfRegion {
+ public:
+  explicit PerfRegion(RegionMetrics& metrics) : metrics_(&metrics) {
+    if (!enabled()) return;
+    counted_ = true;
+    if (++detail::region_depth() != 1) return;
+    PerfGroup& g = thread_group();
+    if (!g.available()) return;
+    g.start();
+    active_ = true;
+  }
+
+  ~PerfRegion() {
+    if (!counted_) return;
+    --detail::region_depth();
+    if (!active_) return;
+    metrics_->accumulate(thread_group().stop());
+  }
+
+  PerfRegion(const PerfRegion&) = delete;
+  PerfRegion& operator=(const PerfRegion&) = delete;
+
+  bool active() const { return active_; }
+
+ private:
+  RegionMetrics* metrics_;
+  bool counted_ = false;  // we incremented the depth (enabled at entry)
+  bool active_ = false;   // outermost + group available: we own the window
+};
+
+// One-shot availability probe for reports ("perf counters: unavailable
+// (perf_event_paranoid?)" vs a member count). Touches this thread's group.
+inline bool available() { return enabled() && thread_group().available(); }
+
+}  // namespace agnn::obs::perf
+
+// Same token-for-token definition as obs/trace.hpp (identical redefinition
+// is legal), so this header works with or without the tracer included.
+#ifndef AGNN_OBS_CONCAT
+#define AGNN_OBS_CONCAT2(a, b) a##b
+#define AGNN_OBS_CONCAT(a, b) AGNN_OBS_CONCAT2(a, b)
+#endif
+
+// Scoped perf region: AGNN_PERF_SCOPE("spmm"); — accumulates into
+// perf.spmm.* when AGNN_PERF is on and the syscall works.
+#define AGNN_PERF_SCOPE(name_lit)                                         \
+  static ::agnn::obs::perf::RegionMetrics& AGNN_OBS_CONCAT(               \
+      agnn_perf_metrics_, __LINE__) =                                     \
+      ::agnn::obs::perf::RegionMetrics::get("perf." name_lit);            \
+  const ::agnn::obs::perf::PerfRegion AGNN_OBS_CONCAT(agnn_perf_region_,  \
+                                                      __LINE__)(          \
+      AGNN_OBS_CONCAT(agnn_perf_metrics_, __LINE__))

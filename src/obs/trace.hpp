@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "tensor/common.hpp"
 
 namespace agnn::obs {
@@ -224,6 +225,26 @@ class Tracer {
     std::lock_guard<std::mutex> lock(registry_mutex_);
     for (const auto& b : buffers_) d += b->dropped();
     return d;
+  }
+
+  // Surface the drop-newest policy: export the total and every per-thread
+  // dropped-span count (nonzero buffers only, named by registration order)
+  // into the registry, so a metrics dump shows *that* and *where* the ring
+  // buffers saturated instead of the trace silently thinning. Watermark
+  // semantics (set_max): safe to call repeatedly. Returns the total.
+  std::uint64_t export_drop_metrics(
+      MetricsRegistry& reg = MetricsRegistry::global()) const {
+    std::uint64_t total = 0;
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    for (std::size_t i = 0; i < buffers_.size(); ++i) {
+      const std::uint64_t d = buffers_[i]->dropped();
+      total += d;
+      if (d != 0) {
+        reg.counter("trace.dropped_spans.t" + std::to_string(i)).set_max(d);
+      }
+    }
+    reg.counter("trace.dropped_spans").set_max(total);
+    return total;
   }
 
   // Drop all recorded events (buffers stay registered and allocated). Only
@@ -428,17 +449,21 @@ class TraceSession {
   ~TraceSession() {
     if (!active_) return;
     Tracer::set_enabled(false);
+    // Drops are reported whether or not the file write succeeds, and land
+    // in the metrics registry too — an incomplete trace must never look
+    // like a quiet one.
+    const std::uint64_t d = Tracer::instance().export_drop_metrics();
+    if (d != 0) {
+      std::fprintf(stderr,
+                   "[obs] warning: %llu spans dropped by full trace buffers "
+                   "(raise AGNN_TRACE_BUFFER)\n",
+                   static_cast<unsigned long long>(d));
+    }
     if (Tracer::instance().write_chrome_json_file(path_)) {
       std::fprintf(stderr,
                    "[obs] wrote %s — open in https://ui.perfetto.dev or "
                    "chrome://tracing\n",
                    path_.c_str());
-      const std::uint64_t d = Tracer::instance().dropped_events();
-      if (d != 0) {
-        std::fprintf(stderr,
-                     "[obs] %llu events dropped (raise AGNN_TRACE_BUFFER)\n",
-                     static_cast<unsigned long long>(d));
-      }
     } else {
       std::fprintf(stderr, "[obs] failed to write %s\n", path_.c_str());
     }

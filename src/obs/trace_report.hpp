@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "comm/cost_model.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace agnn::obs {
@@ -181,6 +182,142 @@ class TraceReport {
 
   std::size_t print(std::ostream& os) const {
     return print(os, build(Tracer::instance().collect()));
+  }
+
+  // Bridge the deviation flags into the metrics registry so they survive
+  // into the machine-readable dump instead of living only in the printed
+  // table: one gauge per flagged collective carrying its compute/comm
+  // ratio, plus the flagged-row count.
+  static void export_flags(const std::vector<TraceReportRow>& rows,
+                           MetricsRegistry& reg = MetricsRegistry::global()) {
+    std::size_t flagged = 0;
+    for (const auto& r : rows) {
+      if (!r.flagged) continue;
+      ++flagged;
+      reg.gauge("trace_report.deviation." + r.name).set(r.ratio());
+    }
+    reg.gauge("trace_report.flagged_rows")
+        .set(static_cast<double>(flagged));
+  }
+
+  // ---- per-kernel roofline attribution ----------------------------------
+  // Depth-1 kernel spans carry a byte tag (the kernel's algorithmic memory
+  // traffic, set at the AGNN_KERNEL_SCOPE call site); joining wall time
+  // against those bytes gives effective GB/s, and joining against the
+  // perf.<kernel>.* counters (when AGNN_PERF ran) gives IPC and miss
+  // rates — the "why does this variant win" attribution, not just the
+  // ranking.
+  struct KernelRow {
+    std::string name;
+    std::uint64_t calls = 0;
+    std::uint64_t bytes = 0;       // summed algorithmic traffic estimate
+    double wall_seconds = 0;       // summed over calls and ranks
+    std::uint64_t cycles = 0;      // perf counters (0 when unavailable)
+    std::uint64_t instructions = 0;
+    double ipc = 0;
+    double cache_miss_rate = 0;
+    bool has_perf = false;
+
+    double gbps() const {
+      return wall_seconds > 0
+                 ? static_cast<double>(bytes) / wall_seconds * 1e-9
+                 : 0.0;
+    }
+  };
+
+  static std::vector<KernelRow> build_kernels(
+      std::vector<TraceEvent> events,
+      const MetricsRegistry& reg = MetricsRegistry::global()) {
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       if (a.rank != b.rank) return a.rank < b.rank;
+                       return a.ts_ns < b.ts_ns;
+                     });
+
+    struct Accum {
+      std::uint64_t calls = 0;
+      std::uint64_t bytes = 0;
+      std::uint64_t wall_ns = 0;
+    };
+    std::map<std::string, Accum> acc;
+
+    // Per-rank span stack; only depth-1 kernel spans accumulate (fused
+    // kernels call instrumented kernels — counting both would double-bill,
+    // same rule as the compute accounting above).
+    struct Open {
+      const char* name;
+      std::uint64_t begin_ns;
+      std::uint64_t bytes;
+    };
+    std::size_t i = 0;
+    while (i < events.size()) {
+      const std::int32_t rank = events[i].rank;
+      std::vector<Open> stack;
+      for (; i < events.size() && events[i].rank == rank; ++i) {
+        const TraceEvent& e = events[i];
+        if (e.category != SpanCategory::kKernel) continue;
+        if (e.phase == 'B') {
+          stack.push_back({e.name, e.ts_ns, e.bytes});
+        } else if (e.phase == 'E' && !stack.empty()) {
+          const Open top = stack.back();
+          stack.pop_back();
+          if (stack.empty()) {
+            Accum& a = acc[top.name];
+            a.calls += 1;
+            a.bytes += top.bytes;
+            a.wall_ns += e.ts_ns - top.begin_ns;
+          }
+        }
+      }
+    }
+
+    std::vector<KernelRow> out;
+    out.reserve(acc.size());
+    for (const auto& [name, a] : acc) {
+      KernelRow r;
+      r.name = name;
+      r.calls = a.calls;
+      r.bytes = a.bytes;
+      r.wall_seconds = static_cast<double>(a.wall_ns) * 1e-9;
+      const std::string p = "perf." + name;
+      if (const Counter* c = reg.find_counter(p + ".cycles")) {
+        r.cycles = c->value();
+      }
+      if (const Counter* c = reg.find_counter(p + ".instructions")) {
+        r.instructions = c->value();
+      }
+      r.has_perf = r.cycles > 0;
+      if (const Gauge* g = reg.find_gauge(p + ".ipc")) r.ipc = g->value();
+      if (const Gauge* g = reg.find_gauge(p + ".cache_miss_rate")) {
+        r.cache_miss_rate = g->value();
+      }
+      out.push_back(std::move(r));
+    }
+    return out;
+  }
+
+  // Render the roofline table; perf columns show '-' when the counters
+  // were unavailable (or AGNN_PERF was off).
+  static void print_kernels(std::ostream& os,
+                            const std::vector<KernelRow>& rows) {
+    os << std::left << std::setw(24) << "kernel" << std::right
+       << std::setw(8) << "calls" << std::setw(11) << "wall_ms"
+       << std::setw(11) << "MB" << std::setw(9) << "GB/s"
+       << std::setw(7) << "IPC" << std::setw(10) << "cache_mr" << "\n";
+    for (const auto& r : rows) {
+      os << std::left << std::setw(24) << r.name << std::right
+         << std::setw(8) << r.calls << std::setw(11) << std::fixed
+         << std::setprecision(4) << r.wall_seconds * 1e3 << std::setw(11)
+         << std::setprecision(3) << static_cast<double>(r.bytes) / 1e6
+         << std::setw(9) << std::setprecision(2) << r.gbps();
+      if (r.has_perf) {
+        os << std::setw(7) << std::setprecision(2) << r.ipc << std::setw(10)
+           << std::setprecision(4) << r.cache_miss_rate;
+      } else {
+        os << std::setw(7) << "-" << std::setw(10) << "-";
+      }
+      os << "\n";
+    }
   }
 
  private:

@@ -18,7 +18,7 @@
 #include <limits>
 #include <vector>
 
-#include "obs/trace.hpp"
+#include "obs/obs_scope.hpp"
 #include "tensor/blocked_ops.hpp"
 #include "tensor/csr_matrix.hpp"
 #include "tensor/dense_matrix.hpp"
@@ -34,7 +34,12 @@ namespace agnn {
 template <typename T>
 void psi_va(const CsrMatrix<T>& a, const DenseMatrix<T>& h, CsrMatrix<T>& out,
             const KernelSchedule* sched = nullptr) {
-  AGNN_TRACE_SCOPE("psi_va", kKernel);
+  AGNN_KERNEL_SCOPE("psi_va",
+                    obs::sddmm_traffic_bytes(
+                        static_cast<std::uint64_t>(a.nnz()),
+                        static_cast<std::uint64_t>(a.rows()),
+                        static_cast<std::uint64_t>(h.cols()), sizeof(T),
+                        sizeof(index_t)));
   sddmm(a, h, h, out, sched);
 }
 
@@ -58,7 +63,13 @@ template <typename T>
 void psi_agnn(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
               std::span<const T> norms, CsrMatrix<T>& out,
               const KernelSchedule* sched = nullptr) {
-  AGNN_TRACE_SCOPE("psi_agnn", kKernel);
+  AGNN_KERNEL_SCOPE("psi_agnn",
+                    obs::sddmm_traffic_bytes(
+                        static_cast<std::uint64_t>(a.nnz()),
+                        static_cast<std::uint64_t>(a.rows()),
+                        static_cast<std::uint64_t>(h.cols()), sizeof(T),
+                        sizeof(index_t)) +
+                        2 * static_cast<std::uint64_t>(a.nnz()) * sizeof(T));
   AGNN_ASSERT(a.rows() == h.rows() && a.cols() == h.rows(),
               "psi_agnn: A must be n x n matching H's rows");
   AGNN_ASSERT(static_cast<index_t>(norms.size()) == h.rows(), "psi_agnn: norms size");
@@ -112,7 +123,12 @@ template <typename T>
 void psi_gat(const CsrMatrix<T>& a, std::span<const T> s1, std::span<const T> s2,
              T leaky_slope, CsrMatrix<T>& scores_pre, CsrMatrix<T>& psi,
              const KernelSchedule* sched = nullptr) {
-  AGNN_TRACE_SCOPE("psi_gat", kKernel);
+  AGNN_KERNEL_SCOPE("psi_gat",
+                    2 * obs::csr_pass_bytes(
+                            static_cast<std::uint64_t>(a.nnz()),
+                            static_cast<std::uint64_t>(a.rows()), sizeof(T),
+                            sizeof(index_t)) +
+                        2 * static_cast<std::uint64_t>(a.nnz()) * sizeof(T));
   AGNN_ASSERT(static_cast<index_t>(s1.size()) == a.rows(), "psi_gat: s1 size");
   AGNN_ASSERT(static_cast<index_t>(s2.size()) == a.cols(), "psi_gat: s2 size");
   AGNN_ASSERT(&scores_pre != &psi, "psi_gat: outputs must be distinct");
@@ -157,7 +173,15 @@ template <typename T>
 void fused_va_aggregate(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
                         const DenseMatrix<T>& x, DenseMatrix<T>& out,
                         const KernelSchedule* sched = nullptr) {
-  AGNN_TRACE_SCOPE("fused_va_aggregate", kKernel);
+  AGNN_KERNEL_SCOPE("fused_va_aggregate",
+                    obs::sddmm_traffic_bytes(
+                        static_cast<std::uint64_t>(a.nnz()),
+                        static_cast<std::uint64_t>(a.rows()),
+                        static_cast<std::uint64_t>(h.cols()), sizeof(T),
+                        sizeof(index_t)) +
+                        (static_cast<std::uint64_t>(a.nnz()) +
+                         static_cast<std::uint64_t>(a.rows())) *
+                            static_cast<std::uint64_t>(x.cols()) * sizeof(T));
   AGNN_ASSERT(a.rows() == h.rows() && a.cols() == h.rows(), "fused_va: shape");
   AGNN_ASSERT(a.cols() == x.rows(), "fused_va: aggregation input shape");
   AGNN_ASSERT(&out != &h && &out != &x, "fused_va: output cannot alias an input");
@@ -246,7 +270,14 @@ void fused_gat_aggregate(const CsrMatrix<T>& a, std::span<const T> s1,
                          std::span<const T> s2, T leaky_slope,
                          const DenseMatrix<T>& x, DenseMatrix<T>& out,
                          const KernelSchedule* sched = nullptr) {
-  AGNN_TRACE_SCOPE("fused_gat_aggregate", kKernel);
+  AGNN_KERNEL_SCOPE("fused_gat_aggregate",
+                    obs::csr_pass_bytes(static_cast<std::uint64_t>(a.nnz()),
+                                        static_cast<std::uint64_t>(a.rows()),
+                                        sizeof(T), sizeof(index_t)) +
+                        2 * static_cast<std::uint64_t>(a.nnz()) * sizeof(T) +
+                        (static_cast<std::uint64_t>(a.nnz()) +
+                         static_cast<std::uint64_t>(a.rows())) *
+                            static_cast<std::uint64_t>(x.cols()) * sizeof(T));
   AGNN_ASSERT(a.cols() == x.rows(), "fused_gat: aggregation input shape");
   AGNN_ASSERT(&out != &x, "fused_gat: output cannot alias an input");
   const index_t n = a.rows(), kx = x.cols();

@@ -18,7 +18,7 @@
 #include <omp.h>
 #endif
 
-#include "obs/trace.hpp"
+#include "obs/obs_scope.hpp"
 #include "tensor/blocked_ops.hpp"
 #include "tensor/csr_matrix.hpp"
 #include "tensor/dense_matrix.hpp"
@@ -51,7 +51,12 @@ template <typename T>
 void sddmm(const CsrMatrix<T>& pattern, const DenseMatrix<T>& x,
            const DenseMatrix<T>& y, CsrMatrix<T>& out,
            const KernelSchedule* sched = nullptr) {
-  AGNN_TRACE_SCOPE("sddmm", kKernel);
+  AGNN_KERNEL_SCOPE("sddmm",
+                    obs::sddmm_traffic_bytes(
+                        static_cast<std::uint64_t>(pattern.nnz()),
+                        static_cast<std::uint64_t>(pattern.rows()),
+                        static_cast<std::uint64_t>(x.cols()), sizeof(T),
+                        sizeof(index_t)));
   AGNN_ASSERT(pattern.rows() == x.rows(), "sddmm: row dimension mismatch");
   AGNN_ASSERT(pattern.cols() == y.rows(), "sddmm: col dimension mismatch");
   AGNN_ASSERT(x.cols() == y.cols(), "sddmm: inner dimension mismatch");
@@ -96,7 +101,12 @@ template <typename T>
 void sddmm_unweighted(const CsrMatrix<T>& pattern, const DenseMatrix<T>& x,
                       const DenseMatrix<T>& y, CsrMatrix<T>& out,
                       const KernelSchedule* sched = nullptr) {
-  AGNN_TRACE_SCOPE("sddmm_unweighted", kKernel);
+  AGNN_KERNEL_SCOPE("sddmm_unweighted",
+                    obs::sddmm_traffic_bytes(
+                        static_cast<std::uint64_t>(pattern.nnz()),
+                        static_cast<std::uint64_t>(pattern.rows()),
+                        static_cast<std::uint64_t>(x.cols()), sizeof(T),
+                        sizeof(index_t)));
   AGNN_ASSERT(pattern.rows() == x.rows(), "sddmm: row dimension mismatch");
   AGNN_ASSERT(pattern.cols() == y.rows(), "sddmm: col dimension mismatch");
   AGNN_ASSERT(x.cols() == y.cols(), "sddmm: inner dimension mismatch");
@@ -133,7 +143,11 @@ CsrMatrix<T> sddmm_unweighted(const CsrMatrix<T>& pattern, const DenseMatrix<T>&
 template <typename T>
 void hadamard_same_pattern(const CsrMatrix<T>& a, const CsrMatrix<T>& b,
                            CsrMatrix<T>& out) {
-  AGNN_TRACE_SCOPE("hadamard_same_pattern", kKernel);
+  AGNN_KERNEL_SCOPE("hadamard_same_pattern",
+                    3 * obs::csr_pass_bytes(
+                            static_cast<std::uint64_t>(a.nnz()),
+                            static_cast<std::uint64_t>(a.rows()), sizeof(T),
+                            sizeof(index_t)));
   AGNN_ASSERT(a.same_pattern(b), "hadamard: patterns must match");
   if (&out != &a && &out != &b) out = a;
   auto v = out.vals_mutable();
@@ -176,7 +190,11 @@ CsrMatrix<T> map_values(const CsrMatrix<T>& a, F&& f) {
 template <typename T>
 void sparse_row_sums(const CsrMatrix<T>& a, std::vector<T>& s,
                      const KernelSchedule* sched = nullptr) {
-  AGNN_TRACE_SCOPE("sparse_row_sums", kKernel);
+  AGNN_KERNEL_SCOPE("sparse_row_sums",
+                    obs::csr_pass_bytes(static_cast<std::uint64_t>(a.nnz()),
+                                        static_cast<std::uint64_t>(a.rows()),
+                                        sizeof(T), sizeof(index_t)) +
+                        static_cast<std::uint64_t>(a.rows()) * sizeof(T));
   s.resize(static_cast<std::size_t>(a.rows()));
   std::shared_ptr<const KernelSchedule> owned;
   sched = detail::resolve_schedule(a, sched, owned);
@@ -241,7 +259,11 @@ std::vector<T> sparse_row_sums(const CsrMatrix<T>& a) {
 // more than the sums.
 template <typename T>
 void sparse_col_sums(const CsrMatrix<T>& a, std::vector<T>& s) {
-  AGNN_TRACE_SCOPE("sparse_col_sums", kKernel);
+  AGNN_KERNEL_SCOPE("sparse_col_sums",
+                    obs::csr_pass_bytes(static_cast<std::uint64_t>(a.nnz()),
+                                        static_cast<std::uint64_t>(a.rows()),
+                                        sizeof(T), sizeof(index_t)) +
+                        static_cast<std::uint64_t>(a.cols()) * sizeof(T));
   const std::size_t cols = static_cast<std::size_t>(a.cols());
   s.assign(cols, T(0));
 #if defined(_OPENMP)
@@ -298,7 +320,11 @@ std::vector<T> sparse_col_sums(const CsrMatrix<T>& a) {
 // The replication rs_n stays virtual: only the n-vector of row sums exists.
 template <typename T>
 void row_softmax_inplace(CsrMatrix<T>& x, const KernelSchedule* sched = nullptr) {
-  AGNN_TRACE_SCOPE("row_softmax", kKernel);
+  AGNN_KERNEL_SCOPE("row_softmax",
+                    2 * obs::csr_pass_bytes(
+                            static_cast<std::uint64_t>(x.nnz()),
+                            static_cast<std::uint64_t>(x.rows()), sizeof(T),
+                            sizeof(index_t)));
   auto v = x.vals_mutable();
   std::shared_ptr<const KernelSchedule> owned;
   sched = detail::resolve_schedule(x, sched, owned);
@@ -421,7 +447,11 @@ CsrMatrix<T> row_softmax(const CsrMatrix<T>& x) {
 template <typename T>
 void row_softmax_backward(const CsrMatrix<T>& s, const CsrMatrix<T>& ds,
                           CsrMatrix<T>& dx, const KernelSchedule* sched = nullptr) {
-  AGNN_TRACE_SCOPE("row_softmax_backward", kKernel);
+  AGNN_KERNEL_SCOPE("row_softmax_backward",
+                    3 * obs::csr_pass_bytes(
+                            static_cast<std::uint64_t>(s.nnz()),
+                            static_cast<std::uint64_t>(s.rows()), sizeof(T),
+                            sizeof(index_t)));
   AGNN_ASSERT(s.same_pattern(ds), "softmax backward: patterns must match");
   if (&dx != &s && &dx != &ds) dx = s;
   auto v = dx.vals_mutable();
@@ -502,7 +532,12 @@ template <typename T>
 void scale_rows_cols(const CsrMatrix<T>& a, std::span<const T> scale_row,
                      std::span<const T> scale_col, CsrMatrix<T>& out,
                      const KernelSchedule* sched = nullptr) {
-  AGNN_TRACE_SCOPE("scale_rows_cols", kKernel);
+  AGNN_KERNEL_SCOPE("scale_rows_cols",
+                    2 * obs::csr_pass_bytes(
+                            static_cast<std::uint64_t>(a.nnz()),
+                            static_cast<std::uint64_t>(a.rows()), sizeof(T),
+                            sizeof(index_t)) +
+                        2 * static_cast<std::uint64_t>(a.nnz()) * sizeof(T));
   AGNN_ASSERT(static_cast<index_t>(scale_row.size()) == a.rows(), "row scale size");
   AGNN_ASSERT(static_cast<index_t>(scale_col.size()) == a.cols(), "col scale size");
   if (&out != &a) out = a;
@@ -530,7 +565,11 @@ CsrMatrix<T> scale_rows_cols(const CsrMatrix<T>& a, std::span<const T> scale_row
 // the VA backward pass N_+ = N + N^T). The result's pattern is the union.
 template <typename T>
 CsrMatrix<T> add_transpose(const CsrMatrix<T>& x) {
-  AGNN_TRACE_SCOPE("add_transpose", kKernel);
+  AGNN_KERNEL_SCOPE("add_transpose",
+                    4 * obs::csr_pass_bytes(
+                            static_cast<std::uint64_t>(x.nnz()),
+                            static_cast<std::uint64_t>(x.rows()), sizeof(T),
+                            sizeof(index_t)));
   AGNN_ASSERT(x.rows() == x.cols(), "add_transpose: matrix must be square");
   const CsrMatrix<T> xt = x.transposed();
   CooMatrix<T> coo = x.to_coo();

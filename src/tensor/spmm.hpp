@@ -13,7 +13,7 @@
 
 #include <vector>
 
-#include "obs/trace.hpp"
+#include "obs/obs_scope.hpp"
 #include "tensor/blocked_ops.hpp"
 #include "tensor/csr_matrix.hpp"
 #include "tensor/dense_matrix.hpp"
@@ -33,7 +33,12 @@ namespace agnn {
 template <typename S, typename T>
 void spmm_semiring(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
                    DenseMatrix<T>& out, const KernelSchedule* sched = nullptr) {
-  AGNN_TRACE_SCOPE("spmm_semiring", kKernel);
+  AGNN_KERNEL_SCOPE("spmm_semiring",
+                    obs::spmm_traffic_bytes(
+                        static_cast<std::uint64_t>(a.nnz()),
+                        static_cast<std::uint64_t>(a.rows()),
+                        static_cast<std::uint64_t>(h.cols()), sizeof(T),
+                        sizeof(index_t)));
   AGNN_ASSERT(a.cols() == h.rows(), "spmm: dimension mismatch");
   const index_t n = a.rows(), k = h.cols();
   out.resize(n, k);
@@ -172,7 +177,11 @@ void spmm_chunked(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
 template <typename T>
 void spmm(const CsrMatrix<T>& a, const DenseMatrix<T>& h, DenseMatrix<T>& out,
           const KernelSchedule* sched = nullptr) {
-  AGNN_TRACE_SCOPE("spmm", kKernel);
+  AGNN_KERNEL_SCOPE("spmm", obs::spmm_traffic_bytes(
+                                static_cast<std::uint64_t>(a.nnz()),
+                                static_cast<std::uint64_t>(a.rows()),
+                                static_cast<std::uint64_t>(h.cols()),
+                                sizeof(T), sizeof(index_t)));
   AGNN_ASSERT(a.cols() == h.rows(), "spmm: dimension mismatch");
   const index_t n = a.rows(), k = h.cols();
   // AGNN_FORMAT dispatch: the blocked kernels are bitwise-identical to the
@@ -227,7 +236,12 @@ DenseMatrix<T> spmm(const CsrMatrix<T>& a, const DenseMatrix<T>& h) {
 template <typename T>
 void spmm_accumulate(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
                      DenseMatrix<T>& out, const KernelSchedule* sched = nullptr) {
-  AGNN_TRACE_SCOPE("spmm_accumulate", kKernel);
+  AGNN_KERNEL_SCOPE("spmm_accumulate",
+                    obs::spmm_traffic_bytes(
+                        static_cast<std::uint64_t>(a.nnz()),
+                        static_cast<std::uint64_t>(a.rows()),
+                        static_cast<std::uint64_t>(h.cols()), sizeof(T),
+                        sizeof(index_t)));
   AGNN_ASSERT(a.cols() == h.rows(), "spmm_accumulate: dimension mismatch");
   AGNN_ASSERT(out.rows() == a.rows() && out.cols() == h.cols(),
               "spmm_accumulate: output shape mismatch");
@@ -290,7 +304,16 @@ DenseMatrix<T> aggregate(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
 template <typename T>
 void spmmm(const CsrMatrix<T>& a, const DenseMatrix<T>& h, const DenseMatrix<T>& w,
            DenseMatrix<T>& scratch, DenseMatrix<T>& out) {
-  AGNN_TRACE_SCOPE("spmmm", kKernel);
+  AGNN_KERNEL_SCOPE(
+      "spmmm",
+      obs::spmm_traffic_bytes(static_cast<std::uint64_t>(a.nnz()),
+                              static_cast<std::uint64_t>(a.rows()),
+                              static_cast<std::uint64_t>(h.cols()), sizeof(T),
+                              sizeof(index_t)) +
+          obs::gemm_traffic_bytes(static_cast<std::uint64_t>(a.rows()),
+                                  static_cast<std::uint64_t>(w.rows()),
+                                  static_cast<std::uint64_t>(w.cols()),
+                                  sizeof(T)));
   // Checked up front so a mismatch names spmmm instead of surfacing from an
   // inner spmm/matmul with a misleading message.
   AGNN_ASSERT(a.cols() == h.rows(), "spmmm: A.cols must match H.rows");
@@ -324,7 +347,16 @@ DenseMatrix<T> spmmm(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
 template <typename T>
 void mspmm(const DenseMatrix<T>& x, const CsrMatrix<T>& a, const DenseMatrix<T>& y,
            DenseMatrix<T>& scratch, DenseMatrix<T>& out) {
-  AGNN_TRACE_SCOPE("mspmm", kKernel);
+  AGNN_KERNEL_SCOPE(
+      "mspmm",
+      obs::spmm_traffic_bytes(static_cast<std::uint64_t>(a.nnz()),
+                              static_cast<std::uint64_t>(a.rows()),
+                              static_cast<std::uint64_t>(y.cols()), sizeof(T),
+                              sizeof(index_t)) +
+          obs::gemm_traffic_bytes(static_cast<std::uint64_t>(x.cols()),
+                                  static_cast<std::uint64_t>(x.rows()),
+                                  static_cast<std::uint64_t>(y.cols()),
+                                  sizeof(T)));
   AGNN_ASSERT(x.rows() == a.rows() && a.cols() == y.rows(),
               "mspmm: dimension mismatch");
   AGNN_ASSERT(&scratch != &out, "mspmm: scratch and out must be distinct");

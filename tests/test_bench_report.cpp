@@ -1,0 +1,280 @@
+// The machine-readable bench layer: JSON parser, report write→parse
+// round-trip, and the perf-gate comparison policy (the same code path
+// bench_compare and the CI gate run).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/json.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/metrics.hpp"
+
+namespace agnn {
+namespace {
+
+// ---- core/json.hpp --------------------------------------------------------
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(json::parse("null").is_null());
+  EXPECT_TRUE(json::parse("true").as_bool());
+  EXPECT_FALSE(json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(json::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(json::parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructure) {
+  const json::Value v = json::parse(
+      R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "e": "x"})");
+  const json::Array& a = v.at("a").as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[0].as_number(), 1.0);
+  EXPECT_TRUE(a[2].at("b").as_bool());
+  EXPECT_TRUE(v.at("c").at("d").is_null());
+  EXPECT_EQ(v.at("e").as_string(), "x");
+  EXPECT_EQ(v.get("zzz"), nullptr);
+  EXPECT_THROW(v.at("zzz"), std::runtime_error);
+}
+
+TEST(Json, StringEscapes) {
+  const json::Value v =
+      json::parse(R"("line\nquote\"back\\slash\ttab\u0041\u00e9")");
+  EXPECT_EQ(v.as_string(), "line\nquote\"back\\slash\ttabA\xc3\xa9");
+}
+
+TEST(Json, EscapeWriterRoundTrips) {
+  std::ostringstream os;
+  json::escape(os, "a\"b\\c\nd\te\x01f");
+  const json::Value v = json::parse(os.str());
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nd\te\x01f");
+}
+
+TEST(Json, MalformedInputThrows) {
+  EXPECT_THROW(json::parse(""), std::runtime_error);
+  EXPECT_THROW(json::parse("{"), std::runtime_error);
+  EXPECT_THROW(json::parse("[1, 2"), std::runtime_error);
+  EXPECT_THROW(json::parse("{\"a\": }"), std::runtime_error);
+  EXPECT_THROW(json::parse("{\"a\": 1,}"), std::runtime_error);  // trailing ,
+  EXPECT_THROW(json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(json::parse("tru"), std::runtime_error);
+  EXPECT_THROW(json::parse("1 2"), std::runtime_error);  // trailing content
+  EXPECT_THROW(json::parse("\"\\ud800\""), std::runtime_error);  // surrogate
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const json::Value v = json::parse("42");
+  EXPECT_THROW(v.as_string(), std::runtime_error);
+  EXPECT_THROW(v.as_array(), std::runtime_error);
+  EXPECT_THROW(v.as_object(), std::runtime_error);
+}
+
+// ---- report write → parse round-trip --------------------------------------
+
+namespace bench = obs::bench;
+
+bench::BenchReport sample_report() {
+  bench::BenchReport r;
+  r.context.git_sha = "abc123def456";
+  r.context.compiler = "g++ \"quoted\" 12.2";
+  r.context.cxx_flags = "-O3 -DNDEBUG";
+  r.context.cpu_model = "Test CPU @ 3.0GHz";
+  r.context.hardware_threads = 16;
+  r.context.omp_threads = 8;
+  r.context.perf_available = true;
+  bench::BenchEntry e;
+  e.name = "Spmm/1024/16";
+  e.samples_ns = {1500.0, 1200.0, 1800.0, 1100.0, 1300.0};
+  bench::finalize(e);
+  e.counters["p99_ns"] = 1790.0;
+  e.counters["GBps"] = 12.5;
+  r.benchmarks.push_back(e);
+  return r;
+}
+
+TEST(BenchReport, FinalizeComputesStats) {
+  bench::BenchEntry e;
+  e.samples_ns = {5.0, 1.0, 3.0, 2.0, 4.0};
+  bench::finalize(e);
+  EXPECT_EQ(e.repetitions, 5);
+  EXPECT_DOUBLE_EQ(e.median_ns, 3.0);
+  EXPECT_DOUBLE_EQ(e.min_ns, 1.0);
+  bench::BenchEntry even;
+  even.samples_ns = {4.0, 1.0, 3.0, 2.0};
+  bench::finalize(even);
+  EXPECT_DOUBLE_EQ(even.median_ns, 2.5);
+}
+
+TEST(BenchReport, WriteParseRoundTrip) {
+  const bench::BenchReport r = sample_report();
+  std::ostringstream os;
+  bench::write_json(os, r);
+  const bench::BenchReport back = bench::parse_report(os.str());
+  EXPECT_EQ(back.schema_version, bench::kSchemaVersion);
+  EXPECT_EQ(back.context.git_sha, r.context.git_sha);
+  EXPECT_EQ(back.context.compiler, r.context.compiler);
+  EXPECT_EQ(back.context.cpu_model, r.context.cpu_model);
+  EXPECT_EQ(back.context.hardware_threads, 16);
+  EXPECT_EQ(back.context.omp_threads, 8);
+  EXPECT_TRUE(back.context.perf_available);
+  ASSERT_EQ(back.benchmarks.size(), 1u);
+  const bench::BenchEntry& e = back.benchmarks[0];
+  EXPECT_EQ(e.name, "Spmm/1024/16");
+  EXPECT_EQ(e.repetitions, 5);
+  ASSERT_EQ(e.samples_ns.size(), 5u);
+  EXPECT_DOUBLE_EQ(e.median_ns, 1300.0);
+  EXPECT_DOUBLE_EQ(e.min_ns, 1100.0);
+  EXPECT_DOUBLE_EQ(e.counters.at("p99_ns"), 1790.0);
+  EXPECT_DOUBLE_EQ(e.counters.at("GBps"), 12.5);
+}
+
+TEST(BenchReport, SchemaVersionMismatchThrows) {
+  std::ostringstream os;
+  bench::write_json(os, sample_report());
+  std::string text = os.str();
+  const auto pos = text.find("\"schema_version\": 1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 19, "\"schema_version\": 9");
+  EXPECT_THROW(bench::parse_report(text), std::runtime_error);
+}
+
+TEST(BenchReport, TruncatedReportThrows) {
+  std::ostringstream os;
+  bench::write_json(os, sample_report());
+  const std::string text = os.str();
+  EXPECT_THROW(bench::parse_report(text.substr(0, text.size() / 2)),
+               std::runtime_error);
+}
+
+TEST(BenchReport, HistogramsSnapshotRoundTrips) {
+  obs::MetricsRegistry reg;
+  for (int i = 1; i <= 100; ++i) {
+    reg.observe("kernel.test.ns", static_cast<std::uint64_t>(i) * 1000);
+  }
+  reg.counter("some.counter").add(7);  // non-histograms must be excluded
+  const std::string snap = bench::histograms_snapshot_json(reg);
+  ASSERT_FALSE(snap.empty());
+  const json::Value v = json::parse(snap);
+  ASSERT_EQ(v.as_object().size(), 1u);
+  const json::Value& h = v.at("kernel.test.ns");
+  EXPECT_EQ(h.at("count").as_u64(), 100u);
+  EXPECT_EQ(h.at("min").as_u64(), 1000u);
+  EXPECT_EQ(h.at("max").as_u64(), 100000u);
+  EXPECT_GE(h.at("p99").as_u64(), 99000u);
+
+  // And it embeds verbatim into a full report.
+  bench::BenchReport r = sample_report();
+  r.histograms_json = snap;
+  std::ostringstream os;
+  bench::write_json(os, r);
+  const json::Value doc = json::parse(os.str());
+  EXPECT_EQ(doc.at("histograms").at("kernel.test.ns").at("count").as_u64(),
+            100u);
+}
+
+TEST(BenchReport, EmptyRegistrySnapshotIsEmpty) {
+  obs::MetricsRegistry reg;
+  reg.counter("only.a.counter").add(1);
+  EXPECT_TRUE(bench::histograms_snapshot_json(reg).empty());
+}
+
+// ---- compare(): the gate policy -------------------------------------------
+
+bench::BenchReport report_with(const std::string& name, double base_ns) {
+  bench::BenchReport r;
+  bench::BenchEntry e;
+  e.name = name;
+  e.samples_ns = {base_ns * 1.1, base_ns, base_ns * 1.05};
+  bench::finalize(e);
+  r.benchmarks.push_back(e);
+  return r;
+}
+
+TEST(BenchCompare, SelfCompareIsClean) {
+  const bench::BenchReport r = report_with("K/1", 1e6);
+  const bench::CompareResult res = bench::compare(r, r);
+  EXPECT_TRUE(res.ok());
+  ASSERT_EQ(res.rows.size(), 1u);
+  EXPECT_FALSE(res.rows[0].regressed);
+  EXPECT_DOUBLE_EQ(res.rows[0].median_ratio, 1.0);
+}
+
+TEST(BenchCompare, TwoXSlowdownRegresses) {
+  const bench::BenchReport base = report_with("K/1", 1e6);
+  const bench::BenchReport slow = report_with("K/1", 2e6);
+  const bench::CompareResult res = bench::compare(base, slow);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.regressions, 1);
+  EXPECT_TRUE(res.rows[0].regressed);
+  EXPECT_NEAR(res.rows[0].median_ratio, 2.0, 1e-9);
+}
+
+TEST(BenchCompare, WithinToleranceIsClean) {
+  const bench::BenchReport base = report_with("K/1", 1e6);
+  const bench::BenchReport cur = report_with("K/1", 1.25e6);  // < 1.30x
+  EXPECT_TRUE(bench::compare(base, cur).ok());
+}
+
+TEST(BenchCompare, SubFloorDeltaNeverRegresses) {
+  // 3x slower but only 200 ns absolute: under the 1000 ns floor.
+  const bench::BenchReport base = report_with("Tiny/1", 100.0);
+  const bench::BenchReport slow = report_with("Tiny/1", 300.0);
+  EXPECT_TRUE(bench::compare(base, slow).ok());
+}
+
+TEST(BenchCompare, MedianSpikeAloneIsNoise) {
+  // Median doubled but the min held: the scheduler-hiccup signature the
+  // two-statistic AND rule exists to absorb.
+  bench::BenchReport base;
+  bench::BenchEntry b;
+  b.name = "K/1";
+  b.samples_ns = {1e6, 1e6, 1e6};
+  bench::finalize(b);
+  base.benchmarks.push_back(b);
+  bench::BenchReport cur;
+  bench::BenchEntry c;
+  c.name = "K/1";
+  c.samples_ns = {2e6, 2e6, 1.02e6};  // min barely moved
+  bench::finalize(c);
+  cur.benchmarks.push_back(c);
+  const bench::CompareResult res = bench::compare(base, cur);
+  EXPECT_TRUE(res.ok());
+  EXPECT_FALSE(res.rows[0].regressed);
+}
+
+TEST(BenchCompare, MissingAndAddedAreReportedNotFailed) {
+  bench::BenchReport base = report_with("Old/1", 1e6);
+  bench::BenchReport cur = report_with("New/1", 1e6);
+  const bench::CompareResult res = bench::compare(base, cur);
+  EXPECT_TRUE(res.ok());
+  ASSERT_EQ(res.missing.size(), 1u);
+  EXPECT_EQ(res.missing[0], "Old/1");
+  ASSERT_EQ(res.added.size(), 1u);
+  EXPECT_EQ(res.added[0], "New/1");
+  EXPECT_TRUE(res.rows.empty());
+}
+
+TEST(BenchCompare, CustomToleranceApplies) {
+  const bench::BenchReport base = report_with("K/1", 1e6);
+  const bench::BenchReport cur = report_with("K/1", 3e6);
+  bench::CompareOptions loose;
+  loose.tolerance = 4.0;
+  EXPECT_TRUE(bench::compare(base, cur, loose).ok());
+  bench::CompareOptions strict;
+  strict.tolerance = 1.1;
+  EXPECT_FALSE(bench::compare(base, cur, strict).ok());
+}
+
+TEST(BenchCompare, PrintSummarizesVerdict) {
+  const bench::BenchReport base = report_with("K/1", 1e6);
+  const bench::BenchReport slow = report_with("K/1", 2e6);
+  const bench::CompareResult res = bench::compare(base, slow);
+  std::ostringstream os;
+  bench::print_compare(os, res, {});
+  const std::string text = os.str();
+  EXPECT_NE(text.find("REGRESSED K/1"), std::string::npos);
+  EXPECT_NE(text.find("FAIL: 1 regression(s)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace agnn

@@ -1,0 +1,306 @@
+// Histogram correctness: quantiles against an exact sorted-sample oracle,
+// bucket math, bitwise merge algebra, concurrent recording.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace agnn::obs {
+namespace {
+
+// Exact oracle: the upper edge of the bucket containing the k-th smallest
+// sample, k = clamp(round(q*n), 1, n) — the histogram's documented estimate.
+// The assertion every distribution test makes: the histogram's answer must
+// equal the oracle value's bucket upper edge (<=3.125% relative error by
+// construction), clamped to the true max.
+std::uint64_t oracle_quantile(std::vector<std::uint64_t> sorted, double q) {
+  const std::uint64_t n = sorted.size();
+  if (n == 0) return 0;
+  std::uint64_t target =
+      static_cast<std::uint64_t>(q * static_cast<double>(n) + 0.5);
+  target = std::clamp<std::uint64_t>(target, 1, n);
+  const std::uint64_t exact = sorted[target - 1];
+  return std::min(Histogram::bucket_upper(Histogram::bucket_index(exact)),
+                  sorted.back());
+}
+
+void check_against_oracle(const std::vector<std::uint64_t>& samples) {
+  Histogram h;
+  for (const std::uint64_t v : samples) h.record(v);
+  std::vector<std::uint64_t> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(h.quantile(q), oracle_quantile(sorted, q)) << "q=" << q;
+  }
+  EXPECT_EQ(h.count(), samples.size());
+  EXPECT_EQ(h.min(), sorted.front());
+  EXPECT_EQ(h.max(), sorted.back());
+}
+
+TEST(Histogram, BucketIndexIsMonotoneAndExactBelowUnitRange) {
+  for (std::uint64_t v = 0; v < Histogram::kUnitBuckets; ++v) {
+    EXPECT_EQ(Histogram::bucket_index(v), v);
+    EXPECT_EQ(Histogram::bucket_upper(Histogram::bucket_index(v)), v);
+  }
+  std::size_t prev = 0;
+  for (std::uint64_t v : {64ull, 65ull, 127ull, 128ull, 1000ull, 4096ull,
+                          1ull << 20, (1ull << 20) + 1, 1ull << 40,
+                          ~0ull >> 1, ~0ull}) {
+    const std::size_t idx = Histogram::bucket_index(v);
+    EXPECT_LT(idx, Histogram::kBucketCount);
+    EXPECT_GE(idx, prev);
+    prev = idx;
+    // v lands in a bucket whose upper edge is >= v and within the promised
+    // relative width of v.
+    const std::uint64_t upper = Histogram::bucket_upper(idx);
+    EXPECT_GE(upper, v);
+    EXPECT_LE(static_cast<double>(upper - v),
+              static_cast<double>(v) / Histogram::kSubBuckets + 1.0);
+  }
+}
+
+TEST(Histogram, EveryBucketRoundTrips) {
+  // bucket_upper(i) must itself map back to bucket i (self-consistency of
+  // the two static functions over the whole table).
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    const std::uint64_t upper = Histogram::bucket_upper(i);
+    EXPECT_EQ(Histogram::bucket_index(upper), i) << "bucket " << i;
+  }
+}
+
+TEST(Histogram, EmptyHistogramReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.p999(), 0u);
+}
+
+TEST(Histogram, SingleSampleAllQuantilesEqualIt) {
+  Histogram h;
+  h.record(12345);
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.quantile(q), 12345u) << "q=" << q;  // clamped to max
+  }
+  EXPECT_EQ(h.min(), 12345u);
+  EXPECT_EQ(h.mean(), 12345.0);
+}
+
+TEST(Histogram, ConstantDistribution) {
+  check_against_oracle(std::vector<std::uint64_t>(1000, 777));
+}
+
+TEST(Histogram, BimodalDistribution) {
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 900; ++i) samples.push_back(100 + i % 7);
+  for (int i = 0; i < 100; ++i) samples.push_back(1'000'000 + i * 13);
+  check_against_oracle(samples);
+}
+
+TEST(Histogram, HeavyTailDistribution) {
+  std::mt19937_64 rng(42);
+  std::lognormal_distribution<double> tail(8.0, 2.5);
+  std::vector<std::uint64_t> samples;
+  samples.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(static_cast<std::uint64_t>(tail(rng)));
+  }
+  check_against_oracle(samples);
+}
+
+TEST(Histogram, UniformDistributionOracle) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::uint64_t> u(0, 1u << 22);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 10000; ++i) samples.push_back(u(rng));
+  check_against_oracle(samples);
+}
+
+TEST(Histogram, QuantileNeverExceedsMax) {
+  Histogram h;
+  // A value just above a bucket's lower edge: the bucket upper edge would
+  // overshoot; the quantile must clamp to the recorded max.
+  h.record((1u << 20) + 1);
+  EXPECT_EQ(h.p999(), (1u << 20) + 1);
+}
+
+TEST(Histogram, RelativeErrorBound) {
+  // Against the *true* empirical quantile (not the bucketized oracle), the
+  // estimate is within the documented 1/kSubBuckets relative error, and
+  // never below the true value (upper-edge bias).
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<std::uint64_t> u(1000, 50'000'000);
+  Histogram h;
+  std::vector<std::uint64_t> sorted;
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t v = u(rng);
+    h.record(v);
+    sorted.push_back(v);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    std::uint64_t target =
+        static_cast<std::uint64_t>(q * static_cast<double>(sorted.size()) + 0.5);
+    target = std::clamp<std::uint64_t>(target, 1, sorted.size());
+    const double exact = static_cast<double>(sorted[target - 1]);
+    const double est = static_cast<double>(h.quantile(q));
+    EXPECT_GE(est, exact) << "q=" << q;
+    EXPECT_LE(est, exact * (1.0 + 1.0 / Histogram::kSubBuckets) + 1.0)
+        << "q=" << q;
+  }
+}
+
+// ---- merge algebra --------------------------------------------------------
+
+std::vector<std::uint64_t> bucket_snapshot(const Histogram& h) {
+  std::vector<std::uint64_t> out(Histogram::kBucketCount + 4);
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    out[i] = h.bucket_count(i);
+  }
+  out[Histogram::kBucketCount + 0] = h.count();
+  out[Histogram::kBucketCount + 1] = h.sum();
+  out[Histogram::kBucketCount + 2] = h.min();
+  out[Histogram::kBucketCount + 3] = h.max();
+  return out;
+}
+
+void fill(Histogram& h, std::uint64_t seed, int n) {
+  std::mt19937_64 rng(seed);
+  std::lognormal_distribution<double> d(6.0, 2.0);
+  for (int i = 0; i < n; ++i) {
+    h.record(static_cast<std::uint64_t>(d(rng)));
+  }
+}
+
+TEST(HistogramMerge, CommutativeBitwise) {
+  Histogram a1, b1, a2, b2;
+  fill(a1, 1, 5000);
+  fill(a2, 1, 5000);
+  fill(b1, 2, 3000);
+  fill(b2, 2, 3000);
+  Histogram ab, ba;
+  ab.merge_from(a1);
+  ab.merge_from(b1);
+  ba.merge_from(b2);
+  ba.merge_from(a2);
+  EXPECT_EQ(bucket_snapshot(ab), bucket_snapshot(ba));
+}
+
+TEST(HistogramMerge, AssociativeBitwise) {
+  Histogram a, b, c;
+  fill(a, 10, 4000);
+  fill(b, 11, 4000);
+  fill(c, 12, 4000);
+  // (a + b) + c
+  Histogram ab, abc1;
+  ab.merge_from(a);
+  ab.merge_from(b);
+  abc1.merge_from(ab);
+  abc1.merge_from(c);
+  // a + (b + c)
+  Histogram bc, abc2;
+  bc.merge_from(b);
+  bc.merge_from(c);
+  abc2.merge_from(a);
+  abc2.merge_from(bc);
+  EXPECT_EQ(bucket_snapshot(abc1), bucket_snapshot(abc2));
+}
+
+TEST(HistogramMerge, MergePreservesQuantilesOfUnion) {
+  std::vector<std::uint64_t> all;
+  Histogram parts[3], merged, direct;
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<std::uint64_t> u(1, 1u << 24);
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t v = u(rng);
+      parts[p].record(v);
+      direct.record(v);
+      all.push_back(v);
+    }
+  }
+  for (const auto& p : parts) merged.merge_from(p);
+  EXPECT_EQ(bucket_snapshot(merged), bucket_snapshot(direct));
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(merged.quantile(0.99), oracle_quantile(all, 0.99));
+}
+
+TEST(HistogramMerge, EmptySideIsIdentity) {
+  Histogram a, empty, merged;
+  fill(a, 5, 1000);
+  merged.merge_from(a);
+  merged.merge_from(empty);
+  EXPECT_EQ(bucket_snapshot(merged), bucket_snapshot(a));
+  // min must not be poisoned by the empty side's sentinel.
+  EXPECT_EQ(merged.min(), a.min());
+}
+
+// ---- concurrency ----------------------------------------------------------
+
+TEST(HistogramConcurrency, ParallelRecordersLoseNothing) {
+  // 4 threads x 50k records each; totals and per-bucket sums must be exact
+  // (wait-free relaxed adds never drop). Run under TSan in CI.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  Histogram h;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(t) + 1);
+      std::lognormal_distribution<double> d(7.0, 2.0);
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(d(rng)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    bucket_total += h.bucket_count(i);
+  }
+  EXPECT_EQ(bucket_total, h.count());
+  EXPECT_GE(h.max(), h.quantile(0.999));
+  EXPECT_LE(h.min(), h.quantile(0.001));
+}
+
+TEST(Histogram, ResetRestoresEmptyState) {
+  Histogram h;
+  fill(h, 8, 1000);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  // And it keeps working after the reset.
+  h.record(42);
+  EXPECT_EQ(h.p50(), 42u);
+}
+
+TEST(Histogram, SummaryFormats) {
+  Histogram h;
+  h.record(10);
+  h.record(20);
+  std::ostringstream text;
+  h.summary_text(text);
+  EXPECT_NE(text.str().find("count=2"), std::string::npos);
+  EXPECT_NE(text.str().find("min=10"), std::string::npos);
+  EXPECT_NE(text.str().find("max=20"), std::string::npos);
+  std::ostringstream js;
+  h.summary_json(js);
+  EXPECT_NE(js.str().find("\"count\":2"), std::string::npos);
+  EXPECT_EQ(js.str().front(), '{');
+  EXPECT_EQ(js.str().back(), '}');
+}
+
+}  // namespace
+}  // namespace agnn::obs

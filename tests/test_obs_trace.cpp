@@ -479,6 +479,152 @@ TEST(TraceReport, FlagsComputeCommDeviation) {
   EXPECT_NE(os.str().find("big_gap"), std::string::npos);
 }
 
+TEST(TraceBuffer, DropCountersExportToRegistry) {
+  ScopedTracing tracing;
+  Tracer::instance().set_buffer_capacity(64);
+  std::thread t([] {
+    obs::RankBinding bind(23);
+    for (int i = 0; i < 500; ++i) {
+      AGNN_TRACE_SCOPE("overflow", kKernel);
+    }
+  });
+  t.join();
+  Tracer::instance().set_buffer_capacity(1u << 16);
+  Tracer::set_enabled(false);
+
+  obs::MetricsRegistry reg;
+  const std::uint64_t total = Tracer::instance().export_drop_metrics(reg);
+  EXPECT_GT(total, 0u);
+  EXPECT_EQ(total, Tracer::instance().dropped_events());
+  const obs::Counter* c = reg.find_counter("trace.dropped_spans");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), total);
+  // At least one per-thread breakdown entry exists and they sum to the total.
+  std::uint64_t per_thread = 0;
+  bool any = false;
+  for (std::size_t i = 0; i < 256; ++i) {
+    if (const obs::Counter* ct =
+            reg.find_counter("trace.dropped_spans.t" + std::to_string(i))) {
+      per_thread += ct->value();
+      any = true;
+    }
+  }
+  EXPECT_TRUE(any);
+  EXPECT_EQ(per_thread, total);
+
+  // Watermark semantics: re-export never moves the counters backwards.
+  Tracer::instance().clear();
+  EXPECT_EQ(Tracer::instance().export_drop_metrics(reg), 0u);
+  EXPECT_EQ(reg.find_counter("trace.dropped_spans")->value(), total);
+}
+
+TEST(TraceReport, ExportFlagsBridgesToGauges) {
+  std::vector<TraceEvent> ev;
+  auto push = [&](const char* name, std::uint64_t ts, char ph,
+                  SpanCategory cat, std::uint64_t bytes, std::uint64_t step) {
+    ev.push_back(TraceEvent{name, ts, bytes, step, 0, cat, ph});
+  };
+  push("spmm", 0, 'B', SpanCategory::kKernel, 0, 0);
+  push("spmm", 10'000'000, 'E', SpanCategory::kKernel, 0, 0);
+  push("big_gap", 10'000'000, 'B', SpanCategory::kCollective, 100, 0);
+  push("superstep", 10'000'500, 'i', SpanCategory::kSuperstep, 100, 1);
+  push("big_gap", 10'001'000, 'E', SpanCategory::kCollective, 0, 0);
+
+  obs::TraceReport report(comm::CostModel{1.5e-6, 1.0 / 10.0e9}, 2.0);
+  const auto rows = report.build(ev);
+
+  obs::MetricsRegistry reg;
+  obs::TraceReport::export_flags(rows, reg);
+  const obs::Gauge* n = reg.find_gauge("trace_report.flagged_rows");
+  ASSERT_NE(n, nullptr);
+  EXPECT_DOUBLE_EQ(n->value(), 1.0);
+  const obs::Gauge* dev = reg.find_gauge("trace_report.deviation.big_gap");
+  ASSERT_NE(dev, nullptr);
+  EXPECT_GT(dev->value(), 2.0);
+
+  // No flagged rows -> the count gauge says 0 and no deviation gauges appear.
+  obs::MetricsRegistry clean;
+  obs::TraceReport::export_flags({}, clean);
+  EXPECT_DOUBLE_EQ(clean.find_gauge("trace_report.flagged_rows")->value(), 0.0);
+  EXPECT_EQ(clean.find_gauge("trace_report.deviation.big_gap"), nullptr);
+}
+
+TEST(Metrics, HistogramIsAThirdKind) {
+  obs::MetricsRegistry reg;
+  reg.observe("lat.ns", 100);
+  reg.observe("lat.ns", 200);
+  EXPECT_EQ(reg.histogram("lat.ns").count(), 2u);
+  // Kind collision in both directions.
+  EXPECT_THROW(reg.counter("lat.ns"), std::logic_error);
+  EXPECT_THROW(reg.gauge("lat.ns"), std::logic_error);
+  reg.counter("c");
+  EXPECT_THROW(reg.histogram("c"), std::logic_error);
+  // find_* is kind-checked and never registers.
+  EXPECT_NE(reg.find_histogram("lat.ns"), nullptr);
+  EXPECT_EQ(reg.find_counter("lat.ns"), nullptr);
+  EXPECT_EQ(reg.find_histogram("absent"), nullptr);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Metrics, CounterIsAddOnlyWithWatermark) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("water");
+  c.set_max(100);
+  EXPECT_EQ(c.value(), 100u);
+  c.set_max(50);  // never backwards
+  EXPECT_EQ(c.value(), 100u);
+  c.set_max(150);
+  EXPECT_EQ(c.value(), 150u);
+  c.add(7);
+  EXPECT_EQ(c.value(), 157u);
+}
+
+TEST(Metrics, ResetZeroesButKeepsReferences) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("c");
+  obs::Gauge& g = reg.gauge("g");
+  obs::Histogram& h = reg.histogram("h");
+  c.add(5);
+  g.set(2.5);
+  h.record(1000);
+  reg.reset();
+  // Same objects, zeroed values — cached references stay valid.
+  EXPECT_EQ(&reg.counter("c"), &c);
+  EXPECT_EQ(&reg.gauge("g"), &g);
+  EXPECT_EQ(&reg.histogram("h"), &h);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(Metrics, DumpsAreDeterministicallyOrderedWithHistograms) {
+  obs::MetricsRegistry reg;
+  reg.observe("z.hist", 500);
+  reg.counter("a.counter").add(1);
+  reg.gauge("m.gauge").set(3.0);
+
+  const std::string text = reg.dump_text();
+  const auto pa = text.find("a.counter");
+  const auto pm = text.find("m.gauge");
+  const auto pz = text.find("z.hist");
+  ASSERT_NE(pa, std::string::npos);
+  ASSERT_NE(pm, std::string::npos);
+  ASSERT_NE(pz, std::string::npos);
+  EXPECT_LT(pa, pm);
+  EXPECT_LT(pm, pz);
+  EXPECT_NE(text.find("count=1"), std::string::npos);  // histogram summary
+
+  // Two dumps of the same state are byte-identical, and the JSON dump is
+  // well-formed with the histogram as a nested object.
+  EXPECT_EQ(reg.dump_text(), text);
+  const std::string json = reg.dump_json();
+  EXPECT_EQ(reg.dump_json(), json);
+  JsonChecker check{json};
+  EXPECT_TRUE(check.document()) << "invalid JSON near byte " << check.i;
+  EXPECT_NE(json.find("\"z.hist\":{"), std::string::npos);
+}
+
 TEST(Quiesced, SnapshotMatchesRelaxedWhenQuiet) {
   comm::VolumeStats s;
   s.charge(1234, 5, 6);
