@@ -158,3 +158,13 @@ constexpr std::uint64_t gemm_traffic_bytes(std::uint64_t m, std::uint64_t k,
   const ::agnn::obs::LatencyScope AGNN_OBS_CONCAT(agnn_epoch_lat_,      \
                                                   __COUNTER__)(         \
       AGNN_OBS_HIST_FN(name ".ns"))
+
+// Serving pipeline stages (enqueue -> batch -> sample -> gather -> forward
+// -> reply). Same shape as AGNN_EPOCH_SCOPE but in the kPhase category, so
+// a traced serving run shows the per-batch stage breakdown alongside the
+// kernel spans it encloses.
+#define AGNN_STAGE_SCOPE(name)                                          \
+  AGNN_TRACE_SCOPE(name, kPhase);                                       \
+  const ::agnn::obs::LatencyScope AGNN_OBS_CONCAT(agnn_stage_lat_,      \
+                                                  __COUNTER__)(         \
+      AGNN_OBS_HIST_FN(name ".ns"))

@@ -1,0 +1,76 @@
+// Request/reply types of the online inference serving layer.
+//
+// A request is one per-user ego-network query: "run the model on vertex v's
+// sampled neighborhood and give me v's output embedding". Requests carry a
+// monotonically assigned id; everything downstream that must be reproducible
+// (neighbor sampling above all) derives its randomness from that id, never
+// from the thread that happens to process the request — see
+// serve::derive_request_seed and DESIGN.md §15.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "tensor/common.hpp"
+
+namespace agnn::serve {
+
+enum class ReplyStatus : int {
+  kOk = 0,
+  kCancelled,  // server stopped without draining; request never ran
+  kRejected,   // submitted after close, or the bounded queue refused it
+};
+
+inline const char* to_string(ReplyStatus s) {
+  switch (s) {
+    case ReplyStatus::kOk: return "ok";
+    case ReplyStatus::kCancelled: return "cancelled";
+    case ReplyStatus::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+// SplitMix64 finalizer: the standard 64-bit avalanche mix. Used to turn
+// (base seed, request id) into an Rng stream that is independent across
+// requests and identical across server thread counts.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// The per-request sampling seed. A pure function of the server's base seed
+// and the request id — NOT of the worker thread, the batch composition, or
+// submission timing — so a request's sampled ego-network (and therefore its
+// reply, by row-locality of every forward kernel) is replayable with
+// `serve_sequential(..., derive_request_seed(base, id))`.
+inline std::uint64_t derive_request_seed(std::uint64_t base_seed,
+                                         std::uint64_t request_id) {
+  return mix64(base_seed ^ mix64(request_id));
+}
+
+template <typename T>
+struct InferenceReply {
+  std::uint64_t request_id = 0;
+  index_t vertex = -1;
+  ReplyStatus status = ReplyStatus::kOk;
+  std::vector<T> output;             // the seed vertex's final-layer embedding
+  std::uint64_t sample_seed = 0;     // derive_request_seed(base, request_id)
+  std::uint64_t dispatch_seq = 0;    // order the batcher dequeued the request
+  index_t batch_size = 0;            // requests coalesced into the same batch
+  index_t sampled_vertices = 0;      // |ego network| (widest level)
+  std::uint64_t latency_ns = 0;      // enqueue -> reply
+};
+
+template <typename T>
+struct InferenceRequest {
+  std::uint64_t id = 0;
+  index_t vertex = -1;
+  std::chrono::steady_clock::time_point enqueue_time{};
+  std::promise<InferenceReply<T>> promise;
+};
+
+}  // namespace agnn::serve

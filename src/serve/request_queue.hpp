@@ -1,0 +1,162 @@
+// RequestQueue + Batcher: the admission path of the inference server.
+//
+// RequestQueue is a bounded MPMC queue (mutex + two condvars, so it is
+// TSan-clean by construction — the serving layer runs in the sanitizer
+// matrix, where lock-free cleverness would buy microseconds and cost a
+// weekend). Producers block when the queue is at capacity (backpressure;
+// try_push is the non-blocking form), consumers pop whole batches.
+//
+// Batcher implements the coalescing policy on top of pop_batch: a batch
+// closes when EITHER max_batch requests are waiting OR batch_window has
+// elapsed since the OLDEST request in the batch was dequeued-eligible.
+// Requests leave in strict FIFO order — a batch is always a contiguous
+// prefix of the arrival order — which is what makes per-client dispatch
+// order provable (tests/test_serving_stress.cpp).
+//
+// Shutdown: close(drain=true) lets consumers keep popping until the queue is
+// empty, then pop_batch returns false; close(drain=false) returns the
+// still-queued requests to the caller so it can fail them explicitly
+// (ReplyStatus::kCancelled). Push after close fails with kRejected.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace agnn::serve {
+
+template <typename T>
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity = 4096) : capacity_(capacity) {
+    AGNN_ASSERT(capacity > 0, "RequestQueue: capacity must be positive");
+  }
+
+  // Blocking push: waits while the queue is full (backpressure). Returns
+  // false — without enqueueing — once the queue is closed.
+  bool push(InferenceRequest<T>&& req) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) return false;
+    queue_.push_back(std::move(req));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking push: false when full or closed (the request is untouched
+  // and still owned by the caller, so it can fail the promise itself).
+  bool try_push(InferenceRequest<T>&& req) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || queue_.size() >= capacity_) return false;
+      queue_.push_back(std::move(req));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Pop up to `max_batch` requests in FIFO order. Blocks until the first
+  // request arrives, then keeps collecting until max_batch is reached or
+  // `window` has elapsed since the first request of THIS batch was popped.
+  // A zero window degenerates to "whatever is queued right now, at least 1".
+  // Returns false only when the queue is closed and empty.
+  bool pop_batch(std::size_t max_batch, std::chrono::nanoseconds window,
+                 std::vector<InferenceRequest<T>>& out) {
+    out.clear();
+    AGNN_ASSERT(max_batch > 0, "pop_batch: max_batch must be positive");
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return false;  // closed and drained
+    const auto deadline = std::chrono::steady_clock::now() + window;
+    take_locked(max_batch, out);
+    while (out.size() < max_batch && window.count() > 0) {
+      if (!not_empty_.wait_until(lock, deadline, [&] {
+            return closed_ || !queue_.empty();
+          })) {
+        break;  // window elapsed
+      }
+      if (queue_.empty()) break;  // closed while waiting
+      take_locked(max_batch, out);
+    }
+    lock.unlock();
+    not_full_.notify_all();
+    return true;
+  }
+
+  // Close the queue. drain=true: leftovers stay for consumers to pop.
+  // drain=false: leftovers are handed back so the caller can cancel them.
+  std::vector<InferenceRequest<T>> close(bool drain) {
+    std::vector<InferenceRequest<T>> leftovers;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+      if (!drain) {
+        leftovers.reserve(queue_.size());
+        for (auto& r : queue_) leftovers.push_back(std::move(r));
+        queue_.clear();
+      }
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+    return leftovers;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  void take_locked(std::size_t max_batch, std::vector<InferenceRequest<T>>& out) {
+    while (!queue_.empty() && out.size() < max_batch) {
+      out.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<InferenceRequest<T>> queue_;
+  bool closed_ = false;
+};
+
+// The coalescing policy, as a small named object so the window/max knobs
+// live in one place and the server loop reads as `while (batcher.next(...))`.
+template <typename T>
+class Batcher {
+ public:
+  Batcher(RequestQueue<T>& queue, std::size_t max_batch,
+          std::chrono::nanoseconds window)
+      : queue_(queue), max_batch_(max_batch), window_(window) {
+    AGNN_ASSERT(max_batch > 0, "Batcher: max_batch must be positive");
+  }
+
+  bool next(std::vector<InferenceRequest<T>>& out) {
+    return queue_.pop_batch(max_batch_, window_, out);
+  }
+
+  std::size_t max_batch() const { return max_batch_; }
+  std::chrono::nanoseconds window() const { return window_; }
+
+ private:
+  RequestQueue<T>& queue_;
+  std::size_t max_batch_;
+  std::chrono::nanoseconds window_;
+};
+
+}  // namespace agnn::serve

@@ -1,0 +1,199 @@
+// Layer-wise, fan-out-bounded neighbor sampling over the sealed CSR,
+// producing bipartite blocks with seed-local renumbering — the
+// sampler/block decomposition DGL uses for mini-batch inference, adapted to
+// the global-formulation kernels of this repo.
+//
+// Sampling contract
+// -----------------
+// For an L-layer model and seed vertex v, the sampler builds nested vertex
+// levels
+//
+//   level 0 = {v}                                   (the seeds)
+//   level t = level t-1  ++  sampled out-neighbors of level t-1's vertices
+//
+// up to level L. Levels are NESTED BY PREFIX: level t-1 is literally the
+// first `level_sizes[t-1]` entries of level t's vertex list, so one local
+// numbering (`vertices`: local index -> global id, seed at index 0) serves
+// every level — that is the "seed-local renumbering" of the block
+// decomposition, and what makes the round-trip test trivial to state.
+//
+// The bipartite block feeding model layer i (i = 0 is the first layer the
+// features enter) has
+//
+//   src = level L-i      (features available),
+//   dst = level L-i-1    (features produced),
+//
+// stored as a SQUARE CSR over src: the first |dst| rows carry the sampled
+// edges, the remaining rows are empty. Square blocks mean every existing
+// square-adjacency kernel (fused GAT/AGNN included) runs on them unchanged;
+// rows past |dst| compute values nobody reads, and attention's row-local
+// normalization guarantees they cannot contaminate the dst rows.
+//
+// Determinism: the edges sampled for a vertex are a pure function of
+// (sample_seed, global vertex id, fanout) — not of the level, the visit
+// order, the batch, or the thread. Sampled edges keep their CSR order, so a
+// dst row in a block is a subsequence of the same row in the global CSR and
+// per-row float reductions see the same operand order everywhere. Values
+// are copied from the live CSR at sample time, so a vals_mutable() write to
+// the global adjacency is picked up by the next sample (blocks are per-batch
+// and never cached across batches — DESIGN.md §15).
+#pragma once
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "tensor/csr_matrix.hpp"
+
+namespace agnn::serve {
+
+// One request's sampled multi-layer neighborhood.
+template <typename T>
+struct SampledEgoNet {
+  std::vector<index_t> vertices;     // local -> global; seed(s) first
+  std::vector<index_t> level_sizes;  // level_sizes[t] = |level t|, t = 0..L
+  // blocks[i] feeds model layer i: square over level L-i, first
+  // level_sizes[L-i-1] rows carry edges. blocks.size() == L.
+  std::vector<CsrMatrix<T>> blocks;
+
+  index_t num_layers() const { return static_cast<index_t>(blocks.size()); }
+  index_t num_vertices() const { return static_cast<index_t>(vertices.size()); }
+  index_t num_seeds() const { return level_sizes.empty() ? 0 : level_sizes[0]; }
+
+  // Block i's src/dst widths (local prefix lengths of `vertices`).
+  index_t src_size(std::size_t i) const {
+    return level_sizes[level_sizes.size() - 1 - i];
+  }
+  index_t dst_size(std::size_t i) const {
+    return level_sizes[level_sizes.size() - 2 - i];
+  }
+};
+
+class NeighborSampler {
+ public:
+  NeighborSampler(index_t fanout, index_t num_layers,
+                  std::uint64_t base_seed = 0x5eedULL)
+      : fanout_(fanout), num_layers_(num_layers), base_seed_(base_seed) {
+    AGNN_ASSERT(fanout > 0, "NeighborSampler: fanout must be positive");
+    AGNN_ASSERT(num_layers > 0, "NeighborSampler: need at least one layer");
+  }
+
+  index_t fanout() const { return fanout_; }
+  index_t num_layers() const { return num_layers_; }
+  std::uint64_t base_seed() const { return base_seed_; }
+
+  // The edge positions (global CSR edge indices, ascending) sampled for
+  // `vertex` under `sample_seed`: min(degree, fanout) positions without
+  // replacement via Floyd's algorithm; full rows pass through untouched.
+  template <typename T>
+  void sampled_edges(const CsrMatrix<T>& adj, index_t vertex,
+                     std::uint64_t sample_seed,
+                     std::vector<index_t>& out) const {
+    out.clear();
+    const index_t begin = adj.row_begin(vertex);
+    const index_t deg = adj.row_end(vertex) - begin;
+    if (deg <= fanout_) {
+      for (index_t e = 0; e < deg; ++e) out.push_back(begin + e);
+      return;
+    }
+    // Floyd's subset sampling: exactly `fanout_` distinct offsets in
+    // [0, deg), kept sorted so the edge order matches the CSR row. The
+    // stream depends only on (sample_seed, vertex).
+    Rng rng(sample_seed ^
+            mix64(static_cast<std::uint64_t>(vertex) * 0x9e3779b97f4a7c15ULL));
+    out.reserve(static_cast<std::size_t>(fanout_));
+    for (index_t j = deg - fanout_; j < deg; ++j) {
+      const auto t = static_cast<index_t>(
+          rng.next_bounded(static_cast<std::uint64_t>(j) + 1));
+      const auto it = std::lower_bound(out.begin(), out.end(), t);
+      if (it != out.end() && *it == t) {
+        out.insert(std::lower_bound(out.begin(), out.end(), j), j);
+      } else {
+        out.insert(it, t);
+      }
+    }
+    for (auto& e : out) e += begin;  // offsets -> global edge positions
+  }
+
+  // Sample the full L-level ego network of `seed_vertex`.
+  template <typename T>
+  SampledEgoNet<T> sample(const CsrMatrix<T>& adj, index_t seed_vertex,
+                          std::uint64_t sample_seed) const {
+    AGNN_ASSERT(seed_vertex >= 0 && seed_vertex < adj.rows(),
+                "sample: seed vertex out of range");
+    SampledEgoNet<T> net;
+    net.vertices.push_back(seed_vertex);
+    net.level_sizes.push_back(1);
+
+    std::unordered_map<index_t, index_t> local_of;  // global -> local
+    local_of.emplace(seed_vertex, 0);
+
+    // Expand levels outward. Only the vertices NEW to the previous level
+    // need expanding: older vertices' sampled edge sets are fixed (they
+    // depend on the vertex id alone), so their targets are already members.
+    // edges_of[li] records vertex li's sampled edge positions; vertices
+    // discovered in the final level are never expanded and never dst rows.
+    std::vector<std::vector<index_t>> edges_of(1);
+    std::size_t frontier_begin = 0;
+    for (index_t t = 0; t < num_layers_; ++t) {
+      const std::size_t frontier_end = net.vertices.size();
+      for (std::size_t li = frontier_begin; li < frontier_end; ++li) {
+        sampled_edges(adj, net.vertices[li], sample_seed, edges_of[li]);
+        for (const index_t e : edges_of[li]) {
+          const index_t g = adj.col_at(e);
+          if (local_of.emplace(g, static_cast<index_t>(net.vertices.size()))
+                  .second) {
+            net.vertices.push_back(g);
+            edges_of.emplace_back();
+          }
+        }
+      }
+      frontier_begin = frontier_end;
+      net.level_sizes.push_back(static_cast<index_t>(net.vertices.size()));
+    }
+
+    // Build the square block for each model layer from the recorded edges.
+    net.blocks.reserve(static_cast<std::size_t>(num_layers_));
+    for (index_t i = 0; i < num_layers_; ++i) {
+      const index_t src_n =
+          net.level_sizes[static_cast<std::size_t>(num_layers_ - i)];
+      const index_t dst_n =
+          net.level_sizes[static_cast<std::size_t>(num_layers_ - i - 1)];
+      std::vector<index_t> row_ptr(static_cast<std::size_t>(src_n) + 1, 0);
+      std::vector<index_t> col_idx;
+      std::vector<T> vals;
+      for (index_t d = 0; d < dst_n; ++d) {
+        for (const index_t e : edges_of[static_cast<std::size_t>(d)]) {
+          col_idx.push_back(local_of.at(adj.col_at(e)));
+          vals.push_back(adj.val_at(e));
+        }
+        row_ptr[static_cast<std::size_t>(d) + 1] =
+            static_cast<index_t>(col_idx.size());
+      }
+      for (index_t r = dst_n; r < src_n; ++r) {
+        row_ptr[static_cast<std::size_t>(r) + 1] =
+            static_cast<index_t>(col_idx.size());
+      }
+      net.blocks.emplace_back(src_n, src_n, std::move(row_ptr),
+                              std::move(col_idx), std::move(vals));
+    }
+    return net;
+  }
+
+  // Convenience: the per-request seed derivation applied.
+  template <typename T>
+  SampledEgoNet<T> sample_for_request(const CsrMatrix<T>& adj,
+                                      index_t seed_vertex,
+                                      std::uint64_t request_id) const {
+    return sample<T>(adj, seed_vertex,
+                     derive_request_seed(base_seed_, request_id));
+  }
+
+ private:
+  index_t fanout_;
+  index_t num_layers_;
+  std::uint64_t base_seed_;
+};
+
+}  // namespace agnn::serve

@@ -1,0 +1,154 @@
+// VertexCache<T>: a sharded LRU cache of hot-vertex feature rows.
+//
+// Online serving reads the same few feature rows over and over — request
+// popularity is Zipf-shaped, and a sampled ego network re-touches the hub
+// vertices of the graph on almost every query. The cache keeps those rows
+// in LRU order, sharded by a hash of the vertex id so concurrent server
+// workers mostly lock different shards.
+//
+// Accounting: every instance keeps its own hit/miss/eviction atomics (the
+// unit tests assert exact counts per cache), and mirrors each event into
+// the global metrics registry under serve.cache.{hits,misses,evictions}
+// so the serving benchmark and the CI smoke test can read the hit rate
+// from the same place as every other counter. Counter references are
+// resolved once in the constructor (the registry guarantees reference
+// stability), so the hot path never takes the registry lock.
+//
+// Coherence: the cache stores COPIES of feature rows. If the underlying
+// feature matrix changes, the owner must call invalidate() — the serving
+// layer treats features as immutable between explicit reload events
+// (DESIGN.md §15). Adjacency values are deliberately NOT cached anywhere:
+// sampled blocks copy them from the live CSR at sample time.
+#pragma once
+
+#include <atomic>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/request.hpp"
+#include "tensor/common.hpp"
+
+namespace agnn::serve {
+
+template <typename T>
+class VertexCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+
+  // `capacity` is the total number of cached rows across all shards.
+  explicit VertexCache(std::size_t capacity, std::size_t num_shards = 8)
+      : hits_metric_(obs::MetricsRegistry::global().counter("serve.cache.hits")),
+        misses_metric_(
+            obs::MetricsRegistry::global().counter("serve.cache.misses")),
+        evictions_metric_(
+            obs::MetricsRegistry::global().counter("serve.cache.evictions")) {
+    AGNN_ASSERT(capacity > 0, "VertexCache: capacity must be positive");
+    AGNN_ASSERT(num_shards > 0, "VertexCache: need at least one shard");
+    if (num_shards > capacity) num_shards = capacity;
+    shards_ = std::vector<Shard>(num_shards);
+    per_shard_capacity_ = (capacity + num_shards - 1) / num_shards;
+  }
+
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
+
+  // Copy vertex's feature row (k elements) into `dst`. On a miss, `loader`
+  // is invoked as loader(vertex, row_ptr) to fill the freshly inserted row,
+  // which is then copied out. Returns true on a hit.
+  template <typename Loader>
+  bool fetch(index_t vertex, T* dst, std::size_t k, Loader&& loader) {
+    Shard& shard = shards_[shard_of(vertex)];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(vertex);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      const std::vector<T>& row = it->second->row;
+      AGNN_ASSERT(row.size() == k, "VertexCache: feature width changed");
+      std::copy(row.begin(), row.end(), dst);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_metric_.add(1);
+      return true;
+    }
+    shard.lru.emplace_front();
+    Entry& e = shard.lru.front();
+    e.vertex = vertex;
+    e.row.resize(k);
+    loader(vertex, e.row.data());
+    std::copy(e.row.begin(), e.row.end(), dst);
+    shard.index.emplace(vertex, shard.lru.begin());
+    if (shard.index.size() > per_shard_capacity_) {
+      shard.index.erase(shard.lru.back().vertex);
+      shard.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      evictions_metric_.add(1);
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_metric_.add(1);
+    return false;
+  }
+
+  // Drop every cached row (features changed under us). Counters are NOT
+  // reset — they are lifetime totals.
+  void invalidate() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.index.clear();
+      shard.lru.clear();
+    }
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      n += shard.index.size();
+    }
+    return n;
+  }
+
+  Stats stats() const {
+    return {hits_.load(std::memory_order_relaxed),
+            misses_.load(std::memory_order_relaxed),
+            evictions_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  struct Entry {
+    index_t vertex = -1;
+    std::vector<T> row;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<index_t, typename std::list<Entry>::iterator> index;
+  };
+
+  std::size_t shard_of(index_t vertex) const {
+    return static_cast<std::size_t>(mix64(static_cast<std::uint64_t>(vertex))) %
+           shards_.size();
+  }
+
+  std::vector<Shard> shards_;
+  std::size_t per_shard_capacity_ = 0;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  obs::Counter& hits_metric_;
+  obs::Counter& misses_metric_;
+  obs::Counter& evictions_metric_;
+};
+
+}  // namespace agnn::serve

@@ -1,0 +1,57 @@
+// Zipf-distributed vertex popularity for the closed-loop load generator.
+//
+// P(rank r) proportional to 1 / (r+1)^s over n ranks. Sampling inverts the
+// precomputed CDF with a binary search — O(log n) per draw, exact (no
+// rejection), and fully determined by the caller's Rng, which keeps the
+// bench's request schedule replayable from its seed. Rank r maps to vertex
+// id `perm[r]` under a seeded shuffle so the popular vertices are spread
+// across the id space rather than clustered at 0 (Kronecker generators
+// correlate degree with id; the shuffle decorrelates popularity from
+// degree so the cache's working set is not an artifact of graph layout).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "tensor/common.hpp"
+
+namespace agnn::serve {
+
+class ZipfSampler {
+ public:
+  ZipfSampler(index_t n, double exponent, std::uint64_t perm_seed = 0)
+      : cdf_(static_cast<std::size_t>(n)), perm_(static_cast<std::size_t>(n)) {
+    AGNN_ASSERT(n > 0, "ZipfSampler: need at least one vertex");
+    AGNN_ASSERT(exponent >= 0.0, "ZipfSampler: exponent must be non-negative");
+    double acc = 0.0;
+    for (index_t r = 0; r < n; ++r) {
+      acc += 1.0 / std::pow(static_cast<double>(r) + 1.0, exponent);
+      cdf_[static_cast<std::size_t>(r)] = acc;
+    }
+    for (auto& c : cdf_) c /= acc;
+    cdf_.back() = 1.0;  // guard against round-off at the top
+    std::iota(perm_.begin(), perm_.end(), index_t{0});
+    Rng rng(perm_seed ^ 0x5a1bf00dULL);
+    for (std::size_t i = perm_.size(); i > 1; --i) {
+      std::swap(perm_[i - 1],
+                perm_[static_cast<std::size_t>(rng.next_bounded(i))]);
+    }
+  }
+
+  index_t num_vertices() const { return static_cast<index_t>(cdf_.size()); }
+
+  index_t sample(Rng& rng) const {
+    const double u = rng.next_double();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    const auto rank = static_cast<std::size_t>(it - cdf_.begin());
+    return perm_[std::min(rank, perm_.size() - 1)];
+  }
+
+ private:
+  std::vector<double> cdf_;    // cdf_[r] = P(rank <= r)
+  std::vector<index_t> perm_;  // rank -> vertex id
+};
+
+}  // namespace agnn::serve

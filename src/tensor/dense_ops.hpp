@@ -331,6 +331,34 @@ void add_outer_inplace(DenseMatrix<T>& c, std::span<const T> x, std::span<const 
   }
 }
 
+// OUT[i, :] = A[rows[i], :] — the feature-gather of the serving path
+// (ego-network feature assembly and the between-layer compaction of the
+// block-diagonal batched forward). Forward-only: gathers have no backward
+// here because serving never trains. Row-local, so a gathered row is
+// byte-identical to its source row regardless of batching or thread count.
+template <typename T>
+void gather_rows(const DenseMatrix<T>& a, std::span<const index_t> rows,
+                 DenseMatrix<T>& out) {
+  AGNN_ASSERT(&out != &a, "gather_rows: out must not alias the source");
+  const index_t k = a.cols();
+  out.resize(static_cast<index_t>(rows.size()), k);
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < static_cast<index_t>(rows.size()); ++i) {
+    const index_t src = rows[static_cast<std::size_t>(i)];
+    AGNN_ASSERT(src >= 0 && src < a.rows(), "gather_rows: row index out of range");
+    const T* ai = a.data() + src * k;
+    T* oi = out.data() + i * k;
+    for (index_t j = 0; j < k; ++j) oi[j] = ai[j];
+  }
+}
+
+template <typename T>
+DenseMatrix<T> gather_rows(const DenseMatrix<T>& a, std::span<const index_t> rows) {
+  DenseMatrix<T> out;
+  gather_rows(a, rows, out);
+  return out;
+}
+
 template <typename T>
 T frobenius_norm(const DenseMatrix<T>& a) {
   double acc = 0;

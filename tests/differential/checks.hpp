@@ -43,6 +43,7 @@
 #include "dist/engine_factory.hpp"
 #include "dist/recovery.hpp"
 #include "graph/graph.hpp"
+#include "serve/batch_forward.hpp"
 #include "tensor/fused.hpp"
 #include "tensor/reference_impls.hpp"
 #include "tensor/schedule.hpp"
@@ -955,6 +956,137 @@ inline void check_fault_recovery(const Scenario& sc, Failures& out) {
                            std::to_string(clean.params[i]) +
                            " plan=" + plan.spec()});
         break;
+      }
+    }
+  }
+}
+
+// ---- serving suite ---------------------------------------------------------
+// The online-serving invariants under adversarial graphs and feature
+// regimes: fan-out bounds and seed-local renumbering structure, exact
+// seed replay, and the batching-invisibility contract — the block-diagonal
+// batched forward must be BITWISE equal to each request served alone, and
+// both must equal an independent oracle (model.infer over the widest
+// square block, reading the seed row; valid because levels are nested
+// prefixes and every forward kernel is row-local).
+inline void check_serving(const Scenario& sc, Failures& out) {
+  const auto kind = static_cast<ModelKind>(sc.kind);
+  const auto g = make_graph<double>(sc);
+  const CsrMatrix<double> adj =
+      kind == ModelKind::kGCN ? graph::sym_normalize(g) : g;
+  const auto x = make_features<double>(sc, sc.n, sc.k, 53);
+
+  GnnConfig cfg;
+  cfg.kind = kind;
+  cfg.in_features = sc.k;
+  cfg.layer_widths.assign(static_cast<std::size_t>(sc.layers), sc.k);
+  cfg.hidden_activation = Activation::kTanh;
+  cfg.seed = 4243;
+  const GnnModel<double> model(cfg);
+
+  Rng rng(sc.seed * 0xa24baed4963ee407ULL + 91);
+  const auto fanout = static_cast<index_t>(1 + rng.next_bounded(6));
+  const serve::NeighborSampler sampler(fanout,
+                                       static_cast<index_t>(sc.layers),
+                                       /*base_seed=*/sc.seed);
+  const std::size_t batch_size = 1 + rng.next_bounded(6);
+  std::vector<index_t> vertices;
+  for (std::size_t r = 0; r < batch_size; ++r) {
+    vertices.push_back(
+        static_cast<index_t>(rng.next_bounded(static_cast<std::uint64_t>(sc.n))));
+  }
+
+  std::vector<serve::SampledEgoNet<double>> nets;
+  for (std::size_t r = 0; r < batch_size; ++r) {
+    nets.push_back(sampler.sample_for_request<double>(
+        adj, vertices[r], static_cast<std::uint64_t>(r)));
+  }
+
+  // Structural invariants per net: square blocks, fan-out-bounded and
+  // in-range dst rows, seed-local numbering, empty pad rows.
+  for (std::size_t r = 0; r < nets.size(); ++r) {
+    const auto& net = nets[r];
+    if (net.vertices.empty() || net.vertices.front() != vertices[r]) {
+      out.push_back({"serving_renumber", "seed not at local index 0"});
+      return;
+    }
+    for (std::size_t i = 0; i < net.blocks.size(); ++i) {
+      const auto& b = net.blocks[i];
+      if (b.rows() != b.cols() || b.rows() != net.src_size(i)) {
+        out.push_back({"serving_block_shape",
+                       "request " + std::to_string(r) + " layer " +
+                           std::to_string(i) + " not square over src level"});
+        return;
+      }
+      for (index_t d = 0; d < b.rows(); ++d) {
+        const index_t deg = b.row_end(d) - b.row_begin(d);
+        if (d < net.dst_size(i) ? deg > fanout : deg != 0) {
+          out.push_back({"serving_fanout",
+                         "request " + std::to_string(r) + " layer " +
+                             std::to_string(i) + " row " + std::to_string(d) +
+                             " violates the fan-out/pad contract"});
+          return;
+        }
+        for (index_t e = b.row_begin(d); e < b.row_end(d); ++e) {
+          if (b.col_at(e) < 0 || b.col_at(e) >= net.num_vertices()) {
+            out.push_back({"serving_renumber", "local column out of range"});
+            return;
+          }
+        }
+      }
+    }
+  }
+
+  // Exact replay: request 0 resampled must reproduce its ego net.
+  {
+    const auto again = sampler.sample_for_request<double>(adj, vertices[0], 0);
+    if (again.vertices != nets[0].vertices ||
+        again.level_sizes != nets[0].level_sizes) {
+      out.push_back({"serving_replay", "resampling request 0 diverged"});
+      return;
+    }
+  }
+
+  // Batched forward.
+  std::vector<const serve::SampledEgoNet<double>*> ptrs;
+  for (const auto& n : nets) ptrs.push_back(&n);
+  const auto bb = serve::build_batch(
+      std::span<const serve::SampledEgoNet<double>* const>(ptrs));
+  Workspace<double> ws;
+  DenseMatrix<double> x0(static_cast<index_t>(bb.input_vertices.size()), sc.k);
+  gather_rows(x, std::span<const index_t>(bb.input_vertices), x0);
+  DenseMatrix<double> batched;
+  serve::forward_batch(model, bb, x0, ws, batched);
+  if (batched.rows() != static_cast<index_t>(batch_size)) {
+    out.push_back({"serving_batched", "one output row per request expected"});
+    return;
+  }
+
+  for (std::size_t r = 0; r < batch_size; ++r) {
+    // Oracle 1: the same request served alone through the serving path.
+    const auto solo = serve::serve_sequential(
+        model, adj, x, sampler, vertices[r],
+        serve::derive_request_seed(sc.seed, static_cast<std::uint64_t>(r)), ws);
+    // Oracle 2: plain model.infer over the widest square block.
+    DenseMatrix<double> x_ego(nets[r].num_vertices(), sc.k);
+    gather_rows(x, std::span<const index_t>(nets[r].vertices), x_ego);
+    const auto full = model.infer(nets[r].blocks[0], x_ego);
+    const auto row = batched.row(static_cast<index_t>(r));
+    for (std::size_t j = 0; j < solo.size(); ++j) {
+      if (!bits_equal(row[j], solo[j])) {
+        out.push_back({"serving_batched_vs_sequential",
+                       "request " + std::to_string(r) + " [" +
+                           std::to_string(j) + "]: " + std::to_string(row[j]) +
+                           " vs " + std::to_string(solo[j])});
+        return;
+      }
+      if (!bits_equal(solo[j], full(0, static_cast<index_t>(j)))) {
+        out.push_back({"serving_vs_infer_oracle",
+                       "request " + std::to_string(r) + " [" +
+                           std::to_string(j) + "]: " + std::to_string(solo[j]) +
+                           " vs " +
+                           std::to_string(full(0, static_cast<index_t>(j)))});
+        return;
       }
     }
   }

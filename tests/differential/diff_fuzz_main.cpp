@@ -36,11 +36,12 @@ constexpr SuiteSpec kSuites[] = {
     {"formats", Purpose::kKernels, agnn::diffuzz::check_formats, 200},
     {"engines", Purpose::kEngines, agnn::diffuzz::check_engines, 40},
     {"faults", Purpose::kEngines, agnn::diffuzz::check_fault_recovery, 15},
+    {"serving", Purpose::kEngines, agnn::diffuzz::check_serving, 60},
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--suite kernels|outparam|schedule|formats|engines|faults|all] [--seed N]\n"
+               "usage: %s [--suite kernels|outparam|schedule|formats|engines|faults|serving|all] [--seed N]\n"
                "          [--count N] [--start-seed N] [--verbose]\n",
                argv0);
   return 2;

@@ -1,0 +1,273 @@
+// Concurrency stress for the serving layer — the suite the sanitizer matrix
+// (TSan above all) runs to catch ordering bugs the unit tests can't see.
+//
+// Invariants under many producers x many server workers:
+//   * no lost replies:       every submitted future becomes ready;
+//   * no duplicated replies: request ids are unique across all replies;
+//   * per-client dispatch order (1 server worker): a client's requests are
+//     dispatched in its submission order — the FIFO/contiguous-prefix
+//     guarantee of RequestQueue::pop_batch;
+//   * clean drain shutdown:  stop(drain=true) completes everything queued;
+//   * cancel shutdown:       stop(drain=false) fails queued requests with
+//     kCancelled and completed + cancelled == submitted;
+//   * replies stay correct under contention: spot-checked against the
+//     sequential oracle (id-derived seeds make that possible mid-stress).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "graph/graph.hpp"
+#include "serve/server.hpp"
+#include "test_utils.hpp"
+
+namespace agnn {
+namespace {
+
+using serve::InferenceReply;
+using serve::ReplyStatus;
+using serve::ServeConfig;
+
+struct ServingFixture {
+  CsrMatrix<float> adj;
+  GnnModel<float> model;
+  DenseMatrix<float> x;
+
+  static ServingFixture make(std::uint64_t seed) {
+    GnnConfig cfg;
+    cfg.kind = ModelKind::kGAT;
+    cfg.in_features = 4;
+    cfg.layer_widths = {4, 3};
+    cfg.seed = 17;
+    auto g = testing::small_graph<float>(40, 200, seed);
+    return {std::move(g.adj), GnnModel<float>(cfg),
+            testing::random_dense<float>(40, 4, seed + 1)};
+  }
+};
+
+struct ClientLog {
+  std::vector<index_t> vertices;
+  std::vector<std::future<InferenceReply<float>>> futures;
+};
+
+TEST(ServingStress, ManyProducersManyWorkersLoseNothing) {
+  auto fx = ServingFixture::make(100);
+  ServeConfig sc;
+  sc.num_threads = 3;
+  sc.max_batch = 8;
+  sc.batch_window = std::chrono::microseconds(200);
+  sc.fanout = 3;
+  sc.sample_seed = 5;
+  sc.cache_capacity = 16;  // small: force concurrent evictions too
+  sc.cache_shards = 2;
+  serve::InferenceServer<float> server(fx.model, fx.adj, fx.x, sc);
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 60;
+  std::vector<ClientLog> logs(kClients);
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        Rng rng(static_cast<std::uint64_t>(c) + 1);
+        for (int i = 0; i < kPerClient; ++i) {
+          const auto v = static_cast<index_t>(rng.next_bounded(40));
+          logs[static_cast<std::size_t>(c)].vertices.push_back(v);
+          logs[static_cast<std::size_t>(c)].futures.push_back(server.submit(v));
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  server.stop(/*drain=*/true);
+
+  std::set<std::uint64_t> seen_ids;
+  const serve::NeighborSampler oracle(sc.fanout, 2, sc.sample_seed);
+  Workspace<float> ws;
+  int checked = 0;
+  for (auto& log : logs) {
+    for (std::size_t i = 0; i < log.futures.size(); ++i) {
+      ASSERT_EQ(log.futures[i].wait_for(std::chrono::seconds(30)),
+                std::future_status::ready)
+          << "lost reply";
+      auto reply = log.futures[i].get();
+      EXPECT_EQ(reply.status, ReplyStatus::kOk);
+      EXPECT_EQ(reply.vertex, log.vertices[i]);
+      EXPECT_TRUE(seen_ids.insert(reply.request_id).second)
+          << "duplicated reply for id " << reply.request_id;
+      // Spot-check correctness under contention (every 16th reply).
+      if (checked++ % 16 == 0) {
+        const auto solo = serve::serve_sequential(
+            fx.model, fx.adj, fx.x, oracle, reply.vertex, reply.sample_seed, ws);
+        EXPECT_EQ(reply.output, solo);
+      }
+    }
+  }
+  EXPECT_EQ(seen_ids.size(),
+            static_cast<std::size_t>(kClients) * kPerClient);
+  EXPECT_EQ(server.completed(), static_cast<std::uint64_t>(kClients) * kPerClient);
+}
+
+TEST(ServingStress, SingleWorkerDispatchesEachClientInSubmissionOrder) {
+  auto fx = ServingFixture::make(200);
+  ServeConfig sc;
+  sc.num_threads = 1;  // the FIFO-dispatch guarantee is per consumer
+  sc.max_batch = 4;
+  sc.batch_window = std::chrono::microseconds(100);
+  sc.fanout = 2;
+  serve::InferenceServer<float> server(fx.model, fx.adj, fx.x, sc);
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 40;
+  std::vector<ClientLog> logs(kClients);
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        Rng rng(static_cast<std::uint64_t>(c) + 11);
+        for (int i = 0; i < kPerClient; ++i) {
+          const auto v = static_cast<index_t>(rng.next_bounded(40));
+          logs[static_cast<std::size_t>(c)].vertices.push_back(v);
+          logs[static_cast<std::size_t>(c)].futures.push_back(server.submit(v));
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  server.stop(/*drain=*/true);
+
+  for (auto& log : logs) {
+    std::uint64_t prev_seq = 0;
+    bool first = true;
+    std::uint64_t prev_id = 0;
+    for (auto& f : log.futures) {
+      auto reply = f.get();
+      ASSERT_EQ(reply.status, ReplyStatus::kOk);
+      if (!first) {
+        // A client's submissions are ordered (each submit returns before
+        // the next), so both its ids and its dispatch sequence numbers
+        // must be strictly increasing with one consumer.
+        EXPECT_GT(reply.request_id, prev_id);
+        EXPECT_GT(reply.dispatch_seq, prev_seq)
+            << "client requests dispatched out of submission order";
+      }
+      prev_id = reply.request_id;
+      prev_seq = reply.dispatch_seq;
+      first = false;
+    }
+  }
+}
+
+TEST(ServingStress, CancelShutdownAccountsForEveryRequest) {
+  auto fx = ServingFixture::make(300);
+  ServeConfig sc;
+  sc.num_threads = 1;
+  sc.max_batch = 2;
+  // A wide batch window so requests pile up behind the slow consumer and
+  // stop(false) finds a non-empty queue to cancel.
+  sc.batch_window = std::chrono::milliseconds(5);
+  sc.fanout = 3;
+  serve::InferenceServer<float> server(fx.model, fx.adj, fx.x, sc);
+
+  std::vector<std::future<InferenceReply<float>>> futures;
+  constexpr int kRequests = 200;
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(server.submit(static_cast<index_t>(i % 40)));
+  }
+  server.stop(/*drain=*/false);
+
+  int ok = 0, cancelled = 0;
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)), std::future_status::ready)
+        << "request neither completed nor cancelled";
+    const auto status = f.get().status;
+    if (status == ReplyStatus::kOk) {
+      ++ok;
+    } else {
+      EXPECT_EQ(status, ReplyStatus::kCancelled);
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(ok + cancelled, kRequests);
+  EXPECT_EQ(server.completed(), static_cast<std::uint64_t>(ok));
+  // Post-stop submissions are rejected, not lost.
+  EXPECT_EQ(server.submit(0).get().status, ReplyStatus::kRejected);
+}
+
+TEST(ServingStress, ConcurrentStopWhileSubmitting) {
+  auto fx = ServingFixture::make(400);
+  ServeConfig sc;
+  sc.num_threads = 2;
+  sc.max_batch = 4;
+  sc.batch_window = std::chrono::microseconds(100);
+  sc.fanout = 2;
+  serve::InferenceServer<float> server(fx.model, fx.adj, fx.x, sc);
+
+  std::atomic<int> submitted{0};
+  std::vector<std::thread> clients;
+  std::vector<std::vector<std::future<InferenceReply<float>>>> futures(3);
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(static_cast<std::uint64_t>(c) + 21);
+      for (int i = 0; i < 80; ++i) {
+        futures[static_cast<std::size_t>(c)].push_back(
+            server.submit(static_cast<index_t>(rng.next_bounded(40))));
+        submitted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Stop mid-flight; clients race the closing queue.
+  while (submitted.load(std::memory_order_relaxed) < 60) {
+    std::this_thread::yield();
+  }
+  server.stop(/*drain=*/true);
+  for (auto& t : clients) t.join();
+
+  // Every future resolves: kOk if it made it in before close, kRejected
+  // after. Nothing hangs, nothing is dropped on the floor.
+  for (auto& per_client : futures) {
+    for (auto& f : per_client) {
+      ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+                std::future_status::ready);
+      const auto status = f.get().status;
+      EXPECT_TRUE(status == ReplyStatus::kOk || status == ReplyStatus::kRejected);
+    }
+  }
+}
+
+TEST(ServingStress, BoundedQueueShedsWithTrySubmitInsteadOfDeadlocking) {
+  auto fx = ServingFixture::make(500);
+  ServeConfig sc;
+  sc.num_threads = 1;
+  sc.max_batch = 2;
+  sc.batch_window = std::chrono::milliseconds(1);
+  sc.queue_capacity = 8;  // tiny: force rejections under burst load
+  sc.fanout = 2;
+  serve::InferenceServer<float> server(fx.model, fx.adj, fx.x, sc);
+
+  int accepted = 0, shed = 0;
+  std::vector<std::future<InferenceReply<float>>> futures;
+  for (int i = 0; i < 300; ++i) {
+    auto maybe = server.try_submit(static_cast<index_t>(i % 40));
+    if (maybe.has_value()) {
+      futures.push_back(std::move(*maybe));
+      ++accepted;
+    } else {
+      ++shed;
+    }
+  }
+  server.stop(/*drain=*/true);
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+    EXPECT_EQ(f.get().status, ReplyStatus::kOk);
+  }
+  EXPECT_EQ(accepted + shed, 300);
+  EXPECT_GT(accepted, 0);
+  EXPECT_EQ(server.completed(), static_cast<std::uint64_t>(accepted));
+}
+
+}  // namespace
+}  // namespace agnn
