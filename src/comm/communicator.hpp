@@ -762,10 +762,15 @@ class SpmdRuntime {
         // the caller after the join.
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         faults->mark_rank_dead(r);
-      } catch (...) {
+      } catch (const std::exception& e) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         // Anything else is a programming error (assertion failure); there
         // is no recovery story for it, so abort loudly.
+        std::fprintf(stderr, "fatal: simulated rank %d threw an exception: %s\n",
+                     r, e.what());
+        std::terminate();
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
         std::fprintf(stderr, "fatal: simulated rank %d threw an exception\n", r);
         std::terminate();
       }

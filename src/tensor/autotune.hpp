@@ -1,0 +1,507 @@
+// Measurement-driven kernel autotuner (DESIGN.md §16).
+//
+// PR 5 (adaptive schedules) and PR 7 (SELL-C-σ/BCSR formats) opened a
+// variant space — {schedule policy, grain, format} per kernel — governed by
+// two hand-written heuristics. This header replaces guessing with measuring:
+// on the first touch of a (kernel, graph-signature) pair the tuner
+// micro-samples the candidate space with a cheap proxy of the kernel's
+// memory-access pattern (median of kTuneReps wall-clock reps, recorded in
+// the tune.<kernel>.sample_ns histogram), picks the fastest candidate, and
+// memoizes it in the TuningCache (tensor/tuning_cache.hpp) — in memory and,
+// when AGNN_TUNE_CACHE names a path, on disk across process restarts.
+//
+// The tuner is bitwise invisible BY CONSTRUCTION: each kernel's candidate
+// space is restricted to the bitwise-equivalence class of what the untuned
+// heuristics would run, so AGNN_TUNE can never change a result, only its
+// speed. Concretely (sample_candidates):
+//   - per-edge kernels (SDDMM, the Psi samplers) write each v[e] as a pure
+//     function of e, so every schedule policy AND the SELL variant land the
+//     same bits — the whole space races;
+//   - row-reduction kernels (SpMM-like, row passes) on a row-parallel
+//     baseline race the storage formats (SELL/BCSR are bitwise-identical to
+//     row-at-a-time CSR, blocked_ops.hpp);
+//   - row-reduction kernels on a chunked baseline keep the baseline
+//     decomposition: split-row folds pin the reduction order, and racing a
+//     different policy would legitimately reassociate (the schedule suite
+//     compares cross-policy runs at kTol, not bitwise).
+// The differential `tune` suite and the tuned golden leg enforce exactly
+// this: AGNN_TUNE=on vs off agree to the bit on every public kernel.
+//
+// Env knobs (read per kernel invocation, like AGNN_SCHEDULE/AGNN_FORMAT):
+//   AGNN_TUNE       = off | on | force-resample   (default off)
+//                     Unknown values THROW (std::logic_error): a typo that
+//                     silently fell back to `off` would fake a tuned run.
+//   AGNN_TUNE_CACHE = path of the persistent cache file (optional)
+//
+// Precedence (the single owner of the schedule-vs-format decision; the fix
+// for the old both-auto ambiguity where AGNN_FORMAT=auto's nnz threshold
+// silently overrode KernelSchedule::auto's chunking decision):
+//   1. an explicit KernelSchedule* argument pins the schedule axis;
+//   2. a concrete AGNN_FORMAT (csr|sell|bcsr) pins the format axis;
+//   3. a concrete AGNN_SCHEDULE (row|edge|hybrid) pins the schedule axis;
+//   4. if neither axis is pinned and AGNN_TUNE=on|force-resample, the tuner
+//      owns both axes jointly;
+//   5. otherwise the auto heuristics run with the SCHEDULE resolving first:
+//      AGNN_FORMAT=auto picks SELL only when the resolved schedule is
+//      row-parallel AND nnz >= kFormatAutoMinNnz — a chunked schedule keeps
+//      CSR, because hub-row load balancing is worth more than SIMD lanes
+//      and the blocked kernels cannot honor a chunk decomposition.
+//   If either axis is pinned (rules 1–3), the tuner backs off entirely:
+//   explicit knobs always beat measurements, which keeps the CI sweep legs
+//   meaningful under the AGNN_TUNE matrix.
+//
+// The fused-vs-unfused axis of the candidate space collapses at runtime:
+// every production kernel is already the fused form (the *_unfused
+// references in reference_impls.hpp are O(n^2) test oracles, not
+// dispatchable variants), so the tuner tunes {policy × grain × format}.
+//
+// Serving: the InferenceServer warms the tuner once at construction and
+// then freezes it (tune_freeze). A frozen tuner still serves warm cache
+// entries but never samples — an unseen signature falls back to the auto
+// heuristics (counted in tune.frozen_fallbacks) — so request latency never
+// pays a sampling stall.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tensor/blocked_ops.hpp"
+#include "tensor/csr_matrix.hpp"
+#include "tensor/dense_matrix.hpp"
+#include "tensor/format.hpp"
+#include "tensor/schedule.hpp"
+#include "tensor/tuning_cache.hpp"
+
+namespace agnn {
+
+enum class TuneMode {
+  kOff,            // heuristics only (the seed behavior; default)
+  kOn,             // sample on first touch, then serve memoized choices
+  kForceResample,  // ignore memoized choices; re-measure every touch
+};
+
+inline const char* to_string(TuneMode m) {
+  switch (m) {
+    case TuneMode::kOff: return "off";
+    case TuneMode::kOn: return "on";
+    case TuneMode::kForceResample: return "force-resample";
+  }
+  return "?";
+}
+
+inline bool parse_tune_mode(std::string_view s, TuneMode& out) {
+  if (s == "off" || s.empty()) {
+    out = TuneMode::kOff;
+  } else if (s == "on") {
+    out = TuneMode::kOn;
+  } else if (s == "force-resample" || s == "force_resample") {
+    out = TuneMode::kForceResample;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Strict by design (same contract as AGNN_DIST): a typo must surface, not
+// silently run untuned while the operator believes the tuner is on.
+inline TuneMode tune_mode_from_env() {
+  const char* e = std::getenv("AGNN_TUNE");
+  if (e == nullptr) return TuneMode::kOff;
+  TuneMode m = TuneMode::kOff;
+  if (!parse_tune_mode(e, m)) {
+    throw std::logic_error(std::string("AGNN_TUNE: unknown mode '") + e +
+                           "' (expected off|on|force-resample)");
+  }
+  return m;
+}
+
+// ---- freeze (serving warmup contract) --------------------------------------
+// While frozen the tuner serves warm entries but never samples. Nestable
+// (a depth counter), thread-safe, process-global.
+
+namespace detail {
+inline std::atomic<int>& tune_freeze_depth() {
+  static std::atomic<int> depth{0};
+  return depth;
+}
+}  // namespace detail
+
+inline void tune_freeze() {
+  detail::tune_freeze_depth().fetch_add(1, std::memory_order_relaxed);
+}
+inline void tune_unfreeze() {
+  detail::tune_freeze_depth().fetch_sub(1, std::memory_order_relaxed);
+}
+inline bool tune_frozen() {
+  return detail::tune_freeze_depth().load(std::memory_order_relaxed) > 0;
+}
+
+struct TuneFreezeGuard {
+  TuneFreezeGuard() { tune_freeze(); }
+  ~TuneFreezeGuard() { tune_unfreeze(); }
+  TuneFreezeGuard(const TuneFreezeGuard&) = delete;
+  TuneFreezeGuard& operator=(const TuneFreezeGuard&) = delete;
+};
+
+// ---- choice encoding for the metrics/roofline export -----------------------
+// tune.<kernel>.choice carries the decision as a small integer so the
+// TraceReport roofline table can decode it without depending on tensor
+// headers: policy*10000 + format*1000 + bit_width(grain), with the enum
+// integer values (row_parallel=1, edge_balanced=2, hybrid_binned=3; csr=0,
+// sell=1, bcsr=2). obs::TraceReport::decode_tuned_choice implements the
+// inverse; Autotune.ChoiceEncodingRoundTrips pins the two in sync.
+
+inline int encode_tuned_choice(const TunedChoice& c) {
+  return static_cast<int>(c.policy) * 10000 + static_cast<int>(c.format) * 1000 +
+         static_cast<int>(tune_bucket(static_cast<std::uint64_t>(c.grain)));
+}
+
+// Which micro-benchmark stands in for the kernel. The proxy reproduces the
+// kernel's dominant memory-access pattern under each candidate — it is a
+// ranking instrument, not the kernel itself.
+enum class TuneProxy {
+  kSpmmLike,     // gather k-wide feature rows per edge, accumulate per row
+  kSddmmLike,    // k-wide dot per edge, one value written per edge
+  kRowPassLike,  // value-array pass with a per-row reduction
+};
+
+namespace detail {
+
+inline constexpr int kTuneReps = 3;
+inline constexpr index_t kTuneProxyMaxK = 32;       // clamp proxy width
+inline constexpr index_t kTuneMinChunkedNnz = 256;  // below: row-only candidates
+
+struct TuneCandidate {
+  SchedulePolicy policy = SchedulePolicy::kRowParallel;
+  index_t grain = kDefaultScheduleGrain;
+  SparseFormat format = SparseFormat::kCsr;
+};
+
+// Stats for the signature: reuse whatever schedule is already cached on the
+// matrix (its stats are a pure pattern function, valid under any requested
+// policy); first touch pays one O(n) pass.
+template <typename T>
+inline ScheduleStats tune_stats_for(const CsrMatrix<T>& a) {
+  if (auto cached = a.cached_schedule()) return cached->stats();
+  return compute_schedule_stats(a.row_ptr());
+}
+
+// One timed proxy run under `cand`. Scalar-CSR candidates drive the real
+// scheduled_rows decomposition; split-row pieces accumulate into
+// thread-local scratch instead of the shared output row, so the proxy is
+// race-free under every candidate (the skipped hub-row write is noise next
+// to the gather traffic being ranked). Blocked candidates run the real
+// blocked kernels — they are race-free internally.
+template <typename T>
+void run_tune_proxy(const CsrMatrix<T>& a, index_t k, TuneProxy proxy,
+                    const TuneCandidate& cand, const KernelSchedule& cs,
+                    const DenseMatrix<T>& hx, const DenseMatrix<T>& hy,
+                    DenseMatrix<T>& out, std::vector<T>& edge_out) {
+  // hx is row-indexed (a.rows() tall), hy col-indexed (a.cols() tall): the
+  // blocked kernels assert exact operand dimensions, and local blocks of a
+  // distributed matrix are rectangular, so one shared operand cannot serve
+  // both gather sides.
+  if (cand.format == SparseFormat::kSell) {
+    switch (proxy) {
+      case TuneProxy::kSpmmLike:
+        sell_spmm(*sell_for(a), a.vals(), hy, out);
+        return;
+      case TuneProxy::kSddmmLike: {
+        std::span<T> v(edge_out);
+        sell_sddmm<false>(*sell_for(a), a.vals(), hx, hy, v);
+        return;
+      }
+      case TuneProxy::kRowPassLike:
+        break;  // no blocked row-pass kernels; candidate never offered
+    }
+    return;
+  }
+  if (cand.format == SparseFormat::kBcsr) {
+    bcsr_spmm(*bcsr_for(a), a.vals(), hy, out);
+    return;
+  }
+  switch (proxy) {
+    case TuneProxy::kSpmmLike:
+      scheduled_rows(cs, a, [&](index_t i, index_t b, index_t e) {
+        const bool whole = b == a.row_begin(i) && e == a.row_end(i);
+        T* acc = schedule_arena<T, 6>(static_cast<std::size_t>(k));
+        T* dst = whole ? out.data() + i * k : acc;
+        for (index_t g = 0; g < k; ++g) dst[g] = T(0);
+        for (index_t t = b; t < e; ++t) {
+          const index_t j = a.col_at(t);
+          const T av = a.val_at(t);
+          const T* hj = hy.data() + j * k;
+          for (index_t g = 0; g < k; ++g) dst[g] += av * hj[g];
+        }
+        if (!whole) {
+          T* sink = schedule_arena<T, 7>(static_cast<std::size_t>(k));
+          for (index_t g = 0; g < k; ++g) sink[g] += dst[g];
+        }
+      });
+      return;
+    case TuneProxy::kSddmmLike:
+      scheduled_rows(cs, a, [&](index_t i, index_t b, index_t e) {
+        const T* xi = hx.data() + i * k;
+        for (index_t t = b; t < e; ++t) {
+          const T* yj = hy.data() + a.col_at(t) * k;
+          T acc = T(0);
+          for (index_t g = 0; g < k; ++g) acc += xi[g] * yj[g];
+          edge_out[static_cast<std::size_t>(t)] = acc;
+        }
+      });
+      return;
+    case TuneProxy::kRowPassLike:
+      scheduled_rows(cs, a, [&](index_t i, index_t b, index_t e) {
+        (void)i;
+        T acc = T(0);
+        for (index_t t = b; t < e; ++t) acc += a.val_at(t);
+        schedule_arena<T, 7>(1)[0] += acc;
+      });
+      return;
+  }
+}
+
+// Time every candidate (median of kTuneReps), pick the fastest. Sampling is
+// rare (once per (kernel, signature) per cache lifetime), so the proxy
+// operands may allocate freely — the zero-allocation steady-state audits
+// only cover the memoized path.
+template <typename T>
+TunedChoice sample_candidates(const char* kernel, const CsrMatrix<T>& a,
+                              index_t k, TuneProxy proxy, bool supports_sell,
+                              bool supports_bcsr, const ScheduleStats& st) {
+  const index_t kk = std::clamp<index_t>(k, 1, kTuneProxyMaxK);
+  const index_t env_grain = schedule_grain_from_env();
+  const SchedulePolicy base =
+      resolve_schedule_policy(st, SchedulePolicy::kAuto, env_grain);
+  // Candidate generation honors the bitwise-invisibility contract in the
+  // header comment: only variants bitwise-identical to the untuned run may
+  // race.
+  std::vector<TuneCandidate> cands;
+  if (proxy == TuneProxy::kSddmmLike) {
+    // Per-edge output writes: every policy (and SELL) lands the same bits.
+    cands.push_back(
+        {SchedulePolicy::kRowParallel, env_grain, SparseFormat::kCsr});
+    if (st.nnz >= kTuneMinChunkedNnz) {
+      for (const SchedulePolicy p :
+           {SchedulePolicy::kEdgeBalanced, SchedulePolicy::kHybridBinned}) {
+        for (const index_t g : {index_t(256), kDefaultScheduleGrain}) {
+          cands.push_back({p, g, SparseFormat::kCsr});
+        }
+      }
+    }
+    if (supports_sell && st.nnz > 0) {
+      cands.push_back(
+          {SchedulePolicy::kRowParallel, env_grain, SparseFormat::kSell});
+    }
+  } else if (base == SchedulePolicy::kRowParallel) {
+    // Row reductions on a row-parallel baseline: the bitwise class is
+    // row-at-a-time CSR edge order — race the storage formats within it.
+    cands.push_back(
+        {SchedulePolicy::kRowParallel, env_grain, SparseFormat::kCsr});
+    if (supports_sell && st.nnz > 0) {
+      cands.push_back(
+          {SchedulePolicy::kRowParallel, env_grain, SparseFormat::kSell});
+    }
+    if (supports_bcsr && st.nnz > 0 && bcsr_for(a)->valid()) {
+      cands.push_back(
+          {SchedulePolicy::kRowParallel, env_grain, SparseFormat::kBcsr});
+    }
+  } else {
+    // Chunked baseline: the split-row fold order IS the result, so the only
+    // bitwise-equal variant is the baseline decomposition itself. Confirm it
+    // (the timed sample still prices it for the roofline) rather than race
+    // variants that would move the bits.
+    cands.push_back({base, env_grain, SparseFormat::kCsr});
+  }
+
+  // Proxy operands: one feature block per gather side (SDDMM x_i reads by
+  // row, SpMM/SDDMM y_j by column — distinct extents on rectangular local
+  // blocks), with deterministic non-trivial values.
+  auto make_operand = [kk](index_t n) {
+    DenseMatrix<T> m(std::max<index_t>(n, 1), kk);
+    for (index_t i = 0; i < m.rows(); ++i) {
+      for (index_t g = 0; g < kk; ++g) {
+        m(i, g) = T(1) + T((i + g) % 7) * T(0.125);
+      }
+    }
+    return m;
+  };
+  const DenseMatrix<T> hx = make_operand(a.rows());
+  const DenseMatrix<T> hy = make_operand(a.cols());
+  DenseMatrix<T> out(a.rows(), kk, T(0));
+  std::vector<T> edge_out(proxy == TuneProxy::kSddmmLike
+                              ? static_cast<std::size_t>(a.nnz())
+                              : std::size_t(0));
+
+  auto& reg = obs::MetricsRegistry::global();
+  obs::Histogram& hist =
+      reg.histogram(std::string("tune.") + kernel + ".sample_ns");
+  TuneCandidate best = cands.front();
+  std::uint64_t best_ns = ~std::uint64_t(0);
+  for (const TuneCandidate& cand : cands) {
+    // Candidate schedules are built locally, never cached on the matrix —
+    // only the winner earns the cache slot via schedule_for below.
+    const KernelSchedule cs = KernelSchedule::build(
+        a.row_ptr(),
+        cand.format == SparseFormat::kCsr ? cand.policy
+                                          : SchedulePolicy::kRowParallel,
+        cand.grain);
+    std::array<std::uint64_t, kTuneReps> t{};
+    for (int rep = 0; rep < kTuneReps; ++rep) {
+      const std::uint64_t t0 = obs::detail::now_ns();
+      run_tune_proxy(a, kk, proxy, cand, cs, hx, hy, out, edge_out);
+      t[static_cast<std::size_t>(rep)] = obs::detail::now_ns() - t0;
+      hist.record(t[static_cast<std::size_t>(rep)]);
+    }
+    std::sort(t.begin(), t.end());
+    const std::uint64_t med = t[kTuneReps / 2];
+    if (med < best_ns) {
+      best_ns = med;
+      best = cand;
+    }
+  }
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(cands.size()) * kTuneReps;
+  reg.counter(std::string("tune.") + kernel + ".samples").add(total);
+  reg.counter("tune.samples").add(total);
+  return TunedChoice{best.policy, best.grain, best.format, best_ns};
+}
+
+// The full tuner decision for one kernel call: warm cache -> memoized
+// choice; cold + frozen -> heuristic fallback (never sampled, never
+// stored); cold + live -> sample, memoize, persist.
+template <typename T>
+TunedChoice tuned_choice(const char* kernel, const CsrMatrix<T>& a, index_t k,
+                         TuneProxy proxy, bool supports_sell,
+                         bool supports_bcsr, TuneMode mode) {
+  auto& cache = TuningCache::global();
+  cache.sync_with_env();
+  const ScheduleStats st = tune_stats_for(a);
+  const GraphSignature sig = make_graph_signature(st, k);
+  auto& reg = obs::MetricsRegistry::global();
+  if (mode != TuneMode::kForceResample) {
+    if (auto hit = cache.lookup(kernel, sig)) {
+      reg.counter("tune.cache.hits").add(1);
+      return *hit;
+    }
+    reg.counter("tune.cache.misses").add(1);
+  }
+  if (tune_frozen()) {
+    reg.counter("tune.frozen_fallbacks").add(1);
+    TunedChoice c;
+    c.grain = schedule_grain_from_env();
+    c.policy = resolve_schedule_policy(st, SchedulePolicy::kAuto, c.grain);
+    c.format = SparseFormat::kCsr;
+    return c;
+  }
+  const TunedChoice c = sample_candidates(kernel, a, k, proxy, supports_sell,
+                                          supports_bcsr, st);
+  cache.store(kernel, sig, c);
+  reg.gauge(std::string("tune.") + kernel + ".choice")
+      .set(static_cast<double>(encode_tuned_choice(c)));
+  if (obs::Tracer::enabled()) {
+    obs::Tracer::instance().instant(
+        "tune.sampled", obs::SpanCategory::kKernel,
+        static_cast<std::uint64_t>(encode_tuned_choice(c)), 0);
+  }
+  return c;
+}
+
+// ---- the per-call dispatch resolution --------------------------------------
+// Every scheduled kernel entry point routes through this: it owns the
+// precedence rules in the header comment and returns a concrete (format,
+// schedule) pair. `sched` is non-null in every case that can reach a scalar
+// path (tuned blocked choices still carry a schedule so a bcsr-invalid
+// fallback has one to run on).
+
+struct ResolvedDispatch {
+  SparseFormat format = SparseFormat::kCsr;
+  const KernelSchedule* sched = nullptr;
+};
+
+template <typename T>
+ResolvedDispatch resolve_dispatch(const char* kernel, const CsrMatrix<T>& a,
+                                  index_t k, TuneProxy proxy,
+                                  bool supports_sell, bool supports_bcsr,
+                                  const KernelSchedule* explicit_sched,
+                                  std::shared_ptr<const KernelSchedule>& owned) {
+  ResolvedDispatch r;
+  const TuneMode mode = tune_mode_from_env();  // strict: throws on a typo
+  const bool degenerate = a.rows() == 0 || a.nnz() == 0;
+  const bool has_blocked = supports_sell || supports_bcsr;
+
+  // Axis pins (precedence rules 1-3). An unparseable AGNN_FORMAT keeps the
+  // csr default without pinning, matching sparse_format_from_env's
+  // tolerance; AGNN_TUNE itself is strict.
+  SparseFormat env_fmt = SparseFormat::kCsr;
+  bool fmt_pinned = false;
+  bool fmt_auto = false;
+  if (const char* e = std::getenv("AGNN_FORMAT")) {
+    SparseFormat f = SparseFormat::kCsr;
+    if (parse_sparse_format(e, f)) {
+      if (f == SparseFormat::kAuto) {
+        fmt_auto = true;
+      } else {
+        env_fmt = f;
+        fmt_pinned = true;
+      }
+    }
+  }
+  const SchedulePolicy env_policy = schedule_policy_from_env();
+  const index_t env_grain = schedule_grain_from_env();
+  const bool sched_pinned =
+      explicit_sched != nullptr || env_policy != SchedulePolicy::kAuto;
+
+  // Rule 4: both axes free and the tuner is live -> it owns the decision.
+  if (mode != TuneMode::kOff && !degenerate && !fmt_pinned && !sched_pinned) {
+    const TunedChoice c = tuned_choice(kernel, a, k, proxy, supports_sell,
+                                       supports_bcsr, mode);
+    r.format = c.format;
+    owned = schedule_for(a, c.policy, c.grain);
+    r.sched = owned.get();
+    return r;
+  }
+
+  // Rules 1-3 and 5: heuristics, schedule first.
+  if (explicit_sched != nullptr) {
+    r.sched = explicit_sched;
+  } else {
+    owned = schedule_for(a, env_policy, env_grain);
+    r.sched = owned.get();
+  }
+  if (!has_blocked || degenerate) return r;  // format stays csr
+  if (fmt_pinned) {
+    r.format = env_fmt;
+  } else if (fmt_auto) {
+    r.format = (r.sched->row_parallel() && a.nnz() >= kFormatAutoMinNnz)
+                   ? SparseFormat::kSell
+                   : SparseFormat::kCsr;
+  }
+  return r;
+}
+
+// Shorthand for kernels with no blocked variant — only the schedule axis is
+// tunable.
+template <typename T>
+const KernelSchedule* resolve_tuned_schedule(
+    const char* kernel, const CsrMatrix<T>& a, index_t k, TuneProxy proxy,
+    const KernelSchedule* explicit_sched,
+    std::shared_ptr<const KernelSchedule>& owned) {
+  return resolve_dispatch(kernel, a, k, proxy, false, false, explicit_sched,
+                          owned)
+      .sched;
+}
+
+}  // namespace detail
+
+}  // namespace agnn

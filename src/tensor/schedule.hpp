@@ -394,23 +394,26 @@ inline void schedule_built_mark(const KernelSchedule& s) {
 }  // namespace detail
 
 // The cached accessor used by every kernel when no explicit schedule is
-// passed: returns the schedule cached on the CSR when it matches the current
-// env-selected (policy, grain), rebuilding and re-caching otherwise. Safe to
-// call from concurrent rank threads sharing one CsrMatrix — the cache slot
+// passed: returns the schedule cached on the CSR when it matches the
+// requested (policy, grain), rebuilding and re-caching otherwise. One cache
+// slot per requested policy, so the autotuner asking for different policies
+// for different kernels on the same matrix never thrashes a rebuild. Safe to
+// call from concurrent rank threads sharing one CsrMatrix — each cache slot
 // is an atomic shared_ptr, and a lost race just builds the same schedule
 // twice.
 template <typename T>
 std::shared_ptr<const KernelSchedule> schedule_for(const CsrMatrix<T>& a,
                                                    SchedulePolicy requested,
                                                    index_t grain) {
-  auto cached = a.cached_schedule();
+  const int slot = static_cast<int>(requested);
+  auto cached = a.cached_schedule(slot);
   if (cached && cached->requested() == requested && cached->grain() == grain) {
     return cached;
   }
   auto built = std::make_shared<const KernelSchedule>(
       KernelSchedule::build(a.row_ptr(), requested, grain));
   detail::schedule_built_mark(*built);
-  a.cache_schedule(built);
+  a.cache_schedule(built, slot);
   return built;
 }
 

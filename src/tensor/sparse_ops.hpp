@@ -19,6 +19,7 @@
 #endif
 
 #include "obs/obs_scope.hpp"
+#include "tensor/autotune.hpp"
 #include "tensor/blocked_ops.hpp"
 #include "tensor/csr_matrix.hpp"
 #include "tensor/dense_matrix.hpp"
@@ -63,16 +64,20 @@ void sddmm(const CsrMatrix<T>& pattern, const DenseMatrix<T>& x,
   if (&out != &pattern) out = pattern;
   const index_t k = x.cols();
   auto v = out.vals_mutable();
-  // AGNN_FORMAT dispatch (bitwise-invisible; see blocked_ops.hpp). BCSR has
-  // no SDDMM kernel — only SELL reroutes, everything else stays scalar. The
+  // Format + schedule resolution (autotune.hpp owns the precedence; the
+  // blocked path is bitwise-invisible, see blocked_ops.hpp). BCSR has no
+  // SDDMM kernel — only SELL reroutes, everything else stays scalar. The
   // per-edge read of the pattern value happens before the write, so the
   // usual out-aliases-pattern contract holds on the blocked path too.
-  if (detail::dispatch_format(pattern) == SparseFormat::kSell) {
+  std::shared_ptr<const KernelSchedule> owned;
+  const detail::ResolvedDispatch rd = detail::resolve_dispatch(
+      "sddmm", pattern, k, TuneProxy::kSddmmLike, /*supports_sell=*/true,
+      /*supports_bcsr=*/false, sched, owned);
+  if (rd.format == SparseFormat::kSell) {
     sell_sddmm<true>(*sell_for(pattern), pattern.vals(), x, y, v);
     return;
   }
-  std::shared_ptr<const KernelSchedule> owned;
-  sched = detail::resolve_schedule(pattern, sched, owned);
+  sched = rd.sched;
   detail::scheduled_rows(*sched, pattern, [&](index_t i, index_t b, index_t e) {
     const T* xi = x.data() + i * k;
     for (index_t t = b; t < e; ++t) {
@@ -113,12 +118,15 @@ void sddmm_unweighted(const CsrMatrix<T>& pattern, const DenseMatrix<T>& x,
   if (&out != &pattern) out = pattern;
   const index_t k = x.cols();
   auto v = out.vals_mutable();
-  if (detail::dispatch_format(pattern) == SparseFormat::kSell) {
+  std::shared_ptr<const KernelSchedule> owned;
+  const detail::ResolvedDispatch rd = detail::resolve_dispatch(
+      "sddmm_unweighted", pattern, k, TuneProxy::kSddmmLike,
+      /*supports_sell=*/true, /*supports_bcsr=*/false, sched, owned);
+  if (rd.format == SparseFormat::kSell) {
     sell_sddmm<false>(*sell_for(pattern), pattern.vals(), x, y, v);
     return;
   }
-  std::shared_ptr<const KernelSchedule> owned;
-  sched = detail::resolve_schedule(pattern, sched, owned);
+  sched = rd.sched;
   detail::scheduled_rows(*sched, pattern, [&](index_t i, index_t b, index_t e) {
     const T* xi = x.data() + i * k;
     for (index_t t = b; t < e; ++t) {
@@ -197,7 +205,8 @@ void sparse_row_sums(const CsrMatrix<T>& a, std::vector<T>& s,
                         static_cast<std::uint64_t>(a.rows()) * sizeof(T));
   s.resize(static_cast<std::size_t>(a.rows()));
   std::shared_ptr<const KernelSchedule> owned;
-  sched = detail::resolve_schedule(a, sched, owned);
+  sched = detail::resolve_tuned_schedule("sparse_row_sums", a, 1,
+                                         TuneProxy::kRowPassLike, sched, owned);
   if (sched->row_parallel()) {
 #pragma omp parallel for schedule(dynamic, 64)
     for (index_t i = 0; i < a.rows(); ++i) {
@@ -327,7 +336,8 @@ void row_softmax_inplace(CsrMatrix<T>& x, const KernelSchedule* sched = nullptr)
                             sizeof(index_t)));
   auto v = x.vals_mutable();
   std::shared_ptr<const KernelSchedule> owned;
-  sched = detail::resolve_schedule(x, sched, owned);
+  sched = detail::resolve_tuned_schedule("row_softmax", x, 1,
+                                         TuneProxy::kRowPassLike, sched, owned);
   if (sched->row_parallel()) {
 #pragma omp parallel for schedule(dynamic, 64)
     for (index_t i = 0; i < x.rows(); ++i) {
@@ -456,7 +466,8 @@ void row_softmax_backward(const CsrMatrix<T>& s, const CsrMatrix<T>& ds,
   if (&dx != &s && &dx != &ds) dx = s;
   auto v = dx.vals_mutable();
   std::shared_ptr<const KernelSchedule> owned;
-  sched = detail::resolve_schedule(s, sched, owned);
+  sched = detail::resolve_tuned_schedule("row_softmax_backward", s, 1,
+                                         TuneProxy::kRowPassLike, sched, owned);
   if (sched->row_parallel()) {
 #pragma omp parallel for schedule(dynamic, 64)
     for (index_t i = 0; i < s.rows(); ++i) {
@@ -543,7 +554,8 @@ void scale_rows_cols(const CsrMatrix<T>& a, std::span<const T> scale_row,
   if (&out != &a) out = a;
   auto v = out.vals_mutable();
   std::shared_ptr<const KernelSchedule> owned;
-  sched = detail::resolve_schedule(a, sched, owned);
+  sched = detail::resolve_tuned_schedule("scale_rows_cols", a, 1,
+                                         TuneProxy::kRowPassLike, sched, owned);
   detail::scheduled_rows(*sched, a, [&](index_t i, index_t b, index_t e) {
     const T ri = scale_row[static_cast<std::size_t>(i)];
     for (index_t t = b; t < e; ++t) {

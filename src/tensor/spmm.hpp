@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "obs/obs_scope.hpp"
+#include "tensor/autotune.hpp"
 #include "tensor/blocked_ops.hpp"
 #include "tensor/csr_matrix.hpp"
 #include "tensor/dense_matrix.hpp"
@@ -43,10 +44,9 @@ void spmm_semiring(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
   const index_t n = a.rows(), k = h.cols();
   out.resize(n, k);
   std::shared_ptr<const KernelSchedule> owned;
-  if (sched == nullptr) {
-    owned = schedule_for(a);
-    sched = owned.get();
-  }
+  sched = detail::resolve_dispatch("spmm_semiring", a, k, TuneProxy::kSpmmLike,
+                                   false, false, sched, owned)
+              .sched;
   using Accum = typename S::Accum;
   if (sched->row_parallel()) {
 #pragma omp parallel
@@ -184,11 +184,16 @@ void spmm(const CsrMatrix<T>& a, const DenseMatrix<T>& h, DenseMatrix<T>& out,
                                 sizeof(T), sizeof(index_t)));
   AGNN_ASSERT(a.cols() == h.rows(), "spmm: dimension mismatch");
   const index_t n = a.rows(), k = h.cols();
-  // AGNN_FORMAT dispatch: the blocked kernels are bitwise-identical to the
-  // scalar loops below (blocked_ops.hpp), so this is a pure speed knob. An
-  // explicit schedule is irrelevant on the blocked paths — every output row
-  // is owned by exactly one chunk.
-  switch (detail::dispatch_format(a)) {
+  // Format + schedule resolution (env pins, AGNN_FORMAT=auto precedence, or
+  // the AGNN_TUNE tuner — autotune.hpp owns the rules). The blocked kernels
+  // are bitwise-identical to the scalar loops below (blocked_ops.hpp), so
+  // this is a pure speed knob. An explicit schedule is irrelevant on the
+  // blocked paths — every output row is owned by exactly one chunk.
+  std::shared_ptr<const KernelSchedule> owned;
+  const detail::ResolvedDispatch rd = detail::resolve_dispatch(
+      "spmm", a, k, TuneProxy::kSpmmLike, /*supports_sell=*/true,
+      /*supports_bcsr=*/true, sched, owned);
+  switch (rd.format) {
     case SparseFormat::kSell:
       sell_spmm(*sell_for(a), a.vals(), h, out);
       return;
@@ -202,11 +207,7 @@ void spmm(const CsrMatrix<T>& a, const DenseMatrix<T>& h, DenseMatrix<T>& out,
       break;
   }
   out.resize(n, k);
-  std::shared_ptr<const KernelSchedule> owned;
-  if (sched == nullptr) {
-    owned = schedule_for(a);
-    sched = owned.get();
-  }
+  sched = rd.sched;
   if (!sched->row_parallel()) {
     detail::spmm_chunked<false>(a, h, out, *sched);
     return;
@@ -247,10 +248,10 @@ void spmm_accumulate(const CsrMatrix<T>& a, const DenseMatrix<T>& h,
               "spmm_accumulate: output shape mismatch");
   const index_t n = a.rows(), k = h.cols();
   std::shared_ptr<const KernelSchedule> owned;
-  if (sched == nullptr) {
-    owned = schedule_for(a);
-    sched = owned.get();
-  }
+  sched = detail::resolve_dispatch("spmm_accumulate", a, k,
+                                   TuneProxy::kSpmmLike, false, false, sched,
+                                   owned)
+              .sched;
   if (!sched->row_parallel()) {
     detail::spmm_chunked<true>(a, h, out, *sched);
     return;

@@ -1,0 +1,235 @@
+// Persistent tuning cache for the measurement-driven autotuner
+// (tensor/autotune.hpp; DESIGN.md §16).
+//
+// The tuner memoizes one TunedChoice per (kernel, graph-signature) pair. The
+// signature buckets the shape-relevant statistics logarithmically — {rows,
+// nnz, max-degree, skew, feature width k} — so graphs of the same size class
+// share a choice and a handful of samples covers a whole workload. The
+// in-memory table is backed by an optional on-disk file (AGNN_TUNE_CACHE=
+// path): every store rewrites the file atomically (temp + rename), and a
+// warm file is merged in lazily the first time the tuner runs, so a restart
+// re-samples nothing (proven by counter assertions in test_autotune).
+//
+// The file format is versioned ("AGNNTUNE v1" header) and loading is
+// defensive by design: a missing file, a foreign/stale header, or a
+// corrupt/truncated line can never throw or abort — bad files are ignored
+// (counted in tune.cache.rejected_files), bad lines skipped (counted in
+// tune.cache.corrupt_lines), and the tuner simply re-measures what it could
+// not load.
+#pragma once
+
+#include <bit>
+#include <compare>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "tensor/common.hpp"
+#include "tensor/format.hpp"
+#include "tensor/schedule.hpp"
+
+namespace agnn {
+
+inline constexpr int kTuningCacheVersion = 1;
+
+// Log2 size-class bucket: 0 for 0, otherwise bit_width. Monotone, cheap,
+// and deterministic — two graphs land in the same bucket iff they agree in
+// every field, which is what the round-trip tests pin.
+inline std::uint8_t tune_bucket(std::uint64_t v) {
+  return static_cast<std::uint8_t>(std::bit_width(v));
+}
+
+struct GraphSignature {
+  std::uint8_t rows_b = 0;     // bit_width(rows)
+  std::uint8_t nnz_b = 0;      // bit_width(nnz)
+  std::uint8_t max_deg_b = 0;  // bit_width(max_row_nnz)
+  std::uint8_t skew_b = 0;     // bit_width(floor(skew))
+  std::uint8_t k_b = 0;        // bit_width(feature width)
+
+  auto operator<=>(const GraphSignature&) const = default;
+};
+
+inline GraphSignature make_graph_signature(const ScheduleStats& st, index_t k) {
+  GraphSignature s;
+  s.rows_b = tune_bucket(static_cast<std::uint64_t>(st.rows));
+  s.nnz_b = tune_bucket(static_cast<std::uint64_t>(st.nnz));
+  s.max_deg_b = tune_bucket(static_cast<std::uint64_t>(st.max_row_nnz));
+  s.skew_b = tune_bucket(static_cast<std::uint64_t>(st.skew < 0.0 ? 0.0 : st.skew));
+  s.k_b = tune_bucket(static_cast<std::uint64_t>(k < 0 ? 0 : k));
+  return s;
+}
+
+// A tuner decision: the dispatch configuration that won the micro-sampling
+// for its (kernel, signature) cell, plus the winning median sample time
+// (diagnostic only — it does not participate in dispatch).
+struct TunedChoice {
+  SchedulePolicy policy = SchedulePolicy::kRowParallel;
+  index_t grain = kDefaultScheduleGrain;
+  SparseFormat format = SparseFormat::kCsr;
+  std::uint64_t sample_ns = 0;
+};
+
+class TuningCache {
+ public:
+  static TuningCache& global() {
+    static TuningCache c;
+    return c;
+  }
+
+  std::optional<TunedChoice> lookup(std::string_view kernel,
+                                    const GraphSignature& sig) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto kit = table_.find(kernel);
+    if (kit == table_.end()) return std::nullopt;
+    const auto sit = kit->second.find(sig);
+    if (sit == kit->second.end()) return std::nullopt;
+    return sit->second;
+  }
+
+  // Insert (overwriting any stale entry) and, when AGNN_TUNE_CACHE names a
+  // path, rewrite the file so the choice survives the process.
+  void store(const std::string& kernel, const GraphSignature& sig,
+             const TunedChoice& choice) {
+    std::string path;
+    if (const char* p = std::getenv("AGNN_TUNE_CACHE")) path = p;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      table_[kernel][sig] = choice;
+    }
+    obs::MetricsRegistry::global().counter("tune.cache.stores").add(1);
+    if (!path.empty()) save_file(path);
+  }
+
+  // Lazily merge the env-named file the first time (or whenever the path
+  // changes — tests repoint it). Never throws; a bad file just means the
+  // tuner re-measures.
+  void sync_with_env() {
+    const char* p = std::getenv("AGNN_TUNE_CACHE");
+    if (p == nullptr || *p == '\0') return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (loaded_path_ == p) return;
+      loaded_path_ = p;
+    }
+    load_file(p);
+  }
+
+  // Merge a cache file into the table. Returns false (and counts
+  // tune.cache.rejected_files) when the file is unreadable or its header is
+  // missing/of another version; corrupt lines are skipped individually so a
+  // truncated tail never discards the valid prefix.
+  bool load_file(const std::string& path) {
+    auto& reg = obs::MetricsRegistry::global();
+    std::ifstream in(path);
+    std::string header;
+    if (!in.good() || !std::getline(in, header) ||
+        header != "AGNNTUNE v" + std::to_string(kTuningCacheVersion)) {
+      reg.counter("tune.cache.rejected_files").add(1);
+      return false;
+    }
+    std::uint64_t loaded = 0, corrupt = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::istringstream ls(line);
+      std::string kernel, policy_s, format_s;
+      unsigned rows_b, nnz_b, max_deg_b, skew_b, k_b;
+      long grain;
+      std::uint64_t ns;
+      SchedulePolicy policy = SchedulePolicy::kAuto;
+      SparseFormat format = SparseFormat::kCsr;
+      if (!(ls >> kernel >> rows_b >> nnz_b >> max_deg_b >> skew_b >> k_b >>
+            policy_s >> grain >> format_s >> ns) ||
+          !parse_schedule_policy(policy_s, policy) ||
+          policy == SchedulePolicy::kAuto ||
+          !parse_sparse_format(format_s, format) ||
+          format == SparseFormat::kAuto || grain <= 0 || rows_b > 64 ||
+          nnz_b > 64 || max_deg_b > 64 || skew_b > 64 || k_b > 64) {
+        ++corrupt;
+        continue;
+      }
+      GraphSignature sig;
+      sig.rows_b = static_cast<std::uint8_t>(rows_b);
+      sig.nnz_b = static_cast<std::uint8_t>(nnz_b);
+      sig.max_deg_b = static_cast<std::uint8_t>(max_deg_b);
+      sig.skew_b = static_cast<std::uint8_t>(skew_b);
+      sig.k_b = static_cast<std::uint8_t>(k_b);
+      TunedChoice c;
+      c.policy = policy;
+      c.grain = static_cast<index_t>(grain);
+      c.format = format;
+      c.sample_ns = ns;
+      std::lock_guard<std::mutex> lock(mu_);
+      // First writer wins: entries measured in this process are fresher
+      // than whatever the file says.
+      table_[kernel].emplace(sig, c);
+      ++loaded;
+    }
+    reg.counter("tune.cache.loads").add(1);
+    reg.counter("tune.cache.loaded_entries").add(loaded);
+    if (corrupt > 0) reg.counter("tune.cache.corrupt_lines").add(corrupt);
+    return true;
+  }
+
+  // Atomic rewrite: serialize to path.tmp, then rename over the target, so
+  // a concurrent reader never observes a torn file.
+  bool save_file(const std::string& path) const {
+    std::ostringstream os;
+    os << "AGNNTUNE v" << kTuningCacheVersion << '\n';
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [kernel, entries] : table_) {
+        for (const auto& [sig, c] : entries) {
+          os << kernel << ' ' << unsigned(sig.rows_b) << ' '
+             << unsigned(sig.nnz_b) << ' ' << unsigned(sig.max_deg_b) << ' '
+             << unsigned(sig.skew_b) << ' ' << unsigned(sig.k_b) << ' '
+             << to_string(c.policy) << ' ' << c.grain << ' '
+             << to_string(c.format) << ' ' << c.sample_ns << '\n';
+        }
+      }
+    }
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      if (!out.good()) return false;
+      out << os.str();
+      if (!out.good()) return false;
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+  }
+
+  // Drop everything, including the loaded-path memo — the next sync_with_env
+  // reloads the file. Tests use this to simulate a process restart.
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    table_.clear();
+    loaded_path_.clear();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const auto& [kernel, entries] : table_) n += entries.size();
+    return n;
+  }
+
+ private:
+  TuningCache() = default;
+  mutable std::mutex mu_;
+  // std::less<> keeps the per-call lookup heterogeneous: a string_view key
+  // probes without allocating, so tuned steady-state dispatch stays off the
+  // heap.
+  std::map<std::string, std::map<GraphSignature, TunedChoice>, std::less<>>
+      table_;
+  std::string loaded_path_;
+};
+
+}  // namespace agnn

@@ -44,7 +44,9 @@
 #include "dist/recovery.hpp"
 #include "graph/graph.hpp"
 #include "serve/batch_forward.hpp"
+#include "tensor/autotune.hpp"
 #include "tensor/fused.hpp"
+#include "tensor/tuning_cache.hpp"
 #include "tensor/reference_impls.hpp"
 #include "tensor/schedule.hpp"
 #include "tensor/sparse_ops.hpp"
@@ -644,6 +646,122 @@ inline void check_formats(const Scenario& sc, Failures& out) {
     fused_gat_aggregate<double>(a, s1, s2, slope, x, ref_gat, &row);
     compare_dense_bits(tag + "_dispatch_fused_gat", env_gat, ref_gat, out);
   }
+}
+
+// ---- suite: tuned dispatch --------------------------------------------------
+// The autotuner's bitwise-invisibility contract (autotune.hpp): candidates
+// race only inside the untuned run's bitwise-equivalence class, so every
+// public scheduled kernel must land the same bits with AGNN_TUNE=on (cold
+// cache), on again (warm cache), and force-resample as with the tuner off —
+// regardless of which candidate wins the timing race. The seed budget
+// shrinks on sanitizer legs via the usual --count knob
+// (AGNN_FUZZ_TUNE_SEEDS in ctest). A divergence replays with
+// `diff_fuzz --suite tune --seed N`.
+inline void check_tune(const Scenario& sc, Failures& out) {
+  auto a = make_graph<double>(sc);
+  {
+    Rng rng(sc.seed * 0x8cb92ba72f3d8dd7ULL + 71);
+    auto v = a.vals_mutable();
+    for (index_t e = 0; e < a.nnz(); ++e) {
+      v[static_cast<std::size_t>(e)] = rng.next_uniform(-2.0, 2.0);
+    }
+  }
+  const auto h = make_features<double>(sc, sc.n, sc.k, 11);
+  const auto x = make_features<double>(sc, sc.n, std::max<index_t>(1, sc.k - 1), 13);
+  const auto s1 = make_scores<double>(sc, sc.n, 17);
+  const auto s2 = make_scores<double>(sc, sc.n, 19);
+  const double slope = 0.2;
+
+  // Hermetic legs: pin every dispatch knob for the duration and restore on
+  // exit so nothing leaks into the other suites of the same fuzz run.
+  struct EnvGuard {
+    const char* name;
+    bool had = false;
+    std::string saved;
+    EnvGuard(const char* n, const char* value) : name(n) {
+      if (const char* old = std::getenv(n)) {
+        had = true;
+        saved = old;
+      }
+      if (value != nullptr) {
+        setenv(n, value, 1);
+      } else {
+        unsetenv(n);
+      }
+    }
+    ~EnvGuard() {
+      if (had) {
+        setenv(name, saved.c_str(), 1);
+      } else {
+        unsetenv(name);
+      }
+    }
+  };
+  EnvGuard tune_env("AGNN_TUNE", nullptr);
+  EnvGuard fmt_env("AGNN_FORMAT", nullptr);
+  EnvGuard sched_env("AGNN_SCHEDULE", nullptr);
+  EnvGuard grain_env("AGNN_SCHEDULE_GRAIN", nullptr);
+  EnvGuard cache_env("AGNN_TUNE_CACHE", nullptr);
+
+  struct Outs {
+    DenseMatrix<double> mm, va, gat;
+    CsrMatrix<double> dd, soft, dx, agnn, gscores, gpsi;
+    std::vector<double> sums;
+  };
+  auto run_all = [&]() {
+    Outs o;
+    spmm(a, h, o.mm);
+    sddmm(a, h, h, o.dd);
+    sparse_row_sums(a, o.sums);
+    row_softmax(o.dd, o.soft);
+    {
+      auto ds = o.soft;
+      auto v = ds.vals_mutable();
+      Rng r2(sc.seed * 0x8cb92ba72f3d8dd7ULL + 31);
+      for (auto& z : v) z = r2.next_uniform(-1.0, 1.0);
+      row_softmax_backward(o.soft, ds, o.dx);
+    }
+    psi_agnn(a, h, o.agnn);
+    psi_gat<double>(a, s1, s2, slope, o.gscores, o.gpsi);
+    fused_va_aggregate(a, h, x, o.va);
+    fused_gat_aggregate<double>(a, s1, s2, slope, x, o.gat);
+    return o;
+  };
+  auto compare_leg = [&](const std::string& leg, const Outs& got,
+                         const Outs& want) {
+    compare_dense_bits(leg + "_spmm", got.mm, want.mm, out);
+    compare_sparse_bits(leg + "_sddmm", got.dd, want.dd, out);
+    if (got.sums.size() != want.sums.size()) {
+      out.push_back({leg + "_row_sums", "size mismatch"});
+    } else {
+      for (std::size_t i = 0; i < got.sums.size(); ++i) {
+        if (!bits_equal(got.sums[i], want.sums[i])) {
+          out.push_back({leg + "_row_sums",
+                         "bit mismatch at " + std::to_string(i)});
+          break;
+        }
+      }
+    }
+    compare_sparse_bits(leg + "_row_softmax", got.soft, want.soft, out);
+    compare_sparse_bits(leg + "_softmax_backward", got.dx, want.dx, out);
+    compare_sparse_bits(leg + "_psi_agnn", got.agnn, want.agnn, out);
+    compare_sparse_bits(leg + "_gat_scores", got.gscores, want.gscores, out);
+    compare_sparse_bits(leg + "_gat_psi", got.gpsi, want.gpsi, out);
+    compare_dense_bits(leg + "_fused_va", got.va, want.va, out);
+    compare_dense_bits(leg + "_fused_gat", got.gat, want.gat, out);
+  };
+
+  TuningCache::global().clear();
+  const Outs want = run_all();  // tuner off: the heuristic baseline
+  setenv("AGNN_TUNE", "on", 1);
+  const Outs cold = run_all();  // cold cache: samples, memoizes
+  compare_leg("tune_cold", cold, want);
+  const Outs warm = run_all();  // warm cache: memoized choices only
+  compare_leg("tune_warm", warm, want);
+  setenv("AGNN_TUNE", "force-resample", 1);
+  const Outs forced = run_all();  // re-measured winners, same bitwise class
+  compare_leg("tune_forced", forced, want);
+  TuningCache::global().clear();  // keep later suites hermetic
 }
 
 // ---- suite 3: distributed engines vs the sequential model ------------------

@@ -23,6 +23,7 @@
 #include "core/model.hpp"
 #include "dist/engine_factory.hpp"
 #include "graph/graph.hpp"
+#include "tensor/tuning_cache.hpp"
 #include "test_utils.hpp"
 
 namespace agnn {
@@ -194,6 +195,40 @@ TEST_P(GoldenModels, AllPoliciesMatchPinnedValues) {
   }
   ::unsetenv("AGNN_SCHEDULE");
   ::unsetenv("AGNN_SCHEDULE_GRAIN");
+}
+
+// The autotuner must reproduce the pinned goldens bitwise relative to the
+// untuned run — its candidate space is restricted to the untuned path's
+// bitwise-equivalence class (autotune.hpp) — so the same pinned values hold
+// at the same tolerance for all five model kinds. The cache starts cold so
+// the cold-sampling path itself runs inside the golden workload, then the
+// warm second pass must land on identical values.
+TEST_P(GoldenModels, TunedMatchesPinnedValues) {
+  if (std::getenv("AGNN_REGEN_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "regeneration handled by MatchesPinnedValues";
+  }
+  const ModelKind kind = GetParam();
+  const GoldenData golden = load_golden();
+  ASSERT_FALSE(golden.empty()) << "missing " << kGoldenFile;
+  TuningCache::global().clear();
+  ::setenv("AGNN_TUNE", "on", 1);
+  for (const char* pass : {"cold", "warm"}) {
+    const auto actual = compute_quantities(kind);
+    for (const auto& [key, values] : actual) {
+      const std::string full = std::string(to_string(kind)) + "." + key;
+      const auto it = golden.find(full);
+      ASSERT_NE(it, golden.end()) << "golden file lacks " << full;
+      ASSERT_EQ(it->second.size(), values.size()) << full;
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        const double tol = 1e-9 * (1.0 + std::abs(it->second[i]));
+        EXPECT_NEAR(values[i], it->second[i], tol)
+            << full << "[" << i << "] under AGNN_TUNE=on (" << pass
+            << " cache)";
+      }
+    }
+  }
+  ::unsetenv("AGNN_TUNE");
+  TuningCache::global().clear();
 }
 
 // Every distribution policy must land on the same pinned goldens — the
