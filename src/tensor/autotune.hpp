@@ -64,6 +64,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdlib>
 #include <memory>
 #include <optional>
@@ -387,7 +388,15 @@ TunedChoice tuned_choice(const char* kernel, const CsrMatrix<T>& a, index_t k,
   auto& cache = TuningCache::global();
   cache.sync_with_env();
   const ScheduleStats st = tune_stats_for(a);
-  const GraphSignature sig = make_graph_signature(st, k);
+  // The signature carries the effective grain and the baseline policy it
+  // resolves: the baseline fixes the bitwise-equivalence class the
+  // candidates raced in, so a choice sampled under one AGNN_SCHEDULE_GRAIN
+  // (say, a row-parallel baseline at the 1024 default) must miss — and
+  // re-sample — under a grain whose baseline is a different decomposition
+  // (say, hybrid-binned at 64). Serving a stale cell across that boundary
+  // would let AGNN_TUNE change result bits.
+  const index_t env_grain = schedule_grain_from_env();
+  const GraphSignature sig = make_graph_signature(st, k, env_grain);
   auto& reg = obs::MetricsRegistry::global();
   if (mode != TuneMode::kForceResample) {
     if (auto hit = cache.lookup(kernel, sig)) {
@@ -398,10 +407,18 @@ TunedChoice tuned_choice(const char* kernel, const CsrMatrix<T>& a, index_t k,
   }
   if (tune_frozen()) {
     reg.counter("tune.frozen_fallbacks").add(1);
+    // The documented fallback is the auto heuristics — BOTH axes: the
+    // schedule resolves first, then the AGNN_FORMAT=auto rule picks SELL
+    // for large row-parallel reductions (resolve_dispatch rule 5). Pinning
+    // CSR here would silently run the slower scalar path on every unseen
+    // signature of a frozen InferenceServer.
     TunedChoice c;
-    c.grain = schedule_grain_from_env();
+    c.grain = env_grain;
     c.policy = resolve_schedule_policy(st, SchedulePolicy::kAuto, c.grain);
-    c.format = SparseFormat::kCsr;
+    c.format = (supports_sell && c.policy == SchedulePolicy::kRowParallel &&
+                st.nnz >= kFormatAutoMinNnz)
+                   ? SparseFormat::kSell
+                   : SparseFormat::kCsr;
     return c;
   }
   const TunedChoice c = sample_candidates(kernel, a, k, proxy, supports_sell,

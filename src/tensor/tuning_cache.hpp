@@ -4,13 +4,20 @@
 // The tuner memoizes one TunedChoice per (kernel, graph-signature) pair. The
 // signature buckets the shape-relevant statistics logarithmically — {rows,
 // nnz, max-degree, skew, feature width k} — so graphs of the same size class
-// share a choice and a handful of samples covers a whole workload. The
-// in-memory table is backed by an optional on-disk file (AGNN_TUNE_CACHE=
-// path): every store rewrites the file atomically (temp + rename), and a
-// warm file is merged in lazily the first time the tuner runs, so a restart
-// re-samples nothing (proven by counter assertions in test_autotune).
+// share a choice and a handful of samples covers a whole workload. It ALSO
+// carries the exact effective schedule grain and the auto-policy baseline
+// resolved under it: the baseline fixes the bitwise-equivalence class the
+// candidates were allowed to race in (a chunked baseline's split-row fold
+// order depends on the grain), so a choice sampled under one
+// AGNN_SCHEDULE_GRAIN must never be served under another — that would let
+// AGNN_TUNE change result bits. The in-memory table is backed by an
+// optional on-disk file (AGNN_TUNE_CACHE=path): every store rewrites the
+// file atomically (unique temp + rename, in-process saves serialized), and
+// a warm file is merged in lazily the first time the tuner runs, so a
+// restart re-samples nothing (proven by counter assertions in
+// test_autotune).
 //
-// The file format is versioned ("AGNNTUNE v1" header) and loading is
+// The file format is versioned ("AGNNTUNE v2" header) and loading is
 // defensive by design: a missing file, a foreign/stale header, or a
 // corrupt/truncated line can never throw or abort — bad files are ignored
 // (counted in tune.cache.rejected_files), bad lines skipped (counted in
@@ -18,6 +25,7 @@
 // not load.
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <compare>
 #include <cstdint>
@@ -31,6 +39,8 @@
 #include <string>
 #include <string_view>
 
+#include <unistd.h>
+
 #include "obs/metrics.hpp"
 #include "tensor/common.hpp"
 #include "tensor/format.hpp"
@@ -38,7 +48,10 @@
 
 namespace agnn {
 
-inline constexpr int kTuningCacheVersion = 1;
+// v2: the signature gained {grain, baseline} — v1 entries lack the fields
+// that keep tuned dispatch bitwise-invisible across AGNN_SCHEDULE_GRAIN
+// changes, so v1 files are rejected (gracefully) rather than migrated.
+inline constexpr int kTuningCacheVersion = 2;
 
 // Log2 size-class bucket: 0 for 0, otherwise bit_width. Monotone, cheap,
 // and deterministic — two graphs land in the same bucket iff they agree in
@@ -53,17 +66,33 @@ struct GraphSignature {
   std::uint8_t max_deg_b = 0;  // bit_width(max_row_nnz)
   std::uint8_t skew_b = 0;     // bit_width(floor(skew))
   std::uint8_t k_b = 0;        // bit_width(feature width)
+  // The dispatch environment the choice was sampled under. The auto-policy
+  // baseline depends on the schedule grain (max_row_nnz >= 4*grain flips
+  // row-parallel to hybrid-binned, schedule.hpp), and the baseline fixes
+  // the bitwise-equivalence class the candidates were allowed to race in —
+  // so a choice is only valid under the exact (grain, baseline) it was
+  // measured with. The grain is stored EXACTLY, not log-bucketed: a chunked
+  // baseline's split-row decomposition (and thus its fold order) changes
+  // with any grain change, and two graphs sharing every log2 bucket can
+  // still straddle the 4*grain threshold under a non-power-of-two grain.
+  index_t grain = kDefaultScheduleGrain;
+  std::uint8_t baseline =
+      static_cast<std::uint8_t>(SchedulePolicy::kRowParallel);
 
   auto operator<=>(const GraphSignature&) const = default;
 };
 
-inline GraphSignature make_graph_signature(const ScheduleStats& st, index_t k) {
+inline GraphSignature make_graph_signature(const ScheduleStats& st, index_t k,
+                                           index_t grain) {
   GraphSignature s;
   s.rows_b = tune_bucket(static_cast<std::uint64_t>(st.rows));
   s.nnz_b = tune_bucket(static_cast<std::uint64_t>(st.nnz));
   s.max_deg_b = tune_bucket(static_cast<std::uint64_t>(st.max_row_nnz));
   s.skew_b = tune_bucket(static_cast<std::uint64_t>(st.skew < 0.0 ? 0.0 : st.skew));
   s.k_b = tune_bucket(static_cast<std::uint64_t>(k < 0 ? 0 : k));
+  s.grain = grain < 1 ? 1 : grain;  // KernelSchedule::build's clamp
+  s.baseline = static_cast<std::uint8_t>(
+      resolve_schedule_policy(st, SchedulePolicy::kAuto, s.grain));
   return s;
 }
 
@@ -140,19 +169,23 @@ class TuningCache {
     while (std::getline(in, line)) {
       if (line.empty()) continue;
       std::istringstream ls(line);
-      std::string kernel, policy_s, format_s;
+      std::string kernel, baseline_s, policy_s, format_s;
       unsigned rows_b, nnz_b, max_deg_b, skew_b, k_b;
-      long grain;
+      long sig_grain, grain;
       std::uint64_t ns;
+      SchedulePolicy baseline = SchedulePolicy::kAuto;
       SchedulePolicy policy = SchedulePolicy::kAuto;
       SparseFormat format = SparseFormat::kCsr;
       if (!(ls >> kernel >> rows_b >> nnz_b >> max_deg_b >> skew_b >> k_b >>
-            policy_s >> grain >> format_s >> ns) ||
+            sig_grain >> baseline_s >> policy_s >> grain >> format_s >> ns) ||
+          !parse_schedule_policy(baseline_s, baseline) ||
+          baseline == SchedulePolicy::kAuto ||
           !parse_schedule_policy(policy_s, policy) ||
           policy == SchedulePolicy::kAuto ||
           !parse_sparse_format(format_s, format) ||
-          format == SparseFormat::kAuto || grain <= 0 || rows_b > 64 ||
-          nnz_b > 64 || max_deg_b > 64 || skew_b > 64 || k_b > 64) {
+          format == SparseFormat::kAuto || sig_grain <= 0 || grain <= 0 ||
+          rows_b > 64 || nnz_b > 64 || max_deg_b > 64 || skew_b > 64 ||
+          k_b > 64) {
         ++corrupt;
         continue;
       }
@@ -162,6 +195,8 @@ class TuningCache {
       sig.max_deg_b = static_cast<std::uint8_t>(max_deg_b);
       sig.skew_b = static_cast<std::uint8_t>(skew_b);
       sig.k_b = static_cast<std::uint8_t>(k_b);
+      sig.grain = static_cast<index_t>(sig_grain);
+      sig.baseline = static_cast<std::uint8_t>(baseline);
       TunedChoice c;
       c.policy = policy;
       c.grain = static_cast<index_t>(grain);
@@ -179,9 +214,15 @@ class TuningCache {
     return true;
   }
 
-  // Atomic rewrite: serialize to path.tmp, then rename over the target, so
-  // a concurrent reader never observes a torn file.
+  // Atomic rewrite: serialize to a writer-unique temp, then rename over the
+  // target, so a concurrent reader never observes a torn file. The temp name
+  // carries the pid plus a process-wide counter — two processes sharing one
+  // AGNN_TUNE_CACHE (or two threads racing store()) never interleave writes
+  // into the same temp or rename a half-written one — and in-process saves
+  // additionally serialize on save_mu_ across the whole write+rename, so the
+  // last completed save is always a complete snapshot.
   bool save_file(const std::string& path) const {
+    std::lock_guard<std::mutex> save_lock(save_mu_);
     std::ostringstream os;
     os << "AGNNTUNE v" << kTuningCacheVersion << '\n';
     {
@@ -191,19 +232,28 @@ class TuningCache {
           os << kernel << ' ' << unsigned(sig.rows_b) << ' '
              << unsigned(sig.nnz_b) << ' ' << unsigned(sig.max_deg_b) << ' '
              << unsigned(sig.skew_b) << ' ' << unsigned(sig.k_b) << ' '
+             << sig.grain << ' '
+             << to_string(static_cast<SchedulePolicy>(sig.baseline)) << ' '
              << to_string(c.policy) << ' ' << c.grain << ' '
              << to_string(c.format) << ' ' << c.sample_ns << '\n';
         }
       }
     }
-    const std::string tmp = path + ".tmp";
+    static std::atomic<std::uint64_t> save_seq{0};
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+        std::to_string(save_seq.fetch_add(1, std::memory_order_relaxed));
     {
       std::ofstream out(tmp, std::ios::trunc);
       if (!out.good()) return false;
       out << os.str();
       if (!out.good()) return false;
     }
-    return std::rename(tmp.c_str(), path.c_str()) == 0;
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+    return true;
   }
 
   // Drop everything, including the loaded-path memo — the next sync_with_env
@@ -224,6 +274,7 @@ class TuningCache {
  private:
   TuningCache() = default;
   mutable std::mutex mu_;
+  mutable std::mutex save_mu_;  // serializes save_file's write+rename
   // std::less<> keeps the per-call lookup heterogeneous: a string_view key
   // probes without allocating, so tuned steady-state dispatch stays off the
   // heap.

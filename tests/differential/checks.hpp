@@ -761,6 +761,25 @@ inline void check_tune(const Scenario& sc, Failures& out) {
   setenv("AGNN_TUNE", "force-resample", 1);
   const Outs forced = run_all();  // re-measured winners, same bitwise class
   compare_leg("tune_forced", forced, want);
+
+  // Grain-varied legs. The table still holds the default-grain choices, so
+  // this doubles as the grain-aliasing regression: the auto baseline (and
+  // any chunked decomposition's fold order) depends on AGNN_SCHEDULE_GRAIN,
+  // so a cell sampled under the default grain must MISS under this one —
+  // being served across the boundary would let AGNN_TUNE move bits. The
+  // grain is seed-derived and includes non-powers-of-two, which share log2
+  // buckets with their neighbors but may straddle the 4*grain threshold.
+  const std::string grain =
+      std::to_string(64 + (sc.seed % 5) * 48);  // 64..256, mostly non-pow2
+  setenv("AGNN_SCHEDULE_GRAIN", grain.c_str(), 1);
+  unsetenv("AGNN_TUNE");
+  const Outs want_g = run_all();  // the untuned baseline under THIS grain
+  setenv("AGNN_TUNE", "on", 1);
+  const Outs cold_g = run_all();  // fresh cells: samples under this grain
+  compare_leg("tune_grain" + grain + "_cold", cold_g, want_g);
+  const Outs warm_g = run_all();
+  compare_leg("tune_grain" + grain + "_warm", warm_g, want_g);
+
   TuningCache::global().clear();  // keep later suites hermetic
 }
 

@@ -107,6 +107,25 @@ CsrMatrix<double> hub_graph(index_t n, index_t hub_deg, std::uint64_t seed) {
   return CsrMatrix<double>::from_coo(coo);
 }
 
+// Every row degree 64, one degree-300 hub: nnz ≈ 26k (over the auto
+// threshold), skew ≈ 4.6 (under the edge-balanced threshold), max degree
+// 300 — so the auto baseline is row-parallel under the 1024 default grain
+// (300 < 4*1024) but hybrid-binned under grain 64 (300 >= 4*64). The grain
+// regression tests need exactly this baseline flip.
+CsrMatrix<double> grain_sensitive_graph() {
+  Rng rng(151);
+  CooMatrix<double> coo;
+  coo.n_rows = coo.n_cols = 400;
+  for (index_t i = 0; i < 400; ++i) {
+    const index_t deg = i == 0 ? 300 : 64;
+    for (index_t j = 1; j <= deg; ++j) {
+      coo.push_back(i, (i + j) % 400, rng.next_uniform(0.1, 1.0));
+    }
+  }
+  coo.sum_duplicates();
+  return CsrMatrix<double>::from_coo(coo);
+}
+
 // ---- 1. signature bucketing -------------------------------------------------
 
 TEST_F(Autotune, SignatureBucketingIsDeterministicAndLogarithmic) {
@@ -120,22 +139,34 @@ TEST_F(Autotune, SignatureBucketingIsDeterministicAndLogarithmic) {
 
   const auto a = hub_graph(400, 120, 17);
   const ScheduleStats st = compute_schedule_stats(a.row_ptr());
-  const GraphSignature s1 = make_graph_signature(st, 16);
-  const GraphSignature s2 = make_graph_signature(st, 16);
-  EXPECT_EQ(s1, s2) << "same stats + k must bucket identically";
+  const GraphSignature s1 = make_graph_signature(st, 16, kDefaultScheduleGrain);
+  const GraphSignature s2 = make_graph_signature(st, 16, kDefaultScheduleGrain);
+  EXPECT_EQ(s1, s2) << "same stats + k + grain must bucket identically";
 
   // Same size class -> same signature: two graphs whose stats share every
   // bucket are one tuning cell.
   const auto b = hub_graph(401, 121, 99);
-  const GraphSignature s3 =
-      make_graph_signature(compute_schedule_stats(b.row_ptr()), 16);
+  const GraphSignature s3 = make_graph_signature(
+      compute_schedule_stats(b.row_ptr()), 16, kDefaultScheduleGrain);
   EXPECT_EQ(s1, s3);
 
   // The feature width is part of the key: k=16 and k=64 tune separately.
-  EXPECT_NE(s1, make_graph_signature(st, 64));
+  EXPECT_NE(s1, make_graph_signature(st, 64, kDefaultScheduleGrain));
+  // The schedule grain is part of the key — EXACTLY, not log-bucketed: the
+  // auto-policy baseline (and a chunked decomposition's fold order) depends
+  // on it, so choices sampled under different grains must not share a cell.
+  EXPECT_NE(s1, make_graph_signature(st, 16, 64));
+  EXPECT_NE(make_graph_signature(st, 16, 768),
+            make_graph_signature(st, 16, 1023))
+      << "same log2 bucket, different grains: still distinct cells";
+  // The resolved baseline is recorded in the signature.
+  EXPECT_EQ(static_cast<SchedulePolicy>(s1.baseline),
+            resolve_schedule_policy(st, SchedulePolicy::kAuto,
+                                    kDefaultScheduleGrain));
   // Quadrupling the hub moves max_deg (and skew) buckets.
   const auto c = hub_graph(400, 120 * 4, 17);
-  EXPECT_NE(s1, make_graph_signature(compute_schedule_stats(c.row_ptr()), 16));
+  EXPECT_NE(s1, make_graph_signature(compute_schedule_stats(c.row_ptr()), 16,
+                                     kDefaultScheduleGrain));
 }
 
 // ---- 2. AGNN_TUNE parsing ---------------------------------------------------
@@ -268,6 +299,57 @@ TEST_F(Autotune, ForceResampleIgnoresWarmEntries) {
   }
 }
 
+// The grain-aliasing regression: a TunedChoice sampled under one
+// AGNN_SCHEDULE_GRAIN (row-parallel baseline at the 1024 default) must NOT
+// be served under another (hybrid-binned baseline at 64) — the two
+// baselines are different reduction decompositions, so a stale hit would
+// make tuned and untuned runs disagree bitwise. The signature carries
+// {grain, baseline}: the second grain is a fresh cell, it re-samples, and
+// the tuned output matches the untuned output under THAT grain to the bit.
+TEST_F(Autotune, WarmCacheFromAnotherGrainIsNotServedAcrossBaselines) {
+  ScopedEnv cache_env("AGNN_TUNE_CACHE", nullptr);
+  ScopedEnv fmt_env("AGNN_FORMAT", nullptr);
+  ScopedEnv sched_env("AGNN_SCHEDULE", nullptr);
+  const auto a = grain_sensitive_graph();
+  const ScheduleStats st = compute_schedule_stats(a.row_ptr());
+  ASSERT_EQ(resolve_schedule_policy(st, SchedulePolicy::kAuto,
+                                    kDefaultScheduleGrain),
+            SchedulePolicy::kRowParallel)
+      << "precondition: row-parallel baseline at the default grain";
+  ASSERT_EQ(resolve_schedule_policy(st, SchedulePolicy::kAuto, 64),
+            SchedulePolicy::kHybridBinned)
+      << "precondition: chunked baseline at grain 64";
+
+  const auto h = random_dense<double>(a.rows(), 8, 149);
+  DenseMatrix<double> out;
+  {
+    // Warm the default-grain cell.
+    ScopedEnv grain_env("AGNN_SCHEDULE_GRAIN", nullptr);
+    ScopedEnv tune_env("AGNN_TUNE", "on");
+    spmm(a, h, out);
+    EXPECT_GT(TuningCache::global().size(), 0u);
+  }
+  ScopedEnv grain_env("AGNN_SCHEDULE_GRAIN", "64");
+  DenseMatrix<double> want;
+  {
+    ScopedEnv tune_env("AGNN_TUNE", nullptr);
+    spmm(a, h, want);  // the untuned hybrid-binned answer
+  }
+  ScopedEnv tune_env("AGNN_TUNE", "on");
+  const std::uint64_t s0 = counter_value("tune.samples");
+  DenseMatrix<double> got;
+  spmm(a, h, got);
+  EXPECT_GT(counter_value("tune.samples"), s0)
+      << "the default-grain entry must MISS under grain 64, not be served";
+  ASSERT_EQ(got.rows(), want.rows());
+  for (index_t i = 0; i < want.rows(); ++i) {
+    for (index_t j = 0; j < want.cols(); ++j) {
+      ASSERT_EQ(got(i, j), want(i, j))
+          << "tuned bits diverged from untuned at grain 64";
+    }
+  }
+}
+
 // ---- 4. defensive cache loading --------------------------------------------
 
 TEST_F(Autotune, CorruptAndStaleCacheFilesAreIgnoredGracefully) {
@@ -279,14 +361,23 @@ TEST_F(Autotune, CorruptAndStaleCacheFilesAreIgnoredGracefully) {
 
   // (a) garbage header
   const std::string garbage = dir + "agnn_tune_garbage.cache";
-  write_file(garbage, "not a tuning cache\nspmm 5 9 7 3 5 row_parallel 1024 csr 10\n");
+  write_file(garbage,
+             "not a tuning cache\n"
+             "spmm 5 9 7 3 5 1024 row_parallel row_parallel 1024 csr 10\n");
   EXPECT_FALSE(TuningCache::global().load_file(garbage));
   EXPECT_EQ(TuningCache::global().size(), 0u);
 
-  // (b) version mismatch
+  // (b) version mismatch — future AND past: a v1 file (whose signatures
+  // predate the grain/baseline fields) must be rejected, not misparsed.
   const std::string stale = dir + "agnn_tune_stale.cache";
-  write_file(stale, "AGNNTUNE v999\nspmm 5 9 7 3 5 row_parallel 1024 csr 10\n");
+  write_file(stale,
+             "AGNNTUNE v999\n"
+             "spmm 5 9 7 3 5 1024 row_parallel row_parallel 1024 csr 10\n");
   EXPECT_FALSE(TuningCache::global().load_file(stale));
+  EXPECT_EQ(TuningCache::global().size(), 0u);
+  const std::string v1 = dir + "agnn_tune_v1.cache";
+  write_file(v1, "AGNNTUNE v1\nspmm 5 9 7 3 5 row_parallel 1024 csr 10\n");
+  EXPECT_FALSE(TuningCache::global().load_file(v1));
   EXPECT_EQ(TuningCache::global().size(), 0u);
 
   // (c) missing file
@@ -295,18 +386,21 @@ TEST_F(Autotune, CorruptAndStaleCacheFilesAreIgnoredGracefully) {
   // (d) truncated/corrupt lines: the valid prefix loads, the junk is skipped,
   // nothing throws.
   const std::string mixed = dir + "agnn_tune_mixed.cache";
-  write_file(mixed,
-             "AGNNTUNE v1\n"
-             "spmm 5 9 7 3 5 row_parallel 1024 csr 10\n"
-             "sddmm 5 9 7 3 5 edge_balanced 256 sell 20\n"
-             "spmm 5 9 7 3 5 auto 1024 csr 10\n"        // auto is not storable
-             "spmm 5 9 7 3 5 row_parallel -8 csr 10\n"  // bad grain
-             "spmm 99 9 7 3 5 row_parallel 1024 csr 10\n"  // bucket > 64
-             "sparse_row_sums 5 9 7 3\n");                 // truncated tail
+  write_file(
+      mixed,
+      "AGNNTUNE v2\n"
+      "spmm 5 9 7 3 5 1024 row_parallel row_parallel 1024 csr 10\n"
+      "sddmm 5 9 7 3 5 1024 row_parallel edge_balanced 256 sell 20\n"
+      "spmm 5 9 7 3 5 1024 row_parallel auto 1024 csr 10\n"  // auto not storable
+      "spmm 5 9 7 3 5 1024 auto row_parallel 1024 csr 10\n"  // nor auto baseline
+      "spmm 5 9 7 3 5 1024 row_parallel row_parallel -8 csr 10\n"  // bad grain
+      "spmm 5 9 7 3 5 0 row_parallel row_parallel 1024 csr 10\n"  // bad sig grain
+      "spmm 99 9 7 3 5 1024 row_parallel row_parallel 1024 csr 10\n"  // b > 64
+      "sparse_row_sums 5 9 7 3\n");  // truncated tail
   const std::uint64_t corrupt0 = counter_value("tune.cache.corrupt_lines");
   EXPECT_TRUE(TuningCache::global().load_file(mixed));
   EXPECT_EQ(TuningCache::global().size(), 2u);
-  EXPECT_EQ(counter_value("tune.cache.corrupt_lines"), corrupt0 + 4);
+  EXPECT_EQ(counter_value("tune.cache.corrupt_lines"), corrupt0 + 6);
 
   GraphSignature sig;
   sig.rows_b = 5;
@@ -314,13 +408,15 @@ TEST_F(Autotune, CorruptAndStaleCacheFilesAreIgnoredGracefully) {
   sig.max_deg_b = 7;
   sig.skew_b = 3;
   sig.k_b = 5;
+  sig.grain = 1024;
+  sig.baseline = static_cast<std::uint8_t>(SchedulePolicy::kRowParallel);
   const auto hit = TuningCache::global().lookup("sddmm", sig);
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->policy, SchedulePolicy::kEdgeBalanced);
   EXPECT_EQ(hit->grain, 256);
   EXPECT_EQ(hit->format, SparseFormat::kSell);
 
-  for (const auto& p : {garbage, stale, mixed}) std::remove(p.c_str());
+  for (const auto& p : {garbage, stale, v1, mixed}) std::remove(p.c_str());
 }
 
 TEST_F(Autotune, SaveThenLoadRoundTripsEveryField) {
@@ -331,6 +427,8 @@ TEST_F(Autotune, SaveThenLoadRoundTripsEveryField) {
   sig.max_deg_b = 8;
   sig.skew_b = 4;
   sig.k_b = 6;
+  sig.grain = 192;  // deliberately not a power of two
+  sig.baseline = static_cast<std::uint8_t>(SchedulePolicy::kHybridBinned);
   TunedChoice c;
   c.policy = SchedulePolicy::kHybridBinned;
   c.grain = 256;
@@ -525,6 +623,43 @@ TEST_F(Autotune, FrozenTunerServesWarmEntriesButNeverSamples) {
     EXPECT_GT(counter_value("tune.frozen_fallbacks"), f1);
   }
   EXPECT_FALSE(tune_frozen());
+}
+
+// The frozen fallback is the FULL auto heuristic — both axes: an unseen
+// large row-parallel signature gets SELL exactly where resolve_dispatch's
+// rule-5 format heuristic would pick it, not a silently pinned CSR scalar
+// path (bitwise-identical either way, but the documented fallback is the
+// heuristics, and a frozen InferenceServer should not lose the SIMD path).
+TEST_F(Autotune, FrozenFallbackAppliesTheFormatHeuristic) {
+  ScopedEnv cache_env("AGNN_TUNE_CACHE", nullptr);
+  ScopedEnv tune_env("AGNN_TUNE", "on");
+  ScopedEnv fmt_env("AGNN_FORMAT", nullptr);
+  ScopedEnv sched_env("AGNN_SCHEDULE", nullptr);
+  ScopedEnv grain_env("AGNN_SCHEDULE_GRAIN", nullptr);
+  const auto big = hub_graph(9000, 2, 163);
+  ASSERT_GE(big.nnz(), kFormatAutoMinNnz);
+  ASSERT_TRUE(schedule_for(big)->row_parallel());
+  const auto h = random_dense<double>(big.rows(), 4, 167);
+  DenseMatrix<double> want;
+  {
+    ScopedEnv off("AGNN_TUNE", nullptr);
+    spmm(big, h, want);
+  }
+  TuneFreezeGuard freeze;
+  const std::uint64_t s0 = counter_value("tune.samples");
+  const std::uint64_t sell0 = counter_value("format.builds.sell");
+  const std::uint64_t f0 = counter_value("tune.frozen_fallbacks");
+  DenseMatrix<double> got;
+  spmm(big, h, got);
+  EXPECT_EQ(counter_value("tune.samples"), s0) << "frozen must not sample";
+  EXPECT_GT(counter_value("tune.frozen_fallbacks"), f0);
+  EXPECT_GT(counter_value("format.builds.sell"), sell0)
+      << "the frozen fallback must pick SELL where the auto heuristic would";
+  for (index_t i = 0; i < want.rows(); ++i) {
+    for (index_t j = 0; j < want.cols(); ++j) {
+      ASSERT_EQ(got(i, j), want(i, j));
+    }
+  }
 }
 
 TEST_F(Autotune, ExplicitKnobsBeatTheTuner) {
